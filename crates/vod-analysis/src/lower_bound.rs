@@ -1,0 +1,111 @@
+//! The `u < 1` impossibility regime (Section 1.3).
+//!
+//! If the average upload is below the playback rate, the catalog cannot
+//! scale: with minimal chunk size `ℓ`, a box stores data of at most `d_b/ℓ`
+//! videos, so as soon as `m > d_max/ℓ` some box stores nothing of some video.
+//! The adversary then makes every box play a video it does not possess, so
+//! the aggregate download requirement is `n` while the aggregate upload is
+//! only `u·n < n`. Hence `m ≤ d_max/ℓ = O(1)` — the catalog is constant.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum catalog size achievable when `u < 1`: `⌊d_max/ℓ⌋`, i.e.
+/// `d_max·c` when boxes store whole stripes of size `ℓ = 1/c`.
+pub fn catalog_cap(d_max_videos: f64, c: u16) -> usize {
+    (d_max_videos * c as f64).floor() as usize
+}
+
+/// Aggregate bandwidth feasibility for the never-owned adversary: with
+/// `viewers` boxes each playing a video they do not possess, demand is
+/// `viewers` streams against a supply of `total_upload` streams. Returns the
+/// shortfall in streams (zero when the system can keep up).
+pub fn bandwidth_shortfall(viewers: usize, total_upload: f64) -> f64 {
+    (viewers as f64 - total_upload).max(0.0)
+}
+
+/// Summary of the impossibility argument for one parameter point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LowerBoundCheck {
+    /// Average upload `u`.
+    pub u: f64,
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Per-box storage `d` (videos).
+    pub d: f64,
+    /// Stripe count `c`.
+    pub c: u16,
+    /// Catalog size being attempted.
+    pub m: usize,
+    /// The `d_max/ℓ` cap on catalogs that avoid the adversary.
+    pub catalog_cap: usize,
+    /// Whether every box can possess data of every video (`m ≤ cap`).
+    pub full_possession_possible: bool,
+    /// Shortfall (in streams) when all boxes stream simultaneously.
+    pub shortfall_at_full_load: f64,
+}
+
+impl LowerBoundCheck {
+    /// Evaluates the impossibility argument for a homogeneous `(n,u,d)`
+    /// system attempting catalog size `m` with `c` stripes per video.
+    pub fn evaluate(n: usize, u: f64, d: f64, c: u16, m: usize) -> Self {
+        let cap = catalog_cap(d, c);
+        LowerBoundCheck {
+            u,
+            n,
+            d,
+            c,
+            m,
+            catalog_cap: cap,
+            full_possession_possible: m <= cap,
+            shortfall_at_full_load: bandwidth_shortfall(n, u * n as f64),
+        }
+    }
+
+    /// True when the paper's argument shows this configuration is defeated by
+    /// the never-owned adversary: upload below threshold *and* a catalog too
+    /// large for universal possession.
+    pub fn is_defeated(&self) -> bool {
+        self.u < 1.0 && !self.full_possession_possible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_cap_is_dmax_over_chunk() {
+        assert_eq!(catalog_cap(8.0, 4), 32);
+        assert_eq!(catalog_cap(2.5, 4), 10);
+        assert_eq!(catalog_cap(0.0, 4), 0);
+    }
+
+    #[test]
+    fn shortfall_positive_only_when_under_provisioned() {
+        assert_eq!(bandwidth_shortfall(100, 120.0), 0.0);
+        assert!((bandwidth_shortfall(100, 80.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_catalog_below_cap_is_not_defeated() {
+        let check = LowerBoundCheck::evaluate(50, 0.8, 8.0, 4, 20);
+        assert!(check.full_possession_possible);
+        assert!(!check.is_defeated());
+        // But at full load the system is still short on aggregate bandwidth.
+        assert!(check.shortfall_at_full_load > 0.0);
+    }
+
+    #[test]
+    fn large_catalog_with_u_below_one_is_defeated() {
+        let check = LowerBoundCheck::evaluate(50, 0.8, 8.0, 4, 64);
+        assert!(!check.full_possession_possible);
+        assert!(check.is_defeated());
+    }
+
+    #[test]
+    fn u_above_one_never_defeated_by_this_argument() {
+        let check = LowerBoundCheck::evaluate(50, 1.2, 8.0, 4, 1000);
+        assert!(!check.is_defeated());
+        assert_eq!(check.shortfall_at_full_load, 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Monte-Carlo estimation of allocation feasibility.
+//!
+//! The theorems state that a *random* allocation works for *every* admissible
+//! demand sequence with high probability. The Monte-Carlo estimator samples
+//! the allocation randomness: for each trial it draws a fresh random
+//! permutation allocation, runs a chosen adversarial workload through the
+//! full simulator, and records whether any round was infeasible. The failure
+//! rate over many seeds estimates `P(N_k > 0)`-style quantities from below
+//! (one workload cannot exhaust all adversaries, but it includes the families
+//! the proofs identify as extremal), complementing the analytic first-moment
+//! bound of [`crate::obstruction`] from above.
+//!
+//! Trials are embarrassingly parallel; they are fanned out over a
+//! `crossbeam` scoped thread pool.
+
+use crate::stats::wilson_ci95;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vod_core::{CoreError, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem};
+use vod_sim::{SimConfig, SimulationReport, Simulator};
+use vod_workloads::{
+    DemandGenerator, FlashCrowd, NeverOwnedAttack, NextVideoPolicy, SequentialViewing,
+};
+
+/// Parameters of one Monte-Carlo trial family.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Per-box upload `u` (homogeneous).
+    pub u: f64,
+    /// Per-box storage `d` in videos.
+    pub d: u32,
+    /// Stripes per video `c`.
+    pub c: u16,
+    /// Replicas per stripe `k`.
+    pub k: u32,
+    /// Swarm growth bound `µ`.
+    pub mu: f64,
+    /// Video duration `T` in rounds.
+    pub duration: u32,
+    /// Rounds to simulate per trial.
+    pub rounds: u64,
+    /// Catalog size; `None` uses the maximal `⌊d·n/k⌋`.
+    pub catalog: Option<usize>,
+}
+
+impl TrialSpec {
+    /// The catalog size this spec simulates.
+    pub fn catalog_size(&self) -> usize {
+        self.catalog
+            .unwrap_or((self.d as usize * self.n) / self.k as usize)
+    }
+
+    fn system_params(&self) -> SystemParams {
+        SystemParams::new(
+            self.n,
+            self.u,
+            self.d,
+            self.c,
+            self.k,
+            self.mu,
+            self.duration,
+        )
+    }
+}
+
+/// Which demand family drives a trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Single maximal-growth flash crowd absorbing every box.
+    FlashCrowd,
+    /// All boxes continuously watching round-robin across the catalog.
+    Sequential,
+    /// Every box always demands a video it stores no data of.
+    NeverOwned,
+}
+
+impl WorkloadKind {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::FlashCrowd => "flash-crowd",
+            WorkloadKind::Sequential => "sequential",
+            WorkloadKind::NeverOwned => "never-owned",
+        }
+    }
+}
+
+/// Outcome of one trial.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// True when every round was fully served.
+    pub feasible: bool,
+    /// Fraction of request-rounds served.
+    pub service_ratio: f64,
+    /// Share of network transfers served from caches (swarming).
+    pub swarming_share: f64,
+    /// Mean upload utilization.
+    pub mean_utilization: f64,
+}
+
+impl TrialOutcome {
+    fn from_report(report: &SimulationReport) -> Self {
+        TrialOutcome {
+            feasible: report.all_rounds_feasible(),
+            service_ratio: report.service_ratio(),
+            swarming_share: report.swarming_share(),
+            mean_utilization: report.mean_utilization(),
+        }
+    }
+}
+
+/// Runs one trial: fresh random permutation allocation + the chosen workload.
+pub fn run_trial(
+    spec: &TrialSpec,
+    workload: WorkloadKind,
+    seed: u64,
+) -> Result<TrialOutcome, CoreError> {
+    let params = spec.system_params();
+    params.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = VideoSystem::homogeneous_with_catalog(
+        params,
+        spec.catalog_size(),
+        &RandomPermutationAllocator::new(spec.k),
+        &mut rng,
+    )?;
+    let report = run_workload(&system, spec, workload, seed);
+    Ok(TrialOutcome::from_report(&report))
+}
+
+/// Runs the chosen workload against an already-built system.
+pub fn run_workload(
+    system: &VideoSystem,
+    spec: &TrialSpec,
+    workload: WorkloadKind,
+    seed: u64,
+) -> SimulationReport {
+    let config = SimConfig::new(spec.rounds);
+    let sim = Simulator::new(system, config);
+    let mut generator: Box<dyn DemandGenerator> = match workload {
+        WorkloadKind::FlashCrowd => Box::new(FlashCrowd::single(
+            VideoId(0),
+            spec.n,
+            system.m(),
+            spec.mu,
+            seed,
+        )),
+        WorkloadKind::Sequential => Box::new(SequentialViewing::new(
+            spec.n,
+            system.m(),
+            NextVideoPolicy::RoundRobin,
+            spec.mu,
+            seed,
+        )),
+        WorkloadKind::NeverOwned => Box::new(NeverOwnedAttack::new(
+            system.placement(),
+            system.catalog(),
+            spec.mu,
+        )),
+    };
+    sim.run(generator.as_mut())
+}
+
+/// Aggregated Monte-Carlo estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityEstimate {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials with at least one infeasible round.
+    pub failures: usize,
+    /// Point estimate of the failure probability.
+    pub failure_rate: f64,
+    /// Wilson 95% confidence interval on the failure probability.
+    pub ci95: (f64, f64),
+    /// Mean service ratio over all trials.
+    pub mean_service_ratio: f64,
+    /// Mean swarming share over all trials.
+    pub mean_swarming_share: f64,
+}
+
+/// Estimates the probability that a random allocation fails the workload,
+/// running `trials` independent trials across `threads` worker threads.
+pub fn estimate_failure_probability(
+    spec: &TrialSpec,
+    workload: WorkloadKind,
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+) -> FeasibilityEstimate {
+    let threads = threads.max(1);
+    let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(trials));
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let index = {
+                    let mut guard = next.lock();
+                    if *guard >= trials {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let seed = base_seed.wrapping_add(index as u64);
+                if let Ok(outcome) = run_trial(spec, workload, seed) {
+                    results.lock().push(outcome);
+                }
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+
+    let outcomes = results.into_inner();
+    let trials_run = outcomes.len();
+    let failures = outcomes.iter().filter(|o| !o.feasible).count();
+    let failure_rate = if trials_run == 0 {
+        0.0
+    } else {
+        failures as f64 / trials_run as f64
+    };
+    let mean = |f: fn(&TrialOutcome) -> f64| {
+        if trials_run == 0 {
+            0.0
+        } else {
+            outcomes.iter().map(f).sum::<f64>() / trials_run as f64
+        }
+    };
+    FeasibilityEstimate {
+        trials: trials_run,
+        failures,
+        failure_rate,
+        ci95: wilson_ci95(failures, trials_run),
+        mean_service_ratio: mean(|o| o.service_ratio),
+        mean_swarming_share: mean(|o| o.swarming_share),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_spec() -> TrialSpec {
+        TrialSpec {
+            n: 20,
+            u: 2.0,
+            d: 8,
+            c: 4,
+            k: 4,
+            mu: 1.3,
+            duration: 20,
+            rounds: 30,
+            catalog: None,
+        }
+    }
+
+    #[test]
+    fn healthy_system_passes_trials() {
+        let spec = healthy_spec();
+        for workload in [WorkloadKind::Sequential, WorkloadKind::FlashCrowd] {
+            let outcome = run_trial(&spec, workload, 1).unwrap();
+            assert!(outcome.feasible, "{workload:?} failed");
+            assert_eq!(outcome.service_ratio, 1.0);
+        }
+    }
+
+    #[test]
+    fn starved_system_fails_never_owned_attack() {
+        let spec = TrialSpec {
+            u: 0.5,
+            k: 1,
+            ..healthy_spec()
+        };
+        let outcome = run_trial(&spec, WorkloadKind::NeverOwned, 3).unwrap();
+        assert!(!outcome.feasible);
+        assert!(outcome.service_ratio < 1.0);
+    }
+
+    #[test]
+    fn estimate_aggregates_and_bounds_rate() {
+        let spec = healthy_spec();
+        let est =
+            estimate_failure_probability(&spec, WorkloadKind::Sequential, 6, 100, 2);
+        assert_eq!(est.trials, 6);
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.failure_rate, 0.0);
+        assert!(est.ci95.0 <= est.failure_rate && est.failure_rate <= est.ci95.1);
+        assert!(est.mean_service_ratio > 0.999);
+    }
+
+    #[test]
+    fn estimate_detects_failures_in_starved_system() {
+        let spec = TrialSpec {
+            u: 0.5,
+            k: 1,
+            ..healthy_spec()
+        };
+        let est =
+            estimate_failure_probability(&spec, WorkloadKind::NeverOwned, 4, 7, 2);
+        assert_eq!(est.trials, 4);
+        assert_eq!(est.failures, 4);
+        assert_eq!(est.failure_rate, 1.0);
+    }
+
+    #[test]
+    fn catalog_override_is_honoured() {
+        let spec = TrialSpec {
+            catalog: Some(5),
+            ..healthy_spec()
+        };
+        assert_eq!(spec.catalog_size(), 5);
+        let default = healthy_spec();
+        assert_eq!(default.catalog_size(), 8 * 20 / 4);
+    }
+
+    #[test]
+    fn workload_labels() {
+        assert_eq!(WorkloadKind::FlashCrowd.label(), "flash-crowd");
+        assert_eq!(WorkloadKind::Sequential.label(), "sequential");
+        assert_eq!(WorkloadKind::NeverOwned.label(), "never-owned");
+    }
+}

@@ -1,0 +1,355 @@
+//! Numeric evaluation of the first-moment obstruction bound (Equation 1,
+//! Lemma 4, and the counting in the proof of Theorem 1).
+//!
+//! The paper bounds the probability that a random allocation admits at least
+//! one obstruction by
+//!
+//! ```text
+//! P(N_k > 0) ≤ Σ_{i=1}^{nc}  Σ_{i1=⌈νi⌉}^{min(i, mc)}
+//!              M(i, i1) · (u′·n·c·e / i)^i · (i / (u′·n·c))^{k·i1}
+//! ```
+//!
+//! with `M(i, i1) = C(mc, i1)·C(i−1, i1−1)` the number of multisets of `i`
+//! stripes having exactly `i1` distinct ones, and `ν = 1/(c+2µ²−1) − 1/(u·c)`
+//! (terms with `i1 ≤ ν·i` contribute zero by Lemma 2 + Lemma 4 case 1).
+//!
+//! All terms are evaluated in the log domain, so the bound is usable even
+//! when it is astronomically small (the interesting regime) or large
+//! (vacuous, reported as ≥ 1).
+
+use crate::theorem1;
+use serde::{Deserialize, Serialize};
+
+/// Natural log of the gamma function (Lanczos approximation, |error| < 1e-10
+/// for the argument range used here: positive reals).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` (0 when `k > n`).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Streaming log-sum-exp accumulator.
+#[derive(Clone, Copy, Debug)]
+struct LogSum {
+    max: f64,
+    sum: f64,
+}
+
+impl LogSum {
+    fn new() -> Self {
+        LogSum {
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    fn add(&mut self, ln_term: f64) {
+        if ln_term == f64::NEG_INFINITY {
+            return;
+        }
+        if ln_term > self.max {
+            self.sum = self.sum * (self.max - ln_term).exp() + 1.0;
+            self.max = ln_term;
+        } else {
+            self.sum += (ln_term - self.max).exp();
+        }
+    }
+
+    fn ln_value(&self) -> f64 {
+        if self.sum == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.max + self.sum.ln()
+        }
+    }
+}
+
+/// Parameters of the first-moment bound evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundParams {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Catalog size `m`.
+    pub m: usize,
+    /// Stripes per video `c`.
+    pub c: u16,
+    /// Replicas per stripe `k`.
+    pub k: u32,
+    /// Average upload `u` (streams).
+    pub u: f64,
+    /// Swarm growth bound `µ`.
+    pub mu: f64,
+}
+
+impl BoundParams {
+    /// The margin `ν` of Theorem 1 for these parameters.
+    pub fn nu(&self) -> f64 {
+        theorem1::nu(self.u, self.c, self.mu)
+    }
+
+    /// The effective upload `u′ = ⌊u·c⌋/c`.
+    pub fn u_prime(&self) -> f64 {
+        theorem1::u_prime(self.u, self.c)
+    }
+}
+
+/// Natural log of the first-moment upper bound on `P(N_k > 0)`.
+///
+/// Returns `f64::INFINITY` when the hypotheses fail (`ν ≤ 0` or `u′·c = 0`) —
+/// the bound is then vacuous.
+pub fn ln_first_moment_bound(p: &BoundParams) -> f64 {
+    let nu = p.nu();
+    let u_prime = p.u_prime();
+    if nu <= 0.0 || u_prime <= 0.0 || p.n == 0 || p.m == 0 {
+        return f64::INFINITY;
+    }
+    let nc = p.n as u64 * p.c as u64;
+    let mc = p.m as u64 * p.c as u64;
+    let upnc = u_prime * (p.n * p.c as usize) as f64;
+    let ln_upnc = upnc.ln();
+    let k = p.k as f64;
+
+    let mut total = LogSum::new();
+    for i in 1..=nc {
+        let ln_i = (i as f64).ln();
+        // (u'nce/i)^i
+        let ln_prefix = i as f64 * (ln_upnc + 1.0 - ln_i);
+        let i1_min = ((nu * i as f64).ceil() as u64).max(1);
+        let i1_max = i.min(mc);
+        if i1_min > i1_max {
+            continue;
+        }
+        let mut inner = LogSum::new();
+        let mut prev = f64::NEG_INFINITY;
+        let mut decreasing_streak = 0;
+        for i1 in i1_min..=i1_max {
+            // M(i, i1) = C(mc, i1) * C(i-1, i1-1)
+            let ln_m = ln_binomial(mc, i1) + ln_binomial(i - 1, i1 - 1);
+            let ln_term = ln_m + k * i1 as f64 * (ln_i - ln_upnc);
+            inner.add(ln_term);
+            // Once terms decay steadily and are negligible, stop.
+            if ln_term < prev {
+                decreasing_streak += 1;
+                if decreasing_streak > 4 && ln_term < inner.ln_value() - 60.0 {
+                    break;
+                }
+            } else {
+                decreasing_streak = 0;
+            }
+            prev = ln_term;
+        }
+        total.add(ln_prefix + inner.ln_value());
+    }
+    total.ln_value()
+}
+
+/// The first-moment upper bound on `P(N_k > 0)`, clamped to `[0, 1]` with
+/// values ≥ 1 meaning "vacuous" (no guarantee).
+pub fn first_moment_bound(p: &BoundParams) -> f64 {
+    let ln = ln_first_moment_bound(p);
+    if ln == f64::INFINITY {
+        return 1.0;
+    }
+    ln.exp().min(1.0)
+}
+
+/// Smallest replication `k` for which the first-moment bound drops below
+/// `target` (binary search over `1..=k_max`, exploiting that the bound is
+/// non-increasing in `k`). Returns `None` when even `k_max` does not suffice.
+pub fn required_k_for_bound(
+    n: usize,
+    m: usize,
+    c: u16,
+    u: f64,
+    mu: f64,
+    target: f64,
+    k_max: u32,
+) -> Option<u32> {
+    let bound_at = |k: u32| first_moment_bound(&BoundParams { n, m, c, k, u, mu });
+    if bound_at(k_max) > target {
+        return None;
+    }
+    let mut lo = 1u32; // possibly insufficient
+    let mut hi = k_max; // sufficient
+    if bound_at(lo) <= target {
+        return Some(lo);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if bound_at(mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..15u64 {
+            let fact: f64 = (1..=n).map(|x| x as f64).product();
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-8,
+                "n = {n}"
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_binomial_small_values() {
+        assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert!((ln_binomial(10, 5) - 252f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_binomial(4, 0), 0.0);
+        assert_eq!(ln_binomial(4, 4), 0.0);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsum_accumulates_correctly() {
+        let mut s = LogSum::new();
+        for x in [1.0f64, 2.0, 3.0] {
+            s.add(x.ln());
+        }
+        assert!((s.ln_value() - 6.0f64.ln()).abs() < 1e-12);
+        let empty = LogSum::new();
+        assert_eq!(empty.ln_value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bound_decreases_with_replication() {
+        let base = BoundParams {
+            n: 200,
+            m: 100,
+            c: 12,
+            k: 4,
+            u: 1.8,
+            mu: 1.1,
+        };
+        let b4 = ln_first_moment_bound(&base);
+        let b8 = ln_first_moment_bound(&BoundParams { k: 8, ..base });
+        let b16 = ln_first_moment_bound(&BoundParams { k: 16, ..base });
+        assert!(b8 < b4, "k=8 bound {b8} should be below k=4 bound {b4}");
+        assert!(b16 < b8);
+    }
+
+    #[test]
+    fn bound_vacuous_when_hypotheses_fail() {
+        // u below 1: ν < 0, bound must be reported as vacuous.
+        let p = BoundParams {
+            n: 100,
+            m: 50,
+            c: 8,
+            k: 10,
+            u: 0.9,
+            mu: 1.1,
+        };
+        assert_eq!(first_moment_bound(&p), 1.0);
+        // c too small for the swarm growth: same.
+        let p = BoundParams {
+            n: 100,
+            m: 50,
+            c: 2,
+            k: 10,
+            u: 1.05,
+            mu: 1.4,
+        };
+        assert_eq!(first_moment_bound(&p), 1.0);
+    }
+
+    #[test]
+    fn sufficiently_replicated_system_has_small_bound() {
+        // The first-moment bound's constants are large: the replication needed
+        // to certify feasibility is in the hundreds even for small systems.
+        // With such a k, the bound must certify high-probability feasibility.
+        let p = BoundParams {
+            n: 500,
+            m: 100,
+            c: 16,
+            k: 600,
+            u: 2.0,
+            mu: 1.1,
+        };
+        let bound = first_moment_bound(&p);
+        assert!(bound < 1e-3, "bound {bound}");
+        // An order of magnitude less replication is not certified.
+        let weak = first_moment_bound(&BoundParams { k: 40, ..p });
+        assert!(weak > bound);
+    }
+
+    #[test]
+    fn required_k_is_monotone_in_target() {
+        let strict = required_k_for_bound(200, 50, 8, 2.0, 1.1, 1e-6, 2000).unwrap();
+        let loose = required_k_for_bound(200, 50, 8, 2.0, 1.1, 1e-2, 2000).unwrap();
+        assert!(loose <= strict);
+        assert!(strict > 1);
+        // The returned k is minimal: one less must miss the target.
+        let p = BoundParams {
+            n: 200,
+            m: 50,
+            c: 8,
+            k: strict - 1,
+            u: 2.0,
+            mu: 1.1,
+        };
+        assert!(first_moment_bound(&p) > 1e-6);
+        // Impossible targets yield None for small k_max.
+        assert!(required_k_for_bound(200, 50, 8, 1.01, 2.0, 1e-6, 3).is_none());
+    }
+
+    #[test]
+    fn theorem1_k_certifies_the_bound() {
+        // With the k prescribed by Theorem 1, the numeric bound should be
+        // non-vacuous (< 1) for a moderately large system.
+        let (n, d, u, mu) = (2000usize, 10.0, 2.0, 1.1);
+        let t1 = crate::theorem1::Theorem1Params::derive(n, u, d, mu).unwrap();
+        let p = BoundParams {
+            n,
+            m: t1.catalog,
+            c: t1.c,
+            k: t1.k,
+            u,
+            mu,
+        };
+        let bound = first_moment_bound(&p);
+        assert!(bound < 0.5, "bound {bound} with k = {}", t1.k);
+    }
+}

@@ -1,0 +1,168 @@
+//! Experiment report tables.
+//!
+//! Every experiment binary in `vod-bench` prints its results as one or more
+//! [`Table`]s, rendered either as GitHub-flavoured markdown (for
+//! EXPERIMENTS.md) or CSV (for plotting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple column-oriented results table.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (rendered as a heading above the table).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row should have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the number of columns.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows). Cells containing commas or
+    /// quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimal places (experiment cells).
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a probability either in fixed or scientific notation depending on
+/// magnitude, so tiny first-moment bounds stay readable.
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p >= 1e-3 {
+        format!("{p:.4}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["n", "value"]);
+        t.push_row(vec!["10".into(), "0.5".into()]);
+        t.push_row(vec!["20".into(), "1.0".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 20 | 1.0 |"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"1,5\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(0.25), "0.2500");
+        assert!(fmt_prob(3.2e-9).contains('e'));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("t", &["x"]).is_empty());
+    }
+}

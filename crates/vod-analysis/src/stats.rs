@@ -1,0 +1,195 @@
+//! Small statistics toolkit for experiment summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, 0 for fewer than 2 samples).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample (all zeros for an empty sample).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the 95% confidence interval for the mean
+    /// (normal approximation; 0 for fewer than 2 samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Wilson score 95% confidence interval for a binomial proportion
+/// (`successes` out of `trials`). Returns `(low, high)`; `(0, 1)` for zero
+/// trials.
+pub fn wilson_ci95(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let denom = 1.0 + z * z / n;
+    let centre = p + z * z / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+/// Empirical quantile (linear interpolation between order statistics).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over `[min, max]` with `bins` buckets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bucket.
+    pub min: f64,
+    /// Right edge of the last bucket.
+    pub max: f64,
+    /// Bucket counts.
+    pub counts: Vec<u64>,
+    /// Observations falling outside `[min, max]`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` over `[min, max]` with `bins` buckets.
+    pub fn build(values: &[f64], min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(max > min, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0u64;
+        let width = (max - min) / bins as f64;
+        for &v in values {
+            if v < min || v > max || v.is_nan() {
+                outliers += 1;
+                continue;
+            }
+            let idx = (((v - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            min,
+            max,
+            counts,
+            outliers,
+        }
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_contains_proportion() {
+        let (lo, hi) = wilson_ci95(30, 100);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.4);
+        // Extreme cases stay in [0, 1].
+        let (lo, hi) = wilson_ci95(0, 50);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15);
+        let (lo, hi) = wilson_ci95(50, 50);
+        assert!(lo > 0.85);
+        assert_eq!(hi, 1.0);
+        assert_eq!(wilson_ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_counts_and_outliers() {
+        let h = Histogram::build(&[0.1, 0.2, 0.5, 0.9, 1.5, -0.3], 0.0, 1.0, 2);
+        assert_eq!(h.counts, vec![2, 2]);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::build(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Theorem 1 (homogeneous systems): parameter choices and catalog bound.
+//!
+//! For `u > 1`, a random (permutation or independent) allocation with
+//!
+//! * stripes `c > (2µ²−1)/(u−1)` — the paper instantiates
+//!   `c = ⌈2(2µ²−1)/(u−1)⌉`;
+//! * margin `ν = 1/(c+2µ²−1) − 1/(u·c)`;
+//! * effective upload `u′ = ⌊u·c⌋/c`;
+//! * `d′ = max{d, u, e}`;
+//! * replication `k ≥ 5·ν⁻¹·log d′ / log u′`
+//!
+//! serves any demand sequence with swarm growth ≤ µ with high probability,
+//! achieving catalog size `m = d·n/k = Ω((u−1)²·log((u+1)/2) / (u³µ²) ·
+//! d·n/log d′)`.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's `d′ = max{d, u, e}`.
+pub fn d_prime(d: f64, u: f64) -> f64 {
+    d.max(u).max(std::f64::consts::E)
+}
+
+/// Effective upload capacity `u′ = ⌊u·c⌋/c`.
+pub fn u_prime(u: f64, c: u16) -> f64 {
+    (u * c as f64).floor() / c as f64
+}
+
+/// The expansion margin `ν = 1/(c+2µ²−1) − 1/(u·c)`.
+pub fn nu(u: f64, c: u16, mu: f64) -> f64 {
+    let c = c as f64;
+    1.0 / (c + 2.0 * mu * mu - 1.0) - 1.0 / (u * c)
+}
+
+/// Smallest stripe count satisfying the strict condition
+/// `c > (2µ²−1)/(u−1)`. Returns `None` for `u ≤ 1`.
+pub fn min_stripes(u: f64, mu: f64) -> Option<u16> {
+    if u <= 1.0 {
+        return None;
+    }
+    let threshold = (2.0 * mu * mu - 1.0) / (u - 1.0);
+    let c = threshold.floor() as u16 + 1;
+    Some(c.max(1))
+}
+
+/// The stripe count the paper instantiates in the catalog-size corollary:
+/// `c = ⌈2·(2µ²−1)/(u−1)⌉`. Returns `None` for `u ≤ 1`.
+pub fn paper_stripes(u: f64, mu: f64) -> Option<u16> {
+    if u <= 1.0 {
+        return None;
+    }
+    let c = (2.0 * (2.0 * mu * mu - 1.0) / (u - 1.0)).ceil();
+    Some(c.max(1.0) as u16)
+}
+
+/// Replication requirement `k ≥ 5·ν⁻¹·log d′ / log u′` for given parameters.
+/// Returns `None` when the parameters are outside Theorem 1's hypotheses
+/// (`u ≤ 1`, `ν ≤ 0`, or `u′ ≤ 1`).
+pub fn min_replication(u: f64, d: f64, c: u16, mu: f64) -> Option<u32> {
+    if u <= 1.0 {
+        return None;
+    }
+    let nu = nu(u, c, mu);
+    let u_prime = u_prime(u, c);
+    if nu <= 0.0 || u_prime <= 1.0 {
+        return None;
+    }
+    let k = 5.0 / nu * d_prime(d, u).ln() / u_prime.ln();
+    Some(k.ceil().max(1.0) as u32)
+}
+
+/// Theorem 1's catalog-size lower bound (up to the absolute constant the
+/// `Ω(·)` hides, which we take as 1):
+/// `m ≳ (u−1)²·log((u+1)/2) / (u³·µ²) · d·n / log d′`.
+pub fn catalog_bound(n: usize, u: f64, d: f64, mu: f64) -> f64 {
+    if u <= 1.0 {
+        return 0.0;
+    }
+    let dp = d_prime(d, u);
+    (u - 1.0).powi(2) * ((u + 1.0) / 2.0).ln() / (u.powi(3) * mu * mu) * d * n as f64 / dp.ln()
+}
+
+/// The asymptotic trade-off highlighted in the conclusion: as `u → 1⁺` the
+/// catalog bound scales like `(u−1)³` (since `log((u+1)/2) ~ (u−1)/2`).
+pub fn tradeoff_asymptotic(u: f64) -> f64 {
+    if u <= 1.0 {
+        0.0
+    } else {
+        (u - 1.0).powi(3)
+    }
+}
+
+/// All derived Theorem 1 parameters for a concrete system size.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Theorem1Params {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Average upload `u`.
+    pub u: f64,
+    /// Average storage `d` (videos).
+    pub d: f64,
+    /// Swarm growth bound `µ`.
+    pub mu: f64,
+    /// Chosen stripe count `c`.
+    pub c: u16,
+    /// Expansion margin `ν`.
+    pub nu: f64,
+    /// Effective upload `u′`.
+    pub u_prime: f64,
+    /// `d′ = max{d, u, e}`.
+    pub d_prime: f64,
+    /// Required replication `k`.
+    pub k: u32,
+    /// Achieved catalog size `m = ⌊d·n/k⌋`.
+    pub catalog: usize,
+    /// The analytic lower bound on the catalog.
+    pub catalog_bound: f64,
+}
+
+impl Theorem1Params {
+    /// Derives every Theorem 1 quantity with the paper's stripe choice
+    /// `c = ⌈2(2µ²−1)/(u−1)⌉`. Returns `None` for `u ≤ 1` or when the
+    /// replication requirement is undefined.
+    pub fn derive(n: usize, u: f64, d: f64, mu: f64) -> Option<Self> {
+        let c = paper_stripes(u, mu)?;
+        Self::derive_with_stripes(n, u, d, mu, c)
+    }
+
+    /// Derives the Theorem 1 quantities for an explicit stripe count.
+    pub fn derive_with_stripes(n: usize, u: f64, d: f64, mu: f64, c: u16) -> Option<Self> {
+        let k = min_replication(u, d, c, mu)?;
+        let catalog = ((d * n as f64) / k as f64).floor() as usize;
+        Some(Theorem1Params {
+            n,
+            u,
+            d,
+            mu,
+            c,
+            nu: nu(u, c, mu),
+            u_prime: u_prime(u, c),
+            d_prime: d_prime(d, u),
+            k,
+            catalog,
+            catalog_bound: catalog_bound(n, u, d, mu),
+        })
+    }
+
+    /// True when the derived catalog is linear in `n` with a positive slope
+    /// (i.e. the theorem indeed yields `Ω(n)` scaling for these parameters).
+    pub fn is_scalable(&self) -> bool {
+        self.catalog > 0 && self.nu > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_stripes_matches_strict_inequality() {
+        let u = 1.5;
+        let mu = 1.2;
+        let c = min_stripes(u, mu).unwrap();
+        let threshold = (2.0 * mu * mu - 1.0) / (u - 1.0);
+        assert!((c as f64) > threshold);
+        assert!(((c - 1) as f64) <= threshold);
+        assert!(min_stripes(1.0, mu).is_none());
+        assert!(min_stripes(0.8, mu).is_none());
+    }
+
+    #[test]
+    fn paper_stripes_is_at_least_min_stripes() {
+        for &(u, mu) in &[(1.1, 1.05), (1.5, 1.2), (2.0, 1.5), (3.0, 2.0)] {
+            assert!(paper_stripes(u, mu).unwrap() >= min_stripes(u, mu).unwrap());
+        }
+    }
+
+    #[test]
+    fn nu_positive_for_paper_stripes() {
+        for &(u, mu) in &[(1.1, 1.05), (1.5, 1.2), (2.0, 1.5), (3.0, 2.0)] {
+            let c = paper_stripes(u, mu).unwrap();
+            assert!(nu(u, c, mu) > 0.0, "u={u} mu={mu} c={c}");
+        }
+    }
+
+    #[test]
+    fn min_replication_decreases_with_u() {
+        let d = 10.0;
+        let mu = 1.2;
+        let k15 = min_replication(1.5, d, paper_stripes(1.5, mu).unwrap(), mu).unwrap();
+        let k30 = min_replication(3.0, d, paper_stripes(3.0, mu).unwrap(), mu).unwrap();
+        assert!(k30 <= k15, "k(3.0)={k30} should not exceed k(1.5)={k15}");
+        assert!(min_replication(0.9, d, 8, mu).is_none());
+    }
+
+    #[test]
+    fn catalog_bound_zero_below_threshold_and_monotone_above() {
+        assert_eq!(catalog_bound(100, 0.9, 10.0, 1.2), 0.0);
+        assert_eq!(catalog_bound(100, 1.0, 10.0, 1.2), 0.0);
+        let near = catalog_bound(100, 1.05, 10.0, 1.2);
+        let far = catalog_bound(100, 2.0, 10.0, 1.2);
+        assert!(near > 0.0);
+        assert!(far > near);
+        // Linear in n.
+        assert!(
+            (catalog_bound(200, 2.0, 10.0, 1.2) / far - 2.0).abs() < 1e-9,
+            "bound must be linear in n"
+        );
+    }
+
+    #[test]
+    fn tradeoff_matches_cubic_shape_near_one() {
+        // catalog_bound(u)/catalog_bound(u') ≈ ((u−1)/(u'−1))³ as u→1.
+        let b1 = catalog_bound(1000, 1.02, 10.0, 1.1);
+        let b2 = catalog_bound(1000, 1.04, 10.0, 1.1);
+        let ratio = b2 / b1;
+        let cubic = tradeoff_asymptotic(1.04) / tradeoff_asymptotic(1.02);
+        assert!(
+            (ratio / cubic - 1.0).abs() < 0.15,
+            "ratio {ratio} vs cubic {cubic}"
+        );
+    }
+
+    #[test]
+    fn derive_produces_consistent_bundle() {
+        let p = Theorem1Params::derive(1000, 1.5, 10.0, 1.2).unwrap();
+        assert!(p.is_scalable());
+        assert_eq!(p.catalog, (10.0 * 1000.0 / p.k as f64) as usize);
+        assert!(p.u_prime <= p.u);
+        assert!(p.nu > 0.0);
+        assert!(p.k >= 1);
+        // Catalog grows linearly with n at fixed parameters.
+        let p2 = Theorem1Params::derive(2000, 1.5, 10.0, 1.2).unwrap();
+        assert_eq!(p2.k, p.k);
+        assert!((p2.catalog as f64 / p.catalog as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn derive_rejects_sub_threshold_upload() {
+        assert!(Theorem1Params::derive(100, 0.99, 10.0, 1.2).is_none());
+        assert!(Theorem1Params::derive(100, 1.0, 10.0, 1.2).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! Theorem 2 (balanced heterogeneous systems): parameter choices and bound.
+//!
+//! For a `u*`-balanced system (storage-balanced and upload-compensated) the
+//! paper proves the same style of result with the relaying strategy:
+//!
+//! * stripes `c > 4µ⁴/(u*−1)`, instantiated as `c = ⌈10µ⁴/(u*−1)⌉`;
+//! * margin `ν = 1/(c+2µ⁴−1) − 1/(c+3µ⁴)`;
+//! * effective upload `u′ = (c+3µ⁴)/c`;
+//! * `d′ = max{d, u*, e}`;
+//! * replication `k ≥ 5·ν⁻¹·log d′ / log u′`;
+//! * catalog `Ω((u*−1)²·log((u*+3)/4) / µ⁴ · d·n / log d′)` for `u* ≤ 2`.
+
+use serde::{Deserialize, Serialize};
+use vod_core::{BoxSet, Bandwidth};
+
+/// `d′ = max{d, u*, e}` for the heterogeneous bound.
+pub fn d_prime(d: f64, u_star: f64) -> f64 {
+    d.max(u_star).max(std::f64::consts::E)
+}
+
+/// Effective upload `u′ = (c+3µ⁴)/c` granted by relay co-caching.
+pub fn u_prime(c: u16, mu: f64) -> f64 {
+    (c as f64 + 3.0 * mu.powi(4)) / c as f64
+}
+
+/// Margin `ν = 1/(c+2µ⁴−1) − 1/(c+3µ⁴)`.
+pub fn nu(c: u16, mu: f64) -> f64 {
+    let c = c as f64;
+    let mu4 = mu.powi(4);
+    1.0 / (c + 2.0 * mu4 - 1.0) - 1.0 / (c + 3.0 * mu4)
+}
+
+/// Minimum stripe count `c > 4µ⁴/(u*−1)`. Returns `None` for `u* ≤ 1`.
+pub fn min_stripes(u_star: f64, mu: f64) -> Option<u16> {
+    if u_star <= 1.0 {
+        return None;
+    }
+    let threshold = 4.0 * mu.powi(4) / (u_star - 1.0);
+    Some(threshold.floor() as u16 + 1)
+}
+
+/// The paper's instantiation `c = ⌈10µ⁴/(u*−1)⌉`. Returns `None` for `u* ≤ 1`.
+pub fn paper_stripes(u_star: f64, mu: f64) -> Option<u16> {
+    if u_star <= 1.0 {
+        return None;
+    }
+    let c = (10.0 * mu.powi(4) / (u_star - 1.0)).ceil();
+    if c > u16::MAX as f64 {
+        return None;
+    }
+    Some(c.max(1.0) as u16)
+}
+
+/// Replication requirement `k ≥ 5·ν⁻¹·log d′ / log u′`.
+pub fn min_replication(u_star: f64, d: f64, c: u16, mu: f64) -> Option<u32> {
+    if u_star <= 1.0 {
+        return None;
+    }
+    let nu = nu(c, mu);
+    let up = u_prime(c, mu);
+    if nu <= 0.0 || up <= 1.0 {
+        return None;
+    }
+    let k = 5.0 / nu * d_prime(d, u_star).ln() / up.ln();
+    Some(k.ceil().max(1.0) as u32)
+}
+
+/// Theorem 2's catalog bound (for `u* ≤ 2`, constant taken as 1):
+/// `m ≳ (u*−1)²·log((u*+3)/4) / µ⁴ · d·n / log d′`.
+pub fn catalog_bound(n: usize, u_star: f64, d: f64, mu: f64) -> f64 {
+    if u_star <= 1.0 {
+        return 0.0;
+    }
+    (u_star - 1.0).powi(2) * ((u_star + 3.0) / 4.0).ln() / mu.powi(4) * d * n as f64
+        / d_prime(d, u_star).ln()
+}
+
+/// The necessary condition for heterogeneous scalability derived in
+/// Section 4: `u > 1 + Δ(1)/n`. Returns `(u, 1 + Δ(1)/n)`.
+pub fn necessary_condition(boxes: &BoxSet) -> (f64, f64) {
+    let n = boxes.len().max(1);
+    let deficit = boxes.upload_deficit(Bandwidth::ONE_STREAM).as_streams();
+    (boxes.average_upload(), 1.0 + deficit / n as f64)
+}
+
+/// All derived Theorem 2 parameters for a concrete system size.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Theorem2Params {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// The threshold `u*` splitting poor and rich boxes.
+    pub u_star: f64,
+    /// Average storage `d`.
+    pub d: f64,
+    /// Swarm growth `µ`.
+    pub mu: f64,
+    /// Chosen stripe count `c`.
+    pub c: u16,
+    /// Margin `ν`.
+    pub nu: f64,
+    /// Effective upload `u′`.
+    pub u_prime: f64,
+    /// Required replication `k`.
+    pub k: u32,
+    /// Achieved catalog `⌊d·n/k⌋`.
+    pub catalog: usize,
+    /// Analytic catalog lower bound.
+    pub catalog_bound: f64,
+}
+
+impl Theorem2Params {
+    /// Derives the Theorem 2 quantities using the paper's stripe choice.
+    pub fn derive(n: usize, u_star: f64, d: f64, mu: f64) -> Option<Self> {
+        let c = paper_stripes(u_star, mu)?;
+        let k = min_replication(u_star, d, c, mu)?;
+        Some(Theorem2Params {
+            n,
+            u_star,
+            d,
+            mu,
+            c,
+            nu: nu(c, mu),
+            u_prime: u_prime(c, mu),
+            k,
+            catalog: ((d * n as f64) / k as f64).floor() as usize,
+            catalog_bound: catalog_bound(n, u_star, d, mu),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use vod_core::{BoxId, NodeBox, StorageSlots};
+
+    #[test]
+    fn stripe_requirements_scale_with_mu_fourth_power() {
+        let c_small = paper_stripes(1.5, 1.1).unwrap();
+        let c_large = paper_stripes(1.5, 1.5).unwrap();
+        assert!(c_large > c_small);
+        // Ratio roughly (1.5/1.1)^4 ≈ 3.46.
+        let ratio = c_large as f64 / c_small as f64;
+        assert!(ratio > 2.5 && ratio < 4.5, "ratio {ratio}");
+        assert!(paper_stripes(1.0, 1.1).is_none());
+    }
+
+    #[test]
+    fn nu_positive_for_paper_stripes() {
+        for &(u_star, mu) in &[(1.2, 1.05), (1.5, 1.2), (2.0, 1.3)] {
+            let c = paper_stripes(u_star, mu).unwrap();
+            assert!(nu(c, mu) > 0.0, "u*={u_star} mu={mu} c={c}");
+            assert!(u_prime(c, mu) > 1.0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_k_exceeds_homogeneous_k_at_same_threshold() {
+        // Relaying costs capacity, so the heterogeneous requirement is more
+        // conservative than Theorem 1's at the same nominal threshold.
+        let (u, d, mu) = (1.5, 10.0, 1.2);
+        let k1 = theorem1::min_replication(u, d, theorem1::paper_stripes(u, mu).unwrap(), mu)
+            .unwrap();
+        let k2 = min_replication(u, d, paper_stripes(u, mu).unwrap(), mu).unwrap();
+        assert!(k2 >= k1, "k2 = {k2} < k1 = {k1}");
+    }
+
+    #[test]
+    fn catalog_bound_behaviour() {
+        assert_eq!(catalog_bound(100, 1.0, 10.0, 1.2), 0.0);
+        let near = catalog_bound(100, 1.1, 10.0, 1.2);
+        let far = catalog_bound(100, 1.9, 10.0, 1.2);
+        assert!(near > 0.0 && far > near);
+        // Larger µ shrinks the bound (µ⁴ in the denominator).
+        assert!(catalog_bound(100, 1.5, 10.0, 1.5) < catalog_bound(100, 1.5, 10.0, 1.1));
+    }
+
+    #[test]
+    fn necessary_condition_computation() {
+        let boxes = BoxSet::new(vec![
+            NodeBox::new(BoxId(0), Bandwidth::from_streams(0.5), StorageSlots::from_slots(8)),
+            NodeBox::new(BoxId(1), Bandwidth::from_streams(2.5), StorageSlots::from_slots(8)),
+        ]);
+        let (u, rhs) = necessary_condition(&boxes);
+        assert!((u - 1.5).abs() < 1e-9);
+        assert!((rhs - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derive_bundles_consistent_values() {
+        // Theorem 2's constants are large (k grows like ν⁻¹·log d′/log u′ with
+        // ν ~ 1/c ~ (u*−1)/µ⁴), so a positive catalog needs a large n.
+        let n = 1_000_000;
+        let p = Theorem2Params::derive(n, 1.5, 10.0, 1.1).unwrap();
+        assert!(p.nu > 0.0);
+        assert!(p.u_prime > 1.0);
+        assert!(p.catalog > 0);
+        assert_eq!(p.catalog, (10.0 * n as f64 / p.k as f64) as usize);
+        assert!(Theorem2Params::derive(n, 0.9, 10.0, 1.1).is_none());
+    }
+}

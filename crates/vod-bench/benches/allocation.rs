@@ -1,0 +1,61 @@
+//! Criterion bench: construction cost of the allocation schemes vs fleet
+//! size (supports experiment E7 and the DESIGN.md ablation on allocators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use vod_core::{
+    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator,
+    RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
+};
+
+fn bench_allocators(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("allocation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let d = 8u32;
+    let c = 8u16;
+    let k = 4u32;
+    for &n in &[64usize, 256, 1024] {
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_videos(d, c),
+        );
+        let m = d as usize * n / k as usize;
+        let catalog = Catalog::uniform(m, 120, c);
+
+        group.bench_with_input(BenchmarkId::new("permutation", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                RandomPermutationAllocator::new(k)
+                    .allocate(&boxes, &catalog, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("independent", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                RandomIndependentAllocator::new(k)
+                    .allocate(&boxes, &catalog, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round-robin", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                RoundRobinAllocator::new(k)
+                    .allocate(&boxes, &catalog, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: connection-matching solvers (Dinic vs push-relabel vs
+//! Hopcroft–Karp) on random bipartite instances of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Duration;
+use vod_core::BoxId;
+use vod_flow::{ConnectionProblem, FlowSolver, HopcroftKarp};
+
+/// A random connection-matching instance: `boxes` boxes of capacity `cap`,
+/// `requests` requests each with `degree` random candidates.
+fn instance(boxes: usize, cap: u32, requests: usize, degree: usize, seed: u64) -> ConnectionProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut problem = ConnectionProblem::new(vec![cap; boxes]);
+    for _ in 0..requests {
+        let cands: Vec<BoxId> = (0..degree)
+            .map(|_| BoxId(rng.gen_range(0..boxes) as u32))
+            .collect();
+        problem.add_request(cands);
+    }
+    problem
+}
+
+fn bench_matching(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("connection-matching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &n in &[64usize, 256, 1024] {
+        // Roughly the per-round instance of an n-box system with c = 8.
+        let problem = instance(n, 8, n * 4, 6, 7);
+        group.bench_with_input(BenchmarkId::new("dinic", n), &n, |b, _| {
+            b.iter(|| problem.solve_with(FlowSolver::Dinic).served())
+        });
+        group.bench_with_input(BenchmarkId::new("push-relabel", n), &n, |b, _| {
+            b.iter(|| problem.solve_with(FlowSolver::PushRelabel).served())
+        });
+        // Unit-capacity variant for Hopcroft–Karp comparison.
+        let unit = instance(n, 1, n, 4, 9);
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp-unit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hk = HopcroftKarp::new(unit.request_count(), n);
+                for x in 0..unit.request_count() {
+                    for cand in unit.candidates_of(x) {
+                        hk.add_edge(x, cand.index());
+                    }
+                }
+                hk.solve().0
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dinic-unit", n), &n, |b, _| {
+            b.iter(|| unit.solve_with(FlowSolver::Dinic).served())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: cost of one Monte-Carlo feasibility trial and of one
+//! evaluation of the analytic first-moment bound (the two estimators behind
+//! experiments E1–E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vod_analysis::{first_moment_bound, run_trial, BoundParams, TrialSpec, WorkloadKind};
+
+fn bench_montecarlo(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("estimators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for &n in &[16usize, 32] {
+        let spec = TrialSpec {
+            n,
+            u: 2.0,
+            d: 8,
+            c: 4,
+            k: 4,
+            mu: 1.3,
+            duration: 20,
+            rounds: 30,
+            catalog: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("mc-trial-flash-crowd", n),
+            &n,
+            |b, _| b.iter(|| run_trial(&spec, WorkloadKind::FlashCrowd, 5).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mc-trial-sequential", n),
+            &n,
+            |b, _| b.iter(|| run_trial(&spec, WorkloadKind::Sequential, 5).unwrap()),
+        );
+    }
+
+    for &n in &[500usize, 2000] {
+        let params = BoundParams {
+            n,
+            m: n / 4,
+            c: 8,
+            k: 60,
+            u: 2.0,
+            mu: 1.2,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("first-moment-bound", n),
+            &n,
+            |b, _| b.iter(|| first_moment_bound(&params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_montecarlo);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E7 — Permutation vs independent allocation: storage load balance.
+//!
+//! Both allocations give the same feasibility bound, but the independent one
+//! can overload individual boxes unless c = Ω(log n) (remark after
+//! Theorem 1). This experiment measures the maximum box load and the
+//! overflow probability of the unbounded independent allocation as n grows,
+//! against the perfectly balanced permutation allocation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_analysis::{Summary, Table};
+use vod_bench::{print_header, Scale};
+use vod_core::{
+    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator,
+    RandomPermutationAllocator, StorageSlots,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E7 exp_allocation — permutation vs independent allocation load balance",
+        "independent allocation needs c = Ω(log n) to respect box capacities w.h.p. (Thm 1 remark)",
+        scale,
+    );
+    let d = 8u32;
+    let k = 4u32;
+    let trials = scale.pick(5, 20);
+    let sizes: &[usize] = if scale == Scale::Full {
+        &[32, 64, 128, 256, 512]
+    } else {
+        &[32, 64, 128]
+    };
+
+    for &c in &[2u16, 4, 8, 16] {
+        let mut table = Table::new(
+            format!("Maximum box load relative to capacity (c = {c})"),
+            &[
+                "n",
+                "capacity d·c",
+                "permutation max load",
+                "independent mean max load",
+                "independent worst max load",
+                "overflow fraction",
+            ],
+        );
+        for &n in sizes {
+            let slots = d * c as u32;
+            let boxes = BoxSet::homogeneous(
+                n,
+                Bandwidth::from_streams(1.5),
+                StorageSlots::from_slots(slots),
+            );
+            let m = (d as usize * n) / k as usize;
+            let catalog = Catalog::uniform(m, 60, c);
+
+            let mut perm_max = 0usize;
+            let mut indep_max = Vec::new();
+            let mut overflow = 0usize;
+            for t in 0..trials {
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let p = RandomPermutationAllocator::new(k)
+                    .allocate(&boxes, &catalog, &mut rng)
+                    .unwrap();
+                perm_max = perm_max.max(p.max_load());
+
+                let mut rng = StdRng::seed_from_u64(5000 + t as u64);
+                let q = RandomIndependentAllocator::unbounded(k)
+                    .allocate(&boxes, &catalog, &mut rng)
+                    .unwrap();
+                indep_max.push(q.max_load() as f64);
+                if q.max_load() > slots as usize {
+                    overflow += 1;
+                }
+            }
+            let s = Summary::of(&indep_max);
+            table.push_row(vec![
+                n.to_string(),
+                slots.to_string(),
+                perm_max.to_string(),
+                format!("{:.1}", s.mean),
+                format!("{:.0}", s.max),
+                format!("{:.2}", overflow as f64 / trials as f64),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+    }
+    println!("(d = {d}, k = {k}, {trials} allocations per point; overflow = max load exceeds d·c)");
+}

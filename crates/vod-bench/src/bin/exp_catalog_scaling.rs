@@ -1,0 +1,60 @@
+//! E2 — Catalog size scales linearly in n above the threshold.
+//!
+//! For fixed u > 1 and per-box storage d, the largest catalog the simulator
+//! sustains under adversarial demand is measured as n grows; Theorem 1
+//! predicts Ω(n) with slope governed by d/k.
+
+use vod_analysis::{max_feasible_catalog, theorem1, Table, TrialSpec, WorkloadKind};
+use vod_bench::{base_spec, print_header, search_config, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E2 exp_catalog_scaling — catalog grows linearly in n for u > 1",
+        "random allocation achieves m = d·n/k = Ω(n) (Theorem 1)",
+        scale,
+    );
+    let spec = base_spec(scale);
+    let config = search_config(scale);
+    let sizes: &[usize] = if scale == Scale::Full {
+        &[32, 64, 128, 192, 256]
+    } else {
+        &[16, 32, 48, 64]
+    };
+
+    for &u in &[1.5, 2.0] {
+        let mut table = Table::new(
+            format!("Largest feasible catalog vs n (u = {u})"),
+            &[
+                "n",
+                "storage-limited m = dn/k",
+                "measured max feasible m",
+                "Thm 1 analytic bound",
+                "m / n",
+            ],
+        );
+        for &n in sizes {
+            let point = TrialSpec { n, u, ..spec };
+            let storage_limit = point.catalog_size();
+            let measured = max_feasible_catalog(
+                &point,
+                WorkloadKind::Sequential,
+                storage_limit,
+                &config,
+            );
+            let bound = theorem1::catalog_bound(n, u, spec.d as f64, spec.mu);
+            table.push_row(vec![
+                n.to_string(),
+                storage_limit.to_string(),
+                measured.to_string(),
+                format!("{bound:.1}"),
+                format!("{:.2}", measured as f64 / n as f64),
+            ]);
+        }
+        println!("{}", table.to_markdown());
+    }
+    println!(
+        "(d = {}, c = {}, k = {}, µ = {}, workload = sequential full occupancy)",
+        spec.d, spec.c, spec.k, spec.mu
+    );
+}

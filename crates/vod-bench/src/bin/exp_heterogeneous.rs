@@ -1,0 +1,108 @@
+//! E6 — Heterogeneous systems, upload compensation and relaying (Theorem 2).
+//!
+//! Sweeps the fraction of poor (deficient-upload) boxes in a two-class fleet
+//! and reports the necessary condition u > 1 + Δ(1)/n, whether the fleet can
+//! be u*-upload-compensated, and how the relayed system fares against the
+//! poor-boxes-pile-on adversary, compared with the same fleet without
+//! relaying.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_analysis::{theorem2, Table};
+use vod_bench::{print_header, Scale};
+use vod_core::{
+    compensate, Bandwidth, Catalog, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem,
+};
+use vod_sim::{SimConfig, Simulator};
+use vod_workloads::PoorBoxesSameVideo;
+
+fn run_fleet(poor_count: usize, rich_count: usize, relay: bool, scale: Scale) -> (bool, f64, f64) {
+    let c: u16 = 8;
+    let mut uploads = vec![0.6f64; poor_count];
+    uploads.extend(vec![2.6f64; rich_count]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let n = boxes.len();
+    let d_avg = boxes.average_storage_videos(c);
+    let avg_u = boxes.average_upload();
+    let u_star = Bandwidth::from_streams(1.2);
+    let k = 3u32;
+    let duration = scale.pick(32, 48);
+    let catalog_size = ((d_avg * n as f64) / k as f64).floor() as usize;
+    let catalog = Catalog::uniform(catalog_size, duration, c);
+    let params = SystemParams::new(n, avg_u, d_avg.round().max(1.0) as u32, c, k, 1.2, duration);
+    let mut rng = StdRng::seed_from_u64(2009);
+    let system = match VideoSystem::heterogeneous(
+        params,
+        boxes,
+        catalog,
+        &RandomPermutationAllocator::new(k),
+        if relay { Some(u_star) } else { None },
+        &mut rng,
+    ) {
+        Ok(s) => s,
+        Err(_) => return (false, 0.0, avg_u),
+    };
+    let poor = system.boxes().poor_ids(u_star);
+    let rich = system.boxes().rich_ids(u_star);
+    let mut attack = PoorBoxesSameVideo::new(
+        poor,
+        rich,
+        VideoId(0),
+        system.placement(),
+        system.catalog(),
+        1.2,
+    );
+    let rounds = scale.pick(60u64, 120);
+    let report = Simulator::new(&system, SimConfig::new(rounds)).run(&mut attack);
+    (
+        report.all_rounds_feasible(),
+        report.service_ratio(),
+        avg_u,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E6 exp_heterogeneous — u*-balanced heterogeneous fleets (Theorem 2)",
+        "u*-balanced systems scale via relaying; u > 1 + Δ(1)/n is necessary (Sec. 4)",
+        scale,
+    );
+    let total = scale.pick(32usize, 64);
+
+    let mut table = Table::new(
+        "Two-class fleet (poor u = 0.6, rich u = 2.6) under the pile-on attack",
+        &[
+            "poor fraction",
+            "avg u",
+            "1 + Δ(1)/n",
+            "compensable at u*=1.2",
+            "relayed: feasible / service",
+            "no relay: feasible / service",
+        ],
+    );
+
+    for &poor_fraction in &[0.25, 0.5, 0.625, 0.75, 0.875] {
+        let poor_count = (total as f64 * poor_fraction).round() as usize;
+        let rich_count = total - poor_count;
+        let c: u16 = 8;
+        let mut uploads = vec![0.6f64; poor_count];
+        uploads.extend(vec![2.6f64; rich_count]);
+        let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+        let (avg_u, necessary) = theorem2::necessary_condition(&boxes);
+        let compensable = compensate(&boxes, Bandwidth::from_streams(1.2)).is_ok();
+
+        let (ok_relay, sr_relay, _) = run_fleet(poor_count, rich_count, true, scale);
+        let (ok_plain, sr_plain, _) = run_fleet(poor_count, rich_count, false, scale);
+        table.push_row(vec![
+            format!("{poor_fraction:.3}"),
+            format!("{avg_u:.2}"),
+            format!("{necessary:.2}"),
+            compensable.to_string(),
+            format!("{} / {:.3}", ok_relay, sr_relay),
+            format!("{} / {:.3}", ok_plain, sr_plain),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("(n = {total}, storage/upload ratio 6, u* = 1.2, k = 3, µ = 1.2)");
+}

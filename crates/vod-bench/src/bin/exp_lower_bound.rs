@@ -1,0 +1,81 @@
+//! E10 — The u < 1 impossibility: catalog size vs the never-owned adversary.
+//!
+//! For several sub-threshold capacities, sweeps the catalog size across the
+//! d·c possession cap (Section 1.3). Catalogs at or below the cap can be
+//! fully replicated (the adversary is toothless); the first catalog above it
+//! is defeated.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_analysis::{LowerBoundCheck, Table};
+use vod_bench::{base_spec, print_header, Scale};
+use vod_core::{
+    Allocator, FullReplicationAllocator, RandomPermutationAllocator, SystemParams, VideoSystem,
+};
+use vod_sim::{SimConfig, Simulator};
+use vod_workloads::NeverOwnedAttack;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E10 exp_lower_bound — constant catalog below the threshold",
+        "u < 1 and m > d·c ⇒ the never-owned adversary defeats every allocation (Sec. 1.3)",
+        scale,
+    );
+    let spec = base_spec(scale);
+    let cap = spec.d as usize * spec.c as usize; // d·c possession cap
+
+    let mut table = Table::new(
+        "Never-owned adversary vs catalog size",
+        &[
+            "u",
+            "catalog m",
+            "m ≤ d·c ?",
+            "allocation",
+            "adversary has leverage",
+            "all rounds feasible",
+        ],
+    );
+
+    for &u in &[0.6, 0.8, 0.95] {
+        for &m in &[cap / 2, cap, cap + spec.c as usize, 2 * cap, 4 * cap] {
+            // Below the cap use full replication (the only strategy that can
+            // work); above it fall back to the random allocation (nothing can
+            // work, per the impossibility argument).
+            let full_replication_possible = m <= cap;
+            let params = SystemParams::new(spec.n, u, spec.d, spec.c, 1, spec.mu, spec.duration);
+            let mut rng = StdRng::seed_from_u64(31);
+            let allocator: Box<dyn Allocator> = if full_replication_possible {
+                Box::new(FullReplicationAllocator::new())
+            } else {
+                Box::new(RandomPermutationAllocator::new(1))
+            };
+            let system = match VideoSystem::homogeneous_with_catalog(
+                params,
+                m,
+                allocator.as_ref(),
+                &mut rng,
+            ) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let mut attack = NeverOwnedAttack::new(system.placement(), system.catalog(), spec.mu);
+            let leverage = !attack.is_toothless();
+            let report = Simulator::new(&system, SimConfig::new(spec.rounds)).run(&mut attack);
+            let check = LowerBoundCheck::evaluate(spec.n, u, spec.d as f64, spec.c, m);
+            table.push_row(vec![
+                format!("{u:.2}"),
+                m.to_string(),
+                check.full_possession_possible.to_string(),
+                allocator.name().into(),
+                leverage.to_string(),
+                report.all_rounds_feasible().to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "(n = {}, d = {}, c = {}, cap d·c = {}; k = 1 above the cap)",
+        spec.n, spec.d, spec.c, cap
+    );
+}

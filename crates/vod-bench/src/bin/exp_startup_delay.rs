@@ -1,0 +1,110 @@
+//! E8 — Start-up delay of the preloading strategies.
+//!
+//! The homogeneous preloading strategy gives a constant 3-round start-up
+//! delay; the heterogeneous relaying strategy doubles the request time scale
+//! (4 rounds for rich boxes, 5 for relayed poor boxes). This experiment
+//! measures the delay distribution under Zipf traffic plus a flash crowd.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_analysis::{quantile, Table};
+use vod_bench::{base_spec, build_system, print_header, Scale};
+use vod_core::{
+    Bandwidth, Catalog, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem,
+};
+use vod_sim::{SimConfig, SimulationReport, Simulator};
+use vod_workloads::{DemandGenerator, FlashCrowd, Popularity, PoissonDemand};
+
+fn delays(report: &SimulationReport) -> Vec<f64> {
+    report
+        .playbacks
+        .iter()
+        .map(|p| p.startup_delay as f64)
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E8 exp_startup_delay — start-up delay of the preloading strategies",
+        "3-round start-up in the homogeneous case; bounded (doubled time scale) with relaying (Sec. 3 & 4)",
+        scale,
+    );
+    let spec = base_spec(scale);
+    let rounds = spec.rounds + 40;
+
+    let mut table = Table::new(
+        "Start-up delay distribution (rounds)",
+        &["system", "workload", "playbacks", "mean", "p50", "p99", "max"],
+    );
+
+    // Homogeneous, two workloads.
+    let system = build_system(&spec, 3);
+    let workloads: Vec<(&str, Box<dyn DemandGenerator>)> = vec![
+        (
+            "poisson+zipf",
+            Box::new(PoissonDemand::new(
+                system.m(),
+                spec.n as f64 / 8.0,
+                Popularity::Zipf(0.9),
+                spec.mu,
+                4,
+            )),
+        ),
+        (
+            "flash crowd",
+            Box::new(FlashCrowd::single(VideoId(0), spec.n, system.m(), spec.mu, 5)),
+        ),
+    ];
+    for (name, mut gen) in workloads {
+        let report = Simulator::new(&system, SimConfig::new(rounds)).run(gen.as_mut());
+        let d = delays(&report);
+        table.push_row(vec![
+            "homogeneous".into(),
+            name.into(),
+            d.len().to_string(),
+            format!("{:.2}", report.mean_startup_delay()),
+            format!("{:.0}", quantile(&d, 0.5)),
+            format!("{:.0}", quantile(&d, 0.99)),
+            format!("{}", report.max_startup_delay()),
+        ]);
+    }
+
+    // Heterogeneous fleet with relaying: half poor, half rich.
+    let c: u16 = 8;
+    let mut uploads = vec![0.6f64; spec.n / 2];
+    uploads.extend(vec![2.6f64; spec.n - spec.n / 2]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let d_avg = boxes.average_storage_videos(c);
+    let avg_u = boxes.average_upload();
+    let m = ((d_avg * spec.n as f64) / 3.0).floor() as usize;
+    let params = SystemParams::new(spec.n, avg_u, d_avg.round() as u32, c, 3, 1.2, spec.duration);
+    let mut rng = StdRng::seed_from_u64(6);
+    let hetero = VideoSystem::heterogeneous(
+        params,
+        boxes,
+        Catalog::uniform(m, spec.duration, c),
+        &RandomPermutationAllocator::new(3),
+        Some(Bandwidth::from_streams(1.2)),
+        &mut rng,
+    )
+    .expect("balanced fleet");
+    let mut gen = PoissonDemand::new(m, spec.n as f64 / 8.0, Popularity::Zipf(0.9), 1.2, 7);
+    let report = Simulator::new(&hetero, SimConfig::new(rounds)).run(&mut gen);
+    let d = delays(&report);
+    table.push_row(vec![
+        "heterogeneous (relayed)".into(),
+        "poisson+zipf".into(),
+        d.len().to_string(),
+        format!("{:.2}", report.mean_startup_delay()),
+        format!("{:.0}", quantile(&d, 0.5)),
+        format!("{:.0}", quantile(&d, 0.99)),
+        format!("{}", report.max_startup_delay()),
+    ]);
+
+    println!("{}", table.to_markdown());
+    println!(
+        "(n = {}, homogeneous u = {}, heterogeneous mix 0.6/2.6 streams, {} rounds)",
+        spec.n, spec.u, rounds
+    );
+}

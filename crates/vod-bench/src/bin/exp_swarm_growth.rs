@@ -1,0 +1,53 @@
+//! E4 — Swarm growth µ versus the stripe-count condition c > (2µ²−1)/(u−1).
+//!
+//! For each (µ, c) pair, a maximal-growth flash crowd is simulated; the paper
+//! predicts feasibility once c clears the threshold (Theorem 1 / Lemma 2's
+//! preloading argument), and increasingly frequent stalls below it.
+
+use vod_analysis::{estimate_failure_probability, theorem1, Table, TrialSpec, WorkloadKind};
+use vod_bench::{base_spec, print_header, search_config, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E4 exp_swarm_growth — stripe count needed to absorb swarm growth",
+        "c > (2µ²−1)/(u−1) suffices for maximal-growth crowds (Thm 1, Lemma 2)",
+        scale,
+    );
+    let spec = TrialSpec {
+        u: 1.5,
+        k: 4,
+        ..base_spec(scale)
+    };
+    let config = search_config(scale);
+
+    let mut table = Table::new(
+        "Flash-crowd failure rate vs (µ, c)",
+        &["µ", "c_min (Thm 1)", "c", "fail rate", "mean service ratio"],
+    );
+    for &mu in &[1.1, 1.3, 1.5, 1.8] {
+        let c_min = theorem1::min_stripes(spec.u, mu).unwrap();
+        for &c in &[2u16, 4, 8, 16] {
+            let point = TrialSpec { mu, c, ..spec };
+            let est = estimate_failure_probability(
+                &point,
+                WorkloadKind::FlashCrowd,
+                config.trials_per_point,
+                config.base_seed,
+                config.threads,
+            );
+            table.push_row(vec![
+                format!("{mu:.1}"),
+                c_min.to_string(),
+                c.to_string(),
+                format!("{:.2}", est.failure_rate),
+                format!("{:.3}", est.mean_service_ratio),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "(n = {}, u = {}, d = {}, k = {}; crowd = whole fleet on one video at growth µ)",
+        spec.n, spec.u, spec.d, spec.k
+    );
+}

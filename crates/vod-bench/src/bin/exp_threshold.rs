@@ -1,0 +1,72 @@
+//! E1 — The upload threshold at u = 1.
+//!
+//! Sweeps the normalized upload capacity across the threshold and measures,
+//! by Monte-Carlo over random permutation allocations, whether adversarial
+//! demand families can always be served. Below u = 1 the never-owned
+//! adversary wins whenever the catalog exceeds d·c; above it, a linear-size
+//! catalog (d·n/k) is served.
+
+use vod_analysis::{estimate_failure_probability, Table, TrialSpec, WorkloadKind};
+use vod_bench::{base_spec, print_header, search_config, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E1 exp_threshold — scalability threshold at u = 1",
+        "u < 1 ⇒ catalog O(1); u > 1 ⇒ catalog Ω(n) serves any admissible demand (Sec. 1.3 + Thm 1)",
+        scale,
+    );
+    let spec = base_spec(scale);
+    let config = search_config(scale);
+    let trials = config.trials_per_point;
+
+    let mut table = Table::new(
+        "Failure probability of a random allocation vs upload capacity",
+        &[
+            "u",
+            "catalog m",
+            "never-owned fail rate",
+            "flash-crowd fail rate",
+            "sequential fail rate",
+            "mean service ratio (seq)",
+        ],
+    );
+
+    for &u in &[0.6, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0] {
+        let point = TrialSpec { u, ..spec };
+        let never = estimate_failure_probability(
+            &point,
+            WorkloadKind::NeverOwned,
+            trials,
+            config.base_seed,
+            config.threads,
+        );
+        let flash = estimate_failure_probability(
+            &point,
+            WorkloadKind::FlashCrowd,
+            trials,
+            config.base_seed + 1000,
+            config.threads,
+        );
+        let seq = estimate_failure_probability(
+            &point,
+            WorkloadKind::Sequential,
+            trials,
+            config.base_seed + 2000,
+            config.threads,
+        );
+        table.push_row(vec![
+            format!("{u:.2}"),
+            point.catalog_size().to_string(),
+            format!("{:.2}", never.failure_rate),
+            format!("{:.2}", flash.failure_rate),
+            format!("{:.2}", seq.failure_rate),
+            format!("{:.3}", seq.mean_service_ratio),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "(n = {}, d = {}, c = {}, k = {}, µ = {}, {} trials per point)",
+        spec.n, spec.d, spec.c, spec.k, spec.mu, trials
+    );
+}

@@ -1,0 +1,61 @@
+//! E5 — Quality / catalog trade-off as u → 1⁺.
+//!
+//! The conclusion of the paper observes that for a fixed physical uplink,
+//! raising the video bitrate pushes the normalized capacity u towards 1 and
+//! the achievable catalog collapses like (u−1)²·log((u+1)/2) ~ (u−1)³. This
+//! experiment tabulates the analytic bound, its cubic asymptote, and the
+//! catalog the simulator actually sustains.
+
+use vod_analysis::{max_feasible_catalog, theorem1, Table, TrialSpec, WorkloadKind};
+use vod_bench::{base_spec, print_header, search_config, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E5 exp_tradeoff — catalog collapse as u → 1 (video quality trade-off)",
+        "catalog bound ∝ (u−1)² log((u+1)/2) ~ (u−1)³ near the threshold (Conclusion)",
+        scale,
+    );
+    let spec = base_spec(scale);
+    let config = search_config(scale);
+    let n_ref = 10_000usize; // reference fleet for the analytic columns
+
+    let mut table = Table::new(
+        "Catalog vs normalized upload capacity",
+        &[
+            "u",
+            "Thm 1 bound (n = 10000)",
+            "(u-1)^3 × scale",
+            "measured max m (simulated n)",
+            "measured m / storage limit",
+        ],
+    );
+    // Normalize the cubic shape so it matches the bound at u = 2.
+    let bound_at_2 = theorem1::catalog_bound(n_ref, 2.0, spec.d as f64, spec.mu);
+    let cubic_scale = bound_at_2 / theorem1::tradeoff_asymptotic(2.0);
+
+    for &u in &[1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2.0, 2.5] {
+        let bound = theorem1::catalog_bound(n_ref, u, spec.d as f64, spec.mu);
+        let cubic = theorem1::tradeoff_asymptotic(u) * cubic_scale;
+        let point = TrialSpec { u, ..spec };
+        let storage_limit = point.catalog_size();
+        let measured = max_feasible_catalog(
+            &point,
+            WorkloadKind::Sequential,
+            storage_limit,
+            &config,
+        );
+        table.push_row(vec![
+            format!("{u:.2}"),
+            format!("{bound:.0}"),
+            format!("{cubic:.0}"),
+            measured.to_string(),
+            format!("{:.2}", measured as f64 / storage_limit as f64),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "(simulated fleet n = {}, d = {}, c = {}, k = {}, µ = {}; analytic columns use n = {n_ref})",
+        spec.n, spec.d, spec.c, spec.k, spec.mu
+    );
+}

@@ -1,0 +1,309 @@
+//! Static allocation of stripe replicas onto boxes.
+//!
+//! An *allocation* (Section 2.1) stores `k` replicas of every stripe into the
+//! catalog storage of the boxes, once and for all — only the playback caches
+//! change over time. This module defines the [`Placement`] produced by an
+//! allocation, the [`Allocator`] trait, and the concrete allocation schemes:
+//!
+//! * [`RandomPermutationAllocator`] — the paper's random permutation
+//!   allocation (each box ends up with exactly `d_b·c` replicas);
+//! * [`RandomIndependentAllocator`] — the paper's random independent
+//!   allocation (boxes drawn with probability proportional to storage);
+//! * [`RoundRobinAllocator`] — a deterministic striping baseline;
+//! * [`FullReplicationAllocator`] — the constant-catalog baseline in which
+//!   every box stores a portion of every video (the `u < 1` regime and the
+//!   Push-to-Peer-style comparator).
+
+mod full_replication;
+mod independent;
+mod permutation;
+mod round_robin;
+
+pub use full_replication::FullReplicationAllocator;
+pub use independent::RandomIndependentAllocator;
+pub use permutation::RandomPermutationAllocator;
+pub use round_robin::RoundRobinAllocator;
+
+use crate::catalog::Catalog;
+use crate::error::CoreError;
+use crate::node::{BoxId, BoxSet};
+use crate::video::{StripeId, VideoId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The result of an allocation: which box stores which stripes.
+///
+/// Serialization only persists the per-box stripe lists (JSON cannot key maps
+/// by structured stripe identifiers); the holder index is rebuilt on
+/// deserialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(into = "PlacementRepr", from = "PlacementRepr")]
+pub struct Placement {
+    /// Stripes stored by each box (catalog storage, not the playback cache).
+    /// A stripe appears at most once per box; duplicate draws are counted in
+    /// `wasted_slots` instead.
+    per_box: Vec<Vec<StripeId>>,
+    /// Boxes holding each stripe (deduplicated, insertion order).
+    holders: HashMap<StripeId, Vec<BoxId>>,
+    /// Slots lost to duplicate replica draws (same stripe drawn twice for the
+    /// same box). Only random allocations can produce these.
+    wasted_slots: usize,
+}
+
+/// Serde mirror of [`Placement`] without the derived holder index.
+#[derive(Clone, Serialize, Deserialize)]
+struct PlacementRepr {
+    per_box: Vec<Vec<StripeId>>,
+    wasted_slots: usize,
+}
+
+impl From<Placement> for PlacementRepr {
+    fn from(p: Placement) -> Self {
+        PlacementRepr {
+            per_box: p.per_box,
+            wasted_slots: p.wasted_slots,
+        }
+    }
+}
+
+impl From<PlacementRepr> for Placement {
+    fn from(repr: PlacementRepr) -> Self {
+        let mut placement = Placement::empty(repr.per_box.len());
+        for (idx, stripes) in repr.per_box.iter().enumerate() {
+            for &stripe in stripes {
+                placement.add(BoxId(idx as u32), stripe);
+            }
+        }
+        // Duplicate draws were already deduplicated before serialization, so
+        // re-adding cannot create new waste; restore the recorded figure.
+        placement.wasted_slots = repr.wasted_slots;
+        placement
+    }
+}
+
+impl Placement {
+    /// An empty placement over `n` boxes.
+    pub fn empty(n: usize) -> Self {
+        Placement {
+            per_box: vec![Vec::new(); n],
+            holders: HashMap::new(),
+            wasted_slots: 0,
+        }
+    }
+
+    /// Number of boxes the placement spans.
+    pub fn box_count(&self) -> usize {
+        self.per_box.len()
+    }
+
+    /// Records that `box_id` stores a replica of `stripe`.
+    ///
+    /// Returns `true` if the replica was new for this box, `false` if the box
+    /// already stored the stripe (the slot is then counted as wasted).
+    pub fn add(&mut self, box_id: BoxId, stripe: StripeId) -> bool {
+        let list = &mut self.per_box[box_id.index()];
+        if list.contains(&stripe) {
+            self.wasted_slots += 1;
+            return false;
+        }
+        list.push(stripe);
+        self.holders.entry(stripe).or_default().push(box_id);
+        true
+    }
+
+    /// The boxes storing a replica of `stripe` (possibly empty).
+    pub fn holders_of(&self, stripe: StripeId) -> &[BoxId] {
+        self.holders.get(&stripe).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The stripes stored by `box_id`.
+    pub fn stored_by(&self, box_id: BoxId) -> &[StripeId] {
+        &self.per_box[box_id.index()]
+    }
+
+    /// True when `box_id` stores a replica of `stripe`.
+    pub fn stores(&self, box_id: BoxId, stripe: StripeId) -> bool {
+        self.holders_of(stripe).contains(&box_id)
+    }
+
+    /// True when `box_id` stores at least one stripe of `video`.
+    pub fn stores_any_of(&self, box_id: BoxId, video: VideoId, c: u16) -> bool {
+        (0..c).any(|i| self.stores(box_id, StripeId::new(video, i)))
+    }
+
+    /// Number of stripe replicas stored by `box_id` (its storage load).
+    pub fn box_load(&self, box_id: BoxId) -> usize {
+        self.per_box[box_id.index()].len()
+    }
+
+    /// The maximum storage load over all boxes.
+    pub fn max_load(&self) -> usize {
+        self.per_box.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The minimum storage load over all boxes.
+    pub fn min_load(&self) -> usize {
+        self.per_box.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Total number of (deduplicated) replicas placed.
+    pub fn total_replicas(&self) -> usize {
+        self.per_box.iter().map(Vec::len).sum()
+    }
+
+    /// Slots lost to duplicate draws.
+    pub fn wasted_slots(&self) -> usize {
+        self.wasted_slots
+    }
+
+    /// Number of distinct boxes holding `stripe` (its replication level).
+    pub fn replica_count(&self, stripe: StripeId) -> usize {
+        self.holders_of(stripe).len()
+    }
+
+    /// Iterator over `(stripe, holders)` pairs.
+    pub fn stripes(&self) -> impl Iterator<Item = (StripeId, &[BoxId])> {
+        self.holders.iter().map(|(&s, h)| (s, h.as_slice()))
+    }
+
+    /// Checks that the placement respects every box's storage capacity and
+    /// that every catalog stripe has at least `min_replicas` replicas.
+    pub fn validate(
+        &self,
+        boxes: &BoxSet,
+        catalog: &Catalog,
+        min_replicas: usize,
+    ) -> Result<(), CoreError> {
+        for b in boxes.iter() {
+            let load = self.box_load(b.id);
+            if load > b.storage.slots() as usize {
+                return Err(CoreError::InvalidParams(format!(
+                    "box {} stores {} replicas but has only {} slots",
+                    b.id,
+                    load,
+                    b.storage.slots()
+                )));
+            }
+        }
+        for stripe in catalog.stripes() {
+            if self.replica_count(stripe) < min_replicas {
+                return Err(CoreError::InvalidParams(format!(
+                    "stripe {stripe} has {} replicas, expected at least {min_replicas}",
+                    self.replica_count(stripe)
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A scheme for statically placing stripe replicas onto boxes.
+pub trait Allocator {
+    /// Builds a placement of the catalog onto the boxes.
+    ///
+    /// Deterministic allocators ignore `rng`.
+    fn allocate(
+        &self,
+        boxes: &BoxSet,
+        catalog: &Catalog,
+        rng: &mut dyn RngCore,
+    ) -> Result<Placement, CoreError>;
+
+    /// A short human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Checks there is enough aggregate storage for `k` replicas of every stripe,
+/// shared by the replica-placing allocators.
+pub(crate) fn check_capacity(
+    boxes: &BoxSet,
+    catalog: &Catalog,
+    replication: u32,
+) -> Result<(), CoreError> {
+    let required = catalog.stripe_count() * replication as usize;
+    let available = boxes.total_storage().slots() as usize;
+    if required > available {
+        return Err(CoreError::InsufficientStorage {
+            required_slots: required,
+            available_slots: available,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{Bandwidth, StorageSlots};
+
+    fn tiny_boxes() -> BoxSet {
+        BoxSet::homogeneous(3, Bandwidth::ONE_STREAM, StorageSlots::from_slots(4))
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut p = Placement::empty(3);
+        let s = StripeId::new(VideoId(0), 0);
+        assert!(p.add(BoxId(1), s));
+        assert!(p.stores(BoxId(1), s));
+        assert!(!p.stores(BoxId(0), s));
+        assert_eq!(p.holders_of(s), &[BoxId(1)]);
+        assert_eq!(p.box_load(BoxId(1)), 1);
+        assert_eq!(p.replica_count(s), 1);
+    }
+
+    #[test]
+    fn duplicate_adds_count_as_wasted() {
+        let mut p = Placement::empty(2);
+        let s = StripeId::new(VideoId(0), 0);
+        assert!(p.add(BoxId(0), s));
+        assert!(!p.add(BoxId(0), s));
+        assert_eq!(p.wasted_slots(), 1);
+        assert_eq!(p.box_load(BoxId(0)), 1);
+        assert_eq!(p.replica_count(s), 1);
+    }
+
+    #[test]
+    fn stores_any_of_checks_all_stripes() {
+        let mut p = Placement::empty(1);
+        p.add(BoxId(0), StripeId::new(VideoId(2), 3));
+        assert!(p.stores_any_of(BoxId(0), VideoId(2), 4));
+        assert!(!p.stores_any_of(BoxId(0), VideoId(1), 4));
+    }
+
+    #[test]
+    fn validate_detects_overload_and_missing_replicas() {
+        let boxes = tiny_boxes();
+        let catalog = Catalog::uniform(2, 60, 2);
+        let mut p = Placement::empty(3);
+        // Under-replicated: no replicas at all.
+        assert!(p.validate(&boxes, &catalog, 1).is_err());
+        // Fill each stripe once, spread across boxes.
+        for (i, s) in catalog.stripes().enumerate() {
+            p.add(BoxId((i % 3) as u32), s);
+        }
+        assert!(p.validate(&boxes, &catalog, 1).is_ok());
+        // Overload box 0 beyond its 4 slots.
+        for v in 10..20u32 {
+            p.add(BoxId(0), StripeId::new(VideoId(v), 0));
+        }
+        assert!(p.validate(&boxes, &catalog, 1).is_err());
+    }
+
+    #[test]
+    fn capacity_check() {
+        let boxes = tiny_boxes(); // 12 slots total
+        let catalog = Catalog::uniform(3, 60, 2); // 6 stripes
+        assert!(check_capacity(&boxes, &catalog, 2).is_ok()); // 12 ≤ 12
+        assert!(check_capacity(&boxes, &catalog, 3).is_err()); // 18 > 12
+    }
+
+    #[test]
+    fn load_extremes_on_empty_placement() {
+        let p = Placement::empty(0);
+        assert_eq!(p.max_load(), 0);
+        assert_eq!(p.min_load(), 0);
+        assert_eq!(p.total_replicas(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The playback cache.
+//!
+//! Besides its statically allocated catalog storage, each box keeps the data
+//! it most recently played, up to one video file size (Section 1.1). In the
+//! round-based model this means: a box that issued a request for stripe `s`
+//! at time `t_j` still possesses the data of `s` at position `t − t_j` at any
+//! later time `t` with `t − T ≤ t_j` (it has been downloading the stripe
+//! since `t_j`, and cache entries older than `T` rounds have been evicted).
+//!
+//! For the heterogeneous relaying strategy of Section 4, a rich box `r(b)`
+//! also caches the stripes it *forwards* to its poor box `b`; those entries
+//! obey the same window semantics, keyed by the forwarding start time.
+
+use crate::video::StripeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The sliding-window playback cache of one box.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaybackCache {
+    /// For each stripe held in the cache, the round at which this box started
+    /// downloading it (its own request time, or the forwarding start time for
+    /// relayed stripes). If the same stripe is downloaded again later the
+    /// most recent start time wins, matching "data most recently viewed".
+    entries: HashMap<StripeId, u64>,
+}
+
+impl PlaybackCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlaybackCache::default()
+    }
+
+    /// Records that this box starts downloading (and therefore caching)
+    /// stripe `stripe` at round `start`.
+    pub fn insert(&mut self, stripe: StripeId, start: u64) {
+        let slot = self.entries.entry(stripe).or_insert(start);
+        if *slot < start {
+            *slot = start;
+        }
+    }
+
+    /// Drops every entry whose download started strictly more than `window`
+    /// rounds before `now` (the cache holds at most one video file, i.e. `T`
+    /// rounds of data).
+    pub fn evict_older_than(&mut self, now: u64, window: u64) {
+        self.entries
+            .retain(|_, &mut start| start + window >= now);
+    }
+
+    /// The round at which this box started downloading `stripe`, if the
+    /// stripe is currently cached.
+    pub fn start_of(&self, stripe: StripeId) -> Option<u64> {
+        self.entries.get(&stripe).copied()
+    }
+
+    /// True when this cache can serve, at time `now`, a request for `stripe`
+    /// that was itself issued at `request_time` (so the requester currently
+    /// needs data at position `now − request_time`).
+    ///
+    /// Following Section 2.2: the cache holder must have started downloading
+    /// the stripe *before* the requester (`start < request_time`) and within
+    /// the last `window = T` rounds (`now − T ≤ start`), so that it has
+    /// already played — and still caches — the position the requester needs.
+    pub fn can_serve(&self, stripe: StripeId, request_time: u64, now: u64, window: u64) -> bool {
+        match self.entries.get(&stripe) {
+            None => false,
+            Some(&start) => start < request_time && start + window >= now,
+        }
+    }
+
+    /// Number of stripes currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over the cached stripes and their download start rounds.
+    pub fn iter(&self) -> impl Iterator<Item = (StripeId, u64)> + '_ {
+        self.entries.iter().map(|(&s, &t)| (s, t))
+    }
+
+    /// Removes every entry (e.g. when simulating a box reboot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoId;
+
+    fn s(v: u32, i: u16) -> StripeId {
+        StripeId::new(VideoId(v), i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = PlaybackCache::new();
+        c.insert(s(0, 1), 10);
+        assert_eq!(c.start_of(s(0, 1)), Some(10));
+        assert_eq!(c.start_of(s(0, 2)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_keeps_most_recent_start() {
+        let mut c = PlaybackCache::new();
+        c.insert(s(0, 0), 10);
+        c.insert(s(0, 0), 5); // older download must not overwrite
+        assert_eq!(c.start_of(s(0, 0)), Some(10));
+        c.insert(s(0, 0), 20);
+        assert_eq!(c.start_of(s(0, 0)), Some(20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_respects_window() {
+        let mut c = PlaybackCache::new();
+        c.insert(s(0, 0), 0);
+        c.insert(s(1, 0), 50);
+        c.insert(s(2, 0), 100);
+        c.evict_older_than(100, 60);
+        // start 0: 0 + 60 < 100 -> evicted. start 50: 110 ≥ 100 -> kept.
+        assert!(c.start_of(s(0, 0)).is_none());
+        assert!(c.start_of(s(1, 0)).is_some());
+        assert!(c.start_of(s(2, 0)).is_some());
+    }
+
+    #[test]
+    fn can_serve_requires_earlier_start_and_fresh_window() {
+        let mut c = PlaybackCache::new();
+        c.insert(s(0, 0), 40);
+        let window = 100;
+        // Requester asked at t=50, now t=60: holder started at 40 < 50, fresh.
+        assert!(c.can_serve(s(0, 0), 50, 60, window));
+        // Holder started at the same time as the requester: cannot serve.
+        assert!(!c.can_serve(s(0, 0), 40, 60, window));
+        // Holder started after the requester: cannot serve.
+        assert!(!c.can_serve(s(0, 0), 30, 60, window));
+        // Too old: now = 141 > start + window = 140.
+        assert!(!c.can_serve(s(0, 0), 50, 141, window));
+        // Unknown stripe.
+        assert!(!c.can_serve(s(9, 0), 50, 60, window));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = PlaybackCache::new();
+        c.insert(s(0, 0), 1);
+        c.insert(s(0, 1), 2);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Fixed-point representation of upload bandwidth and storage capacity.
+//!
+//! The paper normalizes every bandwidth by the video bitrate: a box with
+//! `u = 1` can upload exactly one full video stream in real time. All of the
+//! feasibility arguments (Lemma 1's Hall-type condition, the min-cut
+//! computation) compare sums of box capacities against multiples of the
+//! stripe rate `1/c`. Using `f64` there would make the feasibility predicate
+//! depend on rounding noise exactly at the threshold the paper studies, so we
+//! store bandwidth as an integer number of *millistreams* (1/1000 of a video
+//! stream) and convert to integer stripe slots with explicit floor semantics
+//! (`⌊u·c⌋`, as in the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of fixed-point units per unit video stream rate.
+pub const MILLIS_PER_STREAM: u64 = 1_000;
+
+/// Normalized upload bandwidth of a box, in units of the video stream rate.
+///
+/// Internally stored as an integer count of millistreams so that capacity
+/// arithmetic (sums, comparisons against `|X|/c`) is exact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Zero upload capacity (a pure client box).
+    pub const ZERO: Bandwidth = Bandwidth(0);
+    /// Exactly one video stream rate (`u = 1`), the scalability threshold.
+    pub const ONE_STREAM: Bandwidth = Bandwidth(MILLIS_PER_STREAM);
+
+    /// Builds a bandwidth from a number of video streams.
+    ///
+    /// Values are truncated to millistream precision. Negative or non-finite
+    /// inputs saturate to zero.
+    pub fn from_streams(streams: f64) -> Self {
+        if !streams.is_finite() || streams <= 0.0 {
+            return Bandwidth(0);
+        }
+        Bandwidth((streams * MILLIS_PER_STREAM as f64).round() as u64)
+    }
+
+    /// Builds a bandwidth from an integer number of millistreams.
+    pub const fn from_millis(millis: u64) -> Self {
+        Bandwidth(millis)
+    }
+
+    /// The raw millistream count.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// The bandwidth expressed in video streams (lossless up to 2^53 millis).
+    pub fn as_streams(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_STREAM as f64
+    }
+
+    /// Number of whole stripes this bandwidth can upload simultaneously when
+    /// videos are cut into `c` stripes of rate `1/c` each: `⌊u·c⌋`.
+    ///
+    /// This is the *effective* upload capacity `u′·c` used throughout the
+    /// paper ("When the upload capacity of box b is not a multiple of 1/c, it
+    /// can only upload ⌊u_b·c⌋ stripes").
+    pub fn stripe_slots(self, c: u16) -> u32 {
+        debug_assert!(c > 0, "stripe count must be positive");
+        ((self.0 * c as u64) / MILLIS_PER_STREAM) as u32
+    }
+
+    /// Effective upload capacity `u′ = ⌊u·c⌋ / c` as a bandwidth value.
+    pub fn effective(self, c: u16) -> Bandwidth {
+        Bandwidth(self.stripe_slots(c) as u64 * MILLIS_PER_STREAM / c as u64)
+    }
+
+    /// True when this box cannot even sustain one full stream (`u < 1`).
+    pub fn is_deficient(self) -> bool {
+        self.0 < MILLIS_PER_STREAM
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: Bandwidth) -> Option<Bandwidth> {
+        self.0.checked_sub(other.0).map(Bandwidth)
+    }
+
+    /// Multiplies the bandwidth by an integer factor.
+    pub fn scale(self, factor: u64) -> Bandwidth {
+        Bandwidth(self.0 * factor)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        Bandwidth(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}u", self.as_streams())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_streams())
+    }
+}
+
+/// Storage capacity of a box, measured in stripe slots.
+///
+/// The paper measures storage `d` in whole videos; with `c` stripes per video
+/// a box with storage `d` videos has `d·c` stripe slots. Keeping the slot
+/// count integral lets the permutation allocation fill boxes exactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct StorageSlots(u32);
+
+impl StorageSlots {
+    /// No storage at all.
+    pub const ZERO: StorageSlots = StorageSlots(0);
+
+    /// Builds a storage capacity from a whole number of videos.
+    pub const fn from_videos(videos: u32, c: u16) -> Self {
+        StorageSlots(videos * c as u32)
+    }
+
+    /// Builds a storage capacity from a raw stripe-slot count.
+    pub const fn from_slots(slots: u32) -> Self {
+        StorageSlots(slots)
+    }
+
+    /// Number of stripe slots.
+    pub const fn slots(self) -> u32 {
+        self.0
+    }
+
+    /// Storage expressed in videos (`slots / c`).
+    pub fn as_videos(self, c: u16) -> f64 {
+        self.0 as f64 / c as f64
+    }
+
+    /// Halves the capacity, rounding down (used by the Theorem 2 relaying
+    /// argument, which sacrifices at most half of a rich box's storage to
+    /// cache forwarded stripes).
+    pub fn halved(self) -> StorageSlots {
+        StorageSlots(self.0 / 2)
+    }
+}
+
+impl Add for StorageSlots {
+    type Output = StorageSlots;
+    fn add(self, rhs: StorageSlots) -> StorageSlots {
+        StorageSlots(self.0 + rhs.0)
+    }
+}
+
+impl Sum for StorageSlots {
+    fn sum<I: Iterator<Item = StorageSlots>>(iter: I) -> StorageSlots {
+        StorageSlots(iter.map(|s| s.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_streams_round_trips() {
+        let b = Bandwidth::from_streams(1.25);
+        assert_eq!(b.millis(), 1250);
+        assert!((b.as_streams() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_streams_saturates_bad_input() {
+        assert_eq!(Bandwidth::from_streams(-3.0), Bandwidth::ZERO);
+        assert_eq!(Bandwidth::from_streams(f64::NAN), Bandwidth::ZERO);
+        assert_eq!(Bandwidth::from_streams(f64::NEG_INFINITY), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn stripe_slots_floor_semantics() {
+        // u = 1.1, c = 4 -> ⌊4.4⌋ = 4 stripes.
+        assert_eq!(Bandwidth::from_streams(1.1).stripe_slots(4), 4);
+        // u = 1.25, c = 4 -> exactly 5.
+        assert_eq!(Bandwidth::from_streams(1.25).stripe_slots(4), 5);
+        // u = 0.999, c = 10 -> ⌊9.99⌋ = 9.
+        assert_eq!(Bandwidth::from_streams(0.999).stripe_slots(10), 9);
+    }
+
+    #[test]
+    fn effective_capacity_never_exceeds_nominal() {
+        for &(u, c) in &[(1.37, 7u16), (2.01, 3), (0.8, 5), (1.0, 9)] {
+            let b = Bandwidth::from_streams(u);
+            assert!(b.effective(c) <= b, "u={u} c={c}");
+        }
+    }
+
+    #[test]
+    fn threshold_classification() {
+        assert!(Bandwidth::from_streams(0.99).is_deficient());
+        assert!(!Bandwidth::ONE_STREAM.is_deficient());
+        assert!(!Bandwidth::from_streams(1.01).is_deficient());
+    }
+
+    #[test]
+    fn bandwidth_sum_and_ordering() {
+        let a = Bandwidth::from_streams(0.5);
+        let b = Bandwidth::from_streams(0.75);
+        assert_eq!(a + b, Bandwidth::from_streams(1.25));
+        assert!(a < b);
+        let total: Bandwidth = [a, b, Bandwidth::ONE_STREAM].into_iter().sum();
+        assert_eq!(total, Bandwidth::from_streams(2.25));
+    }
+
+    #[test]
+    fn storage_slots_from_videos() {
+        let s = StorageSlots::from_videos(10, 4);
+        assert_eq!(s.slots(), 40);
+        assert!((s.as_videos(4) - 10.0).abs() < 1e-12);
+        assert_eq!(s.halved().slots(), 20);
+    }
+
+    #[test]
+    fn checked_and_saturating_sub() {
+        let a = Bandwidth::from_streams(1.0);
+        let b = Bandwidth::from_streams(1.5);
+        assert_eq!(a.saturating_sub(b), Bandwidth::ZERO);
+        assert_eq!(b.saturating_sub(a), Bandwidth::from_streams(0.5));
+        assert!(a.checked_sub(b).is_none());
+        assert_eq!(b.checked_sub(a), Some(Bandwidth::from_streams(0.5)));
+    }
+}

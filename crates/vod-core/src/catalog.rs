@@ -1,0 +1,146 @@
+//! The video catalog: the `m` distinct videos stored in the system.
+//!
+//! Catalog *size* (`m`) is the quantity whose scalability the paper studies:
+//! a system is catalog-scalable when `m = Ω(n)` videos can be stored while
+//! still serving any admissible demand sequence.
+
+use crate::video::{StripeId, Video, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// The set of videos managed by the system.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    videos: Vec<Video>,
+    stripes_per_video: u16,
+}
+
+impl Catalog {
+    /// Builds a catalog of `m` videos, all with `duration_rounds` rounds of
+    /// playback and `c` stripes each.
+    pub fn uniform(m: usize, duration_rounds: u32, c: u16) -> Self {
+        assert!(c > 0, "stripe count must be positive");
+        let videos = (0..m)
+            .map(|i| Video::new(VideoId(i as u32), duration_rounds))
+            .collect();
+        Catalog {
+            videos,
+            stripes_per_video: c,
+        }
+    }
+
+    /// Builds a catalog from an explicit list of videos.
+    pub fn from_videos(videos: Vec<Video>, c: u16) -> Self {
+        assert!(c > 0, "stripe count must be positive");
+        Catalog {
+            videos,
+            stripes_per_video: c,
+        }
+    }
+
+    /// Number of distinct videos (`m`).
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// True when the catalog holds no videos.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Number of stripes each video is encoded into (`c`).
+    pub fn stripes_per_video(&self) -> u16 {
+        self.stripes_per_video
+    }
+
+    /// Total number of distinct stripes in the catalog (`m·c`).
+    pub fn stripe_count(&self) -> usize {
+        self.videos.len() * self.stripes_per_video as usize
+    }
+
+    /// The video with the given identifier, if it exists.
+    pub fn video(&self, id: VideoId) -> Option<&Video> {
+        self.videos.get(id.index())
+    }
+
+    /// Playback duration of a video, in rounds.
+    ///
+    /// # Panics
+    /// Panics if the video is not in the catalog.
+    pub fn duration(&self, id: VideoId) -> u32 {
+        self.videos[id.index()].duration_rounds
+    }
+
+    /// Iterator over all videos.
+    pub fn videos(&self) -> impl Iterator<Item = &Video> {
+        self.videos.iter()
+    }
+
+    /// Iterator over all video identifiers.
+    pub fn video_ids(&self) -> impl Iterator<Item = VideoId> + '_ {
+        self.videos.iter().map(|v| v.id)
+    }
+
+    /// Iterator over every stripe of every video, in global-index order.
+    pub fn stripes(&self) -> impl Iterator<Item = StripeId> + '_ {
+        let c = self.stripes_per_video;
+        self.videos.iter().flat_map(move |v| v.stripes(c))
+    }
+
+    /// Stripes of one video.
+    pub fn stripes_of(&self, id: VideoId) -> impl Iterator<Item = StripeId> + '_ {
+        let c = self.stripes_per_video;
+        (0..c).map(move |i| StripeId::new(id, i))
+    }
+
+    /// True when the stripe identifier addresses a stripe of this catalog.
+    pub fn contains_stripe(&self, stripe: StripeId) -> bool {
+        stripe.video.index() < self.videos.len() && stripe.index < self.stripes_per_video
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_catalog_counts() {
+        let c = Catalog::uniform(12, 90, 4);
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.stripes_per_video(), 4);
+        assert_eq!(c.stripe_count(), 48);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let c = Catalog::uniform(0, 90, 4);
+        assert!(c.is_empty());
+        assert_eq!(c.stripe_count(), 0);
+        assert_eq!(c.stripes().count(), 0);
+    }
+
+    #[test]
+    fn stripe_iteration_matches_global_index_order() {
+        let c = Catalog::uniform(3, 60, 5);
+        let all: Vec<_> = c.stripes().collect();
+        assert_eq!(all.len(), 15);
+        for (g, s) in all.iter().enumerate() {
+            assert_eq!(s.global_index(5), g);
+        }
+    }
+
+    #[test]
+    fn contains_stripe_bounds() {
+        let c = Catalog::uniform(2, 60, 3);
+        assert!(c.contains_stripe(StripeId::new(VideoId(1), 2)));
+        assert!(!c.contains_stripe(StripeId::new(VideoId(2), 0)));
+        assert!(!c.contains_stripe(StripeId::new(VideoId(0), 3)));
+    }
+
+    #[test]
+    fn duration_lookup() {
+        let c = Catalog::uniform(4, 123, 2);
+        assert_eq!(c.duration(VideoId(3)), 123);
+        assert!(c.video(VideoId(4)).is_none());
+    }
+}

@@ -1,0 +1,355 @@
+//! Upload compensation for heterogeneous systems (Section 4).
+//!
+//! When some boxes have upload below a threshold `u* > 1` ("poor" boxes),
+//! Theorem 2 requires the system to be `u*`-*upload-compensated*: every poor
+//! box `b` is assigned a rich relay box `r(b)` on which an upload capacity of
+//! `u* + 1 − 2·u_b` is statically reserved. Several poor boxes may share the
+//! same relay as long as `u_a ≥ u* + Σ_{b : r(b)=a} (u* + 1 − 2·u_b)`.
+//! It also requires the system to be `u*`-*storage-balanced*:
+//! `2 ≤ d_b/u_b ≤ d/u*` for every box.
+
+use crate::capacity::Bandwidth;
+use crate::error::CoreError;
+use crate::node::{BoxId, BoxSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The reservation a poor box needs on its relay: `u* + 1 − 2·u_b`
+/// (clamped at zero, although for a genuinely poor box it is positive).
+pub fn relay_reservation(u_star: Bandwidth, poor_upload: Bandwidth) -> Bandwidth {
+    (u_star + Bandwidth::ONE_STREAM).saturating_sub(poor_upload.scale(2))
+}
+
+/// The assignment of poor boxes to rich relays, with reserved capacities.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompensationPlan {
+    /// Relay box `r(b)` for each poor box `b`.
+    relay_of: HashMap<BoxId, BoxId>,
+    /// Total upload reserved on each rich box by its assigned poor boxes.
+    reserved_on: HashMap<BoxId, Bandwidth>,
+    /// The threshold `u*` used to build the plan.
+    u_star: Bandwidth,
+}
+
+impl CompensationPlan {
+    /// An empty plan (homogeneous systems, or systems with no poor box).
+    pub fn empty(u_star: Bandwidth) -> Self {
+        CompensationPlan {
+            relay_of: HashMap::new(),
+            reserved_on: HashMap::new(),
+            u_star,
+        }
+    }
+
+    /// The relay `r(b)` assigned to poor box `b`, if any.
+    pub fn relay(&self, poor: BoxId) -> Option<BoxId> {
+        self.relay_of.get(&poor).copied()
+    }
+
+    /// Total upload reserved on rich box `a` by its assigned poor boxes.
+    pub fn reserved(&self, rich: BoxId) -> Bandwidth {
+        self.reserved_on.get(&rich).copied().unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// The threshold `u*` this plan was built for.
+    pub fn u_star(&self) -> Bandwidth {
+        self.u_star
+    }
+
+    /// Number of poor boxes covered by the plan.
+    pub fn covered_poor(&self) -> usize {
+        self.relay_of.len()
+    }
+
+    /// Iterator over `(poor, relay)` pairs.
+    pub fn assignments(&self) -> impl Iterator<Item = (BoxId, BoxId)> + '_ {
+        self.relay_of.iter().map(|(&p, &r)| (p, r))
+    }
+
+    /// The poor boxes assigned to a given relay.
+    pub fn assigned_to(&self, rich: BoxId) -> Vec<BoxId> {
+        let mut v: Vec<BoxId> = self
+            .relay_of
+            .iter()
+            .filter(|&(_, &r)| r == rich)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Upload left on box `a` after subtracting its reservations.
+    pub fn residual_upload(&self, boxes: &BoxSet, a: BoxId) -> Bandwidth {
+        boxes.get(a).upload.saturating_sub(self.reserved(a))
+    }
+
+    /// Validates the plan against the paper's constraint: for every relay
+    /// `a`, `u_a ≥ u* + Σ reservations(a)`, and every poor box is covered.
+    pub fn validate(&self, boxes: &BoxSet) -> Result<(), CoreError> {
+        let poor = boxes.poor_ids(self.u_star);
+        let uncovered = poor
+            .iter()
+            .filter(|p| !self.relay_of.contains_key(p))
+            .count();
+        if uncovered > 0 {
+            return Err(CoreError::CompensationInfeasible {
+                unassigned_poor: uncovered,
+            });
+        }
+        for (&rich, &reserved) in &self.reserved_on {
+            let available = boxes.get(rich).upload;
+            if available < self.u_star + reserved {
+                return Err(CoreError::CompensationInfeasible {
+                    unassigned_poor: self.assigned_to(rich).len(),
+                });
+            }
+        }
+        // Relays must themselves be rich.
+        for (&poor, &rich) in &self.relay_of {
+            if boxes.get(rich).is_poor(self.u_star) {
+                return Err(CoreError::InvalidParams(format!(
+                    "poor box {poor} is relayed through {rich}, which is itself poor"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks the `u*`-storage-balance condition: `2 ≤ d_b/u_b ≤ d/u*` for every
+/// box with positive upload (boxes with zero upload trivially violate it).
+pub fn check_storage_balance(
+    boxes: &BoxSet,
+    c: u16,
+    u_star: Bandwidth,
+) -> Result<(), CoreError> {
+    let d = boxes.average_storage_videos(c);
+    let upper = d / u_star.as_streams();
+    for b in boxes.iter() {
+        match b.storage_upload_ratio(c) {
+            None => {
+                return Err(CoreError::StorageUnbalanced {
+                    box_id: b.id,
+                    ratio: f64::INFINITY,
+                })
+            }
+            Some(r) => {
+                if r < 2.0 - 1e-9 || r > upper + 1e-9 {
+                    return Err(CoreError::StorageUnbalanced {
+                        box_id: b.id,
+                        ratio: r,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds an upload-compensation plan with a first-fit-decreasing greedy
+/// assignment of poor boxes onto rich boxes.
+///
+/// Poor boxes are processed by decreasing reservation need; each is assigned
+/// to the rich box with the largest remaining headroom
+/// (`u_a − u* − already reserved`). Returns an error when some poor box
+/// cannot be placed — the system then is not `u*`-upload-compensable by this
+/// heuristic (first-fit-decreasing is not complete, but exhaustive search is
+/// exponential and the paper only needs existence under an average-capacity
+/// slack, which the greedy heuristic achieves in practice).
+pub fn compensate(boxes: &BoxSet, u_star: Bandwidth) -> Result<CompensationPlan, CoreError> {
+    let mut plan = CompensationPlan::empty(u_star);
+    let poor = boxes.poor_ids(u_star);
+    if poor.is_empty() {
+        return Ok(plan);
+    }
+    let rich = boxes.rich_ids(u_star);
+    if rich.is_empty() {
+        return Err(CoreError::CompensationInfeasible {
+            unassigned_poor: poor.len(),
+        });
+    }
+
+    // Remaining headroom on each rich box: u_a − u*.
+    let mut headroom: Vec<(BoxId, Bandwidth)> = rich
+        .iter()
+        .map(|&a| (a, boxes.get(a).upload.saturating_sub(u_star)))
+        .collect();
+
+    // Poor boxes by decreasing reservation need.
+    let mut needs: Vec<(BoxId, Bandwidth)> = poor
+        .iter()
+        .map(|&b| (b, relay_reservation(u_star, boxes.get(b).upload)))
+        .collect();
+    needs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut unassigned = 0usize;
+    for (poor_box, need) in needs {
+        // Best-fit: rich box with the most remaining headroom.
+        let best = headroom
+            .iter_mut()
+            .max_by_key(|(_, h)| *h)
+            .expect("rich boxes present");
+        if best.1 >= need {
+            best.1 = best.1.saturating_sub(need);
+            plan.relay_of.insert(poor_box, best.0);
+            let slot = plan.reserved_on.entry(best.0).or_insert(Bandwidth::ZERO);
+            *slot += need;
+        } else {
+            unassigned += 1;
+        }
+    }
+
+    if unassigned > 0 {
+        return Err(CoreError::CompensationInfeasible {
+            unassigned_poor: unassigned,
+        });
+    }
+    plan.validate(boxes)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::StorageSlots;
+    use crate::node::NodeBox;
+
+    fn mixed_population() -> BoxSet {
+        // 4 poor boxes at u=0.5 and 4 rich boxes at u=3.0; u* = 1.2.
+        // Reservation per poor box: 1.2 + 1 − 1.0 = 1.2.
+        // Headroom per rich box: 3.0 − 1.2 = 1.8 -> one poor box each fits.
+        let mut v = Vec::new();
+        for i in 0..4u32 {
+            v.push(NodeBox::new(
+                BoxId(i),
+                Bandwidth::from_streams(0.5),
+                StorageSlots::from_slots(8),
+            ));
+        }
+        for i in 4..8u32 {
+            v.push(NodeBox::new(
+                BoxId(i),
+                Bandwidth::from_streams(3.0),
+                StorageSlots::from_slots(48),
+            ));
+        }
+        BoxSet::new(v)
+    }
+
+    #[test]
+    fn relay_reservation_formula() {
+        let u_star = Bandwidth::from_streams(1.2);
+        let r = relay_reservation(u_star, Bandwidth::from_streams(0.5));
+        assert_eq!(r, Bandwidth::from_streams(1.2));
+        // Rich-ish box: clamped at 0 when 2·u_b exceeds u*+1.
+        let r = relay_reservation(u_star, Bandwidth::from_streams(2.0));
+        assert_eq!(r, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn compensation_succeeds_on_mixed_population() {
+        let boxes = mixed_population();
+        let u_star = Bandwidth::from_streams(1.2);
+        let plan = compensate(&boxes, u_star).unwrap();
+        assert_eq!(plan.covered_poor(), 4);
+        plan.validate(&boxes).unwrap();
+        // Every relay is rich and keeps at least u* residual upload.
+        for (_, relay) in plan.assignments() {
+            assert!(boxes.get(relay).is_rich(u_star));
+            assert!(plan.residual_upload(&boxes, relay) >= u_star);
+        }
+    }
+
+    #[test]
+    fn compensation_fails_without_rich_headroom() {
+        // Rich boxes barely at u*: no headroom to absorb reservations.
+        let mut v = Vec::new();
+        v.push(NodeBox::new(
+            BoxId(0),
+            Bandwidth::from_streams(0.5),
+            StorageSlots::from_slots(8),
+        ));
+        v.push(NodeBox::new(
+            BoxId(1),
+            Bandwidth::from_streams(1.2),
+            StorageSlots::from_slots(8),
+        ));
+        let boxes = BoxSet::new(v);
+        let err = compensate(&boxes, Bandwidth::from_streams(1.2)).unwrap_err();
+        assert!(matches!(err, CoreError::CompensationInfeasible { .. }));
+    }
+
+    #[test]
+    fn compensation_fails_with_no_rich_box() {
+        let boxes = BoxSet::homogeneous(
+            4,
+            Bandwidth::from_streams(0.9),
+            StorageSlots::from_slots(8),
+        );
+        assert!(matches!(
+            compensate(&boxes, Bandwidth::from_streams(1.1)),
+            Err(CoreError::CompensationInfeasible { unassigned_poor: 4 })
+        ));
+    }
+
+    #[test]
+    fn homogeneous_rich_population_needs_no_plan() {
+        let boxes = BoxSet::homogeneous(4, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8));
+        let plan = compensate(&boxes, Bandwidth::from_streams(1.2)).unwrap();
+        assert_eq!(plan.covered_poor(), 0);
+        plan.validate(&boxes).unwrap();
+    }
+
+    #[test]
+    fn storage_balance_check() {
+        let c = 4;
+        // d/u = 4 everywhere, d(avg) = 8, u* = 1.5 -> upper bound 8/1.5 ≈ 5.33.
+        let boxes = BoxSet::new(vec![
+            NodeBox::new(BoxId(0), Bandwidth::from_streams(1.0), StorageSlots::from_videos(4, c)),
+            NodeBox::new(BoxId(1), Bandwidth::from_streams(3.0), StorageSlots::from_videos(12, c)),
+        ]);
+        assert!(check_storage_balance(&boxes, c, Bandwidth::from_streams(1.5)).is_ok());
+        // Ratio below 2 violates the lower bound.
+        let bad = BoxSet::new(vec![NodeBox::new(
+            BoxId(0),
+            Bandwidth::from_streams(4.0),
+            StorageSlots::from_videos(4, c),
+        )]);
+        assert!(check_storage_balance(&bad, c, Bandwidth::from_streams(1.5)).is_err());
+        // Zero-upload box violates it too.
+        let zero = BoxSet::new(vec![NodeBox::new(
+            BoxId(0),
+            Bandwidth::ZERO,
+            StorageSlots::from_videos(4, c),
+        )]);
+        assert!(check_storage_balance(&zero, c, Bandwidth::from_streams(1.5)).is_err());
+    }
+
+    #[test]
+    fn multiple_poor_boxes_can_share_a_relay() {
+        // One very rich box absorbs all reservations.
+        let mut v = vec![NodeBox::new(
+            BoxId(0),
+            Bandwidth::from_streams(10.0),
+            StorageSlots::from_slots(100),
+        )];
+        for i in 1..4u32 {
+            v.push(NodeBox::new(
+                BoxId(i),
+                Bandwidth::from_streams(0.5),
+                StorageSlots::from_slots(8),
+            ));
+        }
+        let boxes = BoxSet::new(v);
+        let u_star = Bandwidth::from_streams(1.2);
+        let plan = compensate(&boxes, u_star).unwrap();
+        assert_eq!(plan.covered_poor(), 3);
+        assert_eq!(plan.assigned_to(BoxId(0)).len(), 3);
+        // Reserved = 3 * 1.2 = 3.6; residual = 10 − 3.6 = 6.4 ≥ u*.
+        assert_eq!(plan.reserved(BoxId(0)), Bandwidth::from_streams(3.6));
+        assert_eq!(
+            plan.residual_upload(&boxes, BoxId(0)),
+            Bandwidth::from_streams(6.4)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the core model.
+
+use std::fmt;
+
+/// Errors produced while building or validating a video system.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// A parameter combination is structurally invalid (zero sizes, µ < 1…).
+    InvalidParams(String),
+    /// The catalog cannot fit into the aggregate storage of the boxes.
+    InsufficientStorage {
+        /// Stripe replicas that must be placed (`k·m·c`).
+        required_slots: usize,
+        /// Stripe slots available across all boxes (`Σ d_b·c`).
+        available_slots: usize,
+    },
+    /// A random independent allocation failed to place a replica after the
+    /// configured number of retries (all drawn boxes were full).
+    AllocationOverflow {
+        /// The replica (stripe) that could not be placed.
+        stripe: crate::video::StripeId,
+    },
+    /// The heterogeneous system cannot be `u*`-upload-compensated: some poor
+    /// box cannot be assigned a rich relay with enough spare capacity.
+    CompensationInfeasible {
+        /// Number of poor boxes left without a relay.
+        unassigned_poor: usize,
+    },
+    /// The system violates the `u*`-storage-balance condition.
+    StorageUnbalanced {
+        /// Identifier of the offending box.
+        box_id: crate::node::BoxId,
+        /// Its `d_b/u_b` ratio.
+        ratio: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::InsufficientStorage {
+                required_slots,
+                available_slots,
+            } => write!(
+                f,
+                "catalog needs {required_slots} stripe slots but only {available_slots} are available"
+            ),
+            CoreError::AllocationOverflow { stripe } => {
+                write!(f, "could not place a replica of stripe {stripe}: all candidate boxes are full")
+            }
+            CoreError::CompensationInfeasible { unassigned_poor } => write!(
+                f,
+                "upload compensation infeasible: {unassigned_poor} poor box(es) cannot be relayed"
+            ),
+            CoreError::StorageUnbalanced { box_id, ratio } => write!(
+                f,
+                "box {box_id} violates the storage-balance condition (d_b/u_b = {ratio:.3})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BoxId;
+    use crate::video::{StripeId, VideoId};
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = CoreError::InsufficientStorage {
+            required_slots: 100,
+            available_slots: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("50"));
+
+        let e = CoreError::AllocationOverflow {
+            stripe: StripeId::new(VideoId(3), 1),
+        };
+        assert!(e.to_string().contains("v3#1"));
+
+        let e = CoreError::StorageUnbalanced {
+            box_id: BoxId(7),
+            ratio: 1.5,
+        };
+        assert!(e.to_string().contains("b7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::InvalidParams("x".into()));
+    }
+}

@@ -1,0 +1,325 @@
+//! The boxes (set-top peers) that store and upload video stripes.
+//!
+//! A box has a normalized upload capacity `u_b`, a storage capacity measured
+//! in stripe slots, and (at run time) a playback cache. In heterogeneous
+//! systems (Section 4) boxes are classified as *rich* (`u_b ≥ u*`) or *poor*
+//! (`u_b < u*`), and each poor box relays its requests through a rich box.
+
+use crate::capacity::{Bandwidth, StorageSlots};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a box (peer / set-top box).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BoxId(pub u32);
+
+impl BoxId {
+    /// Index usable into per-box arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BoxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BoxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Static description of one box.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NodeBox {
+    /// The box identifier.
+    pub id: BoxId,
+    /// Normalized upload capacity `u_b`.
+    pub upload: Bandwidth,
+    /// Storage capacity dedicated to the allocated catalog, in stripe slots
+    /// (`d_b·c`). The playback cache is accounted separately.
+    pub storage: StorageSlots,
+}
+
+impl NodeBox {
+    /// Creates a box description.
+    pub const fn new(id: BoxId, upload: Bandwidth, storage: StorageSlots) -> Self {
+        NodeBox { id, upload, storage }
+    }
+
+    /// Storage capacity expressed in videos for stripe count `c` (`d_b`).
+    pub fn storage_videos(&self, c: u16) -> f64 {
+        self.storage.as_videos(c)
+    }
+
+    /// Number of whole stripes the box can upload simultaneously (`⌊u_b·c⌋`).
+    pub fn upload_slots(&self, c: u16) -> u32 {
+        self.upload.stripe_slots(c)
+    }
+
+    /// True when the box is *rich* with respect to threshold `u*`
+    /// (`u_b ≥ u*`). Poor boxes must be upload-compensated in Theorem 2.
+    pub fn is_rich(&self, u_star: Bandwidth) -> bool {
+        self.upload >= u_star
+    }
+
+    /// True when the box is *poor* with respect to threshold `u*`.
+    pub fn is_poor(&self, u_star: Bandwidth) -> bool {
+        !self.is_rich(u_star)
+    }
+
+    /// The upload this box is missing to reach `u*`
+    /// (`max(0, u* − u_b)`, one term of the paper's deficit `Δ(u*)`).
+    pub fn upload_deficit(&self, u_star: Bandwidth) -> Bandwidth {
+        u_star.saturating_sub(self.upload)
+    }
+
+    /// Storage-to-upload ratio `d_b / u_b`, used by the `u*`-storage-balance
+    /// condition (`2 ≤ d_b/u_b ≤ d/u*`). Returns `None` for zero upload.
+    pub fn storage_upload_ratio(&self, c: u16) -> Option<f64> {
+        if self.upload == Bandwidth::ZERO {
+            None
+        } else {
+            Some(self.storage_videos(c) / self.upload.as_streams())
+        }
+    }
+}
+
+/// A population of boxes, indexed densely by [`BoxId`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxSet {
+    boxes: Vec<NodeBox>,
+}
+
+impl BoxSet {
+    /// Builds a population from an explicit list. Box `i` must carry id `i`.
+    pub fn new(boxes: Vec<NodeBox>) -> Self {
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(b.id.index(), i, "boxes must be densely indexed by id");
+        }
+        BoxSet { boxes }
+    }
+
+    /// A homogeneous population of `n` identical boxes.
+    pub fn homogeneous(n: usize, upload: Bandwidth, storage: StorageSlots) -> Self {
+        BoxSet {
+            boxes: (0..n)
+                .map(|i| NodeBox::new(BoxId(i as u32), upload, storage))
+                .collect(),
+        }
+    }
+
+    /// Number of boxes (`n`).
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when there are no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The box with the given identifier.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: BoxId) -> &NodeBox {
+        &self.boxes[id.index()]
+    }
+
+    /// Iterator over all boxes.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeBox> {
+        self.boxes.iter()
+    }
+
+    /// Iterator over all box identifiers.
+    pub fn ids(&self) -> impl Iterator<Item = BoxId> + '_ {
+        self.boxes.iter().map(|b| b.id)
+    }
+
+    /// Total upload capacity of the population.
+    pub fn total_upload(&self) -> Bandwidth {
+        self.boxes.iter().map(|b| b.upload).sum()
+    }
+
+    /// Average upload capacity `u` (in streams). Zero for an empty set.
+    pub fn average_upload(&self) -> f64 {
+        if self.boxes.is_empty() {
+            0.0
+        } else {
+            self.total_upload().as_streams() / self.boxes.len() as f64
+        }
+    }
+
+    /// Total storage capacity (stripe slots) of the population.
+    pub fn total_storage(&self) -> StorageSlots {
+        self.boxes.iter().map(|b| b.storage).sum()
+    }
+
+    /// Average storage capacity `d` in videos for stripe count `c`.
+    pub fn average_storage_videos(&self, c: u16) -> f64 {
+        if self.boxes.is_empty() {
+            0.0
+        } else {
+            self.total_storage().as_videos(c) / self.boxes.len() as f64
+        }
+    }
+
+    /// Maximum per-box storage in videos (`d_max`), used by the `u < 1`
+    /// lower-bound argument (`m ≤ d_max/ℓ`).
+    pub fn max_storage_videos(&self, c: u16) -> f64 {
+        self.boxes
+            .iter()
+            .map(|b| b.storage_videos(c))
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's upload deficit `Δ(u*) = Σ_{b : u_b < u*} (u* − u_b)`.
+    pub fn upload_deficit(&self, u_star: Bandwidth) -> Bandwidth {
+        self.boxes
+            .iter()
+            .filter(|b| b.is_poor(u_star))
+            .map(|b| b.upload_deficit(u_star))
+            .sum()
+    }
+
+    /// Identifiers of the rich boxes with respect to `u*`.
+    pub fn rich_ids(&self, u_star: Bandwidth) -> Vec<BoxId> {
+        self.boxes
+            .iter()
+            .filter(|b| b.is_rich(u_star))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// Identifiers of the poor boxes with respect to `u*`.
+    pub fn poor_ids(&self, u_star: Bandwidth) -> Vec<BoxId> {
+        self.boxes
+            .iter()
+            .filter(|b| b.is_poor(u_star))
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// True when every box has the same upload and storage capacity.
+    pub fn is_homogeneous(&self) -> bool {
+        match self.boxes.first() {
+            None => true,
+            Some(first) => self
+                .boxes
+                .iter()
+                .all(|b| b.upload == first.upload && b.storage == first.storage),
+        }
+    }
+
+    /// True when `u_b/d_b` is the same for every box (proportionally
+    /// heterogeneous system).
+    pub fn is_proportionally_heterogeneous(&self, c: u16) -> bool {
+        let ratios: Vec<f64> = self
+            .boxes
+            .iter()
+            .filter_map(|b| b.storage_upload_ratio(c))
+            .collect();
+        if ratios.len() != self.boxes.len() {
+            // Some box has zero upload: ratio undefined, not proportional.
+            return self.boxes.iter().all(|b| b.upload == Bandwidth::ZERO);
+        }
+        match ratios.first() {
+            None => true,
+            Some(&r0) => ratios.iter().all(|&r| (r - r0).abs() < 1e-9),
+        }
+    }
+}
+
+impl std::ops::Index<BoxId> for BoxSet {
+    type Output = NodeBox;
+    fn index(&self, id: BoxId) -> &NodeBox {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss(videos: u32, c: u16) -> StorageSlots {
+        StorageSlots::from_videos(videos, c)
+    }
+
+    #[test]
+    fn homogeneous_population_statistics() {
+        let set = BoxSet::homogeneous(10, Bandwidth::from_streams(1.5), ss(8, 4));
+        assert_eq!(set.len(), 10);
+        assert!((set.average_upload() - 1.5).abs() < 1e-9);
+        assert!((set.average_storage_videos(4) - 8.0).abs() < 1e-9);
+        assert!(set.is_homogeneous());
+        assert!(set.is_proportionally_heterogeneous(4));
+    }
+
+    #[test]
+    fn rich_poor_classification_and_deficit() {
+        let c = 4;
+        let boxes = vec![
+            NodeBox::new(BoxId(0), Bandwidth::from_streams(0.5), ss(4, c)),
+            NodeBox::new(BoxId(1), Bandwidth::from_streams(2.0), ss(4, c)),
+            NodeBox::new(BoxId(2), Bandwidth::from_streams(1.2), ss(4, c)),
+        ];
+        let set = BoxSet::new(boxes);
+        let u_star = Bandwidth::from_streams(1.2);
+        assert_eq!(set.poor_ids(u_star), vec![BoxId(0)]);
+        assert_eq!(set.rich_ids(u_star), vec![BoxId(1), BoxId(2)]);
+        // Δ(1.2) = 1.2 - 0.5 = 0.7
+        assert_eq!(set.upload_deficit(u_star), Bandwidth::from_streams(0.7));
+        // Δ(1) = 0.5
+        assert_eq!(
+            set.upload_deficit(Bandwidth::ONE_STREAM),
+            Bandwidth::from_streams(0.5)
+        );
+        assert!(!set.is_homogeneous());
+    }
+
+    #[test]
+    fn proportional_heterogeneity() {
+        let c = 2;
+        // d/u = 4 for all boxes.
+        let boxes = vec![
+            NodeBox::new(BoxId(0), Bandwidth::from_streams(1.0), ss(4, c)),
+            NodeBox::new(BoxId(1), Bandwidth::from_streams(2.0), ss(8, c)),
+            NodeBox::new(BoxId(2), Bandwidth::from_streams(0.5), ss(2, c)),
+        ];
+        let set = BoxSet::new(boxes);
+        assert!(set.is_proportionally_heterogeneous(c));
+        assert!(!set.is_homogeneous());
+        assert!((set.max_storage_videos(c) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "densely indexed")]
+    fn boxset_rejects_misnumbered_ids() {
+        BoxSet::new(vec![NodeBox::new(
+            BoxId(3),
+            Bandwidth::ONE_STREAM,
+            StorageSlots::from_slots(4),
+        )]);
+    }
+
+    #[test]
+    fn empty_set_statistics_are_zero() {
+        let set = BoxSet::new(vec![]);
+        assert!(set.is_empty());
+        assert_eq!(set.average_upload(), 0.0);
+        assert_eq!(set.total_upload(), Bandwidth::ZERO);
+        assert!(set.is_homogeneous());
+    }
+
+    #[test]
+    fn storage_upload_ratio() {
+        let b = NodeBox::new(BoxId(0), Bandwidth::from_streams(2.0), ss(8, 4));
+        assert!((b.storage_upload_ratio(4).unwrap() - 4.0).abs() < 1e-9);
+        let z = NodeBox::new(BoxId(0), Bandwidth::ZERO, ss(8, 4));
+        assert!(z.storage_upload_ratio(4).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! System-wide parameters (the paper's Table 1) and their derived quantities.
+//!
+//! | symbol | meaning | field |
+//! |---|---|---|
+//! | `n` | number of boxes | [`SystemParams::n`] |
+//! | `m` | catalog size (distinct videos) | [`SystemParams::catalog_size`] |
+//! | `d` | average storage per box, in videos | [`SystemParams::storage_videos`] |
+//! | `k` | replicas per stripe (`k ≈ d·n/m`) | [`SystemParams::replication`] |
+//! | `u` | average upload capacity, in streams | [`SystemParams::upload`] |
+//! | `c` | stripes per video | [`SystemParams::stripes`] |
+//! | `µ` | maximal swarm growth per round | [`SystemParams::swarm_growth`] |
+//! | `ℓ` | minimal chunk size (`1/c` with whole stripes) | [`SystemParams::min_chunk`] |
+//! | `T` | video duration in rounds | [`SystemParams::duration_rounds`] |
+
+use crate::capacity::Bandwidth;
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an `(n, u, d)`-video system together with the protocol
+/// parameters (`c`, `k`, `µ`, `T`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Average (and, in the homogeneous case, per-box) upload capacity `u`.
+    pub upload: Bandwidth,
+    /// Average storage capacity per box, in whole videos (`d`).
+    pub storage_videos: u32,
+    /// Stripes per video (`c`).
+    pub stripes: u16,
+    /// Replicas stored per stripe (`k`).
+    pub replication: u32,
+    /// Maximal swarm growth `µ` per round (`µ > 1` in the paper).
+    pub swarm_growth: f64,
+    /// Video duration `T`, in rounds.
+    pub duration_rounds: u32,
+}
+
+impl SystemParams {
+    /// Convenience constructor for a homogeneous system description.
+    pub fn new(
+        n: usize,
+        upload_streams: f64,
+        storage_videos: u32,
+        stripes: u16,
+        replication: u32,
+        swarm_growth: f64,
+        duration_rounds: u32,
+    ) -> Self {
+        SystemParams {
+            n,
+            upload: Bandwidth::from_streams(upload_streams),
+            storage_videos,
+            stripes,
+            replication,
+            swarm_growth,
+            duration_rounds,
+        }
+    }
+
+    /// Checks structural validity of the parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n == 0 {
+            return Err(CoreError::InvalidParams("n must be positive".into()));
+        }
+        if self.stripes == 0 {
+            return Err(CoreError::InvalidParams("c must be positive".into()));
+        }
+        if self.replication == 0 {
+            return Err(CoreError::InvalidParams("k must be positive".into()));
+        }
+        if self.storage_videos == 0 {
+            return Err(CoreError::InvalidParams("d must be positive".into()));
+        }
+        if !(self.swarm_growth.is_finite() && self.swarm_growth >= 1.0) {
+            return Err(CoreError::InvalidParams(
+                "swarm growth µ must be a finite value ≥ 1".into(),
+            ));
+        }
+        if self.duration_rounds == 0 {
+            return Err(CoreError::InvalidParams("T must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Average upload capacity `u`, in streams.
+    pub fn u(&self) -> f64 {
+        self.upload.as_streams()
+    }
+
+    /// Effective upload capacity `u′ = ⌊u·c⌋/c` of a homogeneous box.
+    pub fn u_prime(&self) -> f64 {
+        self.upload.stripe_slots(self.stripes) as f64 / self.stripes as f64
+    }
+
+    /// Minimal chunk size `ℓ = 1/c` when boxes store whole stripes.
+    pub fn min_chunk(&self) -> f64 {
+        1.0 / self.stripes as f64
+    }
+
+    /// Catalog size achievable with this storage and replication:
+    /// `m = ⌊d·n/k⌋`.
+    pub fn catalog_size(&self) -> usize {
+        (self.storage_videos as usize * self.n) / self.replication as usize
+    }
+
+    /// Total number of stripe storage slots in the system (`d·n·c`).
+    pub fn total_slots(&self) -> usize {
+        self.storage_videos as usize * self.n * self.stripes as usize
+    }
+
+    /// Total number of stripe replicas placed by the allocation (`k·m·c`).
+    pub fn total_replicas(&self) -> usize {
+        self.replication as usize * self.catalog_size() * self.stripes as usize
+    }
+
+    /// The expansion margin `ν = 1/(c+2µ²−1) − 1/(u·c)` from Theorem 1.
+    ///
+    /// Positive exactly when `c > (2µ²−1)/(u−1)` and `u > 1`, i.e. when the
+    /// stripe count is large enough for the preloading strategy to absorb the
+    /// swarm growth.
+    pub fn nu(&self) -> f64 {
+        let c = self.stripes as f64;
+        let mu2 = self.swarm_growth * self.swarm_growth;
+        1.0 / (c + 2.0 * mu2 - 1.0) - 1.0 / (self.u() * c)
+    }
+
+    /// The paper's `d′ = max{d, u, e}` appearing in the replication bound.
+    pub fn d_prime(&self) -> f64 {
+        (self.storage_videos as f64)
+            .max(self.u())
+            .max(std::f64::consts::E)
+    }
+
+    /// Per-box number of stored stripe slots (`d·c`) in the homogeneous case.
+    pub fn slots_per_box(&self) -> u32 {
+        self.storage_videos * self.stripes as u32
+    }
+
+    /// Number of stripes a homogeneous box can upload simultaneously
+    /// (`⌊u·c⌋`).
+    pub fn upload_slots_per_box(&self) -> u32 {
+        self.upload.stripe_slots(self.stripes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SystemParams {
+        SystemParams::new(100, 1.5, 8, 8, 4, 1.2, 360)
+    }
+
+    #[test]
+    fn validation_accepts_reasonable_params() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_params() {
+        for f in [
+            |p: &mut SystemParams| p.n = 0,
+            |p: &mut SystemParams| p.stripes = 0,
+            |p: &mut SystemParams| p.replication = 0,
+            |p: &mut SystemParams| p.storage_videos = 0,
+            |p: &mut SystemParams| p.swarm_growth = 0.5,
+            |p: &mut SystemParams| p.swarm_growth = f64::NAN,
+            |p: &mut SystemParams| p.duration_rounds = 0,
+        ] {
+            let mut p = base();
+            f(&mut p);
+            assert!(p.validate().is_err(), "{p:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn catalog_size_formula() {
+        // m = d*n/k = 8*100/4 = 200.
+        assert_eq!(base().catalog_size(), 200);
+        // Consistency: k*m*c ≤ d*n*c.
+        assert!(base().total_replicas() <= base().total_slots());
+    }
+
+    #[test]
+    fn u_prime_floor_semantics() {
+        let p = SystemParams::new(10, 1.3, 4, 8, 2, 1.1, 100);
+        // ⌊1.3*8⌋ = 10, u' = 10/8 = 1.25
+        assert!((p.u_prime() - 1.25).abs() < 1e-9);
+        assert_eq!(p.upload_slots_per_box(), 10);
+    }
+
+    #[test]
+    fn nu_positive_iff_c_large_enough() {
+        // Threshold: c > (2µ²−1)/(u−1).
+        let mu = 1.2f64;
+        let u = 1.5f64;
+        let c_threshold = (2.0 * mu * mu - 1.0) / (u - 1.0); // ≈ 3.76
+        let small = SystemParams::new(10, u, 4, 3, 2, mu, 100);
+        let large = SystemParams::new(10, u, 4, 8, 2, mu, 100);
+        assert!((small.stripes as f64) < c_threshold);
+        assert!(small.nu() <= 0.0);
+        assert!((large.stripes as f64) > c_threshold);
+        assert!(large.nu() > 0.0);
+    }
+
+    #[test]
+    fn d_prime_is_at_least_e() {
+        let p = SystemParams::new(10, 1.1, 1, 8, 1, 1.1, 100);
+        assert!(p.d_prime() >= std::f64::consts::E);
+        let q = SystemParams::new(10, 1.1, 50, 8, 1, 1.1, 100);
+        assert_eq!(q.d_prime(), 50.0);
+    }
+
+    #[test]
+    fn min_chunk_is_inverse_stripes() {
+        assert!((base().min_chunk() - 1.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,372 @@
+//! Assembly of a complete `(n, u, d)`-video system.
+//!
+//! A [`VideoSystem`] bundles the box population, the catalog, the static
+//! stripe placement produced by an allocator, and — for heterogeneous systems
+//! — the upload-compensation plan of Section 4. It is the object the
+//! simulator (`vod-sim`) and the analysis crate operate on.
+
+use crate::allocation::{Allocator, Placement};
+use crate::capacity::{Bandwidth, StorageSlots};
+use crate::catalog::Catalog;
+use crate::compensation::{check_storage_balance, compensate, CompensationPlan};
+use crate::error::CoreError;
+use crate::node::{BoxId, BoxSet, NodeBox};
+use crate::params::SystemParams;
+use crate::video::StripeId;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A fully assembled video system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VideoSystem {
+    params: SystemParams,
+    boxes: BoxSet,
+    catalog: Catalog,
+    placement: Placement,
+    compensation: Option<CompensationPlan>,
+}
+
+impl VideoSystem {
+    /// Builds a *homogeneous* system: `n` identical boxes with upload `u` and
+    /// storage `d` videos, a catalog of `m = ⌊d·n/k⌋` videos of `c` stripes,
+    /// placed by `allocator`.
+    pub fn homogeneous<A: Allocator + ?Sized>(
+        params: SystemParams,
+        allocator: &A,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        let boxes = BoxSet::homogeneous(
+            params.n,
+            params.upload,
+            StorageSlots::from_videos(params.storage_videos, params.stripes),
+        );
+        let catalog = Catalog::uniform(
+            params.catalog_size(),
+            params.duration_rounds,
+            params.stripes,
+        );
+        let placement = allocator.allocate(&boxes, &catalog, rng)?;
+        Ok(VideoSystem {
+            params,
+            boxes,
+            catalog,
+            placement,
+            compensation: None,
+        })
+    }
+
+    /// Builds a homogeneous system with an explicit catalog size (e.g. to
+    /// probe catalogs above or below the `⌊d·n/k⌋` point).
+    pub fn homogeneous_with_catalog<A: Allocator + ?Sized>(
+        params: SystemParams,
+        catalog_size: usize,
+        allocator: &A,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        let boxes = BoxSet::homogeneous(
+            params.n,
+            params.upload,
+            StorageSlots::from_videos(params.storage_videos, params.stripes),
+        );
+        let catalog = Catalog::uniform(catalog_size, params.duration_rounds, params.stripes);
+        let placement = allocator.allocate(&boxes, &catalog, rng)?;
+        Ok(VideoSystem {
+            params,
+            boxes,
+            catalog,
+            placement,
+            compensation: None,
+        })
+    }
+
+    /// Builds a *heterogeneous* system from an explicit box population.
+    ///
+    /// When `u_star` is provided the system is checked to be `u*`-balanced
+    /// (storage balance + upload compensation) and the compensation plan is
+    /// attached; otherwise no relaying is configured and all boxes are
+    /// treated uniformly.
+    pub fn heterogeneous<A: Allocator + ?Sized>(
+        params: SystemParams,
+        boxes: BoxSet,
+        catalog: Catalog,
+        allocator: &A,
+        u_star: Option<Bandwidth>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        if boxes.len() != params.n {
+            return Err(CoreError::InvalidParams(format!(
+                "params.n = {} but {} boxes were provided",
+                params.n,
+                boxes.len()
+            )));
+        }
+        let compensation = match u_star {
+            None => None,
+            Some(u_star) => {
+                check_storage_balance(&boxes, params.stripes, u_star)?;
+                Some(compensate(&boxes, u_star)?)
+            }
+        };
+        let placement = allocator.allocate(&boxes, &catalog, rng)?;
+        Ok(VideoSystem {
+            params,
+            boxes,
+            catalog,
+            placement,
+            compensation,
+        })
+    }
+
+    /// Builds a *proportionally heterogeneous* population where every box
+    /// keeps the ratio `u_b/d_b = u/d`, with upload capacities given
+    /// explicitly (storage derived from the ratio, rounded to whole slots).
+    pub fn proportional_boxes(
+        uploads: &[f64],
+        storage_per_upload: f64,
+        c: u16,
+    ) -> BoxSet {
+        let boxes = uploads
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let slots = (u * storage_per_upload * c as f64).round().max(0.0) as u32;
+                NodeBox::new(
+                    BoxId(i as u32),
+                    Bandwidth::from_streams(u),
+                    StorageSlots::from_slots(slots),
+                )
+            })
+            .collect();
+        BoxSet::new(boxes)
+    }
+
+    /// The system parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The box population.
+    pub fn boxes(&self) -> &BoxSet {
+        &self.boxes
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The static stripe placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The compensation plan, if the system was built as `u*`-balanced.
+    pub fn compensation(&self) -> Option<&CompensationPlan> {
+        self.compensation.as_ref()
+    }
+
+    /// Number of boxes `n`.
+    pub fn n(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Catalog size `m`.
+    pub fn m(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Stripes per video `c`.
+    pub fn c(&self) -> u16 {
+        self.catalog.stripes_per_video()
+    }
+
+    /// Video duration `T` in rounds.
+    pub fn duration(&self) -> u32 {
+        self.params.duration_rounds
+    }
+
+    /// Boxes storing `stripe` according to the static allocation.
+    pub fn holders_of(&self, stripe: StripeId) -> &[BoxId] {
+        self.placement.holders_of(stripe)
+    }
+
+    /// Upload capacity of box `b`, net of any compensation reservations
+    /// (a relay's reserved upload serves its poor boxes, not open requests).
+    pub fn available_upload(&self, b: BoxId) -> Bandwidth {
+        match &self.compensation {
+            None => self.boxes.get(b).upload,
+            Some(plan) => plan.residual_upload(&self.boxes, b),
+        }
+    }
+
+    /// Number of whole stripes box `b` can upload per round for open
+    /// requests (`⌊available_upload·c⌋`).
+    pub fn upload_slots(&self, b: BoxId) -> u32 {
+        self.available_upload(b).stripe_slots(self.c())
+    }
+
+    /// The paper's necessary condition for heterogeneous scalability:
+    /// `u > 1 + Δ(1)/n`. Returns the left- and right-hand sides.
+    pub fn heterogeneous_necessary_condition(&self) -> (f64, f64) {
+        let u = self.boxes.average_upload();
+        let deficit = self.boxes.upload_deficit(Bandwidth::ONE_STREAM).as_streams();
+        (u, 1.0 + deficit / self.n() as f64)
+    }
+
+    /// True when the necessary scalability condition `u > 1 + Δ(1)/n` holds.
+    pub fn satisfies_necessary_condition(&self) -> bool {
+        let (lhs, rhs) = self.heterogeneous_necessary_condition();
+        lhs > rhs
+    }
+
+    /// Aggregate upload capacity divided by `n` — the system-wide average `u`.
+    pub fn average_upload(&self) -> f64 {
+        self.boxes.average_upload()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{FullReplicationAllocator, RandomPermutationAllocator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> SystemParams {
+        SystemParams::new(40, 1.5, 8, 4, 4, 1.2, 240)
+    }
+
+    #[test]
+    fn homogeneous_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sys =
+            VideoSystem::homogeneous(params(), &RandomPermutationAllocator::new(4), &mut rng)
+                .unwrap();
+        assert_eq!(sys.n(), 40);
+        assert_eq!(sys.m(), 80); // d*n/k = 8*40/4
+        assert_eq!(sys.c(), 4);
+        assert!(sys.compensation().is_none());
+        assert!((sys.average_upload() - 1.5).abs() < 1e-9);
+        // Placement respects capacities.
+        sys.placement()
+            .validate(sys.boxes(), sys.catalog(), 0)
+            .unwrap();
+    }
+
+    #[test]
+    fn explicit_catalog_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sys = VideoSystem::homogeneous_with_catalog(
+            params(),
+            10,
+            &RandomPermutationAllocator::new(4),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sys.m(), 10);
+    }
+
+    #[test]
+    fn heterogeneous_with_compensation() {
+        let c = 4u16;
+        // 8 boxes: 4 poor (u=0.5, d=4), 4 rich (u=3, d=24) -> d/u = 8 for
+        // everyone, average d = 14, u* = 1.2 gives upper ratio ≈ 11.7.
+        let uploads = [0.5, 0.5, 0.5, 0.5, 3.0, 3.0, 3.0, 3.0];
+        let boxes = VideoSystem::proportional_boxes(&uploads, 8.0, c);
+        let catalog = Catalog::uniform(20, 240, c);
+        let p = SystemParams::new(8, 1.75, 14, c, 2, 1.2, 240);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sys = VideoSystem::heterogeneous(
+            p,
+            boxes,
+            catalog,
+            &RandomPermutationAllocator::new(2),
+            Some(Bandwidth::from_streams(1.2)),
+            &mut rng,
+        )
+        .unwrap();
+        let plan = sys.compensation().unwrap();
+        assert_eq!(plan.covered_poor(), 4);
+        // Available upload on a rich relay is reduced by its reservation.
+        let relay = plan.relay(BoxId(0)).unwrap();
+        assert!(sys.available_upload(relay) < Bandwidth::from_streams(3.0));
+        // Poor boxes keep their full (small) upload.
+        assert_eq!(sys.available_upload(BoxId(0)), Bandwidth::from_streams(0.5));
+    }
+
+    #[test]
+    fn heterogeneous_box_count_mismatch_rejected() {
+        let boxes = BoxSet::homogeneous(
+            4,
+            Bandwidth::ONE_STREAM,
+            StorageSlots::from_videos(8, 4),
+        );
+        let catalog = Catalog::uniform(4, 240, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = VideoSystem::heterogeneous(
+            params(), // says n = 40
+            boxes,
+            catalog,
+            &RandomPermutationAllocator::new(1),
+            None,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParams(_)));
+    }
+
+    #[test]
+    fn necessary_condition_reflects_deficit() {
+        let c = 4u16;
+        let uploads = [0.5, 0.5, 2.0, 2.0];
+        let boxes = VideoSystem::proportional_boxes(&uploads, 8.0, c);
+        let catalog = Catalog::uniform(4, 240, c);
+        let p = SystemParams::new(4, 1.25, 10, c, 2, 1.2, 240);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sys = VideoSystem::heterogeneous(
+            p,
+            boxes,
+            catalog,
+            &RandomPermutationAllocator::new(1),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        let (lhs, rhs) = sys.heterogeneous_necessary_condition();
+        // u = 1.25, Δ(1) = 0.5 + 0.5 = 1.0, rhs = 1 + 1/4 = 1.25.
+        assert!((lhs - 1.25).abs() < 1e-9);
+        assert!((rhs - 1.25).abs() < 1e-9);
+        assert!(!sys.satisfies_necessary_condition()); // strict inequality required
+    }
+
+    #[test]
+    fn full_replication_system_has_constant_catalog() {
+        // u < 1 regime: full replication limits the catalog to d·c per box.
+        let p = SystemParams::new(10, 0.8, 4, 4, 1, 1.2, 240);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sys = VideoSystem::homogeneous_with_catalog(
+            p,
+            16, // = d·c, the maximum this scheme supports
+            &FullReplicationAllocator::new(),
+            &mut rng,
+        )
+        .unwrap();
+        for b in sys.boxes().ids() {
+            for v in sys.catalog().video_ids() {
+                assert!(sys.placement().stores_any_of(b, v, 4));
+            }
+        }
+        // One more video makes it infeasible.
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(VideoSystem::homogeneous_with_catalog(
+            p,
+            17,
+            &FullReplicationAllocator::new(),
+            &mut rng
+        )
+        .is_err());
+    }
+}

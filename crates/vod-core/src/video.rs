@@ -1,0 +1,151 @@
+//! Videos, stripes, and their identifiers.
+//!
+//! A video of duration `T` rounds is encoded into `c` *stripes* of rate
+//! `1/c` each (packet `i` of the original stream goes to stripe `i mod c`).
+//! Downloading all `c` stripes simultaneously reconstructs the stream. A
+//! stripe is the unit of storage and replication: the random allocation
+//! places `k` replicas of every stripe on the boxes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a video in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VideoId(pub u32);
+
+impl VideoId {
+    /// Index usable into per-video arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a stripe within its video (`0..c`).
+pub type StripeIndex = u16;
+
+/// Identifier of one stripe of one video.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StripeId {
+    /// The video this stripe belongs to.
+    pub video: VideoId,
+    /// Which of the `c` stripes of that video this is.
+    pub index: StripeIndex,
+}
+
+impl StripeId {
+    /// Creates a stripe identifier.
+    pub const fn new(video: VideoId, index: StripeIndex) -> Self {
+        StripeId { video, index }
+    }
+
+    /// Global dense index of the stripe assuming all videos use `c` stripes.
+    ///
+    /// Useful for addressing flat per-stripe arrays of size `m·c`.
+    pub const fn global_index(self, c: u16) -> usize {
+        self.video.0 as usize * c as usize + self.index as usize
+    }
+
+    /// Inverse of [`StripeId::global_index`].
+    pub const fn from_global_index(global: usize, c: u16) -> Self {
+        StripeId {
+            video: VideoId((global / c as usize) as u32),
+            index: (global % c as usize) as StripeIndex,
+        }
+    }
+}
+
+impl fmt::Debug for StripeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.video, self.index)
+    }
+}
+
+impl fmt::Display for StripeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.video, self.index)
+    }
+}
+
+/// A video in the catalog.
+///
+/// The paper assumes all videos have the same duration `T` (feature-length
+/// films); we nevertheless keep the duration per video so that experiments
+/// exploring heterogeneous durations remain possible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Video {
+    /// The video identifier.
+    pub id: VideoId,
+    /// Playback duration in rounds (the paper's `T`).
+    pub duration_rounds: u32,
+}
+
+impl Video {
+    /// Creates a video of the given duration.
+    pub const fn new(id: VideoId, duration_rounds: u32) -> Self {
+        Video { id, duration_rounds }
+    }
+
+    /// Iterator over the stripe identifiers of this video for stripe count `c`.
+    pub fn stripes(&self, c: u16) -> impl Iterator<Item = StripeId> + '_ {
+        let id = self.id;
+        (0..c).map(move |i| StripeId::new(id, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_index_round_trips() {
+        let c = 7;
+        for vid in 0..5u32 {
+            for idx in 0..c {
+                let s = StripeId::new(VideoId(vid), idx);
+                let g = s.global_index(c);
+                assert_eq!(StripeId::from_global_index(g, c), s);
+            }
+        }
+    }
+
+    #[test]
+    fn global_index_is_dense() {
+        let c = 4;
+        let mut seen = vec![false; 3 * c as usize];
+        for vid in 0..3u32 {
+            for idx in 0..c {
+                let g = StripeId::new(VideoId(vid), idx).global_index(c);
+                assert!(!seen[g], "collision at {g}");
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn video_stripe_iterator_yields_c_stripes() {
+        let v = Video::new(VideoId(3), 120);
+        let stripes: Vec<_> = v.stripes(5).collect();
+        assert_eq!(stripes.len(), 5);
+        assert!(stripes.iter().all(|s| s.video == VideoId(3)));
+        assert_eq!(stripes[4].index, 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VideoId(9)), "v9");
+        assert_eq!(format!("{}", StripeId::new(VideoId(2), 3)), "v2#3");
+    }
+}

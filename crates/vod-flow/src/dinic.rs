@@ -1,0 +1,192 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Dinic runs in `O(V²E)` in general and `O(E·√V)` on the unit-capacity
+//! bipartite networks produced by the connection-matching reduction, which is
+//! why it is the default solver for the per-round scheduling problem.
+
+use crate::graph::{FlowNetwork, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum-flow solver state (level graph + iterator pointers).
+#[derive(Debug, Default)]
+pub struct Dinic {
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Creates a solver.
+    pub fn new() -> Self {
+        Dinic::default()
+    }
+
+    /// Computes the maximum flow from `source` to `sink`, mutating the
+    /// residual capacities of `graph` in place. Returns the flow value.
+    pub fn max_flow(&mut self, graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let mut flow = 0;
+        while self.build_levels(graph, source, sink) {
+            self.iter = vec![0; graph.node_count()];
+            loop {
+                let pushed = self.augment(graph, source, sink, i64::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// Breadth-first construction of the level graph. Returns `true` when the
+    /// sink is still reachable.
+    fn build_levels(&mut self, graph: &FlowNetwork, source: NodeId, sink: NodeId) -> bool {
+        self.level = vec![-1; graph.node_count()];
+        self.level[source] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &idx in graph.edges_from(v) {
+                let to = graph.edge(idx).to;
+                if graph.edge(idx).cap > 0 && self.level[to] < 0 {
+                    self.level[to] = self.level[v] + 1;
+                    queue.push_back(to);
+                }
+            }
+        }
+        self.level[sink] >= 0
+    }
+
+    /// Depth-first blocking-flow augmentation.
+    fn augment(
+        &mut self,
+        graph: &mut FlowNetwork,
+        node: NodeId,
+        sink: NodeId,
+        limit: i64,
+    ) -> i64 {
+        if node == sink {
+            return limit;
+        }
+        while self.iter[node] < graph.edges_from(node).len() {
+            let idx = graph.edges_from(node)[self.iter[node]];
+            let to = graph.edge(idx).to;
+            let cap = graph.edge(idx).cap;
+            if cap > 0 && self.level[node] + 1 == self.level[to] {
+                let pushed = self.augment(graph, to, sink, limit.min(cap));
+                if pushed > 0 {
+                    graph.push(idx, pushed);
+                    return pushed;
+                }
+            }
+            self.iter[node] += 1;
+        }
+        0
+    }
+}
+
+/// Convenience wrapper: runs Dinic on `graph` and returns the flow value.
+pub fn max_flow(graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
+    Dinic::new().max_flow(graph, source, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::with_nodes(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(max_flow(&mut g, 0, 1), 7);
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut g = FlowNetwork::with_nodes(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 3);
+        assert_eq!(max_flow(&mut g, 0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut g = FlowNetwork::with_nodes(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 2, 3);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        assert_eq!(max_flow(&mut g, 0, 3), 5);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure 26.1-style network, max flow 23.
+        let mut g = FlowNetwork::with_nodes(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 1, 4);
+        g.add_edge(1, 3, 12);
+        g.add_edge(3, 2, 9);
+        g.add_edge(2, 4, 14);
+        g.add_edge(4, 3, 7);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 5, 4);
+        assert_eq!(max_flow(&mut g, 0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut g = FlowNetwork::with_nodes(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(2, 3, 10);
+        assert_eq!(max_flow(&mut g, 0, 3), 0);
+    }
+
+    #[test]
+    fn flow_value_matches_min_cut() {
+        let mut g = FlowNetwork::with_nodes(5);
+        g.add_edge(0, 1, 4);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 2, 1);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(3, 4, 5);
+        let f = max_flow(&mut g, 0, 4);
+        let side = g.residual_reachable(0);
+        assert!(side[0] && !side[4]);
+        assert_eq!(g.cut_capacity(&side), f);
+    }
+
+    #[test]
+    fn flow_conservation_at_internal_nodes() {
+        let mut g = FlowNetwork::with_nodes(5);
+        g.add_edge(0, 1, 4);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 2);
+        g.add_edge(3, 4, 5);
+        let f = max_flow(&mut g, 0, 4);
+        assert_eq!(g.net_outflow(0), f);
+        assert_eq!(g.net_outflow(4), -f);
+        for node in 1..4 {
+            assert_eq!(g.net_outflow(node), 0, "node {node}");
+        }
+    }
+
+    #[test]
+    fn rerun_after_reset_gives_same_value() {
+        let mut g = FlowNetwork::with_nodes(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 2, 2);
+        g.add_edge(0, 2, 1);
+        g.add_edge(2, 3, 5);
+        let a = max_flow(&mut g, 0, 3);
+        g.reset();
+        let b = max_flow(&mut g, 0, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Sampled expansion estimation for the request/box bipartite graph.
+//!
+//! Theorem 1's proof shows that, with high probability, the graph linking
+//! each stripe to the boxes storing it is a `1/(u·c)`-expander: every request
+//! subset `X` satisfies `|B(X)| ≥ |X|/(u·c)`. Exhaustively checking all
+//! subsets is exponential, so this module estimates the expansion profile by
+//! sampling random subsets of each size — enough to *refute* expansion (a
+//! sampled violator is a certificate) and to visualize how far above the
+//! bound typical allocations sit.
+
+use crate::matching::ConnectionProblem;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use vod_core::BoxId;
+
+/// Result of the sampled expansion scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpansionProfile {
+    /// For each sampled subset size `i`, the minimum observed ratio
+    /// `U_{B(X)} / |X|` (in stripe-connection units, i.e. `≥ 1` means the
+    /// Hall condition holds for every sampled subset of that size).
+    pub min_ratio_by_size: Vec<(usize, f64)>,
+    /// The worst subset found overall, if any subset violated the condition.
+    pub worst_violator: Option<Vec<usize>>,
+}
+
+impl ExpansionProfile {
+    /// The global minimum ratio across all sampled sizes (`f64::INFINITY`
+    /// when no subset was sampled).
+    pub fn min_ratio(&self) -> f64 {
+        self.min_ratio_by_size
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True when every sampled subset satisfied the Hall condition.
+    pub fn all_satisfied(&self) -> bool {
+        self.worst_violator.is_none()
+    }
+}
+
+/// Samples `samples_per_size` random request subsets for each size in
+/// `sizes` and reports the minimum capacity/size ratio observed.
+pub fn sample_expansion(
+    problem: &ConnectionProblem,
+    sizes: &[usize],
+    samples_per_size: usize,
+    rng: &mut dyn RngCore,
+) -> ExpansionProfile {
+    let all_requests: Vec<usize> = (0..problem.request_count()).collect();
+    let mut min_ratio_by_size = Vec::new();
+    let mut worst_violator: Option<(f64, Vec<usize>)> = None;
+
+    for &size in sizes {
+        if size == 0 || size > all_requests.len() {
+            continue;
+        }
+        let mut min_ratio = f64::INFINITY;
+        for _ in 0..samples_per_size {
+            let subset: Vec<usize> = all_requests
+                .choose_multiple(rng, size)
+                .copied()
+                .collect();
+            let ob = crate::hall::check_subset(problem, &subset);
+            let ratio = ob.capacity as f64 / size as f64;
+            if ratio < min_ratio {
+                min_ratio = ratio;
+            }
+            if ob.is_violating() {
+                let is_worse = worst_violator
+                    .as_ref()
+                    .map(|(r, _)| ratio < *r)
+                    .unwrap_or(true);
+                if is_worse {
+                    worst_violator = Some((ratio, subset));
+                }
+            }
+        }
+        min_ratio_by_size.push((size, min_ratio));
+    }
+
+    ExpansionProfile {
+        min_ratio_by_size,
+        worst_violator: worst_violator.map(|(_, s)| s),
+    }
+}
+
+/// Builds a [`ConnectionProblem`] directly from a stripe-holder listing, for
+/// expansion studies that bypass the simulator: request `x` asks for stripe
+/// `stripes[x]`, whose candidate set is `holders(stripes[x])`.
+pub fn problem_from_holders(
+    box_capacity: Vec<u32>,
+    requested_holders: &[Vec<BoxId>],
+) -> ConnectionProblem {
+    let mut p = ConnectionProblem::new(box_capacity);
+    for holders in requested_holders {
+        p.add_request(holders.iter().copied());
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    #[test]
+    fn well_provisioned_problem_satisfies_all_samples() {
+        // 10 boxes capacity 4, every request can go anywhere.
+        let holders: Vec<Vec<BoxId>> = (0..20).map(|_| (0..10).map(b).collect()).collect();
+        let p = problem_from_holders(vec![4; 10], &holders);
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = sample_expansion(&p, &[1, 5, 10, 20], 50, &mut rng);
+        assert!(profile.all_satisfied());
+        assert!(profile.min_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn starved_problem_yields_violator() {
+        // All 8 requests depend on a single box with capacity 1.
+        let holders: Vec<Vec<BoxId>> = (0..8).map(|_| vec![b(0)]).collect();
+        let p = problem_from_holders(vec![1, 5], &holders);
+        let mut rng = StdRng::seed_from_u64(2);
+        let profile = sample_expansion(&p, &[2, 4, 8], 20, &mut rng);
+        assert!(!profile.all_satisfied());
+        assert!(profile.min_ratio() < 1.0);
+        let violator = profile.worst_violator.unwrap();
+        assert!(violator.len() >= 2);
+    }
+
+    #[test]
+    fn oversized_and_zero_sizes_are_skipped() {
+        let holders: Vec<Vec<BoxId>> = (0..3).map(|_| vec![b(0)]).collect();
+        let p = problem_from_holders(vec![5], &holders);
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = sample_expansion(&p, &[0, 2, 50], 5, &mut rng);
+        assert_eq!(profile.min_ratio_by_size.len(), 1);
+        assert_eq!(profile.min_ratio_by_size[0].0, 2);
+    }
+
+    #[test]
+    fn ratio_reflects_capacity_scaling() {
+        // Single request, candidate capacity 3 -> ratio 3.
+        let holders = vec![vec![b(0)]];
+        let p = problem_from_holders(vec![3], &holders);
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = sample_expansion(&p, &[1], 3, &mut rng);
+        assert_eq!(profile.min_ratio_by_size[0].1, 3.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! When every box can serve at most one request (or after splitting a box of
+//! capacity `⌊u·c⌋` into that many unit sub-boxes — the paper uses the same
+//! "elementary sub-box" trick in Theorem 2's proof) the connection-matching
+//! problem becomes a plain bipartite matching, for which Hopcroft–Karp runs
+//! in `O(E·√V)` with small constants. The simulator uses it as a fast path
+//! and the property tests use it to cross-check the flow solvers.
+
+use std::collections::VecDeque;
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum bipartite matching between `left_count` left vertices and
+/// `right_count` right vertices.
+#[derive(Clone, Debug)]
+pub struct HopcroftKarp {
+    adj: Vec<Vec<usize>>,
+    right_count: usize,
+}
+
+impl HopcroftKarp {
+    /// Creates an empty bipartite graph.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        HopcroftKarp {
+            adj: vec![Vec::new(); left_count],
+            right_count,
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left vertex out of range");
+        assert!(r < self.right_count, "right vertex out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Computes a maximum matching. Returns `(size, pair_of_left)` where
+    /// `pair_of_left[l]` is the right vertex matched to `l`, if any.
+    pub fn solve(&self) -> (usize, Vec<Option<usize>>) {
+        let n_left = self.adj.len();
+        let mut pair_left = vec![NIL; n_left];
+        let mut pair_right = vec![NIL; self.right_count];
+        let mut dist = vec![INF; n_left];
+        let mut matching = 0;
+
+        loop {
+            // BFS phase: layer the free left vertices.
+            let mut queue = VecDeque::new();
+            for l in 0..n_left {
+                if pair_left[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = INF;
+                }
+            }
+            let mut found_augmenting = false;
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l] {
+                    match pair_right[r] {
+                        NIL => found_augmenting = true,
+                        l2 => {
+                            if dist[l2] == INF {
+                                dist[l2] = dist[l] + 1;
+                                queue.push_back(l2);
+                            }
+                        }
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS phase: find vertex-disjoint augmenting paths.
+            for l in 0..n_left {
+                if pair_left[l] == NIL && self.try_augment(l, &mut pair_left, &mut pair_right, &mut dist)
+                {
+                    matching += 1;
+                }
+            }
+        }
+
+        let pairs = pair_left
+            .into_iter()
+            .map(|r| if r == NIL { None } else { Some(r) })
+            .collect();
+        (matching, pairs)
+    }
+
+    fn try_augment(
+        &self,
+        l: usize,
+        pair_left: &mut [usize],
+        pair_right: &mut [usize],
+        dist: &mut [u32],
+    ) -> bool {
+        for &r in &self.adj[l] {
+            let candidate = pair_right[r];
+            let advance = match candidate {
+                NIL => true,
+                l2 => {
+                    dist[l2] == dist[l] + 1
+                        && self.try_augment(l2, pair_left, pair_right, dist)
+                }
+            };
+            if advance {
+                pair_left[l] = r;
+                pair_right[r] = l;
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let mut hk = HopcroftKarp::new(4, 4);
+        for i in 0..4 {
+            hk.add_edge(i, i);
+        }
+        let (size, pairs) = hk.solve();
+        assert_eq!(size, 4);
+        for (l, p) in pairs.iter().enumerate() {
+            assert_eq!(*p, Some(l));
+        }
+    }
+
+    #[test]
+    fn unmatchable_vertices_stay_unmatched() {
+        let mut hk = HopcroftKarp::new(3, 2);
+        hk.add_edge(0, 0);
+        hk.add_edge(1, 0);
+        hk.add_edge(2, 1);
+        let (size, pairs) = hk.solve();
+        assert_eq!(size, 2);
+        assert_eq!(pairs.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy matching could match 0-0 and block 1; HK must find size 2.
+        let mut hk = HopcroftKarp::new(2, 2);
+        hk.add_edge(0, 0);
+        hk.add_edge(0, 1);
+        hk.add_edge(1, 0);
+        let (size, pairs) = hk.solve();
+        assert_eq!(size, 2);
+        assert_eq!(pairs[1], Some(0));
+        assert_eq!(pairs[0], Some(1));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let hk = HopcroftKarp::new(3, 3);
+        let (size, pairs) = hk.solve();
+        assert_eq!(size, 0);
+        assert!(pairs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn matching_is_a_valid_injection() {
+        // Random-ish dense instance; check no right vertex is used twice.
+        let mut hk = HopcroftKarp::new(6, 5);
+        for l in 0..6 {
+            for r in 0..5 {
+                if (l + r) % 2 == 0 || l == r {
+                    hk.add_edge(l, r);
+                }
+            }
+        }
+        let (size, pairs) = hk.solve();
+        let mut used = vec![false; 5];
+        let mut count = 0;
+        for p in pairs.iter().flatten() {
+            assert!(!used[*p], "right vertex matched twice");
+            used[*p] = true;
+            count += 1;
+        }
+        assert_eq!(count, size);
+        assert_eq!(size, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut hk = HopcroftKarp::new(1, 1);
+        hk.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vod-flow
+//!
+//! Maximum-flow and matching substrate for the P2P Video-on-Demand threshold
+//! model. The paper (Lemma 1) reduces per-round schedulability — wiring every
+//! pending stripe request to a box that holds the data without exceeding any
+//! box's upload capacity — to a maximum-flow feasibility question on a
+//! bipartite network. This crate provides:
+//!
+//! * [`graph`] — the integer-capacity flow network representation;
+//! * [`dinic`] — Dinic's algorithm (default solver);
+//! * [`push_relabel`] — FIFO push–relabel (cross-check / benchmarks);
+//! * [`hopcroft_karp`] — bipartite matching for the unit-capacity case;
+//! * [`matching`] — the connection-matching problem builder and solution
+//!   extraction;
+//! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
+//! * [`expander`] — sampled expansion estimation of allocation graphs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dinic;
+pub mod expander;
+pub mod graph;
+pub mod hall;
+pub mod hopcroft_karp;
+pub mod matching;
+pub mod push_relabel;
+
+pub use expander::{sample_expansion, ExpansionProfile};
+pub use graph::{Edge, FlowNetwork, NodeId};
+pub use hall::{check_subset, find_obstruction, verify_lemma1, Obstruction};
+pub use hopcroft_karp::HopcroftKarp;
+pub use matching::{ConnectionMatching, ConnectionProblem, FlowSolver};

@@ -1,0 +1,275 @@
+//! Failure injection: box churn and allocation repair.
+//!
+//! The paper assumes a static box population (set-top boxes are "usually
+//! always powered on"), but any deployment must survive occasional box
+//! failures. This extension models crash-departures: a departed box loses its
+//! upload capacity and its stored replicas, degrading the replication level
+//! of the stripes it held. A repair pass re-replicates under-replicated
+//! stripes onto surviving boxes with spare storage, restoring the allocation
+//! invariants Theorem 1 relies on.
+//!
+//! The churn experiments measure how far the replication level may drop
+//! before adversarial feasibility is lost, and how much repair bandwidth is
+//! needed to stay above it.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use vod_core::{BoxId, Catalog, Placement, StripeId};
+
+/// Outcome of a churn event.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Boxes that departed.
+    pub departed: Vec<BoxId>,
+    /// Stripes whose replication level dropped below the target.
+    pub degraded_stripes: Vec<StripeId>,
+}
+
+/// Outcome of a repair pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Replicas successfully re-created.
+    pub replicas_restored: usize,
+    /// Stripes that could not be restored to the target level (no surviving
+    /// box with spare storage and without a copy).
+    pub unrepairable: Vec<StripeId>,
+    /// Upload cost of the repair in stripe transfers (one per restored
+    /// replica — each restored replica must be fetched from a surviving
+    /// holder).
+    pub transfer_cost: usize,
+}
+
+/// Mutable churn state layered on top of a placement.
+#[derive(Clone, Debug)]
+pub struct ChurnModel {
+    /// Whether each box is still alive.
+    alive: Vec<bool>,
+    /// Storage capacity (slots) of each box, for repair placement.
+    capacity: Vec<u32>,
+    /// Target replication level to restore after departures.
+    target_replication: usize,
+}
+
+impl ChurnModel {
+    /// Creates a churn model over `capacities` (stripe slots per box) with a
+    /// target replication level `k`.
+    pub fn new(capacities: Vec<u32>, target_replication: usize) -> Self {
+        ChurnModel {
+            alive: vec![true; capacities.len()],
+            capacity: capacities,
+            target_replication,
+        }
+    }
+
+    /// Number of boxes still alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// True when `box_id` is still alive.
+    pub fn is_alive(&self, box_id: BoxId) -> bool {
+        self.alive.get(box_id.index()).copied().unwrap_or(false)
+    }
+
+    /// Kills `count` random alive boxes and removes their replicas from
+    /// `placement` (by rebuilding the placement without them). Returns the
+    /// event description and the surviving placement.
+    pub fn fail_random(
+        &mut self,
+        placement: &Placement,
+        catalog: &Catalog,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> (ChurnEvent, Placement) {
+        let mut candidates: Vec<BoxId> = (0..self.alive.len() as u32)
+            .map(BoxId)
+            .filter(|b| self.is_alive(*b))
+            .collect();
+        candidates.shuffle(rng);
+        let departed: Vec<BoxId> = candidates.into_iter().take(count).collect();
+        for b in &departed {
+            self.alive[b.index()] = false;
+        }
+
+        let surviving = self.strip_departed(placement);
+        let degraded_stripes = catalog
+            .stripes()
+            .filter(|&s| surviving.replica_count(s) < self.target_replication)
+            .collect();
+        (
+            ChurnEvent {
+                departed,
+                degraded_stripes,
+            },
+            surviving,
+        )
+    }
+
+    /// Rebuilds a placement containing only the replicas held by alive boxes.
+    fn strip_departed(&self, placement: &Placement) -> Placement {
+        let mut surviving = Placement::empty(placement.box_count());
+        for b in 0..placement.box_count() as u32 {
+            let id = BoxId(b);
+            if !self.is_alive(id) {
+                continue;
+            }
+            for &stripe in placement.stored_by(id) {
+                surviving.add(id, stripe);
+            }
+        }
+        surviving
+    }
+
+    /// Repairs under-replicated stripes: each missing replica is placed on
+    /// the alive box with the most spare storage that does not already hold
+    /// the stripe. A stripe with no surviving replica at all is unrepairable
+    /// (its data is lost).
+    pub fn repair(
+        &self,
+        placement: &mut Placement,
+        catalog: &Catalog,
+    ) -> RepairReport {
+        let mut report = RepairReport::default();
+        for stripe in catalog.stripes() {
+            let current = placement.replica_count(stripe);
+            if current >= self.target_replication {
+                continue;
+            }
+            if current == 0 {
+                report.unrepairable.push(stripe);
+                continue;
+            }
+            let missing = self.target_replication - current;
+            for _ in 0..missing {
+                let target = (0..self.alive.len() as u32)
+                    .map(BoxId)
+                    .filter(|&b| {
+                        self.is_alive(b)
+                            && !placement.stores(b, stripe)
+                            && placement.box_load(b) < self.capacity[b.index()] as usize
+                    })
+                    .max_by_key(|&b| {
+                        self.capacity[b.index()] as usize - placement.box_load(b)
+                    });
+                match target {
+                    Some(b) => {
+                        placement.add(b, stripe);
+                        report.replicas_restored += 1;
+                        report.transfer_cost += 1;
+                    }
+                    None => {
+                        report.unrepairable.push(stripe);
+                        break;
+                    }
+                }
+            }
+        }
+        report.unrepairable.sort();
+        report.unrepairable.dedup();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vod_core::{
+        Allocator, Bandwidth, BoxSet, RandomPermutationAllocator, RoundRobinAllocator,
+        StorageSlots,
+    };
+
+    fn setup(n: usize, slots: u32, m: usize, c: u16, k: u32) -> (BoxSet, Catalog, Placement) {
+        let boxes =
+            BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+        let catalog = Catalog::uniform(m, 60, c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RandomPermutationAllocator::new(k)
+            .allocate(&boxes, &catalog, &mut rng)
+            .unwrap();
+        (boxes, catalog, p)
+    }
+
+    /// Like `setup` but with the deterministic round-robin allocation, which
+    /// guarantees exactly `k` distinct replicas per stripe (no duplicate
+    /// draws), so repair-coverage assertions are exact.
+    fn setup_rr(n: usize, slots: u32, m: usize, c: u16, k: u32) -> (BoxSet, Catalog, Placement) {
+        let boxes =
+            BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+        let catalog = Catalog::uniform(m, 60, c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RoundRobinAllocator::new(k)
+            .allocate(&boxes, &catalog, &mut rng)
+            .unwrap();
+        (boxes, catalog, p)
+    }
+
+    #[test]
+    fn failing_boxes_degrades_replication() {
+        let (boxes, catalog, placement) = setup(20, 16, 20, 4, 3);
+        let caps: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut churn = ChurnModel::new(caps, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (event, surviving) = churn.fail_random(&placement, &catalog, 5, &mut rng);
+        assert_eq!(event.departed.len(), 5);
+        assert_eq!(churn.alive_count(), 15);
+        // Departed boxes hold nothing in the surviving placement.
+        for b in &event.departed {
+            assert_eq!(surviving.box_load(*b), 0);
+        }
+        assert!(!event.degraded_stripes.is_empty());
+        for s in &event.degraded_stripes {
+            assert!(surviving.replica_count(*s) < 3);
+        }
+    }
+
+    #[test]
+    fn repair_restores_target_replication_when_space_allows() {
+        let (boxes, catalog, placement) = setup_rr(20, 24, 20, 4, 3);
+        let caps: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut churn = ChurnModel::new(caps, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, mut surviving) = churn.fail_random(&placement, &catalog, 4, &mut rng);
+        let report = churn.repair(&mut surviving, &catalog);
+        assert!(report.unrepairable.is_empty(), "{:?}", report.unrepairable);
+        for s in catalog.stripes() {
+            assert!(surviving.replica_count(s) >= 3, "stripe {s}");
+        }
+        assert_eq!(report.transfer_cost, report.replicas_restored);
+        // Repaired replicas never exceed capacities of alive boxes.
+        for b in (0..20u32).map(BoxId) {
+            if churn.is_alive(b) {
+                assert!(surviving.box_load(b) <= 24);
+            } else {
+                assert_eq!(surviving.box_load(b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_with_no_surviving_replica_are_lost() {
+        let (boxes, catalog, placement) = setup(4, 24, 6, 4, 1);
+        let caps: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut churn = ChurnModel::new(caps, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Kill 3 of 4 boxes: with k = 1 many stripes lose their only copy.
+        let (_, mut surviving) = churn.fail_random(&placement, &catalog, 3, &mut rng);
+        let report = churn.repair(&mut surviving, &catalog);
+        assert!(!report.unrepairable.is_empty());
+        for s in &report.unrepairable {
+            assert_eq!(surviving.replica_count(*s), 0);
+        }
+    }
+
+    #[test]
+    fn no_churn_needs_no_repair() {
+        let (boxes, catalog, mut placement) = setup_rr(10, 16, 10, 4, 2);
+        let caps: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let churn = ChurnModel::new(caps, 2);
+        let report = churn.repair(&mut placement, &catalog);
+        assert_eq!(report.replicas_restored, 0);
+        assert!(report.unrepairable.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # vod-sim
+//!
+//! Discrete round-based simulator of the fully distributed Video-on-Demand
+//! protocol studied in the IPDPS 2009 threshold paper. It executes the
+//! preloading strategy of Section 3 (and the relaying strategy of Section 4
+//! for `u*`-balanced heterogeneous systems) against arbitrary demand
+//! generators, computing each round's connection matching with the paper's
+//! max-flow machinery (or baseline schedulers) and reporting feasibility,
+//! utilization, sourcing/swarming split, start-up delays, and obstruction
+//! witnesses.
+//!
+//! * [`request`] — stripe requests, per-box download plans, start-up delays;
+//! * [`swarm`] — per-video swarm tracking and preload-stripe rotation;
+//! * [`scheduler`] — max-flow, greedy, and random per-round schedulers;
+//! * [`engine`] — the simulator itself;
+//! * [`metrics`] — per-round and aggregate measurements;
+//! * [`churn`] — failure injection (box departures) and allocation repair.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod churn;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod swarm;
+
+pub use churn::{ChurnEvent, ChurnModel, RepairReport};
+pub use engine::{FailurePolicy, SimConfig, Simulator};
+pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
+pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
+pub use scheduler::{GreedyScheduler, MaxFlowScheduler, RandomScheduler, Scheduler};
+pub use swarm::{Swarm, SwarmTracker};

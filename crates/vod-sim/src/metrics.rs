@@ -1,0 +1,300 @@
+//! Simulation metrics.
+//!
+//! The simulator records, per round and aggregated over the run, the
+//! quantities the experiments report: served/unserved requests, upload
+//! utilization, sourcing vs swarming split, start-up delays, and the
+//! obstructions witnessing infeasible rounds.
+
+use serde::{Deserialize, Serialize};
+use vod_core::{BoxId, VideoId};
+
+/// Per-round measurements.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// The round these metrics describe.
+    pub round: u64,
+    /// New video demands accepted this round.
+    pub new_demands: usize,
+    /// Active stripe requests needing a connection this round.
+    pub active_requests: usize,
+    /// Requests satisfied from the requester's own static storage
+    /// (no connection needed).
+    pub self_served: usize,
+    /// Requests served over the network this round.
+    pub served: usize,
+    /// Requests left unserved (stalls) this round.
+    pub unserved: usize,
+    /// Served requests whose supplier holds the stripe in its static
+    /// allocation (the paper's *sourcing*).
+    pub served_from_allocation: usize,
+    /// Served requests whose supplier only has the stripe in its playback
+    /// cache (the paper's *swarming*).
+    pub served_from_cache: usize,
+    /// Total upload slots available this round (Σ ⌊u_b·c⌋ net of relaying).
+    pub upload_slots_available: u64,
+    /// Number of boxes currently playing a video.
+    pub viewers: usize,
+    /// Largest swarm size this round.
+    pub max_swarm: usize,
+}
+
+impl RoundMetrics {
+    /// Fraction of available upload slots in use (0 when none available).
+    pub fn utilization(&self) -> f64 {
+        if self.upload_slots_available == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.upload_slots_available as f64
+        }
+    }
+
+    /// Fraction of active requests that stalled this round.
+    pub fn stall_rate(&self) -> f64 {
+        if self.active_requests == 0 {
+            0.0
+        } else {
+            self.unserved as f64 / self.active_requests as f64
+        }
+    }
+}
+
+/// A round in which the connection matching could not serve every request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The failing round.
+    pub round: u64,
+    /// Number of unserved requests.
+    pub unserved: usize,
+    /// Size of the obstruction (Hall-violating request set) extracted from
+    /// the minimum cut, if obstruction collection was enabled.
+    pub obstruction_size: Option<usize>,
+    /// Upload capacity (stripe connections) of the obstruction's
+    /// neighbourhood.
+    pub obstruction_capacity: Option<u64>,
+    /// Videos implicated in the unserved requests.
+    pub videos: Vec<VideoId>,
+}
+
+/// One completed playback, for start-up delay and completion statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaybackRecord {
+    /// The viewer.
+    pub box_id: BoxId,
+    /// The video played.
+    pub video: VideoId,
+    /// Swarm entry round.
+    pub entered_at: u64,
+    /// Start-up delay in rounds.
+    pub startup_delay: u64,
+    /// Rounds during which at least one of its stripe requests stalled.
+    pub stalled_rounds: u64,
+}
+
+/// Aggregated result of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Per-round metrics, in round order.
+    pub rounds: Vec<RoundMetrics>,
+    /// Failing rounds.
+    pub failures: Vec<FailureRecord>,
+    /// Completed (or still running at the end) playbacks.
+    pub playbacks: Vec<PlaybackRecord>,
+    /// Total demands accepted.
+    pub total_demands: usize,
+    /// Total demands rejected because the box was busy.
+    pub rejected_demands: usize,
+    /// True when the run was aborted on the first infeasible round.
+    pub aborted: bool,
+}
+
+impl SimulationReport {
+    /// Number of simulated rounds.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when every round was fully served.
+    pub fn all_rounds_feasible(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total stripe-request-rounds served over the run.
+    pub fn total_served(&self) -> u64 {
+        self.rounds.iter().map(|r| r.served as u64).sum()
+    }
+
+    /// Total stripe-request-rounds that stalled over the run.
+    pub fn total_unserved(&self) -> u64 {
+        self.rounds.iter().map(|r| r.unserved as u64).sum()
+    }
+
+    /// Fraction of request-rounds served (1.0 when nothing stalled).
+    pub fn service_ratio(&self) -> f64 {
+        let served = self.total_served();
+        let total = served + self.total_unserved();
+        if total == 0 {
+            1.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+
+    /// Mean upload utilization over rounds with any available capacity.
+    pub fn mean_utilization(&self) -> f64 {
+        let used: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter(|r| r.upload_slots_available > 0)
+            .map(RoundMetrics::utilization)
+            .collect();
+        if used.is_empty() {
+            0.0
+        } else {
+            used.iter().sum::<f64>() / used.len() as f64
+        }
+    }
+
+    /// Peak upload utilization over the run.
+    pub fn peak_utilization(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(RoundMetrics::utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Share of network-served requests that came from playback caches
+    /// (swarming) rather than the static allocation (sourcing).
+    pub fn swarming_share(&self) -> f64 {
+        let cache: u64 = self.rounds.iter().map(|r| r.served_from_cache as u64).sum();
+        let alloc: u64 = self
+            .rounds
+            .iter()
+            .map(|r| r.served_from_allocation as u64)
+            .sum();
+        if cache + alloc == 0 {
+            0.0
+        } else {
+            cache as f64 / (cache + alloc) as f64
+        }
+    }
+
+    /// Mean start-up delay over all playbacks (0 when none).
+    pub fn mean_startup_delay(&self) -> f64 {
+        if self.playbacks.is_empty() {
+            0.0
+        } else {
+            self.playbacks
+                .iter()
+                .map(|p| p.startup_delay as f64)
+                .sum::<f64>()
+                / self.playbacks.len() as f64
+        }
+    }
+
+    /// Maximum start-up delay over all playbacks.
+    pub fn max_startup_delay(&self) -> u64 {
+        self.playbacks
+            .iter()
+            .map(|p| p.startup_delay)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of playbacks that never stalled.
+    pub fn smooth_playback_ratio(&self) -> f64 {
+        if self.playbacks.is_empty() {
+            return 1.0;
+        }
+        self.playbacks.iter().filter(|p| p.stalled_rounds == 0).count() as f64
+            / self.playbacks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(served: usize, unserved: usize, slots: u64) -> RoundMetrics {
+        RoundMetrics {
+            served,
+            unserved,
+            upload_slots_available: slots,
+            active_requests: served + unserved,
+            ..RoundMetrics::default()
+        }
+    }
+
+    #[test]
+    fn utilization_and_stall_rate() {
+        let r = round(6, 2, 12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.stall_rate() - 0.25).abs() < 1e-12);
+        let empty = RoundMetrics::default();
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.stall_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimulationReport {
+            rounds: vec![round(4, 0, 8), round(8, 2, 8)],
+            failures: vec![FailureRecord {
+                round: 1,
+                unserved: 2,
+                obstruction_size: Some(3),
+                obstruction_capacity: Some(1),
+                videos: vec![VideoId(0)],
+            }],
+            playbacks: vec![
+                PlaybackRecord {
+                    box_id: BoxId(0),
+                    video: VideoId(0),
+                    entered_at: 0,
+                    startup_delay: 3,
+                    stalled_rounds: 0,
+                },
+                PlaybackRecord {
+                    box_id: BoxId(1),
+                    video: VideoId(0),
+                    entered_at: 1,
+                    startup_delay: 5,
+                    stalled_rounds: 2,
+                },
+            ],
+            total_demands: 2,
+            rejected_demands: 1,
+            aborted: false,
+        };
+        assert_eq!(report.round_count(), 2);
+        assert!(!report.all_rounds_feasible());
+        assert_eq!(report.total_served(), 12);
+        assert_eq!(report.total_unserved(), 2);
+        assert!((report.service_ratio() - 12.0 / 14.0).abs() < 1e-12);
+        assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(report.peak_utilization(), 1.0);
+        assert_eq!(report.mean_startup_delay(), 4.0);
+        assert_eq!(report.max_startup_delay(), 5);
+        assert_eq!(report.smooth_playback_ratio(), 0.5);
+    }
+
+    #[test]
+    fn swarming_share_counts_cache_served() {
+        let mut r0 = round(10, 0, 20);
+        r0.served_from_allocation = 6;
+        r0.served_from_cache = 4;
+        let report = SimulationReport {
+            rounds: vec![r0],
+            ..SimulationReport::default()
+        };
+        assert!((report.swarming_share() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let report = SimulationReport::default();
+        assert_eq!(report.service_ratio(), 1.0);
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert_eq!(report.smooth_playback_ratio(), 1.0);
+        assert!(report.all_rounds_feasible());
+    }
+}

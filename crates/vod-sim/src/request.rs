@@ -1,0 +1,360 @@
+//! Stripe requests and per-box playback state.
+//!
+//! When a user demands a video during `[t−1, t[`, the box enters the video's
+//! swarm at `t` and issues requests according to the preloading strategy of
+//! Section 3 (homogeneous) or Section 4 (heterogeneous relaying):
+//!
+//! * homogeneous box: 1 *preloading* request at `t`, the `c−1` *postponed*
+//!   requests at `t+1`; start-up delay 3 rounds;
+//! * poor box `b` with relay `r(b)`: the preloading request is issued by
+//!   `r(b)` at `t` and forwarded over statically reserved upload; `b` issues
+//!   `c_b = ⌊c·u_b − 4µ⁴⌋` direct requests at `t+2`; the remaining stripes are
+//!   requested by `r(b)` at `t+3` and forwarded; the effective time scale is
+//!   doubled;
+//! * rich box in a heterogeneous system: preload at `t`, postponed at `t+2`.
+//!
+//! A request stays *active* from its issue round until the playback ends
+//! (`t + T`): every active request must be matched to a supplier each round.
+
+use serde::{Deserialize, Serialize};
+use vod_core::{BoxId, StripeId, StripeIndex, VideoId};
+
+/// Whether a request is the preloading request or a postponed one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// The single stripe preloaded when entering the swarm.
+    Preload,
+    /// One of the `c−1` stripes requested after the preload.
+    Postponed,
+}
+
+/// One stripe request, attributed to the box that performs the download
+/// (the relay for relayed stripes of a poor box).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StripeRequest {
+    /// The requested stripe.
+    pub stripe: StripeId,
+    /// The box performing the download (and caching the stripe).
+    pub requester: BoxId,
+    /// The box that will play the video (differs from `requester` for
+    /// relayed requests).
+    pub viewer: BoxId,
+    /// Round at which the request was issued (`t_i` in the paper).
+    pub issued_at: u64,
+    /// Preload or postponed.
+    pub kind: RequestKind,
+}
+
+/// How one playing box obtains each stripe of its video.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StripePlan {
+    /// Downloaded directly by the viewer, activating at the given round.
+    Direct {
+        /// Round at which the request is issued.
+        activate_at: u64,
+        /// Preload or postponed.
+        kind: RequestKind,
+    },
+    /// Downloaded by the relay box and forwarded over reserved upload,
+    /// activating at the given round.
+    Relayed {
+        /// Round at which the relay issues the request.
+        activate_at: u64,
+        /// The relay box performing the download.
+        relay: BoxId,
+        /// Preload or postponed.
+        kind: RequestKind,
+    },
+}
+
+impl StripePlan {
+    /// Round at which the request becomes active.
+    pub fn activate_at(&self) -> u64 {
+        match self {
+            StripePlan::Direct { activate_at, .. } => *activate_at,
+            StripePlan::Relayed { activate_at, .. } => *activate_at,
+        }
+    }
+
+    /// The box that performs the download.
+    pub fn requester(&self, viewer: BoxId) -> BoxId {
+        match self {
+            StripePlan::Direct { .. } => viewer,
+            StripePlan::Relayed { relay, .. } => *relay,
+        }
+    }
+
+    /// Preload or postponed.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            StripePlan::Direct { kind, .. } => *kind,
+            StripePlan::Relayed { kind, .. } => *kind,
+        }
+    }
+}
+
+/// The state of one box currently playing a video.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaybackState {
+    /// The video being played.
+    pub video: VideoId,
+    /// Round at which the box entered the swarm.
+    pub entered_at: u64,
+    /// Round at which playback (and the requests) end: `entered_at + T`.
+    pub ends_at: u64,
+    /// Round at which playback actually starts (start-up delay after entry).
+    pub playback_starts_at: u64,
+    /// The per-stripe download plan, indexed by stripe index `0..c`.
+    pub plan: Vec<StripePlan>,
+}
+
+impl PlaybackState {
+    /// The stripe requests of this playback that are active at round `now`
+    /// (issued at or before `now`, playback not yet finished).
+    pub fn active_requests(&self, viewer: BoxId, now: u64) -> Vec<StripeRequest> {
+        if now >= self.ends_at {
+            return Vec::new();
+        }
+        self.plan
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.activate_at() <= now)
+            .map(|(idx, p)| StripeRequest {
+                stripe: StripeId::new(self.video, idx as StripeIndex),
+                requester: p.requester(viewer),
+                viewer,
+                issued_at: p.activate_at(),
+                kind: p.kind(),
+            })
+            .collect()
+    }
+
+    /// Start-up delay in rounds (from swarm entry to playback start).
+    pub fn startup_delay(&self) -> u64 {
+        self.playback_starts_at - self.entered_at
+    }
+}
+
+/// Builds the homogeneous download plan of Section 3: preload stripe at `t`,
+/// the other `c−1` stripes at `t+1`; playback starts at `t+3`.
+pub fn homogeneous_plan(
+    c: u16,
+    preload_stripe: StripeIndex,
+    entered_at: u64,
+) -> (Vec<StripePlan>, u64) {
+    let plan = (0..c)
+        .map(|i| {
+            if i == preload_stripe {
+                StripePlan::Direct {
+                    activate_at: entered_at,
+                    kind: RequestKind::Preload,
+                }
+            } else {
+                StripePlan::Direct {
+                    activate_at: entered_at + 1,
+                    kind: RequestKind::Postponed,
+                }
+            }
+        })
+        .collect();
+    (plan, entered_at + 3)
+}
+
+/// Builds the heterogeneous plan of Section 4 for a *rich* box: identical to
+/// the homogeneous plan except postponed requests move to `t+2` (the doubled
+/// time scale); playback starts at `t+4`.
+pub fn rich_plan(c: u16, preload_stripe: StripeIndex, entered_at: u64) -> (Vec<StripePlan>, u64) {
+    let plan = (0..c)
+        .map(|i| {
+            if i == preload_stripe {
+                StripePlan::Direct {
+                    activate_at: entered_at,
+                    kind: RequestKind::Preload,
+                }
+            } else {
+                StripePlan::Direct {
+                    activate_at: entered_at + 2,
+                    kind: RequestKind::Postponed,
+                }
+            }
+        })
+        .collect();
+    (plan, entered_at + 4)
+}
+
+/// Number of postponed stripes a poor box downloads directly:
+/// `c_b = ⌊c·u_b − 4µ⁴⌋`, clamped to `[0, c−1]`
+/// (`0` whenever `u_b ≤ 4µ⁴/c`, slightly stricter than the paper's `2µ⁴/c`
+/// cut-off, which only changes who carries the transfer, not feasibility).
+pub fn direct_stripe_budget(c: u16, upload_streams: f64, mu: f64) -> u16 {
+    let raw = (c as f64 * upload_streams - 4.0 * mu.powi(4)).floor();
+    if raw <= 0.0 {
+        0
+    } else {
+        (raw as u16).min(c.saturating_sub(1))
+    }
+}
+
+/// Builds the heterogeneous plan of Section 4 for a *poor* box relayed by
+/// `relay`: preload via relay at `t`, `c_b` direct postponed stripes at
+/// `t+2`, the remaining stripes via relay at `t+3`; playback starts at `t+5`.
+pub fn poor_plan(
+    c: u16,
+    preload_stripe: StripeIndex,
+    entered_at: u64,
+    relay: BoxId,
+    direct_budget: u16,
+) -> (Vec<StripePlan>, u64) {
+    let mut direct_left = direct_budget;
+    let plan = (0..c)
+        .map(|i| {
+            if i == preload_stripe {
+                StripePlan::Relayed {
+                    activate_at: entered_at,
+                    relay,
+                    kind: RequestKind::Preload,
+                }
+            } else if direct_left > 0 {
+                direct_left -= 1;
+                StripePlan::Direct {
+                    activate_at: entered_at + 2,
+                    kind: RequestKind::Postponed,
+                }
+            } else {
+                StripePlan::Relayed {
+                    activate_at: entered_at + 3,
+                    relay,
+                    kind: RequestKind::Postponed,
+                }
+            }
+        })
+        .collect();
+    (plan, entered_at + 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_plan_shape() {
+        let (plan, starts) = homogeneous_plan(4, 2, 10);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(starts, 13);
+        assert_eq!(
+            plan[2],
+            StripePlan::Direct {
+                activate_at: 10,
+                kind: RequestKind::Preload
+            }
+        );
+        for (i, p) in plan.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(p.activate_at(), 11);
+                assert_eq!(p.kind(), RequestKind::Postponed);
+            }
+        }
+    }
+
+    #[test]
+    fn active_requests_grow_with_time_and_stop_at_end() {
+        let (plan, starts) = homogeneous_plan(4, 0, 5);
+        let st = PlaybackState {
+            video: VideoId(7),
+            entered_at: 5,
+            ends_at: 25,
+            playback_starts_at: starts,
+            plan,
+        };
+        let viewer = BoxId(3);
+        assert_eq!(st.active_requests(viewer, 5).len(), 1);
+        assert_eq!(st.active_requests(viewer, 6).len(), 4);
+        assert_eq!(st.active_requests(viewer, 24).len(), 4);
+        assert!(st.active_requests(viewer, 25).is_empty());
+        assert_eq!(st.startup_delay(), 3);
+        // All requests attributed to the viewer in the homogeneous case.
+        assert!(st
+            .active_requests(viewer, 10)
+            .iter()
+            .all(|r| r.requester == viewer && r.viewer == viewer));
+    }
+
+    #[test]
+    fn direct_stripe_budget_formula() {
+        // c = 16, u_b = 0.5, µ = 1.05: 8 − 4·1.216 ≈ 3.1 → 3.
+        assert_eq!(direct_stripe_budget(16, 0.5, 1.05), 3);
+        // Tiny upload: zero budget.
+        assert_eq!(direct_stripe_budget(16, 0.1, 1.05), 0);
+        // Budget never reaches c (at least the preload goes via the relay).
+        assert_eq!(direct_stripe_budget(4, 10.0, 1.0), 3);
+    }
+
+    #[test]
+    fn poor_plan_routes_stripes_through_relay() {
+        let relay = BoxId(9);
+        let (plan, starts) = poor_plan(6, 1, 100, relay, 2);
+        assert_eq!(starts, 105);
+        // Preload stripe is relayed at t.
+        assert_eq!(
+            plan[1],
+            StripePlan::Relayed {
+                activate_at: 100,
+                relay,
+                kind: RequestKind::Preload
+            }
+        );
+        let direct = plan
+            .iter()
+            .filter(|p| matches!(p, StripePlan::Direct { .. }))
+            .count();
+        let relayed = plan
+            .iter()
+            .filter(|p| matches!(p, StripePlan::Relayed { .. }))
+            .count();
+        assert_eq!(direct, 2);
+        assert_eq!(relayed, 4); // preload + 3 postponed
+        // Direct stripes activate at t+2, relayed postponed at t+3.
+        for p in &plan {
+            match p {
+                StripePlan::Direct { activate_at, .. } => assert_eq!(*activate_at, 102),
+                StripePlan::Relayed {
+                    activate_at, kind, ..
+                } => {
+                    if *kind == RequestKind::Postponed {
+                        assert_eq!(*activate_at, 103);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poor_plan_requester_is_relay_for_relayed_stripes() {
+        let relay = BoxId(2);
+        let viewer = BoxId(5);
+        let (plan, starts) = poor_plan(4, 0, 0, relay, 1);
+        let st = PlaybackState {
+            video: VideoId(0),
+            entered_at: 0,
+            ends_at: 50,
+            playback_starts_at: starts,
+            plan,
+        };
+        let reqs = st.active_requests(viewer, 10);
+        assert_eq!(reqs.len(), 4);
+        let relayed: Vec<_> = reqs.iter().filter(|r| r.requester == relay).collect();
+        let direct: Vec<_> = reqs.iter().filter(|r| r.requester == viewer).collect();
+        assert_eq!(relayed.len(), 3);
+        assert_eq!(direct.len(), 1);
+        assert!(reqs.iter().all(|r| r.viewer == viewer));
+    }
+
+    #[test]
+    fn rich_plan_has_doubled_postponed_delay() {
+        let (plan, starts) = rich_plan(3, 0, 7);
+        assert_eq!(starts, 11);
+        assert_eq!(plan[0].activate_at(), 7);
+        assert_eq!(plan[1].activate_at(), 9);
+        assert_eq!(plan[2].activate_at(), 9);
+    }
+}

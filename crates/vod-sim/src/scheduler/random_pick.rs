@@ -1,0 +1,101 @@
+//! Random-choice baseline scheduler.
+//!
+//! Each request, in arrival order, picks a uniformly random candidate that
+//! still has capacity. This models a completely uncoordinated protocol
+//! (every box picks a source on its own) and lower-bounds the matching
+//! quality achievable without any load awareness.
+
+use super::Scheduler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vod_core::BoxId;
+
+/// Uncoordinated random scheduler.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates the scheduler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn schedule(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>]) -> Vec<Option<BoxId>> {
+        let mut remaining: Vec<u32> = capacities.to_vec();
+        let mut assignment = vec![None; candidates.len()];
+        for (x, cands) in candidates.iter().enumerate() {
+            let available: Vec<BoxId> = cands
+                .iter()
+                .copied()
+                .filter(|b| remaining[b.index()] > 0)
+                .collect();
+            if let Some(&b) = available.choose(&mut self.rng) {
+                remaining[b.index()] -= 1;
+                assignment[x] = Some(b);
+            }
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::assignment_is_valid;
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    #[test]
+    fn always_valid() {
+        let caps = vec![1, 1, 2];
+        let cands = vec![
+            vec![b(0), b(1), b(2)],
+            vec![b(0), b(2)],
+            vec![b(1)],
+            vec![b(2)],
+            vec![b(0)],
+        ];
+        for seed in 0..20 {
+            let a = RandomScheduler::new(seed).schedule(&caps, &cands);
+            assert!(assignment_is_valid(&a, &caps, &cands), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let caps = vec![2, 2];
+        let cands = vec![vec![b(0), b(1)]; 4];
+        let a = RandomScheduler::new(9).schedule(&caps, &cands);
+        let c = RandomScheduler::new(9).schedule(&caps, &cands);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn serves_everything_when_capacity_abounds() {
+        let caps = vec![10, 10];
+        let cands = vec![vec![b(0), b(1)]; 6];
+        let a = RandomScheduler::new(3).schedule(&caps, &cands);
+        assert!(a.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn no_candidates_means_unserved() {
+        let caps = vec![5];
+        let cands = vec![vec![]];
+        let a = RandomScheduler::new(0).schedule(&caps, &cands);
+        assert_eq!(a, vec![None]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # vod-workloads
+//!
+//! Demand-sequence generators for the P2P Video-on-Demand threshold model.
+//! The paper's guarantees are adversarial (any admissible demand sequence),
+//! so the experiment suite needs both the explicit worst-case sequences used
+//! in the proofs and stochastic traffic for typical-case behaviour:
+//!
+//! * [`demand`] — demand/occupancy abstractions and the swarm-growth limiter
+//!   enforcing `f(t+1) ≤ ⌈max{f(t),1}·µ⌉`;
+//! * [`adversarial`] — the never-owned-video attack (Section 1.3 lower bound)
+//!   and the poor-boxes-pile-on attack (Section 4 necessary condition);
+//! * [`flashcrowd`] — maximal-growth flash crowds (Theorem 1's stress case);
+//! * [`zipf`] / [`poisson`] — long-tailed and steady-state stochastic traffic;
+//! * [`sequential`] — back-to-back viewing keeping all `n` boxes busy;
+//! * [`trace`] — recordable, serializable, replayable demand traces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod demand;
+pub mod flashcrowd;
+pub mod poisson;
+pub mod sequential;
+pub mod trace;
+pub mod zipf;
+
+pub use adversarial::{NeverOwnedAttack, PoorBoxesSameVideo};
+pub use demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
+pub use flashcrowd::{CrowdSpec, FlashCrowd};
+pub use poisson::{PoissonDemand, Popularity};
+pub use sequential::{NextVideoPolicy, SequentialViewing};
+pub use trace::{DemandTrace, TraceReplay};
+pub use zipf::{ZipfDemand, ZipfSampler};

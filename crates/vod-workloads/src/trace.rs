@@ -1,0 +1,227 @@
+//! Precomputed demand traces.
+//!
+//! A [`DemandTrace`] is a finite, replayable demand sequence: it can be
+//! recorded from any [`DemandGenerator`] under a simple occupancy model,
+//! serialized for experiment reproducibility, and replayed as a generator.
+
+use crate::demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vod_core::VideoId;
+
+/// A finite demand sequence indexed by round.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandTrace {
+    by_round: BTreeMap<u64, Vec<VideoDemand>>,
+}
+
+impl DemandTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        DemandTrace::default()
+    }
+
+    /// Builds a trace from an explicit demand list.
+    pub fn from_demands(demands: impl IntoIterator<Item = VideoDemand>) -> Self {
+        let mut trace = DemandTrace::new();
+        for d in demands {
+            trace.push(d);
+        }
+        trace
+    }
+
+    /// Appends one demand.
+    pub fn push(&mut self, demand: VideoDemand) {
+        self.by_round.entry(demand.round).or_default().push(demand);
+    }
+
+    /// Demands arriving at `round`.
+    pub fn at(&self, round: u64) -> &[VideoDemand] {
+        self.by_round
+            .get(&round)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of demands.
+    pub fn len(&self) -> usize {
+        self.by_round.values().map(Vec::len).sum()
+    }
+
+    /// True when the trace contains no demand.
+    pub fn is_empty(&self) -> bool {
+        self.by_round.is_empty()
+    }
+
+    /// The last round with at least one demand, if any.
+    pub fn last_round(&self) -> Option<u64> {
+        self.by_round.keys().next_back().copied()
+    }
+
+    /// Iterator over all demands, in round order.
+    pub fn iter(&self) -> impl Iterator<Item = &VideoDemand> {
+        self.by_round.values().flatten()
+    }
+
+    /// Records `rounds` rounds of a generator under the standard occupancy
+    /// model: `n` boxes, each busy for `duration_rounds` after it starts a
+    /// video (the demand-level view of "at most one video per box").
+    pub fn record(
+        generator: &mut dyn DemandGenerator,
+        rounds: u64,
+        n: usize,
+        duration_rounds: u32,
+    ) -> Self {
+        let mut trace = DemandTrace::new();
+        // busy_until[b] = first round at which box b is free again.
+        let mut busy_until = vec![0u64; n];
+        for round in 0..rounds {
+            let free: Vec<bool> = busy_until.iter().map(|&t| t <= round).collect();
+            for d in generator.demands_at(round, &free) {
+                if d.box_id.index() < n && free[d.box_id.index()] {
+                    busy_until[d.box_id.index()] = round + duration_rounds as u64;
+                    trace.push(d);
+                }
+            }
+        }
+        trace
+    }
+
+    /// Per-video join counts per round, for growth-bound verification.
+    pub fn joins_per_round(&self, video: VideoId) -> Vec<usize> {
+        let last = match self.last_round() {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        (0..=last)
+            .map(|r| self.at(r).iter().filter(|d| d.video == video).count())
+            .collect()
+    }
+
+    /// Verifies that every video's join sequence respects growth bound `mu`.
+    /// Returns the first offending `(video, round)` pair, if any.
+    pub fn verify_growth(&self, mu: f64) -> Result<(), (VideoId, usize)> {
+        let mut videos: Vec<VideoId> = self.iter().map(|d| d.video).collect();
+        videos.sort();
+        videos.dedup();
+        for v in videos {
+            if let Err(round) = SwarmGrowthLimiter::verify(mu, &self.joins_per_round(v)) {
+                return Err((v, round));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays a recorded trace as a [`DemandGenerator`] (demands for busy boxes
+/// are dropped, mirroring a user who finds their box occupied).
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    trace: DemandTrace,
+}
+
+impl TraceReplay {
+    /// Wraps a trace for replay.
+    pub fn new(trace: DemandTrace) -> Self {
+        TraceReplay { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &DemandTrace {
+        &self.trace
+    }
+}
+
+impl DemandGenerator for TraceReplay {
+    fn demands_at(&mut self, round: u64, occupancy: &dyn OccupancyView) -> Vec<VideoDemand> {
+        self.trace
+            .at(round)
+            .iter()
+            .filter(|d| occupancy.is_free(d.box_id))
+            .copied()
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flashcrowd::FlashCrowd;
+    use vod_core::BoxId;
+
+    #[test]
+    fn push_and_query_by_round() {
+        let mut t = DemandTrace::new();
+        t.push(VideoDemand::new(BoxId(0), VideoId(1), 3));
+        t.push(VideoDemand::new(BoxId(1), VideoId(1), 3));
+        t.push(VideoDemand::new(BoxId(2), VideoId(0), 5));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.at(3).len(), 2);
+        assert_eq!(t.at(4).len(), 0);
+        assert_eq!(t.last_round(), Some(5));
+    }
+
+    #[test]
+    fn record_respects_occupancy_window() {
+        let mut gen = FlashCrowd::single(VideoId(0), 50, 4, 2.0, 1);
+        let trace = DemandTrace::record(&mut gen, 20, 10, 100);
+        // Only 10 boxes exist and each stays busy 100 rounds: at most 10
+        // demands fit in 20 rounds.
+        assert!(trace.len() <= 10);
+        // No box appears twice.
+        let mut ids: Vec<BoxId> = trace.iter().map(|d| d.box_id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
+    }
+
+    #[test]
+    fn recorded_flash_crowd_respects_growth_bound() {
+        let mut gen = FlashCrowd::single(VideoId(2), 60, 4, 1.7, 2);
+        let trace = DemandTrace::record(&mut gen, 30, 100, 50);
+        assert!(trace.verify_growth(1.7).is_ok());
+        // A tighter µ should be violated once the crowd ramps up.
+        assert!(trace.verify_growth(1.05).is_err());
+    }
+
+    #[test]
+    fn replay_matches_trace_for_free_boxes() {
+        let trace = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(1), VideoId(0), 0),
+            VideoDemand::new(BoxId(0), VideoId(1), 4),
+        ]);
+        let mut replay = TraceReplay::new(trace.clone());
+        let all_free = vec![true; 2];
+        assert_eq!(replay.demands_at(0, &all_free).len(), 2);
+        let only_one = vec![false, true];
+        assert_eq!(replay.demands_at(0, &only_one).len(), 1);
+        assert_eq!(replay.trace().len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(3), VideoId(2), 7),
+        ]);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: DemandTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn joins_per_round_counts_only_target_video() {
+        let trace = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(1), VideoId(1), 0),
+            VideoDemand::new(BoxId(2), VideoId(0), 2),
+        ]);
+        assert_eq!(trace.joins_per_round(VideoId(0)), vec![1, 0, 1]);
+        assert_eq!(trace.joins_per_round(VideoId(1)), vec![1, 0, 0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Flash-crowd scenario: a popular release attracts viewers at the maximal
+//! swarm growth rate and the swarm must become self-sustaining through
+//! swarming (playback-cache exchange) rather than the k allocation replicas.
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+
+use p2p_vod::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 96;
+    let mu = 1.5;
+    let params = SystemParams::new(n, 1.6, 8, 8, 4, mu, 80);
+    let mut rng = StdRng::seed_from_u64(11);
+    let system = VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(4), &mut rng)
+        .expect("allocation fits");
+
+    println!(
+        "System: n = {}, u = {:.1}, c = {}, k = 4, catalog = {} videos, µ = {}",
+        n,
+        system.average_upload(),
+        system.c(),
+        system.m(),
+        mu
+    );
+    println!(
+        "Premiere video v0 is stored on only {} boxes before the crowd arrives.",
+        system.holders_of(StripeId::new(VideoId(0), 0)).len()
+    );
+
+    // The whole fleet piles onto video 0 as fast as the growth bound allows.
+    let mut crowd = FlashCrowd::single(VideoId(0), n, system.m(), mu, 5);
+    let report = Simulator::new(&system, SimConfig::new(120)).run(&mut crowd);
+
+    println!("\nRound-by-round ramp-up (first 12 rounds):");
+    println!("round  new  viewers  requests  served  from-cache  util");
+    for r in report.rounds.iter().take(12) {
+        println!(
+            "{:>5}  {:>3}  {:>7}  {:>8}  {:>6}  {:>10}  {:.2}",
+            r.round,
+            r.new_demands,
+            r.viewers,
+            r.active_requests,
+            r.served,
+            r.served_from_cache,
+            r.utilization()
+        );
+    }
+
+    println!("\nOutcome:");
+    println!("  all rounds feasible : {}", report.all_rounds_feasible());
+    println!("  service ratio       : {:.4}", report.service_ratio());
+    println!("  swarming share      : {:.3}", report.swarming_share());
+    println!("  peak utilization    : {:.3}", report.peak_utilization());
+    println!(
+        "  viewers absorbed    : {} / {}",
+        report.total_demands, n
+    );
+
+    if let Some(failure) = report.failures.first() {
+        println!(
+            "  first failure at round {} ({} unserved, obstruction of {:?} requests)",
+            failure.round, failure.unserved, failure.obstruction_size
+        );
+    } else {
+        println!(
+            "  the crowd of {} viewers was absorbed without a single stall —",
+            report.total_demands
+        );
+        println!("  late joiners were fed by the playback caches of earlier joiners.");
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a homogeneous box fleet, pick Theorem 1 parameters,
+//! run a day of mixed viewing, and print a feasibility summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use p2p_vod::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Fleet description: 64 set-top boxes, upload twice the video bitrate,
+    //    storage for 8 feature-length videos each, swarm growth at most 30%
+    //    per round.
+    let n = 64;
+    let u = 2.0;
+    let d = 8.0;
+    let mu = 1.3;
+
+    // 2. Let Theorem 1 pick the stripe count and replication level, then
+    //    clamp the replication to something the storage can actually hold
+    //    (the theorem's constants are conservative).
+    let t1 = Theorem1Params::derive(n, u, d, mu).expect("u > 1 required");
+    println!("Theorem 1 parameters for (n={n}, u={u}, d={d}, µ={mu}):");
+    println!("  stripes per video      c  = {}", t1.c);
+    println!("  expansion margin       ν  = {:.4}", t1.nu);
+    println!("  effective upload       u′ = {:.3}", t1.u_prime);
+    println!("  prescribed replication k  = {}", t1.k);
+    println!("  analytic catalog bound    ≳ {:.1} videos", t1.catalog_bound);
+
+    // A practical deployment uses far less replication than the worst-case
+    // prescription; the simulator will confirm it still works for realistic
+    // demand.
+    let k = 4u32;
+    let params = SystemParams::new(n, u, d as u32, t1.c, k, mu, 60);
+    println!(
+        "\nDeployed configuration: c = {}, k = {}, catalog = {} videos",
+        t1.c,
+        k,
+        params.catalog_size()
+    );
+
+    // 3. Build the system with a random permutation allocation.
+    let mut rng = StdRng::seed_from_u64(2009);
+    let system = VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(k), &mut rng)
+        .expect("allocation fits");
+
+    // 4. Drive it with continuous viewing (every box always watching) for
+    //    three video durations and report.
+    let mut demand = SequentialViewing::new(n, system.m(), NextVideoPolicy::UniformRandom, mu, 7);
+    let report = Simulator::new(&system, SimConfig::new(180)).run(&mut demand);
+
+    println!("\nSimulation over {} rounds:", report.round_count());
+    println!("  demands accepted        {}", report.total_demands);
+    println!("  all rounds feasible     {}", report.all_rounds_feasible());
+    println!("  service ratio           {:.4}", report.service_ratio());
+    println!("  mean upload utilization {:.3}", report.mean_utilization());
+    println!("  swarming share          {:.3}", report.swarming_share());
+    println!("  mean start-up delay     {:.1} rounds", report.mean_startup_delay());
+
+    // 5. Contrast with an under-provisioned fleet (u < 1): the never-owned
+    //    adversary defeats it as soon as the catalog exceeds d·c videos.
+    let starved = SystemParams::new(n, 0.8, d as u32, 4, 1, mu, 60);
+    let mut rng = StdRng::seed_from_u64(2009);
+    let starved_system =
+        VideoSystem::homogeneous(starved, &RandomPermutationAllocator::new(1), &mut rng).unwrap();
+    let mut attack = NeverOwnedAttack::new(starved_system.placement(), starved_system.catalog(), mu);
+    let starved_report =
+        Simulator::new(&starved_system, SimConfig::new(60)).run(&mut attack);
+    println!(
+        "\nBelow the threshold (u = 0.8, catalog = {} videos): feasible = {}, first failure = {:?}",
+        starved_system.m(),
+        starved_report.all_rounds_feasible(),
+        starved_report.failures.first().map(|f| f.round)
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the max-flow / matching substrate: solver
+//! agreement, max-flow = min-cut, Lemma 1 (matching exists iff no
+//! obstruction), and validity of extracted matchings.
+
+use p2p_vod::prelude::*;
+use proptest::prelude::*;
+use vod_flow::{dinic, hopcroft_karp::HopcroftKarp, push_relabel, FlowNetwork};
+
+/// Strategy generating a random connection-matching instance: box capacities
+/// and per-request candidate lists.
+fn connection_instances() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<usize>>)> {
+    (2usize..8, 1usize..20).prop_flat_map(|(boxes, requests)| {
+        (
+            proptest::collection::vec(0u32..4, boxes),
+            proptest::collection::vec(
+                proptest::collection::vec(0usize..boxes, 0..boxes),
+                requests,
+            ),
+        )
+    })
+}
+
+/// Strategy generating a random DAG-ish flow network as an edge list over a
+/// fixed node count, plus source 0 and sink n-1.
+fn flow_networks() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (4usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0i64..20), 1..40);
+        (Just(n), edges)
+    })
+}
+
+fn build_network(n: usize, edges: &[(usize, usize, i64)]) -> FlowNetwork {
+    let mut g = FlowNetwork::with_nodes(n);
+    for &(a, b, cap) in edges {
+        if a != b {
+            g.add_edge(a, b, cap);
+        }
+    }
+    g
+}
+
+fn build_problem(caps: &[u32], cands: &[Vec<usize>]) -> ConnectionProblem {
+    let mut p = ConnectionProblem::new(caps.to_vec());
+    for list in cands {
+        p.add_request(list.iter().map(|&i| BoxId(i as u32)));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dinic and push-relabel compute the same max-flow value on arbitrary
+    /// networks, and that value equals the capacity of the residual min cut.
+    #[test]
+    fn maxflow_solvers_agree_and_match_min_cut((n, edges) in flow_networks()) {
+        let mut g1 = build_network(n, &edges);
+        let mut g2 = build_network(n, &edges);
+        let source = 0;
+        let sink = n - 1;
+        let f1 = dinic::max_flow(&mut g1, source, sink);
+        let f2 = push_relabel::max_flow(&mut g2, source, sink);
+        prop_assert_eq!(f1, f2, "Dinic {} vs push-relabel {}", f1, f2);
+
+        let side = g1.residual_reachable(source);
+        prop_assert!(side[source]);
+        prop_assert!(!side[sink]);
+        prop_assert_eq!(g1.cut_capacity(&side), f1);
+
+        // Flow conservation at internal nodes.
+        for v in 1..n - 1 {
+            prop_assert_eq!(g1.net_outflow(v), 0);
+        }
+        prop_assert_eq!(g1.net_outflow(source), f1);
+    }
+
+    /// On unit-capacity instances the flow matching equals Hopcroft–Karp.
+    #[test]
+    fn unit_capacity_matching_equals_hopcroft_karp(cands in proptest::collection::vec(
+        proptest::collection::vec(0usize..6, 0..6), 1..14)) {
+        let caps = vec![1u32; 6];
+        let problem = build_problem(&caps, &cands);
+        let flow_match = problem.solve();
+
+        let mut hk = HopcroftKarp::new(cands.len(), 6);
+        for (x, list) in cands.iter().enumerate() {
+            let mut seen = std::collections::BTreeSet::new();
+            for &b in list {
+                if seen.insert(b) {
+                    hk.add_edge(x, b);
+                }
+            }
+        }
+        let (hk_size, _) = hk.solve();
+        prop_assert_eq!(flow_match.served(), hk_size);
+    }
+
+    /// Lemma 1: the connection matching is complete iff no obstruction
+    /// exists, and any extracted obstruction is a genuine Hall violator.
+    #[test]
+    fn lemma1_matching_iff_no_obstruction((caps, cands) in connection_instances()) {
+        let problem = build_problem(&caps, &cands);
+        prop_assert!(verify_lemma1(&problem).is_ok());
+        if let Some(ob) = find_obstruction(&problem) {
+            prop_assert!(ob.capacity < ob.requests.len() as u64);
+            // Re-checking the subset explicitly gives the same capacity.
+            let recheck = vod_flow::check_subset(&problem, &ob.requests);
+            prop_assert_eq!(recheck.capacity, ob.capacity);
+        }
+    }
+
+    /// Solved matchings are always valid: every assignment is a declared
+    /// candidate and no box exceeds its capacity; adding upload capacity
+    /// never reduces the number of requests served.
+    #[test]
+    fn matchings_valid_and_monotone_in_capacity((caps, cands) in connection_instances()) {
+        let problem = build_problem(&caps, &cands);
+        let matching = problem.solve();
+        prop_assert!(matching.is_valid_for(&problem));
+
+        let boosted: Vec<u32> = caps.iter().map(|c| c + 1).collect();
+        let boosted_problem = build_problem(&boosted, &cands);
+        let boosted_matching = boosted_problem.solve();
+        prop_assert!(boosted_matching.served() >= matching.served());
+    }
+
+    /// Both flow solvers serve the same number of requests on matching
+    /// instances (the assignments may differ, the value may not).
+    #[test]
+    fn connection_solvers_agree((caps, cands) in connection_instances()) {
+        let problem = build_problem(&caps, &cands);
+        let a = problem.solve_with(FlowSolver::Dinic);
+        let b = problem.solve_with(FlowSolver::PushRelabel);
+        prop_assert_eq!(a.served(), b.served());
+        prop_assert!(b.is_valid_for(&problem));
+    }
+}

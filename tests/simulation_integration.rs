@@ -1,0 +1,201 @@
+//! Cross-crate integration tests of the simulator: scheduler comparisons,
+//! heterogeneous relaying, workload admissibility, and serialization of the
+//! experiment artefacts.
+
+use p2p_vod::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn homogeneous(n: usize, u: f64, c: u16, k: u32, duration: u32, seed: u64) -> VideoSystem {
+    let params = SystemParams::new(n, u, 8, c, k, 1.3, duration);
+    let mut rng = StdRng::seed_from_u64(seed);
+    VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(k), &mut rng).unwrap()
+}
+
+/// The max-flow scheduler never serves fewer request-rounds than the greedy
+/// or random baselines on the same system and demand seed.
+#[test]
+fn maxflow_scheduler_dominates_baselines() {
+    let sys = homogeneous(24, 1.3, 4, 2, 24, 31);
+    let run = |scheduler: Box<dyn Scheduler>| {
+        let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.3, 5);
+        Simulator::with_scheduler(&sys, SimConfig::new(40).continue_on_failure(), scheduler)
+            .run(&mut gen)
+    };
+    let mf = run(Box::new(MaxFlowScheduler::new()));
+    let greedy = run(Box::new(GreedyScheduler::new()));
+    let random = run(Box::new(RandomScheduler::new(1)));
+    assert!(mf.total_served() >= greedy.total_served());
+    assert!(mf.total_served() >= random.total_served());
+    assert!(mf.service_ratio() >= greedy.service_ratio());
+}
+
+/// A u*-balanced heterogeneous fleet (poor DSL boxes + rich fibre boxes)
+/// survives the poor-boxes-pile-on attack via relaying.
+#[test]
+fn heterogeneous_relaying_serves_pile_on_attack() {
+    let c: u16 = 8;
+    let mut uploads = vec![0.6f64; 12];
+    uploads.extend(vec![2.6f64; 12]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let n = boxes.len();
+    let d_avg = boxes.average_storage_videos(c);
+    let u_star = Bandwidth::from_streams(1.2);
+
+    let catalog = Catalog::uniform(30, 40, c);
+    let params = SystemParams::new(n, 1.6, d_avg.round() as u32, c, 3, 1.2, 40);
+    let mut rng = StdRng::seed_from_u64(8);
+    let system = VideoSystem::heterogeneous(
+        params,
+        boxes,
+        catalog,
+        &RandomPermutationAllocator::new(3),
+        Some(u_star),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Every poor box has a relay, and relays retain at least u* of open
+    // capacity after reservations.
+    let plan = system.compensation().unwrap();
+    assert_eq!(plan.covered_poor(), 12);
+    for (_, relay) in plan.assignments() {
+        assert!(system.available_upload(relay) >= u_star);
+    }
+
+    let poor = system.boxes().poor_ids(u_star);
+    let rich = system.boxes().rich_ids(u_star);
+    let mut attack = PoorBoxesSameVideo::new(
+        poor,
+        rich,
+        VideoId(0),
+        system.placement(),
+        system.catalog(),
+        1.2,
+    );
+    let report = Simulator::new(&system, SimConfig::new(80)).run(&mut attack);
+    assert!(
+        report.all_rounds_feasible(),
+        "relayed fleet failed: {:?}",
+        report.failures.first()
+    );
+    // Poor boxes pay the doubled-time-scale start-up delay (5 rounds).
+    assert!(report.max_startup_delay() >= 5);
+}
+
+/// Every demand trace produced by the built-in generators respects the swarm
+/// growth bound they were configured with, and the simulator accepts at most
+/// one concurrent video per box.
+#[test]
+fn generated_traces_are_admissible() {
+    let n = 40;
+    let mu = 1.4;
+    let mut flash = FlashCrowd::single(VideoId(0), n, 50, mu, 3);
+    let trace = DemandTrace::record(&mut flash, 30, n, 25);
+    assert!(trace.verify_growth(mu).is_ok());
+
+    let mut zipf = ZipfDemand::new(50, 0.9, 6, mu, 4);
+    let trace = DemandTrace::record(&mut zipf, 30, n, 25);
+    assert!(trace.verify_growth(mu).is_ok());
+
+    let mut seq = SequentialViewing::new(n, 50, NextVideoPolicy::UniformRandom, mu, 5);
+    let trace = DemandTrace::record(&mut seq, 30, n, 25);
+    assert!(trace.verify_growth(mu).is_ok());
+    // With duration 25 and 30 rounds, a box can start at most twice.
+    let mut per_box = std::collections::HashMap::new();
+    for d in trace.iter() {
+        *per_box.entry(d.box_id).or_insert(0usize) += 1;
+    }
+    assert!(per_box.values().all(|&count| count <= 2));
+}
+
+/// Simulation reports and demand traces serialize to JSON and back without
+/// loss (the experiment harness persists both).
+#[test]
+fn experiment_artefacts_serde_round_trip() {
+    let sys = homogeneous(12, 2.0, 4, 2, 15, 17);
+    let mut gen = SequentialViewing::new(12, sys.m(), NextVideoPolicy::RoundRobin, 1.3, 2);
+    let report = Simulator::new(&sys, SimConfig::new(25)).run(&mut gen);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SimulationReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+
+    let mut flash = FlashCrowd::single(VideoId(1), 8, sys.m(), 1.3, 1);
+    let trace = DemandTrace::record(&mut flash, 10, 12, 15);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: DemandTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+
+    // The system itself (parameters + placement) round-trips too.
+    let json = serde_json::to_string(&sys).unwrap();
+    let back: VideoSystem = serde_json::from_str(&json).unwrap();
+    assert_eq!(sys, back);
+}
+
+/// Monte-Carlo trials, the workload runner, and the analytic machinery agree
+/// on an easy instance: zero observed failures, non-vacuous (or at least
+/// consistent) first-moment behaviour as k grows.
+#[test]
+fn montecarlo_and_first_moment_bound_are_consistent() {
+    let spec = TrialSpec {
+        n: 20,
+        u: 2.0,
+        d: 8,
+        c: 4,
+        k: 4,
+        mu: 1.3,
+        duration: 20,
+        rounds: 30,
+        catalog: None,
+    };
+    let est = estimate_failure_probability(&spec, WorkloadKind::FlashCrowd, 4, 55, 2);
+    assert_eq!(est.failures, 0);
+
+    // The analytic bound is monotone in k on the same shape of system.
+    let bound = |k: u32| {
+        first_moment_bound(&BoundParams {
+            n: 200,
+            m: 100,
+            c: 8,
+            k,
+            u: 2.0,
+            mu: 1.3,
+        })
+    };
+    assert!(bound(60) <= bound(20));
+    assert!(bound(200) <= bound(60));
+}
+
+/// Churn + repair keeps an adversarially-usable allocation: after killing a
+/// few boxes and repairing, the flash crowd is still served.
+#[test]
+fn churn_repair_preserves_feasibility() {
+    use vod_sim::ChurnModel;
+
+    let params = SystemParams::new(30, 2.0, 8, 4, 3, 1.3, 25);
+    let mut rng = StdRng::seed_from_u64(41);
+    // Use a catalog below the storage-saturating d·n/k so the surviving boxes
+    // have spare slots to absorb repaired replicas.
+    let sys = VideoSystem::homogeneous_with_catalog(
+        params,
+        60,
+        &RandomPermutationAllocator::new(3),
+        &mut rng,
+    )
+    .unwrap();
+
+    let caps: Vec<u32> = sys.boxes().iter().map(|b| b.storage.slots()).collect();
+    let mut churn = ChurnModel::new(caps, 3);
+    let (_event, mut surviving) =
+        churn.fail_random(sys.placement(), sys.catalog(), 4, &mut rng);
+    let repair = churn.repair(&mut surviving, sys.catalog());
+    // Stripes that kept at least one surviving replica are restored to the
+    // target level; only stripes that lost every copy stay unrepairable.
+    for stripe in sys.catalog().stripes() {
+        if repair.unrepairable.contains(&stripe) {
+            assert_eq!(surviving.replica_count(stripe), 0);
+        } else {
+            assert!(surviving.replica_count(stripe) >= 3);
+        }
+    }
+}
