@@ -32,7 +32,9 @@ pub use montecarlo::{
     estimate_failure_probability, run_trial, run_workload, FeasibilityEstimate, TrialOutcome,
     TrialSpec, WorkloadKind,
 };
-pub use obstruction::{first_moment_bound, ln_first_moment_bound, required_k_for_bound, BoundParams};
+pub use obstruction::{
+    first_moment_bound, ln_first_moment_bound, required_k_for_bound, BoundParams,
+};
 pub use report::{fmt_f, fmt_prob, Table};
 pub use stats::{quantile, wilson_ci95, Histogram, Summary};
 pub use theorem1::Theorem1Params;

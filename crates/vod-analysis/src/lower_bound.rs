@@ -7,8 +7,6 @@
 //! the aggregate download requirement is `n` while the aggregate upload is
 //! only `u·n < n`. Hence `m ≤ d_max/ℓ = O(1)` — the catalog is constant.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum catalog size achievable when `u < 1`: `⌊d_max/ℓ⌋`, i.e.
 /// `d_max·c` when boxes store whole stripes of size `ℓ = 1/c`.
 pub fn catalog_cap(d_max_videos: f64, c: u16) -> usize {
@@ -24,7 +22,7 @@ pub fn bandwidth_shortfall(viewers: usize, total_upload: f64) -> f64 {
 }
 
 /// Summary of the impossibility argument for one parameter point.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LowerBoundCheck {
     /// Average upload `u`.
     pub u: f64,

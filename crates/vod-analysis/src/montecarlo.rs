@@ -10,14 +10,15 @@
 //! the proofs identify as extremal), complementing the analytic first-moment
 //! bound of [`crate::obstruction`] from above.
 //!
-//! Trials are embarrassingly parallel; they are fanned out over a
-//! `crossbeam` scoped thread pool.
+//! Trials are embarrassingly parallel; they are fanned out over scoped
+//! worker threads (`std::thread::scope`) pulling trial indices from a shared
+//! atomic counter.
 
 use crate::stats::wilson_ci95;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use vod_core::{CoreError, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem};
 use vod_sim::{SimConfig, SimulationReport, Simulator};
 use vod_workloads::{
@@ -25,7 +26,7 @@ use vod_workloads::{
 };
 
 /// Parameters of one Monte-Carlo trial family.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrialSpec {
     /// Number of boxes `n`.
     pub n: usize,
@@ -68,7 +69,7 @@ impl TrialSpec {
 }
 
 /// Which demand family drives a trial.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// Single maximal-growth flash crowd absorbing every box.
     FlashCrowd,
@@ -90,7 +91,7 @@ impl WorkloadKind {
 }
 
 /// Outcome of one trial.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrialOutcome {
     /// True when every round was fully served.
     pub feasible: bool,
@@ -166,7 +167,7 @@ pub fn run_workload(
 }
 
 /// Aggregated Monte-Carlo estimate.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FeasibilityEstimate {
     /// Trials run.
     pub trials: usize,
@@ -193,30 +194,27 @@ pub fn estimate_failure_probability(
 ) -> FeasibilityEstimate {
     let threads = threads.max(1);
     let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(trials));
-    let next: Mutex<usize> = Mutex::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let index = {
-                    let mut guard = next.lock();
-                    if *guard >= trials {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= trials {
+                    break;
+                }
                 let seed = base_seed.wrapping_add(index as u64);
                 if let Ok(outcome) = run_trial(spec, workload, seed) {
-                    results.lock().push(outcome);
+                    results
+                        .lock()
+                        .expect("monte-carlo worker panicked")
+                        .push(outcome);
                 }
             });
         }
-    })
-    .expect("monte-carlo worker panicked");
+    });
 
-    let outcomes = results.into_inner();
+    let outcomes = results.into_inner().expect("monte-carlo worker panicked");
     let trials_run = outcomes.len();
     let failures = outcomes.iter().filter(|o| !o.feasible).count();
     let failure_rate = if trials_run == 0 {
@@ -284,8 +282,7 @@ mod tests {
     #[test]
     fn estimate_aggregates_and_bounds_rate() {
         let spec = healthy_spec();
-        let est =
-            estimate_failure_probability(&spec, WorkloadKind::Sequential, 6, 100, 2);
+        let est = estimate_failure_probability(&spec, WorkloadKind::Sequential, 6, 100, 2);
         assert_eq!(est.trials, 6);
         assert_eq!(est.failures, 0);
         assert_eq!(est.failure_rate, 0.0);
@@ -300,8 +297,7 @@ mod tests {
             k: 1,
             ..healthy_spec()
         };
-        let est =
-            estimate_failure_probability(&spec, WorkloadKind::NeverOwned, 4, 7, 2);
+        let est = estimate_failure_probability(&spec, WorkloadKind::NeverOwned, 4, 7, 2);
         assert_eq!(est.trials, 4);
         assert_eq!(est.failures, 4);
         assert_eq!(est.failure_rate, 1.0);

@@ -4,11 +4,10 @@
 //! [`Table`]s, rendered either as GitHub-flavoured markdown (for
 //! EXPERIMENTS.md) or CSV (for plotting).
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A simple column-oriented results table.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     /// Table title (rendered as a heading above the table).
     pub title: String,
@@ -63,7 +62,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -85,7 +88,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

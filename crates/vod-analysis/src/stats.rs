@@ -1,9 +1,7 @@
 //! Small statistics toolkit for experiment summaries.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -89,7 +87,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 }
 
 /// Fixed-width histogram over `[min, max]` with `bins` buckets.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     /// Left edge of the first bucket.
     pub min: f64,

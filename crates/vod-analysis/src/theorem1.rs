@@ -13,8 +13,6 @@
 //! achieving catalog size `m = d·n/k = Ω((u−1)²·log((u+1)/2) / (u³µ²) ·
 //! d·n/log d′)`.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's `d′ = max{d, u, e}`.
 pub fn d_prime(d: f64, u: f64) -> f64 {
     d.max(u).max(std::f64::consts::E)
@@ -90,7 +88,7 @@ pub fn tradeoff_asymptotic(u: f64) -> f64 {
 }
 
 /// All derived Theorem 1 parameters for a concrete system size.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Theorem1Params {
     /// Number of boxes `n`.
     pub n: usize,

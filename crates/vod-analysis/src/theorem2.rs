@@ -10,8 +10,7 @@
 //! * replication `k ≥ 5·ν⁻¹·log d′ / log u′`;
 //! * catalog `Ω((u*−1)²·log((u*+3)/4) / µ⁴ · d·n / log d′)` for `u* ≤ 2`.
 
-use serde::{Deserialize, Serialize};
-use vod_core::{BoxSet, Bandwidth};
+use vod_core::{Bandwidth, BoxSet};
 
 /// `d′ = max{d, u*, e}` for the heterogeneous bound.
 pub fn d_prime(d: f64, u_star: f64) -> f64 {
@@ -84,7 +83,7 @@ pub fn necessary_condition(boxes: &BoxSet) -> (f64, f64) {
 }
 
 /// All derived Theorem 2 parameters for a concrete system size.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Theorem2Params {
     /// Number of boxes `n`.
     pub n: usize,
@@ -159,8 +158,8 @@ mod tests {
         // Relaying costs capacity, so the heterogeneous requirement is more
         // conservative than Theorem 1's at the same nominal threshold.
         let (u, d, mu) = (1.5, 10.0, 1.2);
-        let k1 = theorem1::min_replication(u, d, theorem1::paper_stripes(u, mu).unwrap(), mu)
-            .unwrap();
+        let k1 =
+            theorem1::min_replication(u, d, theorem1::paper_stripes(u, mu).unwrap(), mu).unwrap();
         let k2 = min_replication(u, d, paper_stripes(u, mu).unwrap(), mu).unwrap();
         assert!(k2 >= k1, "k2 = {k2} < k1 = {k1}");
     }
@@ -178,8 +177,16 @@ mod tests {
     #[test]
     fn necessary_condition_computation() {
         let boxes = BoxSet::new(vec![
-            NodeBox::new(BoxId(0), Bandwidth::from_streams(0.5), StorageSlots::from_slots(8)),
-            NodeBox::new(BoxId(1), Bandwidth::from_streams(2.5), StorageSlots::from_slots(8)),
+            NodeBox::new(
+                BoxId(0),
+                Bandwidth::from_streams(0.5),
+                StorageSlots::from_slots(8),
+            ),
+            NodeBox::new(
+                BoxId(1),
+                Bandwidth::from_streams(2.5),
+                StorageSlots::from_slots(8),
+            ),
         ]);
         let (u, rhs) = necessary_condition(&boxes);
         assert!((u - 1.5).abs() < 1e-9);

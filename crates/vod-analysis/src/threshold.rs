@@ -6,10 +6,9 @@
 //! become servable, and the largest catalog a given configuration sustains.
 
 use crate::montecarlo::{estimate_failure_probability, TrialSpec, WorkloadKind};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a bisection search.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SearchConfig {
     /// Monte-Carlo trials per probed point.
     pub trials_per_point: usize,
@@ -33,7 +32,7 @@ impl Default for SearchConfig {
 }
 
 /// Result of probing one parameter point.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProbeResult {
     /// The probed upload `u` (or other swept value, depending on the search).
     pub value: f64,

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 use vod_core::{
-    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator,
-    RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
+    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator, RandomPermutationAllocator,
+    RoundRobinAllocator, StorageSlots,
 };
 
 fn bench_allocators(criterion: &mut Criterion) {

@@ -25,16 +25,12 @@ fn bench_montecarlo(criterion: &mut Criterion) {
             rounds: 30,
             catalog: None,
         };
-        group.bench_with_input(
-            BenchmarkId::new("mc-trial-flash-crowd", n),
-            &n,
-            |b, _| b.iter(|| run_trial(&spec, WorkloadKind::FlashCrowd, 5).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mc-trial-sequential", n),
-            &n,
-            |b, _| b.iter(|| run_trial(&spec, WorkloadKind::Sequential, 5).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("mc-trial-flash-crowd", n), &n, |b, _| {
+            b.iter(|| run_trial(&spec, WorkloadKind::FlashCrowd, 5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("mc-trial-sequential", n), &n, |b, _| {
+            b.iter(|| run_trial(&spec, WorkloadKind::Sequential, 5).unwrap())
+        });
     }
 
     for &n in &[500usize, 2000] {
@@ -46,11 +42,9 @@ fn bench_montecarlo(criterion: &mut Criterion) {
             u: 2.0,
             mu: 1.2,
         };
-        group.bench_with_input(
-            BenchmarkId::new("first-moment-bound", n),
-            &n,
-            |b, _| b.iter(|| first_moment_bound(&params)),
-        );
+        group.bench_with_input(BenchmarkId::new("first-moment-bound", n), &n, |b, _| {
+            b.iter(|| first_moment_bound(&params))
+        });
     }
     group.finish();
 }

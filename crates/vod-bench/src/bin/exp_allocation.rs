@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use vod_analysis::{Summary, Table};
 use vod_bench::{print_header, Scale};
 use vod_core::{
-    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator,
-    RandomPermutationAllocator, StorageSlots,
+    Allocator, Bandwidth, BoxSet, Catalog, RandomIndependentAllocator, RandomPermutationAllocator,
+    StorageSlots,
 };
 
 fn main() {

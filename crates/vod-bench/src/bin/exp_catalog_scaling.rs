@@ -36,12 +36,8 @@ fn main() {
         for &n in sizes {
             let point = TrialSpec { n, u, ..spec };
             let storage_limit = point.catalog_size();
-            let measured = max_feasible_catalog(
-                &point,
-                WorkloadKind::Sequential,
-                storage_limit,
-                &config,
-            );
+            let measured =
+                max_feasible_catalog(&point, WorkloadKind::Sequential, storage_limit, &config);
             let bound = theorem1::catalog_bound(n, u, spec.d as f64, spec.mu);
             table.push_row(vec![
                 n.to_string(),

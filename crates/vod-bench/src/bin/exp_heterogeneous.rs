@@ -54,11 +54,7 @@ fn run_fleet(poor_count: usize, rich_count: usize, relay: bool, scale: Scale) ->
     );
     let rounds = scale.pick(60u64, 120);
     let report = Simulator::new(&system, SimConfig::new(rounds)).run(&mut attack);
-    (
-        report.all_rounds_feasible(),
-        report.service_ratio(),
-        avg_u,
-    )
+    (report.all_rounds_feasible(), report.service_ratio(), avg_u)
 }
 
 fn main() {

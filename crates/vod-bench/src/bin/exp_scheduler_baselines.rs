@@ -7,14 +7,12 @@
 
 use vod_analysis::{Table, TrialSpec};
 use vod_bench::{base_spec, build_system, print_header, Scale};
-use vod_sim::{GreedyScheduler, MaxFlowScheduler, RandomScheduler, Scheduler, SimConfig, Simulator};
+use vod_sim::{
+    GreedyScheduler, MaxFlowScheduler, RandomScheduler, Scheduler, SimConfig, Simulator,
+};
 use vod_workloads::{NextVideoPolicy, SequentialViewing};
 
-fn run_with(
-    spec: &TrialSpec,
-    scheduler: Box<dyn Scheduler>,
-    seed: u64,
-) -> (bool, f64) {
+fn run_with(spec: &TrialSpec, scheduler: Box<dyn Scheduler>, seed: u64) -> (bool, f64) {
     let system = build_system(spec, seed);
     let mut gen = SequentialViewing::new(
         spec.n,
@@ -25,7 +23,9 @@ fn run_with(
     );
     let report = Simulator::with_scheduler(
         &system,
-        SimConfig::new(spec.rounds).continue_on_failure().without_obstructions(),
+        SimConfig::new(spec.rounds)
+            .continue_on_failure()
+            .without_obstructions(),
         scheduler,
     )
     .run(&mut gen);

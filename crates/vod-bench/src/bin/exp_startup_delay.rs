@@ -13,7 +13,7 @@ use vod_core::{
     Bandwidth, Catalog, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem,
 };
 use vod_sim::{SimConfig, SimulationReport, Simulator};
-use vod_workloads::{DemandGenerator, FlashCrowd, Popularity, PoissonDemand};
+use vod_workloads::{DemandGenerator, FlashCrowd, PoissonDemand, Popularity};
 
 fn delays(report: &SimulationReport) -> Vec<f64> {
     report
@@ -35,7 +35,15 @@ fn main() {
 
     let mut table = Table::new(
         "Start-up delay distribution (rounds)",
-        &["system", "workload", "playbacks", "mean", "p50", "p99", "max"],
+        &[
+            "system",
+            "workload",
+            "playbacks",
+            "mean",
+            "p50",
+            "p99",
+            "max",
+        ],
     );
 
     // Homogeneous, two workloads.
@@ -53,7 +61,13 @@ fn main() {
         ),
         (
             "flash crowd",
-            Box::new(FlashCrowd::single(VideoId(0), spec.n, system.m(), spec.mu, 5)),
+            Box::new(FlashCrowd::single(
+                VideoId(0),
+                spec.n,
+                system.m(),
+                spec.mu,
+                5,
+            )),
         ),
     ];
     for (name, mut gen) in workloads {
@@ -78,7 +92,15 @@ fn main() {
     let d_avg = boxes.average_storage_videos(c);
     let avg_u = boxes.average_upload();
     let m = ((d_avg * spec.n as f64) / 3.0).floor() as usize;
-    let params = SystemParams::new(spec.n, avg_u, d_avg.round() as u32, c, 3, 1.2, spec.duration);
+    let params = SystemParams::new(
+        spec.n,
+        avg_u,
+        d_avg.round() as u32,
+        c,
+        3,
+        1.2,
+        spec.duration,
+    );
     let mut rng = StdRng::seed_from_u64(6);
     let hetero = VideoSystem::heterogeneous(
         params,

@@ -39,12 +39,8 @@ fn main() {
         let cubic = theorem1::tradeoff_asymptotic(u) * cubic_scale;
         let point = TrialSpec { u, ..spec };
         let storage_limit = point.catalog_size();
-        let measured = max_feasible_catalog(
-            &point,
-            WorkloadKind::Sequential,
-            storage_limit,
-            &config,
-        );
+        let measured =
+            max_feasible_catalog(&point, WorkloadKind::Sequential, storage_limit, &config);
         table.push_row(vec![
             format!("{u:.2}"),
             format!("{bound:.0}"),

@@ -126,6 +126,6 @@ mod tests {
     #[test]
     fn worker_threads_positive_and_bounded() {
         let t = worker_threads();
-        assert!(t >= 1 && t <= 8);
+        assert!((1..=8).contains(&t));
     }
 }

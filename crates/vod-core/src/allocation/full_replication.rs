@@ -74,8 +74,7 @@ impl Allocator for FullReplicationAllocator {
                     if placement.box_load(b.id) >= slots {
                         break;
                     }
-                    let idx =
-                        ((b.id.0 as usize + video.index() + offset) % c as usize) as u16;
+                    let idx = ((b.id.0 as usize + video.index() + offset) % c as usize) as u16;
                     placement.add(b.id, StripeId::new(video, idx));
                 }
                 offset += 1;
@@ -100,7 +99,11 @@ mod tests {
 
     #[test]
     fn every_box_holds_every_video() {
-        let boxes = BoxSet::homogeneous(6, Bandwidth::from_streams(0.8), StorageSlots::from_slots(12));
+        let boxes = BoxSet::homogeneous(
+            6,
+            Bandwidth::from_streams(0.8),
+            StorageSlots::from_slots(12),
+        );
         let catalog = Catalog::uniform(10, 120, 4);
         let mut rng = StdRng::seed_from_u64(0);
         let p = FullReplicationAllocator::new()
@@ -131,7 +134,11 @@ mod tests {
     fn rejects_catalog_larger_than_per_box_storage() {
         // m = 20 videos but each box has only 12 slots: m > d·c is the
         // paper's impossibility regime for this scheme.
-        let boxes = BoxSet::homogeneous(6, Bandwidth::from_streams(0.8), StorageSlots::from_slots(12));
+        let boxes = BoxSet::homogeneous(
+            6,
+            Bandwidth::from_streams(0.8),
+            StorageSlots::from_slots(12),
+        );
         let catalog = Catalog::uniform(20, 120, 4);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(

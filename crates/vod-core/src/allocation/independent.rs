@@ -237,8 +237,16 @@ mod tests {
     #[test]
     fn placement_prefers_bigger_boxes() {
         let boxes = BoxSet::new(vec![
-            NodeBox::new(BoxId(0), Bandwidth::ONE_STREAM, StorageSlots::from_slots(10)),
-            NodeBox::new(BoxId(1), Bandwidth::ONE_STREAM, StorageSlots::from_slots(1000)),
+            NodeBox::new(
+                BoxId(0),
+                Bandwidth::ONE_STREAM,
+                StorageSlots::from_slots(10),
+            ),
+            NodeBox::new(
+                BoxId(1),
+                Bandwidth::ONE_STREAM,
+                StorageSlots::from_slots(1000),
+            ),
         ]);
         let catalog = Catalog::uniform(50, 120, 4); // 200 replicas with k=1
         let mut rng = StdRng::seed_from_u64(9);

@@ -26,19 +26,17 @@ pub use round_robin::RoundRobinAllocator;
 
 use crate::catalog::Catalog;
 use crate::error::CoreError;
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use crate::node::{BoxId, BoxSet};
 use crate::video::{StripeId, VideoId};
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The result of an allocation: which box stores which stripes.
 ///
-/// Serialization only persists the per-box stripe lists (JSON cannot key maps
-/// by structured stripe identifiers); the holder index is rebuilt on
-/// deserialization.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(into = "PlacementRepr", from = "PlacementRepr")]
+/// Serialization only persists the per-box stripe lists (the holder index is
+/// rebuilt on deserialization).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Placement {
     /// Stripes stored by each box (catalog storage, not the playback cache).
     /// A stripe appears at most once per box; duplicate draws are counted in
@@ -51,34 +49,25 @@ pub struct Placement {
     wasted_slots: usize,
 }
 
-/// Serde mirror of [`Placement`] without the derived holder index.
-#[derive(Clone, Serialize, Deserialize)]
-struct PlacementRepr {
-    per_box: Vec<Vec<StripeId>>,
-    wasted_slots: usize,
-}
-
-impl From<Placement> for PlacementRepr {
-    fn from(p: Placement) -> Self {
-        PlacementRepr {
-            per_box: p.per_box,
-            wasted_slots: p.wasted_slots,
-        }
+impl JsonCodec for Placement {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("per_box", self.per_box.to_json()),
+            ("wasted_slots", self.wasted_slots.to_json()),
+        ])
     }
-}
-
-impl From<PlacementRepr> for Placement {
-    fn from(repr: PlacementRepr) -> Self {
-        let mut placement = Placement::empty(repr.per_box.len());
-        for (idx, stripes) in repr.per_box.iter().enumerate() {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let per_box = Vec::<Vec<StripeId>>::from_json(json.field("per_box")?)?;
+        let mut placement = Placement::empty(per_box.len());
+        for (idx, stripes) in per_box.iter().enumerate() {
             for &stripe in stripes {
                 placement.add(BoxId(idx as u32), stripe);
             }
         }
         // Duplicate draws were already deduplicated before serialization, so
         // re-adding cannot create new waste; restore the recorded figure.
-        placement.wasted_slots = repr.wasted_slots;
-        placement
+        placement.wasted_slots = usize::from_json(json.field("wasted_slots")?)?;
+        Ok(placement)
     }
 }
 

@@ -59,10 +59,8 @@ impl Allocator for RandomPermutationAllocator {
         let mut cursor = 0usize;
         for b in boxes.iter() {
             let slots = b.storage.slots() as usize;
-            for entry in &entries[cursor..cursor + slots] {
-                if let Some(stripe) = entry {
-                    placement.add(b.id, *stripe);
-                }
+            for stripe in entries[cursor..cursor + slots].iter().flatten() {
+                placement.add(b.id, *stripe);
             }
             cursor += slots;
         }
@@ -125,7 +123,9 @@ mod tests {
         assert_eq!(p.total_replicas() + p.wasted_slots(), 200);
         // Every box has exactly 10 slots' worth of entries drawn, so load can
         // only be below 10 if duplicates were drawn for that box.
-        assert!(p.min_load() + p.wasted_slots() >= 10 || p.wasted_slots() > 0 || p.min_load() == 10);
+        assert!(
+            p.min_load() + p.wasted_slots() >= 10 || p.wasted_slots() > 0 || p.min_load() == 10
+        );
     }
 
     #[test]
@@ -139,11 +139,7 @@ mod tests {
 
     #[test]
     fn rejects_oversized_catalog() {
-        let boxes = BoxSet::homogeneous(
-            4,
-            Bandwidth::ONE_STREAM,
-            StorageSlots::from_slots(4),
-        );
+        let boxes = BoxSet::homogeneous(4, Bandwidth::ONE_STREAM, StorageSlots::from_slots(4));
         let catalog = Catalog::uniform(10, 120, 4); // 40 stripes > 16 slots
         let mut rng = StdRng::seed_from_u64(0);
         let err = RandomPermutationAllocator::new(1)
@@ -167,7 +163,11 @@ mod tests {
         use crate::node::{BoxId, NodeBox};
         let boxes = BoxSet::new(vec![
             NodeBox::new(BoxId(0), Bandwidth::ONE_STREAM, StorageSlots::from_slots(2)),
-            NodeBox::new(BoxId(1), Bandwidth::ONE_STREAM, StorageSlots::from_slots(20)),
+            NodeBox::new(
+                BoxId(1),
+                Bandwidth::ONE_STREAM,
+                StorageSlots::from_slots(20),
+            ),
             NodeBox::new(BoxId(2), Bandwidth::ONE_STREAM, StorageSlots::from_slots(6)),
         ]);
         let catalog = Catalog::uniform(7, 120, 2); // 14 stripes, k=2 -> 28 replicas ≤ 28 slots

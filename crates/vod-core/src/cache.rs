@@ -12,11 +12,10 @@
 //! obey the same window semantics, keyed by the forwarding start time.
 
 use crate::video::StripeId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The sliding-window playback cache of one box.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PlaybackCache {
     /// For each stripe held in the cache, the round at which this box started
     /// downloading it (its own request time, or the forwarding start time for
@@ -44,8 +43,7 @@ impl PlaybackCache {
     /// rounds before `now` (the cache holds at most one video file, i.e. `T`
     /// rounds of data).
     pub fn evict_older_than(&mut self, now: u64, window: u64) {
-        self.entries
-            .retain(|_, &mut start| start + window >= now);
+        self.entries.retain(|_, &mut start| start + window >= now);
     }
 
     /// The round at which this box started downloading `stripe`, if the

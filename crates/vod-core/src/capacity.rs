@@ -10,7 +10,7 @@
 //! stream) and convert to integer stripe slots with explicit floor semantics
 //! (`⌊u·c⌋`, as in the paper).
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonCodec, JsonError};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
@@ -22,8 +22,17 @@ pub const MILLIS_PER_STREAM: u64 = 1_000;
 ///
 /// Internally stored as an integer count of millistreams so that capacity
 /// arithmetic (sums, comparisons against `|X|/c`) is exact.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(u64);
+
+impl JsonCodec for Bandwidth {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Bandwidth(u64::from_json(json)?))
+    }
+}
 
 impl Bandwidth {
     /// Zero upload capacity (a pure client box).
@@ -137,8 +146,17 @@ impl fmt::Display for Bandwidth {
 /// The paper measures storage `d` in whole videos; with `c` stripes per video
 /// a box with storage `d` videos has `d·c` stripe slots. Keeping the slot
 /// count integral lets the permutation allocation fill boxes exactly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct StorageSlots(u32);
+
+impl JsonCodec for StorageSlots {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(StorageSlots(u32::from_json(json)?))
+    }
+}
 
 impl StorageSlots {
     /// No storage at all.

@@ -4,14 +4,29 @@
 //! a system is catalog-scalable when `m = Ω(n)` videos can be stored while
 //! still serving any admissible demand sequence.
 
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use crate::video::{StripeId, Video, VideoId};
-use serde::{Deserialize, Serialize};
 
 /// The set of videos managed by the system.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Catalog {
     videos: Vec<Video>,
     stripes_per_video: u16,
+}
+
+impl JsonCodec for Catalog {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("videos", self.videos.to_json()),
+            ("stripes_per_video", self.stripes_per_video.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Catalog {
+            videos: Vec::<Video>::from_json(json.field("videos")?)?,
+            stripes_per_video: u16::from_json(json.field("stripes_per_video")?)?,
+        })
+    }
 }
 
 impl Catalog {

@@ -10,8 +10,8 @@
 
 use crate::capacity::Bandwidth;
 use crate::error::CoreError;
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use crate::node::{BoxId, BoxSet};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The reservation a poor box needs on its relay: `u* + 1 − 2·u_b`
@@ -21,7 +21,7 @@ pub fn relay_reservation(u_star: Bandwidth, poor_upload: Bandwidth) -> Bandwidth
 }
 
 /// The assignment of poor boxes to rich relays, with reserved capacities.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CompensationPlan {
     /// Relay box `r(b)` for each poor box `b`.
     relay_of: HashMap<BoxId, BoxId>,
@@ -29,6 +29,23 @@ pub struct CompensationPlan {
     reserved_on: HashMap<BoxId, Bandwidth>,
     /// The threshold `u*` used to build the plan.
     u_star: Bandwidth,
+}
+
+impl JsonCodec for CompensationPlan {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("relay_of", self.relay_of.to_json()),
+            ("reserved_on", self.reserved_on.to_json()),
+            ("u_star", self.u_star.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CompensationPlan {
+            relay_of: HashMap::from_json(json.field("relay_of")?)?,
+            reserved_on: HashMap::from_json(json.field("reserved_on")?)?,
+            u_star: Bandwidth::from_json(json.field("u_star")?)?,
+        })
+    }
 }
 
 impl CompensationPlan {
@@ -48,7 +65,10 @@ impl CompensationPlan {
 
     /// Total upload reserved on rich box `a` by its assigned poor boxes.
     pub fn reserved(&self, rich: BoxId) -> Bandwidth {
-        self.reserved_on.get(&rich).copied().unwrap_or(Bandwidth::ZERO)
+        self.reserved_on
+            .get(&rich)
+            .copied()
+            .unwrap_or(Bandwidth::ZERO)
     }
 
     /// The threshold `u*` this plan was built for.
@@ -118,11 +138,7 @@ impl CompensationPlan {
 
 /// Checks the `u*`-storage-balance condition: `2 ≤ d_b/u_b ≤ d/u*` for every
 /// box with positive upload (boxes with zero upload trivially violate it).
-pub fn check_storage_balance(
-    boxes: &BoxSet,
-    c: u16,
-    u_star: Bandwidth,
-) -> Result<(), CoreError> {
+pub fn check_storage_balance(boxes: &BoxSet, c: u16, u_star: Bandwidth) -> Result<(), CoreError> {
     let d = boxes.average_storage_videos(c);
     let upper = d / u_star.as_streams();
     for b in boxes.iter() {
@@ -263,17 +279,18 @@ mod tests {
     #[test]
     fn compensation_fails_without_rich_headroom() {
         // Rich boxes barely at u*: no headroom to absorb reservations.
-        let mut v = Vec::new();
-        v.push(NodeBox::new(
-            BoxId(0),
-            Bandwidth::from_streams(0.5),
-            StorageSlots::from_slots(8),
-        ));
-        v.push(NodeBox::new(
-            BoxId(1),
-            Bandwidth::from_streams(1.2),
-            StorageSlots::from_slots(8),
-        ));
+        let v = vec![
+            NodeBox::new(
+                BoxId(0),
+                Bandwidth::from_streams(0.5),
+                StorageSlots::from_slots(8),
+            ),
+            NodeBox::new(
+                BoxId(1),
+                Bandwidth::from_streams(1.2),
+                StorageSlots::from_slots(8),
+            ),
+        ];
         let boxes = BoxSet::new(v);
         let err = compensate(&boxes, Bandwidth::from_streams(1.2)).unwrap_err();
         assert!(matches!(err, CoreError::CompensationInfeasible { .. }));
@@ -281,11 +298,8 @@ mod tests {
 
     #[test]
     fn compensation_fails_with_no_rich_box() {
-        let boxes = BoxSet::homogeneous(
-            4,
-            Bandwidth::from_streams(0.9),
-            StorageSlots::from_slots(8),
-        );
+        let boxes =
+            BoxSet::homogeneous(4, Bandwidth::from_streams(0.9), StorageSlots::from_slots(8));
         assert!(matches!(
             compensate(&boxes, Bandwidth::from_streams(1.1)),
             Err(CoreError::CompensationInfeasible { unassigned_poor: 4 })
@@ -294,7 +308,8 @@ mod tests {
 
     #[test]
     fn homogeneous_rich_population_needs_no_plan() {
-        let boxes = BoxSet::homogeneous(4, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8));
+        let boxes =
+            BoxSet::homogeneous(4, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8));
         let plan = compensate(&boxes, Bandwidth::from_streams(1.2)).unwrap();
         assert_eq!(plan.covered_poor(), 0);
         plan.validate(&boxes).unwrap();
@@ -305,8 +320,16 @@ mod tests {
         let c = 4;
         // d/u = 4 everywhere, d(avg) = 8, u* = 1.5 -> upper bound 8/1.5 ≈ 5.33.
         let boxes = BoxSet::new(vec![
-            NodeBox::new(BoxId(0), Bandwidth::from_streams(1.0), StorageSlots::from_videos(4, c)),
-            NodeBox::new(BoxId(1), Bandwidth::from_streams(3.0), StorageSlots::from_videos(12, c)),
+            NodeBox::new(
+                BoxId(0),
+                Bandwidth::from_streams(1.0),
+                StorageSlots::from_videos(4, c),
+            ),
+            NodeBox::new(
+                BoxId(1),
+                Bandwidth::from_streams(3.0),
+                StorageSlots::from_videos(12, c),
+            ),
         ]);
         assert!(check_storage_balance(&boxes, c, Bandwidth::from_streams(1.5)).is_ok());
         // Ratio below 2 violates the lower bound.

@@ -33,6 +33,7 @@ pub mod capacity;
 pub mod catalog;
 pub mod compensation;
 pub mod error;
+pub mod json;
 pub mod node;
 pub mod params;
 pub mod system;
@@ -47,6 +48,7 @@ pub use capacity::{Bandwidth, StorageSlots};
 pub use catalog::Catalog;
 pub use compensation::{check_storage_balance, compensate, CompensationPlan};
 pub use error::CoreError;
+pub use json::{Json, JsonCodec, JsonError};
 pub use node::{BoxId, BoxSet, NodeBox};
 pub use params::SystemParams;
 pub use system::VideoSystem;

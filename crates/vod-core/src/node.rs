@@ -6,12 +6,21 @@
 //! (`u_b < u*`), and each poor box relays its requests through a rich box.
 
 use crate::capacity::{Bandwidth, StorageSlots};
-use serde::{Deserialize, Serialize};
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use std::fmt;
 
 /// Identifier of a box (peer / set-top box).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BoxId(pub u32);
+
+impl JsonCodec for BoxId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BoxId(u32::from_json(json)?))
+    }
+}
 
 impl BoxId {
     /// Index usable into per-box arrays.
@@ -33,7 +42,7 @@ impl fmt::Display for BoxId {
 }
 
 /// Static description of one box.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct NodeBox {
     /// The box identifier.
     pub id: BoxId,
@@ -44,10 +53,31 @@ pub struct NodeBox {
     pub storage: StorageSlots,
 }
 
+impl JsonCodec for NodeBox {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", self.id.to_json()),
+            ("upload", self.upload.to_json()),
+            ("storage", self.storage.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(NodeBox {
+            id: BoxId::from_json(json.field("id")?)?,
+            upload: Bandwidth::from_json(json.field("upload")?)?,
+            storage: StorageSlots::from_json(json.field("storage")?)?,
+        })
+    }
+}
+
 impl NodeBox {
     /// Creates a box description.
     pub const fn new(id: BoxId, upload: Bandwidth, storage: StorageSlots) -> Self {
-        NodeBox { id, upload, storage }
+        NodeBox {
+            id,
+            upload,
+            storage,
+        }
     }
 
     /// Storage capacity expressed in videos for stripe count `c` (`d_b`).
@@ -89,9 +119,20 @@ impl NodeBox {
 }
 
 /// A population of boxes, indexed densely by [`BoxId`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BoxSet {
     boxes: Vec<NodeBox>,
+}
+
+impl JsonCodec for BoxSet {
+    fn to_json(&self) -> Json {
+        self.boxes.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BoxSet {
+            boxes: Vec::<NodeBox>::from_json(json)?,
+        })
+    }
 }
 
 impl BoxSet {

@@ -14,11 +14,11 @@
 
 use crate::capacity::Bandwidth;
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
+use crate::json::{obj, Json, JsonCodec, JsonError};
 
 /// Parameters of an `(n, u, d)`-video system together with the protocol
 /// parameters (`c`, `k`, `µ`, `T`).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemParams {
     /// Number of boxes `n`.
     pub n: usize,
@@ -34,6 +34,31 @@ pub struct SystemParams {
     pub swarm_growth: f64,
     /// Video duration `T`, in rounds.
     pub duration_rounds: u32,
+}
+
+impl JsonCodec for SystemParams {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("n", self.n.to_json()),
+            ("upload", self.upload.to_json()),
+            ("storage_videos", self.storage_videos.to_json()),
+            ("stripes", self.stripes.to_json()),
+            ("replication", self.replication.to_json()),
+            ("swarm_growth", self.swarm_growth.to_json()),
+            ("duration_rounds", self.duration_rounds.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SystemParams {
+            n: usize::from_json(json.field("n")?)?,
+            upload: Bandwidth::from_json(json.field("upload")?)?,
+            storage_videos: u32::from_json(json.field("storage_videos")?)?,
+            stripes: u16::from_json(json.field("stripes")?)?,
+            replication: u32::from_json(json.field("replication")?)?,
+            swarm_growth: f64::from_json(json.field("swarm_growth")?)?,
+            duration_rounds: u32::from_json(json.field("duration_rounds")?)?,
+        })
+    }
 }
 
 impl SystemParams {

@@ -10,20 +10,41 @@ use crate::capacity::{Bandwidth, StorageSlots};
 use crate::catalog::Catalog;
 use crate::compensation::{check_storage_balance, compensate, CompensationPlan};
 use crate::error::CoreError;
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use crate::node::{BoxId, BoxSet, NodeBox};
 use crate::params::SystemParams;
 use crate::video::StripeId;
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
 
 /// A fully assembled video system.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VideoSystem {
     params: SystemParams,
     boxes: BoxSet,
     catalog: Catalog,
     placement: Placement,
     compensation: Option<CompensationPlan>,
+}
+
+impl JsonCodec for VideoSystem {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("params", self.params.to_json()),
+            ("boxes", self.boxes.to_json()),
+            ("catalog", self.catalog.to_json()),
+            ("placement", self.placement.to_json()),
+            ("compensation", self.compensation.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(VideoSystem {
+            params: SystemParams::from_json(json.field("params")?)?,
+            boxes: BoxSet::from_json(json.field("boxes")?)?,
+            catalog: Catalog::from_json(json.field("catalog")?)?,
+            placement: Placement::from_json(json.field("placement")?)?,
+            compensation: Option::<CompensationPlan>::from_json(json.field("compensation")?)?,
+        })
+    }
 }
 
 impl VideoSystem {
@@ -123,11 +144,7 @@ impl VideoSystem {
     /// Builds a *proportionally heterogeneous* population where every box
     /// keeps the ratio `u_b/d_b = u/d`, with upload capacities given
     /// explicitly (storage derived from the ratio, rounded to whole slots).
-    pub fn proportional_boxes(
-        uploads: &[f64],
-        storage_per_upload: f64,
-        c: u16,
-    ) -> BoxSet {
+    pub fn proportional_boxes(uploads: &[f64], storage_per_upload: f64, c: u16) -> BoxSet {
         let boxes = uploads
             .iter()
             .enumerate()
@@ -212,7 +229,10 @@ impl VideoSystem {
     /// `u > 1 + Δ(1)/n`. Returns the left- and right-hand sides.
     pub fn heterogeneous_necessary_condition(&self) -> (f64, f64) {
         let u = self.boxes.average_upload();
-        let deficit = self.boxes.upload_deficit(Bandwidth::ONE_STREAM).as_streams();
+        let deficit = self
+            .boxes
+            .upload_deficit(Bandwidth::ONE_STREAM)
+            .as_streams();
         (u, 1.0 + deficit / self.n() as f64)
     }
 
@@ -242,9 +262,8 @@ mod tests {
     #[test]
     fn homogeneous_construction() {
         let mut rng = StdRng::seed_from_u64(1);
-        let sys =
-            VideoSystem::homogeneous(params(), &RandomPermutationAllocator::new(4), &mut rng)
-                .unwrap();
+        let sys = VideoSystem::homogeneous(params(), &RandomPermutationAllocator::new(4), &mut rng)
+            .unwrap();
         assert_eq!(sys.n(), 40);
         assert_eq!(sys.m(), 80); // d*n/k = 8*40/4
         assert_eq!(sys.c(), 4);
@@ -299,11 +318,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_box_count_mismatch_rejected() {
-        let boxes = BoxSet::homogeneous(
-            4,
-            Bandwidth::ONE_STREAM,
-            StorageSlots::from_videos(8, 4),
-        );
+        let boxes = BoxSet::homogeneous(4, Bandwidth::ONE_STREAM, StorageSlots::from_videos(8, 4));
         let catalog = Catalog::uniform(4, 240, 4);
         let mut rng = StdRng::seed_from_u64(2);
         let err = VideoSystem::heterogeneous(

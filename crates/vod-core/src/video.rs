@@ -6,12 +6,21 @@
 //! stripe is the unit of storage and replication: the random allocation
 //! places `k` replicas of every stripe on the boxes.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{obj, Json, JsonCodec, JsonError};
 use std::fmt;
 
 /// Identifier of a video in the catalog.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VideoId(pub u32);
+
+impl JsonCodec for VideoId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(VideoId(u32::from_json(json)?))
+    }
+}
 
 impl VideoId {
     /// Index usable into per-video arrays.
@@ -36,12 +45,27 @@ impl fmt::Display for VideoId {
 pub type StripeIndex = u16;
 
 /// Identifier of one stripe of one video.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StripeId {
     /// The video this stripe belongs to.
     pub video: VideoId,
     /// Which of the `c` stripes of that video this is.
     pub index: StripeIndex,
+}
+
+impl JsonCodec for StripeId {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("video", self.video.to_json()),
+            ("index", self.index.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(StripeId {
+            video: VideoId::from_json(json.field("video")?)?,
+            index: StripeIndex::from_json(json.field("index")?)?,
+        })
+    }
 }
 
 impl StripeId {
@@ -83,7 +107,7 @@ impl fmt::Display for StripeId {
 /// The paper assumes all videos have the same duration `T` (feature-length
 /// films); we nevertheless keep the duration per video so that experiments
 /// exploring heterogeneous durations remain possible.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Video {
     /// The video identifier.
     pub id: VideoId,
@@ -91,10 +115,28 @@ pub struct Video {
     pub duration_rounds: u32,
 }
 
+impl JsonCodec for Video {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", self.id.to_json()),
+            ("duration_rounds", self.duration_rounds.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Video {
+            id: VideoId::from_json(json.field("id")?)?,
+            duration_rounds: u32::from_json(json.field("duration_rounds")?)?,
+        })
+    }
+}
+
 impl Video {
     /// Creates a video of the given duration.
     pub const fn new(id: VideoId, duration_rounds: u32) -> Self {
-        Video { id, duration_rounds }
+        Video {
+            id,
+            duration_rounds,
+        }
     }
 
     /// Iterator over the stripe identifiers of this video for stripe count `c`.

@@ -1,0 +1,409 @@
+//! Reusable flow-graph arena: the solver-facing network representation.
+//!
+//! The per-round scheduling loop solves one max-flow instance per simulated
+//! round, and consecutive instances are nearly identical. Rebuilding a
+//! [`crate::graph::FlowNetwork`] each round costs one heap allocation per
+//! node (its adjacency is a `Vec<Vec<usize>>`). The [`FlowArena`] stores the
+//! same residual graph in flat arrays — an edge list with intrusive
+//! linked-list adjacency (`head`/`next`) — so [`FlowArena::clear`] and
+//! [`FlowArena::rebuild_from`] reuse every allocation: after warm-up, a
+//! steady-state round performs **zero** heap allocations in the flow layer.
+//!
+//! Edge indices are assigned in insertion order and the residual twin of edge
+//! `e` is always `e ^ 1`, exactly as in [`crate::graph::FlowNetwork`], so the
+//! two representations are index-compatible and flows can be copied between
+//! them ([`FlowArena::rebuild_from`], [`crate::graph::FlowNetwork::sync_flows_from`]).
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// Sentinel terminating an adjacency list.
+const NIL: i64 = -1;
+
+/// One directed edge of the arena (the residual twin lives at `index ^ 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaEdge {
+    /// Target node.
+    pub to: u32,
+    /// Remaining residual capacity.
+    pub cap: i64,
+    /// Capacity the edge was created (or last re-capacitated) with.
+    pub original_cap: i64,
+}
+
+/// A flow network in flat reusable storage.
+#[derive(Clone, Debug, Default)]
+pub struct FlowArena {
+    edges: Vec<ArenaEdge>,
+    /// First outgoing edge per node (`-1` when none).
+    head: Vec<i64>,
+    /// Next edge in the source node's adjacency list (`-1` terminates).
+    next: Vec<i64>,
+}
+
+impl FlowArena {
+    /// Creates an empty arena with no nodes.
+    pub fn new() -> Self {
+        FlowArena::default()
+    }
+
+    /// Creates an empty arena pre-sized for `nodes` nodes and `edges`
+    /// directed edges (twins included).
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        FlowArena {
+            edges: Vec::with_capacity(edges),
+            head: Vec::with_capacity(nodes),
+            next: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Drops every node and edge but keeps the allocations, then recreates
+    /// `nodes` isolated nodes.
+    pub fn clear(&mut self, nodes: usize) {
+        self.edges.clear();
+        self.next.clear();
+        self.head.clear();
+        self.head.resize(nodes, NIL);
+    }
+
+    /// Adds one extra node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.head.push(NIL);
+        self.head.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of directed edges (including residual twins).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` and returns its
+    /// edge index (the residual twin is at `index ^ 1`).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64) -> usize {
+        assert!(
+            from < self.head.len() && to < self.head.len(),
+            "node out of range"
+        );
+        assert!(cap >= 0, "capacity must be non-negative");
+        let idx = self.edges.len();
+        self.edges.push(ArenaEdge {
+            to: to as u32,
+            cap,
+            original_cap: cap,
+        });
+        self.edges.push(ArenaEdge {
+            to: from as u32,
+            cap: 0,
+            original_cap: 0,
+        });
+        self.next.push(self.head[from]);
+        self.next.push(self.head[to]);
+        self.head[from] = idx as i64;
+        self.head[to] = idx as i64 + 1;
+        idx
+    }
+
+    /// The edge with the given index.
+    pub fn edge(&self, idx: usize) -> ArenaEdge {
+        self.edges[idx]
+    }
+
+    /// Target node of edge `idx`.
+    pub fn target(&self, idx: usize) -> NodeId {
+        self.edges[idx].to as usize
+    }
+
+    /// Residual capacity of edge `idx`.
+    pub fn residual(&self, idx: usize) -> i64 {
+        self.edges[idx].cap
+    }
+
+    /// Flow currently pushed along edge `idx` (original capacity minus
+    /// residual capacity).
+    pub fn flow_on(&self, idx: usize) -> i64 {
+        self.edges[idx].original_cap - self.edges[idx].cap
+    }
+
+    /// Pushes `amount` units of flow along edge `idx`, updating the twin.
+    /// Negative amounts cancel previously pushed flow.
+    pub fn push(&mut self, idx: usize, amount: i64) {
+        self.edges[idx].cap -= amount;
+        self.edges[idx ^ 1].cap += amount;
+        debug_assert!(self.edges[idx].cap >= 0, "over-pushed edge {idx}");
+        debug_assert!(self.edges[idx ^ 1].cap >= 0, "over-cancelled edge {idx}");
+    }
+
+    /// Re-capacitates edge `idx` to `cap`, preserving the flow currently on
+    /// it.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when the current flow exceeds the new
+    /// capacity — the caller must cancel excess flow first.
+    pub fn set_capacity(&mut self, idx: usize, cap: i64) {
+        assert!(cap >= 0, "capacity must be non-negative");
+        let flow = self.flow_on(idx);
+        debug_assert!(
+            flow <= cap,
+            "edge {idx} carries {flow} units, above the new capacity {cap}"
+        );
+        self.edges[idx].original_cap = cap;
+        self.edges[idx].cap = cap - flow;
+    }
+
+    /// First outgoing edge of `node`, or `None` (start of an adjacency walk;
+    /// continue with [`FlowArena::next_edge`]).
+    pub fn first_edge(&self, node: NodeId) -> Option<usize> {
+        let e = self.head[node];
+        (e != NIL).then_some(e as usize)
+    }
+
+    /// Edge following `idx` in its source node's adjacency list.
+    pub fn next_edge(&self, idx: usize) -> Option<usize> {
+        let e = self.next[idx];
+        (e != NIL).then_some(e as usize)
+    }
+
+    /// Iterator over the indices of the edges leaving `node` (forward edges
+    /// and residual twins).
+    pub fn edges_from(&self, node: NodeId) -> EdgeIter<'_> {
+        EdgeIter {
+            arena: self,
+            cursor: self.head[node],
+        }
+    }
+
+    /// Resets every edge to its original capacity (discarding all flow) while
+    /// keeping the graph structure.
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.original_cap;
+        }
+    }
+
+    /// Rebuilds this arena as an index-exact copy of `network`, reusing the
+    /// arena's allocations. Edge indices, capacities, and current flow all
+    /// carry over.
+    pub fn rebuild_from(&mut self, network: &FlowNetwork) {
+        self.clear(network.node_count());
+        // FlowNetwork adjacency preserves insertion order per node but not
+        // globally, so recover each forward edge's source node first.
+        let mut sources = vec![0usize; network.edge_count()];
+        for node in 0..network.node_count() {
+            for &idx in network.edges_from(node) {
+                if idx % 2 == 0 {
+                    sources[idx] = node;
+                }
+            }
+        }
+        for idx in (0..network.edge_count()).step_by(2) {
+            let edge = network.edge(idx);
+            let new_idx = self.add_edge(sources[idx], edge.to, edge.original_cap);
+            debug_assert_eq!(new_idx, idx);
+            // Carry the current flow over.
+            let flow = edge.original_cap - edge.cap;
+            if flow != 0 {
+                self.push(idx, flow);
+            }
+        }
+    }
+
+    /// Marks the nodes reachable from `start` in the residual graph (edges
+    /// with strictly positive residual capacity) into `seen`, reusing `seen`
+    /// and `stack` as scratch. After a maximum flow this is the source side
+    /// of a minimum cut.
+    pub fn residual_reachable_into(
+        &self,
+        start: NodeId,
+        seen: &mut Vec<bool>,
+        stack: &mut Vec<NodeId>,
+    ) {
+        seen.clear();
+        seen.resize(self.node_count(), false);
+        stack.clear();
+        stack.push(start);
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            let mut cursor = self.first_edge(v);
+            while let Some(idx) = cursor {
+                let e = &self.edges[idx];
+                if e.cap > 0 && !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to as usize);
+                }
+                cursor = self.next_edge(idx);
+            }
+        }
+    }
+
+    /// The set of nodes reachable from `start` in the residual graph
+    /// (allocating convenience form of
+    /// [`FlowArena::residual_reachable_into`]).
+    pub fn residual_reachable(&self, start: NodeId) -> Vec<bool> {
+        let mut seen = Vec::new();
+        let mut stack = Vec::new();
+        self.residual_reachable_into(start, &mut seen, &mut stack);
+        seen
+    }
+
+    /// Total flow leaving `node` on forward edges minus flow entering it —
+    /// zero for every node except the source and sink of a valid flow.
+    pub fn net_outflow(&self, node: NodeId) -> i64 {
+        let mut net = 0;
+        let mut cursor = self.first_edge(node);
+        while let Some(idx) = cursor {
+            if idx % 2 == 0 {
+                net += self.flow_on(idx);
+            } else {
+                net -= self.flow_on(idx ^ 1);
+            }
+            cursor = self.next_edge(idx);
+        }
+        net
+    }
+}
+
+/// Iterator over the edge indices leaving one node.
+pub struct EdgeIter<'a> {
+    arena: &'a FlowArena,
+    cursor: i64,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let idx = self.cursor as usize;
+        self.cursor = self.arena.next[idx];
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_residual_twin() {
+        let mut a = FlowArena::new();
+        a.clear(2);
+        let e = a.add_edge(0, 1, 5);
+        assert_eq!(e, 0);
+        assert_eq!(a.residual(e), 5);
+        assert_eq!(a.residual(e ^ 1), 0);
+        assert_eq!(a.target(e ^ 1), 0);
+        assert_eq!(a.edge_count(), 2);
+    }
+
+    #[test]
+    fn push_and_reset() {
+        let mut a = FlowArena::new();
+        a.clear(2);
+        let e = a.add_edge(0, 1, 5);
+        a.push(e, 3);
+        assert_eq!(a.residual(e), 2);
+        assert_eq!(a.flow_on(e), 3);
+        a.push(e, -3);
+        assert_eq!(a.flow_on(e), 0);
+        a.push(e, 2);
+        a.reset_flow();
+        assert_eq!(a.residual(e), 5);
+    }
+
+    #[test]
+    fn clear_reuses_allocations() {
+        let mut a = FlowArena::new();
+        a.clear(100);
+        for i in 0..99 {
+            a.add_edge(i, i + 1, 1);
+        }
+        let edge_capacity = a.edges.capacity();
+        let head_capacity = a.head.capacity();
+        a.clear(100);
+        assert_eq!(a.edge_count(), 0);
+        for i in 0..99 {
+            a.add_edge(i, i + 1, 1);
+        }
+        assert_eq!(a.edges.capacity(), edge_capacity);
+        assert_eq!(a.head.capacity(), head_capacity);
+    }
+
+    #[test]
+    fn set_capacity_preserves_flow() {
+        let mut a = FlowArena::new();
+        a.clear(2);
+        let e = a.add_edge(0, 1, 5);
+        a.push(e, 2);
+        a.set_capacity(e, 3);
+        assert_eq!(a.flow_on(e), 2);
+        assert_eq!(a.residual(e), 1);
+        a.set_capacity(e, 10);
+        assert_eq!(a.residual(e), 8);
+    }
+
+    #[test]
+    fn adjacency_iteration_covers_all_edges() {
+        let mut a = FlowArena::new();
+        a.clear(3);
+        a.add_edge(0, 1, 1);
+        a.add_edge(0, 2, 2);
+        a.add_edge(1, 2, 3);
+        let from0: Vec<usize> = a.edges_from(0).collect();
+        // Linked list yields most-recent first.
+        assert_eq!(from0, vec![2, 0]);
+        let from1: Vec<usize> = a.edges_from(1).collect();
+        assert_eq!(from1, vec![4, 1]);
+    }
+
+    #[test]
+    fn rebuild_from_network_is_index_exact() {
+        let mut g = FlowNetwork::with_nodes(4);
+        let e0 = g.add_edge(0, 1, 4);
+        let e1 = g.add_edge(1, 2, 3);
+        let _ = g.add_edge(2, 3, 2);
+        g.push(e0, 2);
+        g.push(e1, 1);
+
+        let mut a = FlowArena::new();
+        a.rebuild_from(&g);
+        assert_eq!(a.node_count(), 4);
+        assert_eq!(a.edge_count(), g.edge_count());
+        for idx in 0..g.edge_count() {
+            assert_eq!(a.residual(idx), g.residual(idx), "edge {idx}");
+            assert_eq!(a.target(idx), g.target(idx), "edge {idx}");
+        }
+    }
+
+    #[test]
+    fn residual_reachability_matches_network_semantics() {
+        let mut a = FlowArena::new();
+        a.clear(3);
+        let e01 = a.add_edge(0, 1, 1);
+        let _e12 = a.add_edge(1, 2, 1);
+        a.push(e01, 1);
+        assert_eq!(a.residual_reachable(0), vec![true, false, false]);
+        assert_eq!(a.residual_reachable(1), vec![true, true, true]);
+    }
+
+    #[test]
+    fn net_outflow_conservation() {
+        let mut a = FlowArena::new();
+        a.clear(3);
+        let x = a.add_edge(0, 1, 2);
+        let y = a.add_edge(1, 2, 2);
+        a.push(x, 2);
+        a.push(y, 2);
+        assert_eq!(a.net_outflow(0), 2);
+        assert_eq!(a.net_outflow(1), 0);
+        assert_eq!(a.net_outflow(2), -2);
+    }
+}

@@ -2,16 +2,25 @@
 //!
 //! Dinic runs in `O(V²E)` in general and `O(E·√V)` on the unit-capacity
 //! bipartite networks produced by the connection-matching reduction, which is
-//! why it is the default solver for the per-round scheduling problem.
+//! why it is the default solver for the per-round scheduling problem. The
+//! solver keeps its level and cursor buffers between calls, so repeated
+//! solves over a reused [`FlowArena`] allocate nothing in steady state, and
+//! it augments from whatever flow the arena already carries — warm-starting
+//! from the previous round's matching is just calling it again.
 
+use crate::arena::FlowArena;
 use crate::graph::{FlowNetwork, NodeId};
+use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
 
-/// Maximum-flow solver state (level graph + iterator pointers).
+/// Maximum-flow solver state (level graph + adjacency cursors), reusable
+/// across solves.
 #[derive(Debug, Default)]
 pub struct Dinic {
     level: Vec<i32>,
-    iter: Vec<usize>,
+    /// Per-node cursor into the adjacency list (edge index, `-1` exhausted).
+    cursor: Vec<i64>,
+    queue: VecDeque<NodeId>,
 }
 
 impl Dinic {
@@ -20,15 +29,61 @@ impl Dinic {
         Dinic::default()
     }
 
-    /// Computes the maximum flow from `source` to `sink`, mutating the
-    /// residual capacities of `graph` in place. Returns the flow value.
-    pub fn max_flow(&mut self, graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
+    /// Breadth-first construction of the level graph over residual edges.
+    /// Returns `true` when the sink is still reachable.
+    fn build_levels(&mut self, arena: &FlowArena, source: NodeId, sink: NodeId) -> bool {
+        self.level.clear();
+        self.level.resize(arena.node_count(), -1);
+        self.level[source] = 0;
+        self.queue.clear();
+        self.queue.push_back(source);
+        while let Some(v) = self.queue.pop_front() {
+            let mut cursor = arena.first_edge(v);
+            while let Some(idx) = cursor {
+                let to = arena.target(idx);
+                if arena.residual(idx) > 0 && self.level[to] < 0 {
+                    self.level[to] = self.level[v] + 1;
+                    self.queue.push_back(to);
+                }
+                cursor = arena.next_edge(idx);
+            }
+        }
+        self.level[sink] >= 0
+    }
+
+    /// Depth-first blocking-flow augmentation along level-increasing edges.
+    fn augment(&mut self, arena: &mut FlowArena, node: NodeId, sink: NodeId, limit: i64) -> i64 {
+        if node == sink {
+            return limit;
+        }
+        while self.cursor[node] >= 0 {
+            let idx = self.cursor[node] as usize;
+            let to = arena.target(idx);
+            let cap = arena.residual(idx);
+            if cap > 0 && self.level[node] + 1 == self.level[to] {
+                let pushed = self.augment(arena, to, sink, limit.min(cap));
+                if pushed > 0 {
+                    arena.push(idx, pushed);
+                    return pushed;
+                }
+            }
+            self.cursor[node] = arena.next_edge(idx).map_or(-1, |e| e as i64);
+        }
+        0
+    }
+}
+
+impl MaxFlowSolve for Dinic {
+    fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64 {
         assert_ne!(source, sink, "source and sink must differ");
         let mut flow = 0;
-        while self.build_levels(graph, source, sink) {
-            self.iter = vec![0; graph.node_count()];
+        while self.build_levels(arena, source, sink) {
+            self.cursor.clear();
+            self.cursor.extend(
+                (0..arena.node_count()).map(|v| arena.first_edge(v).map_or(-1, |e| e as i64)),
+            );
             loop {
-                let pushed = self.augment(graph, source, sink, i64::MAX);
+                let pushed = self.augment(arena, source, sink, i64::MAX);
                 if pushed == 0 {
                     break;
                 }
@@ -38,56 +93,21 @@ impl Dinic {
         flow
     }
 
-    /// Breadth-first construction of the level graph. Returns `true` when the
-    /// sink is still reachable.
-    fn build_levels(&mut self, graph: &FlowNetwork, source: NodeId, sink: NodeId) -> bool {
-        self.level = vec![-1; graph.node_count()];
-        self.level[source] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(source);
-        while let Some(v) = queue.pop_front() {
-            for &idx in graph.edges_from(v) {
-                let to = graph.edge(idx).to;
-                if graph.edge(idx).cap > 0 && self.level[to] < 0 {
-                    self.level[to] = self.level[v] + 1;
-                    queue.push_back(to);
-                }
-            }
-        }
-        self.level[sink] >= 0
-    }
-
-    /// Depth-first blocking-flow augmentation.
-    fn augment(
-        &mut self,
-        graph: &mut FlowNetwork,
-        node: NodeId,
-        sink: NodeId,
-        limit: i64,
-    ) -> i64 {
-        if node == sink {
-            return limit;
-        }
-        while self.iter[node] < graph.edges_from(node).len() {
-            let idx = graph.edges_from(node)[self.iter[node]];
-            let to = graph.edge(idx).to;
-            let cap = graph.edge(idx).cap;
-            if cap > 0 && self.level[node] + 1 == self.level[to] {
-                let pushed = self.augment(graph, to, sink, limit.min(cap));
-                if pushed > 0 {
-                    graph.push(idx, pushed);
-                    return pushed;
-                }
-            }
-            self.iter[node] += 1;
-        }
-        0
+    fn name(&self) -> &'static str {
+        "dinic"
     }
 }
 
-/// Convenience wrapper: runs Dinic on `graph` and returns the flow value.
+/// Convenience wrapper: runs Dinic on a [`FlowNetwork`] and returns the flow
+/// value, leaving the network's residual capacities updated. Allocates a
+/// temporary arena — reuse a [`FlowArena`] plus a [`Dinic`] instance directly
+/// on hot paths.
 pub fn max_flow(graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
-    Dinic::new().max_flow(graph, source, sink)
+    let mut arena = FlowArena::new();
+    arena.rebuild_from(graph);
+    let flow = Dinic::new().max_flow(&mut arena, source, sink);
+    graph.sync_flows_from(&arena);
+    flow
 }
 
 #[cfg(test)]
@@ -188,5 +208,33 @@ mod tests {
         let b = max_flow(&mut g, 0, 3);
         assert_eq!(a, b);
         assert_eq!(a, 3);
+    }
+
+    #[test]
+    fn warm_start_on_partial_flow_reaches_the_same_maximum() {
+        let mut arena = FlowArena::new();
+        arena.clear(4);
+        let a01 = arena.add_edge(0, 1, 2);
+        let a13 = arena.add_edge(1, 3, 2);
+        arena.add_edge(0, 2, 3);
+        arena.add_edge(2, 3, 3);
+        // Pre-push one unit along 0 → 1 → 3, then warm-start.
+        arena.push(a01, 1);
+        arena.push(a13, 1);
+        let pushed = Dinic::new().max_flow(&mut arena, 0, 3);
+        assert_eq!(pushed + 1, 5);
+    }
+
+    #[test]
+    fn solver_reuse_across_arenas() {
+        let mut solver = Dinic::new();
+        let mut arena = FlowArena::new();
+        for size in [3usize, 5, 4] {
+            arena.clear(size);
+            for v in 0..size - 1 {
+                arena.add_edge(v, v + 1, 2);
+            }
+            assert_eq!(solver.max_flow(&mut arena, 0, size - 1), 2);
+        }
     }
 }

@@ -58,10 +58,7 @@ pub fn sample_expansion(
         }
         let mut min_ratio = f64::INFINITY;
         for _ in 0..samples_per_size {
-            let subset: Vec<usize> = all_requests
-                .choose_multiple(rng, size)
-                .copied()
-                .collect();
+            let subset: Vec<usize> = all_requests.choose_multiple(rng, size).copied().collect();
             let ob = crate::hall::check_subset(problem, &subset);
             let ratio = ob.capacity as f64 / size as f64;
             if ratio < min_ratio {

@@ -63,7 +63,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if either endpoint is out of range or the capacity is negative.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let idx = self.edges.len();
         self.edges.push(Edge {
@@ -98,7 +101,8 @@ impl FlowNetwork {
     }
 
     /// Pushes `amount` units of flow along edge `idx`, updating the twin.
-    pub(crate) fn push(&mut self, idx: usize, amount: i64) {
+    /// Negative amounts cancel previously pushed flow.
+    pub fn push(&mut self, idx: usize, amount: i64) {
         self.edges[idx].cap -= amount;
         self.edges[idx ^ 1].cap += amount;
     }
@@ -113,10 +117,29 @@ impl FlowNetwork {
         self.edges[idx].to
     }
 
-    /// Resets every edge to its original capacity (discarding all flow).
+    /// Resets every edge to its original capacity, zeroing all flow while
+    /// keeping the edge storage and adjacency allocations intact — the
+    /// network can be re-solved immediately without rebuilding.
     pub fn reset(&mut self) {
         for e in &mut self.edges {
             e.cap = e.original_cap;
+        }
+    }
+
+    /// Copies the flow state (residual capacities) back from an
+    /// index-compatible [`crate::arena::FlowArena`], e.g. one produced by
+    /// [`crate::arena::FlowArena::rebuild_from`] and then solved.
+    ///
+    /// # Panics
+    /// Panics if the arena has a different edge count.
+    pub fn sync_flows_from(&mut self, arena: &crate::arena::FlowArena) {
+        assert_eq!(
+            self.edges.len(),
+            arena.edge_count(),
+            "arena is not index-compatible with this network"
+        );
+        for (idx, edge) in self.edges.iter_mut().enumerate() {
+            edge.cap = arena.residual(idx);
         }
     }
 

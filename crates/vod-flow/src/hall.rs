@@ -7,8 +7,10 @@
 //! simulator uses this module to extract the offending set from the minimum
 //! cut — the same object the paper's probabilistic analysis counts.
 
-use crate::dinic;
+use crate::arena::FlowArena;
+use crate::dinic::Dinic;
 use crate::matching::ConnectionProblem;
+use crate::solver::MaxFlowSolve;
 use vod_core::BoxId;
 
 /// A witness that a round is infeasible: a request set whose neighbourhood
@@ -63,12 +65,24 @@ pub fn check_subset(problem: &ConnectionProblem, subset: &[usize]) -> Obstructio
 /// as well. Those requests are exactly the ones that can never be reached by
 /// additional flow, and `U_{B(X)} < |X|` is guaranteed.
 pub fn find_obstruction(problem: &ConnectionProblem) -> Option<Obstruction> {
-    let (mut g, source, sink) = problem.build_network();
-    let flow = dinic::max_flow(&mut g, source, sink);
+    find_obstruction_in(problem, &mut FlowArena::new(), &mut Dinic::new())
+}
+
+/// Arena-reusing variant of [`find_obstruction`]: the Lemma-1 network is
+/// rebuilt inside `arena` (reusing its allocations) and solved with `solver`,
+/// so callers extracting obstructions every failing round pay no per-call
+/// graph allocation.
+pub fn find_obstruction_in(
+    problem: &ConnectionProblem,
+    arena: &mut FlowArena,
+    solver: &mut dyn MaxFlowSolve,
+) -> Option<Obstruction> {
+    let (source, sink) = problem.build_arena(arena);
+    let flow = solver.max_flow(arena, source, sink);
     if flow as usize == problem.request_count() {
         return None;
     }
-    let reachable = g.residual_reachable(source);
+    let reachable = arena.residual_reachable(source);
     let b = problem.box_count();
 
     let mut requests = Vec::new();

@@ -6,7 +6,15 @@
 //! problem becomes a plain bipartite matching, for which Hopcroft–Karp runs
 //! in `O(E·√V)` with small constants. The simulator uses it as a fast path
 //! and the property tests use it to cross-check the flow solvers.
+//!
+//! [`HopcroftKarpSolve`] wraps the matcher as a [`MaxFlowSolve`]
+//! implementation over Lemma-1-shaped [`FlowArena`] networks
+//! (`source → boxes → requests → sink` with unit box→request and
+//! request→sink edges), performing the sub-box split internally.
 
+use crate::arena::FlowArena;
+use crate::graph::NodeId;
+use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
 
 const NIL: usize = usize::MAX;
@@ -39,11 +47,30 @@ impl HopcroftKarp {
     /// Computes a maximum matching. Returns `(size, pair_of_left)` where
     /// `pair_of_left[l]` is the right vertex matched to `l`, if any.
     pub fn solve(&self) -> (usize, Vec<Option<usize>>) {
+        let pair_left = vec![NIL; self.adj.len()];
+        let pair_right = vec![NIL; self.right_count];
+        self.solve_seeded(pair_left, pair_right, 0)
+    }
+
+    /// Computes a maximum matching starting from an existing partial matching
+    /// (`pair_left[l]` / `pair_right[r]` with `usize::MAX` meaning free,
+    /// `initial` its size). The augmenting-path phases only grow a matching,
+    /// so seeding warm-starts the search.
+    pub fn solve_seeded(
+        &self,
+        mut pair_left: Vec<usize>,
+        mut pair_right: Vec<usize>,
+        initial: usize,
+    ) -> (usize, Vec<Option<usize>>) {
         let n_left = self.adj.len();
-        let mut pair_left = vec![NIL; n_left];
-        let mut pair_right = vec![NIL; self.right_count];
+        assert_eq!(pair_left.len(), n_left, "seed has wrong left size");
+        assert_eq!(
+            pair_right.len(),
+            self.right_count,
+            "seed has wrong right size"
+        );
         let mut dist = vec![INF; n_left];
-        let mut matching = 0;
+        let mut matching = initial;
 
         loop {
             // BFS phase: layer the free left vertices.
@@ -75,7 +102,8 @@ impl HopcroftKarp {
             }
             // DFS phase: find vertex-disjoint augmenting paths.
             for l in 0..n_left {
-                if pair_left[l] == NIL && self.try_augment(l, &mut pair_left, &mut pair_right, &mut dist)
+                if pair_left[l] == NIL
+                    && self.try_augment(l, &mut pair_left, &mut pair_right, &mut dist)
                 {
                     matching += 1;
                 }
@@ -100,10 +128,7 @@ impl HopcroftKarp {
             let candidate = pair_right[r];
             let advance = match candidate {
                 NIL => true,
-                l2 => {
-                    dist[l2] == dist[l] + 1
-                        && self.try_augment(l2, pair_left, pair_right, dist)
-                }
+                l2 => dist[l2] == dist[l] + 1 && self.try_augment(l2, pair_left, pair_right, dist),
             };
             if advance {
                 pair_left[l] = r;
@@ -113,6 +138,164 @@ impl HopcroftKarp {
         }
         dist[l] = INF;
         false
+    }
+}
+
+/// A [`MaxFlowSolve`] adapter running Hopcroft–Karp on Lemma-1-shaped
+/// networks.
+///
+/// The arena must have the connection-matching layout produced by
+/// [`crate::matching::ConnectionProblem::build_arena`]: every successor of
+/// `source` is a *box* whose source-edge capacity is its stripe budget, every
+/// predecessor of `sink` is a *request* with a unit sink edge, and every
+/// box→request edge has unit capacity. The adapter splits each box into that
+/// many elementary sub-boxes (the trick used in the proof of Theorem 2),
+/// seeds the matcher with whatever flow the arena already carries, runs
+/// Hopcroft–Karp, and writes the resulting flow back into the arena so
+/// extraction and obstruction code behave exactly as with the flow solvers.
+///
+/// Unlike [`crate::dinic::Dinic`] and
+/// [`crate::push_relabel::PushRelabel`], this adapter rebuilds its matching
+/// graph (and therefore allocates) on every call — it is a cross-checking
+/// and benchmarking tool, not a zero-allocation hot-path solver.
+///
+/// # Panics
+/// [`MaxFlowSolve::max_flow`] panics if the arena is not Lemma-1 shaped.
+#[derive(Clone, Debug, Default)]
+pub struct HopcroftKarpSolve;
+
+impl HopcroftKarpSolve {
+    /// Creates the adapter.
+    pub fn new() -> Self {
+        HopcroftKarpSolve
+    }
+}
+
+impl MaxFlowSolve for HopcroftKarpSolve {
+    fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = arena.node_count();
+
+        // Discover the boxes (successors of the source) and their budgets.
+        let mut box_index = vec![usize::MAX; n];
+        // (box node, source edge, slot base) per box; slots are contiguous.
+        let mut boxes: Vec<(NodeId, usize, usize)> = Vec::new();
+        let mut total_slots = 0usize;
+        let mut cursor = arena.first_edge(source);
+        while let Some(idx) = cursor {
+            if idx % 2 == 0 {
+                let node = arena.target(idx);
+                assert!(
+                    box_index[node] == usize::MAX,
+                    "parallel source edges are not Lemma-1 shaped"
+                );
+                box_index[node] = boxes.len();
+                boxes.push((node, idx, total_slots));
+                total_slots += arena.edge(idx).original_cap as usize;
+            }
+            cursor = arena.next_edge(idx);
+        }
+
+        // Discover the requests (predecessors of the sink).
+        let mut left_index = vec![usize::MAX; n];
+        // (request node, sink edge) per request.
+        let mut requests: Vec<(NodeId, usize)> = Vec::new();
+        let mut cursor = arena.first_edge(sink);
+        while let Some(idx) = cursor {
+            if idx % 2 == 1 {
+                let forward = idx ^ 1;
+                let node = arena.target(idx);
+                // Zero-capacity sink edges are structurally absent (an
+                // incremental arena de-capacitates edges instead of removing
+                // them).
+                if arena.edge(forward).original_cap != 0 {
+                    assert_eq!(
+                        arena.edge(forward).original_cap,
+                        1,
+                        "request sink edges must have unit capacity"
+                    );
+                    assert!(
+                        left_index[node] == usize::MAX,
+                        "parallel sink edges are not Lemma-1 shaped"
+                    );
+                    left_index[node] = requests.len();
+                    requests.push((node, forward));
+                }
+            }
+            cursor = arena.next_edge(idx);
+        }
+
+        // Candidate edges per request, the sub-box expansion, and the seed
+        // matching recovered from the arena's current flow.
+        let mut cand_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); requests.len()];
+        let mut hk = HopcroftKarp::new(requests.len(), total_slots);
+        let mut slot_owner = vec![usize::MAX; total_slots];
+        let mut next_free: Vec<usize> = boxes.iter().map(|&(_, _, base)| base).collect();
+        let mut pair_left = vec![usize::MAX; requests.len()];
+        let mut pair_right = vec![usize::MAX; total_slots];
+        let mut initial = 0usize;
+
+        for (bi, &(node, _, base)) in boxes.iter().enumerate() {
+            let slots = arena.edge(boxes[bi].1).original_cap as usize;
+            for s in 0..slots {
+                slot_owner[base + s] = bi;
+            }
+            let mut cursor = arena.first_edge(node);
+            while let Some(idx) = cursor {
+                // Skip residual twins, de-capacitated (absent) edges, and
+                // edges whose target request is itself absent (a removed
+                // request keeps its candidate edges but loses its sink edge).
+                if idx % 2 == 0
+                    && arena.edge(idx).original_cap != 0
+                    && left_index[arena.target(idx)] != usize::MAX
+                {
+                    let to = arena.target(idx);
+                    assert_eq!(
+                        arena.edge(idx).original_cap,
+                        1,
+                        "box→request edges must have unit capacity"
+                    );
+                    let l = left_index[to];
+                    cand_edges[l].push((bi, idx));
+                    for s in 0..slots {
+                        hk.add_edge(l, base + s);
+                    }
+                    if arena.flow_on(idx) == 1 {
+                        let slot = next_free[bi];
+                        debug_assert!(slot < base + slots, "box over its budget");
+                        next_free[bi] += 1;
+                        pair_left[l] = slot;
+                        pair_right[slot] = l;
+                        initial += 1;
+                    }
+                }
+                cursor = arena.next_edge(idx);
+            }
+        }
+
+        let (size, pairs) = hk.solve_seeded(pair_left, pair_right, initial);
+
+        // Write the matching back into the arena as a flow.
+        arena.reset_flow();
+        for (l, slot) in pairs.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let bi = slot_owner[*slot];
+            let (_, source_edge, _) = boxes[bi];
+            let (_, sink_edge) = requests[l];
+            let cand = cand_edges[l]
+                .iter()
+                .find(|&&(b, _)| b == bi)
+                .expect("matched pair must come from a candidate edge");
+            arena.push(source_edge, 1);
+            arena.push(cand.1, 1);
+            arena.push(sink_edge, 1);
+        }
+
+        size as i64 - initial as i64
+    }
+
+    fn name(&self) -> &'static str {
+        "hopcroft-karp"
     }
 }
 
@@ -177,7 +360,7 @@ mod tests {
             }
         }
         let (size, pairs) = hk.solve();
-        let mut used = vec![false; 5];
+        let mut used = [false; 5];
         let mut count = 0;
         for p in pairs.iter().flatten() {
             assert!(!used[*p], "right vertex matched twice");

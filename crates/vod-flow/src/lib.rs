@@ -7,17 +7,41 @@
 //! bipartite network. This crate provides:
 //!
 //! * [`graph`] — the integer-capacity flow network representation;
+//! * [`arena`] — the reusable solver-facing [`FlowArena`] (flat storage,
+//!   zero steady-state allocation);
+//! * [`solver`] — the unified [`MaxFlowSolve`] trait every solver
+//!   implements;
 //! * [`dinic`] — Dinic's algorithm (default solver);
 //! * [`push_relabel`] — FIFO push–relabel (cross-check / benchmarks);
-//! * [`hopcroft_karp`] — bipartite matching for the unit-capacity case;
+//! * [`hopcroft_karp`] — bipartite matching for the unit-capacity case, plus
+//!   the [`HopcroftKarpSolve`] adapter exposing it as a [`MaxFlowSolve`];
 //! * [`matching`] — the connection-matching problem builder and solution
 //!   extraction;
 //! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
 //! * [`expander`] — sampled expansion estimation of allocation graphs.
+//!
+//! ## Solving a round
+//!
+//! Build a [`ConnectionProblem`], pick a solver, and either let the problem
+//! allocate a throwaway arena ([`ConnectionProblem::solve_with`]) or reuse
+//! one across rounds ([`ConnectionProblem::solve_in`]):
+//!
+//! ```
+//! use vod_flow::{ConnectionProblem, Dinic, FlowArena};
+//! use vod_core::BoxId;
+//!
+//! let mut arena = FlowArena::new();
+//! let mut solver = Dinic::new();
+//! let mut problem = ConnectionProblem::new(vec![2, 2]);
+//! problem.add_request([BoxId(0), BoxId(1)]);
+//! let matching = problem.solve_in(&mut arena, &mut solver);
+//! assert!(matching.is_complete());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod dinic;
 pub mod expander;
 pub mod graph;
@@ -25,9 +49,14 @@ pub mod hall;
 pub mod hopcroft_karp;
 pub mod matching;
 pub mod push_relabel;
+pub mod solver;
 
+pub use arena::{ArenaEdge, FlowArena};
+pub use dinic::Dinic;
 pub use expander::{sample_expansion, ExpansionProfile};
 pub use graph::{Edge, FlowNetwork, NodeId};
-pub use hall::{check_subset, find_obstruction, verify_lemma1, Obstruction};
-pub use hopcroft_karp::HopcroftKarp;
-pub use matching::{ConnectionMatching, ConnectionProblem, FlowSolver};
+pub use hall::{check_subset, find_obstruction, find_obstruction_in, verify_lemma1, Obstruction};
+pub use hopcroft_karp::{HopcroftKarp, HopcroftKarpSolve};
+pub use matching::{ConnectionMatching, ConnectionProblem};
+pub use push_relabel::PushRelabel;
+pub use solver::MaxFlowSolve;

@@ -13,21 +13,18 @@
 //! connection). The matching exists iff the max flow saturates every request
 //! edge, which by Lemma 1 is equivalent to the Hall-type condition
 //! `U_{B(X)} ≥ |X|/c` for every request subset `X`.
+//!
+//! Solving is parameterized by the [`MaxFlowSolve`] trait: pass any solver
+//! ([`Dinic`], [`crate::push_relabel::PushRelabel`],
+//! [`crate::hopcroft_karp::HopcroftKarpSolve`]) to [`ConnectionProblem::solve_with`],
+//! or reuse a caller-owned [`FlowArena`] through
+//! [`ConnectionProblem::solve_in`] to avoid per-round allocation.
 
-use crate::dinic;
-use crate::graph::FlowNetwork;
-use crate::push_relabel;
+use crate::arena::FlowArena;
+use crate::dinic::Dinic;
+use crate::graph::{FlowNetwork, NodeId};
+use crate::solver::MaxFlowSolve;
 use vod_core::BoxId;
-
-/// Which maximum-flow solver to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum FlowSolver {
-    /// Dinic's algorithm (default; fastest on these bipartite instances).
-    #[default]
-    Dinic,
-    /// FIFO push–relabel (cross-check / benchmarking).
-    PushRelabel,
-}
 
 /// One round's connection-matching instance.
 #[derive(Clone, Debug)]
@@ -67,10 +64,7 @@ impl ConnectionProblem {
     /// request index. Candidates outside the box range are ignored.
     pub fn add_request(&mut self, candidates: impl IntoIterator<Item = BoxId>) -> usize {
         let n = self.box_capacity.len();
-        let mut list: Vec<BoxId> = candidates
-            .into_iter()
-            .filter(|b| b.index() < n)
-            .collect();
+        let mut list: Vec<BoxId> = candidates.into_iter().filter(|b| b.index() < n).collect();
         list.sort();
         list.dedup();
         self.candidates.push(list);
@@ -87,44 +81,74 @@ impl ConnectionProblem {
         self.box_capacity.iter().map(|&c| c as u64).sum()
     }
 
-    /// Builds the flow network of Lemma 1.
+    /// Builds the flow network of Lemma 1 as a [`FlowNetwork`].
     ///
     /// Node layout: `0` = source, `1..=B` = boxes, `B+1..=B+R` = requests,
     /// `B+R+1` = sink.
-    pub fn build_network(&self) -> (FlowNetwork, usize, usize) {
+    pub fn build_network(&self) -> (FlowNetwork, NodeId, NodeId) {
         let b = self.box_count();
         let r = self.request_count();
-        let source = 0usize;
-        let sink = b + r + 1;
         let mut g = FlowNetwork::with_nodes(b + r + 2);
+        let (source, sink) = self.populate(|from, to, cap| {
+            g.add_edge(from, to, cap);
+        });
+        (g, source, sink)
+    }
+
+    /// Builds the flow network of Lemma 1 into a reusable [`FlowArena`]
+    /// (same node layout as [`ConnectionProblem::build_network`]), reusing
+    /// the arena's allocations. Returns `(source, sink)`.
+    pub fn build_arena(&self, arena: &mut FlowArena) -> (NodeId, NodeId) {
+        arena.clear(self.box_count() + self.request_count() + 2);
+        self.populate(|from, to, cap| {
+            arena.add_edge(from, to, cap);
+        })
+    }
+
+    /// Emits the Lemma-1 edges through `add_edge`, returning `(source, sink)`.
+    fn populate(&self, mut add_edge: impl FnMut(NodeId, NodeId, i64)) -> (NodeId, NodeId) {
+        let b = self.box_count();
+        let source = 0usize;
+        let sink = b + self.request_count() + 1;
         for (i, &cap) in self.box_capacity.iter().enumerate() {
             if cap > 0 {
-                g.add_edge(source, 1 + i, cap as i64);
+                add_edge(source, 1 + i, cap as i64);
             }
         }
         for (x, cands) in self.candidates.iter().enumerate() {
             let request_node = 1 + b + x;
             for &cand in cands {
-                g.add_edge(1 + cand.index(), request_node, 1);
+                add_edge(1 + cand.index(), request_node, 1);
             }
-            g.add_edge(request_node, sink, 1);
+            add_edge(request_node, sink, 1);
         }
-        (g, source, sink)
+        (source, sink)
     }
 
     /// Solves the matching with the default solver (Dinic).
     pub fn solve(&self) -> ConnectionMatching {
-        self.solve_with(FlowSolver::Dinic)
+        self.solve_with(&mut Dinic::new())
     }
 
-    /// Solves the matching with an explicit solver choice.
-    pub fn solve_with(&self, solver: FlowSolver) -> ConnectionMatching {
-        let (mut g, source, sink) = self.build_network();
-        let flow = match solver {
-            FlowSolver::Dinic => dinic::max_flow(&mut g, source, sink),
-            FlowSolver::PushRelabel => push_relabel::max_flow(&mut g, source, sink),
-        };
-        self.extract(&g, flow)
+    /// Solves the matching with an explicit solver, allocating a temporary
+    /// arena. Reuse an arena through [`ConnectionProblem::solve_in`] on hot
+    /// paths.
+    pub fn solve_with(&self, solver: &mut dyn MaxFlowSolve) -> ConnectionMatching {
+        let mut arena = FlowArena::new();
+        self.solve_in(&mut arena, solver)
+    }
+
+    /// Solves the matching inside a caller-owned arena (rebuilt in place, so
+    /// no allocation happens once the arena has grown to the working-set
+    /// size) and extracts the assignment.
+    pub fn solve_in(
+        &self,
+        arena: &mut FlowArena,
+        solver: &mut dyn MaxFlowSolve,
+    ) -> ConnectionMatching {
+        let (source, sink) = self.build_arena(arena);
+        let flow = solver.max_flow(arena, source, sink);
+        self.extract(arena, flow)
     }
 
     /// True when every request can be served this round.
@@ -132,18 +156,21 @@ impl ConnectionProblem {
         self.solve().is_complete()
     }
 
-    fn extract(&self, g: &FlowNetwork, flow: i64) -> ConnectionMatching {
+    /// Reads the assignment out of a solved Lemma-1 arena.
+    pub(crate) fn extract(&self, arena: &FlowArena, flow: i64) -> ConnectionMatching {
         let b = self.box_count();
         let mut assignment = vec![None; self.request_count()];
         // Walk the box→request edges carrying flow.
         for box_idx in 0..b {
             let node = 1 + box_idx;
-            for &edge in g.edges_from(node) {
+            let mut cursor = arena.first_edge(node);
+            while let Some(edge) = cursor {
+                cursor = arena.next_edge(edge);
                 if edge % 2 != 0 {
                     continue; // residual twin
                 }
-                let to = g.edge(edge).to;
-                if to > b && to <= b + self.request_count() && g.flow_on(edge) > 0 {
+                let to = arena.target(edge);
+                if to > b && to <= b + self.request_count() && arena.flow_on(edge) > 0 {
                     let request = to - b - 1;
                     assignment[request] = Some(BoxId(box_idx as u32));
                 }
@@ -222,6 +249,8 @@ impl ConnectionMatching {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hopcroft_karp::HopcroftKarpSolve;
+    use crate::push_relabel::PushRelabel;
 
     fn b(i: u32) -> BoxId {
         BoxId(i)
@@ -264,7 +293,7 @@ mod tests {
     }
 
     #[test]
-    fn both_solvers_agree() {
+    fn all_three_solvers_agree() {
         // Structured instance where greedy choices matter.
         let mut p = ConnectionProblem::new(vec![1, 1, 2]);
         p.add_request([b(0), b(1)]);
@@ -272,12 +301,29 @@ mod tests {
         p.add_request([b(1), b(2)]);
         p.add_request([b(2)]);
         p.add_request([b(2)]);
-        let a = p.solve_with(FlowSolver::Dinic);
-        let c = p.solve_with(FlowSolver::PushRelabel);
+        let a = p.solve_with(&mut Dinic::new());
+        let c = p.solve_with(&mut PushRelabel::new());
+        let h = p.solve_with(&mut HopcroftKarpSolve::new());
         assert_eq!(a.flow, c.flow);
+        assert_eq!(a.flow, h.flow);
         assert_eq!(a.flow, 4);
         assert!(a.is_valid_for(&p));
         assert!(c.is_valid_for(&p));
+        assert!(h.is_valid_for(&p));
+    }
+
+    #[test]
+    fn solve_in_reuses_one_arena_across_instances() {
+        let mut arena = FlowArena::new();
+        let mut solver = Dinic::new();
+        for extra in 0..4u32 {
+            let mut p = ConnectionProblem::new(vec![2, 1 + extra]);
+            p.add_request([b(0), b(1)]);
+            p.add_request([b(1)]);
+            let m = p.solve_in(&mut arena, &mut solver);
+            assert!(m.is_complete());
+            assert!(m.is_valid_for(&p));
+        }
     }
 
     #[test]

@@ -2,102 +2,150 @@
 //!
 //! An independent solver used to cross-check Dinic in property tests and to
 //! compare constant factors in the benchmarks. The implementation is the
-//! classic FIFO variant with the gap heuristic, `O(V³)`.
+//! classic FIFO variant with the gap heuristic, `O(V³)`. Like every
+//! [`MaxFlowSolve`] implementation it operates on the arena's current
+//! residual state (so it warm-starts from an existing flow) and reuses its
+//! height/excess/queue buffers across calls.
 
+use crate::arena::FlowArena;
 use crate::graph::{FlowNetwork, NodeId};
+use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
 
-/// Computes the maximum flow from `source` to `sink` with FIFO push–relabel,
-/// mutating the residual capacities of `graph`. Returns the flow value.
-pub fn max_flow(graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
-    assert_ne!(source, sink, "source and sink must differ");
-    let n = graph.node_count();
-    let mut height = vec![0usize; n];
-    let mut excess = vec![0i64; n];
-    let mut in_queue = vec![false; n];
-    let mut height_count = vec![0usize; 2 * n + 1];
-    height[source] = n;
-    height_count[0] = n - 1;
-    height_count[n] += 1;
+/// FIFO push–relabel solver state, reusable across solves.
+#[derive(Debug, Default)]
+pub struct PushRelabel {
+    height: Vec<usize>,
+    excess: Vec<i64>,
+    in_queue: Vec<bool>,
+    height_count: Vec<usize>,
+    queue: VecDeque<NodeId>,
+}
 
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
-
-    // Saturate every edge out of the source.
-    let source_edges: Vec<usize> = graph.edges_from(source).to_vec();
-    for idx in source_edges {
-        let cap = graph.edge(idx).cap;
-        if cap > 0 {
-            let to = graph.edge(idx).to;
-            graph.push(idx, cap);
-            excess[to] += cap;
-            excess[source] -= cap;
-            if to != sink && to != source && !in_queue[to] {
-                in_queue[to] = true;
-                queue.push_back(to);
-            }
-        }
+impl PushRelabel {
+    /// Creates a solver.
+    pub fn new() -> Self {
+        PushRelabel::default()
     }
+}
 
-    while let Some(v) = queue.pop_front() {
-        in_queue[v] = false;
-        // Discharge v.
-        'discharge: while excess[v] > 0 {
-            let edges: Vec<usize> = graph.edges_from(v).to_vec();
-            let mut pushed_any = false;
-            for idx in edges {
-                if excess[v] == 0 {
-                    break;
-                }
-                let to = graph.edge(idx).to;
-                let cap = graph.edge(idx).cap;
-                if cap > 0 && height[v] == height[to] + 1 {
-                    let amount = excess[v].min(cap);
-                    graph.push(idx, amount);
-                    excess[v] -= amount;
-                    excess[to] += amount;
-                    pushed_any = true;
-                    if to != source && to != sink && !in_queue[to] {
-                        in_queue[to] = true;
-                        queue.push_back(to);
-                    }
+impl MaxFlowSolve for PushRelabel {
+    fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = arena.node_count();
+        self.height.clear();
+        self.height.resize(n, 0);
+        self.excess.clear();
+        self.excess.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.height_count.clear();
+        self.height_count.resize(2 * n + 1, 0);
+        self.queue.clear();
+
+        self.height[source] = n;
+        self.height_count[0] = n - 1;
+        self.height_count[n] += 1;
+
+        // Saturate every residual edge out of the source.
+        let mut cursor = arena.first_edge(source);
+        while let Some(idx) = cursor {
+            let cap = arena.residual(idx);
+            if cap > 0 {
+                let to = arena.target(idx);
+                arena.push(idx, cap);
+                self.excess[to] += cap;
+                self.excess[source] -= cap;
+                if to != sink && to != source && !self.in_queue[to] {
+                    self.in_queue[to] = true;
+                    self.queue.push_back(to);
                 }
             }
-            if excess[v] == 0 {
-                break 'discharge;
-            }
-            if !pushed_any {
-                // Relabel v to one more than the lowest admissible neighbour.
-                let old_height = height[v];
-                let mut min_neighbour = usize::MAX;
-                for &idx in graph.edges_from(v) {
-                    if graph.edge(idx).cap > 0 {
-                        min_neighbour = min_neighbour.min(height[graph.edge(idx).to]);
+            cursor = arena.next_edge(idx);
+        }
+
+        while let Some(v) = self.queue.pop_front() {
+            self.in_queue[v] = false;
+            // Discharge v.
+            'discharge: while self.excess[v] > 0 {
+                let mut pushed_any = false;
+                let mut cursor = arena.first_edge(v);
+                while let Some(idx) = cursor {
+                    if self.excess[v] == 0 {
+                        break;
                     }
+                    let to = arena.target(idx);
+                    let cap = arena.residual(idx);
+                    if cap > 0 && self.height[v] == self.height[to] + 1 {
+                        let amount = self.excess[v].min(cap);
+                        arena.push(idx, amount);
+                        self.excess[v] -= amount;
+                        self.excess[to] += amount;
+                        pushed_any = true;
+                        if to != source && to != sink && !self.in_queue[to] {
+                            self.in_queue[to] = true;
+                            self.queue.push_back(to);
+                        }
+                    }
+                    cursor = arena.next_edge(idx);
                 }
-                if min_neighbour == usize::MAX {
-                    // No residual edge at all: v can never get rid of its
-                    // excess; drop it (its excess stays out of the flow value).
+                if self.excess[v] == 0 {
                     break 'discharge;
                 }
-                height_count[old_height] -= 1;
-                height[v] = min_neighbour + 1;
-                height_count[height[v]] += 1;
-                // Gap heuristic: if no node remains at old_height, every node
-                // above it (except the source) can be lifted past n.
-                if height_count[old_height] == 0 && old_height < n {
-                    for u in 0..n {
-                        if u != source && height[u] > old_height && height[u] <= n {
-                            height_count[height[u]] -= 1;
-                            height[u] = n + 1;
-                            height_count[height[u]] += 1;
+                if !pushed_any {
+                    // Relabel v to one more than the lowest admissible
+                    // neighbour.
+                    let old_height = self.height[v];
+                    let mut min_neighbour = usize::MAX;
+                    let mut cursor = arena.first_edge(v);
+                    while let Some(idx) = cursor {
+                        if arena.residual(idx) > 0 {
+                            min_neighbour = min_neighbour.min(self.height[arena.target(idx)]);
+                        }
+                        cursor = arena.next_edge(idx);
+                    }
+                    if min_neighbour == usize::MAX {
+                        // No residual edge at all: v can never get rid of its
+                        // excess; drop it (its excess stays out of the flow
+                        // value).
+                        break 'discharge;
+                    }
+                    self.height_count[old_height] -= 1;
+                    self.height[v] = min_neighbour + 1;
+                    self.height_count[self.height[v]] += 1;
+                    // Gap heuristic: if no node remains at old_height, every
+                    // node above it (except the source) can be lifted past n.
+                    if self.height_count[old_height] == 0 && old_height < n {
+                        for u in 0..n {
+                            if u != source && self.height[u] > old_height && self.height[u] <= n {
+                                self.height_count[self.height[u]] -= 1;
+                                self.height[u] = n + 1;
+                                self.height_count[self.height[u]] += 1;
+                            }
                         }
                     }
                 }
             }
         }
+
+        self.excess[sink]
     }
 
-    excess[sink]
+    fn name(&self) -> &'static str {
+        "push-relabel"
+    }
+}
+
+/// Convenience wrapper: runs push–relabel on a [`FlowNetwork`] and returns
+/// the flow value, leaving the network's residual capacities updated.
+/// Allocates a temporary arena — reuse a [`FlowArena`] plus a
+/// [`PushRelabel`] instance directly on hot paths.
+pub fn max_flow(graph: &mut FlowNetwork, source: NodeId, sink: NodeId) -> i64 {
+    let mut arena = FlowArena::new();
+    arena.rebuild_from(graph);
+    let flow = PushRelabel::new().max_flow(&mut arena, source, sink);
+    graph.sync_flows_from(&arena);
+    flow
 }
 
 #[cfg(test)]
@@ -164,10 +212,7 @@ mod tests {
         };
         let mut a = build();
         let mut b = build();
-        assert_eq!(
-            max_flow(&mut a, 0, 9),
-            crate::dinic::max_flow(&mut b, 0, 9)
-        );
+        assert_eq!(max_flow(&mut a, 0, 9), crate::dinic::max_flow(&mut b, 0, 9));
     }
 
     #[test]
@@ -177,5 +222,18 @@ mod tests {
         g.add_edge(0, 1, 10);
         g.add_edge(1, 2, 1);
         assert_eq!(max_flow(&mut g, 0, 2), 1);
+    }
+
+    #[test]
+    fn warm_start_returns_only_additional_flow() {
+        let mut arena = FlowArena::new();
+        arena.clear(3);
+        let e01 = arena.add_edge(0, 1, 4);
+        let e12 = arena.add_edge(1, 2, 4);
+        arena.push(e01, 3);
+        arena.push(e12, 3);
+        let pushed = PushRelabel::new().max_flow(&mut arena, 0, 2);
+        assert_eq!(pushed, 1);
+        assert_eq!(arena.flow_on(e12), 4);
     }
 }

@@ -1,0 +1,41 @@
+//! The unified maximum-flow solver interface.
+//!
+//! Every solver in this crate — [`crate::dinic::Dinic`],
+//! [`crate::push_relabel::PushRelabel`], and the matching-backed
+//! [`crate::hopcroft_karp::HopcroftKarpSolve`] — implements [`MaxFlowSolve`]
+//! over a [`FlowArena`], replacing the old enum-style solver dispatch. The
+//! contract is *residual-state* based, which is what makes warm starts work:
+//!
+//! * the arena may already carry a valid flow (e.g. last round's matching
+//!   patched for this round's changes);
+//! * `max_flow` augments that flow to a maximum flow and returns only the
+//!   **additional** flow pushed during this call;
+//! * solvers own their scratch buffers and reuse them across calls, so a
+//!   steady-state solve performs no heap allocation (the cross-checking
+//!   [`crate::hopcroft_karp::HopcroftKarpSolve`] adapter is the documented
+//!   exception: it rebuilds its matching graph per call).
+
+use crate::arena::FlowArena;
+use crate::graph::NodeId;
+
+/// A maximum-flow algorithm over a reusable [`FlowArena`].
+pub trait MaxFlowSolve {
+    /// Augments the arena's current flow to a maximum `source → sink` flow,
+    /// mutating residual capacities in place. Returns the flow pushed by this
+    /// call (the total flow is the caller's previous total plus this value;
+    /// on a freshly built arena it is the max-flow value itself).
+    fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64;
+
+    /// Short solver name for reports and benchmark labels.
+    fn name(&self) -> &'static str;
+}
+
+impl MaxFlowSolve for Box<dyn MaxFlowSolve> {
+    fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64 {
+        (**self).max_flow(arena, source, sink)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

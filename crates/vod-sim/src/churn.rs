@@ -14,11 +14,10 @@
 
 use rand::seq::SliceRandom;
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
 use vod_core::{BoxId, Catalog, Placement, StripeId};
 
 /// Outcome of a churn event.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ChurnEvent {
     /// Boxes that departed.
     pub departed: Vec<BoxId>,
@@ -27,7 +26,7 @@ pub struct ChurnEvent {
 }
 
 /// Outcome of a repair pass.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RepairReport {
     /// Replicas successfully re-created.
     pub replicas_restored: usize,
@@ -125,11 +124,7 @@ impl ChurnModel {
     /// the alive box with the most spare storage that does not already hold
     /// the stripe. A stripe with no surviving replica at all is unrepairable
     /// (its data is lost).
-    pub fn repair(
-        &self,
-        placement: &mut Placement,
-        catalog: &Catalog,
-    ) -> RepairReport {
+    pub fn repair(&self, placement: &mut Placement, catalog: &Catalog) -> RepairReport {
         let mut report = RepairReport::default();
         for stripe in catalog.stripes() {
             let current = placement.replica_count(stripe);
@@ -149,9 +144,7 @@ impl ChurnModel {
                             && !placement.stores(b, stripe)
                             && placement.box_load(b) < self.capacity[b.index()] as usize
                     })
-                    .max_by_key(|&b| {
-                        self.capacity[b.index()] as usize - placement.box_load(b)
-                    });
+                    .max_by_key(|&b| self.capacity[b.index()] as usize - placement.box_load(b));
                 match target {
                     Some(b) => {
                         placement.add(b, stripe);
@@ -177,13 +170,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use vod_core::{
-        Allocator, Bandwidth, BoxSet, RandomPermutationAllocator, RoundRobinAllocator,
-        StorageSlots,
+        Allocator, Bandwidth, BoxSet, RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
     };
 
     fn setup(n: usize, slots: u32, m: usize, c: u16, k: u32) -> (BoxSet, Catalog, Placement) {
-        let boxes =
-            BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
         let catalog = Catalog::uniform(m, 60, c);
         let mut rng = StdRng::seed_from_u64(1);
         let p = RandomPermutationAllocator::new(k)
@@ -196,8 +191,11 @@ mod tests {
     /// guarantees exactly `k` distinct replicas per stripe (no duplicate
     /// draws), so repair-coverage assertions are exact.
     fn setup_rr(n: usize, slots: u32, m: usize, c: u16, k: u32) -> (BoxSet, Catalog, Placement) {
-        let boxes =
-            BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
         let catalog = Catalog::uniform(m, 60, c);
         let mut rng = StdRng::seed_from_u64(1);
         let p = RoundRobinAllocator::new(k)

@@ -23,11 +23,11 @@ use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationRepo
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
 };
-use crate::scheduler::{MaxFlowScheduler, Scheduler};
+use crate::scheduler::{MaxFlowScheduler, RequestKey, Scheduler};
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
 use vod_core::{BoxId, PlaybackCache, StripeId, VideoId, VideoSystem};
-use vod_flow::{find_obstruction, ConnectionProblem};
+use vod_flow::{find_obstruction_in, ConnectionProblem, Dinic, FlowArena};
 use vod_workloads::{DemandGenerator, OccupancyView};
 
 /// What to do when a round cannot serve every active request.
@@ -109,6 +109,15 @@ pub struct Simulator<'a> {
     /// Stall-round counters for in-flight playbacks.
     stalls: Vec<u64>,
     report: SimulationReport,
+    /// Per-box upload capacities (static for the system's lifetime).
+    capacities: Vec<u32>,
+    /// Reused per-round buffers: request keys, candidate sets, assignment.
+    sched_keys: Vec<RequestKey>,
+    sched_cands: Vec<Vec<BoxId>>,
+    assignment: Vec<Option<BoxId>>,
+    /// Scratch for obstruction extraction on failing rounds.
+    obstruction_arena: FlowArena,
+    obstruction_solver: Dinic,
 }
 
 impl<'a> Simulator<'a> {
@@ -124,6 +133,9 @@ impl<'a> Simulator<'a> {
         scheduler: Box<dyn Scheduler>,
     ) -> Self {
         let n = system.n();
+        let capacities = (0..n as u32)
+            .map(|i| system.upload_slots(BoxId(i)))
+            .collect();
         Simulator {
             system,
             config,
@@ -135,6 +147,12 @@ impl<'a> Simulator<'a> {
             swarms: SwarmTracker::new(system.c()),
             stalls: vec![0; n],
             report: SimulationReport::default(),
+            capacities,
+            sched_keys: Vec::new(),
+            sched_cands: Vec::new(),
+            assignment: Vec::new(),
+            obstruction_arena: FlowArena::new(),
+            obstruction_solver: Dinic::new(),
         }
     }
 
@@ -317,27 +335,28 @@ impl<'a> Simulator<'a> {
 
     /// Candidate suppliers for one request at round `now`: static holders of
     /// the stripe plus boxes whose playback cache is ahead on the same
-    /// stripe, excluding the requester itself.
-    fn candidates_for(&self, req: &StripeRequest, now: u64) -> Vec<BoxId> {
+    /// stripe, excluding the requester itself. Written into `out` (cleared
+    /// first) so the per-round candidate buffers can be reused.
+    fn fill_candidates(&self, req: &StripeRequest, now: u64, out: &mut Vec<BoxId>) {
         let window = self.system.duration() as u64;
-        let mut cands: Vec<BoxId> = self
-            .system
-            .holders_of(req.stripe)
-            .iter()
-            .copied()
-            .filter(|&b| b != req.requester)
-            .collect();
+        out.clear();
+        out.extend(
+            self.system
+                .holders_of(req.stripe)
+                .iter()
+                .copied()
+                .filter(|&b| b != req.requester),
+        );
         if let Some(cached) = self.cache_index.get(&req.stripe) {
             for &b in cached {
                 if b != req.requester
-                    && !cands.contains(&b)
+                    && !out.contains(&b)
                     && self.caches[b.index()].can_serve(req.stripe, req.issued_at, now, window)
                 {
-                    cands.push(b);
+                    out.push(b);
                 }
             }
         }
-        cands
     }
 
     fn schedule_round(
@@ -347,19 +366,34 @@ impl<'a> Simulator<'a> {
         self_served: usize,
         new_demands: usize,
     ) -> (RoundMetrics, bool) {
-        let n = self.system.n();
-        let capacities: Vec<u32> = (0..n as u32)
-            .map(|i| self.system.upload_slots(BoxId(i)))
-            .collect();
-        let candidates: Vec<Vec<BoxId>> = requests
-            .iter()
-            .map(|r| self.candidates_for(r, now))
-            .collect();
+        // Fill the reused candidate buffers (detached so `fill_candidates`
+        // can borrow `self`).
+        let mut candidates = std::mem::take(&mut self.sched_cands);
+        while candidates.len() < requests.len() {
+            candidates.push(Vec::new());
+        }
+        candidates.truncate(requests.len());
+        for (slot, req) in candidates.iter_mut().zip(requests) {
+            self.fill_candidates(req, now, slot);
+        }
+        // Stable request identities let incremental schedulers patch the
+        // previous round's flow network instead of rebuilding it.
+        self.sched_keys.clear();
+        self.sched_keys.extend(requests.iter().map(|r| RequestKey {
+            viewer: r.viewer,
+            stripe: r.stripe,
+        }));
 
-        let assignment = self.scheduler.schedule(&capacities, &candidates);
+        let mut assignment = std::mem::take(&mut self.assignment);
+        self.scheduler.schedule_keyed(
+            &self.capacities,
+            &self.sched_keys,
+            &candidates,
+            &mut assignment,
+        );
         debug_assert!(crate::scheduler::assignment_is_valid(
             &assignment,
-            &capacities,
+            &self.capacities,
             &candidates
         ));
 
@@ -399,11 +433,15 @@ impl<'a> Simulator<'a> {
         let feasible = unserved == 0;
         if !feasible {
             let (obstruction_size, obstruction_capacity) = if self.config.collect_obstructions {
-                let mut problem = ConnectionProblem::new(capacities.clone());
+                let mut problem = ConnectionProblem::new(self.capacities.clone());
                 for cand in &candidates {
                     problem.add_request(cand.iter().copied());
                 }
-                match find_obstruction(&problem) {
+                match find_obstruction_in(
+                    &problem,
+                    &mut self.obstruction_arena,
+                    &mut self.obstruction_solver,
+                ) {
                     Some(ob) => (Some(ob.requests.len()), Some(ob.capacity)),
                     None => (None, None),
                 }
@@ -428,10 +466,13 @@ impl<'a> Simulator<'a> {
             unserved,
             served_from_allocation,
             served_from_cache,
-            upload_slots_available: capacities.iter().map(|&c| c as u64).sum(),
+            upload_slots_available: self.capacities.iter().map(|&c| c as u64).sum(),
             viewers: self.playing.iter().filter(|p| p.is_some()).count(),
             max_swarm: self.swarms.max_swarm_size(),
         };
+        // Return the reused buffers for the next round.
+        self.sched_cands = candidates;
+        self.assignment = assignment;
         (metrics, feasible)
     }
 }
@@ -458,7 +499,11 @@ mod tests {
         let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
         let report = sim.run(&mut gen);
         assert_eq!(report.round_count(), 60);
-        assert!(report.all_rounds_feasible(), "failures: {:?}", report.failures);
+        assert!(
+            report.all_rounds_feasible(),
+            "failures: {:?}",
+            report.failures
+        );
         assert!(report.total_demands > 0);
         assert_eq!(report.service_ratio(), 1.0);
         assert!(report.mean_startup_delay() >= 3.0 - 1e-9);
@@ -470,10 +515,18 @@ mod tests {
         let sim = Simulator::new(&sys, SimConfig::new(50));
         let mut gen = FlashCrowd::single(VideoId(0), 32, sys.m(), 1.5, 3);
         let report = sim.run(&mut gen);
-        assert!(report.all_rounds_feasible(), "failures: {:?}", report.failures);
+        assert!(
+            report.all_rounds_feasible(),
+            "failures: {:?}",
+            report.failures
+        );
         // Late joiners must have been served largely from caches of earlier
         // joiners (swarming), not only from the k allocation replicas.
-        assert!(report.swarming_share() > 0.2, "share {}", report.swarming_share());
+        assert!(
+            report.swarming_share() > 0.2,
+            "share {}",
+            report.swarming_share()
+        );
     }
 
     #[test]
@@ -497,7 +550,9 @@ mod tests {
         let sys = small_system(16, 0.4, 4, 1, 30);
         let sim = Simulator::new(
             &sys,
-            SimConfig::new(20).continue_on_failure().without_obstructions(),
+            SimConfig::new(20)
+                .continue_on_failure()
+                .without_obstructions(),
         );
         let mut gen = SequentialViewing::new(16, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 1);
         let report = sim.run(&mut gen);
@@ -511,11 +566,8 @@ mod tests {
     #[test]
     fn greedy_scheduler_plugs_in() {
         let sys = small_system(16, 2.5, 4, 4, 25);
-        let sim = Simulator::with_scheduler(
-            &sys,
-            SimConfig::new(40),
-            Box::new(GreedyScheduler::new()),
-        );
+        let sim =
+            Simulator::with_scheduler(&sys, SimConfig::new(40), Box::new(GreedyScheduler::new()));
         let mut gen = SequentialViewing::new(16, sys.m(), NextVideoPolicy::UniformRandom, 1.5, 2);
         let report = sim.run(&mut gen);
         assert!(report.round_count() > 0);

@@ -30,5 +30,7 @@ pub use churn::{ChurnEvent, ChurnModel, RepairReport};
 pub use engine::{FailurePolicy, SimConfig, Simulator};
 pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
-pub use scheduler::{GreedyScheduler, MaxFlowScheduler, RandomScheduler, Scheduler};
+pub use scheduler::{
+    GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, RequestKey, Scheduler,
+};
 pub use swarm::{Swarm, SwarmTracker};

@@ -5,11 +5,11 @@
 //! utilization, sourcing vs swarming split, start-up delays, and the
 //! obstructions witnessing infeasible rounds.
 
-use serde::{Deserialize, Serialize};
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
 
 /// Per-round measurements.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RoundMetrics {
     /// The round these metrics describe.
     pub round: u64,
@@ -38,6 +38,45 @@ pub struct RoundMetrics {
     pub max_swarm: usize,
 }
 
+impl JsonCodec for RoundMetrics {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("round", self.round.to_json()),
+            ("new_demands", self.new_demands.to_json()),
+            ("active_requests", self.active_requests.to_json()),
+            ("self_served", self.self_served.to_json()),
+            ("served", self.served.to_json()),
+            ("unserved", self.unserved.to_json()),
+            (
+                "served_from_allocation",
+                self.served_from_allocation.to_json(),
+            ),
+            ("served_from_cache", self.served_from_cache.to_json()),
+            (
+                "upload_slots_available",
+                self.upload_slots_available.to_json(),
+            ),
+            ("viewers", self.viewers.to_json()),
+            ("max_swarm", self.max_swarm.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(RoundMetrics {
+            round: u64::from_json(json.field("round")?)?,
+            new_demands: usize::from_json(json.field("new_demands")?)?,
+            active_requests: usize::from_json(json.field("active_requests")?)?,
+            self_served: usize::from_json(json.field("self_served")?)?,
+            served: usize::from_json(json.field("served")?)?,
+            unserved: usize::from_json(json.field("unserved")?)?,
+            served_from_allocation: usize::from_json(json.field("served_from_allocation")?)?,
+            served_from_cache: usize::from_json(json.field("served_from_cache")?)?,
+            upload_slots_available: u64::from_json(json.field("upload_slots_available")?)?,
+            viewers: usize::from_json(json.field("viewers")?)?,
+            max_swarm: usize::from_json(json.field("max_swarm")?)?,
+        })
+    }
+}
+
 impl RoundMetrics {
     /// Fraction of available upload slots in use (0 when none available).
     pub fn utilization(&self) -> f64 {
@@ -59,7 +98,7 @@ impl RoundMetrics {
 }
 
 /// A round in which the connection matching could not serve every request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FailureRecord {
     /// The failing round.
     pub round: u64,
@@ -75,8 +114,29 @@ pub struct FailureRecord {
     pub videos: Vec<VideoId>,
 }
 
+impl JsonCodec for FailureRecord {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("round", self.round.to_json()),
+            ("unserved", self.unserved.to_json()),
+            ("obstruction_size", self.obstruction_size.to_json()),
+            ("obstruction_capacity", self.obstruction_capacity.to_json()),
+            ("videos", self.videos.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(FailureRecord {
+            round: u64::from_json(json.field("round")?)?,
+            unserved: usize::from_json(json.field("unserved")?)?,
+            obstruction_size: Option::from_json(json.field("obstruction_size")?)?,
+            obstruction_capacity: Option::from_json(json.field("obstruction_capacity")?)?,
+            videos: Vec::from_json(json.field("videos")?)?,
+        })
+    }
+}
+
 /// One completed playback, for start-up delay and completion statistics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlaybackRecord {
     /// The viewer.
     pub box_id: BoxId,
@@ -90,8 +150,29 @@ pub struct PlaybackRecord {
     pub stalled_rounds: u64,
 }
 
+impl JsonCodec for PlaybackRecord {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("box_id", self.box_id.to_json()),
+            ("video", self.video.to_json()),
+            ("entered_at", self.entered_at.to_json()),
+            ("startup_delay", self.startup_delay.to_json()),
+            ("stalled_rounds", self.stalled_rounds.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(PlaybackRecord {
+            box_id: BoxId::from_json(json.field("box_id")?)?,
+            video: VideoId::from_json(json.field("video")?)?,
+            entered_at: u64::from_json(json.field("entered_at")?)?,
+            startup_delay: u64::from_json(json.field("startup_delay")?)?,
+            stalled_rounds: u64::from_json(json.field("stalled_rounds")?)?,
+        })
+    }
+}
+
 /// Aggregated result of a simulation run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimulationReport {
     /// Per-round metrics, in round order.
     pub rounds: Vec<RoundMetrics>,
@@ -105,6 +186,29 @@ pub struct SimulationReport {
     pub rejected_demands: usize,
     /// True when the run was aborted on the first infeasible round.
     pub aborted: bool,
+}
+
+impl JsonCodec for SimulationReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("rounds", self.rounds.to_json()),
+            ("failures", self.failures.to_json()),
+            ("playbacks", self.playbacks.to_json()),
+            ("total_demands", self.total_demands.to_json()),
+            ("rejected_demands", self.rejected_demands.to_json()),
+            ("aborted", self.aborted.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SimulationReport {
+            rounds: Vec::from_json(json.field("rounds")?)?,
+            failures: Vec::from_json(json.field("failures")?)?,
+            playbacks: Vec::from_json(json.field("playbacks")?)?,
+            total_demands: usize::from_json(json.field("total_demands")?)?,
+            rejected_demands: usize::from_json(json.field("rejected_demands")?)?,
+            aborted: bool::from_json(json.field("aborted")?)?,
+        })
+    }
 }
 
 impl SimulationReport {
@@ -205,7 +309,10 @@ impl SimulationReport {
         if self.playbacks.is_empty() {
             return 1.0;
         }
-        self.playbacks.iter().filter(|p| p.stalled_rounds == 0).count() as f64
+        self.playbacks
+            .iter()
+            .filter(|p| p.stalled_rounds == 0)
+            .count() as f64
             / self.playbacks.len() as f64
     }
 }

@@ -16,11 +16,10 @@
 //! A request stays *active* from its issue round until the playback ends
 //! (`t + T`): every active request must be matched to a supplier each round.
 
-use serde::{Deserialize, Serialize};
 use vod_core::{BoxId, StripeId, StripeIndex, VideoId};
 
 /// Whether a request is the preloading request or a postponed one.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// The single stripe preloaded when entering the swarm.
     Preload,
@@ -30,7 +29,7 @@ pub enum RequestKind {
 
 /// One stripe request, attributed to the box that performs the download
 /// (the relay for relayed stripes of a poor box).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct StripeRequest {
     /// The requested stripe.
     pub stripe: StripeId,
@@ -46,7 +45,7 @@ pub struct StripeRequest {
 }
 
 /// How one playing box obtains each stripe of its video.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StripePlan {
     /// Downloaded directly by the viewer, activating at the given round.
     Direct {
@@ -94,7 +93,7 @@ impl StripePlan {
 }
 
 /// The state of one box currently playing a video.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlaybackState {
     /// The video being played.
     pub video: VideoId,
@@ -313,7 +312,7 @@ mod tests {
             .count();
         assert_eq!(direct, 2);
         assert_eq!(relayed, 4); // preload + 3 postponed
-        // Direct stripes activate at t+2, relayed postponed at t+3.
+                                // Direct stripes activate at t+2, relayed postponed at t+3.
         for p in &plan {
             match p {
                 StripePlan::Direct { activate_at, .. } => assert_eq!(*activate_at, 102),

@@ -1,0 +1,878 @@
+//! Incremental per-round connection matching.
+//!
+//! Consecutive simulation rounds solve nearly identical matching instances:
+//! most playbacks continue, so most stripe requests and their candidate sets
+//! carry over unchanged, and per-box capacities are static. The
+//! [`IncrementalMatcher`] exploits this by keeping one Lemma-1 flow network
+//! alive inside a [`FlowArena`] across rounds:
+//!
+//! * requests are identified by a stable [`RequestKey`]; each round the
+//!   incoming key set is diffed against the previous round's;
+//! * surviving requests keep their node, edges, **and assigned flow**;
+//!   departed requests have their flow cancelled and their edges
+//!   de-capacitated; new requests get (or reuse) a node and edges;
+//! * candidate-set changes patch edge capacities in place, reviving a
+//!   previously de-capacitated edge when a candidate returns (a box's cache
+//!   entry ageing out and re-appearing is common under churn);
+//! * the solver then *warm-starts* from the repaired residual flow, so it
+//!   only has to route the delta instead of re-solving from zero.
+//!
+//! All bookkeeping (slots, edge lists, scratch buffers, the key map) reuses
+//! its allocations, so a steady-state round — same working set of requests —
+//! performs **zero heap allocations** in the matching layer. De-capacitated
+//! edges accumulate in the arena under heavy churn; when more than half of
+//! the arena is dead the matcher compacts by rebuilding in place (amortized
+//! O(1), still allocation-free once the arena has grown to the high-water
+//! mark).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use vod_core::{BoxId, StripeId};
+use vod_flow::{Dinic, FlowArena, MaxFlowSolve, NodeId};
+
+/// Multiply-xor hasher (FxHash-style) for the request-key map: the default
+/// SipHash dominates the per-round diff cost at thousands of lookups per
+/// round, and HashDoS resistance is irrelevant for simulator-internal keys.
+#[derive(Clone, Copy, Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u64(byte as u64);
+        }
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(SEED);
+    }
+}
+
+type KeyMap<V> = HashMap<RequestKey, V, BuildHasherDefault<KeyHasher>>;
+
+/// Stable identity of a stripe request across rounds.
+///
+/// Within one round a viewer has at most one active request per stripe, and a
+/// viewer's playback of a video spans contiguous rounds, so `(viewer,
+/// stripe)` identifies "the same request as last round".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestKey {
+    /// The box that will play the stripe.
+    pub viewer: BoxId,
+    /// The requested stripe.
+    pub stripe: StripeId,
+}
+
+/// One tracked request: its node in the arena and every edge ever created
+/// for it. Slots (and their edge lists) are pooled and reused.
+#[derive(Clone, Debug, Default)]
+struct RequestSlot {
+    node: NodeId,
+    sink_edge: usize,
+    /// Candidate edges ever created for this node, sorted by box id. An edge
+    /// is *active* when its capacity is 1, de-capacitated (0) otherwise.
+    cand_edges: Vec<(BoxId, usize)>,
+    /// The raw candidate list as last given (pre-sort), letting unchanged
+    /// rounds skip the sort-and-diff entirely.
+    given: Vec<BoxId>,
+    /// False until `given` reflects this slot's active edges (freshly
+    /// allocated or recycled slots must run a full diff).
+    given_valid: bool,
+    /// Round stamp of the last round that listed this request.
+    stamp: u64,
+    /// Position of this request in the current round's input.
+    pos: usize,
+}
+
+/// Reusable incremental matcher over one [`FlowArena`].
+pub struct IncrementalMatcher {
+    arena: FlowArena,
+    solver: Box<dyn MaxFlowSolve>,
+    /// Current per-box capacity (stripe connections).
+    caps: Vec<u32>,
+    /// Source edge per box (always present, capacity may be 0).
+    source_edges: Vec<usize>,
+    slots: Vec<RequestSlot>,
+    /// Slot index per arena node (`usize::MAX` for non-request nodes).
+    node_slot: Vec<usize>,
+    by_key: KeyMap<usize>,
+    free_slots: Vec<usize>,
+    sink: NodeId,
+    stamp: u64,
+    total_flow: i64,
+    /// Edge pairs currently de-capacitated (candidate + sink edges).
+    dead_pairs: usize,
+    rebuilds: u64,
+    rounds: u64,
+    /// True when the arena no longer reflects the tracked instance (e.g.
+    /// after a cold one-shot solve) and must be rebuilt.
+    dirty: bool,
+    /// True when the current round modified the instance (so the solver must
+    /// run); untouched rounds keep the previous maximum flow as-is.
+    changed: bool,
+    // Scratch buffers (reused every round).
+    sorted_cands: Vec<BoxId>,
+    added_cands: Vec<BoxId>,
+    stale_keys: Vec<RequestKey>,
+    /// Slot index per input position for the current round (skips a second
+    /// hash pass during extraction).
+    round_slots: Vec<usize>,
+    /// Visit stamps for the targeted augmenting-path search.
+    visit_stamp: Vec<u64>,
+    visit_epoch: u64,
+    /// DFS scratch: `(node, adjacency cursor)` stack and the residual edges
+    /// of the current path (source-ward order).
+    dfs_stack: Vec<(NodeId, Option<usize>)>,
+    path_edges: Vec<usize>,
+    /// Scratch for the debug-only maximality check (kept allocation-free so
+    /// steady-state rounds allocate nothing even in debug builds).
+    dbg_seen: Vec<bool>,
+    dbg_stack: Vec<NodeId>,
+}
+
+impl Default for IncrementalMatcher {
+    fn default() -> Self {
+        IncrementalMatcher::new(Box::new(Dinic::new()))
+    }
+}
+
+impl IncrementalMatcher {
+    /// Creates a matcher warm-starting the given solver each round.
+    pub fn new(solver: Box<dyn MaxFlowSolve>) -> Self {
+        IncrementalMatcher {
+            arena: FlowArena::new(),
+            solver,
+            caps: Vec::new(),
+            source_edges: Vec::new(),
+            slots: Vec::new(),
+            node_slot: Vec::new(),
+            by_key: KeyMap::default(),
+            free_slots: Vec::new(),
+            sink: 0,
+            stamp: 0,
+            total_flow: 0,
+            dead_pairs: 0,
+            rebuilds: 0,
+            rounds: 0,
+            dirty: true,
+            changed: false,
+            sorted_cands: Vec::new(),
+            added_cands: Vec::new(),
+            stale_keys: Vec::new(),
+            round_slots: Vec::new(),
+            visit_stamp: Vec::new(),
+            visit_epoch: 0,
+            dfs_stack: Vec::new(),
+            path_edges: Vec::new(),
+            dbg_seen: Vec::new(),
+            dbg_stack: Vec::new(),
+        }
+    }
+
+    /// The number of full rebuilds performed so far (1 after the first
+    /// round; steady-state rounds must not add more).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The number of rounds scheduled so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The current matching size carried in the arena.
+    pub fn total_flow(&self) -> i64 {
+        self.total_flow
+    }
+
+    /// Directed edge count of the underlying arena (twins included) —
+    /// observability for the compaction heuristic.
+    pub fn arena_edge_count(&self) -> usize {
+        self.arena.edge_count()
+    }
+
+    /// The solver driving this matcher.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    /// Schedules one round incrementally. `keys[i]` is the stable identity
+    /// of the request with candidate set `candidates[i]`; the assignment is
+    /// written into `out` (reused, index-aligned with the input).
+    pub fn schedule_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        assert_eq!(keys.len(), candidates.len(), "one key per request");
+        self.rounds += 1;
+        let total_pairs = self.arena.edge_count() / 2;
+        let needs_compaction = total_pairs > 64 && self.dead_pairs * 2 > total_pairs;
+        self.changed = false;
+        if self.dirty || capacities.len() != self.caps.len() || needs_compaction {
+            self.rebuild(capacities, keys, candidates);
+            // Cold instance: hand the whole thing to the configured solver.
+            self.total_flow += self.solver.max_flow(&mut self.arena, 0, self.sink);
+        } else {
+            self.patch(capacities, keys, candidates);
+            if self.changed {
+                // The patched flow is valid but possibly not maximal; only
+                // unserved requests can be endpoints of augmenting paths.
+                // With few of them, targeted searches restore maximality
+                // without touching the (much larger) unchanged part of the
+                // network. A large unserved set (persistently infeasible
+                // instance) would thrash the targeted search — every
+                // successful augment invalidates the failure marks — so hand
+                // that case to the solver, warm-started on the residual.
+                let unserved = self.count_unserved();
+                if unserved * 8 > self.round_slots.len() + 64 {
+                    self.total_flow += self.solver.max_flow(&mut self.arena, 0, self.sink);
+                } else if unserved > 0 {
+                    self.augment_unserved();
+                }
+            }
+        }
+        debug_assert!(self.flow_is_consistent());
+        debug_assert!(self.flow_is_maximal());
+        self.extract(out);
+    }
+
+    /// One-shot solve without request identity: rebuilds the instance inside
+    /// the reused arena and solves cold. Leaves the matcher marked dirty, so
+    /// a later keyed round rebuilds before patching.
+    pub fn schedule_cold(
+        &mut self,
+        capacities: &[u32],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        self.rounds += 1;
+        // Reuse the keyed machinery with positional pseudo-keys: stale state
+        // never leaks because the instance is rebuilt from scratch.
+        let mut problem = vod_flow::ConnectionProblem::new(capacities.to_vec());
+        for cands in candidates {
+            problem.add_request(cands.iter().copied());
+        }
+        let matching = problem.solve_in(&mut self.arena, &mut self.solver);
+        self.dirty = true;
+        out.clear();
+        out.extend(matching.assignment);
+    }
+
+    /// Full reconstruction of the tracked instance inside the reused arena.
+    fn rebuild(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: &[Vec<BoxId>]) {
+        let boxes = capacities.len();
+        self.arena.clear(boxes + 2);
+        self.sink = boxes + 1;
+        self.caps.clear();
+        self.caps.extend_from_slice(capacities);
+        self.source_edges.clear();
+        for (i, &cap) in capacities.iter().enumerate() {
+            self.source_edges
+                .push(self.arena.add_edge(0, 1 + i, cap as i64));
+        }
+        // Recycle every slot: clear its edges but keep the allocations. The
+        // arena was cleared, so stale node/edge ids must be forgotten
+        // (`node == 0` marks "no node": node 0 is always the source).
+        self.by_key.clear();
+        self.free_slots.clear();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            slot.cand_edges.clear();
+            slot.stamp = 0;
+            slot.node = 0;
+            slot.sink_edge = 0;
+            self.free_slots.push(idx);
+        }
+        self.node_slot.clear();
+        self.node_slot.resize(boxes + 2, usize::MAX);
+        self.total_flow = 0;
+        self.dead_pairs = 0;
+        self.stamp += 1;
+
+        self.round_slots.clear();
+        for (pos, (key, cands)) in keys.iter().zip(candidates).enumerate() {
+            let slot_idx = self.alloc_slot(*key, pos);
+            self.set_candidates(slot_idx, cands);
+            self.round_slots.push(slot_idx);
+        }
+        self.rebuilds += 1;
+        self.dirty = false;
+        self.changed = true;
+    }
+
+    /// Diffs the incoming round against the tracked instance, patching the
+    /// arena in place and repairing flow validity.
+    fn patch(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: &[Vec<BoxId>]) {
+        self.stamp += 1;
+
+        // Per-box capacity changes (rare: capacities are static per system).
+        for (i, &cap) in capacities.iter().enumerate() {
+            if cap != self.caps[i] {
+                self.patch_box_capacity(i, cap);
+            }
+        }
+
+        // Upsert this round's requests.
+        self.round_slots.clear();
+        let mut arrivals = false;
+        for (pos, (key, cands)) in keys.iter().zip(candidates).enumerate() {
+            let slot_idx = match self.by_key.get(key) {
+                Some(&idx) => {
+                    // A duplicate key in one round would silently alias two
+                    // requests onto one flow slot; reject it outright.
+                    assert_ne!(
+                        self.slots[idx].stamp, self.stamp,
+                        "duplicate request key {key:?} in one round"
+                    );
+                    self.slots[idx].stamp = self.stamp;
+                    self.slots[idx].pos = pos;
+                    idx
+                }
+                None => {
+                    arrivals = true;
+                    self.alloc_slot(*key, pos)
+                }
+            };
+            self.set_candidates(slot_idx, cands);
+            self.round_slots.push(slot_idx);
+        }
+
+        // Sweep requests that disappeared this round. With no arrivals and
+        // matching cardinality the tracked set is exactly the input set, so
+        // the sweep can be skipped.
+        if arrivals || self.by_key.len() != keys.len() {
+            self.stale_keys.clear();
+            for (key, &slot_idx) in &self.by_key {
+                if self.slots[slot_idx].stamp != self.stamp {
+                    self.stale_keys.push(*key);
+                }
+            }
+            // `stale_keys` is a scratch field, so detach it while mutating.
+            let mut stale = std::mem::take(&mut self.stale_keys);
+            for key in stale.drain(..) {
+                self.remove_request(key);
+            }
+            self.stale_keys = stale;
+        }
+    }
+
+    /// Registers a new request under `key`, reusing a pooled slot (and its
+    /// arena node plus edge list) when one is free.
+    fn alloc_slot(&mut self, key: RequestKey, pos: usize) -> usize {
+        let slot_idx = match self.free_slots.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(RequestSlot::default());
+                self.slots.len() - 1
+            }
+        };
+        // A recycled slot keeps its node and sink edge if it has them from a
+        // previous life in the *current* arena; otherwise create both.
+        let needs_node = self.slots[slot_idx].node == 0;
+        if needs_node {
+            let node = self.arena.add_node();
+            let sink_edge = self.arena.add_edge(node, self.sink, 1);
+            self.node_slot.resize(self.arena.node_count(), usize::MAX);
+            let slot = &mut self.slots[slot_idx];
+            slot.node = node;
+            slot.sink_edge = sink_edge;
+        } else {
+            // Revive the recycled sink edge.
+            let sink_edge = self.slots[slot_idx].sink_edge;
+            if self.arena.edge(sink_edge).original_cap == 0 {
+                self.arena.set_capacity(sink_edge, 1);
+                self.dead_pairs -= 1;
+            }
+        }
+        let node = self.slots[slot_idx].node;
+        self.node_slot[node] = slot_idx;
+        self.slots[slot_idx].stamp = self.stamp;
+        self.slots[slot_idx].pos = pos;
+        self.slots[slot_idx].given_valid = false;
+        let previous = self.by_key.insert(key, slot_idx);
+        assert!(
+            previous.is_none(),
+            "duplicate request key {key:?} in one round"
+        );
+        self.changed = true;
+        slot_idx
+    }
+
+    /// Patches the slot's candidate edges to match `cands`: revives or
+    /// creates edges for current candidates, de-capacitates edges for
+    /// dropped ones (cancelling their flow first).
+    fn set_candidates(&mut self, slot_idx: usize, cands: &[BoxId]) {
+        // Fast path: identical raw candidate list → active edges already
+        // match, nothing to sort or diff.
+        if self.slots[slot_idx].given_valid && self.slots[slot_idx].given == *cands {
+            return;
+        }
+        let boxes = self.caps.len();
+        self.sorted_cands.clear();
+        self.sorted_cands
+            .extend(cands.iter().copied().filter(|b| b.index() < boxes));
+        self.sorted_cands.sort();
+        self.sorted_cands.dedup();
+
+        self.added_cands.clear();
+        // Two-pointer diff over the sorted edge list and candidate list.
+        // Existing edges are revived/de-capacitated in place; missing
+        // candidates are collected and appended afterwards (appending while
+        // iterating would invalidate the walk).
+        let mut edge_cursor = 0;
+        let mut cand_cursor = 0;
+        while edge_cursor < self.slots[slot_idx].cand_edges.len()
+            || cand_cursor < self.sorted_cands.len()
+        {
+            let edge_entry = self.slots[slot_idx].cand_edges.get(edge_cursor).copied();
+            let cand = self.sorted_cands.get(cand_cursor).copied();
+            match (edge_entry, cand) {
+                (Some((edge_box, edge)), Some(cand_box)) if edge_box == cand_box => {
+                    if self.arena.edge(edge).original_cap == 0 {
+                        self.arena.set_capacity(edge, 1);
+                        self.dead_pairs -= 1;
+                        self.changed = true;
+                    }
+                    edge_cursor += 1;
+                    cand_cursor += 1;
+                }
+                (Some((edge_box, edge)), Some(cand_box)) if edge_box < cand_box => {
+                    self.deactivate_cand_edge(slot_idx, edge_box, edge);
+                    edge_cursor += 1;
+                }
+                (Some((edge_box, edge)), None) => {
+                    self.deactivate_cand_edge(slot_idx, edge_box, edge);
+                    edge_cursor += 1;
+                }
+                (_, Some(cand_box)) => {
+                    self.added_cands.push(cand_box);
+                    cand_cursor += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        // Append the new edges, keeping the list sorted by box id.
+        let node = self.slots[slot_idx].node;
+        let mut added = std::mem::take(&mut self.added_cands);
+        for &cand_box in added.iter() {
+            let edge = self.arena.add_edge(1 + cand_box.index(), node, 1);
+            let list = &mut self.slots[slot_idx].cand_edges;
+            let at = list.partition_point(|&(b, _)| b < cand_box);
+            list.insert(at, (cand_box, edge));
+            self.changed = true;
+        }
+        added.clear();
+        self.added_cands = added;
+        // Remember the raw list for next round's fast path.
+        let slot = &mut self.slots[slot_idx];
+        slot.given.clear();
+        slot.given.extend_from_slice(cands);
+        slot.given_valid = true;
+    }
+
+    /// De-capacitates one candidate edge, cancelling its flow first.
+    fn deactivate_cand_edge(&mut self, slot_idx: usize, edge_box: BoxId, edge: usize) {
+        if self.arena.edge(edge).original_cap == 0 {
+            return; // already inactive
+        }
+        if self.arena.flow_on(edge) == 1 {
+            self.cancel_assignment(slot_idx, edge_box, edge);
+        }
+        self.arena.set_capacity(edge, 0);
+        self.dead_pairs += 1;
+        self.changed = true;
+    }
+
+    /// Cancels one unit of flow running source → box → request → sink.
+    fn cancel_assignment(&mut self, slot_idx: usize, edge_box: BoxId, cand_edge: usize) {
+        debug_assert_eq!(self.arena.flow_on(cand_edge), 1);
+        self.arena.push(cand_edge, -1);
+        self.arena.push(self.source_edges[edge_box.index()], -1);
+        self.arena.push(self.slots[slot_idx].sink_edge, -1);
+        self.total_flow -= 1;
+    }
+
+    /// Applies a changed per-box capacity, evicting excess assignments when
+    /// the new capacity is below the box's current load.
+    fn patch_box_capacity(&mut self, box_idx: usize, new_cap: u32) {
+        let source_edge = self.source_edges[box_idx];
+        let mut excess = self.arena.flow_on(source_edge) - new_cap as i64;
+        if excess > 0 {
+            // Walk the box's forward edges and cancel assignments until the
+            // load fits (the warm solve will re-route them elsewhere).
+            let node = 1 + box_idx;
+            let mut cursor = self.arena.first_edge(node);
+            while let Some(edge) = cursor {
+                if excess == 0 {
+                    break;
+                }
+                cursor = self.arena.next_edge(edge);
+                if edge % 2 != 0 || self.arena.flow_on(edge) != 1 {
+                    continue;
+                }
+                let target = self.arena.target(edge);
+                let slot_idx = self.node_slot[target];
+                debug_assert_ne!(slot_idx, usize::MAX, "box edge must point at a request");
+                self.cancel_assignment(slot_idx, BoxId(box_idx as u32), edge);
+                excess -= 1;
+            }
+            debug_assert_eq!(excess, 0);
+        }
+        self.arena.set_capacity(source_edge, new_cap as i64);
+        self.caps[box_idx] = new_cap;
+        self.changed = true;
+    }
+
+    /// Removes a tracked request: cancels its flow and de-capacitates its
+    /// sink edge, returning the slot to the pool.
+    ///
+    /// Candidate edges are left active: with the sink edge at capacity 0 no
+    /// flow can route through the request node, so they are harmless, and a
+    /// recycled slot often reuses them directly (its next `set_candidates`
+    /// diff deactivates only the ones the new request does not need).
+    fn remove_request(&mut self, key: RequestKey) {
+        let slot_idx = self.by_key.remove(&key).expect("request is tracked");
+        // Cancel any flow through the request.
+        if self.arena.flow_on(self.slots[slot_idx].sink_edge) == 1 {
+            let carrying = self.slots[slot_idx]
+                .cand_edges
+                .iter()
+                .copied()
+                .find(|&(_, e)| self.arena.flow_on(e) == 1)
+                .expect("served request has a flow-carrying candidate edge");
+            self.cancel_assignment(slot_idx, carrying.0, carrying.1);
+        }
+        let sink_edge = self.slots[slot_idx].sink_edge;
+        if self.arena.edge(sink_edge).original_cap != 0 {
+            self.arena.set_capacity(sink_edge, 0);
+            self.dead_pairs += 1;
+        }
+        self.node_slot[self.slots[slot_idx].node] = usize::MAX;
+        self.free_slots.push(slot_idx);
+        self.changed = true;
+    }
+
+    /// Number of this round's requests currently carrying no flow.
+    fn count_unserved(&self) -> usize {
+        self.round_slots
+            .iter()
+            .filter(|&&slot_idx| self.arena.flow_on(self.slots[slot_idx].sink_edge) == 0)
+            .count()
+    }
+
+    /// Attempts one augmenting path per unserved request of this round.
+    ///
+    /// Visit stamps persist across *failed* searches (the residual graph is
+    /// unchanged by a failure, so nodes proven unable to reach the source
+    /// stay unreachable) and are refreshed after every successful augment.
+    fn augment_unserved(&mut self) {
+        // Stale stamps can stay: the epoch is monotonic, so marks from
+        // earlier rounds never collide with the current epoch.
+        self.visit_stamp.resize(self.arena.node_count(), 0);
+        self.visit_epoch += 1;
+        for i in 0..self.round_slots.len() {
+            let slot_idx = self.round_slots[i];
+            let sink_edge = self.slots[slot_idx].sink_edge;
+            if self.arena.flow_on(sink_edge) == 0 && self.try_augment(slot_idx) {
+                self.total_flow += 1;
+                self.visit_epoch += 1;
+            }
+        }
+    }
+
+    /// Searches a residual path `source → … → request` backwards from the
+    /// request node and, when found, pushes one unit along it (plus the
+    /// request's sink edge). Returns whether the request is now served.
+    fn try_augment(&mut self, slot_idx: usize) -> bool {
+        let root = self.slots[slot_idx].node;
+        if self.visit_stamp[root] == self.visit_epoch {
+            return false; // proven unreachable earlier this epoch
+        }
+        self.visit_stamp[root] = self.visit_epoch;
+        self.dfs_stack.clear();
+        self.path_edges.clear();
+        self.dfs_stack.push((root, self.arena.first_edge(root)));
+
+        while let Some(&(_node, cursor)) = self.dfs_stack.last() {
+            // Incoming residual edges of `node` are the twins of the edges
+            // in its adjacency list.
+            let mut cursor = cursor;
+            let mut descended = false;
+            while let Some(idx) = cursor {
+                let next_cursor = self.arena.next_edge(idx);
+                let incoming = idx ^ 1;
+                let from = self.arena.target(idx);
+                if from != self.sink
+                    && self.visit_stamp[from] != self.visit_epoch
+                    && self.arena.residual(incoming) > 0
+                {
+                    if from == 0 {
+                        // Reached the source: push flow along the path.
+                        self.arena.push(incoming, 1);
+                        for k in 0..self.path_edges.len() {
+                            let e = self.path_edges[k];
+                            self.arena.push(e, 1);
+                        }
+                        self.arena.push(self.slots[slot_idx].sink_edge, 1);
+                        return true;
+                    }
+                    // Shortcut: a box with spare source capacity completes
+                    // the path immediately. Without this, depth-first order
+                    // (most-recent edge first) would wander through the
+                    // box's alternating tree before reaching its source
+                    // edge, which was added first and is iterated last.
+                    if from >= 1 && from <= self.caps.len() {
+                        let source_edge = self.source_edges[from - 1];
+                        if self.arena.residual(source_edge) > 0 {
+                            self.arena.push(source_edge, 1);
+                            self.arena.push(incoming, 1);
+                            for k in 0..self.path_edges.len() {
+                                let e = self.path_edges[k];
+                                self.arena.push(e, 1);
+                            }
+                            self.arena.push(self.slots[slot_idx].sink_edge, 1);
+                            return true;
+                        }
+                    }
+                    self.visit_stamp[from] = self.visit_epoch;
+                    // Remember where to resume on `node`, descend to `from`.
+                    let top = self.dfs_stack.len() - 1;
+                    self.dfs_stack[top].1 = next_cursor;
+                    self.path_edges.push(incoming);
+                    self.dfs_stack.push((from, self.arena.first_edge(from)));
+                    descended = true;
+                    break;
+                }
+                cursor = next_cursor;
+            }
+            if !descended {
+                self.dfs_stack.pop();
+                self.path_edges.pop();
+            }
+        }
+        false
+    }
+
+    /// Debug check: no augmenting path is left (every unserved request of
+    /// the current round is unreachable from the source in the residual
+    /// graph). Debug builds only; uses reusable scratch so it allocates
+    /// nothing in steady state.
+    fn flow_is_maximal(&mut self) -> bool {
+        self.arena
+            .residual_reachable_into(0, &mut self.dbg_seen, &mut self.dbg_stack);
+        self.round_slots.iter().all(|&slot_idx| {
+            let slot = &self.slots[slot_idx];
+            self.arena.flow_on(slot.sink_edge) == 1 || !self.dbg_seen[slot.node]
+        })
+    }
+
+    /// Writes the assignment for this round's requests into `out`.
+    fn extract(&self, out: &mut Vec<Option<BoxId>>) {
+        out.clear();
+        out.resize(self.round_slots.len(), None);
+        for (pos, &slot_idx) in self.round_slots.iter().enumerate() {
+            let slot = &self.slots[slot_idx];
+            debug_assert_eq!(slot.pos, pos);
+            out[pos] = slot
+                .cand_edges
+                .iter()
+                .copied()
+                .find(|&(_, e)| self.arena.flow_on(e) == 1)
+                .map(|(b, _)| b);
+        }
+    }
+
+    /// Debug check: the arena's flow is a valid flow of value `total_flow`.
+    fn flow_is_consistent(&self) -> bool {
+        let mut source_out = 0;
+        for &e in &self.source_edges {
+            let flow = self.arena.flow_on(e);
+            if flow < 0 || flow > self.arena.edge(e).original_cap {
+                return false;
+            }
+            source_out += flow;
+        }
+        source_out == self.total_flow && self.arena.net_outflow(0) == self.total_flow
+    }
+}
+
+impl std::fmt::Debug for IncrementalMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalMatcher")
+            .field("solver", &self.solver.name())
+            .field("boxes", &self.caps.len())
+            .field("tracked_requests", &self.by_key.len())
+            .field("total_flow", &self.total_flow)
+            .field("rebuilds", &self.rebuilds)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::assignment_is_valid;
+    use vod_core::VideoId;
+
+    fn key(viewer: u32, video: u32, index: u16) -> RequestKey {
+        RequestKey {
+            viewer: BoxId(viewer),
+            stripe: StripeId::new(VideoId(video), index),
+        }
+    }
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    fn cold_served(caps: &[u32], cands: &[Vec<BoxId>]) -> usize {
+        let mut problem = vod_flow::ConnectionProblem::new(caps.to_vec());
+        for c in cands {
+            problem.add_request(c.iter().copied());
+        }
+        problem.solve().served()
+    }
+
+    #[test]
+    fn first_round_matches_cold_solve() {
+        let caps = vec![1, 1];
+        let keys = vec![key(0, 0, 0), key(1, 0, 1)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert!(assignment_is_valid(&out, &caps, &cands));
+        assert_eq!(out.iter().flatten().count(), cold_served(&caps, &cands));
+        assert_eq!(matcher.rebuilds(), 1);
+    }
+
+    #[test]
+    fn unchanged_rounds_do_not_rebuild_and_stay_optimal() {
+        let caps = vec![2, 1];
+        let keys = vec![key(0, 0, 0), key(1, 0, 1), key(2, 0, 2)];
+        let cands = vec![vec![b(0)], vec![b(0), b(1)], vec![b(1)]];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+            assert!(assignment_is_valid(&out, &caps, &cands));
+            assert_eq!(out.iter().flatten().count(), 3);
+        }
+        assert_eq!(matcher.rebuilds(), 1);
+        assert_eq!(matcher.rounds(), 10);
+    }
+
+    #[test]
+    fn arrivals_and_departures_track_cold_solves() {
+        // Rolling window of requests over 4 boxes: each round drops the
+        // oldest request and adds a new one with rotating candidates.
+        let caps = vec![1, 1, 1, 1];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        let mut window: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
+        for round in 0u32..40 {
+            if window.len() >= 5 {
+                window.remove(0);
+            }
+            let cands = vec![b(round % 4), b((round + 1) % 4)];
+            window.push((key(round, round % 7, 0), cands));
+            let keys: Vec<RequestKey> = window.iter().map(|(k, _)| *k).collect();
+            let cands: Vec<Vec<BoxId>> = window.iter().map(|(_, c)| c.clone()).collect();
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+            assert!(assignment_is_valid(&out, &caps, &cands), "round {round}");
+            assert_eq!(
+                out.iter().flatten().count(),
+                cold_served(&caps, &cands),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_set_changes_are_patched() {
+        let caps = vec![1, 1];
+        let keys = vec![key(0, 0, 0), key(1, 0, 0)];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        // Round 1: both requests can only use box 0 → one unserved.
+        let cands = vec![vec![b(0)], vec![b(0)]];
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 1);
+        // Round 2: request 1 gains box 1 → both served, no rebuild.
+        let cands = vec![vec![b(0)], vec![b(0), b(1)]];
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 2);
+        // Round 3: request 0 loses box 0 entirely → its flow is cancelled.
+        let cands = vec![vec![], vec![b(0), b(1)]];
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out[0], None);
+        assert_eq!(out.iter().flatten().count(), 1);
+        assert_eq!(matcher.rebuilds(), 1);
+    }
+
+    #[test]
+    fn capacity_reduction_evicts_and_reroutes() {
+        let keys = vec![key(0, 0, 0), key(1, 0, 0)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0), b(1)]];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&[2, 0], &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 2);
+        // Box 0 shrinks to 1 slot, box 1 opens one: still fully servable.
+        matcher.schedule_keyed(&[1, 1], &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 2);
+        assert!(assignment_is_valid(&out, &[1, 1], &cands));
+        // Both boxes shrink: only one request served.
+        matcher.schedule_keyed(&[1, 0], &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 1);
+        assert_eq!(matcher.rebuilds(), 1);
+    }
+
+    #[test]
+    fn heavy_churn_triggers_compaction_and_stays_correct() {
+        let caps = vec![2; 8];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        for round in 0u32..300 {
+            // Entirely fresh keys each round: worst case for edge garbage.
+            let keys: Vec<RequestKey> = (0..6).map(|i| key(round * 10 + i, round % 5, 0)).collect();
+            let cands: Vec<Vec<BoxId>> = (0..6u32)
+                .map(|i| vec![b((round + i) % 8), b((round + i + 3) % 8)])
+                .collect();
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+            assert_eq!(out.iter().flatten().count(), 6, "round {round}");
+        }
+        assert!(matcher.rebuilds() > 1, "compaction never kicked in");
+        // The arena stays bounded: dead edges are reclaimed.
+        assert!(matcher.arena_edge_count() < 4000);
+    }
+
+    #[test]
+    fn cold_one_shot_then_keyed_round_recovers() {
+        let caps = vec![1, 1];
+        let mut matcher = IncrementalMatcher::default();
+        let mut out = Vec::new();
+        matcher.schedule_cold(&caps, &[vec![b(0), b(1)], vec![b(0)]], &mut out);
+        assert_eq!(out.iter().flatten().count(), 2);
+        let keys = vec![key(0, 0, 0)];
+        let cands = vec![vec![b(1)]];
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out, vec![Some(b(1))]);
+    }
+}

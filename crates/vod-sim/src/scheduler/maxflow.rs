@@ -1,36 +1,58 @@
 //! The paper's optimal scheduler: connection matching by maximum flow.
+//!
+//! Backed by the [`IncrementalMatcher`]: when driven through
+//! [`Scheduler::schedule_keyed`] (as the engine does) consecutive rounds
+//! patch one reused flow arena and warm-start the solver, so a steady-state
+//! round performs no heap allocation in the matching layer. The plain
+//! [`Scheduler::schedule`] entry point solves one-shot instances, still
+//! reusing the same arena storage.
 
-use super::Scheduler;
+use super::{IncrementalMatcher, RequestKey, Scheduler};
 use vod_core::BoxId;
-use vod_flow::{ConnectionProblem, FlowSolver};
+use vod_flow::MaxFlowSolve;
 
 /// Scheduler computing an optimal connection matching (Lemma 1) each round.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct MaxFlowScheduler {
-    solver: FlowSolver,
+    matcher: IncrementalMatcher,
 }
 
 impl MaxFlowScheduler {
     /// Scheduler backed by Dinic's algorithm.
     pub fn new() -> Self {
-        MaxFlowScheduler {
-            solver: FlowSolver::Dinic,
-        }
+        MaxFlowScheduler::default()
     }
 
     /// Scheduler backed by an explicit flow solver.
-    pub fn with_solver(solver: FlowSolver) -> Self {
-        MaxFlowScheduler { solver }
+    pub fn with_solver(solver: Box<dyn MaxFlowSolve>) -> Self {
+        MaxFlowScheduler {
+            matcher: IncrementalMatcher::new(solver),
+        }
+    }
+
+    /// The incremental matcher behind this scheduler (observability:
+    /// rebuild count, arena size, current flow).
+    pub fn matcher(&self) -> &IncrementalMatcher {
+        &self.matcher
     }
 }
 
 impl Scheduler for MaxFlowScheduler {
     fn schedule(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>]) -> Vec<Option<BoxId>> {
-        let mut problem = ConnectionProblem::new(capacities.to_vec());
-        for cand in candidates {
-            problem.add_request(cand.iter().copied());
-        }
-        problem.solve_with(self.solver).assignment
+        let mut out = Vec::with_capacity(candidates.len());
+        self.matcher.schedule_cold(capacities, candidates, &mut out);
+        out
+    }
+
+    fn schedule_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        self.matcher
+            .schedule_keyed(capacities, keys, candidates, out);
     }
 
     fn name(&self) -> &'static str {
@@ -42,6 +64,7 @@ impl Scheduler for MaxFlowScheduler {
 mod tests {
     use super::*;
     use crate::scheduler::assignment_is_valid;
+    use vod_flow::{HopcroftKarpSolve, PushRelabel};
 
     fn b(i: u32) -> BoxId {
         BoxId(i)
@@ -70,7 +93,7 @@ mod tests {
     }
 
     #[test]
-    fn push_relabel_variant_agrees_on_served_count() {
+    fn alternative_solvers_agree_on_served_count() {
         let caps = vec![2, 1, 1];
         let cands = vec![
             vec![b(0)],
@@ -80,11 +103,12 @@ mod tests {
             vec![b(0), b(2)],
         ];
         let a = MaxFlowScheduler::new().schedule(&caps, &cands);
-        let c = MaxFlowScheduler::with_solver(FlowSolver::PushRelabel).schedule(&caps, &cands);
-        assert_eq!(
-            a.iter().filter(|x| x.is_some()).count(),
-            c.iter().filter(|x| x.is_some()).count()
-        );
+        let c = MaxFlowScheduler::with_solver(Box::new(PushRelabel::new())).schedule(&caps, &cands);
+        let h = MaxFlowScheduler::with_solver(Box::new(HopcroftKarpSolve::new()))
+            .schedule(&caps, &cands);
+        let served = |a: &[Option<BoxId>]| a.iter().filter(|x| x.is_some()).count();
+        assert_eq!(served(&a), served(&c));
+        assert_eq!(served(&a), served(&h));
     }
 
     #[test]

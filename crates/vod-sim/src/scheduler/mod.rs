@@ -8,10 +8,12 @@
 //! behaviour is due to optimal matching versus the allocation itself.
 
 mod greedy;
+pub mod incremental;
 mod maxflow;
 mod random_pick;
 
 pub use greedy::GreedyScheduler;
+pub use incremental::{IncrementalMatcher, RequestKey};
 pub use maxflow::MaxFlowScheduler;
 pub use random_pick::RandomScheduler;
 
@@ -28,6 +30,26 @@ pub trait Scheduler {
     /// Returns, for each request, the serving box or `None` if unserved. The
     /// returned assignment must respect capacities and candidate sets.
     fn schedule(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>]) -> Vec<Option<BoxId>>;
+
+    /// Keyed variant used by the simulation engine: `keys[x]` is a stable
+    /// cross-round identity for request `x`, letting incremental schedulers
+    /// patch the previous round's instance instead of solving from scratch.
+    /// The assignment is written into `out` (cleared first), index-aligned
+    /// with the input.
+    ///
+    /// The default implementation ignores the keys and delegates to
+    /// [`Scheduler::schedule`], so stateless schedulers need not care.
+    fn schedule_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        debug_assert_eq!(keys.len(), candidates.len());
+        out.clear();
+        out.extend(self.schedule(capacities, candidates));
+    }
 
     /// Short name for reports and benchmark labels.
     fn name(&self) -> &'static str;
@@ -67,12 +89,7 @@ mod tests {
     fn scenario() -> (Vec<u32>, Vec<Vec<BoxId>>) {
         (
             vec![1, 1, 2],
-            vec![
-                vec![b(0), b(1)],
-                vec![b(0)],
-                vec![b(1), b(2)],
-                vec![b(2)],
-            ],
+            vec![vec![b(0), b(1)], vec![b(0)], vec![b(1), b(2)], vec![b(2)]],
         )
     }
 
@@ -117,7 +134,11 @@ mod tests {
             &cands
         ));
         // Not a candidate.
-        assert!(!assignment_is_valid(&[Some(b(0)), None], &caps, &[vec![], vec![]]));
+        assert!(!assignment_is_valid(
+            &[Some(b(0)), None],
+            &caps,
+            &[vec![], vec![]]
+        ));
         // Wrong length.
         assert!(!assignment_is_valid(&[None], &caps, &cands));
         // Valid.

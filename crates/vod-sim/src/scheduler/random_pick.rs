@@ -17,6 +17,12 @@ pub struct RandomScheduler {
     rng: StdRng,
 }
 
+impl Default for RandomScheduler {
+    fn default() -> Self {
+        RandomScheduler::new(0)
+    }
+}
+
 impl RandomScheduler {
     /// Creates the scheduler with a deterministic seed.
     pub fn new(seed: u64) -> Self {

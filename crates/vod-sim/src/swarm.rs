@@ -6,12 +6,11 @@
 //! swarm preloads stripe p mod c, so all stripes of a video are equally
 //! preloaded"), and growth statistics used to verify the `µ` bound.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vod_core::{BoxId, StripeIndex, VideoId};
 
 /// One video's swarm.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Swarm {
     /// Members and their entry rounds, in entry order.
     members: Vec<(BoxId, u64)>,
@@ -44,7 +43,7 @@ impl Swarm {
 }
 
 /// Tracks all swarms of the system.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SwarmTracker {
     swarms: HashMap<VideoId, Swarm>,
     stripes_per_video: u16,
@@ -119,9 +118,7 @@ mod tests {
     fn preload_stripes_rotate_modulo_c() {
         let mut t = SwarmTracker::new(3);
         let v = VideoId(0);
-        let stripes: Vec<StripeIndex> = (0..7)
-            .map(|i| t.join(v, BoxId(i), i as u64))
-            .collect();
+        let stripes: Vec<StripeIndex> = (0..7).map(|i| t.join(v, BoxId(i), i as u64)).collect();
         assert_eq!(stripes, vec![0, 1, 2, 0, 1, 2, 0]);
         assert_eq!(t.size(v), 7);
         assert_eq!(t.swarm(v).unwrap().entered_total(), 7);

@@ -196,11 +196,8 @@ mod tests {
     };
 
     fn small_system(m: usize) -> (BoxSet, Catalog, Placement) {
-        let boxes = BoxSet::homogeneous(
-            8,
-            Bandwidth::from_streams(1.5),
-            StorageSlots::from_slots(8),
-        );
+        let boxes =
+            BoxSet::homogeneous(8, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8));
         let catalog = Catalog::uniform(m, 60, 4);
         let mut rng = StdRng::seed_from_u64(1);
         let placement = RandomPermutationAllocator::new(1)
@@ -228,11 +225,8 @@ mod tests {
 
     #[test]
     fn never_owned_attack_is_toothless_under_full_replication() {
-        let boxes = BoxSet::homogeneous(
-            4,
-            Bandwidth::from_streams(0.8),
-            StorageSlots::from_slots(8),
-        );
+        let boxes =
+            BoxSet::homogeneous(4, Bandwidth::from_streams(0.8), StorageSlots::from_slots(8));
         let catalog = Catalog::uniform(8, 60, 4);
         let mut rng = StdRng::seed_from_u64(2);
         let placement = FullReplicationAllocator::new()
@@ -269,8 +263,7 @@ mod tests {
         let (_, catalog, placement) = small_system(16);
         let poor: Vec<BoxId> = (0..6).map(BoxId).collect();
         let rich: Vec<BoxId> = (6..8).map(BoxId).collect();
-        let mut attack =
-            PoorBoxesSameVideo::new(poor, rich, VideoId(0), &placement, &catalog, 2.0);
+        let mut attack = PoorBoxesSameVideo::new(poor, rich, VideoId(0), &placement, &catalog, 2.0);
         let free = vec![true; 8];
         // Round 0: at most ⌈1·2⌉ = 2 poor boxes join (plus the rich decoys).
         let d0 = attack.demands_at(0, &free);

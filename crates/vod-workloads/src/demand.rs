@@ -7,11 +7,11 @@
 //! the simulator (`vod-sim`) turns demands into stripe requests according to
 //! the preloading strategy.
 
-use serde::{Deserialize, Serialize};
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
 
 /// One user demand: `box_id` starts watching `video` during round `round`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct VideoDemand {
     /// The box on which the video is to be played.
     pub box_id: BoxId,
@@ -19,6 +19,23 @@ pub struct VideoDemand {
     pub video: VideoId,
     /// Arrival round of the demand.
     pub round: u64,
+}
+
+impl JsonCodec for VideoDemand {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("box_id", self.box_id.to_json()),
+            ("video", self.video.to_json()),
+            ("round", self.round.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(VideoDemand {
+            box_id: BoxId::from_json(json.field("box_id")?)?,
+            video: VideoId::from_json(json.field("video")?)?,
+            round: u64::from_json(json.field("round")?)?,
+        })
+    }
 }
 
 impl VideoDemand {
@@ -61,7 +78,7 @@ impl OccupancyView for Vec<bool> {
 }
 
 /// A borrowed boolean-slice occupancy view (`true` = free).
-impl<'a> OccupancyView for &'a [bool] {
+impl OccupancyView for &[bool] {
     fn is_free(&self, box_id: BoxId) -> bool {
         self.get(box_id.index()).copied().unwrap_or(false)
     }

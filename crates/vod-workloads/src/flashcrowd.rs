@@ -37,7 +37,13 @@ impl FlashCrowd {
     /// A single crowd on `video` starting at round 0 and absorbing up to
     /// `max_viewers` boxes, with growth bound `mu` over a catalog of
     /// `catalog_size` videos.
-    pub fn single(video: VideoId, max_viewers: usize, catalog_size: usize, mu: f64, seed: u64) -> Self {
+    pub fn single(
+        video: VideoId,
+        max_viewers: usize,
+        catalog_size: usize,
+        mu: f64,
+        seed: u64,
+    ) -> Self {
         FlashCrowd::staggered(
             vec![CrowdSpec {
                 video,

@@ -37,13 +37,7 @@ pub struct SequentialViewing {
 
 impl SequentialViewing {
     /// Creates a generator for `n` boxes over `catalog_size` videos.
-    pub fn new(
-        n: usize,
-        catalog_size: usize,
-        policy: NextVideoPolicy,
-        mu: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(n: usize, catalog_size: usize, policy: NextVideoPolicy, mu: f64, seed: u64) -> Self {
         assert!(catalog_size > 0, "catalog must be non-empty");
         SequentialViewing {
             catalog_size,
@@ -123,7 +117,9 @@ mod tests {
         let mut gen = SequentialViewing::new(4, 10, NextVideoPolicy::UniformRandom, 2.0, 3);
         let free = vec![true, false, true, false];
         let d = gen.demands_at(0, &free);
-        assert!(d.iter().all(|x| x.box_id == BoxId(0) || x.box_id == BoxId(2)));
+        assert!(d
+            .iter()
+            .all(|x| x.box_id == BoxId(0) || x.box_id == BoxId(2)));
     }
 
     #[test]

@@ -5,14 +5,25 @@
 //! serialized for experiment reproducibility, and replayed as a generator.
 
 use crate::demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use vod_core::json::{Json, JsonCodec, JsonError};
 use vod_core::VideoId;
 
 /// A finite demand sequence indexed by round.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DemandTrace {
     by_round: BTreeMap<u64, Vec<VideoDemand>>,
+}
+
+impl JsonCodec for DemandTrace {
+    fn to_json(&self) -> Json {
+        self.by_round.to_json()
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(DemandTrace {
+            by_round: BTreeMap::from_json(json)?,
+        })
+    }
 }
 
 impl DemandTrace {
@@ -37,10 +48,7 @@ impl DemandTrace {
 
     /// Demands arriving at `round`.
     pub fn at(&self, round: u64) -> &[VideoDemand] {
-        self.by_round
-            .get(&round)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_round.get(&round).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total number of demands.
@@ -204,13 +212,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let trace = DemandTrace::from_demands([
             VideoDemand::new(BoxId(0), VideoId(0), 0),
             VideoDemand::new(BoxId(3), VideoId(2), 7),
         ]);
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: DemandTrace = serde_json::from_str(&json).unwrap();
+        let json = trace.to_json_string();
+        let back = DemandTrace::from_json_str(&json).unwrap();
         assert_eq!(trace, back);
     }
 

@@ -160,9 +160,9 @@ mod tests {
         for _ in 0..draws {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..5 {
+        for (i, &count) in counts.iter().enumerate() {
             let expected = z.pmf(i) * draws as f64;
-            let observed = counts[i] as f64;
+            let observed = count as f64;
             assert!(
                 (observed - expected).abs() < 5.0 * expected.sqrt() + 50.0,
                 "item {i}: expected ≈ {expected}, observed {observed}"

@@ -55,10 +55,7 @@ fn main() {
     println!("  service ratio       : {:.4}", report.service_ratio());
     println!("  swarming share      : {:.3}", report.swarming_share());
     println!("  peak utilization    : {:.3}", report.peak_utilization());
-    println!(
-        "  viewers absorbed    : {} / {}",
-        report.total_demands, n
-    );
+    println!("  viewers absorbed    : {} / {}", report.total_demands, n);
 
     if let Some(failure) = report.failures.first() {
         println!(

@@ -81,14 +81,23 @@ fn main() {
     );
     let report = Simulator::new(&system, SimConfig::new(140)).run(&mut attack);
 
-    println!("\nPoor-boxes-pile-on attack over {} rounds:", report.round_count());
+    println!(
+        "\nPoor-boxes-pile-on attack over {} rounds:",
+        report.round_count()
+    );
     println!("  demands accepted    : {}", report.total_demands);
     println!("  all rounds feasible : {}", report.all_rounds_feasible());
     println!("  service ratio       : {:.4}", report.service_ratio());
     println!("  swarming share      : {:.3}", report.swarming_share());
-    println!("  mean start-up delay : {:.1} rounds", report.mean_startup_delay());
+    println!(
+        "  mean start-up delay : {:.1} rounds",
+        report.mean_startup_delay()
+    );
     if let Some(f) = report.failures.first() {
-        println!("  first failure       : round {} ({} unserved)", f.round, f.unserved);
+        println!(
+            "  first failure       : round {} ({} unserved)",
+            f.round, f.unserved
+        );
     }
 
     // Same fleet WITHOUT compensation/relaying, for contrast.

@@ -27,7 +27,10 @@ fn main() {
     println!("  expansion margin       ν  = {:.4}", t1.nu);
     println!("  effective upload       u′ = {:.3}", t1.u_prime);
     println!("  prescribed replication k  = {}", t1.k);
-    println!("  analytic catalog bound    ≳ {:.1} videos", t1.catalog_bound);
+    println!(
+        "  analytic catalog bound    ≳ {:.1} videos",
+        t1.catalog_bound
+    );
 
     // A practical deployment uses far less replication than the worst-case
     // prescription; the simulator will confirm it still works for realistic
@@ -57,7 +60,10 @@ fn main() {
     println!("  service ratio           {:.4}", report.service_ratio());
     println!("  mean upload utilization {:.3}", report.mean_utilization());
     println!("  swarming share          {:.3}", report.swarming_share());
-    println!("  mean start-up delay     {:.1} rounds", report.mean_startup_delay());
+    println!(
+        "  mean start-up delay     {:.1} rounds",
+        report.mean_startup_delay()
+    );
 
     // 5. Contrast with an under-provisioned fleet (u < 1): the never-owned
     //    adversary defeats it as soon as the catalog exceeds d·c videos.
@@ -65,9 +71,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2009);
     let starved_system =
         VideoSystem::homogeneous(starved, &RandomPermutationAllocator::new(1), &mut rng).unwrap();
-    let mut attack = NeverOwnedAttack::new(starved_system.placement(), starved_system.catalog(), mu);
-    let starved_report =
-        Simulator::new(&starved_system, SimConfig::new(60)).run(&mut attack);
+    let mut attack =
+        NeverOwnedAttack::new(starved_system.placement(), starved_system.catalog(), mu);
+    let starved_report = Simulator::new(&starved_system, SimConfig::new(60)).run(&mut attack);
     println!(
         "\nBelow the threshold (u = 0.8, catalog = {} videos): feasible = {}, first failure = {:?}",
         starved_system.m(),

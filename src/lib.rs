@@ -57,21 +57,22 @@ pub mod prelude {
     };
     pub use vod_core::{
         compensate, Allocator, Bandwidth, BoxId, BoxSet, Catalog, CompensationPlan, CoreError,
-        FullReplicationAllocator, NodeBox, Placement, PlaybackCache, RandomIndependentAllocator,
-        RandomPermutationAllocator, RoundRobinAllocator, StorageSlots, StripeId, SystemParams,
-        Video, VideoId, VideoSystem,
+        FullReplicationAllocator, Json, JsonCodec, JsonError, NodeBox, Placement, PlaybackCache,
+        RandomIndependentAllocator, RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
+        StripeId, SystemParams, Video, VideoId, VideoSystem,
     };
     pub use vod_flow::{
-        find_obstruction, verify_lemma1, ConnectionMatching, ConnectionProblem, FlowSolver,
-        Obstruction,
+        find_obstruction, find_obstruction_in, verify_lemma1, ConnectionMatching,
+        ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve, Obstruction,
+        PushRelabel,
     };
     pub use vod_sim::{
-        FailurePolicy, GreedyScheduler, MaxFlowScheduler, RandomScheduler, Scheduler, SimConfig,
-        SimulationReport, Simulator,
+        FailurePolicy, GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler,
+        RequestKey, Scheduler, SimConfig, SimulationReport, Simulator,
     };
     pub use vod_workloads::{
-        DemandGenerator, DemandTrace, FlashCrowd, NeverOwnedAttack, NextVideoPolicy,
-        PoissonDemand, PoorBoxesSameVideo, Popularity, SequentialViewing, SwarmGrowthLimiter,
-        VideoDemand, ZipfDemand, ZipfSampler,
+        DemandGenerator, DemandTrace, FlashCrowd, NeverOwnedAttack, NextVideoPolicy, PoissonDemand,
+        PoorBoxesSameVideo, Popularity, SequentialViewing, SwarmGrowthLimiter, VideoDemand,
+        ZipfDemand, ZipfSampler,
     };
 }

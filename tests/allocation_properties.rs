@@ -1,118 +1,188 @@
 //! Property-based tests of the allocation schemes and the core model
-//! invariants they must preserve.
+//! invariants they must preserve. Instances come from seeded RNG loops (the
+//! environment has no proptest), so failures are reproducible from the
+//! printed seed.
 
 use p2p_vod::prelude::*;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy for small but non-trivial allocation scenarios whose catalog is
-/// guaranteed to fit: boxes, slots per box, stripes, replication and a seed.
-fn scenarios() -> impl Strategy<Value = (usize, u32, usize, u16, u32, u64)> {
-    (4usize..24, 2u16..6, 1u32..4, any::<u64>()).prop_flat_map(|(n, c, k, seed)| {
-        // slots_per_box chosen so that k*m*c ≤ n*slots for some m ≥ 1.
-        (8u32..32).prop_flat_map(move |slots| {
-            let max_m = (n as u64 * slots as u64 / (k as u64 * c as u64)).max(1);
-            (1u64..=max_m).prop_map(move |m| (n, slots, m as usize, c, k, seed))
-        })
-    })
+const CASES: u64 = 48;
+
+/// Small but non-trivial allocation scenario whose catalog is guaranteed to
+/// fit: boxes, slots per box, catalog size, stripes, replication.
+fn scenario(rng: &mut StdRng) -> (usize, u32, usize, u16, u32, u64) {
+    let n = rng.gen_range(4usize..24);
+    let c = rng.gen_range(2u16..6);
+    let k = rng.gen_range(1u32..4);
+    let slots = rng.gen_range(8u32..32);
+    let max_m = ((n as u64 * slots as u64) / (k as u64 * c as u64)).max(1);
+    let m = rng.gen_range(1u64..=max_m) as usize;
+    let seed = rng.gen::<u64>();
+    (n, slots, m, c, k, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The permutation allocation fills boxes within capacity and places
-    /// exactly k·m·c replicas (counting duplicate draws as wasted slots).
-    #[test]
-    fn permutation_allocation_invariants((n, slots, m, c, k, seed) in scenarios()) {
-        let boxes = BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+/// The permutation allocation fills boxes within capacity and places exactly
+/// k·m·c replicas (counting duplicate draws as wasted slots).
+#[test]
+fn permutation_allocation_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let (n, slots, m, c, k, seed) = scenario(&mut rng);
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
         let catalog = Catalog::uniform(m, 50, c);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let placement = RandomPermutationAllocator::new(k).allocate(&boxes, &catalog, &mut rng).unwrap();
+        let mut alloc_rng = StdRng::seed_from_u64(seed);
+        let placement = RandomPermutationAllocator::new(k)
+            .allocate(&boxes, &catalog, &mut alloc_rng)
+            .unwrap();
 
-        prop_assert!(placement.max_load() <= slots as usize);
+        assert!(placement.max_load() <= slots as usize, "case {case}");
         let replicas: usize = catalog.stripes().map(|s| placement.replica_count(s)).sum();
-        prop_assert_eq!(replicas + placement.wasted_slots(), k as usize * m * c as usize);
-        prop_assert!(placement.validate(&boxes, &catalog, 0).is_ok());
+        assert_eq!(
+            replicas + placement.wasted_slots(),
+            k as usize * m * c as usize,
+            "case {case}"
+        );
+        assert!(
+            placement.validate(&boxes, &catalog, 0).is_ok(),
+            "case {case}"
+        );
         // Every holder recorded for a stripe indeed stores it.
         for stripe in catalog.stripes() {
             for &b in placement.holders_of(stripe) {
-                prop_assert!(placement.stores(b, stripe));
+                assert!(placement.stores(b, stripe), "case {case}");
             }
         }
     }
+}
 
-    /// The capacity-respecting independent allocation also fits, and places
-    /// the same number of replicas.
-    #[test]
-    fn independent_allocation_respects_capacity((n, slots, m, c, k, seed) in scenarios()) {
-        let boxes = BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
+/// The capacity-respecting independent allocation also fits, and places the
+/// same number of replicas.
+#[test]
+fn independent_allocation_respects_capacity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + case);
+        let (n, slots, m, c, k, seed) = scenario(&mut rng);
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
         let catalog = Catalog::uniform(m, 50, c);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let placement = RandomIndependentAllocator::new(k).allocate(&boxes, &catalog, &mut rng).unwrap();
-        prop_assert!(placement.max_load() <= slots as usize);
+        let mut alloc_rng = StdRng::seed_from_u64(seed);
+        let placement = RandomIndependentAllocator::new(k)
+            .allocate(&boxes, &catalog, &mut alloc_rng)
+            .unwrap();
+        assert!(placement.max_load() <= slots as usize, "case {case}");
         let replicas: usize = catalog.stripes().map(|s| placement.replica_count(s)).sum();
-        prop_assert_eq!(replicas + placement.wasted_slots(), k as usize * m * c as usize);
+        assert_eq!(
+            replicas + placement.wasted_slots(),
+            k as usize * m * c as usize,
+            "case {case}"
+        );
     }
+}
 
-    /// The round-robin allocation is deterministic and gives every stripe
-    /// exactly k distinct replicas.
-    #[test]
-    fn round_robin_allocation_exact_replication((n, slots, m, c, k, seed) in scenarios()) {
-        let boxes = BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(slots));
-        let catalog = Catalog::uniform(m, 50, c);
+/// The round-robin allocation is deterministic and gives every stripe
+/// exactly k distinct replicas.
+#[test]
+fn round_robin_allocation_exact_replication() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + case);
+        let (n, slots, m, c, k, seed) = scenario(&mut rng);
         // Exact replication needs k ≤ n distinct boxes per stripe.
-        prop_assume!(k as usize <= n);
+        if k as usize > n {
+            continue;
+        }
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
+        let catalog = Catalog::uniform(m, 50, c);
         let a = RoundRobinAllocator::new(k)
             .allocate(&boxes, &catalog, &mut StdRng::seed_from_u64(seed))
             .unwrap();
         let b = RoundRobinAllocator::new(k)
-            .allocate(&boxes, &catalog, &mut StdRng::seed_from_u64(seed.wrapping_add(1)))
+            .allocate(
+                &boxes,
+                &catalog,
+                &mut StdRng::seed_from_u64(seed.wrapping_add(1)),
+            )
             .unwrap();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}");
         for stripe in catalog.stripes() {
-            prop_assert_eq!(a.replica_count(stripe), k as usize);
+            assert_eq!(a.replica_count(stripe), k as usize, "case {case}");
         }
     }
+}
 
-    /// Bandwidth fixed-point arithmetic: stripe slots are always the floor of
-    /// u·c and the effective capacity never exceeds the nominal one.
-    #[test]
-    fn bandwidth_floor_semantics(u in 0.0f64..8.0, c in 1u16..64) {
+/// Bandwidth fixed-point arithmetic: stripe slots are always the floor of
+/// u·c and the effective capacity never exceeds the nominal one.
+#[test]
+fn bandwidth_floor_semantics() {
+    for case in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(300 + case);
+        let u = rng.gen_range(0.0f64..8.0);
+        let c = rng.gen_range(1u16..64);
         let b = Bandwidth::from_streams(u);
         let slots = b.stripe_slots(c);
         // Allow for the 1/1000 fixed-point granularity of `from_streams`.
         let millis_u = b.as_streams();
-        prop_assert_eq!(slots, (millis_u * c as f64 + 1e-9).floor() as u32);
-        prop_assert!(b.effective(c) <= b);
+        assert_eq!(
+            slots,
+            (millis_u * c as f64 + 1e-9).floor() as u32,
+            "case {case}: u={u} c={c}"
+        );
+        assert!(b.effective(c) <= b, "case {case}");
     }
+}
 
-    /// The swarm-growth limiter never lets a join sequence violate the bound
-    /// it was configured with.
-    #[test]
-    fn swarm_limiter_sequences_always_verify(
-        mu_tenths in 11u32..30,
-        wanted in proptest::collection::vec(0usize..10, 1..12),
-    ) {
-        let mu = mu_tenths as f64 / 10.0;
+/// The swarm-growth limiter never lets a join sequence violate the bound it
+/// was configured with.
+#[test]
+fn swarm_limiter_sequences_always_verify() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + case);
+        let mu = rng.gen_range(11u32..30) as f64 / 10.0;
+        let rounds = rng.gen_range(1usize..12);
         let mut limiter = SwarmGrowthLimiter::new(1, mu);
         let mut joins = Vec::new();
-        for (round, &w) in wanted.iter().enumerate() {
+        for round in 0..rounds {
             limiter.advance_to(round as u64);
-            joins.push(limiter.admit(VideoId(0), w));
+            let wanted = rng.gen_range(0usize..10);
+            joins.push(limiter.admit(VideoId(0), wanted));
         }
-        prop_assert!(SwarmGrowthLimiter::verify(mu, &joins).is_ok());
+        assert!(
+            SwarmGrowthLimiter::verify(mu, &joins).is_ok(),
+            "case {case}: µ={mu} joins={joins:?}"
+        );
     }
+}
 
-    /// Playback-cache window semantics: an entry can serve a later request
-    /// only while it is fresh, and never one issued before its own start.
-    #[test]
-    fn cache_serving_window(start in 0u64..100, req in 0u64..100, now_off in 0u64..50, window in 1u64..60) {
+/// Playback-cache window semantics: an entry can serve a later request only
+/// while it is fresh, and never one issued before its own start.
+#[test]
+fn cache_serving_window() {
+    for case in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(500 + case);
+        let start = rng.gen_range(0u64..100);
+        let req = rng.gen_range(0u64..100);
+        let now_off = rng.gen_range(0u64..50);
+        let window = rng.gen_range(1u64..60);
         let mut cache = PlaybackCache::new();
         let stripe = StripeId::new(VideoId(0), 0);
         cache.insert(stripe, start);
         let now = req.max(start) + now_off;
         let can = cache.can_serve(stripe, req, now, window);
-        prop_assert_eq!(can, start < req && start + window >= now);
+        assert_eq!(
+            can,
+            start < req && start + window >= now,
+            "case {case}: start={start} req={req} now={now} window={window}"
+        );
     }
 }

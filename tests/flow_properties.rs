@@ -1,32 +1,51 @@
-//! Property-based tests of the max-flow / matching substrate: solver
-//! agreement, max-flow = min-cut, Lemma 1 (matching exists iff no
-//! obstruction), and validity of extracted matchings.
+//! Property-based tests of the max-flow / matching substrate: three-way
+//! solver agreement (Dinic, push–relabel, Hopcroft–Karp), max-flow =
+//! min-cut, Lemma 1 (matching exists iff no obstruction), validity of
+//! extracted matchings, and warm-started incremental solves matching cold
+//! solves under random perturbations.
+//!
+//! Instances are generated from seeded RNG loops (the environment has no
+//! proptest), so every failure is reproducible from the printed seed.
 
 use p2p_vod::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vod_flow::{dinic, hopcroft_karp::HopcroftKarp, push_relabel, FlowNetwork};
+use vod_sim::IncrementalMatcher;
 
-/// Strategy generating a random connection-matching instance: box capacities
-/// and per-request candidate lists.
-fn connection_instances() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<usize>>)> {
-    (2usize..8, 1usize..20).prop_flat_map(|(boxes, requests)| {
-        (
-            proptest::collection::vec(0u32..4, boxes),
-            proptest::collection::vec(
-                proptest::collection::vec(0usize..boxes, 0..boxes),
-                requests,
-            ),
-        )
-    })
+const CASES: u64 = 64;
+
+/// Random connection-matching instance: box capacities and per-request
+/// candidate lists.
+fn random_instance(rng: &mut StdRng) -> (Vec<u32>, Vec<Vec<BoxId>>) {
+    let boxes = rng.gen_range(2usize..8);
+    let requests = rng.gen_range(1usize..20);
+    let caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(0u32..4)).collect();
+    let cands: Vec<Vec<BoxId>> = (0..requests)
+        .map(|_| {
+            let degree = rng.gen_range(0usize..boxes);
+            (0..degree)
+                .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                .collect()
+        })
+        .collect();
+    (caps, cands)
 }
 
-/// Strategy generating a random DAG-ish flow network as an edge list over a
-/// fixed node count, plus source 0 and sink n-1.
-fn flow_networks() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
-    (4usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n, 0i64..20), 1..40);
-        (Just(n), edges)
-    })
+/// Random flow network over `n` nodes with source 0 and sink n-1.
+fn random_network(rng: &mut StdRng) -> (usize, Vec<(usize, usize, i64)>) {
+    let n = rng.gen_range(4usize..10);
+    let m = rng.gen_range(1usize..40);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0usize..n),
+                rng.gen_range(0usize..n),
+                rng.gen_range(0i64..20),
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
 fn build_network(n: usize, edges: &[(usize, usize, i64)]) -> FlowNetwork {
@@ -39,47 +58,81 @@ fn build_network(n: usize, edges: &[(usize, usize, i64)]) -> FlowNetwork {
     g
 }
 
-fn build_problem(caps: &[u32], cands: &[Vec<usize>]) -> ConnectionProblem {
+fn build_problem(caps: &[u32], cands: &[Vec<BoxId>]) -> ConnectionProblem {
     let mut p = ConnectionProblem::new(caps.to_vec());
     for list in cands {
-        p.add_request(list.iter().map(|&i| BoxId(i as u32)));
+        p.add_request(list.iter().copied());
     }
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Dinic and push-relabel compute the same max-flow value on arbitrary
-    /// networks, and that value equals the capacity of the residual min cut.
-    #[test]
-    fn maxflow_solvers_agree_and_match_min_cut((n, edges) in flow_networks()) {
+/// Dinic and push-relabel compute the same max-flow value on arbitrary
+/// networks, and that value equals the capacity of the residual min cut.
+#[test]
+fn maxflow_solvers_agree_and_match_min_cut() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, edges) = random_network(&mut rng);
         let mut g1 = build_network(n, &edges);
         let mut g2 = build_network(n, &edges);
         let source = 0;
         let sink = n - 1;
         let f1 = dinic::max_flow(&mut g1, source, sink);
         let f2 = push_relabel::max_flow(&mut g2, source, sink);
-        prop_assert_eq!(f1, f2, "Dinic {} vs push-relabel {}", f1, f2);
+        assert_eq!(f1, f2, "seed {seed}: Dinic {f1} vs push-relabel {f2}");
 
         let side = g1.residual_reachable(source);
-        prop_assert!(side[source]);
-        prop_assert!(!side[sink]);
-        prop_assert_eq!(g1.cut_capacity(&side), f1);
+        assert!(side[source], "seed {seed}");
+        assert!(!side[sink], "seed {seed}");
+        assert_eq!(g1.cut_capacity(&side), f1, "seed {seed}");
 
         // Flow conservation at internal nodes.
         for v in 1..n - 1 {
-            prop_assert_eq!(g1.net_outflow(v), 0);
+            assert_eq!(g1.net_outflow(v), 0, "seed {seed} node {v}");
         }
-        prop_assert_eq!(g1.net_outflow(source), f1);
+        assert_eq!(g1.net_outflow(source), f1, "seed {seed}");
     }
+}
 
-    /// On unit-capacity instances the flow matching equals Hopcroft–Karp.
-    #[test]
-    fn unit_capacity_matching_equals_hopcroft_karp(cands in proptest::collection::vec(
-        proptest::collection::vec(0usize..6, 0..6), 1..14)) {
-        let caps = vec![1u32; 6];
+/// All three solvers behind the `MaxFlowSolve` trait return the same
+/// max-flow value and a valid matching on random bipartite instances.
+#[test]
+fn cross_solver_equivalence_on_connection_instances() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
         let problem = build_problem(&caps, &cands);
+        let a = problem.solve_with(&mut Dinic::new());
+        let b = problem.solve_with(&mut PushRelabel::new());
+        let c = problem.solve_with(&mut HopcroftKarpSolve::new());
+        assert_eq!(a.flow, b.flow, "seed {seed}: dinic vs push-relabel");
+        assert_eq!(a.flow, c.flow, "seed {seed}: dinic vs hopcroft-karp");
+        assert_eq!(a.served(), b.served(), "seed {seed}");
+        assert_eq!(a.served(), c.served(), "seed {seed}");
+        assert!(a.is_valid_for(&problem), "seed {seed}");
+        assert!(b.is_valid_for(&problem), "seed {seed}");
+        assert!(c.is_valid_for(&problem), "seed {seed}");
+    }
+}
+
+/// On unit-capacity instances the flow matching equals raw Hopcroft–Karp.
+#[test]
+fn unit_capacity_matching_equals_hopcroft_karp() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let requests = rng.gen_range(1usize..14);
+        let cands: Vec<Vec<usize>> = (0..requests)
+            .map(|_| {
+                let degree = rng.gen_range(0usize..6);
+                (0..degree).map(|_| rng.gen_range(0usize..6)).collect()
+            })
+            .collect();
+        let caps = vec![1u32; 6];
+        let boxed: Vec<Vec<BoxId>> = cands
+            .iter()
+            .map(|list| list.iter().map(|&i| BoxId(i as u32)).collect())
+            .collect();
+        let problem = build_problem(&caps, &boxed);
         let flow_match = problem.solve();
 
         let mut hk = HopcroftKarp::new(cands.len(), 6);
@@ -92,46 +145,119 @@ proptest! {
             }
         }
         let (hk_size, _) = hk.solve();
-        prop_assert_eq!(flow_match.served(), hk_size);
+        assert_eq!(flow_match.served(), hk_size, "seed {seed}");
     }
+}
 
-    /// Lemma 1: the connection matching is complete iff no obstruction
-    /// exists, and any extracted obstruction is a genuine Hall violator.
-    #[test]
-    fn lemma1_matching_iff_no_obstruction((caps, cands) in connection_instances()) {
+/// Lemma 1: the connection matching is complete iff no obstruction exists,
+/// and any extracted obstruction is a genuine Hall violator.
+#[test]
+fn lemma1_matching_iff_no_obstruction() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
         let problem = build_problem(&caps, &cands);
-        prop_assert!(verify_lemma1(&problem).is_ok());
+        assert!(verify_lemma1(&problem).is_ok(), "seed {seed}");
         if let Some(ob) = find_obstruction(&problem) {
-            prop_assert!(ob.capacity < ob.requests.len() as u64);
+            assert!(ob.capacity < ob.requests.len() as u64, "seed {seed}");
             // Re-checking the subset explicitly gives the same capacity.
             let recheck = vod_flow::check_subset(&problem, &ob.requests);
-            prop_assert_eq!(recheck.capacity, ob.capacity);
+            assert_eq!(recheck.capacity, ob.capacity, "seed {seed}");
         }
     }
+}
 
-    /// Solved matchings are always valid: every assignment is a declared
-    /// candidate and no box exceeds its capacity; adding upload capacity
-    /// never reduces the number of requests served.
-    #[test]
-    fn matchings_valid_and_monotone_in_capacity((caps, cands) in connection_instances()) {
+/// Solved matchings are always valid, and adding upload capacity never
+/// reduces the number of requests served.
+#[test]
+fn matchings_valid_and_monotone_in_capacity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
         let problem = build_problem(&caps, &cands);
         let matching = problem.solve();
-        prop_assert!(matching.is_valid_for(&problem));
+        assert!(matching.is_valid_for(&problem), "seed {seed}");
 
         let boosted: Vec<u32> = caps.iter().map(|c| c + 1).collect();
         let boosted_problem = build_problem(&boosted, &cands);
         let boosted_matching = boosted_problem.solve();
-        prop_assert!(boosted_matching.served() >= matching.served());
+        assert!(
+            boosted_matching.served() >= matching.served(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Both flow solvers serve the same number of requests on matching
-    /// instances (the assignments may differ, the value may not).
-    #[test]
-    fn connection_solvers_agree((caps, cands) in connection_instances()) {
-        let problem = build_problem(&caps, &cands);
-        let a = problem.solve_with(FlowSolver::Dinic);
-        let b = problem.solve_with(FlowSolver::PushRelabel);
-        prop_assert_eq!(a.served(), b.served());
-        prop_assert!(b.is_valid_for(&problem));
+/// Warm-started incremental solves match cold solves after random
+/// perturbations of the instance (request arrivals/departures, candidate
+/// churn) — for every solver behind the trait.
+#[test]
+fn warm_started_incremental_matches_cold_solves() {
+    let solvers: [fn() -> Box<dyn MaxFlowSolve>; 3] = [
+        || Box::new(Dinic::new()),
+        || Box::new(PushRelabel::new()),
+        || Box::new(HopcroftKarpSolve::new()),
+    ];
+    for (si, make_solver) in solvers.iter().enumerate() {
+        for seed in 0..CASES / 2 {
+            let mut rng = StdRng::seed_from_u64(5_000 + seed);
+            let boxes = rng.gen_range(3usize..8);
+            let caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(0u32..4)).collect();
+            let mut matcher = IncrementalMatcher::new(make_solver());
+            let mut out = Vec::new();
+
+            // A pool of keyed requests that arrive, churn, and depart.
+            let mut live: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
+            let mut next_id = 0u32;
+            for round in 0..12u64 {
+                // Arrivals.
+                for _ in 0..rng.gen_range(0usize..4) {
+                    let key = RequestKey {
+                        viewer: BoxId(next_id),
+                        stripe: StripeId::new(VideoId(0), 0),
+                    };
+                    next_id += 1;
+                    let degree = rng.gen_range(0usize..boxes);
+                    let cands: Vec<BoxId> = (0..degree)
+                        .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                        .collect();
+                    live.push((key, cands));
+                }
+                // Departures.
+                while live.len() > 10 || (rng.gen_bool(0.3) && !live.is_empty()) {
+                    let victim = rng.gen_range(0usize..live.len());
+                    live.remove(victim);
+                }
+                // Candidate churn on a random survivor.
+                if !live.is_empty() && rng.gen_bool(0.7) {
+                    let victim = rng.gen_range(0usize..live.len());
+                    let degree = rng.gen_range(0usize..boxes);
+                    live[victim].1 = (0..degree)
+                        .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                        .collect();
+                }
+
+                let keys: Vec<RequestKey> = live.iter().map(|(k, _)| *k).collect();
+                let cands: Vec<Vec<BoxId>> = live.iter().map(|(_, c)| c.clone()).collect();
+                matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+
+                let cold = build_problem(&caps, &cands).solve();
+                let warm_served = out.iter().flatten().count();
+                assert_eq!(
+                    warm_served,
+                    cold.served(),
+                    "solver {si} seed {seed} round {round}: warm {warm_served} vs cold {}",
+                    cold.served()
+                );
+                // The warm assignment is valid for the current instance.
+                let problem = build_problem(&caps, &cands);
+                let warm = ConnectionMatching {
+                    assignment: out.clone(),
+                    flow: warm_served as u64,
+                    total_requests: keys.len(),
+                };
+                assert!(warm.is_valid_for(&problem), "solver {si} seed {seed}");
+            }
+        }
     }
 }

@@ -112,23 +112,23 @@ fn generated_traces_are_admissible() {
 /// Simulation reports and demand traces serialize to JSON and back without
 /// loss (the experiment harness persists both).
 #[test]
-fn experiment_artefacts_serde_round_trip() {
+fn experiment_artefacts_json_round_trip() {
     let sys = homogeneous(12, 2.0, 4, 2, 15, 17);
     let mut gen = SequentialViewing::new(12, sys.m(), NextVideoPolicy::RoundRobin, 1.3, 2);
     let report = Simulator::new(&sys, SimConfig::new(25)).run(&mut gen);
-    let json = serde_json::to_string(&report).unwrap();
-    let back: SimulationReport = serde_json::from_str(&json).unwrap();
+    let json = report.to_json_string();
+    let back = SimulationReport::from_json_str(&json).unwrap();
     assert_eq!(report, back);
 
     let mut flash = FlashCrowd::single(VideoId(1), 8, sys.m(), 1.3, 1);
     let trace = DemandTrace::record(&mut flash, 10, 12, 15);
-    let json = serde_json::to_string(&trace).unwrap();
-    let back: DemandTrace = serde_json::from_str(&json).unwrap();
+    let json = trace.to_json_string();
+    let back = DemandTrace::from_json_str(&json).unwrap();
     assert_eq!(trace, back);
 
     // The system itself (parameters + placement) round-trips too.
-    let json = serde_json::to_string(&sys).unwrap();
-    let back: VideoSystem = serde_json::from_str(&json).unwrap();
+    let json = sys.to_json_string();
+    let back = VideoSystem::from_json_str(&json).unwrap();
     assert_eq!(sys, back);
 }
 
@@ -186,8 +186,7 @@ fn churn_repair_preserves_feasibility() {
 
     let caps: Vec<u32> = sys.boxes().iter().map(|b| b.storage.slots()).collect();
     let mut churn = ChurnModel::new(caps, 3);
-    let (_event, mut surviving) =
-        churn.fail_random(sys.placement(), sys.catalog(), 4, &mut rng);
+    let (_event, mut surviving) = churn.fail_random(sys.placement(), sys.catalog(), 4, &mut rng);
     let repair = churn.repair(&mut surviving, sys.catalog());
     // Stripes that kept at least one surviving replica are restored to the
     // target level; only stripes that lost every copy stay unrepairable.

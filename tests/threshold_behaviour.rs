@@ -6,7 +6,17 @@ use p2p_vod::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn homogeneous(n: usize, u: f64, d: u32, c: u16, k: u32, mu: f64, t: u32, seed: u64) -> VideoSystem {
+#[allow(clippy::too_many_arguments)]
+fn homogeneous(
+    n: usize,
+    u: f64,
+    d: u32,
+    c: u16,
+    k: u32,
+    mu: f64,
+    t: u32,
+    seed: u64,
+) -> VideoSystem {
     let params = SystemParams::new(n, u, d, c, k, mu, t);
     let mut rng = StdRng::seed_from_u64(seed);
     VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(k), &mut rng).unwrap()
@@ -120,14 +130,8 @@ fn empirical_threshold_search_brackets_transition() {
         base_seed: 77,
         threads: 2,
     };
-    let (threshold, probes) = find_upload_threshold(
-        &spec,
-        WorkloadKind::Sequential,
-        0.4,
-        3.0,
-        0.4,
-        &config,
-    );
+    let (threshold, probes) =
+        find_upload_threshold(&spec, WorkloadKind::Sequential, 0.4, 3.0, 0.4, &config);
     assert!(threshold > 0.4 && threshold <= 3.0, "threshold {threshold}");
     assert!(probes.len() >= 3);
 }

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the small slice of criterion's API the workspace benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration chaining,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is plain
+//! wall-clock sampling (median over the configured sample count) printed as
+//! one line per benchmark — enough to compare implementations, no statistics
+//! machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered into the label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Calibrate: batch iterations so one sample takes ≥ ~50µs.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_micros(50).as_nanos() / once.as_nanos()).max(1) as usize;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes measurement by
+    /// sample count, not by a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            last_median: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        println!(
+            "bench {}/{}: median {:?} per iteration",
+            self.name, id.label, bencher.last_median
+        );
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1, |b, _| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("dinic", 64).label, "dinic/64");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

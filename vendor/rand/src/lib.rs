@@ -1,0 +1,352 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the (small) slice of the `rand` 0.8 API the workspace actually
+//! uses: [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), [`rngs::StdRng`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`, `choose_multiple`).
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 — not the ChaCha12 generator of the real crate, so seeded
+//! streams differ from upstream `rand`, but every use in this workspace only
+//! relies on determinism and statistical quality, not on exact streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core trait of a random generator: a source of uniform raw bits.
+pub trait RngCore {
+    /// Next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen`].
+pub trait RandomValue: Sized {
+    /// Draws one uniform value from `rng`.
+    fn random_from(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl RandomValue for u32 {
+    fn random_from(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl RandomValue for u64 {
+    fn random_from(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for bool {
+    fn random_from(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random_from(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A half-open range a value can be drawn from by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The value type produced.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> Self::Output;
+}
+
+/// Uniform integer in `[0, bound)`. Uses multiply-shift reduction; the bias
+/// is at most `bound / 2^64`, far below anything the simulations can detect.
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u16, u32, u64);
+
+macro_rules! signed_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_int_range!(i32, i64);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut (impl RngCore + ?Sized)) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::random_from(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one uniform value of type `T`.
+    fn gen<T: RandomValue>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Draws one uniform value from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::random_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded through SplitMix64.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniformly chosen element, or `None` for an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements in random order (all of them when the
+        /// slice is shorter than `amount`).
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: Rng + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index table.
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            let mut picked = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+                picked.push(&self[indices[i]]);
+            }
+            picked.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0usize..7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let f = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+
+        assert!(v.choose(&mut rng).is_some());
+        let empty: Vec<u32> = Vec::new();
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0usize..10);
+        assert!(x < 10);
+        let mut v = [1u8, 2, 3];
+        v.shuffle(dyn_rng);
+    }
+}
