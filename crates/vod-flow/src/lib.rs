@@ -18,6 +18,9 @@
 //! * [`matching`] — the connection-matching problem builder and solution
 //!   extraction;
 //! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
+//! * [`shard`] — per-swarm sharding of a round's instance: pooled
+//!   partitioning, deterministic budget splitting, maximality-restoring
+//!   reconciliation, and shard-local obstruction extraction;
 //! * [`expander`] — sampled expansion estimation of allocation graphs.
 //!
 //! ## Solving a round
@@ -49,6 +52,7 @@ pub mod hall;
 pub mod hopcroft_karp;
 pub mod matching;
 pub mod push_relabel;
+pub mod shard;
 pub mod solver;
 
 pub use arena::{ArenaEdge, FlowArena};
@@ -59,4 +63,5 @@ pub use hall::{check_subset, find_obstruction, find_obstruction_in, verify_lemma
 pub use hopcroft_karp::{HopcroftKarp, HopcroftKarpSolve};
 pub use matching::{ConnectionMatching, ConnectionProblem};
 pub use push_relabel::PushRelabel;
+pub use shard::{ReconcileStats, ShardView, ShardedArena};
 pub use solver::MaxFlowSolve;

@@ -1,0 +1,657 @@
+//! Per-swarm sharding of a round's connection-matching instance.
+//!
+//! Lemma 1 reduces a round's schedulability to one global bipartite max-flow,
+//! but the instance is naturally block-structured: requests for different
+//! videos only interact through the shared per-box upload budgets `⌊u_b·c⌋`.
+//! The [`ShardedArena`] exploits that structure in three pooled,
+//! allocation-reusing stages:
+//!
+//! 1. [`ShardedArena::partition`] groups the round's requests by an opaque
+//!    shard key (the scheduler uses the video id, so one shard per swarm) and
+//!    computes, per shard, the set of boxes its candidate lists touch and how
+//!    many requests demand each box — all in flat pooled buffers;
+//! 2. [`ShardedArena::split_budgets`] divides each box's upload budget across
+//!    the shards that can use it (proportionally to demand, floors summed,
+//!    the deterministic leftover going to the highest-demand shard), so the
+//!    per-shard subproblems become capacity-disjoint and can be solved in
+//!    parallel without coordination;
+//! 3. [`ShardedArena::reconcile`] repairs whatever the budget split got
+//!    wrong: it rebuilds the *global* Lemma-1 network inside a pooled
+//!    [`FlowArena`], preloads the flow found by the shard solves, and runs
+//!    targeted augmenting-path searches from every still-unmatched request.
+//!    Because any valid flow extends to a maximum flow by residual
+//!    augmentation (which may *reroute* shard-assigned flow), the reconciled
+//!    matching is globally maximum — sharding can never change a round's
+//!    feasibility, only the speed at which it is decided.
+//!
+//! [`ShardedArena::shard_obstruction`] extracts a shard-local Hall violator:
+//! a shard whose subproblem is infeasible *under the full (unsplit) box
+//! capacities* yields an obstruction whose requests all belong to one swarm;
+//! since its candidate sets are unchanged from the global instance, the
+//! witness is also a genuine global obstruction.
+
+use crate::arena::FlowArena;
+use crate::hall::{check_subset, find_obstruction, Obstruction};
+use crate::matching::ConnectionProblem;
+use vod_core::BoxId;
+
+/// One shard of a partitioned round, borrowed out of the pooled storage.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardView<'a> {
+    /// The shard key (the scheduler uses the video id of the swarm).
+    pub key: u64,
+    /// Global indices of the requests in this shard, in input order.
+    pub requests: &'a [u32],
+    /// Global ids of the boxes demanded by this shard's candidate lists.
+    pub boxes: &'a [u32],
+    /// Per-box demand, aligned with `boxes`: how many candidate-list entries
+    /// of this shard name the box.
+    pub demand: &'a [u32],
+    /// Per-box upload budget granted by [`ShardedArena::split_budgets`],
+    /// aligned with `boxes` (empty until budgets are split).
+    pub budget: &'a [u32],
+}
+
+/// Outcome of one [`ShardedArena::reconcile`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReconcileStats {
+    /// Assignments carried over from the shard solves.
+    pub preloaded: usize,
+    /// Assignments dropped because they were invalid for the global instance
+    /// (not a candidate, or over a box's capacity) — zero when the shard
+    /// phase respected a correct budget split.
+    pub dropped: usize,
+    /// Requests the shard phase left unmatched that reconciliation served.
+    pub repaired: usize,
+    /// Requests unmatched even after reconciliation (the round is infeasible
+    /// iff this is non-zero).
+    pub unmatched: usize,
+}
+
+/// Pooled bookkeeping for one shard (ranges into the flat pools).
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardInfo {
+    key: u64,
+    req_start: u32,
+    req_end: u32,
+    box_start: u32,
+    box_end: u32,
+}
+
+/// Pooled per-swarm sharding of a round's flow network.
+///
+/// All storage is flat and reused across rounds: after warm-up a
+/// steady-state `partition` + `split_budgets` + `reconcile` cycle performs
+/// no heap allocation.
+#[derive(Debug, Default)]
+pub struct ShardedArena {
+    // Partition state (valid until the next `partition` call).
+    pairs: Vec<(u64, u32)>,
+    shards: Vec<ShardInfo>,
+    request_pool: Vec<u32>,
+    box_pool: Vec<u32>,
+    demand_pool: Vec<u32>,
+    budget_pool: Vec<u32>,
+    // Per-global-box scratch, stamped by shard ordinal + 1.
+    box_stamp: Vec<u32>,
+    box_slot: Vec<u32>,
+    // Budget-split scratch (reset per round via `box_pool` walks).
+    total_demand: Vec<u64>,
+    assigned: Vec<u32>,
+    best_shard: Vec<u32>,
+    best_demand: Vec<u32>,
+    // Reconciliation state.
+    global: FlowArena,
+    source_edges: Vec<usize>,
+    sink_edges: Vec<usize>,
+    visit: Vec<u64>,
+    epoch: u64,
+    dfs_stack: Vec<(usize, Option<usize>)>,
+    path_edges: Vec<usize>,
+}
+
+impl ShardedArena {
+    /// Creates an empty sharded arena.
+    pub fn new() -> Self {
+        ShardedArena::default()
+    }
+
+    /// Partitions the round's requests into shards.
+    ///
+    /// `shard_of[x]` is the shard key of request `x` (requests with equal
+    /// keys land in the same shard; shards are ordered by ascending key) and
+    /// `candidates[x]` its candidate supplier set. Candidates outside
+    /// `0..box_count` are ignored, mirroring
+    /// [`ConnectionProblem::add_request`]. Returns the number of shards.
+    pub fn partition(
+        &mut self,
+        shard_of: &[u64],
+        candidates: &[Vec<BoxId>],
+        box_count: usize,
+    ) -> usize {
+        assert_eq!(
+            shard_of.len(),
+            candidates.len(),
+            "one shard key per request"
+        );
+        self.pairs.clear();
+        self.pairs
+            .extend(shard_of.iter().enumerate().map(|(x, &k)| (k, x as u32)));
+        // Sorting (key, index) keeps requests in input order within a shard.
+        self.pairs.sort_unstable();
+
+        self.shards.clear();
+        self.request_pool.clear();
+        self.box_pool.clear();
+        self.demand_pool.clear();
+        self.budget_pool.clear();
+        self.box_stamp.clear();
+        self.box_stamp.resize(box_count, 0);
+        self.box_slot.resize(box_count, 0);
+
+        let mut i = 0;
+        while i < self.pairs.len() {
+            let key = self.pairs[i].0;
+            let shard_no = self.shards.len() as u32;
+            let req_start = self.request_pool.len() as u32;
+            let box_start = self.box_pool.len() as u32;
+            while i < self.pairs.len() && self.pairs[i].0 == key {
+                let x = self.pairs[i].1;
+                self.request_pool.push(x);
+                for cand in &candidates[x as usize] {
+                    let b = cand.index();
+                    if b >= box_count {
+                        continue;
+                    }
+                    if self.box_stamp[b] == shard_no + 1 {
+                        self.demand_pool[self.box_slot[b] as usize] += 1;
+                    } else {
+                        self.box_stamp[b] = shard_no + 1;
+                        self.box_slot[b] = self.demand_pool.len() as u32;
+                        self.box_pool.push(b as u32);
+                        self.demand_pool.push(1);
+                    }
+                }
+                i += 1;
+            }
+            self.shards.push(ShardInfo {
+                key,
+                req_start,
+                req_end: self.request_pool.len() as u32,
+                box_start,
+                box_end: self.box_pool.len() as u32,
+            });
+        }
+        self.shards.len()
+    }
+
+    /// Number of shards produced by the last [`ShardedArena::partition`].
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrowed view of shard `idx` (ordered by ascending shard key).
+    pub fn shard(&self, idx: usize) -> ShardView<'_> {
+        let info = &self.shards[idx];
+        let boxes = &self.box_pool[info.box_start as usize..info.box_end as usize];
+        let budget = if self.budget_pool.is_empty() {
+            &[][..]
+        } else {
+            &self.budget_pool[info.box_start as usize..info.box_end as usize]
+        };
+        ShardView {
+            key: info.key,
+            requests: &self.request_pool[info.req_start as usize..info.req_end as usize],
+            boxes,
+            demand: &self.demand_pool[info.box_start as usize..info.box_end as usize],
+            budget,
+        }
+    }
+
+    /// Splits each box's upload budget across the shards demanding it.
+    ///
+    /// Each shard receives `⌊cap_b · d_s(b) / D(b)⌋` connections of box `b`
+    /// (capped at its demand `d_s(b)`), where `D(b)` sums the demand over all
+    /// shards; the leftover goes to the shard with the highest demand
+    /// (lowest shard index on ties). The split is therefore a deterministic
+    /// function of the partition and the capacities, and per-box budgets sum
+    /// to at most `cap_b` — the per-shard subproblems are capacity-disjoint.
+    pub fn split_budgets(&mut self, capacities: &[u32]) {
+        let n = capacities.len();
+        self.total_demand.resize(n, 0);
+        self.assigned.resize(n, 0);
+        self.best_shard.resize(n, 0);
+        self.best_demand.resize(n, 0);
+        // Reset only the boxes touched this round.
+        for &b in &self.box_pool {
+            let b = b as usize;
+            self.total_demand[b] = 0;
+            self.assigned[b] = 0;
+            self.best_demand[b] = 0;
+            self.best_shard[b] = 0;
+        }
+        for (s, info) in self.shards.iter().enumerate() {
+            for slot in info.box_start as usize..info.box_end as usize {
+                let b = self.box_pool[slot] as usize;
+                let d = self.demand_pool[slot];
+                self.total_demand[b] += d as u64;
+                if d > self.best_demand[b] {
+                    self.best_demand[b] = d;
+                    self.best_shard[b] = s as u32;
+                }
+            }
+        }
+        self.budget_pool.clear();
+        self.budget_pool.resize(self.box_pool.len(), 0);
+        for info in self.shards.iter() {
+            for slot in info.box_start as usize..info.box_end as usize {
+                let b = self.box_pool[slot] as usize;
+                let d = self.demand_pool[slot];
+                let share = ((capacities[b] as u64 * d as u64) / self.total_demand[b]) as u32;
+                let share = share.min(d);
+                self.budget_pool[slot] = share;
+                self.assigned[b] += share;
+            }
+        }
+        for (s, info) in self.shards.iter().enumerate() {
+            for slot in info.box_start as usize..info.box_end as usize {
+                let b = self.box_pool[slot] as usize;
+                if self.best_shard[b] == s as u32 {
+                    self.budget_pool[slot] += capacities[b] - self.assigned[b];
+                }
+            }
+        }
+    }
+
+    /// Reconciles a partial (per-shard) assignment into a globally maximum
+    /// matching.
+    ///
+    /// Builds the global Lemma-1 network inside the pooled arena, preloads
+    /// the flow encoded in `assignment` (entries that are not valid for the
+    /// global instance — not a candidate, or over a box's remaining capacity
+    /// — are dropped and counted), then runs a targeted augmenting-path
+    /// search from every unmatched request. The search walks the *full*
+    /// residual network, so it can reroute preloaded flow; by flow
+    /// decomposition the result is a maximum matching, identical in size to
+    /// a cold global solve. `assignment` is updated in place.
+    pub fn reconcile(
+        &mut self,
+        capacities: &[u32],
+        candidates: &[Vec<BoxId>],
+        assignment: &mut [Option<BoxId>],
+    ) -> ReconcileStats {
+        assert_eq!(
+            candidates.len(),
+            assignment.len(),
+            "one assignment slot per request"
+        );
+        let b_count = capacities.len();
+        let r_count = candidates.len();
+        let sink = b_count + r_count + 1;
+        self.global.clear(b_count + r_count + 2);
+        self.source_edges.clear();
+        for (i, &cap) in capacities.iter().enumerate() {
+            self.source_edges
+                .push(self.global.add_edge(0, 1 + i, cap as i64));
+        }
+        let mut stats = ReconcileStats::default();
+        self.sink_edges.clear();
+        for (x, cands) in candidates.iter().enumerate() {
+            let node = 1 + b_count + x;
+            let mut preload = None;
+            for &cand in cands {
+                if cand.index() >= b_count {
+                    continue;
+                }
+                let edge = self.global.add_edge(1 + cand.index(), node, 1);
+                if assignment[x] == Some(cand) && preload.is_none() {
+                    preload = Some((cand, edge));
+                }
+            }
+            let sink_edge = self.global.add_edge(node, sink, 1);
+            self.sink_edges.push(sink_edge);
+            match preload {
+                Some((cand, edge)) => {
+                    let source_edge = self.source_edges[cand.index()];
+                    if self.global.residual(source_edge) > 0 {
+                        self.global.push(source_edge, 1);
+                        self.global.push(edge, 1);
+                        self.global.push(sink_edge, 1);
+                        stats.preloaded += 1;
+                    } else {
+                        assignment[x] = None;
+                        stats.dropped += 1;
+                    }
+                }
+                None => {
+                    if assignment[x].is_some() {
+                        assignment[x] = None;
+                        stats.dropped += 1;
+                    }
+                }
+            }
+        }
+
+        // Targeted augmentation from every unmatched request. Visit stamps
+        // persist across failed searches (a failure leaves the residual graph
+        // unchanged, so nodes proven unable to reach the source stay
+        // unreachable) and are refreshed after every successful augment.
+        self.visit.clear();
+        self.visit.resize(self.global.node_count(), 0);
+        self.epoch += 1;
+        for x in 0..r_count {
+            if self.global.flow_on(self.sink_edges[x]) != 0 {
+                continue;
+            }
+            if self.augment_request(x, b_count, sink) {
+                stats.repaired += 1;
+                self.epoch += 1;
+            } else {
+                stats.unmatched += 1;
+            }
+        }
+
+        // Read the final assignment back out (rerouting may have changed the
+        // supplier of requests that were already matched).
+        for (x, slot) in assignment.iter_mut().enumerate() {
+            let node = 1 + b_count + x;
+            *slot = None;
+            // Outgoing entries of a request node are its sink edge plus the
+            // residual twins of its incoming candidate edges.
+            let mut cursor = self.global.first_edge(node);
+            while let Some(idx) = cursor {
+                cursor = self.global.next_edge(idx);
+                if idx % 2 == 1 && self.global.flow_on(idx ^ 1) == 1 {
+                    let box_node = self.global.target(idx);
+                    debug_assert!(box_node >= 1 && box_node <= b_count);
+                    *slot = Some(BoxId((box_node - 1) as u32));
+                    break;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Searches a residual path `source → … → request x` backwards from the
+    /// request node and pushes one unit along it (plus the request's sink
+    /// edge) when found. Mirrors the targeted repair of the incremental
+    /// matcher, over the pooled reconciliation arena.
+    fn augment_request(&mut self, x: usize, b_count: usize, sink: usize) -> bool {
+        let root = 1 + b_count + x;
+        if self.visit[root] == self.epoch {
+            return false; // proven unreachable earlier this epoch
+        }
+        self.visit[root] = self.epoch;
+        self.dfs_stack.clear();
+        self.path_edges.clear();
+        self.dfs_stack.push((root, self.global.first_edge(root)));
+
+        while let Some(&(_node, cursor)) = self.dfs_stack.last() {
+            let mut cursor = cursor;
+            let mut descended = false;
+            while let Some(idx) = cursor {
+                let next_cursor = self.global.next_edge(idx);
+                let incoming = idx ^ 1;
+                let from = self.global.target(idx);
+                if from != sink
+                    && self.visit[from] != self.epoch
+                    && self.global.residual(incoming) > 0
+                {
+                    if from == 0 {
+                        self.global.push(incoming, 1);
+                        for k in 0..self.path_edges.len() {
+                            let e = self.path_edges[k];
+                            self.global.push(e, 1);
+                        }
+                        self.global.push(self.sink_edges[x], 1);
+                        return true;
+                    }
+                    // Shortcut: a box with spare source capacity completes
+                    // the path immediately (its source edge was added first,
+                    // so depth-first order would reach it last).
+                    if from >= 1 && from <= b_count {
+                        let source_edge = self.source_edges[from - 1];
+                        if self.global.residual(source_edge) > 0 {
+                            self.global.push(source_edge, 1);
+                            self.global.push(incoming, 1);
+                            for k in 0..self.path_edges.len() {
+                                let e = self.path_edges[k];
+                                self.global.push(e, 1);
+                            }
+                            self.global.push(self.sink_edges[x], 1);
+                            return true;
+                        }
+                    }
+                    self.visit[from] = self.epoch;
+                    let top = self.dfs_stack.len() - 1;
+                    self.dfs_stack[top].1 = next_cursor;
+                    self.path_edges.push(incoming);
+                    self.dfs_stack.push((from, self.global.first_edge(from)));
+                    descended = true;
+                    break;
+                }
+                cursor = next_cursor;
+            }
+            if !descended {
+                self.dfs_stack.pop();
+                self.path_edges.pop();
+            }
+        }
+        false
+    }
+
+    /// Extracts a shard-local Hall obstruction: solves shard `idx`'s
+    /// subproblem under the **full** (unsplit) capacities and, when it is
+    /// infeasible, returns the violator with request indices mapped back to
+    /// the global instance. Because the shard's candidate sets are unchanged
+    /// from the global instance, the witness is also a global obstruction.
+    /// Returns `None` when the shard alone is feasible (the round may still
+    /// be infeasible through cross-shard interaction).
+    ///
+    /// This is a failure-path diagnostic, not a hot path: it allocates a
+    /// throwaway subproblem.
+    pub fn shard_obstruction(
+        &self,
+        idx: usize,
+        capacities: &[u32],
+        candidates: &[Vec<BoxId>],
+    ) -> Option<Obstruction> {
+        let view = self.shard(idx);
+        let mut problem = ConnectionProblem::new(capacities.to_vec());
+        for &x in view.requests {
+            problem.add_request(candidates[x as usize].iter().copied());
+        }
+        let local = find_obstruction(&problem)?;
+        let requests: Vec<usize> = local
+            .requests
+            .iter()
+            .map(|&i| view.requests[i] as usize)
+            .collect();
+        // Re-derive the neighbourhood and capacity on the global indices so
+        // the witness is self-contained.
+        Some(Obstruction {
+            boxes: local.boxes,
+            capacity: local.capacity,
+            requests,
+        })
+    }
+
+    /// Checks a shard-local obstruction candidate against the global
+    /// instance (convenience for tests and failure reporting): re-evaluates
+    /// the Hall condition for `subset` on the full problem.
+    pub fn check_global_subset(
+        capacities: &[u32],
+        candidates: &[Vec<BoxId>],
+        subset: &[usize],
+    ) -> Obstruction {
+        let mut problem = ConnectionProblem::new(capacities.to_vec());
+        for cands in candidates {
+            problem.add_request(cands.iter().copied());
+        }
+        check_subset(&problem, subset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    fn cold_served(caps: &[u32], cands: &[Vec<BoxId>]) -> usize {
+        let mut p = ConnectionProblem::new(caps.to_vec());
+        for c in cands {
+            p.add_request(c.iter().copied());
+        }
+        p.solve().served()
+    }
+
+    #[test]
+    fn partition_groups_by_key_and_counts_demand() {
+        let mut sharded = ShardedArena::new();
+        let shard_of = vec![7u64, 3, 7, 3, 9];
+        let cands = vec![
+            vec![b(0), b(1)],
+            vec![b(1)],
+            vec![b(0)],
+            vec![b(1), b(2)],
+            vec![],
+        ];
+        let n = sharded.partition(&shard_of, &cands, 3);
+        assert_eq!(n, 3);
+        let s0 = sharded.shard(0);
+        assert_eq!(s0.key, 3);
+        assert_eq!(s0.requests, &[1, 3]);
+        assert_eq!(s0.boxes, &[1, 2]);
+        assert_eq!(s0.demand, &[2, 1]);
+        let s1 = sharded.shard(1);
+        assert_eq!(s1.key, 7);
+        assert_eq!(s1.requests, &[0, 2]);
+        assert_eq!(s1.boxes, &[0, 1]);
+        assert_eq!(s1.demand, &[2, 1]);
+        let s2 = sharded.shard(2);
+        assert_eq!(s2.key, 9);
+        assert_eq!(s2.requests, &[4]);
+        assert!(s2.boxes.is_empty());
+    }
+
+    #[test]
+    fn budgets_partition_capacity() {
+        let mut sharded = ShardedArena::new();
+        // Box 0 demanded by both shards (demand 2 vs 1), box 1 only by the
+        // second.
+        let shard_of = vec![0u64, 0, 1];
+        let cands = vec![vec![b(0)], vec![b(0)], vec![b(0), b(1)]];
+        sharded.partition(&shard_of, &cands, 2);
+        let caps = vec![3u32, 2];
+        sharded.split_budgets(&caps);
+        let s0 = sharded.shard(0);
+        let s1 = sharded.shard(1);
+        // Box 0: shard 0 floor(3·2/3) = 2, shard 1 floor(3·1/3) = 1 → sums
+        // to the capacity.
+        assert_eq!(s0.budget, &[2]);
+        assert_eq!(s1.budget[0], 1);
+        // Box 1 is exclusive to shard 1: demand 1 caps the share at 1, the
+        // leftover returns to the highest-demand (only) shard.
+        let box1_slot = s1.boxes.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(s1.budget[box1_slot], 2);
+        // Per-box budgets never exceed capacity.
+        for s in 0..sharded.shard_count() {
+            let v = sharded.shard(s);
+            for (&bx, &bud) in v.boxes.iter().zip(v.budget) {
+                assert!(bud <= caps[bx as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn reconcile_reaches_global_maximum_from_empty_assignment() {
+        let caps = vec![1, 1, 2];
+        let cands = vec![
+            vec![b(0), b(1)],
+            vec![b(0)],
+            vec![b(1), b(2)],
+            vec![b(2)],
+            vec![b(2)],
+        ];
+        let mut assignment = vec![None; cands.len()];
+        let mut sharded = ShardedArena::new();
+        let stats = sharded.reconcile(&caps, &cands, &mut assignment);
+        let served = assignment.iter().flatten().count();
+        assert_eq!(served, cold_served(&caps, &cands));
+        assert_eq!(stats.repaired, served);
+        assert_eq!(stats.preloaded, 0);
+    }
+
+    #[test]
+    fn reconcile_reroutes_preloaded_flow_when_needed() {
+        // Shard phase put request 0 on box 0; request 1 can only use box 0.
+        // Reconciliation must reroute request 0 to box 1 to serve both.
+        let caps = vec![1, 1];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        let mut assignment = vec![Some(b(0)), None];
+        let mut sharded = ShardedArena::new();
+        let stats = sharded.reconcile(&caps, &cands, &mut assignment);
+        assert_eq!(assignment, vec![Some(b(1)), Some(b(0))]);
+        assert_eq!(stats.preloaded, 1);
+        assert_eq!(stats.repaired, 1);
+        assert_eq!(stats.unmatched, 0);
+    }
+
+    #[test]
+    fn reconcile_drops_invalid_preloads() {
+        let caps = vec![1];
+        // Request 1's assignment names a non-candidate; request 2 overloads
+        // box 0 after request 0 took its only slot.
+        let cands = vec![vec![b(0)], vec![b(0)], vec![b(0)]];
+        let mut assignment = vec![Some(b(0)), Some(b(5)), Some(b(0))];
+        let mut sharded = ShardedArena::new();
+        let stats = sharded.reconcile(&caps, &cands, &mut assignment);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(assignment.iter().flatten().count(), 1);
+        assert_eq!(stats.unmatched, 2);
+    }
+
+    #[test]
+    fn shard_obstruction_maps_to_global_indices() {
+        let mut sharded = ShardedArena::new();
+        // Shard 5 (requests 1..4) all pile on box 0 (capacity 1); request 0
+        // belongs to a feasible shard.
+        let shard_of = vec![2u64, 5, 5, 5];
+        let cands = vec![vec![b(1)], vec![b(0)], vec![b(0)], vec![b(0)]];
+        let caps = vec![1u32, 1];
+        sharded.partition(&shard_of, &cands, 2);
+        assert!(sharded.shard_obstruction(0, &caps, &cands).is_none());
+        let ob = sharded.shard_obstruction(1, &caps, &cands).unwrap();
+        assert!(ob.is_violating());
+        assert_eq!(ob.requests, vec![1, 2, 3]);
+        assert_eq!(ob.boxes, vec![b(0)]);
+        // The witness also violates Hall on the global instance.
+        let global = ShardedArena::check_global_subset(&caps, &cands, &ob.requests);
+        assert!(global.is_violating());
+        assert_eq!(global.capacity, ob.capacity);
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused_across_rounds() {
+        let mut sharded = ShardedArena::new();
+        let caps = vec![2u32; 8];
+        for round in 0..50u32 {
+            let shard_of: Vec<u64> = (0..12).map(|i| ((i + round) % 4) as u64).collect();
+            let cands: Vec<Vec<BoxId>> = (0..12u32)
+                .map(|i| vec![b((i + round) % 8), b((i + round + 3) % 8)])
+                .collect();
+            sharded.partition(&shard_of, &cands, 8);
+            sharded.split_budgets(&caps);
+            let mut assignment = vec![None; 12];
+            sharded.reconcile(&caps, &cands, &mut assignment);
+            assert_eq!(
+                assignment.iter().flatten().count(),
+                cold_served(&caps, &cands),
+                "round {round}"
+            );
+        }
+    }
+}

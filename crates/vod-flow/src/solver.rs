@@ -19,7 +19,11 @@ use crate::arena::FlowArena;
 use crate::graph::NodeId;
 
 /// A maximum-flow algorithm over a reusable [`FlowArena`].
-pub trait MaxFlowSolve {
+///
+/// Solvers are required to be [`Send`] so per-shard solves (each with its
+/// own solver and arena) can run on scoped worker threads; every solver in
+/// this crate is plain owned data, so the bound is free.
+pub trait MaxFlowSolve: Send {
     /// Augments the arena's current flow to a maximum `source → sink` flow,
     /// mutating residual capacities in place. Returns the flow pushed by this
     /// call (the total flow is the caller's previous total plus this value;

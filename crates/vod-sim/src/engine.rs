@@ -23,12 +23,12 @@ use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationRepo
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
 };
-use crate::scheduler::{MaxFlowScheduler, RequestKey, Scheduler};
+use crate::scheduler::{MaxFlowScheduler, RequestKey, Scheduler, ShardedMatcher};
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
 use vod_core::{BoxId, PlaybackCache, StripeId, VideoId, VideoSystem};
 use vod_flow::{find_obstruction_in, ConnectionProblem, Dinic, FlowArena};
-use vod_workloads::{DemandGenerator, OccupancyView};
+use vod_workloads::{DemandGenerator, OccupancyView, VideoDemand};
 
 /// What to do when a round cannot serve every active request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -111,10 +111,12 @@ pub struct Simulator<'a> {
     report: SimulationReport,
     /// Per-box upload capacities (static for the system's lifetime).
     capacities: Vec<u32>,
-    /// Reused per-round buffers: request keys, candidate sets, assignment.
+    /// Reused per-round buffers: request keys, candidate sets, assignment,
+    /// and the demand batch pulled from the generator.
     sched_keys: Vec<RequestKey>,
     sched_cands: Vec<Vec<BoxId>>,
     assignment: Vec<Option<BoxId>>,
+    demand_buf: Vec<VideoDemand>,
     /// Scratch for obstruction extraction on failing rounds.
     obstruction_arena: FlowArena,
     obstruction_solver: Dinic,
@@ -151,9 +153,22 @@ impl<'a> Simulator<'a> {
             sched_keys: Vec::new(),
             sched_cands: Vec::new(),
             assignment: Vec::new(),
+            demand_buf: Vec::new(),
             obstruction_arena: FlowArena::new(),
             obstruction_solver: Dinic::new(),
         }
+    }
+
+    /// Creates a simulator scheduling each round with the per-swarm
+    /// [`ShardedMatcher`] solving shards on `threads` worker threads. The
+    /// schedule (and thus the whole simulation) is identical for any thread
+    /// count; threads only change wall-clock time.
+    pub fn with_sharded_scheduler(
+        system: &'a VideoSystem,
+        config: SimConfig,
+        threads: usize,
+    ) -> Self {
+        Simulator::with_scheduler(system, config, Box::new(ShardedMatcher::new(threads)))
     }
 
     /// The current round.
@@ -242,14 +257,17 @@ impl<'a> Simulator<'a> {
     }
 
     fn accept_demands(&mut self, generator: &mut dyn DemandGenerator, now: u64) -> usize {
-        let demands = {
+        // Pull the round's demands into the pooled buffer (detached so the
+        // generator call can borrow `self.playing`).
+        let mut demands = std::mem::take(&mut self.demand_buf);
+        {
             let occupancy = Occupancy {
                 playing: &self.playing,
             };
-            generator.demands_at(now, &occupancy)
-        };
+            generator.demands_into(now, &occupancy, &mut demands);
+        }
         let mut accepted = 0;
-        for demand in demands {
+        for demand in demands.drain(..) {
             let idx = demand.box_id.index();
             if idx >= self.playing.len()
                 || self.playing[idx].is_some()
@@ -261,6 +279,7 @@ impl<'a> Simulator<'a> {
             self.start_playback(demand.box_id, demand.video, now);
             accepted += 1;
         }
+        self.demand_buf = demands;
         self.report.total_demands += accepted;
         accepted
     }
@@ -561,6 +580,28 @@ mod tests {
         assert!(!report.failures.is_empty());
         assert!(report.service_ratio() < 1.0);
         assert!(report.failures.iter().all(|f| f.obstruction_size.is_none()));
+    }
+
+    #[test]
+    fn sharded_scheduler_matches_maxflow_round_for_round() {
+        let sys = small_system(24, 2.0, 4, 4, 30);
+        let run = |sim: Simulator| {
+            let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+            sim.run(&mut gen)
+        };
+        let global = run(Simulator::new(&sys, SimConfig::new(50)));
+        for threads in [1usize, 4] {
+            let sharded = run(Simulator::with_sharded_scheduler(
+                &sys,
+                SimConfig::new(50),
+                threads,
+            ));
+            assert_eq!(sharded.round_count(), global.round_count());
+            for (a, b) in sharded.rounds.iter().zip(&global.rounds) {
+                assert_eq!(a.served, b.served, "round {}", a.round);
+                assert_eq!(a.unserved, b.unserved, "round {}", a.round);
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!
 //! * [`request`] — stripe requests, per-box download plans, start-up delays;
 //! * [`swarm`] — per-video swarm tracking and preload-stripe rotation;
-//! * [`scheduler`] — max-flow, greedy, and random per-round schedulers;
+//! * [`scheduler`] — max-flow, greedy, random, incremental, and per-swarm
+//!   sharded (parallel shard solves + reconciliation) schedulers;
 //! * [`engine`] — the simulator itself;
 //! * [`metrics`] — per-round and aggregate measurements;
 //! * [`churn`] — failure injection (box departures) and allocation repair.
@@ -32,5 +33,6 @@ pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport}
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
 pub use scheduler::{
     GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, RequestKey, Scheduler,
+    ShardRoundStats, ShardedMatcher,
 };
 pub use swarm::{Swarm, SwarmTracker};

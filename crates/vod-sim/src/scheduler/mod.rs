@@ -11,11 +11,13 @@ mod greedy;
 pub mod incremental;
 mod maxflow;
 mod random_pick;
+pub mod sharded;
 
 pub use greedy::GreedyScheduler;
 pub use incremental::{IncrementalMatcher, RequestKey};
 pub use maxflow::MaxFlowScheduler;
 pub use random_pick::RandomScheduler;
+pub use sharded::{ShardRoundStats, ShardedMatcher};
 
 use vod_core::BoxId;
 

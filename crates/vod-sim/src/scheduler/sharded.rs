@@ -1,0 +1,540 @@
+//! Per-swarm sharded scheduling with parallel shard solves.
+//!
+//! Requests for different videos only interact through the shared per-box
+//! upload budgets, so a round's Lemma-1 instance is block-structured: one
+//! block per swarm, coupled by the capacities. The [`ShardedMatcher`]
+//! exploits this in four deterministic stages:
+//!
+//! 1. **Partition** — requests are grouped by the video of their stripe
+//!    ([`vod_flow::ShardedArena::partition`], pooled flat storage);
+//! 2. **Budget split** — each box's `⌊u_b·c⌋` upload slots are divided
+//!    across the swarms demanding it
+//!    ([`vod_flow::ShardedArena::split_budgets`]), making the per-shard
+//!    subproblems capacity-disjoint;
+//! 3. **Parallel shard solves** — each shard is solved by its own
+//!    *persistent* [`IncrementalMatcher`] (warm-started: a swarm's requests
+//!    mostly carry over between rounds) on a compact shard-local box
+//!    universe. Shards are pulled from a shared work queue by
+//!    `std::thread::scope` workers; since every shard's state is owned and
+//!    its solve is independent, the result is identical for any thread
+//!    count, including 1;
+//! 4. **Reconciliation** — a single-threaded
+//!    [`vod_flow::ShardedArena::reconcile`] pass preloads the shard flows
+//!    into the global residual network and augments every request the budget
+//!    split starved, rerouting shard flow where necessary. The final
+//!    matching is globally maximum, so sharding never changes a round's
+//!    feasibility — only how fast it is decided.
+//!
+//! The scheduler is deterministic: for a fixed round sequence the schedule
+//! is a pure function of the inputs, independent of the thread count and of
+//! OS scheduling.
+
+use crate::scheduler::incremental::KeyHasher;
+use crate::scheduler::{IncrementalMatcher, RequestKey, Scheduler};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::Mutex;
+use vod_core::BoxId;
+use vod_flow::{ReconcileStats, ShardedArena};
+
+/// Per-round observability of the sharded scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRoundStats {
+    /// Shards (distinct videos with active requests) this round.
+    pub shards: usize,
+    /// Requests in the largest shard.
+    pub largest_shard: usize,
+    /// Requests matched by the parallel shard phase and kept by
+    /// reconciliation.
+    pub preloaded: usize,
+    /// Shard-phase assignments reconciliation had to drop (always 0 with a
+    /// correct budget split; tracked defensively).
+    pub dropped: usize,
+    /// Requests the budget split starved that reconciliation repaired.
+    pub repaired: usize,
+    /// Requests unmatched even after reconciliation (the round is infeasible
+    /// iff non-zero).
+    pub unmatched: usize,
+}
+
+impl ShardRoundStats {
+    fn from_reconcile(stats: ReconcileStats, shards: usize, largest: usize) -> Self {
+        ShardRoundStats {
+            shards,
+            largest_shard: largest,
+            preloaded: stats.preloaded,
+            dropped: stats.dropped,
+            repaired: stats.repaired,
+            unmatched: stats.unmatched,
+        }
+    }
+}
+
+/// Persistent state of one shard (one swarm), pooled across rounds.
+///
+/// Boxes are remapped to a compact shard-local universe so the shard's
+/// incremental matcher does not carry source edges for the whole system.
+/// Local ids are allocated on first appearance and never reused, which keeps
+/// the mapping — and therefore the shard's warm arena — stable across
+/// rounds.
+struct ShardState {
+    matcher: IncrementalMatcher,
+    /// Local box id → global box id.
+    global_of: Vec<BoxId>,
+    /// Global box id → local box id.
+    local_of: HashMap<u32, u32, BuildHasherDefault<KeyHasher>>,
+    /// Shard-local capacities (budget split), padded to a power of two so
+    /// the matcher's length-change rebuild only triggers on universe
+    /// doublings, not on every new box a growing swarm touches.
+    caps: Vec<u32>,
+    keys: Vec<RequestKey>,
+    cands: Vec<Vec<BoxId>>,
+    out: Vec<Option<BoxId>>,
+    /// Round stamp of the last round that scheduled this shard.
+    last_used: u64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            matcher: IncrementalMatcher::default(),
+            global_of: Vec::new(),
+            local_of: HashMap::default(),
+            caps: Vec::new(),
+            keys: Vec::new(),
+            cands: Vec::new(),
+            out: Vec::new(),
+            last_used: 0,
+        }
+    }
+}
+
+/// One round's work item: the shard ordinal plus its owned state, moved
+/// through the parallel phase and returned to the pool afterwards.
+struct ShardWork {
+    shard_idx: usize,
+    state: ShardState,
+}
+
+/// Per-swarm sharded scheduler with parallel shard solves.
+///
+/// Produces the same matching sizes (and feasibility verdicts) as a global
+/// maximum-flow solve, with identical schedules for any `threads` value.
+pub struct ShardedMatcher {
+    threads: usize,
+    arena: ShardedArena,
+    states: HashMap<u64, ShardState, BuildHasherDefault<KeyHasher>>,
+    /// Round scratch (reused): shard keys per request, work items, the
+    /// assignment buffer handed to reconciliation.
+    shard_keys: Vec<u64>,
+    work: Vec<ShardWork>,
+    round: u64,
+    last_stats: ShardRoundStats,
+    rounds: u64,
+}
+
+impl Default for ShardedMatcher {
+    fn default() -> Self {
+        ShardedMatcher::new(1)
+    }
+}
+
+impl ShardedMatcher {
+    /// Creates a sharded matcher solving shards on `threads` worker threads
+    /// (1 solves them inline on the caller's thread; the schedule is
+    /// identical either way).
+    pub fn new(threads: usize) -> Self {
+        ShardedMatcher {
+            threads: threads.max(1),
+            arena: ShardedArena::new(),
+            states: HashMap::default(),
+            shard_keys: Vec::new(),
+            work: Vec::new(),
+            round: 0,
+            last_stats: ShardRoundStats::default(),
+            rounds: 0,
+        }
+    }
+
+    /// Creates a matcher sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ShardedMatcher::new(threads)
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Stats of the most recent round.
+    pub fn last_round_stats(&self) -> ShardRoundStats {
+        self.last_stats
+    }
+
+    /// Rounds scheduled so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Tracked shard states currently pooled (observability for the
+    /// eviction heuristic).
+    pub fn pooled_shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Solves one shard: remaps its candidates into the shard-local box
+    /// universe, applies the budget split, and runs the shard's warm
+    /// incremental matcher.
+    fn solve_shard(
+        work: &mut ShardWork,
+        arena: &ShardedArena,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        round: u64,
+    ) {
+        let view = arena.shard(work.shard_idx);
+        let state = &mut work.state;
+        state.last_used = round;
+
+        // Split borrows: the local-id allocator mutates `local_of`,
+        // `global_of`, and `caps` while the candidate buffers are filled.
+        let ShardState {
+            local_of,
+            global_of,
+            caps,
+            keys: shard_keys,
+            cands,
+            out,
+            matcher,
+            ..
+        } = state;
+
+        let mut local = |global: BoxId| -> u32 {
+            *local_of.entry(global.0).or_insert_with(|| {
+                let id = global_of.len() as u32;
+                global_of.push(global);
+                id
+            })
+        };
+
+        // Budgets: zero everything, then set this round's shares.
+        caps.iter_mut().for_each(|c| *c = 0);
+        for (&b, &budget) in view.boxes.iter().zip(view.budget) {
+            let id = local(BoxId(b)) as usize;
+            if id >= caps.len() {
+                // Pad to the next power of two so the matcher's
+                // length-change rebuild is amortized.
+                let len = (id + 1).next_power_of_two();
+                caps.resize(len, 0);
+            }
+            caps[id] = budget;
+        }
+
+        shard_keys.clear();
+        let request_count = view.requests.len();
+        while cands.len() < request_count {
+            cands.push(Vec::new());
+        }
+        for (slot, &x) in cands.iter_mut().zip(view.requests) {
+            let x = x as usize;
+            shard_keys.push(keys[x]);
+            slot.clear();
+            for &cand in &candidates[x] {
+                if cand.index() < capacities.len() {
+                    slot.push(BoxId(local(cand)));
+                }
+            }
+        }
+        matcher.schedule_keyed(caps, shard_keys, &cands[..request_count], out);
+    }
+
+    /// Evicts shard states idle for more than 256 rounds (checked every 64
+    /// rounds). Purely a memory bound: eviction only ever costs a future
+    /// cold shard rebuild, never changes results.
+    fn evict_idle_shards(&mut self) {
+        if self.round.is_multiple_of(64) {
+            let horizon = self.round.saturating_sub(256);
+            self.states.retain(|_, s| s.last_used >= horizon);
+        }
+    }
+}
+
+impl Scheduler for ShardedMatcher {
+    fn schedule(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>]) -> Vec<Option<BoxId>> {
+        // Without stable keys there is no shard identity to warm: solve the
+        // whole round as a single cold reconciliation (still a global
+        // maximum matching).
+        let mut out = vec![None; candidates.len()];
+        let stats = self.arena.reconcile(capacities, candidates, &mut out);
+        self.last_stats = ShardRoundStats::from_reconcile(stats, 1, candidates.len());
+        self.rounds += 1;
+        out
+    }
+
+    fn schedule_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        debug_assert_eq!(keys.len(), candidates.len());
+        self.round += 1;
+        self.rounds += 1;
+
+        // 1. Partition by swarm (video id) and split the upload budgets.
+        self.shard_keys.clear();
+        self.shard_keys
+            .extend(keys.iter().map(|k| k.stripe.video.0 as u64));
+        let shard_count = self
+            .arena
+            .partition(&self.shard_keys, candidates, capacities.len());
+        self.arena.split_budgets(capacities);
+
+        // 2. Check out each active shard's persistent state.
+        self.work.clear();
+        let mut largest = 0;
+        for shard_idx in 0..shard_count {
+            let view = self.arena.shard(shard_idx);
+            largest = largest.max(view.requests.len());
+            let state = self
+                .states
+                .remove(&view.key)
+                .unwrap_or_else(ShardState::new);
+            self.work.push(ShardWork { shard_idx, state });
+        }
+
+        // 3. Parallel shard solves. Workers pull items from a shared queue;
+        // each item owns its state, so results are independent of which
+        // worker runs it — the schedule is identical for any thread count.
+        let arena = &self.arena;
+        let round = self.round;
+        let workers = self.threads.min(self.work.len()).max(1);
+        if workers == 1 {
+            for work in &mut self.work {
+                ShardedMatcher::solve_shard(work, arena, capacities, keys, candidates, round);
+            }
+        } else {
+            let queue = Mutex::new(self.work.iter_mut());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let item = queue.lock().expect("shard queue poisoned").next();
+                        match item {
+                            Some(work) => ShardedMatcher::solve_shard(
+                                work, arena, capacities, keys, candidates, round,
+                            ),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+
+        // 4. Gather the tentative assignment and return states to the pool.
+        out.clear();
+        out.resize(keys.len(), None);
+        for work in self.work.drain(..) {
+            let view = arena.shard(work.shard_idx);
+            for (&x, assigned) in view.requests.iter().zip(&work.state.out) {
+                if let Some(local) = assigned {
+                    out[x as usize] = Some(work.state.global_of[local.index()]);
+                }
+            }
+            self.states.insert(view.key, work.state);
+        }
+
+        // 5. Reconcile to a global maximum matching. When the shard phase
+        // matched every request the union already is one — the budget split
+        // is capacity-disjoint, so the combined assignment is valid and
+        // complete — and the (serial, O(E)) reconciliation rebuild can be
+        // skipped outright. Only rounds where some shard came up short pay
+        // for the global repair pass.
+        let matched = out.iter().flatten().count();
+        let stats = if matched == keys.len() {
+            ReconcileStats {
+                preloaded: matched,
+                ..ReconcileStats::default()
+            }
+        } else {
+            self.arena.reconcile(capacities, candidates, out)
+        };
+        self.last_stats = ShardRoundStats::from_reconcile(stats, shard_count, largest);
+        self.evict_idle_shards();
+        debug_assert!(crate::scheduler::assignment_is_valid(
+            out, capacities, candidates
+        ));
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+impl std::fmt::Debug for ShardedMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMatcher")
+            .field("threads", &self.threads)
+            .field("pooled_shards", &self.states.len())
+            .field("rounds", &self.rounds)
+            .field("last_stats", &self.last_stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::assignment_is_valid;
+    use vod_core::{StripeId, VideoId};
+    use vod_flow::ConnectionProblem;
+
+    fn key(viewer: u32, video: u32, index: u16) -> RequestKey {
+        RequestKey {
+            viewer: BoxId(viewer),
+            stripe: StripeId::new(VideoId(video), index),
+        }
+    }
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    fn cold_served(caps: &[u32], cands: &[Vec<BoxId>]) -> usize {
+        let mut p = ConnectionProblem::new(caps.to_vec());
+        for c in cands {
+            p.add_request(c.iter().copied());
+        }
+        p.solve().served()
+    }
+
+    #[test]
+    fn single_round_matches_cold_solve() {
+        let caps = vec![1, 1, 2];
+        let keys = vec![key(0, 0, 0), key(1, 0, 1), key(2, 1, 0), key(3, 1, 1)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)], vec![b(1), b(2)], vec![b(2)]];
+        let mut matcher = ShardedMatcher::new(2);
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert!(assignment_is_valid(&out, &caps, &cands));
+        assert_eq!(out.iter().flatten().count(), cold_served(&caps, &cands));
+        assert_eq!(matcher.last_round_stats().shards, 2);
+    }
+
+    #[test]
+    fn budget_starved_requests_are_repaired() {
+        // Both swarms can only use box 0 (capacity 2): the budget split gives
+        // each shard one slot, but any imbalance must be repaired so the
+        // round stays feasible.
+        let caps = vec![2];
+        let keys = vec![key(0, 0, 0), key(1, 1, 0)];
+        let cands = vec![vec![b(0)], vec![b(0)]];
+        let mut matcher = ShardedMatcher::new(4);
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out.iter().flatten().count(), 2);
+        assert_eq!(matcher.last_round_stats().unmatched, 0);
+    }
+
+    #[test]
+    fn cross_shard_rerouting_keeps_rounds_feasible() {
+        // Swarm 0's request could use box 0 or 1; swarm 1's request only box
+        // 0. If the budget split hands box 0 to swarm 0, reconciliation must
+        // reroute across shards.
+        let caps = vec![1, 1];
+        let keys = vec![key(0, 0, 0), key(1, 1, 0)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        for threads in [1usize, 2, 8] {
+            let mut matcher = ShardedMatcher::new(threads);
+            let mut out = Vec::new();
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+            assert_eq!(out.iter().flatten().count(), 2, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn schedules_identical_across_thread_counts() {
+        let caps = vec![2, 1, 1, 2];
+        let rounds: Vec<(Vec<RequestKey>, Vec<Vec<BoxId>>)> = (0..12u32)
+            .map(|r| {
+                let keys: Vec<RequestKey> = (0..6)
+                    .map(|i| key(i, (i + r) % 3, (r % 4) as u16))
+                    .collect();
+                let cands: Vec<Vec<BoxId>> = (0..6u32)
+                    .map(|i| vec![b((i + r) % 4), b((i + r + 2) % 4)])
+                    .collect();
+                (keys, cands)
+            })
+            .collect();
+        let run = |threads: usize| -> Vec<Vec<Option<BoxId>>> {
+            let mut matcher = ShardedMatcher::new(threads);
+            let mut out = Vec::new();
+            let mut all = Vec::new();
+            for (keys, cands) in &rounds {
+                matcher.schedule_keyed(&caps, keys, cands, &mut out);
+                all.push(out.clone());
+            }
+            all
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_shards_track_cold_solves_under_churn() {
+        let caps = vec![1, 1, 1, 1];
+        let mut matcher = ShardedMatcher::new(2);
+        let mut out = Vec::new();
+        let mut window: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
+        for round in 0u32..40 {
+            if window.len() >= 6 {
+                window.remove(0);
+            }
+            let cands = vec![b(round % 4), b((round + 1) % 4)];
+            window.push((key(round, round % 3, 0), cands));
+            let keys: Vec<RequestKey> = window.iter().map(|(k, _)| *k).collect();
+            let cands: Vec<Vec<BoxId>> = window.iter().map(|(_, c)| c.clone()).collect();
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+            assert!(assignment_is_valid(&out, &caps, &cands), "round {round}");
+            assert_eq!(
+                out.iter().flatten().count(),
+                cold_served(&caps, &cands),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn unkeyed_schedule_is_a_global_maximum() {
+        let caps = vec![1, 1];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)], vec![b(1)]];
+        let mut matcher = ShardedMatcher::new(4);
+        let out = matcher.schedule(&caps, &cands);
+        assert_eq!(out.iter().flatten().count(), 2);
+        assert!(assignment_is_valid(&out, &caps, &cands));
+    }
+
+    #[test]
+    fn idle_shards_are_evicted() {
+        let caps = vec![1u32; 4];
+        let mut matcher = ShardedMatcher::new(1);
+        let mut out = Vec::new();
+        for round in 0u32..400 {
+            // Each round uses a fresh video id: shards never repeat.
+            let keys = vec![key(0, round, 0)];
+            let cands = vec![vec![b(round % 4)]];
+            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        }
+        assert!(
+            matcher.pooled_shards() < 400,
+            "pooled {}",
+            matcher.pooled_shards()
+        );
+    }
+}

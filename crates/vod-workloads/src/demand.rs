@@ -94,6 +94,21 @@ pub trait DemandGenerator {
     /// same box in the same round.
     fn demands_at(&mut self, round: u64, occupancy: &dyn OccupancyView) -> Vec<VideoDemand>;
 
+    /// Buffer-reusing variant of [`DemandGenerator::demands_at`]: writes the
+    /// round's demands into `out` (cleared first). The default delegates to
+    /// `demands_at`; generators with a cheap internal path may override it
+    /// to avoid the per-round allocation. The simulator calls this form with
+    /// a pooled buffer.
+    fn demands_into(
+        &mut self,
+        round: u64,
+        occupancy: &dyn OccupancyView,
+        out: &mut Vec<VideoDemand>,
+    ) {
+        out.clear();
+        out.extend(self.demands_at(round, occupancy));
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 }

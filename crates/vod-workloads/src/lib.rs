@@ -10,6 +10,8 @@
 //! * [`adversarial`] — the never-owned-video attack (Section 1.3 lower bound)
 //!   and the poor-boxes-pile-on attack (Section 4 necessary condition);
 //! * [`flashcrowd`] — maximal-growth flash crowds (Theorem 1's stress case);
+//! * [`multiswarm`] — many concurrently hot swarms with a sliding window
+//!   (the sharded scheduler's stress shape);
 //! * [`zipf`] / [`poisson`] — long-tailed and steady-state stochastic traffic;
 //! * [`sequential`] — back-to-back viewing keeping all `n` boxes busy;
 //! * [`trace`] — recordable, serializable, replayable demand traces.
@@ -20,6 +22,7 @@
 pub mod adversarial;
 pub mod demand;
 pub mod flashcrowd;
+pub mod multiswarm;
 pub mod poisson;
 pub mod sequential;
 pub mod trace;
@@ -28,6 +31,7 @@ pub mod zipf;
 pub use adversarial::{NeverOwnedAttack, PoorBoxesSameVideo};
 pub use demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
 pub use flashcrowd::{CrowdSpec, FlashCrowd};
+pub use multiswarm::MultiSwarmChurn;
 pub use poisson::{PoissonDemand, Popularity};
 pub use sequential::{NextVideoPolicy, SequentialViewing};
 pub use trace::{DemandTrace, TraceReplay};

@@ -64,15 +64,16 @@ pub mod prelude {
     pub use vod_flow::{
         find_obstruction, find_obstruction_in, verify_lemma1, ConnectionMatching,
         ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve, Obstruction,
-        PushRelabel,
+        PushRelabel, ReconcileStats, ShardedArena,
     };
     pub use vod_sim::{
         FailurePolicy, GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler,
-        RequestKey, Scheduler, SimConfig, SimulationReport, Simulator,
+        RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig, SimulationReport,
+        Simulator,
     };
     pub use vod_workloads::{
-        DemandGenerator, DemandTrace, FlashCrowd, NeverOwnedAttack, NextVideoPolicy, PoissonDemand,
-        PoorBoxesSameVideo, Popularity, SequentialViewing, SwarmGrowthLimiter, VideoDemand,
-        ZipfDemand, ZipfSampler,
+        DemandGenerator, DemandTrace, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack,
+        NextVideoPolicy, PoissonDemand, PoorBoxesSameVideo, Popularity, SequentialViewing,
+        SwarmGrowthLimiter, VideoDemand, ZipfDemand, ZipfSampler,
     };
 }

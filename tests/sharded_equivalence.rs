@@ -1,0 +1,289 @@
+//! Sharded-vs-global equivalence harness: the gate for the per-swarm
+//! sharded scheduler.
+//!
+//! Sharding a round's Lemma-1 instance (per-swarm subproblems under a
+//! budget split, solved in parallel, reconciled on the global residual
+//! network) must never change *what* is schedulable — only how fast the
+//! schedule is found. This suite locks that down with seeded property
+//! loops over random multi-swarm rounds:
+//!
+//! * the [`ShardedMatcher`] and the global [`IncrementalMatcher`] agree
+//!   with each other — and with a cold one-shot solve — on per-round
+//!   feasibility and matched-request counts, for thread counts 1–8;
+//! * the sharded schedule is deterministic: for a fixed seed the assigned
+//!   supplier of every request is identical for every thread count, and
+//!   across re-runs;
+//! * every assignment respects candidate sets and capacities.
+//!
+//! Instance knobs (`n` boxes, `m` videos, `c` stripes per video, growth
+//! factor `µ`) are drawn per seed, so every failure reproduces from the
+//! printed seed alone.
+
+use p2p_vod::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vod_sim::scheduler::assignment_is_valid;
+
+const SEEDS: u64 = 10;
+const ROUNDS: u64 = 14;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Static shape of one generated scenario.
+struct Scenario {
+    /// Boxes in the system.
+    n: usize,
+    /// Videos (shards) in the catalog.
+    m: usize,
+    /// Stripes per video: each viewer spawns `c` requests.
+    c: u16,
+    /// Per-round growth factor of the viewer population (µ).
+    mu: f64,
+    /// Per-video holder sets (the static allocation).
+    holders: Vec<Vec<BoxId>>,
+    caps: Vec<u32>,
+}
+
+impl Scenario {
+    fn draw(rng: &mut StdRng) -> Self {
+        let n = rng.gen_range(4usize..20);
+        let m = rng.gen_range(1usize..7);
+        let c = rng.gen_range(1u16..5);
+        let mu = 1.0 + rng.gen_range(0.2f64..2.0);
+        let caps = (0..n).map(|_| rng.gen_range(0u32..5)).collect();
+        let holders = (0..m)
+            .map(|_| {
+                let k = rng.gen_range(1usize..=n.min(5));
+                (0..k)
+                    .map(|_| BoxId(rng.gen_range(0usize..n) as u32))
+                    .collect()
+            })
+            .collect();
+        Scenario {
+            n,
+            m,
+            c,
+            mu,
+            holders,
+            caps,
+        }
+    }
+}
+
+/// One live playback: its viewer, video, and per-stripe candidate sets.
+struct Playback {
+    viewer: u32,
+    video: u32,
+    cands: Vec<Vec<BoxId>>,
+}
+
+/// Evolves a multi-swarm population of keyed requests: geometric arrivals
+/// (bounded by µ), random departures, and candidate churn. Deterministic
+/// per (scenario, rng) state.
+struct RoundStream {
+    live: Vec<Playback>,
+    next_viewer: u32,
+}
+
+impl RoundStream {
+    fn new() -> Self {
+        RoundStream {
+            live: Vec::new(),
+            next_viewer: 0,
+        }
+    }
+
+    fn random_cands(sc: &Scenario, video: usize, rng: &mut StdRng) -> Vec<BoxId> {
+        let mut cands: Vec<BoxId> = sc.holders[video]
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.8))
+            .collect();
+        // Occasional cross-swarm supplier (a playback cache on a box busy
+        // with another video) couples the shards through shared capacity.
+        if rng.gen_bool(0.3) {
+            cands.push(BoxId(rng.gen_range(0usize..sc.n) as u32));
+        }
+        cands.sort();
+        cands.dedup();
+        cands
+    }
+
+    fn advance(&mut self, sc: &Scenario, rng: &mut StdRng) {
+        // Departures.
+        self.live.retain(|_| !rng.gen_bool(0.15));
+        // Arrivals: the population may grow by at most factor µ (the
+        // admissibility bound), spread over random videos.
+        let ceiling = ((self.live.len().max(1)) as f64 * sc.mu).ceil() as usize;
+        let arrivals = rng.gen_range(0usize..=ceiling.saturating_sub(self.live.len()).min(6));
+        for _ in 0..arrivals {
+            let video = rng.gen_range(0usize..sc.m);
+            let cands = (0..sc.c)
+                .map(|_| RoundStream::random_cands(sc, video, rng))
+                .collect();
+            self.live.push(Playback {
+                viewer: self.next_viewer,
+                video: video as u32,
+                cands,
+            });
+            self.next_viewer += 1;
+        }
+        // Candidate churn on one random survivor (a cache ageing out).
+        if !self.live.is_empty() && rng.gen_bool(0.6) {
+            let victim = rng.gen_range(0usize..self.live.len());
+            let video = self.live[victim].video as usize;
+            let stripe = rng.gen_range(0usize..self.live[victim].cands.len());
+            self.live[victim].cands[stripe] = RoundStream::random_cands(sc, video, rng);
+        }
+    }
+
+    fn round(&self) -> (Vec<RequestKey>, Vec<Vec<BoxId>>) {
+        let mut keys = Vec::new();
+        let mut cands = Vec::new();
+        for playback in &self.live {
+            for (idx, c) in playback.cands.iter().enumerate() {
+                keys.push(RequestKey {
+                    viewer: BoxId(playback.viewer),
+                    stripe: StripeId::new(VideoId(playback.video), idx as u16),
+                });
+                cands.push(c.clone());
+            }
+        }
+        (keys, cands)
+    }
+}
+
+fn cold_served(caps: &[u32], cands: &[Vec<BoxId>]) -> usize {
+    let mut problem = ConnectionProblem::new(caps.to_vec());
+    for c in cands {
+        problem.add_request(c.iter().copied());
+    }
+    problem.solve().served()
+}
+
+/// Replays one seeded scenario through a sharded matcher, returning the full
+/// schedule history.
+fn run_sharded(seed: u64, threads: usize) -> Vec<Vec<Option<BoxId>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sc = Scenario::draw(&mut rng);
+    let mut stream = RoundStream::new();
+    let mut matcher = ShardedMatcher::new(threads);
+    let mut out = Vec::new();
+    let mut history = Vec::new();
+    for _ in 0..ROUNDS {
+        stream.advance(&sc, &mut rng);
+        let (keys, cands) = stream.round();
+        matcher.schedule_keyed(&sc.caps, &keys, &cands, &mut out);
+        history.push(out.clone());
+    }
+    history
+}
+
+/// Sharded, incremental, and cold global solves agree on feasibility and
+/// matched-request counts on random multi-swarm rounds, for 1–8 threads,
+/// and every sharded assignment is valid.
+#[test]
+fn sharded_matches_global_on_random_multi_swarm_rounds() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sc = Scenario::draw(&mut rng);
+        let mut stream = RoundStream::new();
+        let mut sharded: Vec<ShardedMatcher> = THREAD_COUNTS
+            .iter()
+            .map(|&t| ShardedMatcher::new(t))
+            .collect();
+        let mut incremental = IncrementalMatcher::default();
+        let mut sharded_out: Vec<Vec<Option<BoxId>>> =
+            THREAD_COUNTS.iter().map(|_| Vec::new()).collect();
+        let mut incremental_out = Vec::new();
+
+        for round in 0..ROUNDS {
+            stream.advance(&sc, &mut rng);
+            let (keys, cands) = stream.round();
+
+            incremental.schedule_keyed(&sc.caps, &keys, &cands, &mut incremental_out);
+            let reference = incremental_out.iter().flatten().count();
+            let cold = cold_served(&sc.caps, &cands);
+            assert_eq!(
+                reference, cold,
+                "seed {seed} round {round}: incremental vs cold"
+            );
+
+            for (slot, matcher) in sharded.iter_mut().enumerate() {
+                matcher.schedule_keyed(&sc.caps, &keys, &cands, &mut sharded_out[slot]);
+                let served = sharded_out[slot].iter().flatten().count();
+                assert_eq!(
+                    served,
+                    reference,
+                    "seed {seed} round {round} threads {}: sharded {served} vs global {reference}",
+                    matcher.threads()
+                );
+                assert!(
+                    assignment_is_valid(&sharded_out[slot], &sc.caps, &cands),
+                    "seed {seed} round {round} threads {}",
+                    matcher.threads()
+                );
+                // Feasibility verdicts agree with the scheduler's own stats.
+                let stats = matcher.last_round_stats();
+                assert_eq!(
+                    stats.unmatched,
+                    keys.len() - served,
+                    "seed {seed} round {round}"
+                );
+            }
+            // Identical schedules (not just counts) across thread counts.
+            for slot in 1..sharded.len() {
+                assert_eq!(
+                    sharded_out[slot], sharded_out[0],
+                    "seed {seed} round {round}: threads {} diverged from threads 1",
+                    THREAD_COUNTS[slot]
+                );
+            }
+        }
+    }
+}
+
+/// The full schedule history is a pure function of the seed: re-running the
+/// same scenario — at any thread count — reproduces it bit-for-bit.
+#[test]
+fn sharded_schedules_are_seed_deterministic() {
+    for seed in 0..SEEDS / 2 {
+        let reference = run_sharded(seed, 1);
+        for &threads in &THREAD_COUNTS {
+            assert_eq!(
+                run_sharded(seed, threads),
+                reference,
+                "seed {seed} threads {threads}"
+            );
+        }
+    }
+}
+
+/// Full-simulator equivalence: a multi-swarm churn workload scheduled by the
+/// sharded matcher produces the same per-round service numbers as the
+/// paper's global max-flow scheduler.
+#[test]
+fn simulator_level_sharded_equals_global() {
+    let params = SystemParams::new(32, 2.0, 8, 4, 4, 1.5, 25);
+    let mut rng = StdRng::seed_from_u64(11);
+    let system =
+        VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(4), &mut rng).unwrap();
+
+    let run = |scheduler: Box<dyn Scheduler>| {
+        let mut gen = MultiSwarmChurn::new(system.m(), 4, 6, 1.5, 3).with_rotation(5);
+        Simulator::with_scheduler(&system, SimConfig::new(40).continue_on_failure(), scheduler)
+            .run(&mut gen)
+    };
+    let global = run(Box::new(MaxFlowScheduler::new()));
+    for threads in [1usize, 4] {
+        let sharded = run(Box::new(ShardedMatcher::new(threads)));
+        assert_eq!(sharded.round_count(), global.round_count());
+        for (a, b) in sharded.rounds.iter().zip(&global.rounds) {
+            assert_eq!(a.served, b.served, "round {} threads {threads}", a.round);
+            assert_eq!(
+                a.unserved, b.unserved,
+                "round {} threads {threads}",
+                a.round
+            );
+        }
+    }
+}
