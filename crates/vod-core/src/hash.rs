@@ -1,0 +1,65 @@
+//! Deterministic multiply-xor hashing (FxHash-style) for internal key maps.
+//!
+//! The standard library's SipHash dominates per-round diff costs at
+//! thousands of lookups per scheduling round, and HashDoS resistance is
+//! irrelevant for simulator-internal keys. One shared implementation keeps
+//! the incremental matcher's request-key map (`vod-sim`) and the persistent
+//! reconciliation arena's key map (`vod-flow`) on identical, deterministic
+//! hashing.
+
+use std::hash::Hasher;
+
+/// Multiply-xor hasher over 64-bit lanes. Deterministic across processes,
+/// so map *lookups* are stable; iteration order must still never influence
+/// results (callers sort before order-sensitive sweeps).
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher64(u64);
+
+impl Hasher for FxHasher64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u64(byte as u64);
+        }
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(SEED);
+    }
+
+    fn write_u128(&mut self, value: u128) {
+        self.write_u64(value as u64);
+        self.write_u64((value >> 64) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher64::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&1u128), hash_of(&(1u128 << 64)));
+    }
+}

@@ -33,6 +33,7 @@ pub mod capacity;
 pub mod catalog;
 pub mod compensation;
 pub mod error;
+pub mod hash;
 pub mod json;
 pub mod node;
 pub mod params;
@@ -48,6 +49,7 @@ pub use capacity::{Bandwidth, StorageSlots};
 pub use catalog::Catalog;
 pub use compensation::{check_storage_balance, compensate, CompensationPlan};
 pub use error::CoreError;
+pub use hash::FxHasher64;
 pub use json::{Json, JsonCodec, JsonError};
 pub use node::{BoxId, BoxSet, NodeBox};
 pub use params::SystemParams;

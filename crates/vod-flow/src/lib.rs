@@ -19,8 +19,9 @@
 //!   extraction;
 //! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
 //! * [`shard`] — per-swarm sharding of a round's instance: pooled
-//!   partitioning, deterministic budget splitting, maximality-restoring
-//!   reconciliation, and shard-local obstruction extraction;
+//!   partitioning, deterministic budget splitting (demand-proportional or
+//!   deficit water-filling), maximality-restoring reconciliation (rebuilding
+//!   or persistent-incremental), and shard-local obstruction extraction;
 //! * [`expander`] — sampled expansion estimation of allocation graphs.
 //!
 //! ## Solving a round
@@ -63,5 +64,5 @@ pub use hall::{check_subset, find_obstruction, find_obstruction_in, verify_lemma
 pub use hopcroft_karp::{HopcroftKarp, HopcroftKarpSolve};
 pub use matching::{ConnectionMatching, ConnectionProblem};
 pub use push_relabel::PushRelabel;
-pub use shard::{ReconcileStats, ShardView, ShardedArena};
+pub use shard::{ReconcileStats, ShardView, ShardedArena, SplitStats};
 pub use solver::MaxFlowSolve;

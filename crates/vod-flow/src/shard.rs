@@ -10,15 +10,29 @@
 //!    shard key (the scheduler uses the video id, so one shard per swarm) and
 //!    computes, per shard, the set of boxes its candidate lists touch and how
 //!    many requests demand each box — all in flat pooled buffers;
-//! 2. [`ShardedArena::split_budgets`] divides each box's upload budget across
-//!    the shards that can use it (proportionally to demand, floors summed,
-//!    the deterministic leftover going to the highest-demand shard), so the
-//!    per-shard subproblems become capacity-disjoint and can be solved in
-//!    parallel without coordination;
-//! 3. [`ShardedArena::reconcile`] repairs whatever the budget split got
-//!    wrong: it rebuilds the *global* Lemma-1 network inside a pooled
-//!    [`FlowArena`], preloads the flow found by the shard solves, and runs
-//!    targeted augmenting-path searches from every still-unmatched request.
+//! 2. [`ShardedArena::split_budgets_waterfill`] divides each box's upload
+//!    budget across the shards that can use it. Slots are first *water-filled*
+//!    onto the shards with the largest observed backlog (deficit) from recent
+//!    rounds — deterministic tie-break on the shard ordinal, i.e. ascending
+//!    swarm id — and the remainder is split proportionally to residual
+//!    demand. With no deficit history the split degrades exactly to the
+//!    demand-proportional policy of [`ShardedArena::split_budgets`]. Either
+//!    way the per-shard subproblems become capacity-disjoint and can be
+//!    solved in parallel without coordination;
+//! 3. reconciliation repairs whatever the budget split got wrong, in one of
+//!    two flavours:
+//!    * [`ShardedArena::reconcile`] rebuilds the *global* Lemma-1 network
+//!      from scratch inside a pooled [`FlowArena`], preloads the flow found
+//!      by the shard solves, and augments from every still-unmatched
+//!      request (the PR 2 baseline — O(E) serial per reconciled round);
+//!    * [`ShardedArena::reconcile_keyed`] keeps the global network (and its
+//!      flow) **alive across rounds**: requests carry a stable opaque key,
+//!      each call diffs the incoming round against the tracked instance
+//!      (arrivals, retirements, candidate-edge changes, capacity changes)
+//!      and warm-starts the augmentation from the previous round's residual
+//!      state — mirroring what the incremental matcher does for the global
+//!      scheduling path, so a reconciled round costs O(Δ) instead of O(E).
+//!
 //!    Because any valid flow extends to a maximum flow by residual
 //!    augmentation (which may *reroute* shard-assigned flow), the reconciled
 //!    matching is globally maximum — sharding can never change a round's
@@ -33,7 +47,16 @@
 use crate::arena::FlowArena;
 use crate::hall::{check_subset, find_obstruction, Obstruction};
 use crate::matching::ConnectionProblem;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 use vod_core::BoxId;
+
+/// Deterministic multiply-xor hasher for the persistent reconciliation key
+/// map: the default SipHash dominates the per-round diff cost at thousands
+/// of lookups per reconcile, and HashDoS resistance is irrelevant for
+/// scheduler-internal keys. Determinism of the map's iteration order is not
+/// relied on (stale keys are sorted before removal).
+type ReconcileKeyHasher = vod_core::FxHasher64;
 
 /// One shard of a partitioned round, borrowed out of the pooled storage.
 #[derive(Clone, Copy, Debug)]
@@ -47,25 +70,57 @@ pub struct ShardView<'a> {
     /// Per-box demand, aligned with `boxes`: how many candidate-list entries
     /// of this shard name the box.
     pub demand: &'a [u32],
-    /// Per-box upload budget granted by [`ShardedArena::split_budgets`],
-    /// aligned with `boxes` (empty until budgets are split).
+    /// Per-box upload budget granted by the budget split, aligned with
+    /// `boxes` (empty until budgets are split).
     pub budget: &'a [u32],
 }
 
-/// Outcome of one [`ShardedArena::reconcile`] pass.
+/// Outcome of one reconciliation pass ([`ShardedArena::reconcile`] or
+/// [`ShardedArena::reconcile_keyed`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReconcileStats {
-    /// Assignments carried over from the shard solves.
+    /// Requests already served when the augmentation phase started: shard
+    /// assignments adopted this call plus flow carried over from previous
+    /// rounds by the persistent arena.
     pub preloaded: usize,
-    /// Assignments dropped because they were invalid for the global instance
-    /// (not a candidate, or over a box's capacity) — zero when the shard
-    /// phase respected a correct budget split.
+    /// Subset of `preloaded` served by flow persisted from earlier rounds
+    /// (always 0 for the rebuilding [`ShardedArena::reconcile`]).
+    pub carried: usize,
+    /// Shard-phase assignments reconciliation could not use (not a
+    /// candidate, or over a box's remaining capacity) — zero when the shard
+    /// phase respected a correct budget split and nothing was carried.
     pub dropped: usize,
     /// Requests the shard phase left unmatched that reconciliation served.
     pub repaired: usize,
     /// Requests unmatched even after reconciliation (the round is infeasible
     /// iff this is non-zero).
     pub unmatched: usize,
+    /// Tracked requests retired (departed) by this call's delta pass
+    /// (always 0 for the rebuilding [`ShardedArena::reconcile`]).
+    pub retired: usize,
+    /// Whether this call rebuilt the global network from scratch instead of
+    /// patching the persistent instance (always true for
+    /// [`ShardedArena::reconcile`]; true for [`ShardedArena::reconcile_keyed`]
+    /// on the first call, after a box-count change, and on dead-edge
+    /// compaction).
+    pub rebuilt: bool,
+}
+
+/// Outcome of one budget split
+/// ([`ShardedArena::split_budgets_waterfill`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitStats {
+    /// Boxes whose budget was split this round (boxes demanded by at least
+    /// one shard).
+    pub boxes: usize,
+    /// Boxes demanded by more than one shard (the only ones where the split
+    /// policy matters).
+    pub contested_boxes: usize,
+    /// Water-filling grant steps performed across all contested boxes: each
+    /// step hands one upload slot to the shard with the largest remaining
+    /// backlog. Zero when the deficit history is empty (the split then
+    /// degrades to the demand-proportional policy).
+    pub iterations: usize,
 }
 
 /// Pooled bookkeeping for one shard (ranges into the flat pools).
@@ -78,11 +133,50 @@ struct ShardInfo {
     box_end: u32,
 }
 
+/// Persistent request slot of the keyed reconciliation arena: its node in
+/// the global network plus every candidate edge ever created for it. Slots
+/// (and their edge lists) are pooled and reused across rounds.
+#[derive(Clone, Debug, Default)]
+struct GlobalSlot {
+    node: usize,
+    sink_edge: usize,
+    /// Candidate edges ever created for this node, sorted by box id. An edge
+    /// is *active* when its capacity is 1, de-capacitated (0) otherwise.
+    cand_edges: Vec<(BoxId, usize)>,
+    /// The raw candidate list as last given (pre-sort), letting unchanged
+    /// requests skip the sort-and-diff entirely.
+    given: Vec<BoxId>,
+    /// False until `given` reflects this slot's active edges.
+    given_valid: bool,
+    /// Stamp of the last reconcile call that listed this request.
+    stamp: u64,
+}
+
 /// Pooled per-swarm sharding of a round's flow network.
 ///
 /// All storage is flat and reused across rounds: after warm-up a
-/// steady-state `partition` + `split_budgets` + `reconcile` cycle performs
-/// no heap allocation.
+/// steady-state `partition` + `split_budgets_waterfill` + `reconcile_keyed`
+/// cycle performs no heap allocation.
+///
+/// ```
+/// use vod_core::BoxId;
+/// use vod_flow::ShardedArena;
+///
+/// // Two swarms over two boxes: swarm 0's request can use either box,
+/// // swarm 1's request only box 0.
+/// let caps = vec![1u32, 1];
+/// let cands = vec![vec![BoxId(0), BoxId(1)], vec![BoxId(0)]];
+/// let mut arena = ShardedArena::new();
+/// arena.partition(&[0, 1], &cands, caps.len());
+/// arena.split_budgets(&caps);
+///
+/// // Suppose the shard phase put request 0 on box 0 and starved request 1:
+/// // reconciliation reroutes request 0 to box 1 and repairs request 1.
+/// let mut assignment = vec![Some(BoxId(0)), None];
+/// let stats = arena.reconcile_keyed(&caps, &[7, 8], &cands, &mut assignment);
+/// assert_eq!(assignment, vec![Some(BoxId(1)), Some(BoxId(0))]);
+/// assert_eq!(stats.unmatched, 0);
+/// ```
 #[derive(Debug, Default)]
 pub struct ShardedArena {
     // Partition state (valid until the next `partition` call).
@@ -92,15 +186,18 @@ pub struct ShardedArena {
     box_pool: Vec<u32>,
     demand_pool: Vec<u32>,
     budget_pool: Vec<u32>,
+    /// Shard ordinal per `box_pool` slot (which shard demands this box).
+    slot_shard: Vec<u32>,
     // Per-global-box scratch, stamped by shard ordinal + 1.
     box_stamp: Vec<u32>,
     box_slot: Vec<u32>,
-    // Budget-split scratch (reset per round via `box_pool` walks).
-    total_demand: Vec<u64>,
-    assigned: Vec<u32>,
-    best_shard: Vec<u32>,
-    best_demand: Vec<u32>,
-    // Reconciliation state.
+    // Budget-split scratch (reset per round).
+    by_box: Vec<(u32, u32)>,
+    wf_grant: Vec<u32>,
+    wf_share: Vec<u32>,
+    wf_want: Vec<u64>,
+    shard_demand: Vec<u64>,
+    // Reconciliation state shared by both flavours.
     global: FlowArena,
     source_edges: Vec<usize>,
     sink_edges: Vec<usize>,
@@ -108,6 +205,24 @@ pub struct ShardedArena {
     epoch: u64,
     dfs_stack: Vec<(usize, Option<usize>)>,
     path_edges: Vec<usize>,
+    // Persistent keyed reconciliation state. `persist_ok` is false whenever
+    // the global arena no longer reflects the tracked instance (fresh arena,
+    // or a rebuilding `reconcile` call clobbered it).
+    persist_ok: bool,
+    g_caps: Vec<u32>,
+    g_sink: usize,
+    g_slots: Vec<GlobalSlot>,
+    g_by_key: HashMap<u128, usize, BuildHasherDefault<ReconcileKeyHasher>>,
+    g_free: Vec<usize>,
+    g_node_slot: Vec<usize>,
+    g_round_slots: Vec<usize>,
+    g_stamp: u64,
+    g_total_flow: i64,
+    g_dead_pairs: usize,
+    g_rebuilds: u64,
+    g_stale: Vec<u128>,
+    g_sorted_cands: Vec<BoxId>,
+    g_added_cands: Vec<BoxId>,
 }
 
 impl ShardedArena {
@@ -145,6 +260,7 @@ impl ShardedArena {
         self.box_pool.clear();
         self.demand_pool.clear();
         self.budget_pool.clear();
+        self.slot_shard.clear();
         self.box_stamp.clear();
         self.box_stamp.resize(box_count, 0);
         self.box_slot.resize(box_count, 0);
@@ -170,6 +286,7 @@ impl ShardedArena {
                         self.box_slot[b] = self.demand_pool.len() as u32;
                         self.box_pool.push(b as u32);
                         self.demand_pool.push(1);
+                        self.slot_shard.push(shard_no);
                     }
                 }
                 i += 1;
@@ -208,7 +325,8 @@ impl ShardedArena {
         }
     }
 
-    /// Splits each box's upload budget across the shards demanding it.
+    /// Splits each box's upload budget across the shards demanding it,
+    /// proportionally to demand.
     ///
     /// Each shard receives `⌊cap_b · d_s(b) / D(b)⌋` connections of box `b`
     /// (capped at its demand `d_s(b)`), where `D(b)` sums the demand over all
@@ -216,55 +334,176 @@ impl ShardedArena {
     /// (lowest shard index on ties). The split is therefore a deterministic
     /// function of the partition and the capacities, and per-box budgets sum
     /// to at most `cap_b` — the per-shard subproblems are capacity-disjoint.
+    ///
+    /// Equivalent to [`ShardedArena::split_budgets_waterfill`] with an empty
+    /// deficit history.
     pub fn split_budgets(&mut self, capacities: &[u32]) {
-        let n = capacities.len();
-        self.total_demand.resize(n, 0);
-        self.assigned.resize(n, 0);
-        self.best_shard.resize(n, 0);
-        self.best_demand.resize(n, 0);
-        // Reset only the boxes touched this round.
-        for &b in &self.box_pool {
-            let b = b as usize;
-            self.total_demand[b] = 0;
-            self.assigned[b] = 0;
-            self.best_demand[b] = 0;
-            self.best_shard[b] = 0;
-        }
-        for (s, info) in self.shards.iter().enumerate() {
-            for slot in info.box_start as usize..info.box_end as usize {
-                let b = self.box_pool[slot] as usize;
-                let d = self.demand_pool[slot];
-                self.total_demand[b] += d as u64;
-                if d > self.best_demand[b] {
-                    self.best_demand[b] = d;
-                    self.best_shard[b] = s as u32;
-                }
-            }
-        }
+        self.split_budgets_waterfill(capacities, &[]);
+    }
+
+    /// Splits each box's upload budget across the shards demanding it,
+    /// water-filling on observed shard deficits.
+    ///
+    /// `deficits[s]` is the (decayed) unserved backlog of shard `s` — indexed
+    /// by shard ordinal, i.e. ascending shard key — accumulated by the caller
+    /// over recent rounds; missing entries count as zero. A shard's backlog
+    /// is first apportioned over the boxes it demands, proportionally to its
+    /// demand there (`want_s(b) = min(d_s(b), ⌈f_s · d_s(b)/D_s⌉)` where
+    /// `D_s` is the shard's total demand), so a deficit of `f` claims about
+    /// `f` extra slots across the shard's neighbourhood — not `f` per box,
+    /// which would over-correct and oscillate. Then, per box:
+    ///
+    /// 1. **backlog water-filling** — upload slots are granted one at a time
+    ///    to the shard with the largest remaining backlog (`want_s(b)` minus
+    ///    what it was already granted), with a deterministic tie-break on
+    ///    the lowest shard ordinal (ascending swarm id), so starved shards
+    ///    are topped up first;
+    /// 2. **proportional remainder** — leftover slots are split across the
+    ///    residual demand exactly like [`ShardedArena::split_budgets`]
+    ///    (floors, leftover to the largest residual demand, lowest ordinal
+    ///    on ties).
+    ///
+    /// With an all-zero (or empty) deficit history phase 1 grants nothing and
+    /// the split is bit-identical to the demand-proportional policy. Per-box
+    /// grants always sum to exactly `cap_b`, so the per-shard subproblems
+    /// remain capacity-disjoint and the schedule stays a deterministic
+    /// function of the partition, capacities, and deficits — independent of
+    /// thread count.
+    pub fn split_budgets_waterfill(&mut self, capacities: &[u32], deficits: &[u64]) -> SplitStats {
+        let mut stats = SplitStats::default();
         self.budget_pool.clear();
         self.budget_pool.resize(self.box_pool.len(), 0);
-        for info in self.shards.iter() {
-            for slot in info.box_start as usize..info.box_end as usize {
-                let b = self.box_pool[slot] as usize;
-                let d = self.demand_pool[slot];
-                let share = ((capacities[b] as u64 * d as u64) / self.total_demand[b]) as u32;
-                let share = share.min(d);
-                self.budget_pool[slot] = share;
-                self.assigned[b] += share;
-            }
+        // Per-shard total demand, for apportioning each shard's deficit over
+        // its boxes.
+        self.shard_demand.clear();
+        for info in &self.shards {
+            let total: u64 = self.demand_pool[info.box_start as usize..info.box_end as usize]
+                .iter()
+                .map(|&d| d as u64)
+                .sum();
+            self.shard_demand.push(total);
         }
-        for (s, info) in self.shards.iter().enumerate() {
-            for slot in info.box_start as usize..info.box_end as usize {
-                let b = self.box_pool[slot] as usize;
-                if self.best_shard[b] == s as u32 {
-                    self.budget_pool[slot] += capacities[b] - self.assigned[b];
+        // Group the pool slots by box; within a group, slots ascend with the
+        // shard ordinal (pool slots are appended in shard order).
+        self.by_box.clear();
+        self.by_box.extend(
+            self.box_pool
+                .iter()
+                .enumerate()
+                .map(|(slot, &b)| (b, slot as u32)),
+        );
+        self.by_box.sort_unstable();
+
+        let mut i = 0;
+        while i < self.by_box.len() {
+            let b = self.by_box[i].0;
+            let mut j = i + 1;
+            while j < self.by_box.len() && self.by_box[j].0 == b {
+                j += 1;
+            }
+            let cap = capacities[b as usize];
+            stats.boxes += 1;
+            if j - i == 1 {
+                // Sole demanding shard: it gets the whole budget (both
+                // policies agree).
+                self.budget_pool[self.by_box[i].1 as usize] = cap;
+                i = j;
+                continue;
+            }
+            stats.contested_boxes += 1;
+            let group_len = j - i;
+            self.wf_grant.clear();
+            self.wf_grant.resize(group_len, 0);
+            self.wf_share.clear();
+            self.wf_share.resize(group_len, 0);
+            // Each shard's backlog target on this box, precomputed once per
+            // group (it is loop-invariant): its deficit apportioned by
+            // demand share (ceil so a small backlog still claims a slot),
+            // never above the demand itself.
+            self.wf_want.clear();
+            for off in 0..group_len {
+                let slot = self.by_box[i + off].1 as usize;
+                let demand = self.demand_pool[slot] as u64;
+                let shard = self.slot_shard[slot] as usize;
+                let deficit = deficits.get(shard).copied().unwrap_or(0);
+                let total = self.shard_demand[shard].max(1);
+                self.wf_want
+                    .push(demand.min((deficit * demand).div_ceil(total)));
+            }
+            let mut remaining = cap;
+
+            // Phase 1: water-fill backlog. Each step grants one slot to the
+            // shard with the largest remaining backlog; ties break on the
+            // lowest offset, which is the lowest shard ordinal.
+            while remaining > 0 {
+                let mut best: Option<(u64, usize)> = None;
+                for off in 0..group_len {
+                    let want = self.wf_want[off];
+                    let granted = self.wf_grant[off] as u64;
+                    if want > granted {
+                        let backlog = want - granted;
+                        if best.is_none_or(|(top, _)| backlog > top) {
+                            best = Some((backlog, off));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, off)) => {
+                        self.wf_grant[off] += 1;
+                        remaining -= 1;
+                        stats.iterations += 1;
+                    }
+                    None => break,
                 }
             }
+
+            // Phase 2: demand-proportional split of the remainder over the
+            // residual demand (bit-identical to `split_budgets` when phase 1
+            // granted nothing).
+            let mut residual_total: u64 = 0;
+            for off in 0..group_len {
+                let slot = self.by_box[i + off].1 as usize;
+                residual_total += self.demand_pool[slot] as u64 - self.wf_grant[off] as u64;
+            }
+            let mut leftover = remaining;
+            if residual_total > 0 && remaining > 0 {
+                for off in 0..group_len {
+                    let slot = self.by_box[i + off].1 as usize;
+                    let residual = self.demand_pool[slot] as u64 - self.wf_grant[off] as u64;
+                    let share = (((remaining as u64) * residual / residual_total) as u32)
+                        .min(residual as u32);
+                    self.wf_share[off] = share;
+                    leftover -= share;
+                }
+            }
+            // The leftover goes to the largest residual demand (lowest
+            // ordinal on ties) — possibly beyond its demand, mirroring the
+            // proportional policy; budget above demand is unusable but keeps
+            // per-box grants summing to exactly `cap`.
+            if leftover > 0 {
+                let mut best_off = 0;
+                let mut best_residual = 0u64;
+                for off in 0..group_len {
+                    let slot = self.by_box[i + off].1 as usize;
+                    let residual = self.demand_pool[slot] as u64 - self.wf_grant[off] as u64;
+                    if residual > best_residual {
+                        best_residual = residual;
+                        best_off = off;
+                    }
+                }
+                self.wf_share[best_off] += leftover;
+            }
+            for off in 0..group_len {
+                let slot = self.by_box[i + off].1 as usize;
+                self.budget_pool[slot] = self.wf_grant[off] + self.wf_share[off];
+            }
+            i = j;
         }
+        stats
     }
 
     /// Reconciles a partial (per-shard) assignment into a globally maximum
-    /// matching.
+    /// matching by **rebuilding** the global network from scratch.
     ///
     /// Builds the global Lemma-1 network inside the pooled arena, preloads
     /// the flow encoded in `assignment` (entries that are not valid for the
@@ -274,6 +513,12 @@ impl ShardedArena {
     /// residual network, so it can reroute preloaded flow; by flow
     /// decomposition the result is a maximum matching, identical in size to
     /// a cold global solve. `assignment` is updated in place.
+    ///
+    /// This is the PR 2 baseline (O(E) serial per call) and the fallback for
+    /// callers without stable request keys; steady-state callers should use
+    /// [`ShardedArena::reconcile_keyed`], which patches a persistent network
+    /// instead. Calling this invalidates the persistent instance (the next
+    /// keyed call rebuilds it).
     pub fn reconcile(
         &mut self,
         capacities: &[u32],
@@ -285,6 +530,9 @@ impl ShardedArena {
             assignment.len(),
             "one assignment slot per request"
         );
+        // This rebuild clobbers the shared arena and source edges, so the
+        // persistent instance no longer matches the network.
+        self.persist_ok = false;
         let b_count = capacities.len();
         let r_count = candidates.len();
         let sink = b_count + r_count + 1;
@@ -294,7 +542,10 @@ impl ShardedArena {
             self.source_edges
                 .push(self.global.add_edge(0, 1 + i, cap as i64));
         }
-        let mut stats = ReconcileStats::default();
+        let mut stats = ReconcileStats {
+            rebuilt: true,
+            ..ReconcileStats::default()
+        };
         self.sink_edges.clear();
         for (x, cands) in candidates.iter().enumerate() {
             let node = 1 + b_count + x;
@@ -343,7 +594,9 @@ impl ShardedArena {
             if self.global.flow_on(self.sink_edges[x]) != 0 {
                 continue;
             }
-            if self.augment_request(x, b_count, sink) {
+            let node = 1 + b_count + x;
+            let sink_edge = self.sink_edges[x];
+            if self.augment_node(node, sink, sink_edge, b_count) {
                 stats.repaired += 1;
                 self.epoch += 1;
             } else {
@@ -372,12 +625,508 @@ impl ShardedArena {
         stats
     }
 
-    /// Searches a residual path `source → … → request x` backwards from the
-    /// request node and pushes one unit along it (plus the request's sink
-    /// edge) when found. Mirrors the targeted repair of the incremental
-    /// matcher, over the pooled reconciliation arena.
-    fn augment_request(&mut self, x: usize, b_count: usize, sink: usize) -> bool {
-        let root = 1 + b_count + x;
+    /// Reconciles a partial (per-shard) assignment into a globally maximum
+    /// matching over a **persistent** global network, patched by per-round
+    /// deltas.
+    ///
+    /// `keys[x]` is a stable opaque identity for request `x` (the sharded
+    /// scheduler packs viewer/stripe ids); consecutive calls diff the
+    /// incoming round against the tracked instance:
+    ///
+    /// * surviving requests keep their node, candidate edges, **and assigned
+    ///   flow** — a request served last reconcile is served for free;
+    /// * departed requests have their flow cancelled and their edges
+    ///   de-capacitated; new requests get (or recycle) a node and edges;
+    /// * candidate-set and capacity changes patch edge capacities in place.
+    ///
+    /// Shard-phase assignments in `assignment` are *adopted* into requests
+    /// the carried flow does not already serve (when valid under the global
+    /// capacities), and a targeted augmenting-path search then repairs the
+    /// rest, warm-starting from the carried residual state. The result is a
+    /// maximum matching — identical in size to a cold global solve — and
+    /// `assignment` is rewritten in place with the final supplier of every
+    /// request.
+    ///
+    /// De-capacitated edges accumulate under churn; once more than a
+    /// quarter of the network is dead the instance is compacted by
+    /// rebuilding in place (amortized O(1)). The first call, a box-count
+    /// change, a heavy inter-call drift (over half the tracked requests
+    /// churned), or an intervening [`ShardedArena::reconcile`] also
+    /// rebuild.
+    ///
+    /// # Panics
+    /// Panics if a key appears twice in one call.
+    pub fn reconcile_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[u128],
+        candidates: &[Vec<BoxId>],
+        assignment: &mut [Option<BoxId>],
+    ) -> ReconcileStats {
+        assert_eq!(keys.len(), candidates.len(), "one key per request");
+        assert_eq!(
+            candidates.len(),
+            assignment.len(),
+            "one assignment slot per request"
+        );
+        let mut stats = ReconcileStats::default();
+        // Compact once a quarter of the network is dead: reconciliation
+        // walks box adjacency lists on every augmentation, so dead-edge
+        // bloat taxes each event; rebuilds here are cheap relative to the
+        // rounds between reconciles (a tighter bound than the incremental
+        // matcher's one-half, which patches every round).
+        let total_pairs = self.global.edge_count() / 2;
+        let needs_compaction = total_pairs > 64 && self.g_dead_pairs * 4 > total_pairs;
+        // Reconciles are skipped on fully-served rounds, so several rounds
+        // of churn can pile up between calls. Patching beats rebuilding only
+        // while most tracked requests survive: a diffed request costs a hash
+        // lookup plus a sorted-edge merge, a rebuilt one a straight append.
+        // A cheap lookup-only pre-pass estimates the drift (the lookups are
+        // a fraction of the patch cost); when more than half the instance
+        // churned, warmth is worthless and the plain unkeyed rebuild — which
+        // skips the keyed bookkeeping entirely — is the cheapest repair.
+        if self.persist_ok && capacities.len() == self.g_caps.len() && !needs_compaction {
+            let hits = keys
+                .iter()
+                .filter(|key| self.g_by_key.contains_key(key))
+                .count();
+            // Saturating: a duplicated tracked key can push `hits` past the
+            // tracked count; the patch path then raises the documented
+            // duplicate-key panic rather than underflowing here.
+            let changed =
+                keys.len().saturating_sub(hits) + self.g_by_key.len().saturating_sub(hits);
+            if changed * 2 > keys.len() {
+                // A genuine full rebuild, even though it runs through the
+                // unkeyed path — count it so the rebuild-rate observability
+                // matches what actually happened.
+                self.g_rebuilds += 1;
+                return self.reconcile(capacities, candidates, assignment);
+            }
+            stats.retired = self.g_patch(capacities, keys, candidates);
+        } else {
+            self.g_rebuild(capacities, keys, candidates);
+            stats.rebuilt = true;
+        }
+        let b_count = capacities.len();
+
+        // Pass A: keep carried flow only where it agrees with the shard
+        // phase (or where the shard phase has nothing). Disagreeing flow is
+        // cancelled up front — three O(1) pushes — so pass B can re-point it
+        // at this round's shard assignment instead of paying a full
+        // augmenting-path search per conflict. The shard assignment is the
+        // better warm start: it is fresh (the carried flow may be several
+        // churned rounds stale) and valid under the capacity-disjoint split.
+        for (x, &tentative) in assignment.iter().enumerate() {
+            let slot_idx = self.g_round_slots[x];
+            if self.global.flow_on(self.g_slots[slot_idx].sink_edge) != 1 {
+                continue;
+            }
+            let Some(want) = tentative else { continue };
+            let carrying = self.g_slots[slot_idx]
+                .cand_edges
+                .iter()
+                .copied()
+                .find(|&(_, e)| self.global.flow_on(e) == 1)
+                .expect("served request has a flow-carrying candidate edge");
+            if carrying.0 != want {
+                self.g_cancel(slot_idx, carrying.0, carrying.1);
+            }
+        }
+
+        // Pass B: adopt the shard-phase assignment into every request the
+        // (surviving) carried flow does not already serve.
+        for (x, tentative) in assignment.iter_mut().enumerate() {
+            let slot_idx = self.g_round_slots[x];
+            let sink_edge = self.g_slots[slot_idx].sink_edge;
+            if self.global.flow_on(sink_edge) == 1 {
+                stats.carried += 1;
+                stats.preloaded += 1;
+                continue;
+            }
+            let Some(want) = *tentative else { continue };
+            let cand_edge = self.g_slots[slot_idx]
+                .cand_edges
+                .iter()
+                .find(|&&(bx, e)| bx == want && self.global.edge(e).original_cap == 1)
+                .map(|&(_, e)| e);
+            let adopted = match cand_edge {
+                Some(edge) => {
+                    let source_edge = self.source_edges[want.index()];
+                    if self.global.residual(source_edge) > 0 {
+                        self.global.push(source_edge, 1);
+                        self.global.push(edge, 1);
+                        self.global.push(sink_edge, 1);
+                        self.g_total_flow += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if adopted {
+                stats.preloaded += 1;
+            } else {
+                *tentative = None;
+                stats.dropped += 1;
+            }
+        }
+
+        // Warm-started targeted augmentation from every still-unserved
+        // request (same stamp discipline as the rebuilding path; stale
+        // stamps from earlier rounds never collide with the bumped epoch).
+        self.visit.resize(self.global.node_count(), 0);
+        self.epoch += 1;
+        for x in 0..keys.len() {
+            let slot_idx = self.g_round_slots[x];
+            let sink_edge = self.g_slots[slot_idx].sink_edge;
+            if self.global.flow_on(sink_edge) != 0 {
+                continue;
+            }
+            let node = self.g_slots[slot_idx].node;
+            if self.augment_node(node, self.g_sink, sink_edge, b_count) {
+                stats.repaired += 1;
+                self.g_total_flow += 1;
+                self.epoch += 1;
+            } else {
+                stats.unmatched += 1;
+            }
+        }
+
+        // Extraction: rerouting may have changed any request's supplier.
+        for (x, slot) in assignment.iter_mut().enumerate() {
+            let slot_idx = self.g_round_slots[x];
+            *slot = self.g_slots[slot_idx]
+                .cand_edges
+                .iter()
+                .copied()
+                .find(|&(_, e)| self.global.flow_on(e) == 1)
+                .map(|(b, _)| b);
+        }
+        debug_assert!(self.g_flow_is_consistent());
+        stats
+    }
+
+    /// Full rebuilds performed by [`ShardedArena::reconcile_keyed`] so far,
+    /// including its heavy-drift fallbacks through the unkeyed path (1
+    /// after the first keyed call; steady low-drift reconciles must not add
+    /// more except for dead-edge compaction).
+    pub fn reconcile_rebuilds(&self) -> u64 {
+        self.g_rebuilds
+    }
+
+    /// Requests currently tracked by the persistent reconciliation instance.
+    pub fn tracked_requests(&self) -> usize {
+        self.g_by_key.len()
+    }
+
+    /// Directed edge count of the persistent reconciliation network (twins
+    /// included) — observability for the compaction heuristic.
+    pub fn reconcile_arena_edges(&self) -> usize {
+        self.global.edge_count()
+    }
+
+    /// Full reconstruction of the persistent instance inside the reused
+    /// arena (zero flow; the caller re-adopts and augments).
+    fn g_rebuild(&mut self, capacities: &[u32], keys: &[u128], candidates: &[Vec<BoxId>]) {
+        let b_count = capacities.len();
+        self.global.clear(b_count + 2);
+        self.g_sink = b_count + 1;
+        self.g_caps.clear();
+        self.g_caps.extend_from_slice(capacities);
+        self.source_edges.clear();
+        for (i, &cap) in capacities.iter().enumerate() {
+            self.source_edges
+                .push(self.global.add_edge(0, 1 + i, cap as i64));
+        }
+        // Recycle every slot: clear its edges but keep the allocations. The
+        // arena was cleared, so stale node/edge ids must be forgotten
+        // (`node == 0` marks "no node": node 0 is always the source).
+        self.g_by_key.clear();
+        self.g_free.clear();
+        for (idx, slot) in self.g_slots.iter_mut().enumerate() {
+            slot.cand_edges.clear();
+            slot.node = 0;
+            slot.sink_edge = 0;
+            slot.stamp = 0;
+            slot.given_valid = false;
+            self.g_free.push(idx);
+        }
+        self.g_node_slot.clear();
+        self.g_node_slot.resize(b_count + 2, usize::MAX);
+        self.g_total_flow = 0;
+        self.g_dead_pairs = 0;
+        self.g_stamp += 1;
+        self.g_round_slots.clear();
+        for (key, cands) in keys.iter().zip(candidates) {
+            let slot_idx = self.g_alloc(*key);
+            self.g_set_candidates(slot_idx, cands);
+            self.g_round_slots.push(slot_idx);
+        }
+        self.g_rebuilds += 1;
+        self.persist_ok = true;
+    }
+
+    /// Diffs the incoming round against the tracked instance, patching the
+    /// persistent network in place. Returns the number of retired requests.
+    fn g_patch(&mut self, capacities: &[u32], keys: &[u128], candidates: &[Vec<BoxId>]) -> usize {
+        self.g_stamp += 1;
+
+        // Per-box capacity changes (rare: capacities are static per system).
+        for (i, &cap) in capacities.iter().enumerate() {
+            if cap != self.g_caps[i] {
+                self.g_patch_capacity(i, cap);
+            }
+        }
+
+        // Upsert this round's requests.
+        self.g_round_slots.clear();
+        let mut arrivals = false;
+        for (key, cands) in keys.iter().zip(candidates) {
+            let slot_idx = match self.g_by_key.get(key) {
+                Some(&idx) => {
+                    assert_ne!(
+                        self.g_slots[idx].stamp, self.g_stamp,
+                        "duplicate reconcile key {key:?} in one round"
+                    );
+                    self.g_slots[idx].stamp = self.g_stamp;
+                    idx
+                }
+                None => {
+                    arrivals = true;
+                    self.g_alloc(*key)
+                }
+            };
+            self.g_set_candidates(slot_idx, cands);
+            self.g_round_slots.push(slot_idx);
+        }
+
+        // Sweep requests that disappeared since the last reconcile. With no
+        // arrivals and matching cardinality the tracked set is exactly the
+        // input set, so the sweep can be skipped.
+        let mut retired = 0;
+        if arrivals || self.g_by_key.len() != keys.len() {
+            self.g_stale.clear();
+            for (key, &slot_idx) in &self.g_by_key {
+                if self.g_slots[slot_idx].stamp != self.g_stamp {
+                    self.g_stale.push(*key);
+                }
+            }
+            // Sort so the removal order — and therefore slot reuse, edge
+            // creation order, and ultimately the produced schedule — is
+            // independent of hash-map iteration order.
+            self.g_stale.sort_unstable();
+            let mut stale = std::mem::take(&mut self.g_stale);
+            retired = stale.len();
+            for key in stale.drain(..) {
+                self.g_remove(key);
+            }
+            self.g_stale = stale;
+        }
+        retired
+    }
+
+    /// Registers a new request under `key`, reusing a pooled slot (and its
+    /// node plus edge list) when one is free.
+    fn g_alloc(&mut self, key: u128) -> usize {
+        let slot_idx = match self.g_free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.g_slots.push(GlobalSlot::default());
+                self.g_slots.len() - 1
+            }
+        };
+        // A recycled slot keeps its node and sink edge if it has them from a
+        // previous life in the *current* network; otherwise create both.
+        if self.g_slots[slot_idx].node == 0 {
+            let node = self.global.add_node();
+            let sink_edge = self.global.add_edge(node, self.g_sink, 1);
+            self.g_node_slot
+                .resize(self.global.node_count(), usize::MAX);
+            let slot = &mut self.g_slots[slot_idx];
+            slot.node = node;
+            slot.sink_edge = sink_edge;
+        } else {
+            let sink_edge = self.g_slots[slot_idx].sink_edge;
+            if self.global.edge(sink_edge).original_cap == 0 {
+                self.global.set_capacity(sink_edge, 1);
+                self.g_dead_pairs -= 1;
+            }
+        }
+        let node = self.g_slots[slot_idx].node;
+        self.g_node_slot[node] = slot_idx;
+        self.g_slots[slot_idx].stamp = self.g_stamp;
+        self.g_slots[slot_idx].given_valid = false;
+        let previous = self.g_by_key.insert(key, slot_idx);
+        assert!(
+            previous.is_none(),
+            "duplicate reconcile key {key:?} in one round"
+        );
+        slot_idx
+    }
+
+    /// Patches the slot's candidate edges to match `cands`: revives or
+    /// creates edges for current candidates, de-capacitates edges for
+    /// dropped ones (cancelling their flow first).
+    fn g_set_candidates(&mut self, slot_idx: usize, cands: &[BoxId]) {
+        // Fast path: identical raw candidate list → active edges already
+        // match, nothing to sort or diff.
+        if self.g_slots[slot_idx].given_valid && self.g_slots[slot_idx].given == *cands {
+            return;
+        }
+        let boxes = self.g_caps.len();
+        self.g_sorted_cands.clear();
+        self.g_sorted_cands
+            .extend(cands.iter().copied().filter(|b| b.index() < boxes));
+        self.g_sorted_cands.sort();
+        self.g_sorted_cands.dedup();
+
+        self.g_added_cands.clear();
+        // Two-pointer diff over the sorted edge list and candidate list.
+        let mut edge_cursor = 0;
+        let mut cand_cursor = 0;
+        while edge_cursor < self.g_slots[slot_idx].cand_edges.len()
+            || cand_cursor < self.g_sorted_cands.len()
+        {
+            let edge_entry = self.g_slots[slot_idx].cand_edges.get(edge_cursor).copied();
+            let cand = self.g_sorted_cands.get(cand_cursor).copied();
+            match (edge_entry, cand) {
+                (Some((edge_box, edge)), Some(cand_box)) if edge_box == cand_box => {
+                    if self.global.edge(edge).original_cap == 0 {
+                        self.global.set_capacity(edge, 1);
+                        self.g_dead_pairs -= 1;
+                    }
+                    edge_cursor += 1;
+                    cand_cursor += 1;
+                }
+                (Some((edge_box, edge)), Some(cand_box)) if edge_box < cand_box => {
+                    self.g_deactivate(slot_idx, edge_box, edge);
+                    edge_cursor += 1;
+                }
+                (Some((edge_box, edge)), None) => {
+                    self.g_deactivate(slot_idx, edge_box, edge);
+                    edge_cursor += 1;
+                }
+                (_, Some(cand_box)) => {
+                    self.g_added_cands.push(cand_box);
+                    cand_cursor += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        // Append the new edges, keeping the list sorted by box id.
+        let node = self.g_slots[slot_idx].node;
+        let mut added = std::mem::take(&mut self.g_added_cands);
+        for &cand_box in added.iter() {
+            let edge = self.global.add_edge(1 + cand_box.index(), node, 1);
+            let list = &mut self.g_slots[slot_idx].cand_edges;
+            let at = list.partition_point(|&(b, _)| b < cand_box);
+            list.insert(at, (cand_box, edge));
+        }
+        added.clear();
+        self.g_added_cands = added;
+        // Remember the raw list for the next call's fast path.
+        let slot = &mut self.g_slots[slot_idx];
+        slot.given.clear();
+        slot.given.extend_from_slice(cands);
+        slot.given_valid = true;
+    }
+
+    /// De-capacitates one candidate edge, cancelling its flow first.
+    fn g_deactivate(&mut self, slot_idx: usize, edge_box: BoxId, edge: usize) {
+        if self.global.edge(edge).original_cap == 0 {
+            return; // already inactive
+        }
+        if self.global.flow_on(edge) == 1 {
+            self.g_cancel(slot_idx, edge_box, edge);
+        }
+        self.global.set_capacity(edge, 0);
+        self.g_dead_pairs += 1;
+    }
+
+    /// Cancels one unit of flow running source → box → request → sink.
+    fn g_cancel(&mut self, slot_idx: usize, edge_box: BoxId, cand_edge: usize) {
+        debug_assert_eq!(self.global.flow_on(cand_edge), 1);
+        self.global.push(cand_edge, -1);
+        self.global.push(self.source_edges[edge_box.index()], -1);
+        self.global.push(self.g_slots[slot_idx].sink_edge, -1);
+        self.g_total_flow -= 1;
+    }
+
+    /// Applies a changed per-box capacity, evicting excess assignments when
+    /// the new capacity is below the box's current load (the augmentation
+    /// phase re-routes them elsewhere).
+    fn g_patch_capacity(&mut self, box_idx: usize, new_cap: u32) {
+        let source_edge = self.source_edges[box_idx];
+        let mut excess = self.global.flow_on(source_edge) - new_cap as i64;
+        if excess > 0 {
+            let node = 1 + box_idx;
+            let mut cursor = self.global.first_edge(node);
+            while let Some(edge) = cursor {
+                if excess == 0 {
+                    break;
+                }
+                cursor = self.global.next_edge(edge);
+                if edge % 2 != 0 || self.global.flow_on(edge) != 1 {
+                    continue;
+                }
+                let target = self.global.target(edge);
+                let slot_idx = self.g_node_slot[target];
+                debug_assert_ne!(slot_idx, usize::MAX, "box edge must point at a request");
+                self.g_cancel(slot_idx, BoxId(box_idx as u32), edge);
+                excess -= 1;
+            }
+            debug_assert_eq!(excess, 0);
+        }
+        self.global.set_capacity(source_edge, new_cap as i64);
+        self.g_caps[box_idx] = new_cap;
+    }
+
+    /// Removes a tracked request: cancels its flow and de-capacitates its
+    /// sink edge, returning the slot to the pool.
+    ///
+    /// Candidate edges are left active: with the sink edge at capacity 0 no
+    /// flow can route through the request node, so they are harmless, and a
+    /// recycled slot often reuses them directly.
+    fn g_remove(&mut self, key: u128) {
+        let slot_idx = self.g_by_key.remove(&key).expect("request is tracked");
+        if self.global.flow_on(self.g_slots[slot_idx].sink_edge) == 1 {
+            let carrying = self.g_slots[slot_idx]
+                .cand_edges
+                .iter()
+                .copied()
+                .find(|&(_, e)| self.global.flow_on(e) == 1)
+                .expect("served request has a flow-carrying candidate edge");
+            self.g_cancel(slot_idx, carrying.0, carrying.1);
+        }
+        let sink_edge = self.g_slots[slot_idx].sink_edge;
+        if self.global.edge(sink_edge).original_cap != 0 {
+            self.global.set_capacity(sink_edge, 0);
+            self.g_dead_pairs += 1;
+        }
+        self.g_node_slot[self.g_slots[slot_idx].node] = usize::MAX;
+        self.g_free.push(slot_idx);
+    }
+
+    /// Debug check: the persistent flow is a valid flow of value
+    /// `g_total_flow`.
+    fn g_flow_is_consistent(&self) -> bool {
+        let mut source_out = 0;
+        for &e in &self.source_edges {
+            let flow = self.global.flow_on(e);
+            if flow < 0 || flow > self.global.edge(e).original_cap {
+                return false;
+            }
+            source_out += flow;
+        }
+        source_out == self.g_total_flow && self.global.net_outflow(0) == self.g_total_flow
+    }
+
+    /// Searches a residual path `source → … → request` backwards from the
+    /// request node `root` and pushes one unit along it (plus `sink_edge`)
+    /// when found. Shared by both reconciliation flavours; boxes occupy
+    /// nodes `1..=b_count` in either layout.
+    fn augment_node(&mut self, root: usize, sink: usize, sink_edge: usize, b_count: usize) -> bool {
         if self.visit[root] == self.epoch {
             return false; // proven unreachable earlier this epoch
         }
@@ -403,7 +1152,7 @@ impl ShardedArena {
                             let e = self.path_edges[k];
                             self.global.push(e, 1);
                         }
-                        self.global.push(self.sink_edges[x], 1);
+                        self.global.push(sink_edge, 1);
                         return true;
                     }
                     // Shortcut: a box with spare source capacity completes
@@ -418,7 +1167,7 @@ impl ShardedArena {
                                 let e = self.path_edges[k];
                                 self.global.push(e, 1);
                             }
-                            self.global.push(self.sink_edges[x], 1);
+                            self.global.push(sink_edge, 1);
                             return true;
                         }
                     }
@@ -553,8 +1302,7 @@ mod tests {
         // to the capacity.
         assert_eq!(s0.budget, &[2]);
         assert_eq!(s1.budget[0], 1);
-        // Box 1 is exclusive to shard 1: demand 1 caps the share at 1, the
-        // leftover returns to the highest-demand (only) shard.
+        // Box 1 is exclusive to shard 1: it receives the whole budget.
         let box1_slot = s1.boxes.iter().position(|&x| x == 1).unwrap();
         assert_eq!(s1.budget[box1_slot], 2);
         // Per-box budgets never exceed capacity.
@@ -564,6 +1312,66 @@ mod tests {
                 assert!(bud <= caps[bx as usize]);
             }
         }
+    }
+
+    #[test]
+    fn waterfill_tops_up_starved_shard_first() {
+        let mut sharded = ShardedArena::new();
+        // Box 0 (capacity 2) demanded by both shards, demand 2 each. Shard 1
+        // (key 9) carries a backlog; shard 0 does not.
+        let shard_of = vec![4u64, 4, 9, 9];
+        let cands = vec![vec![b(0)], vec![b(0)], vec![b(0)], vec![b(0)]];
+        sharded.partition(&shard_of, &cands, 1);
+        let caps = vec![2u32];
+        let stats = sharded.split_budgets_waterfill(&caps, &[0, 5]);
+        // Both slots go to the starved shard (ordinal 1, key 9).
+        assert_eq!(sharded.shard(0).budget, &[0]);
+        assert_eq!(sharded.shard(1).budget, &[2]);
+        assert_eq!(stats.iterations, 2);
+        assert_eq!(stats.contested_boxes, 1);
+    }
+
+    #[test]
+    fn waterfill_with_zero_deficits_matches_proportional() {
+        let mut proportional = ShardedArena::new();
+        let mut waterfill = ShardedArena::new();
+        let shard_of = vec![0u64, 0, 1, 1, 2];
+        let cands = vec![
+            vec![b(0), b(1)],
+            vec![b(0)],
+            vec![b(0), b(2)],
+            vec![b(1), b(2)],
+            vec![b(2)],
+        ];
+        let caps = vec![3u32, 1, 2];
+        proportional.partition(&shard_of, &cands, 3);
+        proportional.split_budgets(&caps);
+        waterfill.partition(&shard_of, &cands, 3);
+        let stats = waterfill.split_budgets_waterfill(&caps, &[0, 0, 0]);
+        assert_eq!(stats.iterations, 0);
+        for s in 0..proportional.shard_count() {
+            assert_eq!(
+                proportional.shard(s).budget,
+                waterfill.shard(s).budget,
+                "shard {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn waterfill_leftover_falls_back_to_residual_demand() {
+        let mut sharded = ShardedArena::new();
+        // Box 0 (capacity 4): shard 0 demand 3 with backlog 1, shard 1
+        // demand 1 without backlog. Waterfill grants one slot to shard 0;
+        // the remaining 3 slots split proportionally over residual demand
+        // (2 vs 1).
+        let shard_of = vec![0u64, 0, 0, 1];
+        let cands = vec![vec![b(0)], vec![b(0)], vec![b(0)], vec![b(0)]];
+        sharded.partition(&shard_of, &cands, 1);
+        let stats = sharded.split_budgets_waterfill(&[4], &[1, 0]);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(sharded.shard(0).budget, &[3]);
+        assert_eq!(sharded.shard(1).budget, &[1]);
     }
 
     #[test]
@@ -583,6 +1391,7 @@ mod tests {
         assert_eq!(served, cold_served(&caps, &cands));
         assert_eq!(stats.repaired, served);
         assert_eq!(stats.preloaded, 0);
+        assert!(stats.rebuilt);
     }
 
     #[test]
@@ -612,6 +1421,190 @@ mod tests {
         assert_eq!(stats.dropped, 2);
         assert_eq!(assignment.iter().flatten().count(), 1);
         assert_eq!(stats.unmatched, 2);
+    }
+
+    #[test]
+    fn keyed_reconcile_first_call_rebuilds_then_patches() {
+        let caps = vec![1u32, 1];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        let keys = vec![10u128, 11];
+        let mut sharded = ShardedArena::new();
+        let mut assignment = vec![Some(b(0)), None];
+        let stats = sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+        assert!(stats.rebuilt);
+        assert_eq!(assignment, vec![Some(b(1)), Some(b(0))]);
+        assert_eq!(stats.preloaded, 1);
+        assert_eq!(stats.carried, 0);
+        assert_eq!(stats.repaired, 1);
+
+        // Same round again: everything is carried, nothing rebuilt.
+        let mut assignment = vec![None, None];
+        let stats = sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.carried, 2);
+        assert_eq!(stats.repaired, 0);
+        assert_eq!(assignment.iter().flatten().count(), 2);
+        assert_eq!(sharded.reconcile_rebuilds(), 1);
+    }
+
+    #[test]
+    fn keyed_reconcile_retires_departed_requests() {
+        let caps = vec![1u32, 1, 1, 1];
+        let mut sharded = ShardedArena::new();
+        let mut assignment = vec![None; 4];
+        sharded.reconcile_keyed(
+            &caps,
+            &[1, 2, 3, 4],
+            &[vec![b(0)], vec![b(1)], vec![b(2)], vec![b(3)]],
+            &mut assignment,
+        );
+        assert_eq!(assignment.iter().flatten().count(), 4);
+        // Request 1 departs; request 5 arrives and needs its box. Three of
+        // four requests survive, so the drift heuristic patches in place.
+        let mut assignment = vec![None; 4];
+        let stats = sharded.reconcile_keyed(
+            &caps,
+            &[2, 3, 4, 5],
+            &[vec![b(1)], vec![b(2)], vec![b(3)], vec![b(0)]],
+            &mut assignment,
+        );
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.retired, 1);
+        assert_eq!(stats.carried, 3);
+        assert_eq!(stats.repaired, 1);
+        assert_eq!(
+            assignment,
+            vec![Some(b(1)), Some(b(2)), Some(b(3)), Some(b(0))]
+        );
+        assert_eq!(sharded.tracked_requests(), 4);
+    }
+
+    #[test]
+    fn keyed_reconcile_tracks_capacity_changes() {
+        let mut sharded = ShardedArena::new();
+        let keys = vec![1u128, 2];
+        let cands = vec![vec![b(0), b(1)], vec![b(0), b(1)]];
+        let mut assignment = vec![None, None];
+        sharded.reconcile_keyed(&[2, 0], &keys, &cands, &mut assignment);
+        assert_eq!(assignment.iter().flatten().count(), 2);
+        // Box 0 shrinks to 1 slot, box 1 opens one: still fully servable.
+        let mut assignment = vec![None, None];
+        let stats = sharded.reconcile_keyed(&[1, 1], &keys, &cands, &mut assignment);
+        assert!(!stats.rebuilt);
+        assert_eq!(assignment.iter().flatten().count(), 2);
+        // Both boxes shrink: only one request served.
+        let mut assignment = vec![None, None];
+        let stats = sharded.reconcile_keyed(&[1, 0], &keys, &cands, &mut assignment);
+        assert_eq!(assignment.iter().flatten().count(), 1);
+        assert_eq!(stats.unmatched, 1);
+    }
+
+    #[test]
+    fn keyed_reconcile_matches_cold_solves_under_churn() {
+        let caps = vec![2u32; 6];
+        let mut sharded = ShardedArena::new();
+        for round in 0..60u32 {
+            let count = 4 + (round % 5) as usize;
+            let keys: Vec<u128> = (0..count)
+                .map(|i| ((round / 7) as u128) << 32 | i as u128)
+                .collect();
+            let cands: Vec<Vec<BoxId>> = (0..count as u32)
+                .map(|i| vec![b((i + round) % 6), b((i + round + 2) % 6)])
+                .collect();
+            // A deliberately lopsided tentative assignment: everything on
+            // its first candidate (often over capacity).
+            let mut assignment: Vec<Option<BoxId>> =
+                cands.iter().map(|c| c.first().copied()).collect();
+            sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+            assert_eq!(
+                assignment.iter().flatten().count(),
+                cold_served(&caps, &cands),
+                "round {round}"
+            );
+        }
+        // Steady keyed rounds must not rebuild every call.
+        assert!(sharded.reconcile_rebuilds() < 30);
+    }
+
+    #[test]
+    fn keyed_reconcile_full_churn_falls_back_and_stays_correct() {
+        let caps = vec![2u32; 8];
+        let mut sharded = ShardedArena::new();
+        for round in 0..300u32 {
+            // Entirely fresh keys each round: worst case for edge garbage —
+            // the drift estimate routes every call through the plain
+            // rebuild, so the arena never bloats.
+            let keys: Vec<u128> = (0..6u32).map(|i| (round * 10 + i) as u128).collect();
+            let cands: Vec<Vec<BoxId>> = (0..6u32)
+                .map(|i| vec![b((round + i) % 8), b((round + i + 3) % 8)])
+                .collect();
+            let mut assignment = vec![None; 6];
+            sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+            assert_eq!(assignment.iter().flatten().count(), 6, "round {round}");
+        }
+        assert!(sharded.reconcile_rebuilds() > 1, "fallback never kicked in");
+        assert!(sharded.reconcile_arena_edges() < 4000);
+    }
+
+    #[test]
+    fn keyed_reconcile_sustained_low_drift_triggers_compaction() {
+        // A sliding window of 8 requests over 16 boxes: exactly one request
+        // is replaced per round (12.5% drift — well below the 50% fallback
+        // threshold, so every call patches), but each replacement recycles
+        // a slot with different candidates, de-capacitating edges. Dead
+        // pairs must eventually cross the one-quarter bound and compact the
+        // arena in place.
+        let caps = vec![1u32; 16];
+        let mut sharded = ShardedArena::new();
+        let window = 8u32;
+        let mut patched_rounds = 0u32;
+        for round in 0..200u32 {
+            let keys: Vec<u128> = (0..window).map(|i| (round + i) as u128).collect();
+            let cands: Vec<Vec<BoxId>> = (0..window)
+                .map(|i| {
+                    let base = (round + i) * 5;
+                    vec![b(base % 16), b((base + 7) % 16), b((base + 11) % 16)]
+                })
+                .collect();
+            let mut assignment = vec![None; window as usize];
+            let stats = sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+            if round > 0 && !stats.rebuilt {
+                patched_rounds += 1;
+            }
+            assert_eq!(
+                assignment.iter().flatten().count(),
+                cold_served(&caps, &cands),
+                "round {round}"
+            );
+        }
+        // Compaction fired at least once beyond the initial build…
+        assert!(
+            sharded.reconcile_rebuilds() > 1,
+            "dead-edge compaction never kicked in"
+        );
+        // …but most rounds patched in place (the drift fallback stayed
+        // out of the way), and the arena stayed bounded.
+        assert!(patched_rounds > 150, "patched only {patched_rounds} rounds");
+        assert!(sharded.reconcile_arena_edges() < 2000);
+    }
+
+    #[test]
+    fn rebuilding_reconcile_invalidates_persistent_instance() {
+        let caps = vec![1u32];
+        let keys = vec![1u128];
+        let cands = vec![vec![b(0)]];
+        let mut sharded = ShardedArena::new();
+        let mut assignment = vec![None];
+        sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+        assert_eq!(sharded.reconcile_rebuilds(), 1);
+        // A rebuilding reconcile clobbers the shared arena…
+        let mut other = vec![None, None];
+        sharded.reconcile(&caps, &[vec![b(0)], vec![b(0)]], &mut other);
+        // …so the next keyed call must rebuild rather than patch.
+        let mut assignment = vec![None];
+        let stats = sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+        assert!(stats.rebuilt);
+        assert_eq!(assignment, vec![Some(b(0))]);
     }
 
     #[test]

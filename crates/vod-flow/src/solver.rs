@@ -23,6 +23,21 @@ use crate::graph::NodeId;
 /// Solvers are required to be [`Send`] so per-shard solves (each with its
 /// own solver and arena) can run on scoped worker threads; every solver in
 /// this crate is plain owned data, so the bound is free.
+///
+/// ```
+/// use vod_flow::{Dinic, FlowArena, MaxFlowSolve};
+///
+/// // source 0 → node 1 → sink 2, bottleneck 3.
+/// let mut arena = FlowArena::new();
+/// arena.clear(3);
+/// arena.add_edge(0, 1, 5);
+/// arena.add_edge(1, 2, 3);
+/// let mut solver = Dinic::new();
+/// assert_eq!(solver.max_flow(&mut arena, 0, 2), 3);
+/// // The contract is residual-state based: a second call finds the flow
+/// // already maximum and pushes nothing more.
+/// assert_eq!(solver.max_flow(&mut arena, 0, 2), 0);
+/// ```
 pub trait MaxFlowSolve: Send {
     /// Augments the arena's current flow to a maximum `source → sink` flow,
     /// mutating residual capacities in place. Returns the flow pushed by this

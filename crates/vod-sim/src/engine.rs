@@ -488,6 +488,9 @@ impl<'a> Simulator<'a> {
             upload_slots_available: self.capacities.iter().map(|&c| c as u64).sum(),
             viewers: self.playing.iter().filter(|p| p.is_some()).count(),
             max_swarm: self.swarms.max_swarm_size(),
+            // Sharding schedulers expose per-round shard observability
+            // (shard counts, split water-filling, reconciliation work).
+            shard: self.scheduler.shard_stats(),
         };
         // Return the reused buffers for the next round.
         self.sched_cands = candidates;

@@ -12,7 +12,8 @@
 //! * [`request`] — stripe requests, per-box download plans, start-up delays;
 //! * [`swarm`] — per-video swarm tracking and preload-stripe rotation;
 //! * [`scheduler`] — max-flow, greedy, random, incremental, and per-swarm
-//!   sharded (parallel shard solves + reconciliation) schedulers;
+//!   sharded schedulers (parallel shard solves, deficit water-filling
+//!   budget splits, persistent incremental reconciliation);
 //! * [`engine`] — the simulator itself;
 //! * [`metrics`] — per-round and aggregate measurements;
 //! * [`churn`] — failure injection (box departures) and allocation repair.
@@ -32,7 +33,7 @@ pub use engine::{FailurePolicy, SimConfig, Simulator};
 pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
 pub use scheduler::{
-    GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, RequestKey, Scheduler,
-    ShardRoundStats, ShardedMatcher,
+    GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy,
+    RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SplitPolicy,
 };
 pub use swarm::{Swarm, SwarmTracker};

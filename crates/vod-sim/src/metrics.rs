@@ -5,6 +5,7 @@
 //! utilization, sourcing vs swarming split, start-up delays, and the
 //! obstructions witnessing infeasible rounds.
 
+use crate::scheduler::ShardRoundStats;
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
 
@@ -36,6 +37,10 @@ pub struct RoundMetrics {
     pub viewers: usize,
     /// Largest swarm size this round.
     pub max_swarm: usize,
+    /// Sharded-scheduler observability (shard counts, budget-split
+    /// water-filling, reconciliation work), when the round was scheduled by
+    /// a sharding scheduler; `None` otherwise.
+    pub shard: Option<ShardRoundStats>,
 }
 
 impl JsonCodec for RoundMetrics {
@@ -58,6 +63,7 @@ impl JsonCodec for RoundMetrics {
             ),
             ("viewers", self.viewers.to_json()),
             ("max_swarm", self.max_swarm.to_json()),
+            ("shard", self.shard.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -73,6 +79,11 @@ impl JsonCodec for RoundMetrics {
             upload_slots_available: u64::from_json(json.field("upload_slots_available")?)?,
             viewers: usize::from_json(json.field("viewers")?)?,
             max_swarm: usize::from_json(json.field("max_swarm")?)?,
+            // Absent in reports serialized before the shard field existed.
+            shard: match json.field("shard") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
         })
     }
 }

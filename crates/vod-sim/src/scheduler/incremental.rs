@@ -26,40 +26,15 @@
 //! mark).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::BuildHasherDefault;
 use vod_core::{BoxId, StripeId};
 use vod_flow::{Dinic, FlowArena, MaxFlowSolve, NodeId};
 
-/// Multiply-xor hasher (FxHash-style) for the request-key map: the default
+/// Deterministic multiply-xor hasher for the request-key map: the default
 /// SipHash dominates the per-round diff cost at thousands of lookups per
-/// round, and HashDoS resistance is irrelevant for simulator-internal keys.
-#[derive(Clone, Copy, Default)]
-pub struct KeyHasher(u64);
-
-impl Hasher for KeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &byte in bytes {
-            self.write_u64(byte as u64);
-        }
-    }
-
-    fn write_u16(&mut self, value: u16) {
-        self.write_u64(value as u64);
-    }
-
-    fn write_u32(&mut self, value: u32) {
-        self.write_u64(value as u64);
-    }
-
-    fn write_u64(&mut self, value: u64) {
-        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(SEED);
-    }
-}
+/// round, and HashDoS resistance is irrelevant for simulator-internal keys
+/// (shared with the flow layer via [`vod_core::hash`]).
+pub type KeyHasher = vod_core::FxHasher64;
 
 type KeyMap<V> = HashMap<RequestKey, V, BuildHasherDefault<KeyHasher>>;
 
@@ -98,6 +73,28 @@ struct RequestSlot {
 }
 
 /// Reusable incremental matcher over one [`FlowArena`].
+///
+/// ```
+/// use vod_core::{BoxId, StripeId, VideoId};
+/// use vod_sim::{IncrementalMatcher, RequestKey};
+///
+/// let caps = vec![1, 1];
+/// let keys = vec![
+///     RequestKey { viewer: BoxId(0), stripe: StripeId::new(VideoId(0), 0) },
+///     RequestKey { viewer: BoxId(1), stripe: StripeId::new(VideoId(0), 1) },
+/// ];
+/// let cands = vec![vec![BoxId(0), BoxId(1)], vec![BoxId(0)]];
+/// let mut matcher = IncrementalMatcher::default();
+/// let mut out = Vec::new();
+/// matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+/// assert_eq!(out.iter().flatten().count(), 2);
+///
+/// // An identical round patches nothing and keeps the flow: still optimal,
+/// // still exactly one rebuild.
+/// matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+/// assert_eq!(out.iter().flatten().count(), 2);
+/// assert_eq!(matcher.rebuilds(), 1);
+/// ```
 pub struct IncrementalMatcher {
     arena: FlowArena,
     solver: Box<dyn MaxFlowSolve>,

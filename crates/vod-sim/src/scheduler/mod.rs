@@ -17,11 +17,24 @@ pub use greedy::GreedyScheduler;
 pub use incremental::{IncrementalMatcher, RequestKey};
 pub use maxflow::MaxFlowScheduler;
 pub use random_pick::RandomScheduler;
-pub use sharded::{ShardRoundStats, ShardedMatcher};
+pub use sharded::{ReconcilePolicy, ShardRoundStats, ShardedMatcher, SplitPolicy};
 
 use vod_core::BoxId;
 
 /// A per-round connection scheduler.
+///
+/// ```
+/// use vod_core::BoxId;
+/// use vod_sim::{MaxFlowScheduler, Scheduler};
+///
+/// // Two requests over two boxes with one upload slot each: the paper's
+/// // max-flow scheduler always finds the maximum matching.
+/// let caps = vec![1, 1];
+/// let cands = vec![vec![BoxId(0), BoxId(1)], vec![BoxId(0)]];
+/// let mut scheduler = MaxFlowScheduler::new();
+/// let assignment = scheduler.schedule(&caps, &cands);
+/// assert_eq!(assignment.iter().flatten().count(), 2);
+/// ```
 pub trait Scheduler {
     /// Assigns a supplier to each request.
     ///
@@ -51,6 +64,14 @@ pub trait Scheduler {
         debug_assert_eq!(keys.len(), candidates.len());
         out.clear();
         out.extend(self.schedule(capacities, candidates));
+    }
+
+    /// Per-round shard observability, for schedulers that shard the round's
+    /// instance (see [`ShardRoundStats`]). The engine threads this into
+    /// [`crate::metrics::RoundMetrics::shard`]; non-sharded schedulers
+    /// return `None` (the default).
+    fn shard_stats(&self) -> Option<ShardRoundStats> {
+        None
     }
 
     /// Short name for reports and benchmark labels.

@@ -8,9 +8,14 @@
 //! 1. **Partition** — requests are grouped by the video of their stripe
 //!    ([`vod_flow::ShardedArena::partition`], pooled flat storage);
 //! 2. **Budget split** — each box's `⌊u_b·c⌋` upload slots are divided
-//!    across the swarms demanding it
-//!    ([`vod_flow::ShardedArena::split_budgets`]), making the per-shard
-//!    subproblems capacity-disjoint;
+//!    across the swarms demanding it. The default [`SplitPolicy::WaterFill`]
+//!    grants slots first to the swarms with the largest *observed deficit*
+//!    (a per-shard decayed count of requests the split starved in recent
+//!    rounds), then splits the remainder proportionally to demand
+//!    ([`vod_flow::ShardedArena::split_budgets_waterfill`]); with no deficit
+//!    history — or under [`SplitPolicy::DemandProportional`] — the split is
+//!    purely demand-proportional. Either way the per-shard subproblems are
+//!    capacity-disjoint;
 //! 3. **Parallel shard solves** — each shard is solved by its own
 //!    *persistent* [`IncrementalMatcher`] (warm-started: a swarm's requests
 //!    mostly carry over between rounds) on a compact shard-local box
@@ -18,24 +23,55 @@
 //!    `std::thread::scope` workers; since every shard's state is owned and
 //!    its solve is independent, the result is identical for any thread
 //!    count, including 1;
-//! 4. **Reconciliation** — a single-threaded
-//!    [`vod_flow::ShardedArena::reconcile`] pass preloads the shard flows
-//!    into the global residual network and augments every request the budget
-//!    split starved, rerouting shard flow where necessary. The final
-//!    matching is globally maximum, so sharding never changes a round's
-//!    feasibility — only how fast it is decided.
+//! 4. **Reconciliation** — a single-threaded repair pass serves every
+//!    request the budget split starved, rerouting shard flow where
+//!    necessary, so the final matching is globally maximum and sharding
+//!    never changes a round's feasibility. The default
+//!    [`ReconcilePolicy::Persistent`] keeps the global Lemma-1 network (and
+//!    its flow) alive across rounds inside the sharded arena and patches
+//!    per-round deltas ([`vod_flow::ShardedArena::reconcile_keyed`], O(Δ));
+//!    [`ReconcilePolicy::Rebuild`] is the PR 2 baseline that rebuilds the
+//!    network on every reconciled round (O(E) serial). Rounds the shard
+//!    phase fully serves skip reconciliation outright.
 //!
 //! The scheduler is deterministic: for a fixed round sequence the schedule
-//! is a pure function of the inputs, independent of the thread count and of
-//! OS scheduling.
+//! is a pure function of the inputs and the configured policies,
+//! independent of the thread count and of OS scheduling.
 
 use crate::scheduler::incremental::KeyHasher;
 use crate::scheduler::{IncrementalMatcher, RequestKey, Scheduler};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::sync::Mutex;
+use std::time::Instant;
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::BoxId;
-use vod_flow::{ReconcileStats, ShardedArena};
+use vod_flow::{ReconcileStats, ShardedArena, SplitStats};
+
+/// How each box's upload budget is divided across the swarms demanding it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Purely proportional to per-shard demand (the PR 2 baseline).
+    DemandProportional,
+    /// Water-filling on decayed per-shard deficits, demand-proportional
+    /// remainder (default: starved swarms are topped up first, cutting the
+    /// fraction of rounds that need reconciliation at all).
+    #[default]
+    WaterFill,
+}
+
+/// How rounds the budget split starved are repaired to a global maximum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReconcilePolicy {
+    /// Rebuild the global network from scratch on every reconciled round
+    /// (the PR 2 baseline; O(E) serial).
+    Rebuild,
+    /// Keep a persistent global network alive across rounds and patch
+    /// per-round deltas, warm-starting the repair from the previous round's
+    /// residual state (default; O(Δ) per reconciled round).
+    #[default]
+    Persistent,
+}
 
 /// Per-round observability of the sharded scheduler.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,29 +80,77 @@ pub struct ShardRoundStats {
     pub shards: usize,
     /// Requests in the largest shard.
     pub largest_shard: usize,
-    /// Requests matched by the parallel shard phase and kept by
-    /// reconciliation.
+    /// Requests served before the reconciliation augmentation ran: shard
+    /// assignments kept plus flow carried by the persistent arena (equals
+    /// the full request count on rounds that skip reconciliation).
     pub preloaded: usize,
-    /// Shard-phase assignments reconciliation had to drop (always 0 with a
-    /// correct budget split; tracked defensively).
+    /// Subset of `preloaded` carried over by the persistent reconciliation
+    /// arena from earlier rounds (0 under [`ReconcilePolicy::Rebuild`]).
+    pub carried: usize,
+    /// Shard-phase assignments reconciliation could not use (always 0 with
+    /// a correct budget split and an empty carried flow; tracked
+    /// defensively).
     pub dropped: usize,
     /// Requests the budget split starved that reconciliation repaired.
     pub repaired: usize,
     /// Requests unmatched even after reconciliation (the round is infeasible
     /// iff non-zero).
     pub unmatched: usize,
+    /// Requests the shard phase left unmatched before reconciliation — the
+    /// round's raw budget-split deficit.
+    pub shard_unserved: usize,
+    /// Sum of the decayed per-shard deficit scores that drove this round's
+    /// budget split.
+    pub deficit_total: u64,
+    /// Largest decayed per-shard deficit score this round.
+    pub deficit_max: u64,
+    /// Water-filling grant steps performed by this round's budget split
+    /// (0 under [`SplitPolicy::DemandProportional`] or with no backlog).
+    pub split_iterations: usize,
+    /// Whether reconciliation ran (false when the shard phase served every
+    /// request).
+    pub reconciled: bool,
+    /// Whether reconciliation rebuilt the global network from scratch
+    /// (always true for reconciled rounds under
+    /// [`ReconcilePolicy::Rebuild`]; first call / compaction only under
+    /// [`ReconcilePolicy::Persistent`]).
+    pub rebuilt: bool,
 }
 
-impl ShardRoundStats {
-    fn from_reconcile(stats: ReconcileStats, shards: usize, largest: usize) -> Self {
-        ShardRoundStats {
-            shards,
-            largest_shard: largest,
-            preloaded: stats.preloaded,
-            dropped: stats.dropped,
-            repaired: stats.repaired,
-            unmatched: stats.unmatched,
-        }
+impl JsonCodec for ShardRoundStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("shards", self.shards.to_json()),
+            ("largest_shard", self.largest_shard.to_json()),
+            ("preloaded", self.preloaded.to_json()),
+            ("carried", self.carried.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("repaired", self.repaired.to_json()),
+            ("unmatched", self.unmatched.to_json()),
+            ("shard_unserved", self.shard_unserved.to_json()),
+            ("deficit_total", self.deficit_total.to_json()),
+            ("deficit_max", self.deficit_max.to_json()),
+            ("split_iterations", self.split_iterations.to_json()),
+            ("reconciled", self.reconciled.to_json()),
+            ("rebuilt", self.rebuilt.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ShardRoundStats {
+            shards: usize::from_json(json.field("shards")?)?,
+            largest_shard: usize::from_json(json.field("largest_shard")?)?,
+            preloaded: usize::from_json(json.field("preloaded")?)?,
+            carried: usize::from_json(json.field("carried")?)?,
+            dropped: usize::from_json(json.field("dropped")?)?,
+            repaired: usize::from_json(json.field("repaired")?)?,
+            unmatched: usize::from_json(json.field("unmatched")?)?,
+            shard_unserved: usize::from_json(json.field("shard_unserved")?)?,
+            deficit_total: u64::from_json(json.field("deficit_total")?)?,
+            deficit_max: u64::from_json(json.field("deficit_max")?)?,
+            split_iterations: usize::from_json(json.field("split_iterations")?)?,
+            reconciled: bool::from_json(json.field("reconciled")?)?,
+            rebuilt: bool::from_json(json.field("rebuilt")?)?,
+        })
     }
 }
 
@@ -92,6 +176,10 @@ struct ShardState {
     out: Vec<Option<BoxId>>,
     /// Round stamp of the last round that scheduled this shard.
     last_used: u64,
+    /// Decayed unserved backlog: halves every scheduled round, plus the
+    /// requests the budget split starved this round. Drives the
+    /// water-filling split of the *next* round.
+    deficit: u64,
 }
 
 impl ShardState {
@@ -105,6 +193,7 @@ impl ShardState {
             cands: Vec::new(),
             out: Vec::new(),
             last_used: 0,
+            deficit: 0,
         }
     }
 }
@@ -120,17 +209,44 @@ struct ShardWork {
 ///
 /// Produces the same matching sizes (and feasibility verdicts) as a global
 /// maximum-flow solve, with identical schedules for any `threads` value.
+///
+/// ```
+/// use vod_core::{BoxId, StripeId, VideoId};
+/// use vod_sim::{RequestKey, Scheduler, ShardedMatcher};
+///
+/// // Two single-request swarms contending for box 0 (and box 1 as the
+/// // fallback of swarm 0): the sharded schedule serves both, exactly like
+/// // a global max-flow solve, for any thread count.
+/// let caps = vec![1, 1];
+/// let keys = vec![
+///     RequestKey { viewer: BoxId(0), stripe: StripeId::new(VideoId(0), 0) },
+///     RequestKey { viewer: BoxId(1), stripe: StripeId::new(VideoId(1), 0) },
+/// ];
+/// let cands = vec![vec![BoxId(0), BoxId(1)], vec![BoxId(0)]];
+/// let mut matcher = ShardedMatcher::new(4);
+/// let mut out = Vec::new();
+/// matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+/// assert_eq!(out.iter().flatten().count(), 2);
+/// assert_eq!(matcher.last_round_stats().unmatched, 0);
+/// ```
 pub struct ShardedMatcher {
     threads: usize,
+    split_policy: SplitPolicy,
+    reconcile_policy: ReconcilePolicy,
     arena: ShardedArena,
     states: HashMap<u64, ShardState, BuildHasherDefault<KeyHasher>>,
-    /// Round scratch (reused): shard keys per request, work items, the
-    /// assignment buffer handed to reconciliation.
+    /// Round scratch (reused): shard keys per request, per-shard deficit
+    /// snapshot, packed reconcile keys, work items.
     shard_keys: Vec<u64>,
+    deficits: Vec<u64>,
+    packed_keys: Vec<u128>,
     work: Vec<ShardWork>,
     round: u64,
     last_stats: ShardRoundStats,
     rounds: u64,
+    reconcile_rounds: u64,
+    reconcile_nanos: u64,
+    reconcile_full_rebuilds: u64,
 }
 
 impl Default for ShardedMatcher {
@@ -139,20 +255,35 @@ impl Default for ShardedMatcher {
     }
 }
 
+/// Packs a [`RequestKey`] into the opaque 128-bit key the persistent
+/// reconciliation arena tracks (viewer ‖ video ‖ stripe index — injective,
+/// so distinct requests never collide).
+fn pack_key(key: &RequestKey) -> u128 {
+    ((key.viewer.0 as u128) << 48) | ((key.stripe.video.0 as u128) << 16) | key.stripe.index as u128
+}
+
 impl ShardedMatcher {
     /// Creates a sharded matcher solving shards on `threads` worker threads
     /// (1 solves them inline on the caller's thread; the schedule is
-    /// identical either way).
+    /// identical either way), with the default policies
+    /// ([`SplitPolicy::WaterFill`] + [`ReconcilePolicy::Persistent`]).
     pub fn new(threads: usize) -> Self {
         ShardedMatcher {
             threads: threads.max(1),
+            split_policy: SplitPolicy::default(),
+            reconcile_policy: ReconcilePolicy::default(),
             arena: ShardedArena::new(),
             states: HashMap::default(),
             shard_keys: Vec::new(),
+            deficits: Vec::new(),
+            packed_keys: Vec::new(),
             work: Vec::new(),
             round: 0,
             last_stats: ShardRoundStats::default(),
             rounds: 0,
+            reconcile_rounds: 0,
+            reconcile_nanos: 0,
+            reconcile_full_rebuilds: 0,
         }
     }
 
@@ -164,9 +295,40 @@ impl ShardedMatcher {
         ShardedMatcher::new(threads)
     }
 
+    /// Creates a matcher with the PR 2 baseline policies
+    /// ([`SplitPolicy::DemandProportional`] + [`ReconcilePolicy::Rebuild`]),
+    /// for A/B comparisons in benches and experiments.
+    pub fn baseline(threads: usize) -> Self {
+        ShardedMatcher::new(threads)
+            .with_split_policy(SplitPolicy::DemandProportional)
+            .with_reconcile_policy(ReconcilePolicy::Rebuild)
+    }
+
+    /// Overrides the budget-split policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
+    }
+
+    /// Overrides the reconciliation policy.
+    pub fn with_reconcile_policy(mut self, policy: ReconcilePolicy) -> Self {
+        self.reconcile_policy = policy;
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured budget-split policy.
+    pub fn split_policy(&self) -> SplitPolicy {
+        self.split_policy
+    }
+
+    /// The configured reconciliation policy.
+    pub fn reconcile_policy(&self) -> ReconcilePolicy {
+        self.reconcile_policy
     }
 
     /// Stats of the most recent round.
@@ -177,6 +339,26 @@ impl ShardedMatcher {
     /// Rounds scheduled so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Rounds that needed a reconciliation pass (the shard phase came up
+    /// short) so far.
+    pub fn reconcile_rounds(&self) -> u64 {
+        self.reconcile_rounds
+    }
+
+    /// Total wall-clock nanoseconds spent inside reconciliation so far
+    /// (observability only; never feeds back into scheduling).
+    pub fn reconcile_nanos(&self) -> u64 {
+        self.reconcile_nanos
+    }
+
+    /// Reconciled rounds that rebuilt the global network from scratch so far
+    /// (every reconciled round under [`ReconcilePolicy::Rebuild`]; first
+    /// call and dead-edge compactions only under
+    /// [`ReconcilePolicy::Persistent`]).
+    pub fn reconcile_rebuilds(&self) -> u64 {
+        self.reconcile_full_rebuilds
     }
 
     /// Tracked shard states currently pooled (observability for the
@@ -254,7 +436,8 @@ impl ShardedMatcher {
 
     /// Evicts shard states idle for more than 256 rounds (checked every 64
     /// rounds). Purely a memory bound: eviction only ever costs a future
-    /// cold shard rebuild, never changes results.
+    /// cold shard rebuild (and forgets that shard's deficit history), never
+    /// changes the matching sizes.
     fn evict_idle_shards(&mut self) {
         if self.round.is_multiple_of(64) {
             let horizon = self.round.saturating_sub(256);
@@ -269,8 +452,24 @@ impl Scheduler for ShardedMatcher {
         // whole round as a single cold reconciliation (still a global
         // maximum matching).
         let mut out = vec![None; candidates.len()];
+        let start = Instant::now();
         let stats = self.arena.reconcile(capacities, candidates, &mut out);
-        self.last_stats = ShardRoundStats::from_reconcile(stats, 1, candidates.len());
+        self.reconcile_rounds += 1;
+        self.reconcile_nanos += start.elapsed().as_nanos() as u64;
+        self.reconcile_full_rebuilds += stats.rebuilt as u64;
+        self.last_stats = ShardRoundStats {
+            shards: 1,
+            largest_shard: candidates.len(),
+            preloaded: stats.preloaded,
+            carried: stats.carried,
+            dropped: stats.dropped,
+            repaired: stats.repaired,
+            unmatched: stats.unmatched,
+            shard_unserved: candidates.len(),
+            reconciled: true,
+            rebuilt: stats.rebuilt,
+            ..ShardRoundStats::default()
+        };
         self.rounds += 1;
         out
     }
@@ -286,16 +485,35 @@ impl Scheduler for ShardedMatcher {
         self.round += 1;
         self.rounds += 1;
 
-        // 1. Partition by swarm (video id) and split the upload budgets.
+        // 1. Partition by swarm (video id).
         self.shard_keys.clear();
         self.shard_keys
             .extend(keys.iter().map(|k| k.stripe.video.0 as u64));
         let shard_count = self
             .arena
             .partition(&self.shard_keys, candidates, capacities.len());
-        self.arena.split_budgets(capacities);
 
-        // 2. Check out each active shard's persistent state.
+        // 2. Snapshot each shard's decayed deficit (ordinal order) and split
+        // the upload budgets. DemandProportional is water-filling with an
+        // empty history — bit-identical to the PR 2 split.
+        self.deficits.clear();
+        let mut deficit_total = 0u64;
+        let mut deficit_max = 0u64;
+        for shard_idx in 0..shard_count {
+            let key = self.arena.shard(shard_idx).key;
+            let deficit = self.states.get(&key).map_or(0, |s| s.deficit);
+            deficit_total += deficit;
+            deficit_max = deficit_max.max(deficit);
+            self.deficits.push(deficit);
+        }
+        let split_stats: SplitStats = match self.split_policy {
+            SplitPolicy::WaterFill => self
+                .arena
+                .split_budgets_waterfill(capacities, &self.deficits),
+            SplitPolicy::DemandProportional => self.arena.split_budgets_waterfill(capacities, &[]),
+        };
+
+        // 3. Check out each active shard's persistent state.
         self.work.clear();
         let mut largest = 0;
         for shard_idx in 0..shard_count {
@@ -308,7 +526,7 @@ impl Scheduler for ShardedMatcher {
             self.work.push(ShardWork { shard_idx, state });
         }
 
-        // 3. Parallel shard solves. Workers pull items from a shared queue;
+        // 4. Parallel shard solves. Workers pull items from a shared queue;
         // each item owns its state, so results are independent of which
         // worker runs it — the schedule is identical for any thread count.
         let arena = &self.arena;
@@ -335,39 +553,90 @@ impl Scheduler for ShardedMatcher {
             });
         }
 
-        // 4. Gather the tentative assignment and return states to the pool.
+        // 5. Gather the tentative assignment, update each shard's decayed
+        // deficit with what the split starved this round, and return states
+        // to the pool.
         out.clear();
         out.resize(keys.len(), None);
+        let mut shard_unserved = 0usize;
         for work in self.work.drain(..) {
             let view = arena.shard(work.shard_idx);
+            let mut unserved = 0u64;
             for (&x, assigned) in view.requests.iter().zip(&work.state.out) {
-                if let Some(local) = assigned {
-                    out[x as usize] = Some(work.state.global_of[local.index()]);
+                match assigned {
+                    Some(local) => out[x as usize] = Some(work.state.global_of[local.index()]),
+                    None => unserved += 1,
                 }
             }
-            self.states.insert(view.key, work.state);
+            shard_unserved += unserved as usize;
+            let mut state = work.state;
+            state.deficit = state.deficit / 2 + unserved;
+            self.states.insert(view.key, state);
         }
 
-        // 5. Reconcile to a global maximum matching. When the shard phase
+        // 6. Reconcile to a global maximum matching. When the shard phase
         // matched every request the union already is one — the budget split
         // is capacity-disjoint, so the combined assignment is valid and
-        // complete — and the (serial, O(E)) reconciliation rebuild can be
-        // skipped outright. Only rounds where some shard came up short pay
-        // for the global repair pass.
+        // complete — and reconciliation is skipped outright. Only rounds
+        // where some shard came up short pay for the repair pass, whose cost
+        // the persistent policy further amortizes across rounds.
         let matched = out.iter().flatten().count();
-        let stats = if matched == keys.len() {
+        let reconciled = matched != keys.len();
+        let stats = if !reconciled {
             ReconcileStats {
                 preloaded: matched,
                 ..ReconcileStats::default()
             }
         } else {
-            self.arena.reconcile(capacities, candidates, out)
+            // A small deficit is exactly where the persistent arena shines:
+            // the carried flow serves almost everything and the patch is
+            // O(Δ). A *large* deficit (chronically starved or infeasible
+            // instance) means the previous round's flow is structurally
+            // stale — every reroute away from it invalidates the failure
+            // marks of the targeted search — while the rebuild path preloads
+            // this round's fresh shard flows and repairs next to nothing.
+            // Mirror the incremental matcher's unserved-set heuristic and
+            // pick per round; the choice depends only on the (thread-count
+            // invariant) shard outcome, so determinism is preserved.
+            let stale_warm_start = shard_unserved * 8 > keys.len() + 64;
+            let start = Instant::now();
+            let stats = match self.reconcile_policy {
+                ReconcilePolicy::Persistent if !stale_warm_start => {
+                    self.packed_keys.clear();
+                    self.packed_keys.extend(keys.iter().map(pack_key));
+                    self.arena
+                        .reconcile_keyed(capacities, &self.packed_keys, candidates, out)
+                }
+                _ => self.arena.reconcile(capacities, candidates, out),
+            };
+            self.reconcile_rounds += 1;
+            self.reconcile_nanos += start.elapsed().as_nanos() as u64;
+            self.reconcile_full_rebuilds += stats.rebuilt as u64;
+            stats
         };
-        self.last_stats = ShardRoundStats::from_reconcile(stats, shard_count, largest);
+        self.last_stats = ShardRoundStats {
+            shards: shard_count,
+            largest_shard: largest,
+            preloaded: stats.preloaded,
+            carried: stats.carried,
+            dropped: stats.dropped,
+            repaired: stats.repaired,
+            unmatched: stats.unmatched,
+            shard_unserved,
+            deficit_total,
+            deficit_max,
+            split_iterations: split_stats.iterations,
+            reconciled,
+            rebuilt: stats.rebuilt,
+        };
         self.evict_idle_shards();
         debug_assert!(crate::scheduler::assignment_is_valid(
             out, capacities, candidates
         ));
+    }
+
+    fn shard_stats(&self) -> Option<ShardRoundStats> {
+        Some(self.last_stats)
     }
 
     fn name(&self) -> &'static str {
@@ -379,8 +648,11 @@ impl std::fmt::Debug for ShardedMatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedMatcher")
             .field("threads", &self.threads)
+            .field("split_policy", &self.split_policy)
+            .field("reconcile_policy", &self.reconcile_policy)
             .field("pooled_shards", &self.states.len())
             .field("rounds", &self.rounds)
+            .field("reconcile_rounds", &self.reconcile_rounds)
             .field("last_stats", &self.last_stats)
             .finish()
     }
@@ -410,6 +682,16 @@ mod tests {
             p.add_request(c.iter().copied());
         }
         p.solve().served()
+    }
+
+    /// Every split × reconcile policy combination, for policy-matrix tests.
+    fn all_policies() -> [(SplitPolicy, ReconcilePolicy); 4] {
+        [
+            (SplitPolicy::DemandProportional, ReconcilePolicy::Rebuild),
+            (SplitPolicy::DemandProportional, ReconcilePolicy::Persistent),
+            (SplitPolicy::WaterFill, ReconcilePolicy::Rebuild),
+            (SplitPolicy::WaterFill, ReconcilePolicy::Persistent),
+        ]
     }
 
     #[test]
@@ -449,10 +731,18 @@ mod tests {
         let keys = vec![key(0, 0, 0), key(1, 1, 0)];
         let cands = vec![vec![b(0), b(1)], vec![b(0)]];
         for threads in [1usize, 2, 8] {
-            let mut matcher = ShardedMatcher::new(threads);
-            let mut out = Vec::new();
-            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
-            assert_eq!(out.iter().flatten().count(), 2, "threads {threads}");
+            for (split, reconcile) in all_policies() {
+                let mut matcher = ShardedMatcher::new(threads)
+                    .with_split_policy(split)
+                    .with_reconcile_policy(reconcile);
+                let mut out = Vec::new();
+                matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+                assert_eq!(
+                    out.iter().flatten().count(),
+                    2,
+                    "threads {threads} policies {split:?}/{reconcile:?}"
+                );
+            }
         }
     }
 
@@ -470,43 +760,132 @@ mod tests {
                 (keys, cands)
             })
             .collect();
-        let run = |threads: usize| -> Vec<Vec<Option<BoxId>>> {
+        let run = |threads: usize| -> (Vec<Vec<Option<BoxId>>>, Vec<ShardRoundStats>) {
             let mut matcher = ShardedMatcher::new(threads);
             let mut out = Vec::new();
             let mut all = Vec::new();
+            let mut stats = Vec::new();
             for (keys, cands) in &rounds {
                 matcher.schedule_keyed(&caps, keys, cands, &mut out);
                 all.push(out.clone());
+                stats.push(matcher.last_round_stats());
             }
-            all
+            (all, stats)
         };
         let reference = run(1);
         for threads in [2usize, 4, 8] {
-            assert_eq!(run(threads), reference, "threads {threads}");
+            let result = run(threads);
+            assert_eq!(result.0, reference.0, "threads {threads}: schedules");
+            // Per-round stats — including the split's water-filling
+            // iterations and deficit snapshot — are thread-count-invariant.
+            assert_eq!(result.1, reference.1, "threads {threads}: stats");
         }
     }
 
     #[test]
     fn warm_shards_track_cold_solves_under_churn() {
         let caps = vec![1, 1, 1, 1];
-        let mut matcher = ShardedMatcher::new(2);
-        let mut out = Vec::new();
-        let mut window: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
-        for round in 0u32..40 {
-            if window.len() >= 6 {
-                window.remove(0);
+        for (split, reconcile) in all_policies() {
+            let mut matcher = ShardedMatcher::new(2)
+                .with_split_policy(split)
+                .with_reconcile_policy(reconcile);
+            let mut out = Vec::new();
+            let mut window: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
+            for round in 0u32..40 {
+                if window.len() >= 6 {
+                    window.remove(0);
+                }
+                let cands = vec![b(round % 4), b((round + 1) % 4)];
+                window.push((key(round, round % 3, 0), cands));
+                let keys: Vec<RequestKey> = window.iter().map(|(k, _)| *k).collect();
+                let cands: Vec<Vec<BoxId>> = window.iter().map(|(_, c)| c.clone()).collect();
+                matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+                assert!(
+                    assignment_is_valid(&out, &caps, &cands),
+                    "round {round} policies {split:?}/{reconcile:?}"
+                );
+                assert_eq!(
+                    out.iter().flatten().count(),
+                    cold_served(&caps, &cands),
+                    "round {round} policies {split:?}/{reconcile:?}"
+                );
             }
-            let cands = vec![b(round % 4), b((round + 1) % 4)];
-            window.push((key(round, round % 3, 0), cands));
-            let keys: Vec<RequestKey> = window.iter().map(|(k, _)| *k).collect();
-            let cands: Vec<Vec<BoxId>> = window.iter().map(|(_, c)| c.clone()).collect();
-            matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
-            assert!(assignment_is_valid(&out, &caps, &cands), "round {round}");
-            assert_eq!(
-                out.iter().flatten().count(),
-                cold_served(&caps, &cands),
-                "round {round}"
-            );
+        }
+    }
+
+    #[test]
+    fn waterfill_reduces_reconciled_rounds_on_persistent_contention() {
+        // Two swarms share box 0 (capacity 1); swarm 0 also has box 1 as a
+        // fallback. The proportional split hands box 0's slot to swarm 0 on
+        // every round (demand tie, lowest ordinal), starving swarm 1 and
+        // forcing a reconcile *every* round. Water-filling observes swarm
+        // 1's deficit and shifts the slot to it, after which the shard
+        // phase serves everything and reconciliation is skipped — so the
+        // reconciled-round counts must differ strictly, not just `<=`.
+        let caps = vec![1u32, 1];
+        let keys = vec![key(0, 0, 0), key(1, 1, 0)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        let rounds = 30u64;
+        let run = |split: SplitPolicy| -> u64 {
+            let mut matcher = ShardedMatcher::new(1)
+                .with_split_policy(split)
+                .with_reconcile_policy(ReconcilePolicy::Persistent);
+            let mut out = Vec::new();
+            for _ in 0..rounds {
+                matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+                // Globally feasible either way: both requests served.
+                assert_eq!(out.iter().flatten().count(), 2);
+            }
+            matcher.reconcile_rounds()
+        };
+        let proportional = run(SplitPolicy::DemandProportional);
+        let waterfill = run(SplitPolicy::WaterFill);
+        assert_eq!(
+            proportional, rounds,
+            "proportional split must starve swarm 1 every round"
+        );
+        assert!(
+            waterfill < proportional,
+            "waterfill reconciled {waterfill} rounds vs proportional {proportional}"
+        );
+    }
+
+    #[test]
+    fn persistent_reconcile_rebuilds_less_than_rebuild_policy() {
+        // A workload the budget split chronically under-serves: every round
+        // needs reconciliation. The rebuild policy pays a full rebuild per
+        // round; the persistent policy only on the first.
+        let caps = vec![1u32, 1];
+        let keys = vec![key(0, 0, 0), key(1, 1, 0)];
+        let cands = vec![vec![b(0), b(1)], vec![b(0)]];
+        let run = |policy: ReconcilePolicy| -> (u64, u64) {
+            // Pin the proportional split so the deficit learner cannot make
+            // the contention go away: every round must reconcile.
+            let mut matcher = ShardedMatcher::new(1)
+                .with_split_policy(SplitPolicy::DemandProportional)
+                .with_reconcile_policy(policy);
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+                assert_eq!(out.iter().flatten().count(), 2);
+            }
+            (matcher.reconcile_rounds(), matcher.reconcile_rebuilds())
+        };
+        let (rebuild_rounds, rebuilds) = run(ReconcilePolicy::Rebuild);
+        let (persistent_rounds, persistent_rebuilds) = run(ReconcilePolicy::Persistent);
+        assert_eq!(rebuild_rounds, persistent_rounds);
+        if persistent_rounds > 1 {
+            assert_eq!(persistent_rebuilds, 1, "persistent policy must patch");
+            assert!(rebuilds >= rebuild_rounds.min(1));
+        }
+        // Carried flow shows up in the stats on steady reconciled rounds.
+        let mut matcher = ShardedMatcher::new(1);
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        let stats = matcher.last_round_stats();
+        if stats.reconciled {
+            assert!(stats.carried > 0, "stats: {stats:?}");
         }
     }
 
@@ -518,6 +897,34 @@ mod tests {
         let out = matcher.schedule(&caps, &cands);
         assert_eq!(out.iter().flatten().count(), 2);
         assert!(assignment_is_valid(&out, &caps, &cands));
+        // An unkeyed cold solve invalidates the persistent instance, but a
+        // following keyed round recovers transparently.
+        let keys = vec![key(0, 0, 0)];
+        let cands = vec![vec![b(1)]];
+        let mut out = Vec::new();
+        matcher.schedule_keyed(&caps, &keys, &cands, &mut out);
+        assert_eq!(out, vec![Some(b(1))]);
+    }
+
+    #[test]
+    fn shard_round_stats_roundtrip_json() {
+        let stats = ShardRoundStats {
+            shards: 3,
+            largest_shard: 9,
+            preloaded: 20,
+            carried: 12,
+            dropped: 0,
+            repaired: 2,
+            unmatched: 1,
+            shard_unserved: 3,
+            deficit_total: 7,
+            deficit_max: 4,
+            split_iterations: 5,
+            reconciled: true,
+            rebuilt: false,
+        };
+        let json = stats.to_json();
+        assert_eq!(ShardRoundStats::from_json(&json).unwrap(), stats);
     }
 
     #[test]

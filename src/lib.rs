@@ -4,17 +4,17 @@
 //! Peer-to-Peer Video-on-Demand Scalability"* (Boufkhad, Mathieu,
 //! de Montgolfier, Perino, Viennot — IPDPS 2009) as a Rust workspace:
 //!
-//! * [`core`](vod_core) — the `(n, u, d)`-video-system model: boxes, videos,
+//! * [`core`] — the `(n, u, d)`-video-system model: boxes, videos,
 //!   stripes, catalogs, playback caches, random allocations, and the
 //!   heterogeneous `u*`-balancing machinery;
-//! * [`flow`](vod_flow) — the max-flow / matching substrate behind the
-//!   per-round connection-matching feasibility (Lemma 1);
-//! * [`workloads`](vod_workloads) — adversarial and stochastic demand
-//!   generators (never-owned attack, flash crowds, Zipf, Poisson…);
-//! * [`sim`](vod_sim) — the discrete round-based protocol simulator
-//!   (preloading strategy, relaying, schedulers, metrics, churn);
-//! * [`analysis`](vod_analysis) — Theorems 1 & 2, the first-moment
-//!   obstruction bound, Monte-Carlo estimation and threshold searches.
+//! * [`flow`] — the max-flow / matching substrate behind the per-round
+//!   connection-matching feasibility (Lemma 1);
+//! * [`workloads`] — adversarial and stochastic demand generators
+//!   (never-owned attack, flash crowds, Zipf, Poisson…);
+//! * [`sim`] — the discrete round-based protocol simulator (preloading
+//!   strategy, relaying, schedulers, metrics, churn);
+//! * [`analysis`] — Theorems 1 & 2, the first-moment obstruction bound,
+//!   Monte-Carlo estimation and threshold searches.
 //!
 //! ## Quick start
 //!
@@ -64,12 +64,12 @@ pub mod prelude {
     pub use vod_flow::{
         find_obstruction, find_obstruction_in, verify_lemma1, ConnectionMatching,
         ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve, Obstruction,
-        PushRelabel, ReconcileStats, ShardedArena,
+        PushRelabel, ReconcileStats, ShardedArena, SplitStats,
     };
     pub use vod_sim::{
         FailurePolicy, GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler,
-        RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig, SimulationReport,
-        Simulator,
+        ReconcilePolicy, RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig,
+        SimulationReport, Simulator, SplitPolicy,
     };
     pub use vod_workloads::{
         DemandGenerator, DemandTrace, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack,

@@ -406,3 +406,198 @@ fn warm_started_incremental_matches_cold_solves() {
         }
     }
 }
+
+/// Assigns each request of a random instance to one of 1–5 synthetic
+/// swarms, returning the shard keys.
+fn random_shard_keys(cands: &[Vec<BoxId>], rng: &mut StdRng) -> Vec<u64> {
+    let swarms = rng.gen_range(1u64..5);
+    (0..cands.len())
+        .map(|_| rng.gen_range(0u64..swarms))
+        .collect()
+}
+
+/// Sums, per box, the budgets granted across all shards of the last split.
+fn budget_load(sharded: &ShardedArena, boxes: usize) -> Vec<u64> {
+    let mut load = vec![0u64; boxes];
+    for s in 0..sharded.shard_count() {
+        let view = sharded.shard(s);
+        for (&b, &budget) in view.boxes.iter().zip(view.budget) {
+            load[b as usize] += budget as u64;
+        }
+    }
+    load
+}
+
+/// Water-filling budget splits partition each box's capacity exactly — for
+/// any deficit history, per-box grants across shards sum to the capacity of
+/// every demanded box (in particular they never exceed `⌊u_b·c⌋`), so the
+/// per-shard subproblems stay capacity-disjoint.
+#[test]
+fn waterfill_split_partitions_every_box_capacity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let shard_of = random_shard_keys(&cands, &mut rng);
+        let mut sharded = ShardedArena::new();
+        let shard_count = sharded.partition(&shard_of, &cands, caps.len());
+        let deficits: Vec<u64> = (0..shard_count).map(|_| rng.gen_range(0u64..12)).collect();
+        sharded.split_budgets_waterfill(&caps, &deficits);
+        let load = budget_load(&sharded, caps.len());
+        // Which boxes are demanded at all?
+        let mut demanded = vec![false; caps.len()];
+        for s in 0..shard_count {
+            for &b in sharded.shard(s).boxes {
+                demanded[b as usize] = true;
+            }
+        }
+        for (b, (&granted, &cap)) in load.iter().zip(&caps).enumerate() {
+            if demanded[b] {
+                assert_eq!(granted, cap as u64, "seed {seed} box {b}");
+            } else {
+                assert_eq!(granted, 0, "seed {seed} box {b}");
+            }
+        }
+    }
+}
+
+/// With an empty (or all-zero) deficit history the water-filling split is
+/// bit-identical to the demand-proportional split — the new policy degrades
+/// gracefully when there is nothing to learn from.
+#[test]
+fn waterfill_split_with_empty_history_is_demand_proportional() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(10_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let shard_of = random_shard_keys(&cands, &mut rng);
+
+        let mut proportional = ShardedArena::new();
+        let shard_count = proportional.partition(&shard_of, &cands, caps.len());
+        proportional.split_budgets(&caps);
+
+        for zeros in [vec![], vec![0u64; shard_count]] {
+            let mut waterfill = ShardedArena::new();
+            waterfill.partition(&shard_of, &cands, caps.len());
+            let stats = waterfill.split_budgets_waterfill(&caps, &zeros);
+            assert_eq!(stats.iterations, 0, "seed {seed}: no backlog, no grants");
+            for s in 0..shard_count {
+                assert_eq!(
+                    proportional.shard(s).budget,
+                    waterfill.shard(s).budget,
+                    "seed {seed} shard {s}"
+                );
+            }
+        }
+    }
+}
+
+/// The water-filling split is a pure function of (partition, capacities,
+/// deficits): re-running it on a fresh arena reproduces budgets and stats
+/// bit-for-bit. (Thread-count invariance of the full scheduler is covered
+/// by `tests/sharded_equivalence.rs` — the split runs before any worker
+/// thread exists.)
+#[test]
+fn waterfill_split_is_deterministic() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(11_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let shard_of = random_shard_keys(&cands, &mut rng);
+        let mut first = ShardedArena::new();
+        let shard_count = first.partition(&shard_of, &cands, caps.len());
+        let deficits: Vec<u64> = (0..shard_count).map(|_| rng.gen_range(0u64..12)).collect();
+        let stats_first = first.split_budgets_waterfill(&caps, &deficits);
+
+        let mut second = ShardedArena::new();
+        second.partition(&shard_of, &cands, caps.len());
+        let stats_second = second.split_budgets_waterfill(&caps, &deficits);
+        assert_eq!(stats_first, stats_second, "seed {seed}");
+        for s in 0..shard_count {
+            assert_eq!(
+                first.shard(s).budget,
+                second.shard(s).budget,
+                "seed {seed} shard {s}"
+            );
+        }
+    }
+}
+
+/// The persistent keyed reconciliation matches cold solves (and therefore
+/// the rebuilding reconciliation) across random keyed churn rounds — with
+/// arrivals, departures, candidate churn, per-round capacity changes, and
+/// arbitrary partial assignments to adopt — and its result is always a
+/// valid matching.
+#[test]
+fn persistent_keyed_reconcile_matches_cold_solves_under_churn() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(12_000 + seed);
+        let boxes = rng.gen_range(3usize..8);
+        let mut caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(0u32..4)).collect();
+        let mut sharded = ShardedArena::new();
+
+        let mut live: Vec<(u128, Vec<BoxId>)> = Vec::new();
+        let mut next_key = 0u128;
+        for round in 0..14u64 {
+            // Arrivals.
+            for _ in 0..rng.gen_range(0usize..4) {
+                let degree = rng.gen_range(0usize..boxes);
+                let cands: Vec<BoxId> = (0..degree)
+                    .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                    .collect();
+                live.push((next_key, cands));
+                next_key += 1;
+            }
+            // Departures.
+            while live.len() > 10 || (rng.gen_bool(0.3) && !live.is_empty()) {
+                let victim = rng.gen_range(0usize..live.len());
+                live.remove(victim);
+            }
+            // Candidate churn on a random survivor.
+            if !live.is_empty() && rng.gen_bool(0.7) {
+                let victim = rng.gen_range(0usize..live.len());
+                let degree = rng.gen_range(0usize..boxes);
+                live[victim].1 = (0..degree)
+                    .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                    .collect();
+            }
+            // Occasional capacity change.
+            if rng.gen_bool(0.2) {
+                let b = rng.gen_range(0usize..boxes);
+                caps[b] = rng.gen_range(0u32..4);
+            }
+
+            let keys: Vec<u128> = live.iter().map(|(k, _)| *k).collect();
+            let cands: Vec<Vec<BoxId>> = live.iter().map(|(_, c)| c.clone()).collect();
+            // A noisy tentative assignment to adopt (sometimes garbage).
+            let mut assignment: Vec<Option<BoxId>> = cands
+                .iter()
+                .map(|c| {
+                    rng.gen_bool(0.5)
+                        .then(|| c.first().copied())
+                        .flatten()
+                        .or_else(|| {
+                            rng.gen_bool(0.1)
+                                .then(|| BoxId(rng.gen_range(0u32..(boxes as u32 + 2))))
+                        })
+                })
+                .collect();
+            let stats = sharded.reconcile_keyed(&caps, &keys, &cands, &mut assignment);
+
+            let cold = build_problem(&caps, &cands).solve();
+            let served = assignment.iter().flatten().count();
+            assert_eq!(served, cold.served(), "seed {seed} round {round}");
+            assert_eq!(
+                served + stats.unmatched,
+                cands.len(),
+                "seed {seed} round {round}"
+            );
+            let as_matching = ConnectionMatching {
+                assignment,
+                flow: served as u64,
+                total_requests: cands.len(),
+            };
+            assert!(
+                as_matching.is_valid_for(&build_problem(&caps, &cands)),
+                "seed {seed} round {round}"
+            );
+        }
+    }
+}

@@ -11,9 +11,15 @@
 //!   with each other — and with a cold one-shot solve — on per-round
 //!   feasibility and matched-request counts, for thread counts 1–8;
 //! * the sharded schedule is deterministic: for a fixed seed the assigned
-//!   supplier of every request is identical for every thread count, and
+//!   supplier of every request — and the per-round [`ShardRoundStats`],
+//!   including the budget split's water-filling iterations and the
+//!   reconciliation counters — is identical for every thread count, and
 //!   across re-runs;
-//! * every assignment respects candidate sets and capacities.
+//! * every assignment respects candidate sets and capacities;
+//! * all four split × reconcile policy combinations (demand-proportional
+//!   vs water-filling, rebuilding vs persistent reconciliation) satisfy the
+//!   same guarantees — the PR 3 defaults extend the gate, they do not relax
+//!   it.
 //!
 //! Instance knobs (`n` boxes, `m` videos, `c` stripes per video, growth
 //! factor `µ`) are drawn per seed, so every failure reproduces from the
@@ -160,22 +166,51 @@ fn cold_served(caps: &[u32], cands: &[Vec<BoxId>]) -> usize {
     problem.solve().served()
 }
 
-/// Replays one seeded scenario through a sharded matcher, returning the full
-/// schedule history.
-fn run_sharded(seed: u64, threads: usize) -> Vec<Vec<Option<BoxId>>> {
+/// Every split × reconcile policy combination the matcher supports.
+const POLICIES: [(SplitPolicy, ReconcilePolicy); 4] = [
+    (SplitPolicy::DemandProportional, ReconcilePolicy::Rebuild),
+    (SplitPolicy::DemandProportional, ReconcilePolicy::Persistent),
+    (SplitPolicy::WaterFill, ReconcilePolicy::Rebuild),
+    (SplitPolicy::WaterFill, ReconcilePolicy::Persistent),
+];
+
+/// Replays one seeded scenario through a sharded matcher with the given
+/// policies, returning the full schedule and per-round stats history.
+fn run_sharded_with(
+    seed: u64,
+    threads: usize,
+    split: SplitPolicy,
+    reconcile: ReconcilePolicy,
+) -> (Vec<Vec<Option<BoxId>>>, Vec<ShardRoundStats>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let sc = Scenario::draw(&mut rng);
     let mut stream = RoundStream::new();
-    let mut matcher = ShardedMatcher::new(threads);
+    let mut matcher = ShardedMatcher::new(threads)
+        .with_split_policy(split)
+        .with_reconcile_policy(reconcile);
     let mut out = Vec::new();
     let mut history = Vec::new();
+    let mut stats = Vec::new();
     for _ in 0..ROUNDS {
         stream.advance(&sc, &mut rng);
         let (keys, cands) = stream.round();
         matcher.schedule_keyed(&sc.caps, &keys, &cands, &mut out);
         history.push(out.clone());
+        stats.push(matcher.last_round_stats());
     }
-    history
+    (history, stats)
+}
+
+/// Replays one seeded scenario through a default-policy sharded matcher,
+/// returning the full schedule history.
+fn run_sharded(seed: u64, threads: usize) -> Vec<Vec<Option<BoxId>>> {
+    run_sharded_with(
+        seed,
+        threads,
+        SplitPolicy::default(),
+        ReconcilePolicy::default(),
+    )
+    .0
 }
 
 /// Sharded, incremental, and cold global solves agree on feasibility and
@@ -208,8 +243,10 @@ fn sharded_matches_global_on_random_multi_swarm_rounds() {
                 "seed {seed} round {round}: incremental vs cold"
             );
 
+            let mut round_stats = Vec::new();
             for (slot, matcher) in sharded.iter_mut().enumerate() {
                 matcher.schedule_keyed(&sc.caps, &keys, &cands, &mut sharded_out[slot]);
+                round_stats.push(matcher.last_round_stats());
                 let served = sharded_out[slot].iter().flatten().count();
                 assert_eq!(
                     served,
@@ -230,11 +267,19 @@ fn sharded_matches_global_on_random_multi_swarm_rounds() {
                     "seed {seed} round {round}"
                 );
             }
-            // Identical schedules (not just counts) across thread counts.
+            // Identical schedules (not just counts) across thread counts —
+            // and identical per-round stats, so the water-filling split and
+            // the reconciliation path choices are thread-count-invariant
+            // too.
             for slot in 1..sharded.len() {
                 assert_eq!(
                     sharded_out[slot], sharded_out[0],
                     "seed {seed} round {round}: threads {} diverged from threads 1",
+                    THREAD_COUNTS[slot]
+                );
+                assert_eq!(
+                    round_stats[slot], round_stats[0],
+                    "seed {seed} round {round}: threads {} stats diverged",
                     THREAD_COUNTS[slot]
                 );
             }
@@ -284,6 +329,50 @@ fn simulator_level_sharded_equals_global() {
                 "round {} threads {threads}",
                 a.round
             );
+        }
+    }
+}
+
+/// Every split × reconcile policy combination — the PR 2 baseline, the PR 3
+/// defaults, and the mixed configurations — serves exactly the cold global
+/// maximum on random multi-swarm rounds, with valid assignments, and each
+/// combination's schedule is bit-identical across thread counts.
+#[test]
+fn all_policy_combinations_match_global_and_are_thread_invariant() {
+    for seed in 0..SEEDS / 2 {
+        // Cold per-round reference, replayed once per seed.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sc = Scenario::draw(&mut rng);
+        let mut stream = RoundStream::new();
+        let mut reference = Vec::new();
+        let mut rounds = Vec::new();
+        for _ in 0..ROUNDS {
+            stream.advance(&sc, &mut rng);
+            let (keys, cands) = stream.round();
+            reference.push(cold_served(&sc.caps, &cands));
+            rounds.push((keys, cands));
+        }
+
+        for (split, reconcile) in POLICIES {
+            let single = run_sharded_with(seed, 1, split, reconcile);
+            for (round, (schedule, (_, cands))) in single.0.iter().zip(&rounds).enumerate() {
+                assert_eq!(
+                    schedule.iter().flatten().count(),
+                    reference[round],
+                    "seed {seed} round {round} policies {split:?}/{reconcile:?}"
+                );
+                assert!(
+                    assignment_is_valid(schedule, &sc.caps, cands),
+                    "seed {seed} round {round} policies {split:?}/{reconcile:?}"
+                );
+            }
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    run_sharded_with(seed, threads, split, reconcile),
+                    single,
+                    "seed {seed} threads {threads} policies {split:?}/{reconcile:?}"
+                );
+            }
         }
     }
 }
