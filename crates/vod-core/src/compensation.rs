@@ -25,6 +25,8 @@ pub fn relay_reservation(u_star: Bandwidth, poor_upload: Bandwidth) -> Bandwidth
 pub struct CompensationPlan {
     /// Relay box `r(b)` for each poor box `b`.
     relay_of: HashMap<BoxId, BoxId>,
+    /// Reservation `u* + 1 − 2·u_b` held for each poor box on its relay.
+    need_of: HashMap<BoxId, Bandwidth>,
     /// Total upload reserved on each rich box by its assigned poor boxes.
     reserved_on: HashMap<BoxId, Bandwidth>,
     /// The threshold `u*` used to build the plan.
@@ -35,6 +37,7 @@ impl JsonCodec for CompensationPlan {
     fn to_json(&self) -> Json {
         obj(vec![
             ("relay_of", self.relay_of.to_json()),
+            ("need_of", self.need_of.to_json()),
             ("reserved_on", self.reserved_on.to_json()),
             ("u_star", self.u_star.to_json()),
         ])
@@ -42,8 +45,54 @@ impl JsonCodec for CompensationPlan {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(CompensationPlan {
             relay_of: HashMap::from_json(json.field("relay_of")?)?,
+            // Absent in plans serialized before per-poor reservations were
+            // tracked; such plans support lookups, but mutation
+            // (assign/unassign/apply_delta) panics until the plan is
+            // rebuilt — see `CompensationPlan::release`.
+            need_of: match json.field("need_of") {
+                Ok(value) => HashMap::from_json(value)?,
+                Err(_) => HashMap::new(),
+            },
             reserved_on: HashMap::from_json(json.field("reserved_on")?)?,
             u_star: Bandwidth::from_json(json.field("u_star")?)?,
+        })
+    }
+}
+
+/// One reservation migration: poor box `poor` moves its reservation from
+/// relay `from` to relay `to` (either end may be absent for pure
+/// assignments/releases). Produced by churn re-planning (the `RelayBroker`
+/// in `vod-sim`) and replayable onto a mirror plan with
+/// [`CompensationPlan::apply_delta`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompensationDelta {
+    /// The poor box whose reservation moves.
+    pub poor: BoxId,
+    /// The relay the reservation is released from (`None` for a fresh
+    /// assignment).
+    pub from: Option<BoxId>,
+    /// The relay the reservation moves to (`None` when the box stops being
+    /// relayed — it left, or is no longer poor).
+    pub to: Option<BoxId>,
+    /// The reserved capacity `u* + 1 − 2·u_b` being moved.
+    pub reservation: Bandwidth,
+}
+
+impl JsonCodec for CompensationDelta {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("poor", self.poor.to_json()),
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("reservation", self.reservation.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CompensationDelta {
+            poor: BoxId::from_json(json.field("poor")?)?,
+            from: Option::from_json(json.field("from")?)?,
+            to: Option::from_json(json.field("to")?)?,
+            reservation: Bandwidth::from_json(json.field("reservation")?)?,
         })
     }
 }
@@ -53,6 +102,7 @@ impl CompensationPlan {
     pub fn empty(u_star: Bandwidth) -> Self {
         CompensationPlan {
             relay_of: HashMap::new(),
+            need_of: HashMap::new(),
             reserved_on: HashMap::new(),
             u_star,
         }
@@ -61,6 +111,92 @@ impl CompensationPlan {
     /// The relay `r(b)` assigned to poor box `b`, if any.
     pub fn relay(&self, poor: BoxId) -> Option<BoxId> {
         self.relay_of.get(&poor).copied()
+    }
+
+    /// The reservation held for poor box `b` on its relay, if assigned.
+    pub fn reservation_of(&self, poor: BoxId) -> Option<Bandwidth> {
+        self.need_of.get(&poor).copied()
+    }
+
+    /// Assigns (or re-assigns) poor box `poor` to `relay` with the given
+    /// reservation, returning the delta describing the move.
+    pub fn assign(
+        &mut self,
+        poor: BoxId,
+        relay: BoxId,
+        reservation: Bandwidth,
+    ) -> CompensationDelta {
+        let from = self.release(poor);
+        self.relay_of.insert(poor, relay);
+        self.need_of.insert(poor, reservation);
+        *self.reserved_on.entry(relay).or_insert(Bandwidth::ZERO) += reservation;
+        CompensationDelta {
+            poor,
+            from,
+            to: Some(relay),
+            reservation,
+        }
+    }
+
+    /// Removes poor box `poor` from the plan (it left, or stopped being
+    /// poor), returning the delta, or `None` when it was not assigned.
+    pub fn unassign(&mut self, poor: BoxId) -> Option<CompensationDelta> {
+        let reservation = self.need_of.get(&poor).copied().unwrap_or(Bandwidth::ZERO);
+        self.release(poor).map(|from| CompensationDelta {
+            poor,
+            from: Some(from),
+            to: None,
+            reservation,
+        })
+    }
+
+    /// Drops `poor`'s current assignment (bookkeeping for
+    /// [`CompensationPlan::assign`] / [`CompensationPlan::unassign`]).
+    ///
+    /// # Panics
+    /// Panics when the assignment has no tracked per-poor reservation —
+    /// a plan deserialized from the pre-`need_of` format supports lookups
+    /// but must be rebuilt (e.g. via [`compensate`]) before mutation;
+    /// silently releasing an unknown amount would corrupt the relay's
+    /// reserved total.
+    fn release(&mut self, poor: BoxId) -> Option<BoxId> {
+        let relay = self.relay_of.remove(&poor)?;
+        let need = self.need_of.remove(&poor).unwrap_or_else(|| {
+            panic!(
+                "poor box {poor} has a relay but no tracked reservation \
+                 (legacy pre-need_of plan?); rebuild the plan before mutating it"
+            )
+        });
+        let slot = self
+            .reserved_on
+            .get_mut(&relay)
+            .expect("assigned relay has a reservation total");
+        *slot = slot.saturating_sub(need);
+        if *slot == Bandwidth::ZERO {
+            self.reserved_on.remove(&relay);
+        }
+        Some(relay)
+    }
+
+    /// Replays a [`CompensationDelta`] onto this plan (e.g. to keep a mirror
+    /// copy in sync with a re-planning broker).
+    ///
+    /// # Panics
+    /// Panics when `delta.from` disagrees with the current assignment.
+    pub fn apply_delta(&mut self, delta: &CompensationDelta) {
+        assert_eq!(
+            self.relay(delta.poor),
+            delta.from,
+            "delta source relay must match the tracked assignment"
+        );
+        match delta.to {
+            Some(relay) => {
+                self.assign(delta.poor, relay, delta.reservation);
+            }
+            None => {
+                self.unassign(delta.poor);
+            }
+        }
     }
 
     /// Total upload reserved on rich box `a` by its assigned poor boxes.
@@ -103,33 +239,67 @@ impl CompensationPlan {
         boxes.get(a).upload.saturating_sub(self.reserved(a))
     }
 
-    /// Validates the plan against the paper's constraint: for every relay
-    /// `a`, `u_a ≥ u* + Σ reservations(a)`, and every poor box is covered.
+    /// Validates the plan against the paper's upload-compensation bound:
+    /// for every relay `a`, `u_a ≥ u* + Σ reservations(a)`, every poor box
+    /// is covered, and every relay is rich. Errors name the offending box
+    /// and the violated bound ([`CoreError::PoorUncovered`],
+    /// [`CoreError::RelayOverloaded`], [`CoreError::RelayNotRich`]).
     pub fn validate(&self, boxes: &BoxSet) -> Result<(), CoreError> {
-        let poor = boxes.poor_ids(self.u_star);
-        let uncovered = poor
-            .iter()
-            .filter(|p| !self.relay_of.contains_key(p))
-            .count();
-        if uncovered > 0 {
-            return Err(CoreError::CompensationInfeasible {
-                unassigned_poor: uncovered,
-            });
-        }
-        for (&rich, &reserved) in &self.reserved_on {
-            let available = boxes.get(rich).upload;
-            if available < self.u_star + reserved {
-                return Err(CoreError::CompensationInfeasible {
-                    unassigned_poor: self.assigned_to(rich).len(),
+        self.validate_over(boxes.iter().copied())
+    }
+
+    /// [`CompensationPlan::validate`] over an arbitrary (possibly churned)
+    /// population — the single implementation of the bound checks, shared
+    /// by the static path and the relay broker so the two cannot drift. A
+    /// relay named by an assignment but absent from `boxes` counts as not
+    /// rich.
+    pub fn validate_over(
+        &self,
+        boxes: impl Iterator<Item = crate::node::NodeBox>,
+    ) -> Result<(), CoreError> {
+        // Report the lowest-id violator of each kind, so the diagnosis is
+        // deterministic regardless of hash-map iteration order.
+        let mut population: Vec<crate::node::NodeBox> = boxes.collect();
+        population.sort_by_key(|b| b.id);
+        let lookup = |id: BoxId| {
+            population
+                .binary_search_by_key(&id, |b| b.id)
+                .ok()
+                .map(|i| population[i])
+        };
+        // Every poor box must be covered.
+        for b in &population {
+            if b.is_poor(self.u_star) && !self.relay_of.contains_key(&b.id) {
+                return Err(CoreError::PoorUncovered {
+                    poor: b.id,
+                    need: relay_reservation(self.u_star, b.upload),
                 });
             }
         }
-        // Relays must themselves be rich.
-        for (&poor, &rich) in &self.relay_of {
-            if boxes.get(rich).is_poor(self.u_star) {
-                return Err(CoreError::InvalidParams(format!(
-                    "poor box {poor} is relayed through {rich}, which is itself poor"
-                )));
+        // Relays must themselves be present and rich (checked before the
+        // overload bound: a poor relay also looks overloaded, but naming
+        // the real defect beats naming its symptom).
+        let mut assignments: Vec<(BoxId, BoxId)> = self.assignments().collect();
+        assignments.sort();
+        for (poor, relay) in assignments {
+            let rich = lookup(relay).is_some_and(|n| n.is_rich(self.u_star));
+            if !rich {
+                return Err(CoreError::RelayNotRich { poor, relay });
+            }
+        }
+        // The bound itself: u_a ≥ u* + Σ reservations(a). An absent relay
+        // carrying reservations was already reported above.
+        let mut relays: Vec<(BoxId, Bandwidth)> =
+            self.reserved_on.iter().map(|(&a, &r)| (a, r)).collect();
+        relays.sort();
+        for (relay, reserved) in relays {
+            let Some(node) = lookup(relay) else { continue };
+            if node.upload < self.u_star + reserved {
+                return Err(CoreError::RelayOverloaded {
+                    relay,
+                    upload: node.upload,
+                    required: self.u_star + reserved,
+                });
             }
         }
         Ok(())
@@ -147,6 +317,7 @@ pub fn check_storage_balance(boxes: &BoxSet, c: u16, u_star: Bandwidth) -> Resul
                 return Err(CoreError::StorageUnbalanced {
                     box_id: b.id,
                     ratio: f64::INFINITY,
+                    bounds: (2.0, upper),
                 })
             }
             Some(r) => {
@@ -154,6 +325,7 @@ pub fn check_storage_balance(boxes: &BoxSet, c: u16, u_star: Bandwidth) -> Resul
                     return Err(CoreError::StorageUnbalanced {
                         box_id: b.id,
                         ratio: r,
+                        bounds: (2.0, upper),
                     });
                 }
             }
@@ -207,9 +379,8 @@ pub fn compensate(boxes: &BoxSet, u_star: Bandwidth) -> Result<CompensationPlan,
             .expect("rich boxes present");
         if best.1 >= need {
             best.1 = best.1.saturating_sub(need);
-            plan.relay_of.insert(poor_box, best.0);
-            let slot = plan.reserved_on.entry(best.0).or_insert(Bandwidth::ZERO);
-            *slot += need;
+            let relay = best.0;
+            plan.assign(poor_box, relay, need);
         } else {
             unassigned += 1;
         }
@@ -346,6 +517,138 @@ mod tests {
             StorageSlots::from_videos(4, c),
         )]);
         assert!(check_storage_balance(&zero, c, Bandwidth::from_streams(1.5)).is_err());
+    }
+
+    #[test]
+    fn validation_errors_name_the_offending_box_and_bound() {
+        let boxes = mixed_population();
+        let u_star = Bandwidth::from_streams(1.2);
+
+        // Uncovered poor box: the lowest-id one is named, with its need.
+        let empty = CompensationPlan::empty(u_star);
+        assert_eq!(
+            empty.validate(&boxes),
+            Err(CoreError::PoorUncovered {
+                poor: BoxId(0),
+                need: Bandwidth::from_streams(1.2),
+            })
+        );
+
+        // Overloaded relay: pile every reservation onto one rich box.
+        let mut plan = CompensationPlan::empty(u_star);
+        for poor in boxes.poor_ids(u_star) {
+            plan.assign(
+                poor,
+                BoxId(4),
+                relay_reservation(u_star, boxes.get(poor).upload),
+            );
+        }
+        // 4 × 1.2 reserved on upload 3.0 < 1.2 + 4.8.
+        assert_eq!(
+            plan.validate(&boxes),
+            Err(CoreError::RelayOverloaded {
+                relay: BoxId(4),
+                upload: Bandwidth::from_streams(3.0),
+                required: Bandwidth::from_streams(6.0),
+            })
+        );
+
+        // Poor relay: assign a poor box to another poor box.
+        let mut plan = CompensationPlan::empty(u_star);
+        plan.assign(BoxId(0), BoxId(1), Bandwidth::from_streams(1.2));
+        for poor in [BoxId(1), BoxId(2), BoxId(3)] {
+            plan.assign(poor, BoxId(4 + poor.0 - 1), Bandwidth::from_streams(1.2));
+        }
+        assert_eq!(
+            plan.validate(&boxes),
+            Err(CoreError::RelayNotRich {
+                poor: BoxId(0),
+                relay: BoxId(1),
+            })
+        );
+    }
+
+    #[test]
+    fn deltas_migrate_reservations_and_replay() {
+        let boxes = mixed_population();
+        let u_star = Bandwidth::from_streams(1.2);
+        let mut plan = compensate(&boxes, u_star).unwrap();
+        let mut mirror = plan.clone();
+
+        // Migrate poor box 0 to a specific relay and replay onto the mirror.
+        let need = plan.reservation_of(BoxId(0)).unwrap();
+        assert_eq!(need, Bandwidth::from_streams(1.2));
+        let old_relay = plan.relay(BoxId(0)).unwrap();
+        let new_relay = *[BoxId(4), BoxId(5)]
+            .iter()
+            .find(|&&r| r != old_relay)
+            .unwrap();
+        let delta = plan.assign(BoxId(0), new_relay, need);
+        assert_eq!(delta.from, Some(old_relay));
+        assert_eq!(delta.to, Some(new_relay));
+        mirror.apply_delta(&delta);
+        assert_eq!(mirror, plan);
+
+        // Reserved totals moved with the box.
+        assert_eq!(plan.relay(BoxId(0)), Some(new_relay));
+        assert!(plan.reserved(old_relay) < plan.reserved(new_relay));
+
+        // Unassign releases the reservation entirely.
+        let delta = plan.unassign(BoxId(0)).unwrap();
+        assert_eq!(delta.to, None);
+        assert_eq!(delta.reservation, need);
+        mirror.apply_delta(&delta);
+        assert_eq!(mirror, plan);
+        assert_eq!(plan.relay(BoxId(0)), None);
+        assert_eq!(plan.reservation_of(BoxId(0)), None);
+        // Unassigning again is a no-op.
+        assert!(plan.unassign(BoxId(0)).is_none());
+    }
+
+    #[test]
+    fn legacy_plan_json_supports_lookup_but_refuses_mutation() {
+        // A plan serialized before per-poor reservations were tracked has
+        // no "need_of" field: lookups must still work, but mutating it
+        // would silently corrupt the relays' reserved totals, so it
+        // panics instead.
+        let mut relay_of = HashMap::new();
+        relay_of.insert(BoxId(0), BoxId(1));
+        let mut reserved_on = HashMap::new();
+        reserved_on.insert(BoxId(1), Bandwidth::from_streams(1.2));
+        let legacy = crate::json::obj(vec![
+            ("relay_of", relay_of.to_json()),
+            ("reserved_on", reserved_on.to_json()),
+            ("u_star", Bandwidth::from_streams(1.2).to_json()),
+        ]);
+        let plan = CompensationPlan::from_json(&legacy).unwrap();
+        assert_eq!(plan.relay(BoxId(0)), Some(BoxId(1)));
+        assert_eq!(plan.reserved(BoxId(1)), Bandwidth::from_streams(1.2));
+        assert_eq!(plan.reservation_of(BoxId(0)), None);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut plan = plan;
+            plan.unassign(BoxId(0))
+        }));
+        assert!(outcome.is_err(), "mutating a legacy plan must panic");
+    }
+
+    #[test]
+    fn plan_and_delta_roundtrip_json() {
+        let boxes = mixed_population();
+        let u_star = Bandwidth::from_streams(1.2);
+        let plan = compensate(&boxes, u_star).unwrap();
+        let json = plan.to_json();
+        assert_eq!(CompensationPlan::from_json(&json).unwrap(), plan);
+
+        let delta = CompensationDelta {
+            poor: BoxId(2),
+            from: Some(BoxId(5)),
+            to: None,
+            reservation: Bandwidth::from_streams(1.2),
+        };
+        assert_eq!(
+            CompensationDelta::from_json(&delta.to_json()).unwrap(),
+            delta
+        );
     }
 
     #[test]

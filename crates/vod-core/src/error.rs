@@ -26,12 +26,41 @@ pub enum CoreError {
         /// Number of poor boxes left without a relay.
         unassigned_poor: usize,
     },
-    /// The system violates the `u*`-storage-balance condition.
+    /// A specific poor box is not covered by the compensation plan (the
+    /// upload-compensation bound requires every poor box to have a relay).
+    PoorUncovered {
+        /// The uncovered poor box.
+        poor: crate::node::BoxId,
+        /// The reservation `u* + 1 − 2·u_b` it needs on a relay.
+        need: crate::capacity::Bandwidth,
+    },
+    /// A relay violates the upload-compensation bound
+    /// `u_a ≥ u* + Σ_{b : r(b)=a} (u* + 1 − 2·u_b)`.
+    RelayOverloaded {
+        /// The overloaded relay box.
+        relay: crate::node::BoxId,
+        /// Its actual upload capacity `u_a`.
+        upload: crate::capacity::Bandwidth,
+        /// The bound's right-hand side: `u*` plus its total reservations.
+        required: crate::capacity::Bandwidth,
+    },
+    /// A poor box is relayed through a box that is itself poor (relays must
+    /// be rich: the reservation only exists on top of a relay's own `u*`).
+    RelayNotRich {
+        /// The poor box being relayed.
+        poor: crate::node::BoxId,
+        /// Its assigned relay, which is not rich.
+        relay: crate::node::BoxId,
+    },
+    /// The system violates the `u*`-storage-balance condition
+    /// `2 ≤ d_b/u_b ≤ d/u*`.
     StorageUnbalanced {
         /// Identifier of the offending box.
         box_id: crate::node::BoxId,
         /// Its `d_b/u_b` ratio.
         ratio: f64,
+        /// The admissible range `[2, d/u*]` the ratio fell outside of.
+        bounds: (f64, f64),
     },
 }
 
@@ -53,9 +82,33 @@ impl fmt::Display for CoreError {
                 f,
                 "upload compensation infeasible: {unassigned_poor} poor box(es) cannot be relayed"
             ),
-            CoreError::StorageUnbalanced { box_id, ratio } => write!(
+            CoreError::PoorUncovered { poor, need } => write!(
                 f,
-                "box {box_id} violates the storage-balance condition (d_b/u_b = {ratio:.3})"
+                "upload-compensation bound violated: poor box {poor} has no relay \
+                 (needs a reservation of {need} on a rich box)"
+            ),
+            CoreError::RelayOverloaded {
+                relay,
+                upload,
+                required,
+            } => write!(
+                f,
+                "upload-compensation bound violated: relay {relay} has upload {upload} \
+                 but u* plus its reservations require {required}"
+            ),
+            CoreError::RelayNotRich { poor, relay } => write!(
+                f,
+                "upload-compensation bound violated: poor box {poor} is relayed \
+                 through {relay}, which is itself poor"
+            ),
+            CoreError::StorageUnbalanced {
+                box_id,
+                ratio,
+                bounds: (lower, upper),
+            } => write!(
+                f,
+                "storage-balance bound violated: box {box_id} has d_b/u_b = {ratio:.3}, \
+                 outside [{lower:.3}, {upper:.3}]"
             ),
         }
     }
@@ -86,8 +139,31 @@ mod tests {
         let e = CoreError::StorageUnbalanced {
             box_id: BoxId(7),
             ratio: 1.5,
+            bounds: (2.0, 5.33),
         };
-        assert!(e.to_string().contains("b7"));
+        let s = e.to_string();
+        assert!(s.contains("b7") && s.contains("storage-balance"));
+
+        let e = CoreError::RelayOverloaded {
+            relay: BoxId(3),
+            upload: crate::capacity::Bandwidth::from_streams(2.0),
+            required: crate::capacity::Bandwidth::from_streams(2.4),
+        };
+        let s = e.to_string();
+        assert!(s.contains("b3") && s.contains("upload-compensation"));
+
+        let e = CoreError::PoorUncovered {
+            poor: BoxId(5),
+            need: crate::capacity::Bandwidth::from_streams(1.2),
+        };
+        assert!(e.to_string().contains("b5"));
+
+        let e = CoreError::RelayNotRich {
+            poor: BoxId(1),
+            relay: BoxId(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("b1") && s.contains("b2"));
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use allocation::{
 pub use cache::PlaybackCache;
 pub use capacity::{Bandwidth, StorageSlots};
 pub use catalog::Catalog;
-pub use compensation::{check_storage_balance, compensate, CompensationPlan};
+pub use compensation::{
+    check_storage_balance, compensate, relay_reservation, CompensationDelta, CompensationPlan,
+};
 pub use error::CoreError;
 pub use hash::FxHasher64;
 pub use json::{Json, JsonCodec, JsonError};

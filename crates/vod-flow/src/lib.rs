@@ -18,10 +18,16 @@
 //! * [`matching`] — the connection-matching problem builder and solution
 //!   extraction;
 //! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
+//! * [`relay`] — heterogeneous `u*`-compensation as flow structure: the
+//!   two-hop [`RelayNetwork`] (open supplier matching + per-relay reserved
+//!   forwarding capacity) with obstruction witnesses naming starved
+//!   reservations;
 //! * [`shard`] — per-swarm sharding of a round's instance: pooled
-//!   partitioning, deterministic budget splitting (demand-proportional or
-//!   deficit water-filling), maximality-restoring reconciliation (rebuilding
-//!   or persistent-incremental), and shard-local obstruction extraction;
+//!   partitioning, deterministic budget splitting (demand-proportional,
+//!   deficit water-filling, or per-(shard, box) targeted), reserved-relay
+//!   lending across shards, maximality-restoring reconciliation
+//!   (rebuilding or persistent-incremental), and shard-local obstruction
+//!   extraction;
 //! * [`expander`] — sampled expansion estimation of allocation graphs.
 //!
 //! ## Solving a round
@@ -53,6 +59,7 @@ pub mod hall;
 pub mod hopcroft_karp;
 pub mod matching;
 pub mod push_relabel;
+pub mod relay;
 pub mod shard;
 pub mod solver;
 
@@ -64,5 +71,8 @@ pub use hall::{check_subset, find_obstruction, find_obstruction_in, verify_lemma
 pub use hopcroft_karp::{HopcroftKarp, HopcroftKarpSolve};
 pub use matching::{ConnectionMatching, ConnectionProblem};
 pub use push_relabel::PushRelabel;
-pub use shard::{ReconcileStats, ShardView, ShardedArena, SplitStats};
+pub use relay::{RelayMatching, RelayNetwork, RelayObstruction, RelayView, StarvedReservation};
+pub use shard::{
+    ReconcileStats, RelayLendStats, RelayShardView, ShardView, ShardedArena, SplitStats,
+};
 pub use solver::MaxFlowSolve;

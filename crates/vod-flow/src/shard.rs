@@ -123,6 +123,44 @@ pub struct SplitStats {
     pub iterations: usize,
 }
 
+/// Outcome of one relay-lending pass
+/// ([`ShardedArena::split_relay_reserved`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelayLendStats {
+    /// Distinct relays drawn on by this round's relayed requests.
+    pub relays: usize,
+    /// Relays demanded by more than one shard — the relay edges that
+    /// genuinely cross swarms, where lending matters.
+    pub contested_relays: usize,
+    /// Total forwarding demand (relayed requests this round).
+    pub forward_demand: usize,
+    /// Forwarding slots granted across all shards
+    /// (`Σ_a min(reserved_a, demand_a)` — reservations are never
+    /// oversubscribed).
+    pub granted: usize,
+    /// Granted slots serving a shard other than their relay's dominant one
+    /// (the shard granted the most) — forwarding capacity from single
+    /// reservations genuinely split across swarms.
+    pub lent: usize,
+    /// Forwarding demand no reservation could cover (`demand − granted`).
+    pub starved: usize,
+}
+
+/// Borrowed relay-lending view of one shard
+/// ([`ShardedArena::shard_relays`]): aligned per-relay forwarding demand
+/// and granted reserved slots.
+#[derive(Clone, Copy, Debug)]
+pub struct RelayShardView<'a> {
+    /// The shard key (the scheduler uses the video id of the swarm).
+    pub key: u64,
+    /// Global ids of the relays this shard's relayed requests draw on.
+    pub relays: &'a [u32],
+    /// Per-relay forwarding demand, aligned with `relays`.
+    pub demand: &'a [u32],
+    /// Per-relay granted forwarding slots, aligned with `relays`.
+    pub grant: &'a [u32],
+}
+
 /// Pooled bookkeeping for one shard (ranges into the flat pools).
 #[derive(Clone, Copy, Debug, Default)]
 struct ShardInfo {
@@ -197,6 +235,16 @@ pub struct ShardedArena {
     wf_share: Vec<u32>,
     wf_want: Vec<u64>,
     shard_demand: Vec<u64>,
+    slot_targets: Vec<u64>,
+    // Relay-lending pools (valid until the next `partition` call): per
+    // (shard, relay) forwarding demand and grant, plus per-shard ranges.
+    relay_box_pool: Vec<u32>,
+    relay_demand_pool: Vec<u32>,
+    relay_grant_pool: Vec<u32>,
+    relay_ranges: Vec<(u32, u32)>,
+    relay_stamp: Vec<u32>,
+    relay_slot: Vec<u32>,
+    relay_by_box: Vec<(u32, u32)>,
     // Reconciliation state shared by both flavours.
     global: FlowArena,
     source_edges: Vec<usize>,
@@ -369,10 +417,12 @@ impl ShardedArena {
     /// remain capacity-disjoint and the schedule stays a deterministic
     /// function of the partition, capacities, and deficits — independent of
     /// thread count.
+    ///
+    /// The per-shard scalar signal cannot express *where* a shard was
+    /// starved; callers tracking direct per-(shard, box) starvation should
+    /// use [`ShardedArena::split_budgets_targeted`], for which this method
+    /// is the demand-share-apportioning wrapper.
     pub fn split_budgets_waterfill(&mut self, capacities: &[u32], deficits: &[u64]) -> SplitStats {
-        let mut stats = SplitStats::default();
-        self.budget_pool.clear();
-        self.budget_pool.resize(self.box_pool.len(), 0);
         // Per-shard total demand, for apportioning each shard's deficit over
         // its boxes.
         self.shard_demand.clear();
@@ -383,6 +433,49 @@ impl ShardedArena {
                 .sum();
             self.shard_demand.push(total);
         }
+        // Apportion each shard's backlog over its boxes by demand share
+        // (ceil so a small backlog still claims a slot): a deficit of `f`
+        // claims about `f` extra slots across the shard's neighbourhood —
+        // not `f` per box, which would over-correct and oscillate.
+        let mut targets = std::mem::take(&mut self.slot_targets);
+        targets.clear();
+        for (slot, _) in self.box_pool.iter().enumerate() {
+            let demand = self.demand_pool[slot] as u64;
+            let shard = self.slot_shard[slot] as usize;
+            let deficit = deficits.get(shard).copied().unwrap_or(0);
+            let total = self.shard_demand[shard].max(1);
+            targets.push((deficit * demand).div_ceil(total));
+        }
+        let stats = self.split_budgets_targeted(capacities, &targets);
+        self.slot_targets = targets;
+        stats
+    }
+
+    /// Splits each box's upload budget across the shards demanding it,
+    /// water-filling on direct per-(shard, box) backlog targets.
+    ///
+    /// `slot_targets[i]` is the backlog target of pool slot `i` — the pool
+    /// is the concatenation, in shard order, of each shard's `boxes` view
+    /// (see [`ShardedArena::shard`]), so slot `i` names one (shard, box)
+    /// pair and callers with per-(shard, box) starvation history can feed
+    /// it directly instead of apportioning a per-shard scalar. Targets
+    /// above a slot's demand are clamped to the demand. An empty slice (or
+    /// all zeros) degrades bit-identically to
+    /// [`ShardedArena::split_budgets`].
+    ///
+    /// The two phases and tie-breaks are exactly those of
+    /// [`ShardedArena::split_budgets_waterfill`]: backlog water-filling
+    /// (largest remaining backlog first, lowest shard ordinal on ties),
+    /// then the demand-proportional remainder. Per-box grants always sum to
+    /// exactly `cap_b`.
+    pub fn split_budgets_targeted(
+        &mut self,
+        capacities: &[u32],
+        slot_targets: &[u64],
+    ) -> SplitStats {
+        let mut stats = SplitStats::default();
+        self.budget_pool.clear();
+        self.budget_pool.resize(self.box_pool.len(), 0);
         // Group the pool slots by box; within a group, slots ascend with the
         // shard ordinal (pool slots are appended in shard order).
         self.by_box.clear();
@@ -417,18 +510,14 @@ impl ShardedArena {
             self.wf_share.clear();
             self.wf_share.resize(group_len, 0);
             // Each shard's backlog target on this box, precomputed once per
-            // group (it is loop-invariant): its deficit apportioned by
-            // demand share (ceil so a small backlog still claims a slot),
+            // group (it is loop-invariant): the caller's slot target,
             // never above the demand itself.
             self.wf_want.clear();
             for off in 0..group_len {
                 let slot = self.by_box[i + off].1 as usize;
                 let demand = self.demand_pool[slot] as u64;
-                let shard = self.slot_shard[slot] as usize;
-                let deficit = deficits.get(shard).copied().unwrap_or(0);
-                let total = self.shard_demand[shard].max(1);
-                self.wf_want
-                    .push(demand.min((deficit * demand).div_ceil(total)));
+                let target = slot_targets.get(slot).copied().unwrap_or(0);
+                self.wf_want.push(demand.min(target));
             }
             let mut remaining = cap;
 
@@ -500,6 +589,162 @@ impl ShardedArena {
             i = j;
         }
         stats
+    }
+
+    /// Splits each relay's reserved forwarding capacity across the shards
+    /// whose relayed requests draw on it — the **relay-lending** step.
+    ///
+    /// Relay edges cross swarms: the poor boxes sharing one relay watch
+    /// different videos, so a relay's reservation is a per-*relay* budget
+    /// demanded by several shards at once, exactly like an open upload
+    /// budget. `relay_of[x]` names request `x`'s relay (`None` = direct)
+    /// and `reserved[b]` the forwarding slots reserved on box `b` (see
+    /// [`crate::relay::RelayView`]). Must be called after
+    /// [`ShardedArena::partition`] on the same request universe.
+    ///
+    /// Slots are granted shard-by-shard with the same deterministic
+    /// water-fill as the budget split (largest remaining forwarding demand
+    /// first, lowest shard ordinal on ties), so a shard with spare
+    /// entitlement automatically *lends* it to a starved shard and each
+    /// relay ends up forwarding exactly `min(reserved, demand)` units in
+    /// total — per-relay reservations are never oversubscribed, and the
+    /// grants are a pure function of the partition and inputs (thread-count
+    /// invariant). [`RelayLendStats::lent`] counts the granted slots that
+    /// serve a shard other than the relay's dominant one — capacity from
+    /// one reservation genuinely split across swarms.
+    ///
+    /// # Panics
+    /// Panics when `relay_of` disagrees in length with the partitioned
+    /// request universe or names a relay outside `reserved`.
+    pub fn split_relay_reserved(
+        &mut self,
+        reserved: &[u32],
+        relay_of: &[Option<BoxId>],
+    ) -> RelayLendStats {
+        assert_eq!(
+            relay_of.len(),
+            self.pairs.len(),
+            "one relay attribution per partitioned request"
+        );
+        let mut stats = RelayLendStats::default();
+        self.relay_box_pool.clear();
+        self.relay_demand_pool.clear();
+        self.relay_ranges.clear();
+        self.relay_stamp.clear();
+        self.relay_stamp.resize(reserved.len(), 0);
+        self.relay_slot.resize(reserved.len(), 0);
+
+        // Per-(shard, relay) forwarding demand, pooled like the box demand.
+        for (shard_no, info) in self.shards.iter().enumerate() {
+            let start = self.relay_box_pool.len() as u32;
+            for &x in &self.request_pool[info.req_start as usize..info.req_end as usize] {
+                let Some(relay) = relay_of[x as usize] else {
+                    continue;
+                };
+                let a = relay.index();
+                assert!(a < reserved.len(), "relay {relay} out of range");
+                if self.relay_stamp[a] == shard_no as u32 + 1 {
+                    self.relay_demand_pool[self.relay_slot[a] as usize] += 1;
+                } else {
+                    self.relay_stamp[a] = shard_no as u32 + 1;
+                    self.relay_slot[a] = self.relay_demand_pool.len() as u32;
+                    self.relay_box_pool.push(a as u32);
+                    self.relay_demand_pool.push(1);
+                }
+            }
+            self.relay_ranges
+                .push((start, self.relay_box_pool.len() as u32));
+        }
+        self.relay_grant_pool.clear();
+        self.relay_grant_pool.resize(self.relay_box_pool.len(), 0);
+
+        // Group the pool slots by relay; within a group, slots ascend with
+        // the shard ordinal (pool slots are appended in shard order).
+        self.relay_by_box.clear();
+        self.relay_by_box.extend(
+            self.relay_box_pool
+                .iter()
+                .enumerate()
+                .map(|(slot, &a)| (a, slot as u32)),
+        );
+        self.relay_by_box.sort_unstable();
+
+        let mut i = 0;
+        while i < self.relay_by_box.len() {
+            let a = self.relay_by_box[i].0;
+            let mut j = i + 1;
+            while j < self.relay_by_box.len() && self.relay_by_box[j].0 == a {
+                j += 1;
+            }
+            let cap = reserved[a as usize];
+            stats.relays += 1;
+            let total_demand: u64 = (i..j)
+                .map(|k| self.relay_demand_pool[self.relay_by_box[k].1 as usize] as u64)
+                .sum();
+            stats.forward_demand += total_demand as usize;
+            if j - i == 1 {
+                // Sole demanding shard: grant up to the whole reservation.
+                let slot = self.relay_by_box[i].1 as usize;
+                let grant = cap.min(self.relay_demand_pool[slot]);
+                self.relay_grant_pool[slot] = grant;
+                stats.granted += grant as usize;
+                i = j;
+                continue;
+            }
+            stats.contested_relays += 1;
+            // Water-fill: one slot at a time to the shard with the largest
+            // unmet forwarding demand, lowest ordinal (offset) on ties.
+            let mut remaining = cap;
+            while remaining > 0 {
+                let mut best: Option<(u32, usize)> = None;
+                for k in i..j {
+                    let slot = self.relay_by_box[k].1 as usize;
+                    let unmet = self.relay_demand_pool[slot] - self.relay_grant_pool[slot];
+                    if unmet > 0 && best.is_none_or(|(top, _)| unmet > top) {
+                        best = Some((unmet, slot));
+                    }
+                }
+                match best {
+                    Some((_, slot)) => {
+                        self.relay_grant_pool[slot] += 1;
+                        remaining -= 1;
+                        stats.granted += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Lending observability: granted slots that serve a shard
+            // other than the relay's dominant one (the shard granted the
+            // most; lowest ordinal on ties) — forwarding capacity from a
+            // single reservation genuinely split across swarms. A
+            // floor-based entitlement would instead count rounding
+            // remainders as "lent", inflating the metric.
+            let mut granted_here = 0u32;
+            let mut dominant = 0u32;
+            for k in i..j {
+                let grant = self.relay_grant_pool[self.relay_by_box[k].1 as usize];
+                granted_here += grant;
+                dominant = dominant.max(grant);
+            }
+            stats.lent += (granted_here - dominant) as usize;
+            i = j;
+        }
+        stats.starved = stats.forward_demand - stats.granted;
+        stats
+    }
+
+    /// Borrowed relay-lending view of shard `idx` (valid after
+    /// [`ShardedArena::split_relay_reserved`]): which relays this shard's
+    /// relayed requests draw on, with per-relay forwarding demand and
+    /// granted slots.
+    pub fn shard_relays(&self, idx: usize) -> RelayShardView<'_> {
+        let (start, end) = self.relay_ranges.get(idx).copied().unwrap_or((0, 0));
+        RelayShardView {
+            key: self.shards[idx].key,
+            relays: &self.relay_box_pool[start as usize..end as usize],
+            demand: &self.relay_demand_pool[start as usize..end as usize],
+            grant: &self.relay_grant_pool[start as usize..end as usize],
+        }
     }
 
     /// Reconciles a partial (per-shard) assignment into a globally maximum
@@ -1329,6 +1574,112 @@ mod tests {
         assert_eq!(sharded.shard(1).budget, &[2]);
         assert_eq!(stats.iterations, 2);
         assert_eq!(stats.contested_boxes, 1);
+    }
+
+    #[test]
+    fn targeted_split_reaches_the_named_box() {
+        let mut sharded = ShardedArena::new();
+        // Two boxes (capacity 2 each), both demanded by both shards with
+        // equal demand. A per-shard scalar deficit cannot say *where* shard
+        // 1 was starved; a targeted slot backlog can: shard 1's backlog is
+        // on box 1 only, so the water-fill tops it up there and leaves box
+        // 0 to the proportional split.
+        let shard_of = vec![4u64, 4, 9, 9];
+        let cands = vec![
+            vec![b(0), b(1)],
+            vec![b(0), b(1)],
+            vec![b(0), b(1)],
+            vec![b(0), b(1)],
+        ];
+        sharded.partition(&shard_of, &cands, 2);
+        let caps = vec![2u32, 2];
+        // Pool slot layout: shard 0 → (b0, b1), shard 1 → (b0, b1).
+        let stats = sharded.split_budgets_targeted(&caps, &[0, 0, 0, 2]);
+        assert_eq!(sharded.shard(1).budget, &[1, 2]);
+        assert_eq!(sharded.shard(0).budget, &[1, 0]);
+        assert_eq!(stats.iterations, 2);
+        // Capacity is still partitioned exactly.
+        for (bx, &cap) in caps.iter().enumerate() {
+            let granted: u32 = (0..2)
+                .map(|s| {
+                    let view = sharded.shard(s);
+                    view.boxes
+                        .iter()
+                        .zip(view.budget)
+                        .filter(|(&bb, _)| bb as usize == bx)
+                        .map(|(_, &g)| g)
+                        .sum::<u32>()
+                })
+                .sum();
+            assert_eq!(granted, cap, "box {bx}");
+        }
+    }
+
+    #[test]
+    fn relay_lending_crosses_shards_without_oversubscription() {
+        let mut sharded = ShardedArena::new();
+        // Relay 0 reserves 3 forwarding slots; shard 0 has one relayed
+        // request, shard 1 has three. A per-shard-proportional split of the
+        // reservation would strand a slot on shard 0; the lending step
+        // moves it to shard 1.
+        let shard_of = vec![4u64, 9, 9, 9];
+        let cands = vec![vec![b(1)]; 4];
+        sharded.partition(&shard_of, &cands, 2);
+        let relay_of = vec![Some(b(0)); 4];
+        let reserved = vec![3u32, 0];
+        let stats = sharded.split_relay_reserved(&reserved, &relay_of);
+        assert_eq!(stats.relays, 1);
+        assert_eq!(stats.contested_relays, 1);
+        assert_eq!(stats.forward_demand, 4);
+        assert_eq!(stats.granted, 3, "min(reserved, demand)");
+        assert_eq!(stats.starved, 1);
+        let s0 = sharded.shard_relays(0);
+        let s1 = sharded.shard_relays(1);
+        assert_eq!((s0.relays, s0.demand), (&[0u32][..], &[1u32][..]));
+        assert_eq!((s1.relays, s1.demand), (&[0u32][..], &[3u32][..]));
+        // Water-fill hands all three slots to the largest unmet demand
+        // first: shard 1 gets 2 (down to parity), then the tie at 1 breaks
+        // to the lowest ordinal (shard 0).
+        assert_eq!(s0.grant, &[1]);
+        assert_eq!(s1.grant, &[2]);
+        // No relay oversubscribed: grants sum to at most the reservation.
+        assert!(s0.grant[0] + s1.grant[0] <= reserved[0]);
+        // Shard 1 is the relay's dominant shard (2 of the 3 granted
+        // slots); the remaining grant serves shard 0 — one forwarding slot
+        // of the single reservation crossed the swarm boundary.
+        assert_eq!(stats.lent, 1);
+    }
+
+    #[test]
+    fn relay_lending_is_deterministic_and_shard_scoped() {
+        let run = || {
+            let mut sharded = ShardedArena::new();
+            let shard_of = vec![1u64, 2, 3, 1, 2];
+            let cands = vec![vec![b(0)]; 5];
+            sharded.partition(&shard_of, &cands, 3);
+            let relay_of = vec![Some(b(1)), Some(b(2)), Some(b(1)), None, Some(b(1))];
+            let reserved = vec![0u32, 2, 1];
+            let stats = sharded.split_relay_reserved(&reserved, &relay_of);
+            let grants: Vec<Vec<u32>> = (0..sharded.shard_count())
+                .map(|s| sharded.shard_relays(s).grant.to_vec())
+                .collect();
+            (stats, grants)
+        };
+        let (stats, grants) = run();
+        assert_eq!(run(), (stats, grants.clone()));
+        // Relay 1 (reserved 2) is demanded by all three shards at demand 1
+        // each: the demand-1 tie breaks to the lowest ordinals, so shards 0
+        // and 1 get its two slots and shard 2 starves. Relay 2 (reserved 1)
+        // covers shard 1's other request.
+        assert_eq!(stats.relays, 2);
+        assert_eq!(stats.contested_relays, 1);
+        assert_eq!(stats.forward_demand, 4);
+        assert_eq!(stats.granted, 3);
+        assert_eq!(stats.starved, 1);
+        assert_eq!(grants[0], vec![1]);
+        // Shard 1's relays in first-appearance order: relay 2, then relay 1.
+        assert_eq!(grants[1], vec![1, 1]);
+        assert_eq!(grants[2], vec![0]);
     }
 
     #[test]

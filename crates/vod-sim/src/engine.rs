@@ -23,11 +23,11 @@ use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationRepo
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
 };
-use crate::scheduler::{MaxFlowScheduler, RequestKey, Scheduler, ShardedMatcher};
+use crate::scheduler::{MaxFlowScheduler, RelayBroker, RequestKey, Scheduler, ShardedMatcher};
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
 use vod_core::{BoxId, PlaybackCache, StripeId, VideoId, VideoSystem};
-use vod_flow::{find_obstruction_in, ConnectionProblem, Dinic, FlowArena};
+use vod_flow::{find_obstruction_in, ConnectionProblem, Dinic, FlowArena, RelayView};
 use vod_workloads::{DemandGenerator, OccupancyView, VideoDemand};
 
 /// What to do when a round cannot serve every active request.
@@ -111,11 +111,18 @@ pub struct Simulator<'a> {
     report: SimulationReport,
     /// Per-box upload capacities (static for the system's lifetime).
     capacities: Vec<u32>,
+    /// The relay subsystem, when the system carries a compensation plan:
+    /// owns the live reservation table, per-relay utilization counters,
+    /// and the two-hop witness network.
+    relay_broker: Option<RelayBroker>,
     /// Reused per-round buffers: request keys, candidate sets, assignment,
-    /// and the demand batch pulled from the generator.
+    /// relay attributions and per-relay forwarding loads, and the demand
+    /// batch pulled from the generator.
     sched_keys: Vec<RequestKey>,
     sched_cands: Vec<Vec<BoxId>>,
     assignment: Vec<Option<BoxId>>,
+    relay_of: Vec<Option<BoxId>>,
+    relay_loads: Vec<u32>,
     demand_buf: Vec<VideoDemand>,
     /// Scratch for obstruction extraction on failing rounds.
     obstruction_arena: FlowArena,
@@ -138,6 +145,11 @@ impl<'a> Simulator<'a> {
         let capacities = (0..n as u32)
             .map(|i| system.upload_slots(BoxId(i)))
             .collect();
+        // Heterogeneous systems get the relay subsystem: the broker mirrors
+        // the system's compensation plan and manages it as live structure.
+        let relay_broker = system
+            .compensation()
+            .map(|plan| RelayBroker::from_plan(plan.clone(), system.boxes(), system.c()));
         Simulator {
             system,
             config,
@@ -150,9 +162,12 @@ impl<'a> Simulator<'a> {
             stalls: vec![0; n],
             report: SimulationReport::default(),
             capacities,
+            relay_broker,
             sched_keys: Vec::new(),
             sched_cands: Vec::new(),
             assignment: Vec::new(),
+            relay_of: Vec::new(),
+            relay_loads: Vec::new(),
             demand_buf: Vec::new(),
             obstruction_arena: FlowArena::new(),
             obstruction_solver: Dinic::new(),
@@ -194,8 +209,12 @@ impl<'a> Simulator<'a> {
         self.finish()
     }
 
-    /// Finalizes the report: flushes in-flight playbacks.
+    /// Finalizes the report: flushes in-flight playbacks and the relay
+    /// utilization profile.
     fn finish(mut self) -> SimulationReport {
+        if let Some(broker) = &self.relay_broker {
+            self.report.relays = broker.utilization();
+        }
         for (idx, slot) in self.playing.iter().enumerate() {
             if let Some(st) = slot {
                 self.report.playbacks.push(PlaybackRecord {
@@ -403,18 +422,62 @@ impl<'a> Simulator<'a> {
             stripe: r.stripe,
         }));
 
+        // Relay attribution: a request downloaded by a box other than its
+        // viewer is a poor box's stripe being fetched by its relay — the
+        // relay's reservation forwards it every active round.
+        self.relay_of.clear();
+        if self.relay_broker.is_some() {
+            self.relay_of.extend(
+                requests
+                    .iter()
+                    .map(|r| (r.requester != r.viewer).then_some(r.requester)),
+            );
+        }
+
         let mut assignment = std::mem::take(&mut self.assignment);
-        self.scheduler.schedule_keyed(
-            &self.capacities,
-            &self.sched_keys,
-            &candidates,
-            &mut assignment,
-        );
+        match &self.relay_broker {
+            Some(broker) => self.scheduler.schedule_relayed(
+                &self.capacities,
+                &self.sched_keys,
+                &candidates,
+                &RelayView {
+                    relay_of: &self.relay_of,
+                    reserved: broker.reserved_slots(),
+                },
+                &mut assignment,
+            ),
+            None => self.scheduler.schedule_keyed(
+                &self.capacities,
+                &self.sched_keys,
+                &candidates,
+                &mut assignment,
+            ),
+        }
         debug_assert!(crate::scheduler::assignment_is_valid(
             &assignment,
             &self.capacities,
             &candidates
         ));
+
+        // Fold this round's forwarding demand into the relay subsystem's
+        // utilization counters, merging the sharded scheduler's cross-swarm
+        // lending observability when it ran.
+        let relay_metrics = match &mut self.relay_broker {
+            Some(broker) => {
+                self.relay_loads.clear();
+                self.relay_loads.resize(self.capacities.len(), 0);
+                for relay in self.relay_of.iter().flatten() {
+                    self.relay_loads[relay.index()] += 1;
+                }
+                let mut stats = broker.note_round(&self.relay_loads);
+                if let Some(lend) = self.scheduler.relay_stats() {
+                    stats.contested_relays = lend.contested_relays;
+                    stats.lent = lend.lent;
+                }
+                Some(stats)
+            }
+            None => None,
+        };
 
         let mut served = 0usize;
         let mut served_from_allocation = 0usize;
@@ -449,29 +512,63 @@ impl<'a> Simulator<'a> {
             self.stalls[viewer.index()] += 1;
         }
 
+        // A round fails iff a *download* leg goes unserved — the quantity
+        // the paper's Lemma-1 feasibility (and every scheduler, sharded or
+        // global) decides. Forwarding starvation on reserved relay
+        // capacity does not fail the round: the reservation is the model's
+        // statically-provisioned resource (Theorem 2 sizes it for the
+        // worst case), so demand exceeding it is a model-assumption
+        // violation reported through `RelayRoundStats::starved` and
+        // `RelayUtilization::oversubscribed_rounds` each round, and named
+        // per relay in `FailureRecord::starved_relays` whenever a failing
+        // round is diagnosed below.
         let feasible = unserved == 0;
         if !feasible {
-            let (obstruction_size, obstruction_capacity) = if self.config.collect_obstructions {
-                let mut problem = ConnectionProblem::new(self.capacities.clone());
-                for cand in &candidates {
-                    problem.add_request(cand.iter().copied());
-                }
-                match find_obstruction_in(
-                    &problem,
-                    &mut self.obstruction_arena,
-                    &mut self.obstruction_solver,
-                ) {
-                    Some(ob) => (Some(ob.requests.len()), Some(ob.capacity)),
-                    None => (None, None),
+            let (obstruction_size, obstruction_capacity, starved_relays) = if self
+                .config
+                .collect_obstructions
+            {
+                match &mut self.relay_broker {
+                    // Heterogeneous rounds diagnose through the two-hop
+                    // relay network: same supply-side Hall violator,
+                    // plus the starved reservations by name.
+                    Some(broker) => {
+                        match broker.diagnose(&self.capacities, &candidates, &self.relay_of) {
+                            Some(witness) => {
+                                let supply = !witness.requests.is_empty();
+                                (
+                                    supply.then_some(witness.requests.len()),
+                                    supply.then_some(witness.capacity),
+                                    witness.starved.iter().map(|s| s.relay).collect(),
+                                )
+                            }
+                            None => (None, None, Vec::new()),
+                        }
+                    }
+                    None => {
+                        let mut problem = ConnectionProblem::new(self.capacities.clone());
+                        for cand in &candidates {
+                            problem.add_request(cand.iter().copied());
+                        }
+                        match find_obstruction_in(
+                            &problem,
+                            &mut self.obstruction_arena,
+                            &mut self.obstruction_solver,
+                        ) {
+                            Some(ob) => (Some(ob.requests.len()), Some(ob.capacity), Vec::new()),
+                            None => (None, None, Vec::new()),
+                        }
+                    }
                 }
             } else {
-                (None, None)
+                (None, None, Vec::new())
             };
             self.report.failures.push(FailureRecord {
                 round: now,
                 unserved,
                 obstruction_size,
                 obstruction_capacity,
+                starved_relays,
                 videos: failed_videos,
             });
         }
@@ -491,6 +588,7 @@ impl<'a> Simulator<'a> {
             // Sharding schedulers expose per-round shard observability
             // (shard counts, split water-filling, reconciliation work).
             shard: self.scheduler.shard_stats(),
+            relay: relay_metrics,
         };
         // Return the reused buffers for the next round.
         self.sched_cands = candidates;

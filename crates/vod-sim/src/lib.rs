@@ -13,7 +13,10 @@
 //! * [`swarm`] — per-video swarm tracking and preload-stripe rotation;
 //! * [`scheduler`] — max-flow, greedy, random, incremental, and per-swarm
 //!   sharded schedulers (parallel shard solves, deficit water-filling
-//!   budget splits, persistent incremental reconciliation);
+//!   budget splits, persistent incremental reconciliation), plus the
+//!   relay subsystem's [`RelayBroker`] (live `u*`-compensation:
+//!   reservation re-planning under churn, per-relay utilization, starved
+//!   reservation witnesses);
 //! * [`engine`] — the simulator itself;
 //! * [`metrics`] — per-round and aggregate measurements;
 //! * [`churn`] — failure injection (box departures) and allocation repair.
@@ -34,6 +37,7 @@ pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport}
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
 pub use scheduler::{
     GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy,
-    RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SplitPolicy,
+    RelayBroker, RelayEvent, RelayRoundStats, RelayUtilization, RequestKey, Scheduler,
+    ShardRoundStats, ShardedMatcher, SplitPolicy,
 };
 pub use swarm::{Swarm, SwarmTracker};

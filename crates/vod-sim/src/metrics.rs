@@ -5,7 +5,7 @@
 //! utilization, sourcing vs swarming split, start-up delays, and the
 //! obstructions witnessing infeasible rounds.
 
-use crate::scheduler::ShardRoundStats;
+use crate::scheduler::{RelayRoundStats, RelayUtilization, ShardRoundStats};
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
 
@@ -41,6 +41,10 @@ pub struct RoundMetrics {
     /// water-filling, reconciliation work), when the round was scheduled by
     /// a sharding scheduler; `None` otherwise.
     pub shard: Option<ShardRoundStats>,
+    /// Relay-subsystem observability (forwarding demand vs reserved
+    /// capacity, saturation, cross-shard lending), when the system is
+    /// heterogeneous with a compensation plan; `None` otherwise.
+    pub relay: Option<RelayRoundStats>,
 }
 
 impl JsonCodec for RoundMetrics {
@@ -64,6 +68,7 @@ impl JsonCodec for RoundMetrics {
             ("viewers", self.viewers.to_json()),
             ("max_swarm", self.max_swarm.to_json()),
             ("shard", self.shard.to_json()),
+            ("relay", self.relay.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -81,6 +86,11 @@ impl JsonCodec for RoundMetrics {
             max_swarm: usize::from_json(json.field("max_swarm")?)?,
             // Absent in reports serialized before the shard field existed.
             shard: match json.field("shard") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before the relay subsystem.
+            relay: match json.field("relay") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },
@@ -121,6 +131,10 @@ pub struct FailureRecord {
     /// Upload capacity (stripe connections) of the obstruction's
     /// neighbourhood.
     pub obstruction_capacity: Option<u64>,
+    /// Relays whose forwarding reservation was starved this round, when
+    /// the obstruction was extracted through the relay subsystem's two-hop
+    /// network (heterogeneous systems only; empty otherwise).
+    pub starved_relays: Vec<BoxId>,
     /// Videos implicated in the unserved requests.
     pub videos: Vec<VideoId>,
 }
@@ -132,6 +146,7 @@ impl JsonCodec for FailureRecord {
             ("unserved", self.unserved.to_json()),
             ("obstruction_size", self.obstruction_size.to_json()),
             ("obstruction_capacity", self.obstruction_capacity.to_json()),
+            ("starved_relays", self.starved_relays.to_json()),
             ("videos", self.videos.to_json()),
         ])
     }
@@ -141,6 +156,11 @@ impl JsonCodec for FailureRecord {
             unserved: usize::from_json(json.field("unserved")?)?,
             obstruction_size: Option::from_json(json.field("obstruction_size")?)?,
             obstruction_capacity: Option::from_json(json.field("obstruction_capacity")?)?,
+            // Absent in reports serialized before the relay subsystem.
+            starved_relays: match json.field("starved_relays") {
+                Ok(value) => Vec::from_json(value)?,
+                Err(_) => Vec::new(),
+            },
             videos: Vec::from_json(json.field("videos")?)?,
         })
     }
@@ -197,6 +217,9 @@ pub struct SimulationReport {
     pub rejected_demands: usize,
     /// True when the run was aborted on the first infeasible round.
     pub aborted: bool,
+    /// Cumulative per-relay utilization of the reserved forwarding
+    /// capacity (heterogeneous systems only; empty otherwise).
+    pub relays: Vec<RelayUtilization>,
 }
 
 impl JsonCodec for SimulationReport {
@@ -208,6 +231,7 @@ impl JsonCodec for SimulationReport {
             ("total_demands", self.total_demands.to_json()),
             ("rejected_demands", self.rejected_demands.to_json()),
             ("aborted", self.aborted.to_json()),
+            ("relays", self.relays.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -218,6 +242,11 @@ impl JsonCodec for SimulationReport {
             total_demands: usize::from_json(json.field("total_demands")?)?,
             rejected_demands: usize::from_json(json.field("rejected_demands")?)?,
             aborted: bool::from_json(json.field("aborted")?)?,
+            // Absent in reports serialized before the relay subsystem.
+            relays: match json.field("relays") {
+                Ok(value) => Vec::from_json(value)?,
+                Err(_) => Vec::new(),
+            },
         })
     }
 }
@@ -315,6 +344,26 @@ impl SimulationReport {
             .unwrap_or(0)
     }
 
+    /// Total forwarding units served from reserved relay capacity over the
+    /// run (0 for homogeneous runs — no relays).
+    pub fn total_forwarded(&self) -> u64 {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.relay.as_ref())
+            .map(|r| r.forwarded as u64)
+            .sum()
+    }
+
+    /// Total forwarding demand the static reservations could not cover
+    /// over the run.
+    pub fn total_forward_starved(&self) -> u64 {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.relay.as_ref())
+            .map(|r| r.starved as u64)
+            .sum()
+    }
+
     /// Fraction of playbacks that never stalled.
     pub fn smooth_playback_ratio(&self) -> f64 {
         if self.playbacks.is_empty() {
@@ -361,6 +410,7 @@ mod tests {
                 unserved: 2,
                 obstruction_size: Some(3),
                 obstruction_capacity: Some(1),
+                starved_relays: Vec::new(),
                 videos: vec![VideoId(0)],
             }],
             playbacks: vec![
@@ -382,6 +432,7 @@ mod tests {
             total_demands: 2,
             rejected_demands: 1,
             aborted: false,
+            relays: Vec::new(),
         };
         assert_eq!(report.round_count(), 2);
         assert!(!report.all_rounds_feasible());

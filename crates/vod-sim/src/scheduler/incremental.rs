@@ -708,6 +708,32 @@ impl IncrementalMatcher {
     }
 }
 
+/// The incremental matcher plugs into the engine as a
+/// [`Scheduler`](crate::scheduler::Scheduler): keyed rounds patch the
+/// persistent instance, unkeyed rounds fall back to the cold one-shot
+/// solve.
+impl crate::scheduler::Scheduler for IncrementalMatcher {
+    fn schedule(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>]) -> Vec<Option<BoxId>> {
+        let mut out = Vec::new();
+        self.schedule_cold(capacities, candidates, &mut out);
+        out
+    }
+
+    fn schedule_keyed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        IncrementalMatcher::schedule_keyed(self, capacities, keys, candidates, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+}
+
 impl std::fmt::Debug for IncrementalMatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IncrementalMatcher")

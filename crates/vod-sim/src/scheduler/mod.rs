@@ -11,15 +11,18 @@ mod greedy;
 pub mod incremental;
 mod maxflow;
 mod random_pick;
+pub mod relay_broker;
 pub mod sharded;
 
 pub use greedy::GreedyScheduler;
 pub use incremental::{IncrementalMatcher, RequestKey};
 pub use maxflow::MaxFlowScheduler;
 pub use random_pick::RandomScheduler;
+pub use relay_broker::{RelayBroker, RelayEvent, RelayRoundStats, RelayUtilization};
 pub use sharded::{ReconcilePolicy, ShardRoundStats, ShardedMatcher, SplitPolicy};
 
 use vod_core::BoxId;
+use vod_flow::{RelayLendStats, RelayView};
 
 /// A per-round connection scheduler.
 ///
@@ -66,11 +69,41 @@ pub trait Scheduler {
         out.extend(self.schedule(capacities, candidates));
     }
 
+    /// Relay-aware variant used for heterogeneous systems: `relays` names
+    /// each request's forwarding relay and the per-box reserved forwarding
+    /// slots. Relay structure never changes *which* requests find suppliers
+    /// (forwarding draws on reserved capacity, disjoint from the open
+    /// budgets the matching allocates), so the default implementation
+    /// ignores it and delegates to [`Scheduler::schedule_keyed`] — the
+    /// global matchers stay relay-blind and still produce the right
+    /// schedule. Relay-aware schedulers (the [`ShardedMatcher`]) override
+    /// this to additionally account reserved capacity across shards and
+    /// expose it through [`Scheduler::relay_stats`].
+    fn schedule_relayed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        relays: &RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        let _ = relays;
+        self.schedule_keyed(capacities, keys, candidates, out);
+    }
+
     /// Per-round shard observability, for schedulers that shard the round's
     /// instance (see [`ShardRoundStats`]). The engine threads this into
     /// [`crate::metrics::RoundMetrics::shard`]; non-sharded schedulers
     /// return `None` (the default).
     fn shard_stats(&self) -> Option<ShardRoundStats> {
+        None
+    }
+
+    /// Per-round relay-lending observability, for relay-aware schedulers
+    /// (see [`vod_flow::RelayLendStats`]). The engine merges this into
+    /// [`crate::metrics::RoundMetrics::relay`]; relay-blind schedulers
+    /// return `None` (the default).
+    fn relay_stats(&self) -> Option<RelayLendStats> {
         None
     }
 

@@ -46,7 +46,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::BoxId;
-use vod_flow::{ReconcileStats, ShardedArena, SplitStats};
+use vod_flow::{ReconcileStats, RelayLendStats, RelayView, ShardedArena, SplitStats};
 
 /// How each box's upload budget is divided across the swarms demanding it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -176,10 +176,16 @@ struct ShardState {
     out: Vec<Option<BoxId>>,
     /// Round stamp of the last round that scheduled this shard.
     last_used: u64,
-    /// Decayed unserved backlog: halves every scheduled round, plus the
-    /// requests the budget split starved this round. Drives the
-    /// water-filling split of the *next* round.
+    /// Decayed unserved backlog aggregate: halves every scheduled round,
+    /// plus the requests the budget split starved this round
+    /// (observability; the split itself is driven by `box_deficit`).
     deficit: u64,
+    /// Decayed per-box starvation history, indexed by shard-local box id
+    /// (stable across rounds): halves every scheduled round, plus one per
+    /// starved request per candidate box — recording *where* the split
+    /// came up short. Drives the targeted water-filling split of the
+    /// *next* round.
+    box_deficit: Vec<u64>,
 }
 
 impl ShardState {
@@ -194,6 +200,7 @@ impl ShardState {
             out: Vec::new(),
             last_used: 0,
             deficit: 0,
+            box_deficit: Vec::new(),
         }
     }
 }
@@ -236,13 +243,16 @@ pub struct ShardedMatcher {
     arena: ShardedArena,
     states: HashMap<u64, ShardState, BuildHasherDefault<KeyHasher>>,
     /// Round scratch (reused): shard keys per request, per-shard deficit
-    /// snapshot, packed reconcile keys, work items.
+    /// snapshot, per-(shard, box) split targets, packed reconcile keys,
+    /// work items.
     shard_keys: Vec<u64>,
     deficits: Vec<u64>,
+    slot_targets: Vec<u64>,
     packed_keys: Vec<u128>,
     work: Vec<ShardWork>,
     round: u64,
     last_stats: ShardRoundStats,
+    last_relay: Option<RelayLendStats>,
     rounds: u64,
     reconcile_rounds: u64,
     reconcile_nanos: u64,
@@ -276,10 +286,12 @@ impl ShardedMatcher {
             states: HashMap::default(),
             shard_keys: Vec::new(),
             deficits: Vec::new(),
+            slot_targets: Vec::new(),
             packed_keys: Vec::new(),
             work: Vec::new(),
             round: 0,
             last_stats: ShardRoundStats::default(),
+            last_relay: None,
             rounds: 0,
             reconcile_rounds: 0,
             reconcile_nanos: 0,
@@ -452,6 +464,7 @@ impl Scheduler for ShardedMatcher {
         // whole round as a single cold reconciliation (still a global
         // maximum matching).
         let mut out = vec![None; candidates.len()];
+        self.last_relay = None;
         let start = Instant::now();
         let stats = self.arena.reconcile(capacities, candidates, &mut out);
         self.reconcile_rounds += 1;
@@ -481,36 +494,100 @@ impl Scheduler for ShardedMatcher {
         candidates: &[Vec<BoxId>],
         out: &mut Vec<Option<BoxId>>,
     ) {
+        self.schedule_inner(capacities, keys, candidates, None, out);
+    }
+
+    fn schedule_relayed(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        relays: &RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        self.schedule_inner(capacities, keys, candidates, Some(relays), out);
+    }
+
+    fn shard_stats(&self) -> Option<ShardRoundStats> {
+        Some(self.last_stats)
+    }
+
+    fn relay_stats(&self) -> Option<RelayLendStats> {
+        self.last_relay
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+impl ShardedMatcher {
+    /// The shared scheduling pipeline behind [`Scheduler::schedule_keyed`]
+    /// and [`Scheduler::schedule_relayed`]: the relay view only adds the
+    /// reserved-capacity lending pass (pure accounting over the partition),
+    /// so the produced schedule is identical with and without it — and
+    /// therefore identical to the global incremental matcher's.
+    fn schedule_inner(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: &[Vec<BoxId>],
+        relays: Option<&RelayView>,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
         debug_assert_eq!(keys.len(), candidates.len());
         self.round += 1;
         self.rounds += 1;
 
-        // 1. Partition by swarm (video id).
+        // 1. Partition by swarm (video id), then split each relay's
+        // reserved forwarding capacity across the shards drawing on it
+        // (relay edges cross swarms; see `ShardedArena::split_relay_reserved`).
         self.shard_keys.clear();
         self.shard_keys
             .extend(keys.iter().map(|k| k.stripe.video.0 as u64));
         let shard_count = self
             .arena
             .partition(&self.shard_keys, candidates, capacities.len());
+        self.last_relay = relays.map(|view| {
+            self.arena
+                .split_relay_reserved(view.reserved, view.relay_of)
+        });
 
-        // 2. Snapshot each shard's decayed deficit (ordinal order) and split
-        // the upload budgets. DemandProportional is water-filling with an
-        // empty history — bit-identical to the PR 2 split.
+        // 2. Snapshot each shard's decayed deficits (ordinal order) and
+        // split the upload budgets. WaterFill feeds the direct per-(shard,
+        // box) starvation history into the targeted split — the per-shard
+        // scalar stays as an observability aggregate; DemandProportional
+        // is the targeted split with an empty history, bit-identical to
+        // the PR 2 split.
         self.deficits.clear();
+        self.slot_targets.clear();
         let mut deficit_total = 0u64;
         let mut deficit_max = 0u64;
         for shard_idx in 0..shard_count {
-            let key = self.arena.shard(shard_idx).key;
-            let deficit = self.states.get(&key).map_or(0, |s| s.deficit);
+            let view = self.arena.shard(shard_idx);
+            let state = self.states.get(&view.key);
+            let deficit = state.map_or(0, |s| s.deficit);
             deficit_total += deficit;
             deficit_max = deficit_max.max(deficit);
             self.deficits.push(deficit);
+            if self.split_policy == SplitPolicy::WaterFill {
+                for b in view.boxes {
+                    let target = state.map_or(0, |s| {
+                        s.local_of
+                            .get(b)
+                            .and_then(|&local| s.box_deficit.get(local as usize))
+                            .copied()
+                            .unwrap_or(0)
+                    });
+                    self.slot_targets.push(target);
+                }
+            }
         }
         let split_stats: SplitStats = match self.split_policy {
             SplitPolicy::WaterFill => self
                 .arena
-                .split_budgets_waterfill(capacities, &self.deficits),
-            SplitPolicy::DemandProportional => self.arena.split_budgets_waterfill(capacities, &[]),
+                .split_budgets_targeted(capacities, &self.slot_targets),
+            SplitPolicy::DemandProportional => self.arena.split_budgets_targeted(capacities, &[]),
         };
 
         // 3. Check out each active shard's persistent state.
@@ -554,22 +631,37 @@ impl Scheduler for ShardedMatcher {
         }
 
         // 5. Gather the tentative assignment, update each shard's decayed
-        // deficit with what the split starved this round, and return states
-        // to the pool.
+        // starvation history — the scalar aggregate and, per starved
+        // request, one count on each candidate box (recording *where* the
+        // split came up short) — and return states to the pool.
         out.clear();
         out.resize(keys.len(), None);
         let mut shard_unserved = 0usize;
         for work in self.work.drain(..) {
             let view = arena.shard(work.shard_idx);
+            let mut state = work.state;
+            state
+                .box_deficit
+                .resize(state.global_of.len().max(state.box_deficit.len()), 0);
+            for slot in state.box_deficit.iter_mut() {
+                *slot /= 2;
+            }
             let mut unserved = 0u64;
-            for (&x, assigned) in view.requests.iter().zip(&work.state.out) {
-                match assigned {
-                    Some(local) => out[x as usize] = Some(work.state.global_of[local.index()]),
-                    None => unserved += 1,
+            for (i, &x) in view.requests.iter().enumerate() {
+                match state.out[i] {
+                    Some(local) => out[x as usize] = Some(state.global_of[local.index()]),
+                    None => {
+                        unserved += 1;
+                        // The starved request's candidates (already in the
+                        // shard-local universe) are where more budget was
+                        // needed.
+                        for cand in &state.cands[i] {
+                            state.box_deficit[cand.index()] += 1;
+                        }
+                    }
                 }
             }
             shard_unserved += unserved as usize;
-            let mut state = work.state;
             state.deficit = state.deficit / 2 + unserved;
             self.states.insert(view.key, state);
         }
@@ -633,14 +725,6 @@ impl Scheduler for ShardedMatcher {
         debug_assert!(crate::scheduler::assignment_is_valid(
             out, capacities, candidates
         ));
-    }
-
-    fn shard_stats(&self) -> Option<ShardRoundStats> {
-        Some(self.last_stats)
-    }
-
-    fn name(&self) -> &'static str {
-        "sharded"
     }
 }
 

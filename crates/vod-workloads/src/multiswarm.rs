@@ -12,7 +12,12 @@
 //!   hot set each round (each admission still honours the `µ` growth bound);
 //! * `rotation_period` — every that-many rounds the hot window slides by one
 //!   video, so shards are born and die continuously (`0` keeps the hot set
-//!   static).
+//!   static);
+//! * `priority_boxes` — boxes admitted ahead of the shuffled remainder
+//!   each round. Pointing this at a heterogeneous fleet's *poor* boxes
+//!   keeps them watching across the whole hot window, so their relayed
+//!   requests spread over many swarms at once — the stress shape for
+//!   relay reservations crossing swarm shards.
 //!
 //! All randomness comes from the seed, so the demand sequence is a pure
 //! function of `(knobs, seed, occupancy history)`.
@@ -32,8 +37,11 @@ pub struct MultiSwarmChurn {
     rotation_period: u64,
     limiter: SwarmGrowthLimiter,
     rng: StdRng,
+    /// Boxes admitted first each round (sorted; empty = no priority).
+    priority: Vec<BoxId>,
     /// Pooled free-box scratch, reused across rounds.
     free_buf: Vec<BoxId>,
+    prio_buf: Vec<BoxId>,
 }
 
 impl MultiSwarmChurn {
@@ -59,7 +67,9 @@ impl MultiSwarmChurn {
             rotation_period: 0,
             limiter: SwarmGrowthLimiter::new(catalog_size, mu),
             rng: StdRng::seed_from_u64(seed),
+            priority: Vec::new(),
             free_buf: Vec::new(),
+            prio_buf: Vec::new(),
         }
     }
 
@@ -67,6 +77,18 @@ impl MultiSwarmChurn {
     /// disables rotation), churning shard membership.
     pub fn with_rotation(mut self, period: u64) -> Self {
         self.rotation_period = period;
+        self
+    }
+
+    /// Admits the given boxes ahead of the shuffled remainder each round
+    /// (in ascending box id). With a heterogeneous fleet's poor boxes here,
+    /// every hot swarm carries relayed requests — the relay-subsystem
+    /// stress shape. An empty list leaves the demand sequence bit-identical
+    /// to the un-prioritized generator.
+    pub fn with_priority_boxes(mut self, mut boxes: Vec<BoxId>) -> Self {
+        boxes.sort();
+        boxes.dedup();
+        self.priority = boxes;
         self
     }
 
@@ -110,6 +132,23 @@ impl DemandGenerator for MultiSwarmChurn {
                 .filter(|&b| occupancy.is_free(b)),
         );
         self.free_buf.shuffle(&mut self.rng);
+        if !self.priority.is_empty() {
+            // Stable partition: free priority boxes first (ascending id —
+            // they were collected in id order), the shuffled rest after.
+            self.prio_buf.clear();
+            self.prio_buf.extend(
+                self.priority
+                    .iter()
+                    .copied()
+                    .filter(|&b| occupancy.is_free(b)),
+            );
+            self.free_buf
+                .retain(|b| self.priority.binary_search(b).is_err());
+            std::mem::swap(&mut self.free_buf, &mut self.prio_buf);
+            let rest = std::mem::take(&mut self.prio_buf);
+            self.free_buf.extend_from_slice(&rest);
+            self.prio_buf = rest;
+        }
 
         let mut slot = 0usize;
         let take = self.arrivals_per_round.min(self.free_buf.len());
@@ -206,6 +245,27 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn priority_boxes_are_admitted_first() {
+        // 4 arrival slots, priority on boxes 10–13: they are always the
+        // ones admitted, in ascending order, ahead of the shuffled rest.
+        let prio: Vec<BoxId> = (10..14).map(BoxId).collect();
+        let mut gen = MultiSwarmChurn::new(8, 4, 4, 8.0, 11).with_priority_boxes(prio.clone());
+        let free = vec![true; 32];
+        for round in 0..6u64 {
+            let demands = gen.demands_at(round, &free);
+            let admitted: Vec<BoxId> = demands.iter().map(|d| d.box_id).collect();
+            assert_eq!(admitted, prio, "round {round}");
+        }
+        // An empty priority list is bit-identical to the plain generator.
+        let run = |gen: &mut MultiSwarmChurn| collect(gen, 8, 24);
+        let plain = run(&mut MultiSwarmChurn::new(12, 3, 5, 2.0, 7).with_rotation(2));
+        let empty_prio = run(&mut MultiSwarmChurn::new(12, 3, 5, 2.0, 7)
+            .with_rotation(2)
+            .with_priority_boxes(Vec::new()));
+        assert_eq!(plain, empty_prio);
     }
 
     #[test]

@@ -56,20 +56,23 @@ pub mod prelude {
         Summary, Table, Theorem1Params, Theorem2Params, TrialSpec, WorkloadKind,
     };
     pub use vod_core::{
-        compensate, Allocator, Bandwidth, BoxId, BoxSet, Catalog, CompensationPlan, CoreError,
-        FullReplicationAllocator, Json, JsonCodec, JsonError, NodeBox, Placement, PlaybackCache,
-        RandomIndependentAllocator, RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
-        StripeId, SystemParams, Video, VideoId, VideoSystem,
+        compensate, relay_reservation, Allocator, Bandwidth, BoxId, BoxSet, Catalog,
+        CompensationDelta, CompensationPlan, CoreError, FullReplicationAllocator, Json, JsonCodec,
+        JsonError, NodeBox, Placement, PlaybackCache, RandomIndependentAllocator,
+        RandomPermutationAllocator, RoundRobinAllocator, StorageSlots, StripeId, SystemParams,
+        Video, VideoId, VideoSystem,
     };
     pub use vod_flow::{
         find_obstruction, find_obstruction_in, verify_lemma1, ConnectionMatching,
         ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve, Obstruction,
-        PushRelabel, ReconcileStats, ShardedArena, SplitStats,
+        PushRelabel, ReconcileStats, RelayLendStats, RelayMatching, RelayNetwork, RelayObstruction,
+        RelayView, ShardedArena, SplitStats, StarvedReservation,
     };
     pub use vod_sim::{
         FailurePolicy, GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler,
-        ReconcilePolicy, RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig,
-        SimulationReport, Simulator, SplitPolicy,
+        ReconcilePolicy, RelayBroker, RelayEvent, RelayRoundStats, RelayUtilization, RequestKey,
+        Scheduler, ShardRoundStats, ShardedMatcher, SimConfig, SimulationReport, Simulator,
+        SplitPolicy,
     };
     pub use vod_workloads::{
         DemandGenerator, DemandTrace, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack,

@@ -601,3 +601,240 @@ fn persistent_keyed_reconcile_matches_cold_solves_under_churn() {
         }
     }
 }
+
+/// Random relay attribution over a random instance: a subset of requests
+/// forwards through random relays, and each box gets a random reservation.
+fn random_relays(
+    boxes: usize,
+    requests: usize,
+    rng: &mut StdRng,
+) -> (Vec<Option<BoxId>>, Vec<u32>) {
+    let relay_of = (0..requests)
+        .map(|_| {
+            rng.gen_bool(0.4)
+                .then(|| BoxId(rng.gen_range(0usize..boxes) as u32))
+        })
+        .collect();
+    let reserved = (0..boxes).map(|_| rng.gen_range(0u32..4)).collect();
+    (relay_of, reserved)
+}
+
+/// The two-hop relay network never changes the download-leg matching (its
+/// supply side serves exactly the plain Lemma-1 maximum), and no relay's
+/// reservation is ever oversubscribed: per relay, forwarding equals
+/// `min(reserved, demand)` exactly.
+#[test]
+fn relay_network_preserves_supply_and_never_oversubscribes() {
+    let mut net = RelayNetwork::new();
+    let mut solver = Dinic::new();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(13_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let (relay_of, reserved) = random_relays(caps.len(), cands.len(), &mut rng);
+        net.build(
+            &caps,
+            &cands,
+            &RelayView {
+                relay_of: &relay_of,
+                reserved: &reserved,
+            },
+        );
+        let matching = net.solve_in(&mut solver);
+        let plain = build_problem(&caps, &cands).solve();
+        assert_eq!(
+            matching.supply_served(),
+            plain.served(),
+            "seed {seed}: relay structure changed the supply matching"
+        );
+        // Reservation invariant: forwarded ≤ reserved, and the maximum flow
+        // forwards exactly min(reserved, demand) per relay.
+        for (relay, forwarded, demand) in matching.relay_loads() {
+            let cap = reserved[relay.index()];
+            assert!(
+                forwarded <= cap,
+                "seed {seed}: relay {relay} oversubscribed ({forwarded} > {cap})"
+            );
+            assert_eq!(
+                forwarded,
+                demand.min(cap),
+                "seed {seed}: relay {relay} under-forwarded"
+            );
+        }
+        // The supply assignment is a valid matching of the plain problem.
+        let as_matching = ConnectionMatching {
+            assignment: matching.assignment.clone(),
+            flow: matching.supply_served() as u64,
+            total_requests: cands.len(),
+        };
+        assert!(
+            as_matching.is_valid_for(&build_problem(&caps, &cands)),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Relay-network obstruction witnesses survive independent rechecks: the
+/// supply side is a brute-force-verified Hall violator, and every starved
+/// reservation genuinely has `demand > reserved`, names the right relay,
+/// and lists exactly the requests the forwarding flow left unserved.
+#[test]
+fn relay_obstruction_witnesses_survive_recheck() {
+    let mut net = RelayNetwork::new();
+    let mut solver = Dinic::new();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(14_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let (relay_of, reserved) = random_relays(caps.len(), cands.len(), &mut rng);
+        net.build(
+            &caps,
+            &cands,
+            &RelayView {
+                relay_of: &relay_of,
+                reserved: &reserved,
+            },
+        );
+        let matching = net.solve_in(&mut solver);
+        match net.obstruction(&matching) {
+            None => {
+                assert!(matching.is_complete(), "seed {seed}: witness missing");
+            }
+            Some(witness) => {
+                assert!(!matching.is_complete(), "seed {seed}: spurious witness");
+                if !witness.requests.is_empty() {
+                    // The supply-side set is a genuine Hall violator on the
+                    // plain instance.
+                    let recheck =
+                        vod_flow::check_subset(&build_problem(&caps, &cands), &witness.requests);
+                    assert!(
+                        recheck.is_violating(),
+                        "seed {seed}: supply witness is not a violator"
+                    );
+                    assert_eq!(recheck.capacity, witness.capacity, "seed {seed}");
+                }
+                for starved in &witness.starved {
+                    assert!(
+                        starved.demand > starved.reserved,
+                        "seed {seed}: relay {} not genuinely starved",
+                        starved.relay
+                    );
+                    assert_eq!(
+                        starved.reserved,
+                        reserved[starved.relay.index()],
+                        "seed {seed}"
+                    );
+                    let demand = relay_of
+                        .iter()
+                        .filter(|r| **r == Some(starved.relay))
+                        .count() as u32;
+                    assert_eq!(starved.demand, demand, "seed {seed}");
+                    assert_eq!(
+                        starved.requests.len() as u32,
+                        starved.demand - starved.reserved,
+                        "seed {seed}: starved request list size"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sharded relay-lending step partitions each relay's reservation
+/// exactly like the budget split partitions upload capacity: per relay,
+/// grants never exceed demand per shard, never sum above the reservation,
+/// and always sum to `min(reserved, demand)` — lending is deterministic
+/// and no reservation is ever oversubscribed, for any shard layout.
+#[test]
+fn relay_lending_partitions_reservations_across_shards() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(15_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let shard_of = random_shard_keys(&cands, &mut rng);
+        let (relay_of, reserved) = random_relays(caps.len(), cands.len(), &mut rng);
+        let mut sharded = ShardedArena::new();
+        let shard_count = sharded.partition(&shard_of, &cands, caps.len());
+        let stats = sharded.split_relay_reserved(&reserved, &relay_of);
+
+        // Re-run on a fresh arena: bit-identical grants and stats.
+        let mut replay = ShardedArena::new();
+        replay.partition(&shard_of, &cands, caps.len());
+        assert_eq!(replay.split_relay_reserved(&reserved, &relay_of), stats);
+
+        let mut granted = vec![0u64; caps.len()];
+        let mut demand = vec![0u64; caps.len()];
+        for s in 0..shard_count {
+            let view = sharded.shard_relays(s);
+            let replay_view = replay.shard_relays(s);
+            assert_eq!(view.grant, replay_view.grant, "seed {seed} shard {s}");
+            for ((&a, &d), &g) in view.relays.iter().zip(view.demand).zip(view.grant) {
+                assert!(g <= d, "seed {seed}: shard {s} granted above demand");
+                granted[a as usize] += g as u64;
+                demand[a as usize] += d as u64;
+            }
+        }
+        let mut total_granted = 0u64;
+        for (a, &g) in granted.iter().enumerate() {
+            assert!(
+                g <= reserved[a] as u64,
+                "seed {seed}: relay {a} oversubscribed across shards"
+            );
+            assert_eq!(
+                g,
+                demand[a].min(reserved[a] as u64),
+                "seed {seed}: relay {a} under-granted"
+            );
+            total_granted += g;
+        }
+        assert_eq!(stats.granted as u64, total_granted, "seed {seed}");
+        assert_eq!(
+            stats.forward_demand as u64,
+            demand.iter().sum::<u64>(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            stats.starved,
+            stats.forward_demand - stats.granted,
+            "seed {seed}"
+        );
+    }
+}
+
+/// The targeted per-(shard, box) split partitions capacity exactly for any
+/// slot targets, and with empty targets it is bit-identical to the
+/// demand-proportional split.
+#[test]
+fn targeted_split_partitions_capacity_and_degrades_to_proportional() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(16_000 + seed);
+        let (caps, cands) = random_instance(&mut rng);
+        let shard_of = random_shard_keys(&cands, &mut rng);
+        let mut sharded = ShardedArena::new();
+        let shard_count = sharded.partition(&shard_of, &cands, caps.len());
+        let slots: usize = (0..shard_count).map(|s| sharded.shard(s).boxes.len()).sum();
+        let targets: Vec<u64> = (0..slots).map(|_| rng.gen_range(0u64..6)).collect();
+        sharded.split_budgets_targeted(&caps, &targets);
+        let load = budget_load(&sharded, caps.len());
+        for (b, (&granted, &cap)) in load.iter().zip(&caps).enumerate() {
+            let demanded = (0..shard_count).any(|s| sharded.shard(s).boxes.contains(&(b as u32)));
+            if demanded {
+                assert_eq!(granted, cap as u64, "seed {seed} box {b}");
+            } else {
+                assert_eq!(granted, 0, "seed {seed} box {b}");
+            }
+        }
+
+        // Empty targets ≡ demand-proportional split, bit for bit.
+        let mut targeted = ShardedArena::new();
+        targeted.partition(&shard_of, &cands, caps.len());
+        targeted.split_budgets_targeted(&caps, &[]);
+        let mut proportional = ShardedArena::new();
+        proportional.partition(&shard_of, &cands, caps.len());
+        proportional.split_budgets(&caps);
+        for s in 0..shard_count {
+            assert_eq!(
+                targeted.shard(s).budget,
+                proportional.shard(s).budget,
+                "seed {seed} shard {s}"
+            );
+        }
+    }
+}

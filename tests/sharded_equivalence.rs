@@ -376,3 +376,151 @@ fn all_policy_combinations_match_global_and_are_thread_invariant() {
         }
     }
 }
+
+/// Deterministic relay attribution for a scenario round: every third
+/// viewer's requests forward through a relay derived from its id, with a
+/// fixed reservation table drawn per scenario.
+fn synth_relays(
+    sc: &Scenario,
+    keys: &[RequestKey],
+    rng: &mut StdRng,
+) -> (Vec<Option<BoxId>>, Vec<u32>) {
+    let reserved: Vec<u32> = (0..sc.n).map(|_| rng.gen_range(0u32..4)).collect();
+    let relay_of = keys
+        .iter()
+        .map(|k| (k.viewer.0 % 3 == 0).then(|| BoxId(k.viewer.0 % sc.n as u32)))
+        .collect();
+    (relay_of, reserved)
+}
+
+/// Relay awareness is schedule-neutral: `schedule_relayed` produces the
+/// exact schedule `schedule_keyed` produces on the same rounds (forwarding
+/// draws on reserved capacity, never on the open budgets the matching
+/// allocates), and its schedules and relay-lending stats are bit-identical
+/// for every thread count. This is what keeps heterogeneous systems on the
+/// sharded fast path while staying equivalent to the relay-blind global
+/// matcher.
+#[test]
+fn relayed_scheduling_is_schedule_neutral_and_thread_invariant() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let sc = Scenario::draw(&mut rng);
+        let mut stream = RoundStream::new();
+        let mut blind = ShardedMatcher::new(1);
+        let mut relayed: Vec<ShardedMatcher> = THREAD_COUNTS
+            .iter()
+            .map(|&t| ShardedMatcher::new(t))
+            .collect();
+        let mut blind_out = Vec::new();
+        let mut relayed_out = Vec::new();
+        for round in 0..ROUNDS {
+            stream.advance(&sc, &mut rng);
+            let (keys, cands) = stream.round();
+            let (relay_of, reserved) = synth_relays(&sc, &keys, &mut rng);
+            let view = RelayView {
+                relay_of: &relay_of,
+                reserved: &reserved,
+            };
+            blind.schedule_keyed(&sc.caps, &keys, &cands, &mut blind_out);
+            let mut reference: Option<(Vec<Option<BoxId>>, _)> = None;
+            for matcher in relayed.iter_mut() {
+                matcher.schedule_relayed(&sc.caps, &keys, &cands, &view, &mut relayed_out);
+                assert_eq!(
+                    relayed_out,
+                    blind_out,
+                    "seed {seed} round {round} threads {}: relay awareness changed the schedule",
+                    matcher.threads()
+                );
+                let lend = matcher
+                    .relay_stats()
+                    .expect("relay-aware round exposes lend stats");
+                assert!(
+                    lend.granted <= reserved.iter().sum::<u32>() as usize,
+                    "seed {seed} round {round}"
+                );
+                match &reference {
+                    None => reference = Some((relayed_out.clone(), lend)),
+                    Some((schedule, ref_lend)) => {
+                        assert_eq!(schedule, &relayed_out, "seed {seed} round {round}");
+                        assert_eq!(
+                            ref_lend, &lend,
+                            "seed {seed} round {round}: lend stats diverged across threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full-simulator heterogeneous equivalence: a rich/poor fleet with a
+/// compensation plan, driven by a poor-box-prioritized multi-swarm churn
+/// workload, schedules identically on the sharded path (threads 1–8,
+/// bit-identical reports including relay stats) and serves exactly what
+/// the relay-blind global max-flow scheduler serves round for round.
+#[test]
+fn heterogeneous_simulator_sharded_equals_global_across_threads() {
+    let c: u16 = 8;
+    let mut uploads = vec![0.6f64; 8];
+    uploads.extend(vec![2.6f64; 16]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let n = boxes.len();
+    let d_avg = boxes.average_storage_videos(c);
+    let avg_u = boxes.average_upload();
+    let u_star = Bandwidth::from_streams(1.2);
+    let k = 3u32;
+    let catalog_size = ((d_avg * n as f64) / k as f64).floor() as usize;
+    let catalog = Catalog::uniform(catalog_size, 28, c);
+    let params = SystemParams::new(n, avg_u, d_avg.round().max(1.0) as u32, c, k, 1.2, 28);
+    let mut rng = StdRng::seed_from_u64(77);
+    let system = VideoSystem::heterogeneous(
+        params,
+        boxes,
+        catalog,
+        &RandomPermutationAllocator::new(k),
+        Some(u_star),
+        &mut rng,
+    )
+    .expect("fleet is u*-compensable");
+    let poor = system.boxes().poor_ids(u_star);
+
+    let run = |scheduler: Box<dyn Scheduler>| {
+        let mut gen = MultiSwarmChurn::new(system.m(), 4, 6, 1.2, 5)
+            .with_rotation(6)
+            .with_priority_boxes(poor.clone());
+        Simulator::with_scheduler(&system, SimConfig::new(30).continue_on_failure(), scheduler)
+            .run(&mut gen)
+    };
+
+    let global = run(Box::new(MaxFlowScheduler::new()));
+    let reference = run(Box::new(ShardedMatcher::new(1)));
+    assert_eq!(reference.round_count(), global.round_count());
+    let mut saw_forwarding = false;
+    for (a, b) in reference.rounds.iter().zip(&global.rounds) {
+        assert_eq!(a.served, b.served, "round {}", a.round);
+        assert_eq!(a.unserved, b.unserved, "round {}", a.round);
+        // The relay subsystem observes both runs identically (it draws on
+        // reserved capacity, not on what the scheduler allocates).
+        let (ra, rb) = (
+            a.relay.expect("heterogeneous"),
+            b.relay.expect("heterogeneous"),
+        );
+        assert_eq!(
+            ra.relayed_requests, rb.relayed_requests,
+            "round {}",
+            a.round
+        );
+        assert_eq!(ra.forwarded, rb.forwarded, "round {}", a.round);
+        assert!(ra.forwarded <= ra.reserved_slots, "round {}", a.round);
+        saw_forwarding |= ra.forwarded > 0;
+    }
+    assert!(saw_forwarding, "workload never exercised a relay");
+    assert!(!reference.relays.is_empty(), "utilization profile missing");
+
+    // Bit-identical reports (schedule, shard stats, relay stats, playback
+    // records) for every thread count.
+    for threads in [2usize, 4, 8] {
+        let sharded = run(Box::new(ShardedMatcher::new(threads)));
+        assert_eq!(sharded, reference, "threads {threads}");
+    }
+}
