@@ -9,6 +9,9 @@
 //! * [`graph`] — the integer-capacity flow network representation;
 //! * [`arena`] — the reusable solver-facing [`FlowArena`] (flat storage,
 //!   zero steady-state allocation);
+//! * [`candidates`] — the pooled flat CSR candidate representation
+//!   ([`CandidateBuf`] / borrowed [`CandidateView`], with optional per-row
+//!   change stamps) shared by every candidate-consuming stage;
 //! * [`solver`] — the unified [`MaxFlowSolve`] trait every solver
 //!   implements;
 //! * [`dinic`] — Dinic's algorithm (default solver);
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arena;
+pub mod candidates;
 pub mod dinic;
 pub mod expander;
 pub mod graph;
@@ -64,6 +68,7 @@ pub mod shard;
 pub mod solver;
 
 pub use arena::{ArenaEdge, FlowArena};
+pub use candidates::{CandidateBuf, CandidateView, NO_STAMP};
 pub use dinic::Dinic;
 pub use expander::{sample_expansion, ExpansionProfile};
 pub use graph::{Edge, FlowNetwork, NodeId};

@@ -37,6 +37,7 @@
 //! forwarding demand — the witness names the starved reservation directly.
 
 use crate::arena::FlowArena;
+use crate::candidates::{CandidateBuf, CandidateView};
 use crate::solver::MaxFlowSolve;
 use vod_core::BoxId;
 
@@ -107,6 +108,9 @@ pub struct RelayNetwork {
     /// Scratch for reachability classification.
     seen: Vec<bool>,
     stack: Vec<usize>,
+    /// Pooled CSR bridge for the slice-of-vecs [`RelayNetwork::build`]
+    /// entry point ([`RelayNetwork::build_view`] is the native path).
+    csr_bridge: CandidateBuf,
 }
 
 /// Sentinel for "this request/box has no such node or edge".
@@ -129,6 +133,21 @@ impl RelayNetwork {
     /// Panics when the view's lengths disagree with `capacities` /
     /// `candidates`, or a relay id is out of range.
     pub fn build(&mut self, capacities: &[u32], candidates: &[Vec<BoxId>], relays: &RelayView) {
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        self.build_view(capacities, bridge.view(), relays);
+        self.csr_bridge = bridge;
+    }
+
+    /// View-based core of [`RelayNetwork::build`]: identical semantics over
+    /// a borrowed flat [`CandidateView`] (the native representation of the
+    /// scheduling stack).
+    pub fn build_view(
+        &mut self,
+        capacities: &[u32],
+        candidates: CandidateView<'_>,
+        relays: &RelayView,
+    ) {
         assert_eq!(
             relays.relay_of.len(),
             candidates.len(),
@@ -205,7 +224,7 @@ impl RelayNetwork {
         }
         self.sink_edges.clear();
         self.forward_edges.clear();
-        for (x, cands) in candidates.iter().enumerate() {
+        for (x, cands) in candidates.rows().enumerate() {
             let request = self.request_node[x];
             // Candidate edges land on the supply node for relayed requests
             // (so at most one supplier unit reaches the request node) and

@@ -45,6 +45,7 @@
 //! witness is also a genuine global obstruction.
 
 use crate::arena::FlowArena;
+use crate::candidates::{CandidateBuf, CandidateView, NO_STAMP};
 use crate::hall::{check_subset, find_obstruction, Obstruction};
 use crate::matching::ConnectionProblem;
 use std::collections::HashMap;
@@ -186,6 +187,12 @@ struct GlobalSlot {
     given: Vec<BoxId>,
     /// False until `given` reflects this slot's active edges.
     given_valid: bool,
+    /// The producer change stamp `given` was captured under
+    /// ([`crate::candidates::NO_STAMP`] when the producer attached none):
+    /// an equal stamp on a later call proves the row unchanged without even
+    /// comparing it — the engine's candidate-index diffs handed down as
+    /// precomputed deltas.
+    given_stamp: u64,
     /// Stamp of the last reconcile call that listed this request.
     stamp: u64,
 }
@@ -271,6 +278,9 @@ pub struct ShardedArena {
     g_stale: Vec<u128>,
     g_sorted_cands: Vec<BoxId>,
     g_added_cands: Vec<BoxId>,
+    /// Pooled CSR bridge for the slice-of-vecs entry points (the view-based
+    /// `*_view` methods are the native path).
+    csr_bridge: CandidateBuf,
 }
 
 impl ShardedArena {
@@ -290,6 +300,25 @@ impl ShardedArena {
         &mut self,
         shard_of: &[u64],
         candidates: &[Vec<BoxId>],
+        box_count: usize,
+    ) -> usize {
+        // Detach the pooled bridge buffer so the view can borrow it while
+        // `self` stays mutably borrowable for the core call.
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        let count = self.partition_view(shard_of, bridge.view(), box_count);
+        self.csr_bridge = bridge;
+        count
+    }
+
+    /// View-based core of [`ShardedArena::partition`]: identical semantics
+    /// over a borrowed flat [`CandidateView`] (the native representation of
+    /// the scheduling stack; the slice-of-vecs form bridges through a
+    /// pooled copy).
+    pub fn partition_view(
+        &mut self,
+        shard_of: &[u64],
+        candidates: CandidateView<'_>,
         box_count: usize,
     ) -> usize {
         assert_eq!(
@@ -322,7 +351,7 @@ impl ShardedArena {
             while i < self.pairs.len() && self.pairs[i].0 == key {
                 let x = self.pairs[i].1;
                 self.request_pool.push(x);
-                for cand in &candidates[x as usize] {
+                for cand in candidates.row(x as usize) {
                     let b = cand.index();
                     if b >= box_count {
                         continue;
@@ -770,6 +799,21 @@ impl ShardedArena {
         candidates: &[Vec<BoxId>],
         assignment: &mut [Option<BoxId>],
     ) -> ReconcileStats {
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        let stats = self.reconcile_view(capacities, bridge.view(), assignment);
+        self.csr_bridge = bridge;
+        stats
+    }
+
+    /// View-based core of [`ShardedArena::reconcile`]: identical semantics
+    /// over a borrowed flat [`CandidateView`].
+    pub fn reconcile_view(
+        &mut self,
+        capacities: &[u32],
+        candidates: CandidateView<'_>,
+        assignment: &mut [Option<BoxId>],
+    ) -> ReconcileStats {
         assert_eq!(
             candidates.len(),
             assignment.len(),
@@ -792,7 +836,7 @@ impl ShardedArena {
             ..ReconcileStats::default()
         };
         self.sink_edges.clear();
-        for (x, cands) in candidates.iter().enumerate() {
+        for (x, cands) in candidates.rows().enumerate() {
             let node = 1 + b_count + x;
             let mut preload = None;
             for &cand in cands {
@@ -908,6 +952,27 @@ impl ShardedArena {
         candidates: &[Vec<BoxId>],
         assignment: &mut [Option<BoxId>],
     ) -> ReconcileStats {
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        let stats = self.reconcile_keyed_view(capacities, keys, bridge.view(), assignment);
+        self.csr_bridge = bridge;
+        stats
+    }
+
+    /// View-based core of [`ShardedArena::reconcile_keyed`]: identical
+    /// semantics over a borrowed flat [`CandidateView`]. When the view
+    /// carries per-row change stamps (see
+    /// [`CandidateBuf::view_with_stamps`](crate::CandidateBuf::view_with_stamps)),
+    /// a surviving request whose stamp is unchanged skips the per-row
+    /// sort-and-diff entirely — the producer's candidate-index deltas stand
+    /// in for the re-derived comparison.
+    pub fn reconcile_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[u128],
+        candidates: CandidateView<'_>,
+        assignment: &mut [Option<BoxId>],
+    ) -> ReconcileStats {
         assert_eq!(keys.len(), candidates.len(), "one key per request");
         assert_eq!(
             candidates.len(),
@@ -945,7 +1010,7 @@ impl ShardedArena {
                 // unkeyed path — count it so the rebuild-rate observability
                 // matches what actually happened.
                 self.g_rebuilds += 1;
-                return self.reconcile(capacities, candidates, assignment);
+                return self.reconcile_view(capacities, candidates, assignment);
             }
             stats.retired = self.g_patch(capacities, keys, candidates);
         } else {
@@ -1073,7 +1138,7 @@ impl ShardedArena {
 
     /// Full reconstruction of the persistent instance inside the reused
     /// arena (zero flow; the caller re-adopts and augments).
-    fn g_rebuild(&mut self, capacities: &[u32], keys: &[u128], candidates: &[Vec<BoxId>]) {
+    fn g_rebuild(&mut self, capacities: &[u32], keys: &[u128], candidates: CandidateView<'_>) {
         let b_count = capacities.len();
         self.global.clear(b_count + 2);
         self.g_sink = b_count + 1;
@@ -1103,9 +1168,9 @@ impl ShardedArena {
         self.g_dead_pairs = 0;
         self.g_stamp += 1;
         self.g_round_slots.clear();
-        for (key, cands) in keys.iter().zip(candidates) {
+        for (x, key) in keys.iter().enumerate() {
             let slot_idx = self.g_alloc(*key);
-            self.g_set_candidates(slot_idx, cands);
+            self.g_set_candidates(slot_idx, candidates.row(x), candidates.row_stamp(x));
             self.g_round_slots.push(slot_idx);
         }
         self.g_rebuilds += 1;
@@ -1114,7 +1179,12 @@ impl ShardedArena {
 
     /// Diffs the incoming round against the tracked instance, patching the
     /// persistent network in place. Returns the number of retired requests.
-    fn g_patch(&mut self, capacities: &[u32], keys: &[u128], candidates: &[Vec<BoxId>]) -> usize {
+    fn g_patch(
+        &mut self,
+        capacities: &[u32],
+        keys: &[u128],
+        candidates: CandidateView<'_>,
+    ) -> usize {
         self.g_stamp += 1;
 
         // Per-box capacity changes (rare: capacities are static per system).
@@ -1127,7 +1197,7 @@ impl ShardedArena {
         // Upsert this round's requests.
         self.g_round_slots.clear();
         let mut arrivals = false;
-        for (key, cands) in keys.iter().zip(candidates) {
+        for (x, key) in keys.iter().enumerate() {
             let slot_idx = match self.g_by_key.get(key) {
                 Some(&idx) => {
                     assert_ne!(
@@ -1142,7 +1212,7 @@ impl ShardedArena {
                     self.g_alloc(*key)
                 }
             };
-            self.g_set_candidates(slot_idx, cands);
+            self.g_set_candidates(slot_idx, candidates.row(x), candidates.row_stamp(x));
             self.g_round_slots.push(slot_idx);
         }
 
@@ -1213,10 +1283,20 @@ impl ShardedArena {
     /// Patches the slot's candidate edges to match `cands`: revives or
     /// creates edges for current candidates, de-capacitates edges for
     /// dropped ones (cancelling their flow first).
-    fn g_set_candidates(&mut self, slot_idx: usize, cands: &[BoxId]) {
+    fn g_set_candidates(&mut self, slot_idx: usize, cands: &[BoxId], stamp: u64) {
+        // Fastest path: the producer's change stamp proves the row unchanged
+        // since the last sync of this slot — no comparison needed at all.
+        if self.g_slots[slot_idx].given_valid
+            && stamp != NO_STAMP
+            && self.g_slots[slot_idx].given_stamp == stamp
+        {
+            debug_assert_eq!(self.g_slots[slot_idx].given, *cands, "stale change stamp");
+            return;
+        }
         // Fast path: identical raw candidate list → active edges already
         // match, nothing to sort or diff.
         if self.g_slots[slot_idx].given_valid && self.g_slots[slot_idx].given == *cands {
+            self.g_slots[slot_idx].given_stamp = stamp;
             return;
         }
         let boxes = self.g_caps.len();
@@ -1270,11 +1350,13 @@ impl ShardedArena {
         }
         added.clear();
         self.g_added_cands = added;
-        // Remember the raw list for the next call's fast path.
+        // Remember the raw list (and the stamp it was captured under) for
+        // the next call's fast paths.
         let slot = &mut self.g_slots[slot_idx];
         slot.given.clear();
         slot.given.extend_from_slice(cands);
         slot.given_valid = true;
+        slot.given_stamp = stamp;
     }
 
     /// De-capacitates one candidate edge, cancelling its flow first.

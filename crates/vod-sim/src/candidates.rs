@@ -1,0 +1,487 @@
+//! Incremental candidate-index maintenance: the expiry wheel.
+//!
+//! Every round the engine must know, per stripe, which boxes currently hold
+//! the stripe in their playback cache (the swarming half of Lemma 1's
+//! candidate set `B(x)`; the sourcing half — static allocation holders —
+//! never changes). The index was historically a
+//! `HashMap<StripeId, Vec<BoxId>>` kept alive by a full `retain` sweep over
+//! **every** live entry each round, plus `contains` scans on every insert
+//! and candidate fill — O(total cache state) per round even when nothing
+//! changed.
+//!
+//! The [`CandidateIndex`] replaces that with an incremental structure built
+//! on the observation that a cache entry's eviction round is known exactly
+//! at insertion: an entry downloaded from round `start` leaves the cache
+//! window the first round `now` with `start + window < now`, i.e. at round
+//! `start + window + 1`. Entries are therefore bucketed into an **expiry
+//! wheel** (a ring of buckets indexed by eviction round), and per-round
+//! maintenance is O(entries expiring *now*) + O(insertions) instead of
+//! O(all live entries):
+//!
+//! * [`CandidateIndex::begin_round`] drains exactly the bucket(s) whose
+//!   round has come, removing each expired entry from its per-stripe list;
+//! * [`CandidateIndex::insert`] gives O(1) membership via a packed-key map
+//!   (killing the old linear `contains` scans); a re-download of a cached
+//!   stripe updates the start in place and re-files the entry under its new
+//!   eviction round, leaving the stale wheel record to be skipped when its
+//!   bucket drains (current-start check);
+//! * per-stripe lists keep strict insertion order with ordered removals, so
+//!   the candidate rows the engine builds from them are **bit-identical**
+//!   (content *and* order) to what the legacy full-rescan pipeline
+//!   produced — schedules are provably unchanged;
+//! * every content change stamps the stripe with the current round
+//!   ([`CandidateIndex::stripe_stamp`]); the engine forwards these stamps
+//!   down the scheduler stack as [`vod_flow::CandidateView`] row stamps, so
+//!   incremental consumers skip their per-row diffs for untouched stripes.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
+use vod_core::{BoxId, StripeId};
+
+type EntryMap = HashMap<u128, u64, BuildHasherDefault<vod_core::FxHasher64>>;
+
+/// One record filed in the expiry wheel. Records are immutable once filed:
+/// a refreshed entry files a *new* record under its new eviction round, and
+/// the old record is recognized as stale (current start disagrees) when its
+/// bucket drains.
+#[derive(Clone, Copy, Debug)]
+struct WheelRecord {
+    stripe: StripeId,
+    box_id: BoxId,
+    /// The eviction round this record was filed under.
+    expiry: u64,
+}
+
+/// Per-round observability of the candidate pipeline, threaded into
+/// [`crate::metrics::RoundMetrics::candidates`].
+///
+/// Equality ignores [`CandidateStats::build_ns`]: the bit-equality gates
+/// (sharded/relay equivalence, legacy-vs-incremental pipeline comparison)
+/// compare structure, never wall-clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CandidateStats {
+    /// Live (stripe, box) cache-index entries after this round's
+    /// maintenance.
+    pub index_entries: usize,
+    /// Entries evicted by this round's maintenance.
+    pub expired: usize,
+    /// New entries inserted this round (refreshes of existing entries do
+    /// not count).
+    pub inserted: usize,
+    /// Wall-clock nanoseconds spent on index maintenance plus candidate-row
+    /// construction this round (excluded from equality).
+    pub build_ns: u64,
+}
+
+impl PartialEq for CandidateStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.index_entries == other.index_entries
+            && self.expired == other.expired
+            && self.inserted == other.inserted
+    }
+}
+
+impl Eq for CandidateStats {}
+
+impl JsonCodec for CandidateStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("index_entries", self.index_entries.to_json()),
+            ("expired", self.expired.to_json()),
+            ("inserted", self.inserted.to_json()),
+            ("build_ns", self.build_ns.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CandidateStats {
+            index_entries: usize::from_json(json.field("index_entries")?)?,
+            expired: usize::from_json(json.field("expired")?)?,
+            inserted: usize::from_json(json.field("inserted")?)?,
+            build_ns: u64::from_json(json.field("build_ns")?)?,
+        })
+    }
+}
+
+/// Incremental per-stripe index of playback-cache holders, maintained by an
+/// expiry wheel.
+///
+/// ```
+/// use vod_core::{BoxId, StripeId, VideoId};
+/// use vod_sim::CandidateIndex;
+///
+/// let stripe = StripeId::new(VideoId(0), 1);
+/// // Window of 4 rounds, 2 stripes per video.
+/// let mut index = CandidateIndex::new(4, 2);
+/// index.begin_round(0);
+/// index.insert(stripe, BoxId(7), 0, 0);
+/// assert_eq!(index.candidates(stripe), &[(BoxId(7), 0)]);
+///
+/// // The entry expires exactly when `start + window < now`: round 5.
+/// for now in 1..=4 {
+///     index.begin_round(now);
+///     assert_eq!(index.candidates(stripe).len(), 1, "round {now}");
+/// }
+/// index.begin_round(5);
+/// assert!(index.candidates(stripe).is_empty());
+/// assert_eq!(index.expired_this_round(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CandidateIndex {
+    /// The cache window `T` (video duration in rounds).
+    window: u64,
+    /// Stripes per video, for dense stripe-slot arithmetic.
+    stripes_per_video: u16,
+    /// Per-stripe holder lists `(box, start)`, dense by stripe slot, kept
+    /// in strict insertion order (ordered removals) so candidate rows match
+    /// the legacy rescan pipeline bit for bit.
+    lists: Vec<Vec<(BoxId, u64)>>,
+    /// Per-stripe change stamp: `round + 1` of the last content change
+    /// (insert, refresh, or expiry); 0 = never touched.
+    touched: Vec<u64>,
+    /// Packed (stripe, box) → current download start: O(1) membership and
+    /// refresh detection.
+    entries: EntryMap,
+    /// The expiry wheel: ring of buckets indexed by `expiry % wheel.len()`.
+    wheel: Vec<Vec<WheelRecord>>,
+    /// Every round up to and including this one has been drained.
+    drained_to: u64,
+    /// Live entry count (= `entries.len()`, tracked for O(1) stats).
+    live: usize,
+    expired_this_round: usize,
+    inserted_this_round: usize,
+}
+
+/// Packs a (stripe, box) pair into the entry-map key (injective: 32-bit
+/// video, 16-bit stripe index, 32-bit box).
+fn pack(stripe: StripeId, box_id: BoxId) -> u128 {
+    ((stripe.video.0 as u128) << 48) | ((stripe.index as u128) << 32) | box_id.0 as u128
+}
+
+impl CandidateIndex {
+    /// Creates an index for caches with the given window (the video
+    /// duration `T`) and stripe count per video.
+    pub fn new(window: u64, stripes_per_video: u16) -> Self {
+        // Entries are filed at most `window + lead` rounds ahead (starts lie
+        // in the near future: a download plan activates within a few rounds
+        // of swarm entry). The ring grows on demand if a workload exceeds
+        // this, so the initial sizing is only a reallocation heuristic.
+        let ring = usize::try_from(window)
+            .unwrap_or(usize::MAX / 4)
+            .saturating_mul(2)
+            .saturating_add(8)
+            .next_power_of_two();
+        CandidateIndex {
+            window,
+            stripes_per_video: stripes_per_video.max(1),
+            lists: Vec::new(),
+            touched: Vec::new(),
+            entries: EntryMap::default(),
+            wheel: (0..ring).map(|_| Vec::new()).collect(),
+            drained_to: 0,
+            live: 0,
+            expired_this_round: 0,
+            inserted_this_round: 0,
+        }
+    }
+
+    /// Dense slot of a stripe (grows the per-stripe tables on demand).
+    fn slot(&mut self, stripe: StripeId) -> usize {
+        let slot =
+            stripe.video.0 as usize * self.stripes_per_video as usize + stripe.index as usize;
+        if slot >= self.lists.len() {
+            self.lists.resize_with(slot + 1, Vec::new);
+            self.touched.resize(slot + 1, 0);
+        }
+        slot
+    }
+
+    /// Starts a round: drains every wheel bucket whose eviction round has
+    /// come and resets the per-round counters. O(entries expiring now), not
+    /// O(live entries).
+    pub fn begin_round(&mut self, now: u64) {
+        self.expired_this_round = 0;
+        self.inserted_this_round = 0;
+        while self.drained_to < now {
+            let round = self.drained_to + 1;
+            let idx = (round % self.wheel.len() as u64) as usize;
+            // Detach the bucket so entry/list maintenance can borrow `self`;
+            // records for a later turn of the ring (impossible while a
+            // record's expiry always lies within one ring turn of its filing
+            // round, but kept correct defensively) are compacted in place.
+            let mut bucket = std::mem::take(&mut self.wheel[idx]);
+            let mut keep = 0;
+            for i in 0..bucket.len() {
+                let record = bucket[i];
+                debug_assert!(record.expiry >= round, "record outlived its bucket");
+                if record.expiry != round {
+                    bucket[keep] = record;
+                    keep += 1;
+                    continue;
+                }
+                let key = pack(record.stripe, record.box_id);
+                // Stale record: the entry was refreshed to a later start
+                // (and re-filed) after this record was written.
+                let current = self.entries.get(&key).copied();
+                let expires_now = current.is_some_and(|start| start + self.window + 1 == round);
+                if !expires_now {
+                    continue;
+                }
+                self.entries.remove(&key);
+                let slot = self.slot(record.stripe);
+                let list = &mut self.lists[slot];
+                let pos = list
+                    .iter()
+                    .position(|&(b, _)| b == record.box_id)
+                    .expect("live entry is listed");
+                // Ordered removal keeps the legacy insertion order intact.
+                list.remove(pos);
+                self.touched[slot] = now + 1;
+                self.live -= 1;
+                self.expired_this_round += 1;
+            }
+            bucket.truncate(keep);
+            // Return the bucket's storage (and any kept records) to the ring.
+            self.wheel[idx] = bucket;
+            self.drained_to = round;
+        }
+    }
+
+    /// Records that `box_id` starts downloading (and therefore caching)
+    /// `stripe` at round `start ≥ now`. A later start than the current
+    /// entry refreshes it ("data most recently viewed" wins); an earlier
+    /// one is ignored.
+    pub fn insert(&mut self, stripe: StripeId, box_id: BoxId, start: u64, now: u64) {
+        debug_assert!(self.drained_to <= now, "round went backwards");
+        let key = pack(stripe, box_id);
+        let expiry = start + self.window + 1;
+        debug_assert!(expiry > now, "inserting an already-expired entry");
+        match self.entries.get_mut(&key) {
+            Some(current) => {
+                if *current >= start {
+                    return; // an equal or newer download is already cached
+                }
+                *current = start;
+                let slot = self.slot(stripe);
+                let list = &mut self.lists[slot];
+                let pos = list
+                    .iter()
+                    .position(|&(b, _)| b == box_id)
+                    .expect("live entry is listed");
+                list[pos].1 = start;
+                self.touched[slot] = now + 1;
+            }
+            None => {
+                self.entries.insert(key, start);
+                let slot = self.slot(stripe);
+                self.lists[slot].push((box_id, start));
+                self.touched[slot] = now + 1;
+                self.live += 1;
+                self.inserted_this_round += 1;
+            }
+        }
+        self.file(WheelRecord {
+            stripe,
+            box_id,
+            expiry,
+        });
+    }
+
+    /// Files a record into its wheel bucket, growing the ring if the
+    /// eviction round lies beyond it.
+    fn file(&mut self, record: WheelRecord) {
+        let len = self.wheel.len() as u64;
+        if record.expiry > self.drained_to + len {
+            self.grow(record.expiry);
+        }
+        let idx = (record.expiry % self.wheel.len() as u64) as usize;
+        self.wheel[idx].push(record);
+    }
+
+    /// Grows the ring to cover `expiry`, redistributing the filed records.
+    fn grow(&mut self, expiry: u64) {
+        let needed = (expiry - self.drained_to + 1).next_power_of_two() as usize;
+        let mut old = std::mem::replace(&mut self.wheel, (0..needed).map(|_| Vec::new()).collect());
+        for bucket in old.iter_mut() {
+            for record in bucket.drain(..) {
+                let idx = (record.expiry % needed as u64) as usize;
+                self.wheel[idx].push(record);
+            }
+        }
+    }
+
+    /// Boxes currently holding `stripe` in their playback cache, with their
+    /// download start rounds, in insertion order. Every listed entry is
+    /// live: `start + window ≥` the round last passed to
+    /// [`CandidateIndex::begin_round`].
+    pub fn candidates(&self, stripe: StripeId) -> &[(BoxId, u64)] {
+        let slot =
+            stripe.video.0 as usize * self.stripes_per_video as usize + stripe.index as usize;
+        self.lists.get(slot).map_or(&[], Vec::as_slice)
+    }
+
+    /// Change stamp of `stripe`'s holder list: `round + 1` of the last
+    /// content change, 0 when never touched. Equal stamps across rounds
+    /// guarantee an identical (content and order) holder list.
+    pub fn stripe_stamp(&self, stripe: StripeId) -> u64 {
+        let slot =
+            stripe.video.0 as usize * self.stripes_per_video as usize + stripe.index as usize;
+        self.touched.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Live (stripe, box) entries currently indexed.
+    pub fn live_entries(&self) -> usize {
+        self.live
+    }
+
+    /// Entries evicted by the current round's [`CandidateIndex::begin_round`].
+    pub fn expired_this_round(&self) -> usize {
+        self.expired_this_round
+    }
+
+    /// New entries inserted since the current round began.
+    pub fn inserted_this_round(&self) -> usize {
+        self.inserted_this_round
+    }
+
+    /// Iterator over every live entry: `(stripe, box, start)` (test and
+    /// diagnostics support; ordering follows the per-stripe lists).
+    pub fn iter_live(&self) -> impl Iterator<Item = (StripeId, BoxId, u64)> + '_ {
+        let c = self.stripes_per_video as usize;
+        self.lists.iter().enumerate().flat_map(move |(slot, list)| {
+            let stripe = StripeId::new(
+                vod_core::VideoId((slot / c) as u32),
+                (slot % c) as vod_core::StripeIndex,
+            );
+            list.iter().map(move |&(b, start)| (stripe, b, start))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_core::VideoId;
+
+    fn s(v: u32, i: u16) -> StripeId {
+        StripeId::new(VideoId(v), i)
+    }
+
+    fn b(i: u32) -> BoxId {
+        BoxId(i)
+    }
+
+    #[test]
+    fn insert_expire_lifecycle_matches_window_semantics() {
+        let mut index = CandidateIndex::new(3, 4);
+        index.begin_round(0);
+        index.insert(s(0, 0), b(1), 0, 0);
+        index.insert(s(0, 0), b(2), 1, 0); // future start (postponed stripe)
+        assert_eq!(index.live_entries(), 2);
+        assert_eq!(index.inserted_this_round(), 2);
+
+        // b(1) expires at round 4 (0 + 3 + 1), b(2) at round 5.
+        index.begin_round(3);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(1), 0), (b(2), 1)]);
+        index.begin_round(4);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(2), 1)]);
+        assert_eq!(index.expired_this_round(), 1);
+        index.begin_round(5);
+        assert!(index.candidates(s(0, 0)).is_empty());
+        assert_eq!(index.live_entries(), 0);
+    }
+
+    #[test]
+    fn refresh_extends_lifetime_and_keeps_position() {
+        let mut index = CandidateIndex::new(3, 1);
+        index.begin_round(0);
+        index.insert(s(0, 0), b(1), 0, 0);
+        index.insert(s(0, 0), b(2), 0, 0);
+        // Refresh b(1) to a later start: position in the list is unchanged.
+        index.begin_round(2);
+        index.insert(s(0, 0), b(1), 2, 2);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(1), 2), (b(2), 0)]);
+        assert_eq!(index.inserted_this_round(), 0, "refresh is not an insert");
+        // Round 4: b(2) (start 0) expires, b(1) survives via the refresh;
+        // the stale wheel record for b(1)'s original expiry is skipped.
+        index.begin_round(4);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(1), 2)]);
+        // Round 6: the refreshed entry expires (2 + 3 + 1).
+        index.begin_round(6);
+        assert!(index.candidates(s(0, 0)).is_empty());
+        // An older start never downgrades the entry.
+        index.insert(s(0, 0), b(3), 9, 6);
+        index.insert(s(0, 0), b(3), 7, 6);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(3), 9)]);
+    }
+
+    #[test]
+    fn stamps_change_exactly_on_content_changes() {
+        let mut index = CandidateIndex::new(5, 2);
+        index.begin_round(0);
+        assert_eq!(index.stripe_stamp(s(0, 1)), 0);
+        index.insert(s(0, 1), b(0), 0, 0);
+        assert_eq!(index.stripe_stamp(s(0, 1)), 1);
+        // Untouched rounds leave the stamp alone.
+        for now in 1..=5 {
+            index.begin_round(now);
+            assert_eq!(index.stripe_stamp(s(0, 1)), 1, "round {now}");
+        }
+        // Expiry touches the stripe.
+        index.begin_round(6);
+        assert_eq!(index.stripe_stamp(s(0, 1)), 7);
+        // Other stripes are unaffected.
+        assert_eq!(index.stripe_stamp(s(0, 0)), 0);
+        // An ignored (older-start) insert does not touch.
+        index.insert(s(1, 0), b(4), 8, 6);
+        let stamp = index.stripe_stamp(s(1, 0));
+        index.insert(s(1, 0), b(4), 7, 6);
+        assert_eq!(index.stripe_stamp(s(1, 0)), stamp);
+    }
+
+    #[test]
+    fn wheel_grows_for_far_future_starts() {
+        let mut index = CandidateIndex::new(4, 1);
+        index.begin_round(0);
+        // Far beyond the initial ring (2·window + 8 → 16 buckets).
+        index.insert(s(0, 0), b(0), 100, 0);
+        index.insert(s(1, 0), b(1), 0, 0);
+        index.begin_round(5);
+        assert!(index.candidates(s(1, 0)).is_empty(), "near entry expired");
+        assert_eq!(index.candidates(s(0, 0)).len(), 1);
+        // Jump to the far entry's expiry.
+        index.begin_round(105);
+        assert!(index.candidates(s(0, 0)).is_empty());
+        assert_eq!(index.live_entries(), 0);
+    }
+
+    #[test]
+    fn iter_live_round_trips_entries() {
+        let mut index = CandidateIndex::new(10, 3);
+        index.begin_round(0);
+        index.insert(s(2, 1), b(5), 0, 0);
+        index.insert(s(0, 2), b(3), 1, 0);
+        let mut live: Vec<_> = index.iter_live().collect();
+        live.sort();
+        assert_eq!(live, vec![(s(0, 2), b(3), 1), (s(2, 1), b(5), 0)]);
+    }
+
+    #[test]
+    fn candidate_stats_equality_ignores_timing() {
+        let a = CandidateStats {
+            index_entries: 4,
+            expired: 1,
+            inserted: 2,
+            build_ns: 123,
+        };
+        let mut b = a;
+        b.build_ns = 999_999;
+        assert_eq!(a, b);
+        b.expired = 2;
+        assert_ne!(a, b);
+        // JSON round-trips every field, including the timing.
+        let parsed = CandidateStats::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed.build_ns, 123);
+        assert_eq!(parsed, a);
+    }
+}

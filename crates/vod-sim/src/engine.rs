@@ -4,21 +4,30 @@
 //!
 //! 1. ends playbacks that have reached the video duration `T` (the box
 //!    becomes free, leaves its swarm, and its playback record is emitted);
-//! 2. evicts playback-cache entries older than `T` rounds;
+//! 2. runs the candidate pipeline's round maintenance: the incremental
+//!    [`CandidateIndex`] drains exactly the cache entries whose eviction
+//!    round has come (the expiry wheel — O(expiring), not O(live state)),
+//!    while the legacy [`CandidateMode::Rescan`] pipeline re-sweeps every
+//!    cache and index entry like the pre-incremental engine did;
 //! 3. collects the new demands from the workload generator (honouring the
 //!    one-video-per-box constraint) and enters the corresponding boxes into
 //!    their swarms, assigning preload stripes round-robin (`p mod c`) and
 //!    building the per-stripe download plan (homogeneous, rich, or relayed
 //!    poor plan depending on the system and the compensation plan);
 //! 4. assembles the set of *active* stripe requests (every stripe of every
-//!    playing box whose request has been issued), computes each request's
-//!    candidate supplier set `B(x)` — static allocation holders plus playback
-//!    caches that are ahead in the same stripe — and hands the instance to
-//!    the configured [`Scheduler`];
-//! 5. records metrics; if some request is unserved the round is infeasible:
-//!    the obstruction (Hall violator) can be extracted and the run either
-//!    aborts or keeps counting stalls, per the failure policy.
+//!    playing box whose request has been issued) into a pooled buffer,
+//!    builds each request's candidate supplier set `B(x)` — static
+//!    allocation holders plus playback caches that are ahead in the same
+//!    stripe — as one flat CSR [`vod_flow::CandidateView`] (with per-row
+//!    change stamps from the index, so incremental schedulers skip diffs
+//!    for untouched stripes), and hands the instance to the configured
+//!    [`Scheduler`];
+//! 5. records metrics (including the per-round [`CandidateStats`]); if some
+//!    request is unserved the round is infeasible: the obstruction (Hall
+//!    violator) can be extracted and the run either aborts or keeps
+//!    counting stalls, per the failure policy.
 
+use crate::candidates::{CandidateIndex, CandidateStats};
 use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
@@ -26,8 +35,11 @@ use crate::request::{
 use crate::scheduler::{MaxFlowScheduler, RelayBroker, RequestKey, Scheduler, ShardedMatcher};
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
+use std::time::Instant;
 use vod_core::{BoxId, PlaybackCache, StripeId, VideoId, VideoSystem};
-use vod_flow::{find_obstruction_in, ConnectionProblem, Dinic, FlowArena, RelayView};
+use vod_flow::{
+    find_obstruction_in, CandidateBuf, ConnectionProblem, Dinic, FlowArena, RelayView, NO_STAMP,
+};
 use vod_workloads::{DemandGenerator, OccupancyView, VideoDemand};
 
 /// What to do when a round cannot serve every active request.
@@ -42,6 +54,23 @@ pub enum FailurePolicy {
     Continue,
 }
 
+/// How the engine maintains each round's candidate supplier sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// The incremental pipeline (default): playback-cache holders indexed
+    /// by the expiry-wheel [`CandidateIndex`], per-round maintenance
+    /// O(expiring entries) + O(insertions), O(1) membership, and change
+    /// stamps handed down to incremental schedulers.
+    #[default]
+    Incremental,
+    /// The legacy pipeline: a full `retain` sweep over every live cache
+    /// entry each round plus linear `contains` scans on inserts and fills.
+    /// Produces bit-identical candidate rows (content and order) — kept as
+    /// the verification baseline for the equivalence suites and the
+    /// `exp_candidates` old-vs-new profile.
+    Rescan,
+}
+
 /// Simulator configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -52,6 +81,8 @@ pub struct SimConfig {
     /// Whether to extract the obstruction witness on failures (costs one
     /// extra max-flow per failing round).
     pub collect_obstructions: bool,
+    /// Candidate-pipeline implementation (incremental by default).
+    pub candidates: CandidateMode,
 }
 
 impl SimConfig {
@@ -61,6 +92,7 @@ impl SimConfig {
             max_rounds,
             failure_policy: FailurePolicy::Abort,
             collect_obstructions: true,
+            candidates: CandidateMode::Incremental,
         }
     }
 
@@ -73,6 +105,13 @@ impl SimConfig {
     /// Disables obstruction extraction.
     pub fn without_obstructions(mut self) -> Self {
         self.collect_obstructions = false;
+        self
+    }
+
+    /// Switches to the legacy full-rescan candidate pipeline (the
+    /// verification baseline; see [`CandidateMode::Rescan`]).
+    pub fn with_rescan_candidates(mut self) -> Self {
+        self.candidates = CandidateMode::Rescan;
         self
     }
 }
@@ -94,6 +133,100 @@ impl OccupancyView for Occupancy<'_> {
     }
 }
 
+/// The engine's candidate pipeline: either the incremental expiry-wheel
+/// index or the legacy full-rescan structures. Both expose the same
+/// maintenance/insert/stats surface and produce bit-identical candidate
+/// rows.
+enum CandidatePipeline {
+    /// Incremental index (see [`CandidateIndex`]).
+    Incremental(CandidateIndex),
+    /// The pre-incremental structures, maintained exactly like the legacy
+    /// engine did: per-box caches swept with `retain` every round, a
+    /// per-stripe `HashMap` index with linear membership scans.
+    Rescan {
+        caches: Vec<PlaybackCache>,
+        index: HashMap<StripeId, Vec<BoxId>>,
+        live: usize,
+        expired: usize,
+        inserted: usize,
+    },
+}
+
+impl CandidatePipeline {
+    /// Per-round maintenance: evicts entries that left the cache window and
+    /// resets the per-round counters.
+    fn begin_round(&mut self, now: u64, window: u64) {
+        match self {
+            CandidatePipeline::Incremental(index) => index.begin_round(now),
+            CandidatePipeline::Rescan {
+                caches,
+                index,
+                live,
+                expired,
+                inserted,
+            } => {
+                *inserted = 0;
+                let before: usize = caches.iter().map(PlaybackCache::len).sum();
+                for cache in caches.iter_mut() {
+                    cache.evict_older_than(now, window);
+                }
+                // Drop stale index entries so the index does not grow
+                // unboundedly (the legacy full sweep: O(all live entries)).
+                let caches_ref: &[PlaybackCache] = caches;
+                index.retain(|stripe, boxes| {
+                    boxes.retain(|b| caches_ref[b.index()].start_of(*stripe).is_some());
+                    !boxes.is_empty()
+                });
+                let after: usize = caches.iter().map(PlaybackCache::len).sum();
+                *expired = before - after;
+                *live = after;
+            }
+        }
+    }
+
+    /// Records that `box_id` starts caching `stripe` at round `start`.
+    fn insert(&mut self, box_id: BoxId, stripe: StripeId, start: u64, now: u64) {
+        match self {
+            CandidatePipeline::Incremental(index) => index.insert(stripe, box_id, start, now),
+            CandidatePipeline::Rescan {
+                caches,
+                index,
+                live,
+                inserted,
+                ..
+            } => {
+                let fresh = caches[box_id.index()].start_of(stripe).is_none();
+                caches[box_id.index()].insert(stripe, start);
+                let entry = index.entry(stripe).or_default();
+                if !entry.contains(&box_id) {
+                    entry.push(box_id);
+                }
+                if fresh {
+                    *live += 1;
+                    *inserted += 1;
+                }
+            }
+        }
+    }
+
+    /// (live entries, expired this round, inserted this round).
+    fn stats(&self) -> (usize, usize, usize) {
+        match self {
+            CandidatePipeline::Incremental(index) => (
+                index.live_entries(),
+                index.expired_this_round(),
+                index.inserted_this_round(),
+            ),
+            CandidatePipeline::Rescan {
+                live,
+                expired,
+                inserted,
+                ..
+            } => (*live, *expired, *inserted),
+        }
+    }
+}
+
 /// The round-based protocol simulator.
 pub struct Simulator<'a> {
     system: &'a VideoSystem,
@@ -101,10 +234,10 @@ pub struct Simulator<'a> {
     scheduler: Box<dyn Scheduler>,
     round: u64,
     playing: Vec<Option<PlaybackState>>,
-    caches: Vec<PlaybackCache>,
-    /// Boxes that may hold each stripe in their playback cache (freshness is
-    /// re-checked against the per-box cache at lookup time).
-    cache_index: HashMap<StripeId, Vec<BoxId>>,
+    /// Which boxes hold which stripe in their playback cache (incremental
+    /// expiry-wheel index by default, legacy rescan structures under
+    /// [`CandidateMode::Rescan`]).
+    candidates: CandidatePipeline,
     swarms: SwarmTracker,
     /// Stall-round counters for in-flight playbacks.
     stalls: Vec<u64>,
@@ -115,15 +248,32 @@ pub struct Simulator<'a> {
     /// owns the live reservation table, per-relay utilization counters,
     /// and the two-hop witness network.
     relay_broker: Option<RelayBroker>,
-    /// Reused per-round buffers: request keys, candidate sets, assignment,
+    /// Reused per-round buffers: active requests, request keys, the flat
+    /// CSR candidate buffer with its per-row change stamps, assignment,
     /// relay attributions and per-relay forwarding loads, and the demand
     /// batch pulled from the generator.
+    request_buf: Vec<StripeRequest>,
     sched_keys: Vec<RequestKey>,
-    sched_cands: Vec<Vec<BoxId>>,
+    cand_buf: CandidateBuf,
+    cand_stamps: Vec<u64>,
     assignment: Vec<Option<BoxId>>,
     relay_of: Vec<Option<BoxId>>,
     relay_loads: Vec<u32>,
     demand_buf: Vec<VideoDemand>,
+    /// Per-box generation marks for O(1) candidate dedup (holders vs cache
+    /// holders) — one epoch per request row.
+    box_seen: Vec<u64>,
+    seen_epoch: u64,
+    /// Pooled stalled-viewer / failed-video accumulation with per-round
+    /// generation marks (replacing the old linear `contains` scans).
+    stalled_viewers: Vec<BoxId>,
+    failed_videos: Vec<VideoId>,
+    viewer_mark: Vec<u64>,
+    video_mark: Vec<u64>,
+    /// The current round's candidate-pipeline profile (maintenance + fill).
+    round_cand_stats: CandidateStats,
+    /// Scratch for the debug-only assignment validity check.
+    dbg_loads: Vec<u32>,
     /// Scratch for obstruction extraction on failing rounds.
     obstruction_arena: FlowArena,
     obstruction_solver: Dinic,
@@ -150,25 +300,54 @@ impl<'a> Simulator<'a> {
         let relay_broker = system
             .compensation()
             .map(|plan| RelayBroker::from_plan(plan.clone(), system.boxes(), system.c()));
+        let candidates = match config.candidates {
+            CandidateMode::Incremental => CandidatePipeline::Incremental(CandidateIndex::new(
+                system.duration() as u64,
+                system.c(),
+            )),
+            CandidateMode::Rescan => CandidatePipeline::Rescan {
+                caches: vec![PlaybackCache::new(); n],
+                index: HashMap::new(),
+                live: 0,
+                expired: 0,
+                inserted: 0,
+            },
+        };
+        let mut report = SimulationReport::default();
+        // Bounded pre-reservation keeps steady-state rounds free of metric
+        // reallocation (the zero-alloc engine contract); very long runs
+        // amortize the occasional growth as usual.
+        report
+            .rounds
+            .reserve(usize::try_from(config.max_rounds).unwrap_or(0).min(4096));
         Simulator {
             system,
             config,
             scheduler,
             round: 0,
             playing: vec![None; n],
-            caches: vec![PlaybackCache::new(); n],
-            cache_index: HashMap::new(),
+            candidates,
             swarms: SwarmTracker::new(system.c()),
             stalls: vec![0; n],
-            report: SimulationReport::default(),
+            report,
             capacities,
             relay_broker,
+            request_buf: Vec::new(),
             sched_keys: Vec::new(),
-            sched_cands: Vec::new(),
+            cand_buf: CandidateBuf::new(),
+            cand_stamps: Vec::new(),
             assignment: Vec::new(),
             relay_of: Vec::new(),
             relay_loads: Vec::new(),
             demand_buf: Vec::new(),
+            box_seen: vec![0; n],
+            seen_epoch: 0,
+            stalled_viewers: Vec::new(),
+            failed_videos: Vec::new(),
+            viewer_mark: vec![0; n],
+            video_mark: vec![0; system.m()],
+            round_cand_stats: CandidateStats::default(),
+            dbg_loads: Vec::new(),
             obstruction_arena: FlowArena::new(),
             obstruction_solver: Dinic::new(),
         }
@@ -236,10 +415,22 @@ impl<'a> Simulator<'a> {
         let window = self.system.duration() as u64;
 
         self.end_finished_playbacks(now);
-        self.evict_caches(now, window);
+        // Candidate-pipeline maintenance is half of the round's candidate
+        // cost; the other half (row construction) is timed in
+        // `schedule_round` and summed into the same per-round profile.
+        let maintenance = Instant::now();
+        self.candidates.begin_round(now, window);
+        self.round_cand_stats = CandidateStats {
+            build_ns: maintenance.elapsed().as_nanos() as u64,
+            ..CandidateStats::default()
+        };
         let new_demands = self.accept_demands(generator, now);
-        let (requests, self_served) = self.collect_active_requests(now);
+        // Detach the pooled request buffer so collection can borrow `self`.
+        let mut requests = std::mem::take(&mut self.request_buf);
+        requests.clear();
+        let self_served = self.collect_active_requests_into(now, &mut requests);
         let (metrics, feasible) = self.schedule_round(now, &requests, self_served, new_demands);
+        self.request_buf = requests;
         self.report.rounds.push(metrics);
         self.round += 1;
         feasible
@@ -261,18 +452,6 @@ impl<'a> Simulator<'a> {
                 self.stalls[idx] = 0;
             }
         }
-    }
-
-    fn evict_caches(&mut self, now: u64, window: u64) {
-        for cache in &mut self.caches {
-            cache.evict_older_than(now, window);
-        }
-        // Drop stale index entries so the index does not grow unboundedly.
-        let caches = &self.caches;
-        self.cache_index.retain(|stripe, boxes| {
-            boxes.retain(|b| caches[b.index()].start_of(*stripe).is_some());
-            !boxes.is_empty()
-        });
     }
 
     fn accept_demands(&mut self, generator: &mut dyn DemandGenerator, now: u64) -> usize {
@@ -329,9 +508,9 @@ impl<'a> Simulator<'a> {
             let stripe = StripeId::new(video, stripe_idx as u16);
             let start = stripe_plan.activate_at();
             let requester = stripe_plan.requester(box_id);
-            self.insert_cache(requester, stripe, start);
+            self.candidates.insert(requester, stripe, start, now);
             if requester != box_id {
-                self.insert_cache(box_id, stripe, start);
+                self.candidates.insert(box_id, stripe, start, now);
             }
         }
 
@@ -345,55 +524,82 @@ impl<'a> Simulator<'a> {
         });
     }
 
-    fn insert_cache(&mut self, box_id: BoxId, stripe: StripeId, start: u64) {
-        self.caches[box_id.index()].insert(stripe, start);
-        let entry = self.cache_index.entry(stripe).or_default();
-        if !entry.contains(&box_id) {
-            entry.push(box_id);
-        }
-    }
-
-    fn collect_active_requests(&self, now: u64) -> (Vec<StripeRequest>, usize) {
-        let mut requests = Vec::new();
+    /// Collects the round's active stripe requests into the pooled buffer,
+    /// returning the number of requests served from the requester's own
+    /// static storage (no connection needed).
+    fn collect_active_requests_into(&self, now: u64, out: &mut Vec<StripeRequest>) -> usize {
         let mut self_served = 0usize;
         for (idx, slot) in self.playing.iter().enumerate() {
             let viewer = BoxId(idx as u32);
             if let Some(st) = slot {
-                for req in st.active_requests(viewer, now) {
+                st.for_each_active(viewer, now, |req| {
                     if self.system.placement().stores(req.requester, req.stripe) {
                         self_served += 1;
                     } else {
-                        requests.push(req);
+                        out.push(req);
                     }
-                }
+                });
             }
         }
-        (requests, self_served)
+        self_served
     }
 
-    /// Candidate suppliers for one request at round `now`: static holders of
-    /// the stripe plus boxes whose playback cache is ahead on the same
-    /// stripe, excluding the requester itself. Written into `out` (cleared
-    /// first) so the per-round candidate buffers can be reused.
-    fn fill_candidates(&self, req: &StripeRequest, now: u64, out: &mut Vec<BoxId>) {
+    /// Builds every request's candidate supplier row into the pooled flat
+    /// CSR buffer: static holders of the stripe plus boxes whose playback
+    /// cache is ahead on the same stripe, excluding the requester itself.
+    /// Per-box generation marks give O(1) dedup between the two sources;
+    /// row order is identical under both pipelines (holders in placement
+    /// order, then cache holders in index insertion order).
+    fn fill_round_candidates(&mut self, now: u64, requests: &[StripeRequest]) {
         let window = self.system.duration() as u64;
-        out.clear();
-        out.extend(
-            self.system
-                .holders_of(req.stripe)
-                .iter()
-                .copied()
-                .filter(|&b| b != req.requester),
-        );
-        if let Some(cached) = self.cache_index.get(&req.stripe) {
-            for &b in cached {
-                if b != req.requester
-                    && !out.contains(&b)
-                    && self.caches[b.index()].can_serve(req.stripe, req.issued_at, now, window)
-                {
-                    out.push(b);
+        self.cand_buf.clear();
+        self.cand_stamps.clear();
+        for req in requests {
+            self.seen_epoch += 1;
+            let epoch = self.seen_epoch;
+            for &b in self.system.holders_of(req.stripe) {
+                if b != req.requester {
+                    self.box_seen[b.index()] = epoch;
+                    self.cand_buf.push_box(b);
                 }
             }
+            match &self.candidates {
+                CandidatePipeline::Incremental(index) => {
+                    // Entries are live by construction (the wheel drained
+                    // everything older than the window), so only the
+                    // ahead-of-requester condition remains per entry.
+                    for &(b, start) in index.candidates(req.stripe) {
+                        debug_assert!(start + window >= now, "index kept an expired entry");
+                        if b != req.requester
+                            && self.box_seen[b.index()] != epoch
+                            && start < req.issued_at
+                        {
+                            self.cand_buf.push_box(b);
+                        }
+                    }
+                    self.cand_stamps.push(index.stripe_stamp(req.stripe));
+                }
+                CandidatePipeline::Rescan { caches, index, .. } => {
+                    if let Some(cached) = index.get(&req.stripe) {
+                        for &b in cached {
+                            if b != req.requester
+                                && self.box_seen[b.index()] != epoch
+                                && caches[b.index()].can_serve(
+                                    req.stripe,
+                                    req.issued_at,
+                                    now,
+                                    window,
+                                )
+                            {
+                                self.cand_buf.push_box(b);
+                            }
+                        }
+                    }
+                    // The legacy pipeline carries no change information.
+                    self.cand_stamps.push(NO_STAMP);
+                }
+            }
+            self.cand_buf.finish_row();
         }
     }
 
@@ -404,16 +610,17 @@ impl<'a> Simulator<'a> {
         self_served: usize,
         new_demands: usize,
     ) -> (RoundMetrics, bool) {
-        // Fill the reused candidate buffers (detached so `fill_candidates`
-        // can borrow `self`).
-        let mut candidates = std::mem::take(&mut self.sched_cands);
-        while candidates.len() < requests.len() {
-            candidates.push(Vec::new());
-        }
-        candidates.truncate(requests.len());
-        for (slot, req) in candidates.iter_mut().zip(requests) {
-            self.fill_candidates(req, now, slot);
-        }
+        // Build the flat candidate rows (timed into the round's candidate
+        // profile together with the maintenance half from `step`).
+        let fill = Instant::now();
+        self.fill_round_candidates(now, requests);
+        let (live, expired, inserted) = self.candidates.stats();
+        self.round_cand_stats = CandidateStats {
+            index_entries: live,
+            expired,
+            inserted,
+            build_ns: self.round_cand_stats.build_ns + fill.elapsed().as_nanos() as u64,
+        };
         // Stable request identities let incremental schedulers patch the
         // previous round's flow network instead of rebuilding it.
         self.sched_keys.clear();
@@ -436,27 +643,28 @@ impl<'a> Simulator<'a> {
 
         let mut assignment = std::mem::take(&mut self.assignment);
         match &self.relay_broker {
-            Some(broker) => self.scheduler.schedule_relayed(
+            Some(broker) => self.scheduler.schedule_relayed_view(
                 &self.capacities,
                 &self.sched_keys,
-                &candidates,
+                self.cand_buf.view_with_stamps(&self.cand_stamps),
                 &RelayView {
                     relay_of: &self.relay_of,
                     reserved: broker.reserved_slots(),
                 },
                 &mut assignment,
             ),
-            None => self.scheduler.schedule_keyed(
+            None => self.scheduler.schedule_keyed_view(
                 &self.capacities,
                 &self.sched_keys,
-                &candidates,
+                self.cand_buf.view_with_stamps(&self.cand_stamps),
                 &mut assignment,
             ),
         }
-        debug_assert!(crate::scheduler::assignment_is_valid(
+        debug_assert!(crate::scheduler::assignment_is_valid_view(
             &assignment,
             &self.capacities,
-            &candidates
+            self.cand_buf.view(),
+            &mut self.dbg_loads,
         ));
 
         // Fold this round's forwarding demand into the relay subsystem's
@@ -483,8 +691,11 @@ impl<'a> Simulator<'a> {
         let mut served_from_allocation = 0usize;
         let mut served_from_cache = 0usize;
         let mut unserved = 0usize;
-        let mut stalled_viewers: Vec<BoxId> = Vec::new();
-        let mut failed_videos: Vec<VideoId> = Vec::new();
+        // Pooled accumulation with generation marks: no linear `contains`
+        // scan per unserved request.
+        self.stalled_viewers.clear();
+        self.failed_videos.clear();
+        let mark = now + 1;
 
         for (req, assigned) in requests.iter().zip(&assignment) {
             match assigned {
@@ -498,17 +709,20 @@ impl<'a> Simulator<'a> {
                 }
                 None => {
                     unserved += 1;
-                    if !stalled_viewers.contains(&req.viewer) {
-                        stalled_viewers.push(req.viewer);
+                    if self.viewer_mark[req.viewer.index()] != mark {
+                        self.viewer_mark[req.viewer.index()] = mark;
+                        self.stalled_viewers.push(req.viewer);
                     }
-                    if !failed_videos.contains(&req.stripe.video) {
-                        failed_videos.push(req.stripe.video);
+                    let video_idx = req.stripe.video.0 as usize;
+                    if self.video_mark[video_idx] != mark {
+                        self.video_mark[video_idx] = mark;
+                        self.failed_videos.push(req.stripe.video);
                     }
                 }
             }
         }
 
-        for viewer in &stalled_viewers {
+        for viewer in &self.stalled_viewers {
             self.stalls[viewer.index()] += 1;
         }
 
@@ -533,7 +747,11 @@ impl<'a> Simulator<'a> {
                     // relay network: same supply-side Hall violator,
                     // plus the starved reservations by name.
                     Some(broker) => {
-                        match broker.diagnose(&self.capacities, &candidates, &self.relay_of) {
+                        match broker.diagnose_view(
+                            &self.capacities,
+                            self.cand_buf.view(),
+                            &self.relay_of,
+                        ) {
                             Some(witness) => {
                                 let supply = !witness.requests.is_empty();
                                 (
@@ -547,7 +765,7 @@ impl<'a> Simulator<'a> {
                     }
                     None => {
                         let mut problem = ConnectionProblem::new(self.capacities.clone());
-                        for cand in &candidates {
+                        for cand in self.cand_buf.view().rows() {
                             problem.add_request(cand.iter().copied());
                         }
                         match find_obstruction_in(
@@ -569,7 +787,7 @@ impl<'a> Simulator<'a> {
                 obstruction_size,
                 obstruction_capacity,
                 starved_relays,
-                videos: failed_videos,
+                videos: self.failed_videos.clone(),
             });
         }
 
@@ -589,9 +807,9 @@ impl<'a> Simulator<'a> {
             // (shard counts, split water-filling, reconciliation work).
             shard: self.scheduler.shard_stats(),
             relay: relay_metrics,
+            candidates: Some(self.round_cand_stats),
         };
         // Return the reused buffers for the next round.
-        self.sched_cands = candidates;
         self.assignment = assignment;
         (metrics, feasible)
     }
@@ -736,5 +954,57 @@ mod tests {
         let mut gen = SequentialViewing::new(8, sys.m(), NextVideoPolicy::RoundRobin, 4.0, 9);
         let report = sim.run(&mut gen);
         assert_eq!(report.total_demands, 8);
+    }
+
+    #[test]
+    fn rescan_pipeline_reproduces_incremental_reports_bit_for_bit() {
+        // The legacy full-rescan pipeline and the incremental expiry-wheel
+        // index must produce identical simulations: same schedules, same
+        // metrics, same candidate-pipeline counters (equality ignores only
+        // the wall-clock build_ns).
+        let sys = small_system(24, 2.0, 4, 4, 18);
+        let run = |config: SimConfig| {
+            let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+            Simulator::new(&sys, config).run(&mut gen)
+        };
+        let incremental = run(SimConfig::new(45).continue_on_failure());
+        let rescan = run(SimConfig::new(45)
+            .continue_on_failure()
+            .with_rescan_candidates());
+        assert_eq!(incremental, rescan);
+        let stats = incremental.rounds[10]
+            .candidates
+            .expect("candidate stats are recorded");
+        assert!(stats.index_entries > 0, "index never populated");
+    }
+
+    #[test]
+    fn candidate_stats_track_expiry_scale() {
+        // With duration 6 and steady churn, entries keep expiring; the
+        // expired counts across the run must equal insertions minus what is
+        // still live at the end.
+        let sys = small_system(12, 2.0, 4, 4, 6);
+        let mut gen = SequentialViewing::new(12, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+        let report = Simulator::new(&sys, SimConfig::new(40).continue_on_failure()).run(&mut gen);
+        let inserted: usize = report
+            .rounds
+            .iter()
+            .map(|r| r.candidates.unwrap().inserted)
+            .sum();
+        let expired: usize = report
+            .rounds
+            .iter()
+            .map(|r| r.candidates.unwrap().expired)
+            .sum();
+        let live_at_end = report
+            .rounds
+            .last()
+            .unwrap()
+            .candidates
+            .unwrap()
+            .index_entries;
+        assert!(inserted > 0);
+        assert!(expired > 0, "no entry ever expired");
+        assert_eq!(inserted - expired, live_at_end);
     }
 }

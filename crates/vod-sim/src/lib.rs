@@ -10,6 +10,8 @@
 //! witnesses.
 //!
 //! * [`request`] — stripe requests, per-box download plans, start-up delays;
+//! * [`candidates`] — incremental candidate-index maintenance: the expiry
+//!   wheel behind each round's `B(x)` supplier sets;
 //! * [`swarm`] — per-video swarm tracking and preload-stripe rotation;
 //! * [`scheduler`] — max-flow, greedy, random, incremental, and per-swarm
 //!   sharded schedulers (parallel shard solves, deficit water-filling
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod candidates;
 pub mod churn;
 pub mod engine;
 pub mod metrics;
@@ -31,8 +34,9 @@ pub mod request;
 pub mod scheduler;
 pub mod swarm;
 
+pub use candidates::{CandidateIndex, CandidateStats};
 pub use churn::{ChurnEvent, ChurnModel, RepairReport};
-pub use engine::{FailurePolicy, SimConfig, Simulator};
+pub use engine::{CandidateMode, FailurePolicy, SimConfig, Simulator};
 pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
 pub use scheduler::{

@@ -5,6 +5,7 @@
 //! utilization, sourcing vs swarming split, start-up delays, and the
 //! obstructions witnessing infeasible rounds.
 
+use crate::candidates::CandidateStats;
 use crate::scheduler::{RelayRoundStats, RelayUtilization, ShardRoundStats};
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
@@ -45,6 +46,10 @@ pub struct RoundMetrics {
     /// capacity, saturation, cross-shard lending), when the system is
     /// heterogeneous with a compensation plan; `None` otherwise.
     pub relay: Option<RelayRoundStats>,
+    /// Candidate-pipeline observability (index size, expiry/insert volume,
+    /// build wall-clock; equality ignores the timing). `None` only in
+    /// reports serialized before the pipeline existed.
+    pub candidates: Option<CandidateStats>,
 }
 
 impl JsonCodec for RoundMetrics {
@@ -69,6 +74,7 @@ impl JsonCodec for RoundMetrics {
             ("max_swarm", self.max_swarm.to_json()),
             ("shard", self.shard.to_json()),
             ("relay", self.relay.to_json()),
+            ("candidates", self.candidates.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -91,6 +97,11 @@ impl JsonCodec for RoundMetrics {
             },
             // Absent in reports serialized before the relay subsystem.
             relay: match json.field("relay") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before the candidate pipeline.
+            candidates: match json.field("candidates") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },

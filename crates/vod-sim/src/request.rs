@@ -108,24 +108,34 @@ pub struct PlaybackState {
 }
 
 impl PlaybackState {
+    /// Calls `f` for each stripe request of this playback that is active at
+    /// round `now` (issued at or before `now`, playback not yet finished),
+    /// in stripe order. The allocation-free core behind
+    /// [`PlaybackState::active_requests`]; the engine drives it directly so
+    /// steady-state request collection costs no heap.
+    pub fn for_each_active(&self, viewer: BoxId, now: u64, mut f: impl FnMut(StripeRequest)) {
+        if now >= self.ends_at {
+            return;
+        }
+        for (idx, p) in self.plan.iter().enumerate() {
+            if p.activate_at() <= now {
+                f(StripeRequest {
+                    stripe: StripeId::new(self.video, idx as StripeIndex),
+                    requester: p.requester(viewer),
+                    viewer,
+                    issued_at: p.activate_at(),
+                    kind: p.kind(),
+                });
+            }
+        }
+    }
+
     /// The stripe requests of this playback that are active at round `now`
     /// (issued at or before `now`, playback not yet finished).
     pub fn active_requests(&self, viewer: BoxId, now: u64) -> Vec<StripeRequest> {
-        if now >= self.ends_at {
-            return Vec::new();
-        }
-        self.plan
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.activate_at() <= now)
-            .map(|(idx, p)| StripeRequest {
-                stripe: StripeId::new(self.video, idx as StripeIndex),
-                requester: p.requester(viewer),
-                viewer,
-                issued_at: p.activate_at(),
-                kind: p.kind(),
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_active(viewer, now, |req| out.push(req));
+        out
     }
 
     /// Start-up delay in rounds (from swarm entry to playback start).

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use vod_core::{BoxId, StripeId};
-use vod_flow::{Dinic, FlowArena, MaxFlowSolve, NodeId};
+use vod_flow::{CandidateBuf, CandidateView, Dinic, FlowArena, MaxFlowSolve, NodeId, NO_STAMP};
 
 /// Deterministic multiply-xor hasher for the request-key map: the default
 /// SipHash dominates the per-round diff cost at thousands of lookups per
@@ -66,6 +66,10 @@ struct RequestSlot {
     /// False until `given` reflects this slot's active edges (freshly
     /// allocated or recycled slots must run a full diff).
     given_valid: bool,
+    /// The producer change stamp `given` was captured under
+    /// ([`vod_flow::NO_STAMP`] when the producer attached none): an equal
+    /// stamp on a later round proves the row unchanged without comparing it.
+    given_stamp: u64,
     /// Round stamp of the last round that listed this request.
     stamp: u64,
     /// Position of this request in the current round's input.
@@ -138,6 +142,9 @@ pub struct IncrementalMatcher {
     /// steady-state rounds allocate nothing even in debug builds).
     dbg_seen: Vec<bool>,
     dbg_stack: Vec<NodeId>,
+    /// Pooled CSR bridge for the slice-of-vecs entry points (the view-based
+    /// [`IncrementalMatcher::schedule_keyed_view`] is the native path).
+    csr_bridge: CandidateBuf,
 }
 
 impl Default for IncrementalMatcher {
@@ -176,6 +183,7 @@ impl IncrementalMatcher {
             path_edges: Vec::new(),
             dbg_seen: Vec::new(),
             dbg_stack: Vec::new(),
+            csr_bridge: CandidateBuf::new(),
         }
     }
 
@@ -214,6 +222,26 @@ impl IncrementalMatcher {
         capacities: &[u32],
         keys: &[RequestKey],
         candidates: &[Vec<BoxId>],
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        // Detach the pooled bridge buffer so the view can borrow it while
+        // `self` stays mutably borrowable for the core call.
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        self.schedule_keyed_view(capacities, keys, bridge.view(), out);
+        self.csr_bridge = bridge;
+    }
+
+    /// View-based core of [`IncrementalMatcher::schedule_keyed`]: identical
+    /// semantics over a borrowed flat [`CandidateView`] (the engine's native
+    /// representation). When the view carries per-row change stamps, a
+    /// surviving request whose stamp is unchanged skips the per-row
+    /// sort-and-diff entirely.
+    pub fn schedule_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
         out: &mut Vec<Option<BoxId>>,
     ) {
         assert_eq!(keys.len(), candidates.len(), "one key per request");
@@ -272,7 +300,7 @@ impl IncrementalMatcher {
     }
 
     /// Full reconstruction of the tracked instance inside the reused arena.
-    fn rebuild(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: &[Vec<BoxId>]) {
+    fn rebuild(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: CandidateView<'_>) {
         let boxes = capacities.len();
         self.arena.clear(boxes + 2);
         self.sink = boxes + 1;
@@ -302,9 +330,9 @@ impl IncrementalMatcher {
         self.stamp += 1;
 
         self.round_slots.clear();
-        for (pos, (key, cands)) in keys.iter().zip(candidates).enumerate() {
+        for (pos, key) in keys.iter().enumerate() {
             let slot_idx = self.alloc_slot(*key, pos);
-            self.set_candidates(slot_idx, cands);
+            self.set_candidates(slot_idx, candidates.row(pos), candidates.row_stamp(pos));
             self.round_slots.push(slot_idx);
         }
         self.rebuilds += 1;
@@ -314,7 +342,7 @@ impl IncrementalMatcher {
 
     /// Diffs the incoming round against the tracked instance, patching the
     /// arena in place and repairing flow validity.
-    fn patch(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: &[Vec<BoxId>]) {
+    fn patch(&mut self, capacities: &[u32], keys: &[RequestKey], candidates: CandidateView<'_>) {
         self.stamp += 1;
 
         // Per-box capacity changes (rare: capacities are static per system).
@@ -327,7 +355,7 @@ impl IncrementalMatcher {
         // Upsert this round's requests.
         self.round_slots.clear();
         let mut arrivals = false;
-        for (pos, (key, cands)) in keys.iter().zip(candidates).enumerate() {
+        for (pos, key) in keys.iter().enumerate() {
             let slot_idx = match self.by_key.get(key) {
                 Some(&idx) => {
                     // A duplicate key in one round would silently alias two
@@ -345,7 +373,7 @@ impl IncrementalMatcher {
                     self.alloc_slot(*key, pos)
                 }
             };
-            self.set_candidates(slot_idx, cands);
+            self.set_candidates(slot_idx, candidates.row(pos), candidates.row_stamp(pos));
             self.round_slots.push(slot_idx);
         }
 
@@ -413,10 +441,22 @@ impl IncrementalMatcher {
     /// Patches the slot's candidate edges to match `cands`: revives or
     /// creates edges for current candidates, de-capacitates edges for
     /// dropped ones (cancelling their flow first).
-    fn set_candidates(&mut self, slot_idx: usize, cands: &[BoxId]) {
+    fn set_candidates(&mut self, slot_idx: usize, cands: &[BoxId], stamp: u64) {
+        // Fastest path: the producer's change stamp proves the row unchanged
+        // since the last sync of this slot — no comparison needed at all
+        // (the engine's candidate-index diffs handed down as precomputed
+        // deltas).
+        if self.slots[slot_idx].given_valid
+            && stamp != NO_STAMP
+            && self.slots[slot_idx].given_stamp == stamp
+        {
+            debug_assert_eq!(self.slots[slot_idx].given, *cands, "stale change stamp");
+            return;
+        }
         // Fast path: identical raw candidate list → active edges already
         // match, nothing to sort or diff.
         if self.slots[slot_idx].given_valid && self.slots[slot_idx].given == *cands {
+            self.slots[slot_idx].given_stamp = stamp;
             return;
         }
         let boxes = self.caps.len();
@@ -475,11 +515,13 @@ impl IncrementalMatcher {
         }
         added.clear();
         self.added_cands = added;
-        // Remember the raw list for next round's fast path.
+        // Remember the raw list (and the stamp it was captured under) for
+        // next round's fast paths.
         let slot = &mut self.slots[slot_idx];
         slot.given.clear();
         slot.given.extend_from_slice(cands);
         slot.given_valid = true;
+        slot.given_stamp = stamp;
     }
 
     /// De-capacitates one candidate edge, cancelling its flow first.
@@ -727,6 +769,30 @@ impl crate::scheduler::Scheduler for IncrementalMatcher {
         out: &mut Vec<Option<BoxId>>,
     ) {
         IncrementalMatcher::schedule_keyed(self, capacities, keys, candidates, out);
+    }
+
+    fn schedule_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        IncrementalMatcher::schedule_keyed_view(self, capacities, keys, candidates, out);
+    }
+
+    fn schedule_relayed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        relays: &vod_flow::RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        // Relay-blind (see `Scheduler::schedule_relayed`): stay on the
+        // native view path instead of the allocating default bridge.
+        let _ = relays;
+        IncrementalMatcher::schedule_keyed_view(self, capacities, keys, candidates, out);
     }
 
     fn name(&self) -> &'static str {

@@ -9,7 +9,7 @@
 
 use super::{IncrementalMatcher, RequestKey, Scheduler};
 use vod_core::BoxId;
-use vod_flow::MaxFlowSolve;
+use vod_flow::{CandidateView, MaxFlowSolve};
 
 /// Scheduler computing an optimal connection matching (Lemma 1) each round.
 #[derive(Debug, Default)]
@@ -53,6 +53,33 @@ impl Scheduler for MaxFlowScheduler {
     ) {
         self.matcher
             .schedule_keyed(capacities, keys, candidates, out);
+    }
+
+    fn schedule_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        self.matcher
+            .schedule_keyed_view(capacities, keys, candidates, out);
+    }
+
+    fn schedule_relayed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        relays: &vod_flow::RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        // Relay-blind (forwarding draws on reserved capacity, not on the
+        // open budgets the matching allocates): stay on the native view
+        // path instead of falling into the allocating default bridge.
+        let _ = relays;
+        self.matcher
+            .schedule_keyed_view(capacities, keys, candidates, out);
     }
 
     fn name(&self) -> &'static str {

@@ -22,7 +22,7 @@ pub use relay_broker::{RelayBroker, RelayEvent, RelayRoundStats, RelayUtilizatio
 pub use sharded::{ReconcilePolicy, ShardRoundStats, ShardedMatcher, SplitPolicy};
 
 use vod_core::BoxId;
-use vod_flow::{RelayLendStats, RelayView};
+use vod_flow::{CandidateView, RelayLendStats, RelayView};
 
 /// A per-round connection scheduler.
 ///
@@ -69,6 +69,27 @@ pub trait Scheduler {
         out.extend(self.schedule(capacities, candidates));
     }
 
+    /// Flat-CSR variant of [`Scheduler::schedule_keyed`], the entry point
+    /// the simulation engine drives: `candidates` is one contiguous
+    /// [`CandidateView`] instead of a slice of per-request `Vec`s, and may
+    /// carry per-row change stamps that let incremental schedulers skip
+    /// their per-row diffs (see [`vod_flow::candidates`]).
+    ///
+    /// The default implementation materializes the rows and delegates to
+    /// [`Scheduler::schedule_keyed`], so external schedulers implementing
+    /// only the slice-of-vecs form keep working unchanged; the in-tree
+    /// matchers override it to consume the view natively.
+    fn schedule_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        let rows = candidates.to_vecs();
+        self.schedule_keyed(capacities, keys, &rows, out);
+    }
+
     /// Relay-aware variant used for heterogeneous systems: `relays` names
     /// each request's forwarding relay and the per-box reserved forwarding
     /// slots. Relay structure never changes *which* requests find suppliers
@@ -89,6 +110,23 @@ pub trait Scheduler {
     ) {
         let _ = relays;
         self.schedule_keyed(capacities, keys, candidates, out);
+    }
+
+    /// Flat-CSR variant of [`Scheduler::schedule_relayed`] (the engine's
+    /// heterogeneous entry point). Defaults bridge exactly like
+    /// [`Scheduler::schedule_keyed_view`]: rows are materialized and handed
+    /// to the slice-of-vecs form, so relay-blind and external schedulers
+    /// need not care.
+    fn schedule_relayed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        relays: &RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        let rows = candidates.to_vecs();
+        self.schedule_relayed(capacities, keys, &rows, relays, out);
     }
 
     /// Per-round shard observability, for schedulers that shard the round's
@@ -125,6 +163,30 @@ pub fn assignment_is_valid(
     for (x, a) in assignment.iter().enumerate() {
         if let Some(b) = a {
             if !candidates[x].contains(b) {
+                return false;
+            }
+            loads[b.index()] += 1;
+        }
+    }
+    loads.iter().zip(capacities).all(|(l, c)| l <= c)
+}
+
+/// [`assignment_is_valid`] over a flat [`CandidateView`], with pooled load
+/// scratch so the engine's per-round debug assertion stays allocation-free.
+pub fn assignment_is_valid_view(
+    assignment: &[Option<BoxId>],
+    capacities: &[u32],
+    candidates: CandidateView<'_>,
+    loads: &mut Vec<u32>,
+) -> bool {
+    if assignment.len() != candidates.len() {
+        return false;
+    }
+    loads.clear();
+    loads.resize(capacities.len(), 0);
+    for (x, a) in assignment.iter().enumerate() {
+        if let Some(b) = a {
+            if !candidates.row(x).contains(b) {
                 return false;
             }
             loads[b.index()] += 1;

@@ -25,7 +25,7 @@ use vod_core::{
     relay_reservation, Bandwidth, BoxId, BoxSet, CompensationDelta, CompensationPlan, CoreError,
     NodeBox,
 };
-use vod_flow::{Dinic, RelayNetwork, RelayObstruction, RelayView};
+use vod_flow::{CandidateBuf, CandidateView, Dinic, RelayNetwork, RelayObstruction, RelayView};
 
 /// A churn event the broker re-plans reservations around.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -195,6 +195,9 @@ pub struct RelayBroker {
     /// Pooled witness machinery for [`RelayBroker::diagnose`].
     net: RelayNetwork,
     solver: Dinic,
+    /// Pooled CSR bridge for the slice-of-vecs [`RelayBroker::diagnose`]
+    /// entry point ([`RelayBroker::diagnose_view`] is the native path).
+    csr_bridge: CandidateBuf,
 }
 
 impl RelayBroker {
@@ -221,6 +224,7 @@ impl RelayBroker {
             migrations: 0,
             net: RelayNetwork::new(),
             solver: Dinic::new(),
+            csr_bridge: CandidateBuf::new(),
         };
         broker.sync_reserved_slots();
         broker
@@ -574,7 +578,23 @@ impl RelayBroker {
         candidates: &[Vec<BoxId>],
         relay_of: &[Option<BoxId>],
     ) -> Option<RelayObstruction> {
-        self.net.build(
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        let witness = self.diagnose_view(capacities, bridge.view(), relay_of);
+        self.csr_bridge = bridge;
+        witness
+    }
+
+    /// View-based core of [`RelayBroker::diagnose`]: identical semantics
+    /// over a borrowed flat [`vod_flow::CandidateView`] (the engine's
+    /// native representation of a round's candidate structure).
+    pub fn diagnose_view(
+        &mut self,
+        capacities: &[u32],
+        candidates: CandidateView<'_>,
+        relay_of: &[Option<BoxId>],
+    ) -> Option<RelayObstruction> {
+        self.net.build_view(
             capacities,
             candidates,
             &RelayView {

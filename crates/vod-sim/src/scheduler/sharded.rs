@@ -46,7 +46,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::BoxId;
-use vod_flow::{ReconcileStats, RelayLendStats, RelayView, ShardedArena, SplitStats};
+use vod_flow::{
+    CandidateBuf, CandidateView, ReconcileStats, RelayLendStats, RelayView, ShardedArena,
+    SplitStats,
+};
 
 /// How each box's upload budget is divided across the swarms demanding it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -172,7 +175,14 @@ struct ShardState {
     /// doublings, not on every new box a growing swarm touches.
     caps: Vec<u32>,
     keys: Vec<RequestKey>,
-    cands: Vec<Vec<BoxId>>,
+    /// Shard-local candidate rows (remapped to the local box universe), as
+    /// one pooled flat CSR buffer — the shard copy is a contiguous append,
+    /// not one heap row per request.
+    csr: CandidateBuf,
+    /// Per-row change stamps carried over from the global view (the local
+    /// remap is stable, so an unchanged global row is an unchanged local
+    /// row).
+    stamps: Vec<u64>,
     out: Vec<Option<BoxId>>,
     /// Round stamp of the last round that scheduled this shard.
     last_used: u64,
@@ -196,7 +206,8 @@ impl ShardState {
             local_of: HashMap::default(),
             caps: Vec::new(),
             keys: Vec::new(),
-            cands: Vec::new(),
+            csr: CandidateBuf::new(),
+            stamps: Vec::new(),
             out: Vec::new(),
             last_used: 0,
             deficit: 0,
@@ -250,6 +261,11 @@ pub struct ShardedMatcher {
     slot_targets: Vec<u64>,
     packed_keys: Vec<u128>,
     work: Vec<ShardWork>,
+    /// Pooled CSR bridge for the slice-of-vecs trait entry points (the
+    /// view-based ones are the engine's native path).
+    csr_bridge: CandidateBuf,
+    /// Pooled scratch for the debug-only assignment validity check.
+    dbg_loads: Vec<u32>,
     round: u64,
     last_stats: ShardRoundStats,
     last_relay: Option<RelayLendStats>,
@@ -289,6 +305,8 @@ impl ShardedMatcher {
             slot_targets: Vec::new(),
             packed_keys: Vec::new(),
             work: Vec::new(),
+            csr_bridge: CandidateBuf::new(),
+            dbg_loads: Vec::new(),
             round: 0,
             last_stats: ShardRoundStats::default(),
             last_relay: None,
@@ -387,7 +405,7 @@ impl ShardedMatcher {
         arena: &ShardedArena,
         capacities: &[u32],
         keys: &[RequestKey],
-        candidates: &[Vec<BoxId>],
+        candidates: CandidateView<'_>,
         round: u64,
     ) {
         let view = arena.shard(work.shard_idx);
@@ -401,7 +419,8 @@ impl ShardedMatcher {
             global_of,
             caps,
             keys: shard_keys,
-            cands,
+            csr,
+            stamps,
             out,
             matcher,
             ..
@@ -428,22 +447,26 @@ impl ShardedMatcher {
             caps[id] = budget;
         }
 
+        // Remap this shard's candidate rows into the local universe: one
+        // contiguous CSR append per round. The global change stamps stay
+        // valid locally because local ids are allocated on first appearance
+        // and never reused — an unchanged global row remaps to an unchanged
+        // local row.
         shard_keys.clear();
-        let request_count = view.requests.len();
-        while cands.len() < request_count {
-            cands.push(Vec::new());
-        }
-        for (slot, &x) in cands.iter_mut().zip(view.requests) {
+        csr.clear();
+        stamps.clear();
+        for &x in view.requests {
             let x = x as usize;
             shard_keys.push(keys[x]);
-            slot.clear();
-            for &cand in &candidates[x] {
+            stamps.push(candidates.row_stamp(x));
+            for &cand in candidates.row(x) {
                 if cand.index() < capacities.len() {
-                    slot.push(BoxId(local(cand)));
+                    csr.push_box(BoxId(local(cand)));
                 }
             }
+            csr.finish_row();
         }
-        matcher.schedule_keyed(caps, shard_keys, &cands[..request_count], out);
+        matcher.schedule_keyed_view(caps, shard_keys, csr.view_with_stamps(stamps), out);
     }
 
     /// Evicts shard states idle for more than 256 rounds (checked every 64
@@ -494,6 +517,19 @@ impl Scheduler for ShardedMatcher {
         candidates: &[Vec<BoxId>],
         out: &mut Vec<Option<BoxId>>,
     ) {
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        self.schedule_inner(capacities, keys, bridge.view(), None, out);
+        self.csr_bridge = bridge;
+    }
+
+    fn schedule_keyed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
         self.schedule_inner(capacities, keys, candidates, None, out);
     }
 
@@ -502,6 +538,20 @@ impl Scheduler for ShardedMatcher {
         capacities: &[u32],
         keys: &[RequestKey],
         candidates: &[Vec<BoxId>],
+        relays: &RelayView,
+        out: &mut Vec<Option<BoxId>>,
+    ) {
+        let mut bridge = std::mem::take(&mut self.csr_bridge);
+        bridge.fill_from_slices(candidates);
+        self.schedule_inner(capacities, keys, bridge.view(), Some(relays), out);
+        self.csr_bridge = bridge;
+    }
+
+    fn schedule_relayed_view(
+        &mut self,
+        capacities: &[u32],
+        keys: &[RequestKey],
+        candidates: CandidateView<'_>,
         relays: &RelayView,
         out: &mut Vec<Option<BoxId>>,
     ) {
@@ -531,7 +581,7 @@ impl ShardedMatcher {
         &mut self,
         capacities: &[u32],
         keys: &[RequestKey],
-        candidates: &[Vec<BoxId>],
+        candidates: CandidateView<'_>,
         relays: Option<&RelayView>,
         out: &mut Vec<Option<BoxId>>,
     ) {
@@ -547,7 +597,7 @@ impl ShardedMatcher {
             .extend(keys.iter().map(|k| k.stripe.video.0 as u64));
         let shard_count = self
             .arena
-            .partition(&self.shard_keys, candidates, capacities.len());
+            .partition_view(&self.shard_keys, candidates, capacities.len());
         self.last_relay = relays.map(|view| {
             self.arena
                 .split_relay_reserved(view.reserved, view.relay_of)
@@ -655,7 +705,7 @@ impl ShardedMatcher {
                         // The starved request's candidates (already in the
                         // shard-local universe) are where more budget was
                         // needed.
-                        for cand in &state.cands[i] {
+                        for cand in state.csr.view().row(i) {
                             state.box_deficit[cand.index()] += 1;
                         }
                     }
@@ -697,9 +747,9 @@ impl ShardedMatcher {
                     self.packed_keys.clear();
                     self.packed_keys.extend(keys.iter().map(pack_key));
                     self.arena
-                        .reconcile_keyed(capacities, &self.packed_keys, candidates, out)
+                        .reconcile_keyed_view(capacities, &self.packed_keys, candidates, out)
                 }
-                _ => self.arena.reconcile(capacities, candidates, out),
+                _ => self.arena.reconcile_view(capacities, candidates, out),
             };
             self.reconcile_rounds += 1;
             self.reconcile_nanos += start.elapsed().as_nanos() as u64;
@@ -722,8 +772,11 @@ impl ShardedMatcher {
             rebuilt: stats.rebuilt,
         };
         self.evict_idle_shards();
-        debug_assert!(crate::scheduler::assignment_is_valid(
-            out, capacities, candidates
+        debug_assert!(crate::scheduler::assignment_is_valid_view(
+            out,
+            capacities,
+            candidates,
+            &mut self.dbg_loads
         ));
     }
 }

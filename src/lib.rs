@@ -63,16 +63,16 @@ pub mod prelude {
         Video, VideoId, VideoSystem,
     };
     pub use vod_flow::{
-        find_obstruction, find_obstruction_in, verify_lemma1, ConnectionMatching,
-        ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve, Obstruction,
-        PushRelabel, ReconcileStats, RelayLendStats, RelayMatching, RelayNetwork, RelayObstruction,
-        RelayView, ShardedArena, SplitStats, StarvedReservation,
+        find_obstruction, find_obstruction_in, verify_lemma1, CandidateBuf, CandidateView,
+        ConnectionMatching, ConnectionProblem, Dinic, FlowArena, HopcroftKarpSolve, MaxFlowSolve,
+        Obstruction, PushRelabel, ReconcileStats, RelayLendStats, RelayMatching, RelayNetwork,
+        RelayObstruction, RelayView, ShardedArena, SplitStats, StarvedReservation, NO_STAMP,
     };
     pub use vod_sim::{
-        FailurePolicy, GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler,
-        ReconcilePolicy, RelayBroker, RelayEvent, RelayRoundStats, RelayUtilization, RequestKey,
-        Scheduler, ShardRoundStats, ShardedMatcher, SimConfig, SimulationReport, Simulator,
-        SplitPolicy,
+        CandidateIndex, CandidateMode, CandidateStats, FailurePolicy, GreedyScheduler,
+        IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy, RelayBroker,
+        RelayEvent, RelayRoundStats, RelayUtilization, RequestKey, Scheduler, ShardRoundStats,
+        ShardedMatcher, SimConfig, SimulationReport, Simulator, SplitPolicy,
     };
     pub use vod_workloads::{
         DemandGenerator, DemandTrace, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack,

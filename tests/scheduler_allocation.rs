@@ -7,12 +7,20 @@
 //! through warm-up rounds (where buffers grow to the working-set size) and
 //! then asserts that further rounds — including rounds that *patch* the
 //! instance by swapping candidate sets back and forth — allocate nothing.
+//!
+//! Since the incremental candidate pipeline landed, the contract covers the
+//! **whole engine round**: cache-index maintenance (expiry wheel), active-
+//! request collection, CSR candidate construction, scheduling, and metric
+//! recording together allocate nothing in steady state.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use vod_core::{BoxId, StripeId, VideoId};
-use vod_sim::{MaxFlowScheduler, RequestKey, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_core::{BoxId, RandomPermutationAllocator, StripeId, SystemParams, VideoId, VideoSystem};
+use vod_sim::{MaxFlowScheduler, RequestKey, Scheduler, SimConfig, Simulator};
+use vod_workloads::{DemandGenerator, OccupancyView, VideoDemand};
 
 struct CountingAllocator;
 
@@ -123,6 +131,67 @@ fn request_churn_reuses_pooled_slots_without_allocating() {
         after - before,
         0,
         "slot-recycling rounds must not allocate (got {})",
+        after - before
+    );
+}
+
+/// Demands every box once at round 0 and stays silent afterwards, so
+/// steady-state engine rounds take no generator-side allocation either.
+struct OneShotCohort {
+    n: u32,
+    m: usize,
+}
+
+impl DemandGenerator for OneShotCohort {
+    fn demands_at(&mut self, round: u64, _occupancy: &dyn OccupancyView) -> Vec<VideoDemand> {
+        if round != 0 {
+            return Vec::new(); // Vec::new is allocation-free
+        }
+        (0..self.n)
+            .map(|i| VideoDemand {
+                box_id: BoxId(i),
+                video: VideoId((i as usize % self.m) as u32),
+                round,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "one-shot cohort"
+    }
+}
+
+/// Full engine rounds are allocation-free in steady state: expiry-wheel
+/// index maintenance, pooled request collection, flat CSR candidate rows,
+/// stamped stall accounting, the warm incremental matcher, and per-round
+/// metric recording all reuse their buffers.
+#[test]
+fn steady_state_engine_rounds_allocate_nothing() {
+    // Duration longer than the simulated window: the cohort admitted at
+    // round 0 keeps playing throughout, so measured rounds carry a full,
+    // stable working set of active requests.
+    let params = SystemParams::new(16, 2.5, 8, 4, 4, 1.5, 60);
+    let mut rng = StdRng::seed_from_u64(3);
+    let system =
+        VideoSystem::homogeneous(params, &RandomPermutationAllocator::new(4), &mut rng).unwrap();
+    let mut gen = OneShotCohort {
+        n: 16,
+        m: system.m(),
+    };
+    let mut sim = Simulator::new(&system, SimConfig::new(50));
+    for round in 0..20u64 {
+        assert!(sim.step(&mut gen), "warm-up round {round} must be feasible");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 20..40u64 {
+        assert!(sim.step(&mut gen), "steady round {round} must be feasible");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state engine rounds must not allocate (got {} over 20 rounds)",
         after - before
     );
 }

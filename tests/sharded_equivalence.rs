@@ -377,6 +377,48 @@ fn all_policy_combinations_match_global_and_are_thread_invariant() {
     }
 }
 
+/// The flat-CSR entry point ([`Scheduler::schedule_keyed_view`]) is
+/// bit-identical to the slice-of-vecs path for the sharded matcher — same
+/// schedules, same per-round stats — across threads 1–8 and all four
+/// split × reconcile policy combinations. This is the gate that lets the
+/// engine drive the whole stack through one contiguous candidate buffer.
+#[test]
+fn csr_view_path_is_bit_identical_to_slice_path_across_threads() {
+    for seed in 0..SEEDS / 2 {
+        for (split, reconcile) in POLICIES {
+            // Reference: slice-of-vecs path, single thread.
+            let reference = run_sharded_with(seed, 1, split, reconcile);
+            for &threads in &THREAD_COUNTS {
+                // Same scenario, CSR path.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let sc = Scenario::draw(&mut rng);
+                let mut stream = RoundStream::new();
+                let mut matcher = ShardedMatcher::new(threads)
+                    .with_split_policy(split)
+                    .with_reconcile_policy(reconcile);
+                let mut out = Vec::new();
+                let mut buf = CandidateBuf::new();
+                for round in 0..ROUNDS as usize {
+                    stream.advance(&sc, &mut rng);
+                    let (keys, cands) = stream.round();
+                    buf.fill_from_slices(&cands);
+                    matcher.schedule_keyed_view(&sc.caps, &keys, buf.view(), &mut out);
+                    assert_eq!(
+                        out, reference.0[round],
+                        "seed {seed} round {round} threads {threads} \
+                         policies {split:?}/{reconcile:?}: CSR schedule diverged"
+                    );
+                    assert_eq!(
+                        matcher.last_round_stats(),
+                        reference.1[round],
+                        "seed {seed} round {round} threads {threads}: CSR stats diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic relay attribution for a scenario round: every third
 /// viewer's requests forward through a relay derived from its id, with a
 /// fixed reservation table drawn per scenario.
