@@ -1,0 +1,356 @@
+//! Persistent perf trajectory: `BENCH_<pr>.json` files.
+//!
+//! Every `exp_*` binary can append its headline timings to a
+//! machine-readable bench file, keyed by `(series, workload, config, scale)`
+//! so later PRs (and the CI regression gate, `exp_bench_gate`) can compare
+//! like with like. One file per PR is committed at the repository root —
+//! `BENCH_6.json`, `BENCH_7.json`, … — forming a trajectory reviewers can
+//! diff instead of re-running experiments.
+//!
+//! The format is deliberately tiny and hand-codec'd through
+//! [`vod_core::json`] (no external serde): a top-level object with the PR
+//! number and a flat entry array.
+//!
+//! ## Emission protocol
+//!
+//! Binaries construct a [`BenchSink`] via [`BenchSink::from_env`]: when the
+//! `BENCH_JSON` environment variable names a file, recorded entries are
+//! merged into it on [`BenchSink::flush`] (same-key entries are replaced,
+//! everything else is preserved), so several binaries can contribute to one
+//! file in any order. Without `BENCH_JSON` the sink is inert and the
+//! binaries behave exactly as before.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::Scale;
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
+
+/// One timed configuration: a point on the perf trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// What was timed (usually a solver or scheduler name, e.g. `dinic`,
+    /// `hopcroft-karp-scalar`, `candidates/incremental`).
+    pub series: String,
+    /// Workload shape label (e.g. `flash-crowd`, `adversarial`).
+    pub workload: String,
+    /// Compact instance parameters (e.g. `b96v56r20`) — part of the key, so
+    /// timings are only ever compared at identical sizes.
+    pub config: String,
+    /// `quick` or `full` ([`Scale`] the run used).
+    pub scale: String,
+    /// Best-of-repeats wall-clock milliseconds per scheduled round.
+    pub ms_per_round: f64,
+    /// Total served count of the run — a change here means the *work*
+    /// changed, not just the speed, and comparisons are meaningless.
+    pub served: u64,
+}
+
+impl BenchEntry {
+    /// The comparison key: everything except the measurements.
+    pub fn key(&self) -> (String, String, String, String) {
+        (
+            self.series.clone(),
+            self.workload.clone(),
+            self.config.clone(),
+            self.scale.clone(),
+        )
+    }
+}
+
+impl JsonCodec for BenchEntry {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("series", self.series.to_json()),
+            ("workload", self.workload.to_json()),
+            ("config", self.config.to_json()),
+            ("scale", self.scale.to_json()),
+            ("ms_per_round", self.ms_per_round.to_json()),
+            ("served", self.served.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BenchEntry {
+            series: String::from_json(json.field("series")?)?,
+            workload: String::from_json(json.field("workload")?)?,
+            config: String::from_json(json.field("config")?)?,
+            scale: String::from_json(json.field("scale")?)?,
+            ms_per_round: f64::from_json(json.field("ms_per_round")?)?,
+            served: u64::from_json(json.field("served")?)?,
+        })
+    }
+}
+
+/// A whole `BENCH_<pr>.json` file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchFile {
+    /// PR number the measurements belong to (parsed from the filename on
+    /// load, stored redundantly for self-description).
+    pub pr: u64,
+    /// All recorded entries, sorted by key for a stable diffable rendering.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl JsonCodec for BenchFile {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("pr", self.pr.to_json()),
+            ("entries", self.entries.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BenchFile {
+            pr: u64::from_json(json.field("pr")?)?,
+            entries: Vec::<BenchEntry>::from_json(json.field("entries")?)?,
+        })
+    }
+}
+
+impl BenchFile {
+    /// Parses a bench file from disk.
+    pub fn load(path: &Path) -> Result<BenchFile, JsonError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| JsonError::new(format!("{}: {e}", path.display())))?;
+        BenchFile::from_json_str(&text)
+    }
+
+    /// Writes the file, pretty enough to diff: one entry per line.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut lines = String::new();
+        lines.push_str(&format!("{{\"pr\": {},\n \"entries\": [\n", self.pr));
+        for (i, entry) in self.entries.iter().enumerate() {
+            lines.push_str("  ");
+            lines.push_str(&entry.to_json().to_string());
+            lines.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        lines.push_str(" ]}\n");
+        std::fs::write(path, lines)
+    }
+
+    /// Looks an entry up by key.
+    pub fn lookup(
+        &self,
+        series: &str,
+        workload: &str,
+        config: &str,
+        scale: &str,
+    ) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| {
+            e.series == series && e.workload == workload && e.config == config && e.scale == scale
+        })
+    }
+
+    /// Merges `fresh` entries in: same-key entries are replaced, the rest
+    /// are kept, and the result is re-sorted by key.
+    pub fn merge(&mut self, fresh: Vec<BenchEntry>) {
+        let mut by_key: BTreeMap<(String, String, String, String), BenchEntry> =
+            self.entries.drain(..).map(|e| (e.key(), e)).collect();
+        for entry in fresh {
+            by_key.insert(entry.key(), entry);
+        }
+        self.entries = by_key.into_values().collect();
+    }
+
+    /// Finds the highest-numbered `BENCH_<n>.json` in `dir`, excluding
+    /// `exclude` (the file currently being produced). Unparseable names or
+    /// contents are skipped — a corrupt historical file should not brick the
+    /// gate.
+    pub fn latest_in(dir: &Path, exclude: Option<&Path>) -> Option<(PathBuf, BenchFile)> {
+        let mut best: Option<(u64, PathBuf)> = None;
+        for entry in std::fs::read_dir(dir).ok()?.flatten() {
+            let path = entry.path();
+            let Some(pr) = bench_pr_of(&path) else {
+                continue;
+            };
+            if exclude.is_some_and(|e| same_file(e, &path)) {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(b, _)| pr > *b) {
+                best = Some((pr, path));
+            }
+        }
+        let (_, path) = best?;
+        let file = BenchFile::load(&path).ok()?;
+        Some((path, file))
+    }
+}
+
+/// Extracts `<n>` from a `BENCH_<n>.json` filename, `None` otherwise.
+pub fn bench_pr_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    rest.parse().ok()
+}
+
+/// Best-effort path identity (canonicalized when possible).
+fn same_file(a: &Path, b: &Path) -> bool {
+    match (a.canonicalize(), b.canonicalize()) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => a == b,
+    }
+}
+
+/// Entry collector the `exp_*` binaries write through; see the module docs
+/// for the `BENCH_JSON` protocol.
+pub struct BenchSink {
+    path: Option<PathBuf>,
+    scale: &'static str,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchSink {
+    /// Builds a sink from the `BENCH_JSON` environment variable (inert when
+    /// unset or empty).
+    pub fn from_env(scale: Scale) -> BenchSink {
+        let path = std::env::var_os("BENCH_JSON")
+            .map(PathBuf::from)
+            .filter(|p| !p.as_os_str().is_empty());
+        BenchSink {
+            path,
+            scale: scale.name(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether a flush will actually write anywhere.
+    pub fn is_active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Records one measurement (buffered until [`BenchSink::flush`]).
+    pub fn record(
+        &mut self,
+        series: &str,
+        workload: &str,
+        config: &str,
+        ms_per_round: f64,
+        served: u64,
+    ) {
+        self.entries.push(BenchEntry {
+            series: series.to_string(),
+            workload: workload.to_string(),
+            config: config.to_string(),
+            scale: self.scale.to_string(),
+            ms_per_round,
+            served,
+        });
+    }
+
+    /// Merges the buffered entries into the target file (no-op when inert).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut file = if path.exists() {
+            BenchFile::load(path).map_err(std::io::Error::other)?
+        } else {
+            BenchFile {
+                pr: bench_pr_of(path).unwrap_or(0),
+                entries: Vec::new(),
+            }
+        };
+        file.merge(std::mem::take(&mut self.entries));
+        file.save(path)?;
+        println!(
+            "bench: wrote {} entries to {}",
+            file.entries.len(),
+            path.display()
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(series: &str, workload: &str, ms: f64) -> BenchEntry {
+        BenchEntry {
+            series: series.into(),
+            workload: workload.into(),
+            config: "b8v4r2".into(),
+            scale: "quick".into(),
+            ms_per_round: ms,
+            served: 42,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json() {
+        let e = entry("dinic", "churn", 0.125);
+        assert_eq!(BenchEntry::from_json_str(&e.to_json_string()).unwrap(), e);
+    }
+
+    #[test]
+    fn file_save_load_round_trips() {
+        let dir = std::env::temp_dir().join("vod_bench_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_6.json");
+        let file = BenchFile {
+            pr: 6,
+            entries: vec![entry("dinic", "churn", 0.5), entry("dinic", "flash", 1.5)],
+        };
+        file.save(&path).unwrap();
+        assert_eq!(BenchFile::load(&path).unwrap(), file);
+        assert_eq!(bench_pr_of(&path), Some(6));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_replaces_same_key_and_keeps_rest() {
+        let mut file = BenchFile {
+            pr: 6,
+            entries: vec![entry("dinic", "churn", 0.5), entry("dinic", "flash", 1.5)],
+        };
+        file.merge(vec![
+            entry("dinic", "flash", 0.9),
+            entry("pr", "churn", 2.0),
+        ]);
+        assert_eq!(file.entries.len(), 3);
+        assert_eq!(
+            file.lookup("dinic", "flash", "b8v4r2", "quick")
+                .unwrap()
+                .ms_per_round,
+            0.9
+        );
+        assert_eq!(
+            file.lookup("dinic", "churn", "b8v4r2", "quick")
+                .unwrap()
+                .ms_per_round,
+            0.5
+        );
+    }
+
+    #[test]
+    fn latest_in_picks_highest_pr_and_respects_exclude() {
+        let dir = std::env::temp_dir().join("vod_bench_latest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for pr in [4u64, 6] {
+            BenchFile {
+                pr,
+                entries: vec![],
+            }
+            .save(&dir.join(format!("BENCH_{pr}.json")))
+            .unwrap();
+        }
+        let (path, file) = BenchFile::latest_in(&dir, None).unwrap();
+        assert_eq!(file.pr, 6);
+        let (prev_path, prev) = BenchFile::latest_in(&dir, Some(&path)).unwrap();
+        assert_eq!(prev.pr, 4);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&prev_path).unwrap();
+    }
+
+    #[test]
+    fn pr_parse_rejects_non_bench_names() {
+        assert_eq!(bench_pr_of(Path::new("/a/BENCH_12.json")), Some(12));
+        assert_eq!(bench_pr_of(Path::new("/a/BENCH_x.json")), None);
+        assert_eq!(bench_pr_of(Path::new("/a/readme.json")), None);
+    }
+}

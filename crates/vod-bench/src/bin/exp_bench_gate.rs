@@ -1,0 +1,165 @@
+//! Perf-trajectory regression gate over `BENCH_*.json` files.
+//!
+//! Usage: `exp_bench_gate <candidate.json> [baseline.json]`
+//!
+//! Compares a freshly measured bench file (produced by running the `exp_*`
+//! binaries with `BENCH_JSON=<candidate>`) against a baseline — by default
+//! the highest-numbered committed `BENCH_<pr>.json` in the candidate's
+//! directory, excluding the candidate itself. Entries are matched on the
+//! full key `(series, workload, config, scale)`; an entry regresses when
+//!
+//! * its `ms_per_round` exceeds the baseline by more than the tolerance
+//!   (default 15%), **and**
+//! * the baseline timing is above a noise floor (default 0.05 ms/round —
+//!   sub-tenth-of-a-millisecond rounds are dominated by timer noise);
+//!
+//! and any key whose `served` count changed is flagged unconditionally
+//! (that is a behaviour change, not a perf change). Keys present on only
+//! one side are reported but never fail the gate — series come and go as
+//! experiments evolve.
+//!
+//! Override knobs (all environment variables, documented in
+//! `docs/ARCHITECTURE.md` and used by CI):
+//!
+//! * `BENCH_GATE_TOLERANCE` — fractional slowdown allowed (e.g. `0.30` on a
+//!   noisy shared container; default `0.15`);
+//! * `BENCH_GATE_MIN_MS` — noise floor in ms/round (default `0.05`);
+//! * `BENCH_GATE_SKIP=1` — report but always exit 0 (escape hatch for
+//!   hosts where wall-clock comparison is meaningless).
+
+use std::path::{Path, PathBuf};
+use vod_bench::BenchFile;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(candidate_path) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: exp_bench_gate <candidate.json> [baseline.json]");
+        std::process::exit(2);
+    };
+    let baseline_arg = args.next().map(PathBuf::from);
+
+    let tolerance = env_f64("BENCH_GATE_TOLERANCE", 0.15);
+    let min_ms = env_f64("BENCH_GATE_MIN_MS", 0.05);
+    let skip = std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1" || v == "true");
+
+    let candidate = match BenchFile::load(&candidate_path) {
+        Ok(file) => file,
+        Err(err) => {
+            eprintln!(
+                "FAIL: cannot read candidate {}: {err}",
+                candidate_path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let baseline = match &baseline_arg {
+        Some(path) => match BenchFile::load(path) {
+            Ok(file) => Some((path.clone(), file)),
+            Err(err) => {
+                eprintln!("FAIL: cannot read baseline {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let dir = candidate_path
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .unwrap_or(Path::new("."));
+            BenchFile::latest_in(dir, Some(&candidate_path))
+        }
+    };
+
+    let Some((baseline_path, baseline)) = baseline else {
+        println!(
+            "bench gate: no baseline BENCH_*.json found — {} entries in {} start the trajectory; pass",
+            candidate.entries.len(),
+            candidate_path.display()
+        );
+        return;
+    };
+
+    println!(
+        "bench gate: {} (pr {}) vs baseline {} (pr {}); tolerance {:.0}%, noise floor {min_ms} ms",
+        candidate_path.display(),
+        candidate.pr,
+        baseline_path.display(),
+        baseline.pr,
+        tolerance * 100.0
+    );
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    let mut only_new = 0usize;
+    for entry in &candidate.entries {
+        let Some(old) =
+            baseline.lookup(&entry.series, &entry.workload, &entry.config, &entry.scale)
+        else {
+            only_new += 1;
+            continue;
+        };
+        compared += 1;
+        if entry.served != old.served {
+            regressions.push(format!(
+                "{}/{}/{}/{}: served changed {} -> {} (behaviour, not perf)",
+                entry.series, entry.workload, entry.config, entry.scale, old.served, entry.served
+            ));
+            continue;
+        }
+        if old.ms_per_round >= min_ms && entry.ms_per_round > old.ms_per_round * (1.0 + tolerance) {
+            regressions.push(format!(
+                "{}/{}/{}/{}: {:.4} -> {:.4} ms/round (+{:.0}%)",
+                entry.series,
+                entry.workload,
+                entry.config,
+                entry.scale,
+                old.ms_per_round,
+                entry.ms_per_round,
+                (entry.ms_per_round / old.ms_per_round - 1.0) * 100.0
+            ));
+        }
+    }
+    let only_old = baseline
+        .entries
+        .iter()
+        .filter(|e| {
+            candidate
+                .lookup(&e.series, &e.workload, &e.config, &e.scale)
+                .is_none()
+        })
+        .count();
+
+    println!(
+        "bench gate: compared {compared} keys ({only_new} new, {only_old} dropped from baseline)"
+    );
+    if regressions.is_empty() {
+        println!(
+            "bench gate: no regressions beyond {:.0}%",
+            tolerance * 100.0
+        );
+        return;
+    }
+    for line in &regressions {
+        eprintln!("REGRESSION: {line}");
+    }
+    if skip {
+        println!(
+            "bench gate: {} regression(s) IGNORED (BENCH_GATE_SKIP set)",
+            regressions.len()
+        );
+    } else {
+        eprintln!(
+            "FAIL: {} perf regression(s) beyond {:.0}% (raise BENCH_GATE_TOLERANCE or set BENCH_GATE_SKIP=1 on noisy hosts)",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,7 @@
 use rand::SeedableRng;
 use std::time::Instant;
 use vod_analysis::Table;
-use vod_bench::{print_header, Scale};
+use vod_bench::{print_header, BenchSink, Scale};
 use vod_core::{BoxId, RandomPermutationAllocator, SystemParams, VideoId, VideoSystem};
 use vod_sim::{
     MaxFlowScheduler, RequestKey, Scheduler, ShardedMatcher, SimConfig, SimulationReport, Simulator,
@@ -176,6 +176,7 @@ fn main() {
         scale,
     );
 
+    let mut sink = BenchSink::from_env(scale);
     let mut diverged = false;
     let mut table = Table::new(
         "Candidate pipeline cost per round (identical schedules required)",
@@ -242,6 +243,24 @@ fn main() {
             }
         }
 
+        let config = format!("n{}r{}", shape.system.n(), shape.rounds);
+        for (series, profile) in [("cand/rescan", &rescan), ("cand/incremental", &incremental)] {
+            sink.record(
+                series,
+                shape.label,
+                &config,
+                profile.cand_ms_per_round,
+                profile.report.total_served(),
+            );
+        }
+        sink.record(
+            "run/incremental",
+            shape.label,
+            &config,
+            incremental.total_ms_per_round,
+            incremental.report.total_served(),
+        );
+
         let speedup = rescan.cand_ms_per_round / incremental.cand_ms_per_round.max(1e-9);
         for (label, profile, speedup_cell) in [
             ("legacy rescan", &rescan, "1.00x".to_string()),
@@ -281,5 +300,9 @@ fn main() {
     println!("candidate-pipeline profile:");
     for verdict in &verdicts {
         println!("  {verdict}");
+    }
+    if let Err(err) = sink.flush() {
+        eprintln!("FAIL: could not write BENCH_JSON: {err}");
+        std::process::exit(1);
     }
 }

@@ -30,12 +30,19 @@
 
 use std::time::Instant;
 use vod_analysis::Table;
-use vod_bench::{multi_swarm_script, print_header, replay_script, RoundScript, Scale};
+use vod_bench::{multi_swarm_script, print_header, replay_script, BenchSink, RoundScript, Scale};
 use vod_sim::{MaxFlowScheduler, Scheduler, ShardedMatcher};
 
 struct Shape {
     label: &'static str,
     script: RoundScript,
+}
+
+impl Shape {
+    /// Stable bench-file key for this instance size.
+    fn config(&self) -> String {
+        format!("b{}r{}", self.script.caps.len(), self.script.rounds.len())
+    }
 }
 
 fn shapes(scale: Scale) -> Vec<Shape> {
@@ -166,6 +173,7 @@ fn main() {
         .unwrap_or(1);
     println!("host parallelism: {cores} core(s)\n");
 
+    let mut sink = BenchSink::from_env(scale);
     let mut diverged = false;
     let mut timing = Table::new(
         "Scheduler wall-clock per round (served counts must match)",
@@ -196,6 +204,13 @@ fn main() {
     for shape in shapes(scale) {
         let (reference_served, incremental_ms) =
             time_replay(&shape.script, || Box::new(MaxFlowScheduler::new()));
+        sink.record(
+            "sched/incremental",
+            shape.label,
+            &shape.config(),
+            incremental_ms,
+            reference_served as u64,
+        );
         timing.push_row(vec![
             shape.label.to_string(),
             "incremental (global)".into(),
@@ -257,6 +272,13 @@ fn main() {
             if served != reference_served {
                 diverged = true;
             }
+            sink.record(
+                &format!("sched/sharded-t{threads}"),
+                shape.label,
+                &shape.config(),
+                ms,
+                served as u64,
+            );
             timing.push_row(vec![
                 shape.label.to_string(),
                 format!("sharded ({threads} threads)"),
@@ -277,5 +299,9 @@ fn main() {
     println!("baseline (PR 2) → current (PR 3) reconciliation deltas:");
     for verdict in &verdicts {
         println!("  {verdict}");
+    }
+    if let Err(err) = sink.flush() {
+        eprintln!("FAIL: could not write BENCH_JSON: {err}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,287 @@
+//! E14 — Solver backends: word-parallel kernels vs their scalar twins.
+//!
+//! Lemma 1 is solved once per round; after the candidate pipeline became
+//! incremental (PR 5) the max-flow solver inner loops are the dominant
+//! per-round cost. This experiment replays identical keyed round scripts
+//! through [`MaxFlowScheduler`] wired to each [`vod_flow::MaxFlowSolve`]
+//! backend and times them head-to-head:
+//!
+//! * `dinic` (word-parallel level BFS on Lemma-1 shapes) vs `dinic-scalar`;
+//! * `hopcroft-karp` (capacitated word-parallel matcher) vs
+//!   `hopcroft-karp-scalar` (PR 5 sub-box expansion path);
+//! * `push-relabel` (gap + global-relabel heuristics) vs
+//!   `push-relabel-basic` (gap only).
+//!
+//! Four workload shapes cover the regimes the schedulers meet in the
+//! simulator: multi-swarm churn (many small blocks), a flash crowd (one
+//! dense block — the word-parallel sweet spot), an adversarial
+//! capacity-tight overload (long augmenting paths, the relabel stress
+//! case), and a heterogeneous-relay shape (a few high-`u` superboxes
+//! carrying most of the load, as produced by `u*`-compensation).
+//!
+//! The run doubles as a CI determinism gate: every backend must produce an
+//! identical per-round served sequence on every workload (they are all
+//! exact maximum-flow algorithms, and the scheduler extracts the same
+//! maximal schedule), and the run exits non-zero on any divergence.
+//!
+//! With `BENCH_JSON=<file>` the per-backend ms/round lands in the perf
+//! trajectory (`BENCH_<pr>.json`, gated by `exp_bench_gate`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use vod_analysis::Table;
+use vod_bench::{multi_swarm_script, print_header, BenchSink, RoundScript, Scale};
+use vod_core::{BoxId, StripeId, VideoId};
+use vod_flow::{Dinic, HopcroftKarpSolve, MaxFlowSolve, PushRelabel};
+use vod_sim::{MaxFlowScheduler, RequestKey, Scheduler};
+
+/// Timing repetitions per configuration: schedules are deterministic, so
+/// the minimum over repeats is a sound noise filter (the host is shared).
+const REPEATS: usize = 3;
+
+struct Shape {
+    label: &'static str,
+    config: String,
+    script: RoundScript,
+}
+
+/// Adversarial capacity-tight overload: uniform low capacities, demand ~1.3x
+/// the total capacity, and heavily overlapping candidate sets drawn from the
+/// whole box pool. Nearly every augmenting path must displace existing
+/// flow, which is where inexact push–relabel heights (and shallow BFS
+/// layers) cost the most.
+fn adversarial_script(boxes: usize, requests: usize, rounds: usize, seed: u64) -> RoundScript {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(1u32..3)).collect();
+    let mut script = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut keys = Vec::with_capacity(requests);
+        let mut cands = Vec::with_capacity(requests);
+        for r in 0..requests {
+            keys.push(RequestKey {
+                viewer: BoxId(r as u32),
+                stripe: StripeId::new(VideoId(0), (r % 4) as u16),
+            });
+            let degree = rng.gen_range(2usize..6);
+            let mut list: Vec<BoxId> = (0..degree)
+                .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                .collect();
+            list.sort();
+            list.dedup();
+            cands.push(list);
+        }
+        script.push((keys, cands));
+    }
+    RoundScript {
+        caps,
+        rounds: script,
+    }
+}
+
+/// Heterogeneous-relay shape: a handful of high-capacity superboxes (the
+/// compensating relays of the heterogeneous `u*` model) plus a sea of weak
+/// boxes. Every request sees one superbox and a few weak alternatives, so
+/// most flow funnels through the wide nodes.
+fn relay_script(boxes: usize, requests: usize, rounds: usize, seed: u64) -> RoundScript {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let supers = (boxes / 16).max(2);
+    let caps: Vec<u32> = (0..boxes)
+        .map(|b| {
+            if b < supers {
+                rng.gen_range(24u32..40)
+            } else {
+                rng.gen_range(1u32..3)
+            }
+        })
+        .collect();
+    let mut script = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut keys = Vec::with_capacity(requests);
+        let mut cands = Vec::with_capacity(requests);
+        for r in 0..requests {
+            keys.push(RequestKey {
+                viewer: BoxId(r as u32),
+                stripe: StripeId::new(VideoId(1), (r % 4) as u16),
+            });
+            let mut list = vec![BoxId(rng.gen_range(0usize..supers) as u32)];
+            for _ in 0..rng.gen_range(2usize..5) {
+                list.push(BoxId(rng.gen_range(supers..boxes) as u32));
+            }
+            list.sort();
+            list.dedup();
+            cands.push(list);
+        }
+        script.push((keys, cands));
+    }
+    RoundScript {
+        caps,
+        rounds: script,
+    }
+}
+
+fn shapes(scale: Scale) -> Vec<Shape> {
+    let (boxes, viewers, rounds) = scale.pick((96usize, 56usize, 20usize), (256, 150, 40));
+    let requests = viewers * 4;
+    let config = format!("b{boxes}v{viewers}r{rounds}");
+    vec![
+        Shape {
+            label: "churn",
+            config: config.clone(),
+            script: multi_swarm_script(boxes, 12, viewers, 4, rounds, 0x5A),
+        },
+        Shape {
+            label: "flash-crowd",
+            config: config.clone(),
+            script: multi_swarm_script(boxes, 1, viewers, 4, rounds, 0xF1),
+        },
+        Shape {
+            label: "adversarial",
+            config: format!("b{}q{requests}r{rounds}", boxes / 3),
+            script: adversarial_script(boxes / 3, requests, rounds, 0xAD),
+        },
+        Shape {
+            label: "hetero-relay",
+            config: format!("b{boxes}q{requests}r{rounds}"),
+            script: relay_script(boxes, requests, rounds, 0xE7),
+        },
+    ]
+}
+
+/// Constructor of one boxed solver backend.
+type MakeSolver = fn() -> Box<dyn MaxFlowSolve>;
+
+/// The solver line-up: each word-parallel backend next to its scalar twin.
+fn backends() -> Vec<(&'static str, MakeSolver)> {
+    vec![
+        ("dinic", || Box::new(Dinic::new())),
+        ("dinic-scalar", || Box::new(Dinic::scalar())),
+        ("hopcroft-karp", || Box::new(HopcroftKarpSolve::new())),
+        ("hopcroft-karp-scalar", || {
+            Box::new(HopcroftKarpSolve::scalar())
+        }),
+        ("push-relabel", || Box::new(PushRelabel::new())),
+        ("push-relabel-basic", || Box::new(PushRelabel::basic())),
+    ]
+}
+
+/// The scalar twin each word-parallel backend is compared against in the
+/// speedup column.
+fn scalar_twin(series: &str) -> Option<&'static str> {
+    match series {
+        "dinic" => Some("dinic-scalar"),
+        "hopcroft-karp" => Some("hopcroft-karp-scalar"),
+        "push-relabel" => Some("push-relabel-basic"),
+        _ => None,
+    }
+}
+
+/// One replay: per-round served counts (replay-invariant) plus the best
+/// wall-clock per round over `REPEATS`.
+fn profile(script: &RoundScript, make: &fn() -> Box<dyn MaxFlowSolve>) -> (Vec<usize>, f64) {
+    let mut best = f64::INFINITY;
+    let mut per_round = Vec::new();
+    for _ in 0..REPEATS {
+        let mut scheduler = MaxFlowScheduler::with_solver(make());
+        let mut out = Vec::new();
+        let mut served = Vec::with_capacity(script.rounds.len());
+        let start = Instant::now();
+        for (keys, cands) in &script.rounds {
+            scheduler.schedule_keyed(&script.caps, keys, cands, &mut out);
+            served.push(out.iter().flatten().count());
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(elapsed / script.rounds.len().max(1) as f64);
+        per_round = served;
+    }
+    (per_round, best)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E14 exp_solvers — word-parallel solver kernels",
+        "all max-flow backends serve identical per-round schedules (Lemma 1 has a unique optimum value); word-parallel kernels beat their scalar twins where rows are dense",
+        scale,
+    );
+
+    let mut sink = BenchSink::from_env(scale);
+    let mut diverged = false;
+    let mut table = Table::new(
+        "Solver wall-clock per round (identical served sequences required)",
+        &[
+            "workload",
+            "solver",
+            "served",
+            "ms/round",
+            "speedup vs scalar twin",
+        ],
+    );
+    let mut verdicts: Vec<String> = Vec::new();
+
+    for shape in shapes(scale) {
+        let mut measured: Vec<(&'static str, Vec<usize>, f64)> = Vec::new();
+        for (series, make) in backends() {
+            let (per_round, ms) = profile(&shape.script, &make);
+            measured.push((series, per_round, ms));
+        }
+
+        // Determinism gate: every backend must serve the same sequence.
+        let (ref_name, reference, _) = &measured[0];
+        for (series, per_round, _) in &measured[1..] {
+            if per_round != reference {
+                eprintln!(
+                    "FAIL: {} — {series} served sequence diverged from {ref_name}",
+                    shape.label
+                );
+                diverged = true;
+            }
+        }
+
+        let total_served: usize = reference.iter().sum();
+        let ms_of = |name: &str| -> f64 {
+            measured
+                .iter()
+                .find(|(s, _, _)| *s == name)
+                .map(|(_, _, ms)| *ms)
+                .expect("backend measured")
+        };
+        for (series, _, ms) in &measured {
+            let speedup = match scalar_twin(series) {
+                Some(twin) => format!("{:.2}x", ms_of(twin) / ms.max(1e-9)),
+                None => "—".to_string(),
+            };
+            table.push_row(vec![
+                shape.label.to_string(),
+                series.to_string(),
+                total_served.to_string(),
+                format!("{ms:.4}"),
+                speedup,
+            ]);
+            sink.record(series, shape.label, &shape.config, *ms, total_served as u64);
+        }
+        verdicts.push(format!(
+            "{}: hopcroft-karp {:.2}x vs scalar, dinic {:.2}x vs scalar, push-relabel {:.2}x vs basic",
+            shape.label,
+            ms_of("hopcroft-karp-scalar") / ms_of("hopcroft-karp").max(1e-9),
+            ms_of("dinic-scalar") / ms_of("dinic").max(1e-9),
+            ms_of("push-relabel-basic") / ms_of("push-relabel").max(1e-9),
+        ));
+    }
+
+    println!("{}", table.to_markdown());
+
+    if diverged {
+        eprintln!("FAIL: solver backends disagreed on a served sequence");
+        std::process::exit(1);
+    }
+    println!("all backends served identical per-round sequences");
+    println!("word-parallel vs scalar twins:");
+    for verdict in &verdicts {
+        println!("  {verdict}");
+    }
+    if let Err(err) = sink.flush() {
+        eprintln!("FAIL: could not write BENCH_JSON: {err}");
+        std::process::exit(1);
+    }
+}

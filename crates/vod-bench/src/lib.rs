@@ -12,6 +12,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
+
+pub use bench::{bench_pr_of, BenchEntry, BenchFile, BenchSink};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vod_analysis::{SearchConfig, TrialSpec};
@@ -40,6 +44,14 @@ impl Scale {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,
+        }
+    }
+
+    /// Lower-case name, as recorded in bench files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 }

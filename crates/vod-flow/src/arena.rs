@@ -15,9 +15,17 @@
 //! them ([`FlowArena::rebuild_from`], [`crate::graph::FlowNetwork::sync_flows_from`]).
 
 use crate::graph::{FlowNetwork, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel terminating an adjacency list.
 const NIL: i64 = -1;
+
+/// Process-wide source of structure-version stamps: every structural
+/// mutation of any arena draws a fresh, globally unique stamp, so two arenas
+/// (or one arena at two points in time) share a version only when their
+/// structure is byte-identical — a clone and its original legitimately share
+/// one until either mutates.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// One directed edge of the arena (the residual twin lives at `index ^ 1`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +46,10 @@ pub struct FlowArena {
     head: Vec<i64>,
     /// Next edge in the source node's adjacency list (`-1` terminates).
     next: Vec<i64>,
+    /// Structure version: bumped to a globally unique stamp by every
+    /// mutation of the graph's *shape* (nodes, edges, capacities), but not by
+    /// flow pushes. Solvers key cached structure analyses on it.
+    version: u64,
 }
 
 impl FlowArena {
@@ -53,6 +65,7 @@ impl FlowArena {
             edges: Vec::with_capacity(edges),
             head: Vec::with_capacity(nodes),
             next: Vec::with_capacity(edges),
+            version: 0,
         }
     }
 
@@ -63,12 +76,27 @@ impl FlowArena {
         self.next.clear();
         self.head.clear();
         self.head.resize(nodes, NIL);
+        self.bump_version();
     }
 
     /// Adds one extra node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.head.push(NIL);
+        self.bump_version();
         self.head.len() - 1
+    }
+
+    /// The arena's structure version: changes (to a globally unique value)
+    /// whenever nodes or edges are added, the arena is cleared, or an edge is
+    /// re-capacitated — but not when flow is pushed. Two arenas with equal
+    /// versions have identical structure, so solvers can cache per-structure
+    /// analyses keyed on this value.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn bump_version(&mut self) {
+        self.version = NEXT_VERSION.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of nodes.
@@ -107,6 +135,7 @@ impl FlowArena {
         self.next.push(self.head[to]);
         self.head[from] = idx as i64;
         self.head[to] = idx as i64 + 1;
+        self.bump_version();
         idx
     }
 
@@ -155,6 +184,7 @@ impl FlowArena {
         );
         self.edges[idx].original_cap = cap;
         self.edges[idx].cap = cap - flow;
+        self.bump_version();
     }
 
     /// First outgoing edge of `node`, or `None` (start of an adjacency walk;
@@ -392,6 +422,25 @@ mod tests {
         a.push(e01, 1);
         assert_eq!(a.residual_reachable(0), vec![true, false, false]);
         assert_eq!(a.residual_reachable(1), vec![true, true, true]);
+    }
+
+    #[test]
+    fn version_tracks_structure_not_flow() {
+        let mut a = FlowArena::new();
+        a.clear(2);
+        let after_clear = a.version();
+        let e = a.add_edge(0, 1, 3);
+        let after_edge = a.version();
+        assert_ne!(after_clear, after_edge);
+        a.push(e, 2);
+        assert_eq!(a.version(), after_edge, "pushes must not bump the version");
+        a.set_capacity(e, 5);
+        assert_ne!(a.version(), after_edge);
+        // A clone shares the version until either side mutates.
+        let mut b = a.clone();
+        assert_eq!(a.version(), b.version());
+        b.add_node();
+        assert_ne!(a.version(), b.version());
     }
 
     #[test]

@@ -7,8 +7,22 @@
 //! solves over a reused [`FlowArena`] allocate nothing in steady state, and
 //! it augments from whatever flow the arena already carries — warm-starting
 //! from the previous round's matching is just calling it again.
+//!
+//! On Lemma-1-shaped arenas (`source → boxes → requests → sink`, detected by
+//! the shape analysis in [`crate::bitset`] and cached on
+//! [`FlowArena::version`]) the per-phase level BFS runs word-parallel over
+//! the request×box bit matrix instead of chasing the edge linked lists. The
+//! levels it assigns are exactly the scalar BFS distances for every node the
+//! blocking-flow DFS can usefully visit (nodes past the sink's layer are
+//! left unlabelled, which only prunes provably dead DFS branches), so the
+//! resulting flows are **bit-identical** to the scalar path — the property
+//! tests assert this edge by edge. Non-Lemma-1 graphs (relay two-hop
+//! networks, the general textbook instances) fall back to the scalar BFS
+//! automatically; [`Dinic::scalar`] forces the fallback everywhere, as a
+//! baseline for benchmarks and equivalence tests.
 
 use crate::arena::FlowArena;
+use crate::bitset::{BipartiteShape, BitSet, NONE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
@@ -21,12 +35,39 @@ pub struct Dinic {
     /// Per-node cursor into the adjacency list (edge index, `-1` exhausted).
     cursor: Vec<i64>,
     queue: VecDeque<NodeId>,
+    /// Forces the scalar level BFS even on Lemma-1-shaped arenas.
+    force_scalar: bool,
+    /// Cached Lemma-1 shape analysis (keyed on the arena version).
+    shape: BipartiteShape,
+    /// Per request row: matched box column this phase (`u32::MAX` free).
+    match_col: Vec<u32>,
+    /// Box columns of the current BFS layer.
+    box_frontier: Vec<u32>,
+    /// Request rows of the current BFS layer.
+    req_frontier: Vec<u32>,
+    /// Request rows not yet labelled this phase.
+    unvisited: Vec<u32>,
+    /// Bit mask of the current box layer.
+    frontier_mask: BitSet,
+    /// Box columns labelled this phase.
+    visited_boxes: BitSet,
 }
 
 impl Dinic {
-    /// Creates a solver.
+    /// Creates a solver (word-parallel level BFS on Lemma-1-shaped arenas,
+    /// scalar everywhere else).
     pub fn new() -> Self {
         Dinic::default()
+    }
+
+    /// Creates a solver that always uses the scalar level BFS — the
+    /// pre-word-parallel behaviour, kept as a benchmark baseline and for
+    /// bit-identity cross-checks.
+    pub fn scalar() -> Self {
+        Dinic {
+            force_scalar: true,
+            ..Dinic::default()
+        }
     }
 
     /// Breadth-first construction of the level graph over residual edges.
@@ -49,6 +90,110 @@ impl Dinic {
             }
         }
         self.level[sink] >= 0
+    }
+
+    /// Word-parallel level BFS over a Lemma-1-shaped arena (`self.shape`
+    /// must be valid for the arena's current structure).
+    ///
+    /// Produces exactly the scalar BFS distances for the source, every box
+    /// and request on a shortest path prefix, and the sink; nodes strictly
+    /// beyond the sink's layer stay at `-1`. The DFS can only dead-end on
+    /// such nodes (every residual edge out of them leads to a level that can
+    /// never reach the sink's), so the blocking flow — and therefore the
+    /// final flow on every edge — is identical to the scalar path's.
+    fn bit_build_levels(&mut self, arena: &FlowArena, source: NodeId, sink: NodeId) -> bool {
+        self.level.clear();
+        self.level.resize(arena.node_count(), -1);
+        self.level[source] = 0;
+
+        let rows = self.shape.requests.len();
+        let cols = self.shape.boxes.len();
+        // Matched box per request, from the arena's live flows (they change
+        // between phases as the DFS pushes).
+        self.match_col.clear();
+        for row in 0..rows {
+            self.match_col.push(self.shape.matched_col(arena, row));
+        }
+
+        // Layer 1: boxes with residual source capacity.
+        self.visited_boxes.reset(cols);
+        self.box_frontier.clear();
+        for col in 0..cols {
+            let e = self.shape.source_edge[col];
+            if e != NONE && arena.residual(e as usize) > 0 {
+                self.level[self.shape.boxes[col] as usize] = 1;
+                self.visited_boxes.set(col);
+                self.box_frontier.push(col as u32);
+            }
+        }
+
+        self.unvisited.clear();
+        self.unvisited.extend(0..rows as u32);
+        let mut d = 1i32; // level of the current box layer
+        loop {
+            if self.box_frontier.is_empty() {
+                return false;
+            }
+            // Mask of the current box layer, then scan every unlabelled
+            // request row against it 64 boxes at a time. The request's own
+            // matched edge carries flow (residual 0), so its bit is skipped.
+            self.frontier_mask.reset(cols);
+            for i in 0..self.box_frontier.len() {
+                self.frontier_mask.set(self.box_frontier[i] as usize);
+            }
+            self.req_frontier.clear();
+            let mut i = 0;
+            while i < self.unvisited.len() {
+                let row = self.unvisited[i] as usize;
+                let mask = self.frontier_mask.words();
+                let adj_row = self.shape.adj.row(row);
+                let m = self.match_col[row];
+                let mut reachable = false;
+                for (wi, &word) in adj_row.iter().enumerate() {
+                    let mut w = word & mask[wi];
+                    if m != NONE && (m as usize) / 64 == wi {
+                        w &= !(1u64 << (m % 64));
+                    }
+                    if w != 0 {
+                        reachable = true;
+                        break;
+                    }
+                }
+                if reachable {
+                    self.level[self.shape.requests[row] as usize] = d + 1;
+                    self.req_frontier.push(row as u32);
+                    self.unvisited.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if self.req_frontier.is_empty() {
+                return false;
+            }
+            // Requests expand to the sink (via a live, unsaturated sink
+            // edge) and to their matched boxes (via the residual twin of the
+            // matched candidate edge).
+            let mut sink_found = false;
+            self.box_frontier.clear();
+            for i in 0..self.req_frontier.len() {
+                let row = self.req_frontier[i] as usize;
+                let se = self.shape.sink_edge[row];
+                if se != NONE && arena.residual(se as usize) > 0 {
+                    sink_found = true;
+                }
+                let m = self.match_col[row];
+                if m != NONE && !self.visited_boxes.contains(m as usize) {
+                    self.visited_boxes.set(m as usize);
+                    self.level[self.shape.boxes[m as usize] as usize] = d + 2;
+                    self.box_frontier.push(m);
+                }
+            }
+            if sink_found {
+                self.level[sink] = d + 2;
+                return true;
+            }
+            d += 2;
+        }
     }
 
     /// Depth-first blocking-flow augmentation along level-increasing edges.
@@ -76,8 +221,27 @@ impl Dinic {
 impl MaxFlowSolve for Dinic {
     fn max_flow(&mut self, arena: &mut FlowArena, source: NodeId, sink: NodeId) -> i64 {
         assert_ne!(source, sink, "source and sink must differ");
+        // Refresh the cached shape analysis when the arena's structure
+        // changed; the word-parallel BFS applies only to Lemma-1 shapes.
+        let use_bits = !self.force_scalar && {
+            if self.shape.version != arena.version()
+                || self.shape.source != source
+                || self.shape.sink != sink
+            {
+                self.shape.analyze(arena, source, sink);
+            }
+            self.shape.valid
+        };
         let mut flow = 0;
-        while self.build_levels(arena, source, sink) {
+        loop {
+            let sink_reachable = if use_bits {
+                self.bit_build_levels(arena, source, sink)
+            } else {
+                self.build_levels(arena, source, sink)
+            };
+            if !sink_reachable {
+                break;
+            }
             self.cursor.clear();
             self.cursor.extend(
                 (0..arena.node_count()).map(|v| arena.first_edge(v).map_or(-1, |e| e as i64)),
@@ -223,6 +387,100 @@ mod tests {
         arena.push(a13, 1);
         let pushed = Dinic::new().max_flow(&mut arena, 0, 3);
         assert_eq!(pushed + 1, 5);
+    }
+
+    #[test]
+    fn bit_levels_give_flows_identical_to_scalar() {
+        // Lemma-1 shape: 3 boxes (budgets 2,1,1), 5 requests with assorted
+        // candidate sets; solved twice from scratch, the bit path must leave
+        // exactly the same flow on every edge as the scalar path.
+        let build = |arena: &mut FlowArena| {
+            arena.clear(10);
+            arena.add_edge(0, 1, 2);
+            arena.add_edge(0, 2, 1);
+            arena.add_edge(0, 3, 1);
+            for (b, r) in [(1, 4), (1, 5), (2, 5), (2, 6), (3, 6), (3, 7), (1, 8)] {
+                arena.add_edge(b, r, 1);
+            }
+            for r in 4..=8 {
+                arena.add_edge(r, 9, 1);
+            }
+        };
+        let mut a = FlowArena::new();
+        let mut b = FlowArena::new();
+        build(&mut a);
+        build(&mut b);
+        let fa = Dinic::new().max_flow(&mut a, 0, 9);
+        let fb = Dinic::scalar().max_flow(&mut b, 0, 9);
+        assert_eq!(fa, fb);
+        for idx in 0..a.edge_count() {
+            assert_eq!(a.residual(idx), b.residual(idx), "edge {idx}");
+        }
+    }
+
+    #[test]
+    fn bit_path_warm_start_matches_scalar_warm_start() {
+        let build = |arena: &mut FlowArena| {
+            arena.clear(7);
+            let s0 = arena.add_edge(0, 1, 1);
+            arena.add_edge(0, 2, 1);
+            let c0 = arena.add_edge(1, 3, 1);
+            arena.add_edge(1, 4, 1);
+            arena.add_edge(2, 4, 1);
+            let t0 = arena.add_edge(3, 6, 1);
+            arena.add_edge(4, 6, 1);
+            arena.add_edge(5, 6, 1); // request with no candidates
+                                     // Warm flow: box 1 already serves request 3.
+            arena.push(s0, 1);
+            arena.push(c0, 1);
+            arena.push(t0, 1);
+        };
+        let mut a = FlowArena::new();
+        let mut b = FlowArena::new();
+        build(&mut a);
+        build(&mut b);
+        let fa = Dinic::new().max_flow(&mut a, 0, 6);
+        let fb = Dinic::scalar().max_flow(&mut b, 0, 6);
+        assert_eq!(fa, fb);
+        assert_eq!(fa, 1, "one additional unit on top of the warm one");
+        for idx in 0..a.edge_count() {
+            assert_eq!(a.residual(idx), b.residual(idx), "edge {idx}");
+        }
+    }
+
+    #[test]
+    fn bit_shape_cache_refreshes_on_structure_change() {
+        let mut arena = FlowArena::new();
+        let mut solver = Dinic::new();
+        arena.clear(4);
+        let s = arena.add_edge(0, 1, 1);
+        arena.add_edge(1, 2, 1);
+        arena.add_edge(2, 3, 1);
+        assert_eq!(solver.max_flow(&mut arena, 0, 3), 1);
+        // De-capacitate the source edge (structure change) and re-solve from
+        // scratch: the cached shape must refresh, not reuse stale budgets.
+        arena.reset_flow();
+        arena.set_capacity(s, 0);
+        assert_eq!(solver.max_flow(&mut arena, 0, 3), 0);
+        arena.set_capacity(s, 1);
+        assert_eq!(solver.max_flow(&mut arena, 0, 3), 1);
+    }
+
+    #[test]
+    fn non_lemma1_graphs_fall_back_to_scalar_path() {
+        // A diamond with an inner edge is not Lemma-1 shaped; Dinic::new()
+        // must still solve it exactly (via the scalar fallback).
+        let build = |arena: &mut FlowArena| {
+            arena.clear(4);
+            arena.add_edge(0, 1, 2);
+            arena.add_edge(0, 2, 2);
+            arena.add_edge(1, 2, 1);
+            arena.add_edge(1, 3, 1);
+            arena.add_edge(2, 3, 2);
+        };
+        let mut a = FlowArena::new();
+        build(&mut a);
+        assert_eq!(Dinic::new().max_flow(&mut a, 0, 3), 3);
     }
 
     #[test]

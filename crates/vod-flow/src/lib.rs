@@ -14,10 +14,15 @@
 //!   change stamps) shared by every candidate-consuming stage;
 //! * [`solver`] — the unified [`MaxFlowSolve`] trait every solver
 //!   implements;
-//! * [`dinic`] — Dinic's algorithm (default solver);
-//! * [`push_relabel`] — FIFO push–relabel (cross-check / benchmarks);
-//! * [`hopcroft_karp`] — bipartite matching for the unit-capacity case, plus
-//!   the [`HopcroftKarpSolve`] adapter exposing it as a [`MaxFlowSolve`];
+//! * [`bitset`] — word-parallel kernels ([`BitSet`], [`BitAdjacency`], and
+//!   the Lemma-1 shape analysis) shared by the solver fast paths;
+//! * [`dinic`] — Dinic's algorithm (default solver), with a word-parallel
+//!   level BFS on Lemma-1-shaped arenas;
+//! * [`push_relabel`] — FIFO push–relabel with gap + global-relabel
+//!   heuristics (cross-check / benchmarks);
+//! * [`hopcroft_karp`] — bipartite matching for the unit-capacity case, the
+//!   word-parallel capacitated [`BitHopcroftKarp`], plus the
+//!   [`HopcroftKarpSolve`] adapter exposing both as a [`MaxFlowSolve`];
 //! * [`matching`] — the connection-matching problem builder and solution
 //!   extraction;
 //! * [`hall`] — obstruction (Hall-violator) extraction from minimum cuts;
@@ -55,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arena;
+pub mod bitset;
 pub mod candidates;
 pub mod dinic;
 pub mod expander;
@@ -68,12 +74,13 @@ pub mod shard;
 pub mod solver;
 
 pub use arena::{ArenaEdge, FlowArena};
+pub use bitset::{BitAdjacency, BitSet};
 pub use candidates::{CandidateBuf, CandidateView, NO_STAMP};
 pub use dinic::Dinic;
 pub use expander::{sample_expansion, ExpansionProfile};
 pub use graph::{Edge, FlowNetwork, NodeId};
 pub use hall::{check_subset, find_obstruction, find_obstruction_in, verify_lemma1, Obstruction};
-pub use hopcroft_karp::{HopcroftKarp, HopcroftKarpSolve};
+pub use hopcroft_karp::{BitHopcroftKarp, HopcroftKarp, HopcroftKarpSolve};
 pub use matching::{ConnectionMatching, ConnectionProblem};
 pub use push_relabel::PushRelabel;
 pub use relay::{RelayMatching, RelayNetwork, RelayObstruction, RelayView, StarvedReservation};

@@ -2,30 +2,182 @@
 //!
 //! An independent solver used to cross-check Dinic in property tests and to
 //! compare constant factors in the benchmarks. The implementation is the
-//! classic FIFO variant with the gap heuristic, `O(V³)`. Like every
-//! [`MaxFlowSolve`] implementation it operates on the arena's current
+//! classic FIFO variant with the gap heuristic, `O(V³)`, plus the
+//! *global-relabel* heuristic: periodically (and once right after
+//! initialisation) heights are reset to exact residual BFS distances — a
+//! backward BFS from the sink, then one from the source for the nodes the
+//! sink cannot see (their excess must travel home, so they are lifted to
+//! `n + dist-to-source`). Without it, the adversarial expander shapes (many
+//! requests competing for saturated budgets) force the FIFO discharge loop
+//! to lift nodes one level at a time through `Θ(n)` heights; with it, every
+//! height jumps straight to its true distance in one `O(E)` sweep. Like
+//! every [`MaxFlowSolve`] implementation it operates on the arena's current
 //! residual state (so it warm-starts from an existing flow) and reuses its
-//! height/excess/queue buffers across calls.
+//! height/excess/queue/BFS buffers across calls.
+//! [`PushRelabel::basic`] disables global relabelling (the historical
+//! behaviour) for benchmarks and cross-checks.
 
 use crate::arena::FlowArena;
+use crate::bitset::BitSet;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
 
+/// Distance sentinel for the global-relabel BFS passes.
+const UNREACHED: u32 = u32::MAX;
+
 /// FIFO push–relabel solver state, reusable across solves.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PushRelabel {
     height: Vec<usize>,
     excess: Vec<i64>,
     in_queue: Vec<bool>,
     height_count: Vec<usize>,
     queue: VecDeque<NodeId>,
+    /// Enables the periodic global-relabel heuristic.
+    global_relabel: bool,
+    /// Relabel operations since the last global relabel.
+    relabels_since: usize,
+    /// Number of global relabels performed over this solver's lifetime
+    /// (observability for benchmarks).
+    global_relabels: u64,
+    /// BFS distances to the sink (pooled scratch).
+    dist_sink: Vec<u32>,
+    /// BFS distances to the source (pooled scratch).
+    dist_src: Vec<u32>,
+    /// BFS visited marks over the residual view.
+    visited: BitSet,
+    /// BFS queue scratch.
+    bfs_queue: Vec<NodeId>,
+}
+
+impl Default for PushRelabel {
+    fn default() -> Self {
+        PushRelabel::new()
+    }
 }
 
 impl PushRelabel {
-    /// Creates a solver.
+    /// Creates a solver with the gap and global-relabel heuristics enabled.
     pub fn new() -> Self {
-        PushRelabel::default()
+        PushRelabel {
+            height: Vec::new(),
+            excess: Vec::new(),
+            in_queue: Vec::new(),
+            height_count: Vec::new(),
+            queue: VecDeque::new(),
+            global_relabel: true,
+            relabels_since: 0,
+            global_relabels: 0,
+            dist_sink: Vec::new(),
+            dist_src: Vec::new(),
+            visited: BitSet::new(),
+            bfs_queue: Vec::new(),
+        }
+    }
+
+    /// Creates a solver with global relabelling disabled — the historical
+    /// gap-heuristic-only behaviour, kept as a benchmark baseline.
+    pub fn basic() -> Self {
+        PushRelabel {
+            global_relabel: false,
+            ..PushRelabel::new()
+        }
+    }
+
+    /// Global relabels performed so far (benchmark observability).
+    pub fn global_relabel_count(&self) -> u64 {
+        self.global_relabels
+    }
+
+    /// Backward BFS from `start` over the residual view, writing into
+    /// `dist`: `dist[v]` becomes the length of the shortest residual path
+    /// *from* `v` *to* `start` ([`UNREACHED`] when none). Residual edges are
+    /// walked backwards — edge `j` leaving a frontier node is matched with
+    /// its twin `j ^ 1`, an edge *into* the frontier node; residual capacity
+    /// on the twin means its source can push towards `start`.
+    fn backward_bfs(
+        dist: &mut [u32],
+        visited: &mut BitSet,
+        queue: &mut Vec<NodeId>,
+        arena: &FlowArena,
+        start: NodeId,
+    ) {
+        visited.reset(dist.len());
+        visited.set(start);
+        dist[start] = 0;
+        queue.clear();
+        queue.push(start);
+        let mut at = 0;
+        while at < queue.len() {
+            let u = queue[at];
+            at += 1;
+            let du = dist[u];
+            let mut cursor = arena.first_edge(u);
+            while let Some(idx) = cursor {
+                if arena.residual(idx ^ 1) > 0 {
+                    let v = arena.target(idx);
+                    if !visited.contains(v) {
+                        visited.set(v);
+                        dist[v] = du + 1;
+                        queue.push(v);
+                    }
+                }
+                cursor = arena.next_edge(idx);
+            }
+        }
+    }
+
+    /// Global relabel: set every height to its exact residual BFS distance.
+    /// Sink-reachable nodes get `dist-to-sink`; the rest get
+    /// `n + dist-to-source` (their excess can only flow home, and a
+    /// residual path from a sink-unreachable node can never pass through a
+    /// sink-reachable one, so the two BFS passes are independent); nodes
+    /// reaching neither are parked at `2n` — they hold no excess and can
+    /// never receive flow again, since pushing into height `2n` would need
+    /// height `2n + 1`, which no active node attains. Source and sink keep
+    /// their fixed heights (`n` and `0`). Exact distances never *lower* a
+    /// height: labels are lower bounds on residual distances throughout the
+    /// algorithm, so the label-validity invariant is preserved.
+    fn do_global_relabel(&mut self, arena: &FlowArena, source: NodeId, sink: NodeId) {
+        let n = arena.node_count();
+        self.dist_sink.clear();
+        self.dist_sink.resize(n, UNREACHED);
+        self.dist_src.clear();
+        self.dist_src.resize(n, UNREACHED);
+        Self::backward_bfs(
+            &mut self.dist_sink,
+            &mut self.visited,
+            &mut self.bfs_queue,
+            arena,
+            sink,
+        );
+        Self::backward_bfs(
+            &mut self.dist_src,
+            &mut self.visited,
+            &mut self.bfs_queue,
+            arena,
+            source,
+        );
+
+        for v in 0..n {
+            if v == source || v == sink {
+                continue;
+            }
+            self.height[v] = if self.dist_sink[v] != UNREACHED {
+                self.dist_sink[v] as usize
+            } else if self.dist_src[v] != UNREACHED {
+                n + self.dist_src[v] as usize
+            } else {
+                2 * n
+            };
+        }
+        self.height_count.iter_mut().for_each(|c| *c = 0);
+        for v in 0..n {
+            self.height_count[self.height[v]] += 1;
+        }
+        self.relabels_since = 0;
+        self.global_relabels += 1;
     }
 }
 
@@ -62,6 +214,14 @@ impl MaxFlowSolve for PushRelabel {
                 }
             }
             cursor = arena.next_edge(idx);
+        }
+
+        // Start from exact distances, then refresh them every ~n relabels:
+        // one O(E) sweep replaces Θ(n) single-step lifts on shapes (like the
+        // adversarial expanders) where whole layers must climb past n.
+        let relabel_period = n.max(16);
+        if self.global_relabel {
+            self.do_global_relabel(arena, source, sink);
         }
 
         while let Some(v) = self.queue.pop_front() {
@@ -124,6 +284,14 @@ impl MaxFlowSolve for PushRelabel {
                             }
                         }
                     }
+                    // Periodic global relabel: reset every height to its
+                    // exact residual distance.
+                    if self.global_relabel {
+                        self.relabels_since += 1;
+                        if self.relabels_since >= relabel_period {
+                            self.do_global_relabel(arena, source, sink);
+                        }
+                    }
                 }
             }
         }
@@ -132,7 +300,11 @@ impl MaxFlowSolve for PushRelabel {
     }
 
     fn name(&self) -> &'static str {
-        "push-relabel"
+        if self.global_relabel {
+            "push-relabel"
+        } else {
+            "push-relabel-basic"
+        }
     }
 }
 
@@ -222,6 +394,103 @@ mod tests {
         g.add_edge(0, 1, 10);
         g.add_edge(1, 2, 1);
         assert_eq!(max_flow(&mut g, 0, 2), 1);
+    }
+
+    /// Deterministic congruential stream for building pseudo-random graphs.
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn random_network(seed: u64, n: usize, edges: usize) -> FlowNetwork {
+        let mut s = seed;
+        let mut g = FlowNetwork::with_nodes(n);
+        for _ in 0..edges {
+            let from = (lcg(&mut s) as usize) % (n - 1);
+            let to = 1 + (lcg(&mut s) as usize) % (n - 1);
+            if from != to {
+                g.add_edge(from, to, (lcg(&mut s) % 7 + 1) as i64);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn global_relabel_and_basic_agree_with_dinic() {
+        for seed in 0..12u64 {
+            let g = random_network(0xC0FFEE ^ seed, 24, 80);
+            let mut c = g.clone();
+            let mut arena = FlowArena::new();
+
+            arena.rebuild_from(&g);
+            let with_gr = PushRelabel::new().max_flow(&mut arena, 0, 23);
+            arena.rebuild_from(&g);
+            let basic = PushRelabel::basic().max_flow(&mut arena, 0, 23);
+            let dinic = crate::dinic::max_flow(&mut c, 0, 23);
+            assert_eq!(with_gr, dinic, "seed {seed}: global-relabel diverged");
+            assert_eq!(basic, dinic, "seed {seed}: basic diverged");
+        }
+    }
+
+    #[test]
+    fn global_relabel_fires_and_is_counted() {
+        // A long chain forces heights to climb far past their initial values,
+        // so periodic relabels trigger beyond the initial sweep.
+        let n = 64;
+        let mut g = FlowNetwork::with_nodes(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1, 2);
+        }
+        let mut arena = FlowArena::new();
+        arena.rebuild_from(&g);
+        let mut solver = PushRelabel::new();
+        assert_eq!(solver.max_flow(&mut arena, 0, n - 1), 2);
+        assert!(solver.global_relabel_count() >= 1);
+
+        let mut basic = PushRelabel::basic();
+        arena.rebuild_from(&g);
+        assert_eq!(basic.max_flow(&mut arena, 0, n - 1), 2);
+        assert_eq!(basic.global_relabel_count(), 0);
+    }
+
+    #[test]
+    fn solver_names_distinguish_heuristic_modes() {
+        assert_eq!(PushRelabel::new().name(), "push-relabel");
+        assert_eq!(PushRelabel::basic().name(), "push-relabel-basic");
+    }
+
+    #[test]
+    fn adversarial_tight_bipartite_matches_dinic() {
+        // Every box sees every request, capacities sum exactly to the demand:
+        // the final rounds of augmentation leave almost no slack, which is
+        // where inexact heights hurt the most.
+        let boxes = 20;
+        let requests = 40;
+        let n = boxes + requests + 2;
+        let build = || {
+            let mut g = FlowNetwork::with_nodes(n);
+            let (s, t) = (0, n - 1);
+            for b in 0..boxes {
+                g.add_edge(s, 1 + b, 2);
+            }
+            for b in 0..boxes {
+                for r in 0..requests {
+                    g.add_edge(1 + b, 1 + boxes + r, 1);
+                }
+            }
+            for r in 0..requests {
+                g.add_edge(1 + boxes + r, t, 1);
+            }
+            g
+        };
+        let mut arena = FlowArena::new();
+        arena.rebuild_from(&build());
+        let flow = PushRelabel::new().max_flow(&mut arena, 0, n - 1);
+        let mut d = build();
+        assert_eq!(flow, crate::dinic::max_flow(&mut d, 0, n - 1));
+        assert_eq!(flow, (boxes * 2) as i64);
     }
 
     #[test]

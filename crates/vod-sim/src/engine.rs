@@ -133,6 +133,19 @@ impl OccupancyView for Occupancy<'_> {
     }
 }
 
+/// One cached candidate row (see `Simulator::row_cache`): the box list a
+/// given (viewer, stripe) request resolved to, with the inputs it was built
+/// from. The row is replayable while the stripe's index stamp and the
+/// request's identity (requester, issue round) are unchanged — the index
+/// stamps every content change, so an equal stamp guarantees a bit-identical
+/// rebuild.
+struct CachedRow {
+    stamp: u64,
+    issued_at: u64,
+    requester: BoxId,
+    boxes: Vec<BoxId>,
+}
+
 /// The engine's candidate pipeline: either the incremental expiry-wheel
 /// index or the legacy full-rescan structures. Both expose the same
 /// maintenance/insert/stats surface and produce bit-identical candidate
@@ -264,6 +277,16 @@ pub struct Simulator<'a> {
     /// holders) — one epoch per request row.
     box_seen: Vec<u64>,
     seen_epoch: u64,
+    /// Per-(viewer, stripe) candidate-row cache for the incremental
+    /// pipeline: a row is a pure function of the stripe's static holders,
+    /// the index content (summarized by its change stamp), the requester,
+    /// and the request's issue round — so a row whose stamp and request
+    /// identity are unchanged is replayed without touching the index.
+    row_cache: HashMap<(BoxId, StripeId), CachedRow>,
+    row_cache_hits: u64,
+    row_cache_misses: u64,
+    /// Scratch a missed row is built into before it is pushed and cached.
+    row_scratch: Vec<BoxId>,
     /// Pooled stalled-viewer / failed-video accumulation with per-round
     /// generation marks (replacing the old linear `contains` scans).
     stalled_viewers: Vec<BoxId>,
@@ -342,6 +365,10 @@ impl<'a> Simulator<'a> {
             demand_buf: Vec::new(),
             box_seen: vec![0; n],
             seen_epoch: 0,
+            row_cache: HashMap::new(),
+            row_cache_hits: 0,
+            row_cache_misses: 0,
+            row_scratch: Vec::new(),
             stalled_viewers: Vec::new(),
             failed_videos: Vec::new(),
             viewer_mark: vec![0; n],
@@ -373,6 +400,15 @@ impl<'a> Simulator<'a> {
     /// The system being simulated.
     pub fn system(&self) -> &VideoSystem {
         self.system
+    }
+
+    /// Candidate-row cache profile as `(hits, misses)`: rows replayed
+    /// because their stripe stamp and request identity were unchanged vs
+    /// rows built from the holder sets and the index. Always `(0, _)` under
+    /// the legacy rescan pipeline, which cannot cache (its eligibility
+    /// filter depends on the current round).
+    pub fn candidate_row_cache_stats(&self) -> (u64, u64) {
+        (self.row_cache_hits, self.row_cache_misses)
     }
 
     /// Runs the configured number of rounds against a demand generator and
@@ -554,13 +590,45 @@ impl<'a> Simulator<'a> {
         let window = self.system.duration() as u64;
         self.cand_buf.clear();
         self.cand_stamps.clear();
+        // The row cache is only worth keeping while it tracks the live
+        // request population; once it clearly outgrows it (viewers churned
+        // away, their rows can never hit again) drop it wholesale.
+        if self.row_cache.len() > 2 * requests.len() + 64 {
+            self.row_cache.clear();
+        }
         for req in requests {
+            // Replay a cached row when its inputs are unchanged: same index
+            // stamp (the index stamps every per-stripe content change), same
+            // requester (excluded from the row), same issue round (the
+            // ahead-of-requester filter reads it). Static holders never
+            // change. The legacy rescan pipeline is excluded — its
+            // ahead-filter depends on the current round, not on the issue
+            // round alone.
+            if let CandidatePipeline::Incremental(index) = &self.candidates {
+                if let Some(row) = self.row_cache.get(&(req.viewer, req.stripe)) {
+                    if row.stamp == index.stripe_stamp(req.stripe)
+                        && row.issued_at == req.issued_at
+                        && row.requester == req.requester
+                    {
+                        self.row_cache_hits += 1;
+                        for &b in &row.boxes {
+                            self.cand_buf.push_box(b);
+                        }
+                        self.cand_stamps.push(row.stamp);
+                        self.cand_buf.finish_row();
+                        continue;
+                    }
+                }
+                self.row_cache_misses += 1;
+            }
+
             self.seen_epoch += 1;
             let epoch = self.seen_epoch;
+            self.row_scratch.clear();
             for &b in self.system.holders_of(req.stripe) {
                 if b != req.requester {
                     self.box_seen[b.index()] = epoch;
-                    self.cand_buf.push_box(b);
+                    self.row_scratch.push(b);
                 }
             }
             match &self.candidates {
@@ -574,10 +642,25 @@ impl<'a> Simulator<'a> {
                             && self.box_seen[b.index()] != epoch
                             && start < req.issued_at
                         {
-                            self.cand_buf.push_box(b);
+                            self.row_scratch.push(b);
                         }
                     }
-                    self.cand_stamps.push(index.stripe_stamp(req.stripe));
+                    let stamp = index.stripe_stamp(req.stripe);
+                    self.cand_stamps.push(stamp);
+                    let entry = self
+                        .row_cache
+                        .entry((req.viewer, req.stripe))
+                        .or_insert_with(|| CachedRow {
+                            stamp: 0,
+                            issued_at: 0,
+                            requester: req.requester,
+                            boxes: Vec::new(),
+                        });
+                    entry.stamp = stamp;
+                    entry.issued_at = req.issued_at;
+                    entry.requester = req.requester;
+                    entry.boxes.clear();
+                    entry.boxes.extend_from_slice(&self.row_scratch);
                 }
                 CandidatePipeline::Rescan { caches, index, .. } => {
                     if let Some(cached) = index.get(&req.stripe) {
@@ -591,13 +674,16 @@ impl<'a> Simulator<'a> {
                                     window,
                                 )
                             {
-                                self.cand_buf.push_box(b);
+                                self.row_scratch.push(b);
                             }
                         }
                     }
                     // The legacy pipeline carries no change information.
                     self.cand_stamps.push(NO_STAMP);
                 }
+            }
+            for &b in &self.row_scratch {
+                self.cand_buf.push_box(b);
             }
             self.cand_buf.finish_row();
         }
@@ -865,6 +951,25 @@ mod tests {
             "share {}",
             report.swarming_share()
         );
+    }
+
+    #[test]
+    fn candidate_row_cache_replays_stable_rows() {
+        let sys = small_system(24, 2.0, 4, 4, 30);
+        let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+        let mut sim = Simulator::new(&sys, SimConfig::new(40));
+        while sim.round() < 40 && sim.step(&mut gen) {}
+        let (hits, misses) = sim.candidate_row_cache_stats();
+        assert!(misses > 0, "first sightings must build rows");
+        // A stripe request stays active (same issued_at) for the whole
+        // playback, so stamp-stable rows replay from the cache.
+        assert!(hits > misses, "hits {hits} vs misses {misses}");
+
+        // The legacy rescan pipeline cannot cache rows at all.
+        let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+        let mut rescan = Simulator::new(&sys, SimConfig::new(40).with_rescan_candidates());
+        while rescan.round() < 40 && rescan.step(&mut gen) {}
+        assert_eq!(rescan.candidate_row_cache_stats(), (0, 0));
     }
 
     #[test]

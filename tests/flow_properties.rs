@@ -14,7 +14,10 @@
 use p2p_vod::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vod_flow::{dinic, hopcroft_karp::HopcroftKarp, push_relabel, FlowNetwork};
+use vod_flow::{
+    bitset::for_each_set_bit, dinic, hopcroft_karp::HopcroftKarp, push_relabel, BitAdjacency,
+    BitSet, FlowNetwork,
+};
 use vod_sim::IncrementalMatcher;
 
 const CASES: u64 = 64;
@@ -836,5 +839,273 @@ fn targeted_split_partitions_capacity_and_degrades_to_proportional() {
                 "seed {seed} shard {s}"
             );
         }
+    }
+}
+
+/// The word-parallel set primitives behave exactly like a naive boolean
+/// model under random set/unset/clear sequences: membership, popcount, and
+/// bit iteration over raw words all agree, including across the word
+/// boundary at bit 64 and after `reset` to a different length.
+#[test]
+fn bitset_kernels_match_naive_model() {
+    let mut set = BitSet::new();
+    let mut adj = BitAdjacency::new();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(17_000 + seed);
+
+        // --- BitSet vs Vec<bool> ---
+        let len = rng.gen_range(1usize..200);
+        set.reset(len);
+        let mut model = vec![false; len];
+        for _ in 0..300 {
+            let i = rng.gen_range(0usize..len);
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    set.set(i);
+                    model[i] = true;
+                }
+                1 => {
+                    set.unset(i);
+                    model[i] = false;
+                }
+                _ => assert_eq!(set.contains(i), model[i], "seed {seed} bit {i}"),
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            assert_eq!(set.contains(i), m, "seed {seed} bit {i}");
+        }
+        let expected_ones = model.iter().filter(|&&b| b).count();
+        assert_eq!(set.count_ones(), expected_ones, "seed {seed}");
+        let mut iterated = Vec::new();
+        for_each_set_bit(set.words(), |i| iterated.push(i));
+        let model_ones: Vec<usize> = (0..len).filter(|&i| model[i]).collect();
+        assert_eq!(iterated, model_ones, "seed {seed}: bit iteration order");
+        set.clear_all();
+        assert_eq!(set.count_ones(), 0, "seed {seed}");
+
+        // --- BitAdjacency vs Vec<Vec<bool>> ---
+        let rows = rng.gen_range(1usize..12);
+        let cols = rng.gen_range(1usize..150);
+        adj.reset(rows, cols);
+        let mut grid = vec![vec![false; cols]; rows];
+        for _ in 0..300 {
+            let r = rng.gen_range(0usize..rows);
+            let c = rng.gen_range(0usize..cols);
+            if rng.gen_bool(0.8) {
+                adj.set(r, c);
+                grid[r][c] = true;
+            } else {
+                adj.clear_row(r);
+                grid[r].fill(false);
+            }
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let mut got = Vec::new();
+            for_each_set_bit(adj.row(r), |c| got.push(c));
+            let want: Vec<usize> = (0..cols).filter(|&c| row[c]).collect();
+            assert_eq!(got, want, "seed {seed} row {r}");
+            for (c, &m) in row.iter().enumerate() {
+                assert_eq!(adj.contains(r, c), m, "seed {seed} ({r},{c})");
+            }
+        }
+    }
+}
+
+/// Adversarial tight bipartite instance: an overloaded complete (or
+/// near-complete) bipartite graph where demand exceeds capacity, so every
+/// solver is forced deep into its augmentation/relabel machinery.
+fn adversarial_tight_instance(rng: &mut StdRng) -> (Vec<u32>, Vec<Vec<BoxId>>) {
+    let boxes = rng.gen_range(3usize..9);
+    let caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(1u32..3)).collect();
+    let capacity: u32 = caps.iter().sum();
+    // Demand ~1.5x capacity guarantees an infeasible, tight instance.
+    let requests = (capacity as usize * 3 / 2).max(capacity as usize + 1);
+    let cands: Vec<Vec<BoxId>> = (0..requests)
+        .map(|_| {
+            // Mostly complete rows, occasionally a sparse one.
+            if rng.gen_bool(0.8) {
+                (0..boxes).map(|b| BoxId(b as u32)).collect()
+            } else {
+                let degree = rng.gen_range(1usize..boxes);
+                (0..degree)
+                    .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                    .collect()
+            }
+        })
+        .collect();
+    (caps, cands)
+}
+
+/// Constructor of one boxed solver variant.
+type MakeSolver = fn() -> Box<dyn MaxFlowSolve>;
+
+/// Every solver variant — word-parallel and scalar, with and without the
+/// push-relabel heuristics — returns the same flow value and a valid
+/// matching, on both random and adversarially tight instances. This is the
+/// bit-vs-scalar equality gate for the whole solver matrix.
+#[test]
+fn bit_and_scalar_solver_variants_agree_cold() {
+    let variants: [(&str, MakeSolver); 6] = [
+        ("dinic-bit", || Box::new(Dinic::new())),
+        ("dinic-scalar", || Box::new(Dinic::scalar())),
+        ("hk-bit", || Box::new(HopcroftKarpSolve::new())),
+        ("hk-scalar", || Box::new(HopcroftKarpSolve::scalar())),
+        ("pr-heuristic", || Box::new(PushRelabel::new())),
+        ("pr-basic", || Box::new(PushRelabel::basic())),
+    ];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(18_000 + seed);
+        for adversarial in [false, true] {
+            let (caps, cands) = if adversarial {
+                adversarial_tight_instance(&mut rng)
+            } else {
+                random_instance(&mut rng)
+            };
+            let problem = build_problem(&caps, &cands);
+            let reference = problem.solve_with(&mut Dinic::scalar());
+            for (name, make) in &variants {
+                let got = problem.solve_with(make().as_mut());
+                assert_eq!(
+                    got.flow, reference.flow,
+                    "seed {seed} adversarial={adversarial}: {name} flow"
+                );
+                assert_eq!(
+                    got.served(),
+                    reference.served(),
+                    "seed {seed} adversarial={adversarial}: {name} served"
+                );
+                assert!(
+                    got.is_valid_for(&problem),
+                    "seed {seed} adversarial={adversarial}: {name} invalid matching"
+                );
+            }
+            if adversarial {
+                // Tight instances must saturate: flow = min(capacity, demand),
+                // reached whenever every row is complete (the common case);
+                // sparse rows can only lower it, never raise it.
+                let capacity: u64 = caps.iter().map(|&c| c as u64).sum();
+                assert!(
+                    reference.flow <= capacity.min(cands.len() as u64),
+                    "seed {seed}: flow exceeds trivial bound"
+                );
+                if cands.iter().all(|c| c.len() == caps.len()) {
+                    assert_eq!(
+                        reference.flow,
+                        capacity.min(cands.len() as u64),
+                        "seed {seed}: complete bipartite instance not saturated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Warm-started (incremental, arena-reusing) solves of each word-parallel
+/// variant serve exactly what its scalar twin serves, round for round,
+/// across random churn — exercising shape re-analysis, seeded-matching
+/// extraction, diff write-back, and the global-relabel path on warm
+/// arenas.
+#[test]
+fn bit_and_scalar_solver_variants_agree_warm() {
+    let pairs: [(MakeSolver, MakeSolver); 3] = [
+        (|| Box::new(Dinic::new()), || Box::new(Dinic::scalar())),
+        (
+            || Box::new(HopcroftKarpSolve::new()),
+            || Box::new(HopcroftKarpSolve::scalar()),
+        ),
+        (
+            || Box::new(PushRelabel::new()),
+            || Box::new(PushRelabel::basic()),
+        ),
+    ];
+    for (pi, (make_bit, make_scalar)) in pairs.iter().enumerate() {
+        for seed in 0..CASES / 2 {
+            let mut rng = StdRng::seed_from_u64(19_000 + seed);
+            let boxes = rng.gen_range(3usize..8);
+            let caps: Vec<u32> = (0..boxes).map(|_| rng.gen_range(0u32..4)).collect();
+            let mut bit = IncrementalMatcher::new(make_bit());
+            let mut scalar = IncrementalMatcher::new(make_scalar());
+            let mut bit_out = Vec::new();
+            let mut scalar_out = Vec::new();
+
+            let mut live: Vec<(RequestKey, Vec<BoxId>)> = Vec::new();
+            let mut next_id = 0u32;
+            for round in 0..12u64 {
+                for _ in 0..rng.gen_range(0usize..4) {
+                    let key = RequestKey {
+                        viewer: BoxId(next_id),
+                        stripe: StripeId::new(VideoId(0), 0),
+                    };
+                    next_id += 1;
+                    let degree = rng.gen_range(0usize..boxes);
+                    let cands: Vec<BoxId> = (0..degree)
+                        .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                        .collect();
+                    live.push((key, cands));
+                }
+                while live.len() > 10 || (rng.gen_bool(0.3) && !live.is_empty()) {
+                    let victim = rng.gen_range(0usize..live.len());
+                    live.remove(victim);
+                }
+                if !live.is_empty() && rng.gen_bool(0.7) {
+                    let victim = rng.gen_range(0usize..live.len());
+                    let degree = rng.gen_range(0usize..boxes);
+                    live[victim].1 = (0..degree)
+                        .map(|_| BoxId(rng.gen_range(0usize..boxes) as u32))
+                        .collect();
+                }
+
+                let keys: Vec<RequestKey> = live.iter().map(|(k, _)| *k).collect();
+                let cands: Vec<Vec<BoxId>> = live.iter().map(|(_, c)| c.clone()).collect();
+                bit.schedule_keyed(&caps, &keys, &cands, &mut bit_out);
+                scalar.schedule_keyed(&caps, &keys, &cands, &mut scalar_out);
+
+                let bit_served = bit_out.iter().flatten().count();
+                let scalar_served = scalar_out.iter().flatten().count();
+                assert_eq!(
+                    bit_served, scalar_served,
+                    "pair {pi} seed {seed} round {round}: bit vs scalar served"
+                );
+                let problem = build_problem(&caps, &cands);
+                let warm = ConnectionMatching {
+                    assignment: bit_out.clone(),
+                    flow: bit_served as u64,
+                    total_requests: keys.len(),
+                };
+                assert!(
+                    warm.is_valid_for(&problem),
+                    "pair {pi} seed {seed} round {round}: bit matching invalid"
+                );
+            }
+        }
+    }
+}
+
+/// The global-relabel + gap push-relabel agrees with the basic variant and
+/// with Dinic on raw random flow networks (not just Lemma-1 shapes) — the
+/// heuristics change only the work schedule, never the flow value.
+#[test]
+fn global_relabel_push_relabel_matches_on_raw_networks() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(20_000 + seed);
+        let (n, edges) = random_network(&mut rng);
+        let mut g1 = build_network(n, &edges);
+        let mut g2 = build_network(n, &edges);
+        let source = 0;
+        let sink = n - 1;
+        let reference = dinic::max_flow(&mut g1, source, sink);
+        let pr = push_relabel::max_flow(&mut g2, source, sink);
+        assert_eq!(reference, pr, "seed {seed}: push-relabel vs dinic");
+
+        // Arena-based solver structs on the same network, both heuristic
+        // modes.
+        let mut arena = FlowArena::new();
+        let g3 = build_network(n, &edges);
+        arena.rebuild_from(&g3);
+        let with = PushRelabel::new().max_flow(&mut arena, source, sink);
+        arena.rebuild_from(&g3);
+        let without = PushRelabel::basic().max_flow(&mut arena, source, sink);
+        assert_eq!(with, reference, "seed {seed}: heuristic variant");
+        assert_eq!(without, reference, "seed {seed}: basic variant");
     }
 }
