@@ -1,0 +1,1014 @@
+//! Bounded exhaustive model-checking of the Theorem 1 threshold.
+//!
+//! Every equivalence gate in the repo checks that *schedulers agree with
+//! each other*; this module checks the *theory exactly*. Theorem 1 claims
+//! that when `c > (2µ²−1)/(u−1)` (and replication suffices), **every**
+//! µ-admissible demand sequence is served — a universally quantified claim
+//! that is exhaustively checkable on small systems. The explorer:
+//!
+//! * enumerates **all** µ-admissible demand sequences up to a horizon by
+//!   branching the real engine ([`vod_sim::Simulator::fork_with`]) on every
+//!   admissible per-round demand batch and checking Lemma-1 feasibility
+//!   (an unserved request) at every round;
+//! * canonicalizes states by order-insensitive signature hashing
+//!   ([`vod_core::SortedSignature`] over playbacks, cache entries, swarm
+//!   preload counters, capacities, and the relay plan), so converging
+//!   histories — playbacks ended, caches expired — are explored once;
+//! * doubles as a differential fuzz gate: every explored transition is
+//!   stepped through the incremental, full-rescan, and sharded (1/2/4
+//!   thread) pipelines with bit-equality of the round metrics asserted,
+//!   and any divergence is dumped as a replayable [`SeedFile`];
+//! * shrinks failing demand sequences to minimal counterexamples
+//!   (round-prefix/suffix deletion, then greedy per-demand deletion, each
+//!   candidate re-checked for µ-admissibility and replayed);
+//! * cross-checks the [`crate::obstruction`] first-moment failure bound
+//!   against true exhaustive failure counts over random allocations.
+//!
+//! The `exp_verify` binary (vod-bench) drives all four modes; corpus seed
+//! files under `tests/corpus/` are replayed forever by
+//! [`replay_seed`] through every pipeline.
+
+use crate::obstruction::{first_moment_bound, BoundParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
+use vod_core::{
+    Bandwidth, BoxId, Catalog, FxHasher64, RandomPermutationAllocator, SystemParams, VideoId,
+    VideoSystem,
+};
+use vod_sim::{
+    FailurePolicy, MaxFlowScheduler, RoundMetrics, SimConfig, SimulationReport, Simulator,
+};
+use vod_workloads::{DemandGenerator, DemandTrace, OccupancyView, TraceReplay, VideoDemand};
+
+/// Heterogeneous population recipe: per-box uploads with proportional
+/// storage (`d_b = u_b · storage_per_upload`) compensated at `u*`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeteroSpec {
+    /// Upload capacity of each box, in streams (`u_b`).
+    pub uploads: Vec<f64>,
+    /// Storage-to-upload ratio `d_b/u_b` (the balance condition wants it in
+    /// `[2, d/u*]`).
+    pub storage_per_upload: f64,
+    /// The compensation threshold `u*`, in streams.
+    pub u_star: f64,
+}
+
+impl JsonCodec for HeteroSpec {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("uploads", self.uploads.to_json()),
+            ("storage_per_upload", self.storage_per_upload.to_json()),
+            ("u_star", self.u_star.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(HeteroSpec {
+            uploads: Vec::<f64>::from_json(json.field("uploads")?)?,
+            storage_per_upload: f64::from_json(json.field("storage_per_upload")?)?,
+            u_star: f64::from_json(json.field("u_star")?)?,
+        })
+    }
+}
+
+/// A reproducible system recipe: everything needed to rebuild the exact
+/// [`VideoSystem`] a sequence was explored on (the allocation is a pure
+/// function of the parameters and `alloc_seed`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedSystem {
+    /// Number of boxes `n`.
+    pub n: usize,
+    /// Average upload `u`, in streams.
+    pub u: f64,
+    /// Per-box storage `d`, in videos.
+    pub d: u32,
+    /// Stripes per video `c`.
+    pub c: u16,
+    /// Replicas per stripe `k`.
+    pub k: u32,
+    /// Swarm growth bound `µ`.
+    pub mu: f64,
+    /// Video duration `T`, in rounds.
+    pub duration: u32,
+    /// Catalog size `m`.
+    pub catalog: usize,
+    /// Seed of the random stripe allocation.
+    pub alloc_seed: u64,
+    /// Heterogeneous population (homogeneous when `None`).
+    pub hetero: Option<HeteroSpec>,
+}
+
+impl JsonCodec for SeedSystem {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("n", self.n.to_json()),
+            ("u", self.u.to_json()),
+            ("d", self.d.to_json()),
+            ("c", self.c.to_json()),
+            ("k", self.k.to_json()),
+            ("mu", self.mu.to_json()),
+            ("duration", self.duration.to_json()),
+            ("catalog", self.catalog.to_json()),
+            ("alloc_seed", self.alloc_seed.to_json()),
+            ("hetero", self.hetero.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SeedSystem {
+            n: usize::from_json(json.field("n")?)?,
+            u: f64::from_json(json.field("u")?)?,
+            d: u32::from_json(json.field("d")?)?,
+            c: u16::from_json(json.field("c")?)?,
+            k: u32::from_json(json.field("k")?)?,
+            mu: f64::from_json(json.field("mu")?)?,
+            duration: u32::from_json(json.field("duration")?)?,
+            catalog: usize::from_json(json.field("catalog")?)?,
+            alloc_seed: u64::from_json(json.field("alloc_seed")?)?,
+            hetero: Option::<HeteroSpec>::from_json(json.field("hetero")?)?,
+        })
+    }
+}
+
+impl SeedSystem {
+    /// The bound-evaluation parameters of this recipe.
+    pub fn bound_params(&self) -> BoundParams {
+        BoundParams {
+            n: self.n,
+            m: self.catalog,
+            c: self.c,
+            k: self.k,
+            u: self.u,
+            mu: self.mu,
+        }
+    }
+
+    /// Rebuilds the exact system: same parameters, same seeded allocation.
+    ///
+    /// # Panics
+    /// Panics when the recipe is structurally invalid (the recipes shipped
+    /// in corpus files and experiment configs are constructed valid).
+    pub fn build(&self) -> VideoSystem {
+        let params = SystemParams::new(
+            self.n,
+            self.u,
+            self.d,
+            self.c,
+            self.k,
+            self.mu,
+            self.duration,
+        );
+        let allocator = RandomPermutationAllocator::new(self.k);
+        let mut rng = StdRng::seed_from_u64(self.alloc_seed);
+        match &self.hetero {
+            None => {
+                VideoSystem::homogeneous_with_catalog(params, self.catalog, &allocator, &mut rng)
+                    .expect("seed recipe must describe a valid homogeneous system")
+            }
+            Some(h) => {
+                let boxes =
+                    VideoSystem::proportional_boxes(&h.uploads, h.storage_per_upload, self.c);
+                let catalog = Catalog::uniform(self.catalog, self.duration, self.c);
+                VideoSystem::heterogeneous(
+                    params,
+                    boxes,
+                    catalog,
+                    &allocator,
+                    Some(Bandwidth::from_streams(h.u_star)),
+                    &mut rng,
+                )
+                .expect("seed recipe must describe a valid heterogeneous system")
+            }
+        }
+    }
+
+    /// Compact parameter label (`n4m2c2k3`-style) for tables and bench keys.
+    pub fn label(&self) -> String {
+        format!(
+            "n{}m{}c{}k{}{}",
+            self.n,
+            self.catalog,
+            self.c,
+            self.k,
+            if self.hetero.is_some() { "h" } else { "" }
+        )
+    }
+}
+
+/// A replayable seed file: the fuzz-gate dump format and the regression
+/// corpus format under `tests/corpus/`. Rebuild the system with
+/// [`SeedSystem::build`], replay `demands` for `horizon` rounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedFile {
+    /// The system recipe.
+    pub system: SeedSystem,
+    /// Rounds to simulate.
+    pub horizon: u64,
+    /// The demand sequence.
+    pub demands: DemandTrace,
+    /// Human-readable provenance (what this seed reproduces).
+    pub note: String,
+}
+
+impl JsonCodec for SeedFile {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("system", self.system.to_json()),
+            ("horizon", self.horizon.to_json()),
+            ("demands", self.demands.to_json()),
+            ("note", self.note.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SeedFile {
+            system: SeedSystem::from_json(json.field("system")?)?,
+            horizon: u64::from_json(json.field("horizon")?)?,
+            demands: DemandTrace::from_json(json.field("demands")?)?,
+            note: String::from_json(json.field("note")?)?,
+        })
+    }
+}
+
+impl SeedFile {
+    /// Loads a seed file from disk.
+    pub fn load(path: &std::path::Path) -> Result<SeedFile, JsonError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| JsonError::new(format!("{}: {e}", path.display())))?;
+        SeedFile::from_json_str(&text)
+    }
+
+    /// Writes the seed file to disk (pretty-printed enough to diff).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+}
+
+/// The engine variants the differential gate steps in lock-step: the
+/// incremental reference, the legacy full-rescan candidate pipeline, and
+/// the sharded scheduler at 1, 2, and 4 threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineVariant {
+    /// Incremental candidate index + global max-flow scheduler (reference).
+    Incremental,
+    /// Legacy full-rescan candidate pipeline + global max-flow scheduler.
+    Rescan,
+    /// Incremental candidates + sharded per-swarm scheduler.
+    Sharded(usize),
+}
+
+impl EngineVariant {
+    /// The differential gate's variant set (reference first).
+    pub const GATE: [EngineVariant; 5] = [
+        EngineVariant::Incremental,
+        EngineVariant::Rescan,
+        EngineVariant::Sharded(1),
+        EngineVariant::Sharded(2),
+        EngineVariant::Sharded(4),
+    ];
+
+    /// Display label.
+    pub fn label(self) -> String {
+        match self {
+            EngineVariant::Incremental => "incremental".to_string(),
+            EngineVariant::Rescan => "rescan".to_string(),
+            EngineVariant::Sharded(t) => format!("sharded-{t}"),
+        }
+    }
+
+    /// Builds a fresh simulator of this variant over `system`.
+    pub fn simulator<'a>(self, system: &'a VideoSystem, config: SimConfig) -> Simulator<'a> {
+        match self {
+            EngineVariant::Incremental => {
+                Simulator::with_scheduler(system, config, Box::new(MaxFlowScheduler::new()))
+            }
+            EngineVariant::Rescan => Simulator::with_scheduler(
+                system,
+                config.with_rescan_candidates(),
+                Box::new(MaxFlowScheduler::new()),
+            ),
+            EngineVariant::Sharded(threads) => {
+                Simulator::with_sharded_scheduler(system, config, threads)
+            }
+        }
+    }
+
+    /// Branches `sim` (which must be of this variant) with a fresh
+    /// scheduler of the same kind.
+    fn fork<'a>(self, sim: &Simulator<'a>) -> Simulator<'a> {
+        match self {
+            EngineVariant::Incremental | EngineVariant::Rescan => {
+                sim.fork_with(Box::new(MaxFlowScheduler::new()))
+            }
+            EngineVariant::Sharded(threads) => {
+                sim.fork_with(Box::new(vod_sim::ShardedMatcher::new(threads)))
+            }
+        }
+    }
+}
+
+/// What to explore and how hard.
+#[derive(Clone, Debug)]
+pub struct ExploreSpec {
+    /// The system recipe.
+    pub seed: SeedSystem,
+    /// Exploration depth in rounds (≤ 8 stays tractable).
+    pub horizon: u64,
+    /// Step every transition through all [`EngineVariant::GATE`] variants
+    /// and assert bit-equality (5× the engine work; off = reference only).
+    pub differential: bool,
+    /// Stop at the first infeasible sequence instead of counting them all
+    /// (counterexample search below the threshold).
+    pub stop_on_failure: bool,
+    /// Truncate after this many canonical states (`None` = exhaustive; a
+    /// truncated run proves nothing universal and is flagged).
+    pub max_states: Option<u64>,
+}
+
+impl ExploreSpec {
+    /// Exhaustive differential exploration of `seed` to `horizon`.
+    pub fn new(seed: SeedSystem, horizon: u64) -> Self {
+        ExploreSpec {
+            seed,
+            horizon,
+            differential: true,
+            stop_on_failure: false,
+            max_states: None,
+        }
+    }
+}
+
+/// What the explorer found.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreOutcome {
+    /// Unique canonical states visited (including the root).
+    pub canonical_states: u64,
+    /// Transitions that reached an already-visited canonical state.
+    pub transpositions: u64,
+    /// Transitions stepped through the engine.
+    pub edges: u64,
+    /// Infeasible sequences found (an unserved request — Lemma 1 fails).
+    pub failures: u64,
+    /// True when `max_states` cut the exploration short.
+    pub truncated: bool,
+    /// The first failing demand sequence, unshrunk
+    /// ([`shrink_counterexample`] minimizes it).
+    pub counterexample: Option<DemandTrace>,
+    /// Replayable dumps of any differential divergence (empty = gate green).
+    pub divergences: Vec<SeedFile>,
+}
+
+impl ExploreOutcome {
+    /// True when the run completed exhaustively (nothing truncated it) and
+    /// every explored sequence was served by every engine variant.
+    pub fn verified(&self) -> bool {
+        !self.truncated && self.failures == 0 && self.divergences.is_empty()
+    }
+
+    /// Dedupe hit rate: transpositions over all state-producing edges.
+    pub fn dedupe_rate(&self) -> f64 {
+        let landings = self.canonical_states.saturating_sub(1) + self.transpositions;
+        if landings == 0 {
+            0.0
+        } else {
+            self.transpositions as f64 / landings as f64
+        }
+    }
+}
+
+/// One per-round demand batch: `(box, video)` assignments for the round.
+type Batch = Vec<(BoxId, VideoId)>;
+
+/// One-shot generator feeding exactly one batch at one round.
+struct BatchGen<'b> {
+    round: u64,
+    batch: &'b [(BoxId, VideoId)],
+}
+
+impl DemandGenerator for BatchGen<'_> {
+    fn demands_at(&mut self, round: u64, _occupancy: &dyn OccupancyView) -> Vec<VideoDemand> {
+        if round == self.round {
+            self.batch
+                .iter()
+                .map(|&(b, v)| VideoDemand::new(b, v, round))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive-batch"
+    }
+}
+
+/// µ-headroom of a swarm of post-departure size `f`: how many joins keep
+/// `f(t+1) ≤ ⌈max{f(t),1}·µ⌉` (the paper's growth rule, matching the
+/// engine's [`vod_sim::SwarmTracker`] semantics where departures free
+/// capacity the same round).
+fn mu_headroom(f: usize, mu: f64) -> usize {
+    let cap = ((f.max(1) as f64) * mu).ceil() as usize;
+    cap.saturating_sub(f)
+}
+
+/// Checks that `trace` is a clean µ-admissible demand sequence for an
+/// `n`-box system with video duration `duration`: every demand targets a
+/// free box (no box plays two videos at once) and every round's per-video
+/// joins respect the growth rule relative to the live (post-departure)
+/// swarm size. This is the demand-side mirror of the engine's admission.
+pub fn is_admissible(trace: &DemandTrace, n: usize, duration: u64, mu: f64) -> bool {
+    let Some(last) = trace.last_round() else {
+        return true;
+    };
+    // playing[b] = (video, ends_at) while box b is busy.
+    let mut playing: Vec<Option<(VideoId, u64)>> = vec![None; n];
+    for round in 0..=last {
+        for slot in playing.iter_mut() {
+            if matches!(slot, Some((_, ends)) if *ends <= round) {
+                *slot = None;
+            }
+        }
+        let mut joins: std::collections::HashMap<VideoId, usize> = std::collections::HashMap::new();
+        for demand in trace.at(round) {
+            let idx = demand.box_id.index();
+            if idx >= n || playing[idx].is_some() {
+                return false;
+            }
+            playing[idx] = Some((demand.video, round + duration));
+            *joins.entry(demand.video).or_default() += 1;
+        }
+        for (&video, &count) in &joins {
+            let live = playing
+                .iter()
+                .flatten()
+                .filter(|(v, ends)| *v == video && *ends > round)
+                .count();
+            // `live` already includes this round's joins.
+            let before = live - count;
+            if count > mu_headroom(before, mu) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exploration context threaded through the recursion.
+struct Ctx<'s> {
+    spec: &'s ExploreSpec,
+    visited: HashSet<u64, BuildHasherDefault<FxHasher64>>,
+    out: ExploreOutcome,
+    /// Demand batches of the current DFS path, indexed by round.
+    path: Vec<Batch>,
+}
+
+impl Ctx<'_> {
+    /// True when nothing further may be explored.
+    fn done(&self) -> bool {
+        self.out.truncated
+            || (self.spec.stop_on_failure && self.out.counterexample.is_some())
+            || self.out.divergences.len() >= MAX_DIVERGENCE_DUMPS
+    }
+
+    fn path_trace(&self) -> DemandTrace {
+        DemandTrace::from_demands(self.path.iter().enumerate().flat_map(|(round, batch)| {
+            batch
+                .iter()
+                .map(move |&(b, v)| VideoDemand::new(b, v, round as u64))
+        }))
+    }
+}
+
+/// Divergence dumps are capped: one is already a gate failure, a handful
+/// aids debugging, thousands would just burn disk and wall-clock.
+const MAX_DIVERGENCE_DUMPS: usize = 4;
+
+/// Enumerates every µ-admissible demand batch for the reference simulator's
+/// current round, deterministically (free boxes ascending, idle before
+/// videos ascending). The empty batch comes first, so pure-idle progress is
+/// always explored.
+fn admissible_batches(reference: &Simulator, system: &VideoSystem, mu: f64) -> Vec<Batch> {
+    let now = reference.round();
+    let n = system.n();
+    let m = system.m();
+    let mut free: Vec<BoxId> = Vec::new();
+    let mut live = vec![0usize; m];
+    for idx in 0..n {
+        let b = BoxId(idx as u32);
+        match reference.playback(b) {
+            Some(st) if st.ends_at > now => live[st.video.index()] += 1,
+            _ => free.push(b),
+        }
+    }
+    let headroom: Vec<usize> = live.iter().map(|&f| mu_headroom(f, mu)).collect();
+
+    let mut batches = Vec::new();
+    let mut used = vec![0usize; m];
+    let mut current: Batch = Vec::new();
+    fn rec(
+        i: usize,
+        free: &[BoxId],
+        headroom: &[usize],
+        used: &mut Vec<usize>,
+        current: &mut Batch,
+        batches: &mut Vec<Batch>,
+    ) {
+        if i == free.len() {
+            batches.push(current.clone());
+            return;
+        }
+        // Box stays idle this round.
+        rec(i + 1, free, headroom, used, current, batches);
+        for v in 0..headroom.len() {
+            if used[v] < headroom[v] {
+                used[v] += 1;
+                current.push((free[i], VideoId(v as u32)));
+                rec(i + 1, free, headroom, used, current, batches);
+                current.pop();
+                used[v] -= 1;
+            }
+        }
+    }
+    rec(0, &free, &headroom, &mut used, &mut current, &mut batches);
+    batches
+}
+
+/// Normalizes one round's metrics for cross-variant comparison. Blanked
+/// fields are scheduler-shape, not schedule: shard observability,
+/// relay-lending counters, and the allocation/cache sourcing split (the
+/// global and sharded max-flows may pick different suppliers for the same
+/// served set, so only the sum — `served`, which stays compared — is
+/// schedule-invariant; the sharded-vs-sharded gates still pin the split
+/// across thread counts). [`vod_sim::CandidateStats`] equality already
+/// ignores build time. Everything else must match bit for bit.
+pub fn normalize_round(metrics: &RoundMetrics) -> RoundMetrics {
+    let mut m = metrics.clone();
+    m.shard = None;
+    m.served_from_allocation = 0;
+    m.served_from_cache = 0;
+    if let Some(relay) = &mut m.relay {
+        relay.contested_relays = 0;
+        relay.lent = 0;
+    }
+    m
+}
+
+/// Normalizes a whole report for cross-variant comparison (per-round
+/// normalization; everything else compares exactly).
+pub fn normalize_report(report: &SimulationReport) -> SimulationReport {
+    let mut r = report.clone();
+    r.rounds = r.rounds.iter().map(normalize_round).collect();
+    r
+}
+
+/// Runs the bounded exhaustive exploration described by `spec`.
+pub fn explore(spec: &ExploreSpec) -> ExploreOutcome {
+    let system = spec.seed.build();
+    let config = SimConfig {
+        max_rounds: spec.horizon,
+        failure_policy: FailurePolicy::Abort,
+        collect_obstructions: false,
+        candidates: vod_sim::CandidateMode::Incremental,
+    };
+    let variants: Vec<EngineVariant> = if spec.differential {
+        EngineVariant::GATE.to_vec()
+    } else {
+        vec![EngineVariant::Incremental]
+    };
+    let bundle: Vec<Simulator> = variants
+        .iter()
+        .map(|v| v.simulator(&system, config))
+        .collect();
+    let mut ctx = Ctx {
+        spec,
+        visited: HashSet::default(),
+        out: ExploreOutcome::default(),
+        path: Vec::new(),
+    };
+    ctx.visited.insert(bundle[0].state_signature());
+    ctx.out.canonical_states = 1;
+    expand(&mut ctx, &system, &variants, &bundle, 0);
+    ctx.out
+}
+
+fn expand(
+    ctx: &mut Ctx,
+    system: &VideoSystem,
+    variants: &[EngineVariant],
+    bundle: &[Simulator],
+    depth: u64,
+) {
+    if depth >= ctx.spec.horizon || ctx.done() {
+        return;
+    }
+    let mu = ctx.spec.seed.mu;
+    let batches = admissible_batches(&bundle[0], system, mu);
+    for batch in batches {
+        if ctx.done() {
+            return;
+        }
+        ctx.out.edges += 1;
+        let mut children: Vec<Simulator> = variants
+            .iter()
+            .zip(bundle)
+            .map(|(v, sim)| v.fork(sim))
+            .collect();
+        let feasible: Vec<bool> = children
+            .iter_mut()
+            .map(|child| {
+                let mut gen = BatchGen {
+                    round: child.round(),
+                    batch: &batch,
+                };
+                child.step(&mut gen)
+            })
+            .collect();
+        ctx.path.push(batch);
+
+        if ctx.spec.differential {
+            let reference = normalize_round(
+                children[0]
+                    .report_so_far()
+                    .rounds
+                    .last()
+                    .expect("just stepped"),
+            );
+            for (i, child) in children.iter().enumerate().skip(1) {
+                let other =
+                    normalize_round(child.report_so_far().rounds.last().expect("just stepped"));
+                if other != reference || feasible[i] != feasible[0] {
+                    ctx.out.divergences.push(SeedFile {
+                        system: ctx.spec.seed.clone(),
+                        horizon: ctx.spec.horizon,
+                        demands: ctx.path_trace(),
+                        note: format!(
+                            "differential divergence at round {} between {} and {}",
+                            children[0].round() - 1,
+                            variants[0].label(),
+                            variants[i].label()
+                        ),
+                    });
+                    ctx.path.pop();
+                    return;
+                }
+            }
+        }
+
+        if !feasible[0] {
+            ctx.out.failures += 1;
+            if ctx.out.counterexample.is_none() {
+                ctx.out.counterexample = Some(ctx.path_trace());
+            }
+        } else {
+            let signature = children[0].state_signature();
+            if ctx.visited.insert(signature) {
+                ctx.out.canonical_states += 1;
+                if ctx
+                    .spec
+                    .max_states
+                    .is_some_and(|cap| ctx.out.canonical_states >= cap)
+                {
+                    ctx.out.truncated = true;
+                } else {
+                    expand(ctx, system, variants, &children, depth + 1);
+                }
+            } else {
+                ctx.out.transpositions += 1;
+            }
+        }
+        ctx.path.pop();
+    }
+}
+
+/// Replays `trace` on a fresh reference simulator and reports whether some
+/// round goes infeasible within `horizon` rounds.
+pub fn replay_fails(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> bool {
+    let system = seed.build();
+    let config = SimConfig::new(horizon).without_obstructions();
+    let mut generator = TraceReplay::new(trace.clone());
+    let report = EngineVariant::Incremental
+        .simulator(&system, config)
+        .run(&mut generator);
+    !report.failures.is_empty()
+}
+
+/// Shrinks a failing demand sequence to a locally minimal counterexample:
+/// whole leading rounds, whole trailing rounds, then single demands are
+/// greedily deleted while the sequence stays µ-admissible *and* still
+/// fails on replay, to a fixpoint (no single deletion preserves failure).
+pub fn shrink_counterexample(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> DemandTrace {
+    let n = seed.n;
+    let duration = seed.duration as u64;
+    let mu = seed.mu;
+    let still_failing = |candidate: &DemandTrace| {
+        !candidate.is_empty()
+            && is_admissible(candidate, n, duration, mu)
+            && replay_fails(seed, candidate, horizon)
+    };
+
+    let mut best = trace.clone();
+    loop {
+        let mut improved = false;
+        let demands: Vec<VideoDemand> = best.iter().copied().collect();
+        let rounds: Vec<u64> = {
+            let mut r: Vec<u64> = demands.iter().map(|d| d.round).collect();
+            r.dedup();
+            r
+        };
+        // Whole-round deletions first (prefix, then suffix, then middle):
+        // they cut the sequence fastest.
+        let mut candidates: Vec<DemandTrace> = Vec::new();
+        for &round in rounds.iter() {
+            candidates.push(DemandTrace::from_demands(
+                demands.iter().copied().filter(|d| d.round != round),
+            ));
+        }
+        // Then every single-demand deletion.
+        for skip in 0..demands.len() {
+            candidates.push(DemandTrace::from_demands(
+                demands
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, d)| *d),
+            ));
+        }
+        for candidate in candidates {
+            if candidate.len() < best.len() && still_failing(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Replays a seed file through every [`EngineVariant::GATE`] pipeline and
+/// checks the normalized reports are bit-identical. Returns the reference
+/// report, or a description of the first divergence.
+pub fn replay_seed(seed: &SeedFile) -> Result<SimulationReport, String> {
+    let system = seed.system.build();
+    let config = SimConfig::new(seed.horizon)
+        .continue_on_failure()
+        .without_obstructions();
+    let run = |variant: EngineVariant| {
+        let mut generator = TraceReplay::new(seed.demands.clone());
+        variant.simulator(&system, config).run(&mut generator)
+    };
+    let reference = run(EngineVariant::Incremental);
+    let normalized = normalize_report(&reference);
+    for variant in EngineVariant::GATE.into_iter().skip(1) {
+        let other = normalize_report(&run(variant));
+        if other != normalized {
+            let detail = normalized
+                .rounds
+                .iter()
+                .zip(&other.rounds)
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("first differing round: {a:?} vs {b:?}"))
+                .unwrap_or_else(|| "rounds equal; reports differ elsewhere".to_string());
+            return Err(format!(
+                "replay of \"{}\" diverges: {} vs {} ({detail})",
+                seed.note,
+                EngineVariant::Incremental.label(),
+                variant.label()
+            ));
+        }
+    }
+    Ok(reference)
+}
+
+/// Result of the first-moment cross-check: the analytic bound next to the
+/// exhaustively decided failure fraction.
+#[derive(Clone, Copy, Debug)]
+pub struct FirstMomentCheck {
+    /// The analytic upper bound on the failure probability (1.0 = vacuous).
+    pub bound: f64,
+    /// Exhaustively decided failure fraction over the allocation seeds.
+    pub empirical: f64,
+    /// Allocations admitting at least one failing admissible sequence.
+    pub failing: usize,
+    /// Allocation seeds tried.
+    pub trials: usize,
+}
+
+impl FirstMomentCheck {
+    /// The bound must upper-bound the truth (exhaustively decided, the
+    /// empirical fraction *is* the truth over these allocations, modulo
+    /// sampling of the allocation space).
+    pub fn consistent(&self) -> bool {
+        self.empirical <= self.bound + 1e-9
+    }
+}
+
+/// Cross-checks the first-moment bound of [`crate::obstruction`] against
+/// ground truth: for each allocation seed the explorer exhaustively decides
+/// whether *any* µ-admissible sequence (up to `horizon`) fails, and the
+/// failure fraction is compared against [`first_moment_bound`].
+pub fn crosscheck_first_moment(base: &SeedSystem, horizon: u64, seeds: &[u64]) -> FirstMomentCheck {
+    let mut failing = 0usize;
+    for &alloc_seed in seeds {
+        let mut seed = base.clone();
+        seed.alloc_seed = alloc_seed;
+        let spec = ExploreSpec {
+            seed,
+            horizon,
+            differential: false,
+            stop_on_failure: true,
+            max_states: None,
+        };
+        if explore(&spec).failures > 0 {
+            failing += 1;
+        }
+    }
+    FirstMomentCheck {
+        bound: first_moment_bound(&base.bound_params()),
+        empirical: failing as f64 / seeds.len().max(1) as f64,
+        failing,
+        trials: seeds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_seed() -> SeedSystem {
+        SeedSystem {
+            n: 4,
+            u: 3.0,
+            d: 2,
+            c: 2,
+            k: 3,
+            mu: 1.1,
+            duration: 4,
+            catalog: 2,
+            alloc_seed: 7,
+            hetero: None,
+        }
+    }
+
+    #[test]
+    fn seed_system_round_trips_and_rebuilds_identically() {
+        let seed = tiny_seed();
+        let json = seed.to_json_string();
+        let back = SeedSystem::from_json_str(&json).unwrap();
+        assert_eq!(seed, back);
+        assert_eq!(seed.build(), back.build());
+    }
+
+    #[test]
+    fn seed_file_round_trips() {
+        let file = SeedFile {
+            system: tiny_seed(),
+            horizon: 6,
+            demands: DemandTrace::from_demands([
+                VideoDemand::new(BoxId(0), VideoId(0), 0),
+                VideoDemand::new(BoxId(1), VideoId(1), 2),
+            ]),
+            note: "unit".to_string(),
+        };
+        let back = SeedFile::from_json_str(&file.to_json_string()).unwrap();
+        assert_eq!(file, back);
+    }
+
+    #[test]
+    fn admissibility_mirrors_growth_and_occupancy() {
+        // An empty swarm admits ⌈1·µ⌉ joins: two for µ = 1.1, not three.
+        let pair = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(1), VideoId(0), 0),
+        ]);
+        assert!(is_admissible(&pair, 4, 4, 1.1));
+        let burst = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(1), VideoId(0), 0),
+            VideoDemand::new(BoxId(2), VideoId(0), 0),
+        ]);
+        assert!(!is_admissible(&burst, 4, 4, 1.1));
+        assert!(is_admissible(&burst, 4, 4, 3.0));
+        // A busy box cannot demand again before its playback ends.
+        let busy = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(0), VideoId(1), 2),
+        ]);
+        assert!(!is_admissible(&busy, 4, 4, 2.0));
+        // …but may rejoin exactly when it frees (duration 4: free at round 4).
+        let rejoin = DemandTrace::from_demands([
+            VideoDemand::new(BoxId(0), VideoId(0), 0),
+            VideoDemand::new(BoxId(0), VideoId(1), 4),
+        ]);
+        assert!(is_admissible(&rejoin, 4, 4, 2.0));
+    }
+
+    #[test]
+    fn explorer_dedupes_converging_histories() {
+        let spec = ExploreSpec {
+            seed: tiny_seed(),
+            horizon: 5,
+            differential: false,
+            stop_on_failure: false,
+            max_states: None,
+        };
+        let out = explore(&spec);
+        assert!(out.canonical_states > 1);
+        assert!(
+            out.transpositions > 0,
+            "idle chains after cache expiry must converge"
+        );
+        assert_eq!(
+            out.edges,
+            out.canonical_states - 1 + out.transpositions + out.failures
+        );
+    }
+
+    #[test]
+    fn well_provisioned_tiny_system_verifies_exhaustively() {
+        // u = 3, c = 2, µ = 1.1: c > (2µ²−1)/(u−1) = 0.71 holds, k = n −
+        // 1 replicates every stripe on 3 of 4 boxes.
+        let spec = ExploreSpec {
+            seed: tiny_seed(),
+            horizon: 4,
+            differential: true,
+            stop_on_failure: false,
+            max_states: None,
+        };
+        let out = explore(&spec);
+        assert!(
+            out.verified(),
+            "failures {} divergences {}",
+            out.failures,
+            out.divergences.len()
+        );
+        assert!(out.canonical_states > 10);
+    }
+
+    #[test]
+    fn starved_system_yields_a_minimal_counterexample() {
+        // u = 1.2 < 1 + (2µ²−1)/c for µ = 1.5, c = 2: far below the
+        // threshold, and k = 1 leaves single points of contention.
+        let seed = SeedSystem {
+            n: 4,
+            u: 1.2,
+            d: 2,
+            c: 2,
+            k: 1,
+            mu: 1.5,
+            duration: 4,
+            catalog: 2,
+            alloc_seed: 3,
+            hetero: None,
+        };
+        let spec = ExploreSpec {
+            seed: seed.clone(),
+            horizon: 6,
+            differential: false,
+            stop_on_failure: true,
+            max_states: None,
+        };
+        let out = explore(&spec);
+        assert!(out.failures > 0, "below-threshold system never failed");
+        let raw = out.counterexample.expect("failure recorded");
+        assert!(replay_fails(&seed, &raw, 6));
+        let minimal = shrink_counterexample(&seed, &raw, 6);
+        assert!(minimal.len() <= raw.len());
+        assert!(is_admissible(
+            &minimal,
+            seed.n,
+            seed.duration as u64,
+            seed.mu
+        ));
+        assert!(replay_fails(&seed, &minimal, 6));
+    }
+
+    #[test]
+    fn replay_seed_agrees_across_pipelines() {
+        let seed = SeedFile {
+            system: tiny_seed(),
+            horizon: 6,
+            demands: DemandTrace::from_demands([
+                VideoDemand::new(BoxId(0), VideoId(0), 0),
+                VideoDemand::new(BoxId(1), VideoId(1), 1),
+                VideoDemand::new(BoxId(2), VideoId(0), 2),
+            ]),
+            note: "unit replay".to_string(),
+        };
+        let report = replay_seed(&seed).expect("pipelines agree");
+        assert_eq!(report.round_count(), 6);
+    }
+
+    #[test]
+    fn first_moment_crosscheck_is_consistent() {
+        let check = crosscheck_first_moment(&tiny_seed(), 3, &[1, 2, 3]);
+        assert_eq!(check.trials, 3);
+        assert!(
+            check.consistent(),
+            "empirical {} > bound {}",
+            check.empirical,
+            check.bound
+        );
+    }
+}

@@ -13,11 +13,14 @@
 //! * [`montecarlo`] — Monte-Carlo feasibility estimation by running the full
 //!   simulator over many random allocations (parallelized);
 //! * [`threshold`] — empirical threshold / capacity searches by bisection;
+//! * [`mod@explore`] — bounded exhaustive model-checking of the Theorem 1
+//!   threshold with a differential fuzz gate over every engine fast path;
 //! * [`stats`] / [`report`] — summary statistics and experiment tables.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod explore;
 pub mod lower_bound;
 pub mod montecarlo;
 pub mod obstruction;
@@ -27,6 +30,11 @@ pub mod theorem1;
 pub mod theorem2;
 pub mod threshold;
 
+pub use explore::{
+    crosscheck_first_moment, explore, is_admissible, normalize_report, normalize_round,
+    replay_fails, replay_seed, shrink_counterexample, EngineVariant, ExploreOutcome, ExploreSpec,
+    FirstMomentCheck, HeteroSpec, SeedFile, SeedSystem,
+};
 pub use lower_bound::LowerBoundCheck;
 pub use montecarlo::{
     estimate_failure_probability, run_trial, run_workload, FeasibilityEstimate, TrialOutcome,

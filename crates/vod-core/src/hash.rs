@@ -7,7 +7,7 @@
 //! reconciliation arena's key map (`vod-flow`) on identical, deterministic
 //! hashing.
 
-use std::hash::Hasher;
+use std::hash::{Hash, Hasher};
 
 /// Multiply-xor hasher over 64-bit lanes. Deterministic across processes,
 /// so map *lookups* are stable; iteration order must still never influence
@@ -45,15 +45,54 @@ impl Hasher for FxHasher64 {
     }
 }
 
+/// Hashes a single value through [`FxHasher64`].
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher64::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Order-insensitive signature accumulator for canonical state hashing.
+///
+/// Components are hashed individually through [`FxHasher64`], sorted, and
+/// folded into one 64-bit signature — so two states whose components are
+/// enumerated in different orders (e.g. `HashMap` iteration in a simulator
+/// snapshot) still canonicalize to the same signature. The component count
+/// is mixed in, so a multiset and its sub-multiset never collide trivially.
+#[derive(Clone, Debug, Default)]
+pub struct SortedSignature {
+    parts: Vec<u64>,
+}
+
+impl SortedSignature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        SortedSignature::default()
+    }
+
+    /// Adds one component (hashed independently of insertion order).
+    pub fn push<T: Hash + ?Sized>(&mut self, component: &T) {
+        self.parts.push(fx_hash(component));
+    }
+
+    /// Sorts the component hashes and folds them into the signature.
+    pub fn finish(mut self) -> u64 {
+        self.parts.sort_unstable();
+        let mut hasher = FxHasher64::default();
+        hasher.write_u64(self.parts.len() as u64);
+        for part in &self.parts {
+            hasher.write_u64(*part);
+        }
+        hasher.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::hash::Hash;
 
     fn hash_of<T: Hash>(value: &T) -> u64 {
-        let mut hasher = FxHasher64::default();
-        value.hash(&mut hasher);
-        hasher.finish()
+        fx_hash(value)
     }
 
     #[test]
@@ -61,5 +100,28 @@ mod tests {
         assert_eq!(hash_of(&42u64), hash_of(&42u64));
         assert_ne!(hash_of(&42u64), hash_of(&43u64));
         assert_ne!(hash_of(&1u128), hash_of(&(1u128 << 64)));
+    }
+
+    #[test]
+    fn sorted_signature_is_order_insensitive() {
+        let mut a = SortedSignature::new();
+        a.push(&(1u32, 7u64));
+        a.push(&(2u32, 9u64));
+        let mut b = SortedSignature::new();
+        b.push(&(2u32, 9u64));
+        b.push(&(1u32, 7u64));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn sorted_signature_distinguishes_content_and_count() {
+        let mut a = SortedSignature::new();
+        a.push(&1u64);
+        let mut b = SortedSignature::new();
+        b.push(&2u64);
+        assert_ne!(a.clone().finish(), b.finish());
+        let mut twice = a.clone();
+        twice.push(&1u64);
+        assert_ne!(a.finish(), twice.finish());
     }
 }

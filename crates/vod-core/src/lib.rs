@@ -51,7 +51,7 @@ pub use compensation::{
     check_storage_balance, compensate, relay_reservation, CompensationDelta, CompensationPlan,
 };
 pub use error::CoreError;
-pub use hash::FxHasher64;
+pub use hash::{fx_hash, FxHasher64, SortedSignature};
 pub use json::{Json, JsonCodec, JsonError};
 pub use node::{BoxId, BoxSet, NodeBox};
 pub use params::SystemParams;

@@ -126,7 +126,7 @@ impl JsonCodec for CandidateStats {
 /// assert!(index.candidates(stripe).is_empty());
 /// assert_eq!(index.expired_this_round(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CandidateIndex {
     /// The cache window `T` (video duration in rounds).
     window: u64,

@@ -32,11 +32,13 @@ use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationRepo
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
 };
-use crate::scheduler::{MaxFlowScheduler, RelayBroker, RequestKey, Scheduler, ShardedMatcher};
+use crate::scheduler::{
+    MaxFlowScheduler, RelayBroker, RelayEvent, RequestKey, Scheduler, ShardedMatcher,
+};
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
 use std::time::Instant;
-use vod_core::{BoxId, PlaybackCache, StripeId, VideoId, VideoSystem};
+use vod_core::{BoxId, PlaybackCache, SortedSignature, StripeId, VideoId, VideoSystem};
 use vod_flow::{
     find_obstruction_in, CandidateBuf, ConnectionProblem, Dinic, FlowArena, RelayView, NO_STAMP,
 };
@@ -150,6 +152,7 @@ struct CachedRow {
 /// index or the legacy full-rescan structures. Both expose the same
 /// maintenance/insert/stats surface and produce bit-identical candidate
 /// rows.
+#[derive(Clone)]
 enum CandidatePipeline {
     /// Incremental index (see [`CandidateIndex`]).
     Incremental(CandidateIndex),
@@ -255,7 +258,9 @@ pub struct Simulator<'a> {
     /// Stall-round counters for in-flight playbacks.
     stalls: Vec<u64>,
     report: SimulationReport,
-    /// Per-box upload capacities (static for the system's lifetime).
+    /// Per-box upload capacities: derived from the system at construction,
+    /// refreshed from the relay broker on churn events
+    /// ([`Simulator::apply_relay_event`]).
     capacities: Vec<u32>,
     /// The relay subsystem, when the system carries a compensation plan:
     /// owns the live reservation table, per-relay utilization counters,
@@ -411,6 +416,138 @@ impl<'a> Simulator<'a> {
         (self.row_cache_hits, self.row_cache_misses)
     }
 
+    /// The playback state of box `b`, when it is currently viewing.
+    pub fn playback(&self, b: BoxId) -> Option<&PlaybackState> {
+        self.playing.get(b.index()).and_then(|p| p.as_ref())
+    }
+
+    /// The report accumulated so far (rounds simulated up to now). Unlike
+    /// [`Simulator::run`], this does not flush in-flight playbacks or the
+    /// relay utilization profile — it is the live view a stepping driver
+    /// (the exhaustive explorer) compares across engine variants.
+    pub fn report_so_far(&self) -> &SimulationReport {
+        &self.report
+    }
+
+    /// The relay subsystem, when the system is heterogeneous.
+    pub fn relay_broker(&self) -> Option<&RelayBroker> {
+        self.relay_broker.as_ref()
+    }
+
+    /// The live upload-slot capacity of box `b` as the scheduler sees it
+    /// (static allocation minus reservations, updated by
+    /// [`Simulator::apply_relay_event`]).
+    pub fn upload_slots(&self, b: BoxId) -> u32 {
+        self.capacities.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// Canonical signature of the behavioural state: everything the future
+    /// of the simulation depends on — playback states (with their request
+    /// plans), live candidate-cache entries, swarm preload counters, the
+    /// current round, the live capacity table, and the relay plan. Pooled
+    /// scratch, warm scheduler state, and accumulated reports are excluded:
+    /// the equivalence gates prove they never change a schedule. Components
+    /// are combined order-insensitively ([`SortedSignature`]), so both
+    /// candidate pipelines produce identical signatures for equal states.
+    pub fn state_signature(&self) -> u64 {
+        let mut sig = SortedSignature::new();
+        sig.push(&(0u8, self.round));
+        for (idx, slot) in self.playing.iter().enumerate() {
+            if let Some(st) = slot {
+                sig.push(&(1u8, idx as u32, st));
+            }
+        }
+        match &self.candidates {
+            CandidatePipeline::Incremental(index) => {
+                for (stripe, b, start) in index.iter_live() {
+                    sig.push(&(2u8, stripe, b, start));
+                }
+            }
+            CandidatePipeline::Rescan { caches, .. } => {
+                for (idx, cache) in caches.iter().enumerate() {
+                    for (stripe, start) in cache.iter() {
+                        sig.push(&(2u8, stripe, BoxId(idx as u32), start));
+                    }
+                }
+            }
+        }
+        for (video, swarm) in self.swarms.iter() {
+            sig.push(&(3u8, video, swarm.entered_total()));
+        }
+        for (idx, cap) in self.capacities.iter().enumerate() {
+            sig.push(&(4u8, idx as u32, *cap));
+        }
+        if let Some(broker) = &self.relay_broker {
+            for (idx, slots) in broker.reserved_slots().iter().enumerate() {
+                sig.push(&(5u8, idx as u32, *slots));
+            }
+            for (poor, relay) in broker.plan().assignments() {
+                sig.push(&(6u8, poor, relay));
+            }
+        }
+        sig.finish()
+    }
+
+    /// Branches the simulation: an independent simulator continuing from
+    /// this one's exact behavioural state, scheduling with `scheduler`.
+    ///
+    /// Live state (round, playbacks, candidate pipeline, swarms, stalls,
+    /// report, capacity table, relay broker) is cloned; pooled scratch,
+    /// memoized candidate rows, and the scheduler's warm state start cold —
+    /// sound because the warm-vs-cold and incremental-vs-rebuild
+    /// equivalence suites pin those as output-invariant. The fork and the
+    /// original evolve independently from here; this is the branch
+    /// primitive of the exhaustive explorer.
+    pub fn fork_with(&self, scheduler: Box<dyn Scheduler>) -> Simulator<'a> {
+        let mut fork = Simulator::with_scheduler(self.system, self.config, scheduler);
+        fork.round = self.round;
+        fork.playing = self.playing.clone();
+        fork.candidates = self.candidates.clone();
+        fork.swarms = self.swarms.clone();
+        fork.stalls = self.stalls.clone();
+        fork.report = self.report.clone();
+        fork.capacities = self.capacities.clone();
+        fork.relay_broker = self.relay_broker.as_ref().map(RelayBroker::fork);
+        fork
+    }
+
+    /// Applies one churn event to the relay subsystem mid-run and re-syncs
+    /// the scheduler's capacity table from the live plan (departed boxes
+    /// drop to zero upload; freed or grown reservations open slots).
+    ///
+    /// Returns the compensation deltas performed, or the broker's named
+    /// error when the population is no longer `u*`-compensable (the event's
+    /// plan mutations still happened, exactly as [`RelayBroker::apply`]
+    /// documents). Future playbacks plan against the updated live plan;
+    /// playbacks already in flight keep the plans they were admitted with.
+    ///
+    /// # Panics
+    /// Panics on homogeneous systems (no relay subsystem) and when a
+    /// [`RelayEvent::BoxJoined`] id lies outside the original box universe
+    /// (the engine's per-box tables are sized at construction).
+    pub fn apply_relay_event(
+        &mut self,
+        event: RelayEvent,
+    ) -> Result<Vec<vod_core::CompensationDelta>, vod_core::CoreError> {
+        if let RelayEvent::BoxJoined(node) = &event {
+            assert!(
+                node.id.index() < self.playing.len(),
+                "box {} joined outside the original universe of {} boxes",
+                node.id,
+                self.playing.len()
+            );
+        }
+        let broker = self
+            .relay_broker
+            .as_mut()
+            .expect("relay events require a heterogeneous system with a compensation plan");
+        let result = broker.apply(event);
+        for (idx, cap) in self.capacities.iter_mut().enumerate() {
+            *cap = broker.open_upload_slots(BoxId(idx as u32));
+        }
+        result
+    }
+
     /// Runs the configured number of rounds against a demand generator and
     /// returns the report.
     pub fn run(mut self, generator: &mut dyn DemandGenerator) -> SimulationReport {
@@ -524,13 +661,21 @@ impl<'a> Simulator<'a> {
         let duration = self.system.duration() as u64;
         let mu = self.system.params().swarm_growth;
 
-        let (plan, playback_starts_at) = match self.system.compensation() {
+        // Plans consult the *live* plan when the relay subsystem is active
+        // (the broker starts as a mirror of the system's static plan, so
+        // behaviour is unchanged until a churn event is applied through
+        // [`Simulator::apply_relay_event`]). A poor box whose relay could
+        // not be re-placed after churn falls back to the direct rich plan.
+        let (plan, playback_starts_at) = match &self.relay_broker {
             None => homogeneous_plan(c, preload, now),
-            Some(comp) => {
-                let node = self.system.boxes().get(box_id);
-                match comp.relay(box_id) {
+            Some(broker) => {
+                let upload = broker
+                    .node(box_id)
+                    .map(|n| n.upload)
+                    .unwrap_or_else(|| self.system.boxes().get(box_id).upload);
+                match broker.plan().relay(box_id) {
                     Some(relay) => {
-                        let budget = direct_stripe_budget(c, node.upload.as_streams(), mu);
+                        let budget = direct_stripe_budget(c, upload.as_streams(), mu);
                         poor_plan(c, preload, now, relay, budget)
                     }
                     None => rich_plan(c, preload, now),
@@ -1111,5 +1256,116 @@ mod tests {
         assert!(inserted > 0);
         assert!(expired > 0, "no entry ever expired");
         assert_eq!(inserted - expired, live_at_end);
+    }
+
+    /// A fork continues exactly like the original: same per-round metrics,
+    /// same state signatures, even though the fork's scheduler, scratch,
+    /// and row cache start cold.
+    #[test]
+    fn fork_with_continues_bit_identically() {
+        let sys = small_system(12, 2.0, 4, 4, 8);
+        let make_gen = || SequentialViewing::new(12, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+        let mut original = Simulator::new(&sys, SimConfig::new(30).continue_on_failure());
+        let mut gen = make_gen();
+        for _ in 0..10 {
+            original.step(&mut gen);
+        }
+        let mut fork = original.fork_with(Box::new(MaxFlowScheduler::new()));
+        assert_eq!(fork.round(), original.round());
+        assert_eq!(fork.state_signature(), original.state_signature());
+        // Generators are stateful, so warm two fresh ones identically (each
+        // against its own throwaway simulator) before driving the pair.
+        let mut gen_fork = make_gen();
+        let mut gen_orig = make_gen();
+        let mut rewarm_a = Simulator::new(&sys, SimConfig::new(30).continue_on_failure());
+        let mut rewarm_b = Simulator::new(&sys, SimConfig::new(30).continue_on_failure());
+        for _ in 0..10 {
+            rewarm_a.step(&mut gen_fork);
+            rewarm_b.step(&mut gen_orig);
+        }
+        for _ in 0..10 {
+            fork.step(&mut gen_fork);
+            original.step(&mut gen_orig);
+            assert_eq!(fork.state_signature(), original.state_signature());
+            assert_eq!(
+                fork.report_so_far().rounds.last(),
+                original.report_so_far().rounds.last()
+            );
+        }
+    }
+
+    /// The state signature is insensitive to pipeline implementation: the
+    /// incremental and rescan candidate pipelines, and the sharded
+    /// scheduler, all walk through identical signatures on the same
+    /// demand sequence.
+    #[test]
+    fn state_signature_agrees_across_pipelines() {
+        let sys = small_system(12, 2.0, 4, 4, 8);
+        let config = SimConfig::new(20).continue_on_failure();
+        let make_gen = || SequentialViewing::new(12, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+        let mut incremental =
+            Simulator::with_scheduler(&sys, config, Box::new(MaxFlowScheduler::new()));
+        let mut rescan = Simulator::with_scheduler(
+            &sys,
+            config.with_rescan_candidates(),
+            Box::new(MaxFlowScheduler::new()),
+        );
+        let mut sharded = Simulator::with_sharded_scheduler(&sys, config, 2);
+        let (mut g1, mut g2, mut g3) = (make_gen(), make_gen(), make_gen());
+        for round in 0..20 {
+            incremental.step(&mut g1);
+            rescan.step(&mut g2);
+            sharded.step(&mut g3);
+            let sig = incremental.state_signature();
+            assert_eq!(sig, rescan.state_signature(), "round {round}");
+            assert_eq!(sig, sharded.state_signature(), "round {round}");
+        }
+    }
+
+    /// An upload change through the engine refreshes the live slot table
+    /// used by subsequent scheduling rounds.
+    #[test]
+    fn apply_relay_event_refreshes_capacities() {
+        use vod_core::{Bandwidth, Catalog};
+        let c: u16 = 4;
+        let uploads = [0.6, 0.6, 2.6, 2.6, 2.6];
+        let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+        let params = SystemParams::new(boxes.len(), 1.8, 8, c, 3, 1.3, 20);
+        let catalog = Catalog::uniform(4, 20, c);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sys = VideoSystem::heterogeneous(
+            params,
+            boxes,
+            catalog,
+            &RandomPermutationAllocator::new(3),
+            Some(Bandwidth::from_streams(1.2)),
+            &mut rng,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&sys, SimConfig::new(20).continue_on_failure());
+        let mut gen = SequentialViewing::new(5, sys.m(), NextVideoPolicy::RoundRobin, 1.2, 3);
+        for _ in 0..3 {
+            sim.step(&mut gen);
+        }
+        let before = sim.upload_slots(BoxId(4));
+        sim.apply_relay_event(RelayEvent::UploadChanged(
+            BoxId(4),
+            Bandwidth::from_streams(3.4),
+        ))
+        .unwrap();
+        let after = sim.upload_slots(BoxId(4));
+        assert!(after > before, "{after} vs {before}");
+        let broker = sim.relay_broker().unwrap();
+        for idx in 0..5u32 {
+            assert_eq!(
+                sim.upload_slots(BoxId(idx)),
+                broker.open_upload_slots(BoxId(idx))
+            );
+        }
+        // The run continues cleanly on the refreshed table.
+        for _ in 0..5 {
+            sim.step(&mut gen);
+        }
+        assert_eq!(sim.round(), 8);
     }
 }

@@ -45,7 +45,7 @@ pub struct StripeRequest {
 }
 
 /// How one playing box obtains each stripe of its video.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StripePlan {
     /// Downloaded directly by the viewer, activating at the given round.
     Direct {
@@ -93,7 +93,7 @@ impl StripePlan {
 }
 
 /// The state of one box currently playing a video.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PlaybackState {
     /// The video being played.
     pub video: VideoId,

@@ -230,9 +230,49 @@ impl RelayBroker {
         broker
     }
 
+    /// Clones the broker's live state (plan, box snapshots, reservation
+    /// table, utilization counters) into an independent broker with fresh
+    /// pooled witness machinery. Used by [`crate::Simulator::fork_with`] to
+    /// branch a simulation: both brokers evolve independently from here.
+    pub fn fork(&self) -> RelayBroker {
+        RelayBroker {
+            u_star: self.u_star,
+            c: self.c,
+            boxes: self.boxes.clone(),
+            plan: self.plan.clone(),
+            reserved_slots: self.reserved_slots.clone(),
+            util: self.util.clone(),
+            last_deltas: self.last_deltas.clone(),
+            rounds: self.rounds,
+            migrations: self.migrations,
+            net: RelayNetwork::new(),
+            solver: Dinic::new(),
+            csr_bridge: CandidateBuf::new(),
+        }
+    }
+
     /// The managed compensation plan.
     pub fn plan(&self) -> &CompensationPlan {
         &self.plan
+    }
+
+    /// The live snapshot of box `b` (`None` when absent or departed).
+    pub fn node(&self, b: BoxId) -> Option<&NodeBox> {
+        self.boxes.get(b.index()).and_then(|n| n.as_ref())
+    }
+
+    /// Open (non-reserved) upload slots of box `b` under the *live* plan:
+    /// `⌊(u_b − reserved(b))·c⌋`, or 0 when the box is absent. The churned
+    /// twin of [`vod_core::VideoSystem::upload_slots`], which reads the
+    /// static plan.
+    pub fn open_upload_slots(&self, b: BoxId) -> u32 {
+        match self.node(b) {
+            None => 0,
+            Some(node) => node
+                .upload
+                .saturating_sub(self.plan.reserved(b))
+                .stripe_slots(self.c),
+        }
     }
 
     /// The threshold `u*` the plan is built for.

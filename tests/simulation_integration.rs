@@ -198,3 +198,109 @@ fn churn_repair_preserves_feasibility() {
         }
     }
 }
+
+/// Relay churn driven *through the engine loop*: boxes leave, rejoin, and
+/// change upload mid-run via [`Simulator::apply_relay_event`], and after
+/// every event and every round the engine's slot table agrees with the
+/// broker's reservation-adjusted capacities, every covered poor box has a
+/// live rich relay, and a mirror plan replaying the emitted deltas tracks
+/// the broker's plan exactly.
+#[test]
+fn relay_churn_through_engine_keeps_slot_tables_consistent() {
+    let c: u16 = 8;
+    let mut uploads = vec![0.6f64; 3];
+    uploads.extend(vec![2.6f64; 6]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let n = boxes.len();
+    let d_avg = boxes.average_storage_videos(c);
+    let u_star = Bandwidth::from_streams(1.2);
+
+    let catalog = Catalog::uniform(6, 30, c);
+    let params = SystemParams::new(n, 1.6, d_avg.round() as u32, c, 3, 1.2, 30);
+    let mut rng = StdRng::seed_from_u64(17);
+    let system = VideoSystem::heterogeneous(
+        params,
+        boxes,
+        catalog,
+        &RandomPermutationAllocator::new(3),
+        Some(u_star),
+        &mut rng,
+    )
+    .unwrap();
+
+    let rich_template = *system.boxes().get(BoxId(5));
+    let mut sim = Simulator::new(&system, SimConfig::new(40).continue_on_failure());
+    let mut gen = SequentialViewing::new(n, system.m(), NextVideoPolicy::RoundRobin, 1.2, 23);
+    // Mirror plan: replays every emitted delta; must track the broker.
+    let mut mirror = system.compensation().unwrap().clone();
+
+    let check = |sim: &Simulator, mirror: &CompensationPlan, when: &str| {
+        let broker = sim.relay_broker().expect("heterogeneous run has a broker");
+        broker.validate().unwrap_or_else(|e| panic!("{when}: {e}"));
+        assert_eq!(broker.plan(), mirror, "{when}: mirror plan diverged");
+        for idx in 0..n {
+            let b = BoxId(idx as u32);
+            assert_eq!(
+                sim.upload_slots(b),
+                broker.open_upload_slots(b),
+                "{when}: engine slot table stale for box {idx}"
+            );
+        }
+        for (poor, relay) in broker.plan().assignments() {
+            let node = broker
+                .node(relay)
+                .unwrap_or_else(|| panic!("{when}: poor {poor:?} relays via absent {relay:?}"));
+            assert!(
+                node.upload >= broker.u_star(),
+                "{when}: relay {relay:?} is not rich"
+            );
+        }
+    };
+
+    let mut applied = 0usize;
+    for round in 0..40u64 {
+        sim.step(&mut gen);
+        check(&sim, &mirror, &format!("after round {round}"));
+
+        let event = match round {
+            // A rich box sheds upload (still above u*): reservations must
+            // survive on reduced headroom.
+            5 => Some(RelayEvent::UploadChanged(
+                BoxId(4),
+                Bandwidth::from_streams(1.8),
+            )),
+            // A relay leaves: its poor boxes migrate to surviving riches.
+            12 => Some(RelayEvent::BoxLeft(BoxId(5))),
+            // It rejoins fatter and becomes assignable again.
+            20 => Some(RelayEvent::BoxJoined(NodeBox {
+                upload: Bandwidth::from_streams(3.0),
+                ..rich_template
+            })),
+            // Another relay drains to poor-level upload: every poor box it
+            // covered must migrate away.
+            28 => Some(RelayEvent::UploadChanged(
+                BoxId(6),
+                Bandwidth::from_streams(0.6),
+            )),
+            _ => None,
+        };
+        if let Some(event) = event {
+            let deltas = sim
+                .apply_relay_event(event)
+                .unwrap_or_else(|e| panic!("event at round {round} rejected: {e}"));
+            for delta in &deltas {
+                mirror.apply_delta(delta);
+            }
+            applied += 1;
+            check(&sim, &mirror, &format!("after event at round {round}"));
+        }
+    }
+    assert_eq!(applied, 4, "every scripted churn event must apply");
+    let broker = sim.relay_broker().unwrap();
+    assert!(
+        broker.migrations() > 0,
+        "churn script never exercised a migration"
+    );
+    // The drained box 6 fell below u* and is itself compensated now.
+    assert_eq!(broker.plan().covered_poor(), 4);
+}
