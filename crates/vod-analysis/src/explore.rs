@@ -39,9 +39,12 @@ use vod_core::{
     VideoSystem,
 };
 use vod_sim::{
-    FailurePolicy, MaxFlowScheduler, RoundMetrics, SimConfig, SimulationReport, Simulator,
+    FailurePolicy, MaxFlowScheduler, RepairPlanner, RoundMetrics, SimConfig, SimulationReport,
+    Simulator,
 };
-use vod_workloads::{DemandGenerator, DemandTrace, OccupancyView, TraceReplay, VideoDemand};
+use vod_workloads::{
+    ChurnEvent, DemandGenerator, DemandTrace, OccupancyView, TraceReplay, VideoDemand,
+};
 
 /// Heterogeneous population recipe: per-box uploads with proportional
 /// storage (`d_b = u_b · storage_per_upload`) compensated at `u*`.
@@ -196,9 +199,61 @@ impl SeedSystem {
     }
 }
 
+/// One scripted churn transition of an explored path: before round `round`
+/// is stepped, box `box_id` leaves the population (or rejoins it when
+/// `rejoin` is set). A rejoining box is rebuilt from the seed recipe, so
+/// the script stays a triple of integers and replays bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScriptedChurn {
+    /// The engine round the event lands before (membership changes land
+    /// ahead of admissions, exactly like the engine's churn drain).
+    pub round: u64,
+    /// The affected box.
+    pub box_id: u32,
+    /// `false` = the box leaves; `true` = it rejoins with its original
+    /// capacities (and none of its old replicas).
+    pub rejoin: bool,
+}
+
+impl ScriptedChurn {
+    /// Materializes the engine event against the rebuilt `system`.
+    pub fn event(&self, system: &VideoSystem) -> ChurnEvent {
+        let b = BoxId(self.box_id);
+        if self.rejoin {
+            let node = *system
+                .boxes()
+                .iter()
+                .nth(b.index())
+                .unwrap_or_else(|| panic!("churn script names box {b} outside the universe"));
+            ChurnEvent::Joined(node)
+        } else {
+            ChurnEvent::Left(b)
+        }
+    }
+}
+
+impl JsonCodec for ScriptedChurn {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("round", self.round.to_json()),
+            ("box", self.box_id.to_json()),
+            ("rejoin", self.rejoin.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ScriptedChurn {
+            round: u64::from_json(json.field("round")?)?,
+            box_id: u32::from_json(json.field("box")?)?,
+            rejoin: bool::from_json(json.field("rejoin")?)?,
+        })
+    }
+}
+
 /// A replayable seed file: the fuzz-gate dump format and the regression
 /// corpus format under `tests/corpus/`. Rebuild the system with
-/// [`SeedSystem::build`], replay `demands` for `horizon` rounds.
+/// [`SeedSystem::build`], replay `demands` (interleaved with the `churn`
+/// script, under a repair planner when `repair_budget` is set) for
+/// `horizon` rounds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SeedFile {
     /// The system recipe.
@@ -207,6 +262,11 @@ pub struct SeedFile {
     pub horizon: u64,
     /// The demand sequence.
     pub demands: DemandTrace,
+    /// Scripted churn events, applied before their round is stepped
+    /// (empty for static-population seeds; absent in older files).
+    pub churn: Vec<ScriptedChurn>,
+    /// Per-round repair budget to attach (absent in older files).
+    pub repair_budget: Option<u32>,
     /// Human-readable provenance (what this seed reproduces).
     pub note: String,
 }
@@ -217,6 +277,8 @@ impl JsonCodec for SeedFile {
             ("system", self.system.to_json()),
             ("horizon", self.horizon.to_json()),
             ("demands", self.demands.to_json()),
+            ("churn", self.churn.to_json()),
+            ("repair_budget", self.repair_budget.to_json()),
             ("note", self.note.to_json()),
         ])
     }
@@ -225,6 +287,15 @@ impl JsonCodec for SeedFile {
             system: SeedSystem::from_json(json.field("system")?)?,
             horizon: u64::from_json(json.field("horizon")?)?,
             demands: DemandTrace::from_json(json.field("demands")?)?,
+            // Absent in seeds dumped before the live-population loop.
+            churn: match json.field("churn") {
+                Ok(value) => Vec::from_json(value)?,
+                Err(_) => Vec::new(),
+            },
+            repair_budget: match json.field("repair_budget") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
             note: String::from_json(json.field("note")?)?,
         })
     }
@@ -323,10 +394,23 @@ pub struct ExploreSpec {
     /// Truncate after this many canonical states (`None` = exhaustive; a
     /// truncated run proves nothing universal and is flagged).
     pub max_states: Option<u64>,
+    /// Maximum churn transitions (box leaves / rejoins) along any explored
+    /// path (0 = static population). Each churn transition is a standalone
+    /// edge: the event lands, then the engine steps one round with no new
+    /// demands — interleaving membership changes with admissible demand
+    /// batches exactly like the engine's churn drain.
+    pub churn_budget: u32,
+    /// Boxes eligible to churn: the ascending prefix `0..churn_boxes` of
+    /// the universe, keeping the branching factor bounded.
+    pub churn_boxes: usize,
+    /// Per-round repair budget to attach to every variant (`None` = no
+    /// repair; lost replicas stay lost).
+    pub repair_budget: Option<u32>,
 }
 
 impl ExploreSpec {
-    /// Exhaustive differential exploration of `seed` to `horizon`.
+    /// Exhaustive differential exploration of `seed` to `horizon`, with a
+    /// static population (opt into churn via [`ExploreSpec::churn_budget`]).
     pub fn new(seed: SeedSystem, horizon: u64) -> Self {
         ExploreSpec {
             seed,
@@ -334,7 +418,25 @@ impl ExploreSpec {
             differential: true,
             stop_on_failure: false,
             max_states: None,
+            churn_budget: 0,
+            churn_boxes: 0,
+            repair_budget: None,
         }
+    }
+
+    /// Enables bounded churn-event branching: up to `budget` leave/rejoin
+    /// transitions per path over the first `boxes` boxes.
+    pub fn with_churn(mut self, budget: u32, boxes: usize) -> Self {
+        self.churn_budget = budget;
+        self.churn_boxes = boxes;
+        self
+    }
+
+    /// Attaches a repair planner with the given per-round budget to every
+    /// explored variant.
+    pub fn with_repair(mut self, budget: u32) -> Self {
+        self.repair_budget = Some(budget);
+        self
     }
 }
 
@@ -354,6 +456,10 @@ pub struct ExploreOutcome {
     /// The first failing demand sequence, unshrunk
     /// ([`shrink_counterexample`] minimizes it).
     pub counterexample: Option<DemandTrace>,
+    /// The churn script of the first failing path (empty when churn
+    /// branching is off or the failure needed no churn) — replay the
+    /// counterexample with [`replay_fails_scripted`] under this script.
+    pub counterexample_churn: Vec<ScriptedChurn>,
     /// Replayable dumps of any differential divergence (empty = gate green).
     pub divergences: Vec<SeedFile>,
 }
@@ -456,10 +562,12 @@ pub fn is_admissible(trace: &DemandTrace, n: usize, duration: u64, mu: f64) -> b
 /// Exploration context threaded through the recursion.
 struct Ctx<'s> {
     spec: &'s ExploreSpec,
-    visited: HashSet<u64, BuildHasherDefault<FxHasher64>>,
+    visited: HashSet<(u64, u32), BuildHasherDefault<FxHasher64>>,
     out: ExploreOutcome,
     /// Demand batches of the current DFS path, indexed by round.
     path: Vec<Batch>,
+    /// Churn events of the current DFS path (each lands before its round).
+    churn_path: Vec<ScriptedChurn>,
 }
 
 impl Ctx<'_> {
@@ -575,17 +683,23 @@ pub fn explore(spec: &ExploreSpec) -> ExploreOutcome {
     } else {
         vec![EngineVariant::Incremental]
     };
-    let bundle: Vec<Simulator> = variants
+    let mut bundle: Vec<Simulator> = variants
         .iter()
         .map(|v| v.simulator(&system, config))
         .collect();
+    if let Some(budget) = spec.repair_budget {
+        for sim in &mut bundle {
+            sim.attach_repair(RepairPlanner::for_system(&system, budget));
+        }
+    }
     let mut ctx = Ctx {
         spec,
         visited: HashSet::default(),
         out: ExploreOutcome::default(),
         path: Vec::new(),
+        churn_path: Vec::new(),
     };
-    ctx.visited.insert(bundle[0].state_signature());
+    ctx.visited.insert((bundle[0].state_signature(), 0));
     ctx.out.canonical_states = 1;
     expand(&mut ctx, &system, &variants, &bundle, 0);
     ctx.out
@@ -607,89 +721,180 @@ fn expand(
         if ctx.done() {
             return;
         }
-        ctx.out.edges += 1;
-        let mut children: Vec<Simulator> = variants
-            .iter()
-            .zip(bundle)
-            .map(|(v, sim)| v.fork(sim))
-            .collect();
-        let feasible: Vec<bool> = children
-            .iter_mut()
-            .map(|child| {
-                let mut gen = BatchGen {
-                    round: child.round(),
-                    batch: &batch,
-                };
-                child.step(&mut gen)
-            })
-            .collect();
-        ctx.path.push(batch);
-
-        if ctx.spec.differential {
-            let reference = normalize_round(
-                children[0]
-                    .report_so_far()
-                    .rounds
-                    .last()
-                    .expect("just stepped"),
+        step_edge(ctx, system, variants, bundle, depth, batch, None);
+    }
+    // Churn-event branches: standalone transitions — the membership change
+    // lands (before admissions, like the engine's churn drain), then the
+    // engine steps one round with no new demands. Bounded by the per-path
+    // budget over the eligible box prefix.
+    if (ctx.churn_path.len() as u32) < ctx.spec.churn_budget {
+        let now = bundle[0].round();
+        for idx in 0..ctx.spec.churn_boxes.min(system.n()) {
+            if ctx.done() {
+                return;
+            }
+            let b = BoxId(idx as u32);
+            let rejoin = !bundle[0].is_alive(b);
+            // Never drop the last live box — an empty population has no
+            // behaviour left to verify.
+            if !rejoin && bundle[0].alive_count() <= 1 {
+                continue;
+            }
+            let event = ScriptedChurn {
+                round: now,
+                box_id: b.0,
+                rejoin,
+            };
+            step_edge(
+                ctx,
+                system,
+                variants,
+                bundle,
+                depth,
+                Vec::new(),
+                Some(event),
             );
-            for (i, child) in children.iter().enumerate().skip(1) {
-                let other =
-                    normalize_round(child.report_so_far().rounds.last().expect("just stepped"));
-                if other != reference || feasible[i] != feasible[0] {
-                    ctx.out.divergences.push(SeedFile {
-                        system: ctx.spec.seed.clone(),
-                        horizon: ctx.spec.horizon,
-                        demands: ctx.path_trace(),
-                        note: format!(
-                            "differential divergence at round {} between {} and {}",
-                            children[0].round() - 1,
-                            variants[0].label(),
-                            variants[i].label()
-                        ),
-                    });
-                    ctx.path.pop();
-                    return;
-                }
+        }
+    }
+}
+
+/// Steps one edge — an admissible demand batch, optionally preceded by a
+/// scripted churn event — through every variant, runs the differential
+/// gate on the landed round, and recurses into unvisited states.
+fn step_edge(
+    ctx: &mut Ctx,
+    system: &VideoSystem,
+    variants: &[EngineVariant],
+    bundle: &[Simulator],
+    depth: u64,
+    batch: Batch,
+    churn: Option<ScriptedChurn>,
+) {
+    ctx.out.edges += 1;
+    let mut children: Vec<Simulator> = variants
+        .iter()
+        .zip(bundle)
+        .map(|(v, sim)| v.fork(sim))
+        .collect();
+    if let Some(event) = churn {
+        for child in children.iter_mut() {
+            child.apply_churn(event.event(system));
+        }
+    }
+    let feasible: Vec<bool> = children
+        .iter_mut()
+        .map(|child| {
+            let mut gen = BatchGen {
+                round: child.round(),
+                batch: &batch,
+            };
+            child.step(&mut gen)
+        })
+        .collect();
+    ctx.path.push(batch);
+    if let Some(event) = churn {
+        ctx.churn_path.push(event);
+    }
+    let pop = |ctx: &mut Ctx| {
+        ctx.path.pop();
+        if churn.is_some() {
+            ctx.churn_path.pop();
+        }
+    };
+
+    if ctx.spec.differential {
+        let reference = normalize_round(
+            children[0]
+                .report_so_far()
+                .rounds
+                .last()
+                .expect("just stepped"),
+        );
+        for (i, child) in children.iter().enumerate().skip(1) {
+            let other = normalize_round(child.report_so_far().rounds.last().expect("just stepped"));
+            if other != reference || feasible[i] != feasible[0] {
+                ctx.out.divergences.push(SeedFile {
+                    system: ctx.spec.seed.clone(),
+                    horizon: ctx.spec.horizon,
+                    demands: ctx.path_trace(),
+                    churn: ctx.churn_path.clone(),
+                    repair_budget: ctx.spec.repair_budget,
+                    note: format!(
+                        "differential divergence at round {} between {} and {}",
+                        children[0].round() - 1,
+                        variants[0].label(),
+                        variants[i].label()
+                    ),
+                });
+                pop(ctx);
+                return;
             }
         }
+    }
 
-        if !feasible[0] {
-            ctx.out.failures += 1;
-            if ctx.out.counterexample.is_none() {
-                ctx.out.counterexample = Some(ctx.path_trace());
+    if !feasible[0] {
+        ctx.out.failures += 1;
+        if ctx.out.counterexample.is_none() {
+            ctx.out.counterexample = Some(ctx.path_trace());
+            ctx.out.counterexample_churn = ctx.churn_path.clone();
+        }
+    } else {
+        // Transposition keys pair the state signature with the churn spent
+        // reaching it: two paths landing on the same state with different
+        // budgets left must both be expanded, or the one with budget to
+        // spare would be pruned out of its churn subtree.
+        let key = (children[0].state_signature(), ctx.churn_path.len() as u32);
+        if ctx.visited.insert(key) {
+            ctx.out.canonical_states += 1;
+            if ctx
+                .spec
+                .max_states
+                .is_some_and(|cap| ctx.out.canonical_states >= cap)
+            {
+                ctx.out.truncated = true;
+            } else {
+                expand(ctx, system, variants, &children, depth + 1);
             }
         } else {
-            let signature = children[0].state_signature();
-            if ctx.visited.insert(signature) {
-                ctx.out.canonical_states += 1;
-                if ctx
-                    .spec
-                    .max_states
-                    .is_some_and(|cap| ctx.out.canonical_states >= cap)
-                {
-                    ctx.out.truncated = true;
-                } else {
-                    expand(ctx, system, variants, &children, depth + 1);
-                }
-            } else {
-                ctx.out.transpositions += 1;
-            }
+            ctx.out.transpositions += 1;
         }
-        ctx.path.pop();
     }
+    pop(ctx);
 }
 
 /// Replays `trace` on a fresh reference simulator and reports whether some
 /// round goes infeasible within `horizon` rounds.
 pub fn replay_fails(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> bool {
+    replay_fails_scripted(seed, trace, &[], None, horizon)
+}
+
+/// [`replay_fails`] with a scripted churn interleaving (and an optional
+/// repair budget): each event lands before its round is stepped, exactly
+/// as the explorer's churn edges applied it.
+pub fn replay_fails_scripted(
+    seed: &SeedSystem,
+    trace: &DemandTrace,
+    churn: &[ScriptedChurn],
+    repair_budget: Option<u32>,
+    horizon: u64,
+) -> bool {
     let system = seed.build();
-    let config = SimConfig::new(horizon).without_obstructions();
+    let config = SimConfig::new(horizon)
+        .continue_on_failure()
+        .without_obstructions();
     let mut generator = TraceReplay::new(trace.clone());
-    let report = EngineVariant::Incremental
-        .simulator(&system, config)
-        .run(&mut generator);
-    !report.failures.is_empty()
+    let mut sim = EngineVariant::Incremental.simulator(&system, config);
+    if let Some(budget) = repair_budget {
+        sim.attach_repair(RepairPlanner::for_system(&system, budget));
+    }
+    while sim.round() < horizon {
+        let now = sim.round();
+        for event in churn.iter().filter(|e| e.round == now) {
+            sim.apply_churn(event.event(&system));
+        }
+        sim.step(&mut generator);
+    }
+    !sim.report_so_far().failures.is_empty()
 }
 
 /// Shrinks a failing demand sequence to a locally minimal counterexample:
@@ -697,13 +902,26 @@ pub fn replay_fails(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> boo
 /// greedily deleted while the sequence stays µ-admissible *and* still
 /// fails on replay, to a fixpoint (no single deletion preserves failure).
 pub fn shrink_counterexample(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> DemandTrace {
+    shrink_scripted(seed, trace, &[], None, horizon)
+}
+
+/// [`shrink_counterexample`] under a fixed churn script (and optional
+/// repair budget): only demands are deleted — the membership changes that
+/// provoked the failure are part of the scenario and stay put.
+pub fn shrink_scripted(
+    seed: &SeedSystem,
+    trace: &DemandTrace,
+    churn: &[ScriptedChurn],
+    repair_budget: Option<u32>,
+    horizon: u64,
+) -> DemandTrace {
     let n = seed.n;
     let duration = seed.duration as u64;
     let mu = seed.mu;
     let still_failing = |candidate: &DemandTrace| {
-        !candidate.is_empty()
+        !(candidate.is_empty() && churn.is_empty())
             && is_admissible(candidate, n, duration, mu)
-            && replay_fails(seed, candidate, horizon)
+            && replay_fails_scripted(seed, candidate, churn, repair_budget, horizon)
     };
 
     let mut best = trace.clone();
@@ -748,7 +966,9 @@ pub fn shrink_counterexample(seed: &SeedSystem, trace: &DemandTrace, horizon: u6
 
 /// Replays a seed file through every [`EngineVariant::GATE`] pipeline and
 /// checks the normalized reports are bit-identical. Returns the reference
-/// report, or a description of the first divergence.
+/// report, or a description of the first divergence. Seeds carrying a
+/// churn script (or a repair budget) replay it identically on every
+/// variant, each event landing before its round is stepped.
 pub fn replay_seed(seed: &SeedFile) -> Result<SimulationReport, String> {
     let system = seed.system.build();
     let config = SimConfig::new(seed.horizon)
@@ -756,7 +976,18 @@ pub fn replay_seed(seed: &SeedFile) -> Result<SimulationReport, String> {
         .without_obstructions();
     let run = |variant: EngineVariant| {
         let mut generator = TraceReplay::new(seed.demands.clone());
-        variant.simulator(&system, config).run(&mut generator)
+        let mut sim = variant.simulator(&system, config);
+        if let Some(budget) = seed.repair_budget {
+            sim.attach_repair(RepairPlanner::for_system(&system, budget));
+        }
+        while sim.round() < seed.horizon {
+            let now = sim.round();
+            for event in seed.churn.iter().filter(|e| e.round == now) {
+                sim.apply_churn(event.event(&system));
+            }
+            sim.step(&mut generator);
+        }
+        sim.into_report()
     };
     let reference = run(EngineVariant::Incremental);
     let normalized = normalize_report(&reference);
@@ -814,11 +1045,9 @@ pub fn crosscheck_first_moment(base: &SeedSystem, horizon: u64, seeds: &[u64]) -
         let mut seed = base.clone();
         seed.alloc_seed = alloc_seed;
         let spec = ExploreSpec {
-            seed,
-            horizon,
             differential: false,
             stop_on_failure: true,
-            max_states: None,
+            ..ExploreSpec::new(seed, horizon)
         };
         if explore(&spec).failures > 0 {
             failing += 1;
@@ -869,10 +1098,37 @@ mod tests {
                 VideoDemand::new(BoxId(0), VideoId(0), 0),
                 VideoDemand::new(BoxId(1), VideoId(1), 2),
             ]),
+            churn: vec![
+                ScriptedChurn {
+                    round: 1,
+                    box_id: 2,
+                    rejoin: false,
+                },
+                ScriptedChurn {
+                    round: 3,
+                    box_id: 2,
+                    rejoin: true,
+                },
+            ],
+            repair_budget: Some(2),
             note: "unit".to_string(),
         };
         let back = SeedFile::from_json_str(&file.to_json_string()).unwrap();
         assert_eq!(file, back);
+
+        // Seeds serialized before the live-population loop lack the churn
+        // fields and must load with a static population.
+        let legacy = SeedFile {
+            churn: Vec::new(),
+            repair_budget: None,
+            ..file.clone()
+        };
+        let mut json = legacy.to_json_string();
+        json = json
+            .replace("\"churn\":[],", "")
+            .replace("\"repair_budget\":null,", "");
+        let loaded = SeedFile::from_json_str(&json).unwrap();
+        assert_eq!(loaded, legacy);
     }
 
     #[test]
@@ -907,11 +1163,8 @@ mod tests {
     #[test]
     fn explorer_dedupes_converging_histories() {
         let spec = ExploreSpec {
-            seed: tiny_seed(),
-            horizon: 5,
             differential: false,
-            stop_on_failure: false,
-            max_states: None,
+            ..ExploreSpec::new(tiny_seed(), 5)
         };
         let out = explore(&spec);
         assert!(out.canonical_states > 1);
@@ -929,13 +1182,7 @@ mod tests {
     fn well_provisioned_tiny_system_verifies_exhaustively() {
         // u = 3, c = 2, µ = 1.1: c > (2µ²−1)/(u−1) = 0.71 holds, k = n −
         // 1 replicates every stripe on 3 of 4 boxes.
-        let spec = ExploreSpec {
-            seed: tiny_seed(),
-            horizon: 4,
-            differential: true,
-            stop_on_failure: false,
-            max_states: None,
-        };
+        let spec = ExploreSpec::new(tiny_seed(), 4);
         let out = explore(&spec);
         assert!(
             out.verified(),
@@ -963,11 +1210,9 @@ mod tests {
             hetero: None,
         };
         let spec = ExploreSpec {
-            seed: seed.clone(),
-            horizon: 6,
             differential: false,
             stop_on_failure: true,
-            max_states: None,
+            ..ExploreSpec::new(seed.clone(), 6)
         };
         let out = explore(&spec);
         assert!(out.failures > 0, "below-threshold system never failed");
@@ -985,6 +1230,107 @@ mod tests {
     }
 
     #[test]
+    fn churn_branching_widens_the_state_space_and_stays_verified() {
+        // k = 3 of 4 boxes per stripe tolerates one departure, so the
+        // at-threshold guarantee must survive every interleaving of one
+        // leave/rejoin (over the first two boxes) with admissible demands
+        // — with all five pipelines bit-identical on churned branches too.
+        let static_out = explore(&ExploreSpec {
+            differential: false,
+            ..ExploreSpec::new(tiny_seed(), 4)
+        });
+        let churn_spec = ExploreSpec::new(tiny_seed(), 4)
+            .with_churn(1, 2)
+            .with_repair(2);
+        let out = explore(&churn_spec);
+        assert!(
+            out.verified(),
+            "failures {} divergences {}",
+            out.failures,
+            out.divergences.len()
+        );
+        assert!(
+            out.canonical_states > static_out.canonical_states,
+            "churn edges must add states: {} vs {}",
+            out.canonical_states,
+            static_out.canonical_states
+        );
+        assert!(out.counterexample.is_none());
+        assert!(out.counterexample_churn.is_empty());
+    }
+
+    #[test]
+    fn churn_transposition_keys_track_remaining_budget() {
+        // The dedupe key carries the churn budget already spent, so a state
+        // reached with budget left keeps expanding: raising the budget can
+        // only grow the explored edge set, never shrink it. (Losing two of
+        // four boxes may legitimately starve a stripe, so failures are
+        // allowed here — only coverage is asserted.)
+        let static_out = explore(&ExploreSpec {
+            differential: false,
+            ..ExploreSpec::new(tiny_seed(), 3)
+        });
+        let one = explore(
+            &ExploreSpec {
+                differential: false,
+                ..ExploreSpec::new(tiny_seed(), 3)
+            }
+            .with_churn(1, 2)
+            .with_repair(1),
+        );
+        let two = explore(
+            &ExploreSpec {
+                differential: false,
+                ..ExploreSpec::new(tiny_seed(), 3)
+            }
+            .with_churn(2, 2)
+            .with_repair(1),
+        );
+        assert!(one.edges > static_out.edges);
+        assert!(two.edges > one.edges);
+        assert_eq!(one.failures, 0, "one tolerated departure must stay served");
+    }
+
+    #[test]
+    fn scripted_churn_replays_through_every_pipeline() {
+        let seed = SeedFile {
+            system: tiny_seed(),
+            horizon: 6,
+            demands: DemandTrace::from_demands([
+                VideoDemand::new(BoxId(0), VideoId(0), 0),
+                VideoDemand::new(BoxId(1), VideoId(1), 2),
+            ]),
+            churn: vec![
+                ScriptedChurn {
+                    round: 1,
+                    box_id: 3,
+                    rejoin: false,
+                },
+                ScriptedChurn {
+                    round: 4,
+                    box_id: 3,
+                    rejoin: true,
+                },
+            ],
+            repair_budget: Some(2),
+            note: "unit scripted churn".to_string(),
+        };
+        let report = replay_seed(&seed).expect("pipelines agree under scripted churn");
+        assert_eq!(report.round_count(), 6);
+        assert!(report.failures.is_empty());
+        let repaired: u64 = report
+            .rounds
+            .iter()
+            .filter_map(|r| r.repair.as_ref())
+            .map(|s| s.repaired as u64)
+            .sum();
+        assert!(
+            repaired > 0,
+            "the departed holder's stripes must re-replicate"
+        );
+    }
+
+    #[test]
     fn replay_seed_agrees_across_pipelines() {
         let seed = SeedFile {
             system: tiny_seed(),
@@ -994,6 +1340,8 @@ mod tests {
                 VideoDemand::new(BoxId(1), VideoId(1), 1),
                 VideoDemand::new(BoxId(2), VideoId(0), 2),
             ]),
+            churn: Vec::new(),
+            repair_budget: None,
             note: "unit replay".to_string(),
         };
         let report = replay_seed(&seed).expect("pipelines agree");

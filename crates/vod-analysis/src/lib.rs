@@ -32,8 +32,9 @@ pub mod threshold;
 
 pub use explore::{
     crosscheck_first_moment, explore, is_admissible, normalize_report, normalize_round,
-    replay_fails, replay_seed, shrink_counterexample, EngineVariant, ExploreOutcome, ExploreSpec,
-    FirstMomentCheck, HeteroSpec, SeedFile, SeedSystem,
+    replay_fails, replay_fails_scripted, replay_seed, shrink_counterexample, shrink_scripted,
+    EngineVariant, ExploreOutcome, ExploreSpec, FirstMomentCheck, HeteroSpec, ScriptedChurn,
+    SeedFile, SeedSystem,
 };
 pub use lower_bound::LowerBoundCheck;
 pub use montecarlo::{

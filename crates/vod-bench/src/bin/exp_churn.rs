@@ -1,0 +1,425 @@
+//! E16 — Live population: engine-driven churn, budgeted stripe repair, and
+//! dynamic relay reservations.
+//!
+//! The paper's threshold analysis fixes the box population; this
+//! experiment measures what its guarantees cost to keep when boxes come
+//! and go:
+//!
+//! * **resilience** — the same homogeneous at-threshold system is run
+//!   static, churned with budgeted repair, and churned with repair
+//!   disabled. With repair, the served-request count must stay within 5%
+//!   of the static baseline; without it, departures strip replicas
+//!   permanently and service degrades measurably — the gap is the
+//!   experiment's headline number;
+//! * **pipeline equivalence under churn** — the churned, repaired run is
+//!   replayed through the incremental, full-rescan, and sharded (1/2/4
+//!   thread) pipelines. Served and unserved counts and the per-round
+//!   repair stats must be identical everywhere; the run **exits non-zero
+//!   on any global-vs-sharded divergence**, extending the CI determinism
+//!   gates to live-population state;
+//! * **dynamic reservations** — a u*-compensated heterogeneous fleet under
+//!   mild load runs with worst-case `u* + 1 − 2u_b` reservations held
+//!   forever, then with saturation-driven sizing: calm relays shrink their
+//!   reserved slots toward a floor of one, saturated relays grow back
+//!   toward the plan. The reclaimed slots serve ordinary traffic, and the
+//!   served count must not fall below the worst-case-reservation run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use vod_analysis::Table;
+use vod_bench::{print_header, BenchSink, Scale};
+use vod_core::{Bandwidth, Catalog, RandomPermutationAllocator, SystemParams, VideoSystem};
+use vod_sim::{RepairPlanner, RepairRoundStats, SimConfig, SimulationReport, Simulator};
+use vod_workloads::{
+    ChurnModel, MultiSwarmChurn, NextVideoPolicy, SequentialViewing, SessionLength,
+};
+
+/// A homogeneous at-threshold system with storage headroom: the catalog is
+/// held below the `⌊d·n/k⌋` saturation point so repair has spare slots to
+/// re-replicate into (a saturated allocation leaves repairs nowhere to go).
+fn resilience_system(scale: Scale) -> VideoSystem {
+    let n = scale.pick(32, 64);
+    let duration = scale.pick(12, 16);
+    let params = SystemParams::new(n, 2.0, 4, 4, 3, 1.3, duration);
+    let catalog = (4 * n / 3) * 3 / 5;
+    let mut rng = StdRng::seed_from_u64(0x2009);
+    VideoSystem::homogeneous_with_catalog(
+        params,
+        catalog,
+        &RandomPermutationAllocator::new(3),
+        &mut rng,
+    )
+    .expect("resilience system must allocate")
+}
+
+/// Mild sustained churn: ~1.5% of the population departs per round with
+/// quick rejoins, so demand volume stays near the static baseline and the
+/// comparison isolates *replica* erosion, not viewer loss.
+fn churn_model(sys: &VideoSystem) -> ChurnModel {
+    ChurnModel::new(sys.boxes(), 41)
+        .with_session(SessionLength::Geometric { leave_rate: 0.012 })
+        .with_crash_rate(0.003)
+        .with_rejoin_delay(1, 2)
+        .with_min_up(sys.n() - 4)
+}
+
+struct ChurnRun {
+    report: SimulationReport,
+    ms_per_round: f64,
+    repaired_total: u64,
+    lost: usize,
+}
+
+/// Runs `sys` for `rounds` with optional churn and repair on the default
+/// (incremental + global max-flow) pipeline.
+fn run(sys: &VideoSystem, rounds: u64, churn: bool, repair: Option<u32>) -> ChurnRun {
+    let mut sim = Simulator::new(
+        sys,
+        SimConfig::new(rounds)
+            .continue_on_failure()
+            .without_obstructions(),
+    );
+    if churn {
+        sim.attach_churn(churn_model(sys));
+    }
+    if let Some(budget) = repair {
+        sim.attach_repair(RepairPlanner::for_system(sys, budget));
+    }
+    let mut gen = SequentialViewing::new(sys.n(), sys.m(), NextVideoPolicy::RoundRobin, 1.3, 41);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        sim.step(&mut gen);
+    }
+    let ms_per_round = start.elapsed().as_secs_f64() * 1e3 / rounds.max(1) as f64;
+    let (repaired_total, lost) = sim
+        .repair_planner()
+        .map(|p| (p.repaired_total(), p.lost().len()))
+        .unwrap_or((0, 0));
+    ChurnRun {
+        report: sim.into_report(),
+        ms_per_round,
+        repaired_total,
+        lost,
+    }
+}
+
+/// Per-round (served, unserved, repair) triples — the equivalence gate's
+/// comparison unit.
+type RoundTrace = Vec<(usize, usize, RepairRoundStats)>;
+
+/// Replays the churned, repaired scenario through one pipeline, returning
+/// its per-round trace.
+fn pipeline_trace<'a>(
+    sys: &'a VideoSystem,
+    rounds: u64,
+    budget: u32,
+    make: impl FnOnce(SimConfig) -> Simulator<'a>,
+) -> RoundTrace {
+    let config = SimConfig::new(rounds)
+        .continue_on_failure()
+        .without_obstructions();
+    let mut sim = make(config);
+    sim.attach_churn(churn_model(sys));
+    sim.attach_repair(RepairPlanner::for_system(sys, budget));
+    let mut gen = SequentialViewing::new(sys.n(), sys.m(), NextVideoPolicy::RoundRobin, 1.3, 41);
+    for _ in 0..rounds {
+        sim.step(&mut gen);
+    }
+    sim.report_so_far()
+        .rounds
+        .iter()
+        .map(|r| (r.served, r.unserved, r.repair.expect("repair attached")))
+        .collect()
+}
+
+/// A u*-compensated two-class fleet for the dynamic-reservation series.
+fn relay_fleet(scale: Scale) -> VideoSystem {
+    let c: u16 = 8;
+    let poor = scale.pick(8, 16);
+    let rich = scale.pick(8, 16);
+    let mut uploads = vec![0.6f64; poor];
+    uploads.extend(vec![3.6f64; rich]);
+    let boxes = VideoSystem::proportional_boxes(&uploads, 6.0, c);
+    let n = boxes.len();
+    let d_avg = boxes.average_storage_videos(c);
+    let k = 3u32;
+    let catalog_size = ((d_avg * n as f64) / k as f64).floor() as usize;
+    let catalog = Catalog::uniform(catalog_size, scale.pick(24, 40), c);
+    let params = SystemParams::new(
+        n,
+        boxes.average_upload(),
+        d_avg.round().max(1.0) as u32,
+        c,
+        k,
+        1.2,
+        scale.pick(24, 40),
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    VideoSystem::heterogeneous(
+        params,
+        boxes,
+        catalog,
+        &RandomPermutationAllocator::new(k),
+        Some(Bandwidth::from_streams(1.2)),
+        &mut rng,
+    )
+    .expect("two-class fleet is u*-compensable")
+}
+
+/// Runs the relay fleet under a mild multi-swarm workload, optionally with
+/// dynamic reservation sizing. Returns (report, total reserved slots at
+/// the end of the run, ms/round).
+fn run_relayed(
+    sys: &VideoSystem,
+    rounds: u64,
+    dynamic: Option<u64>,
+) -> (SimulationReport, u32, f64) {
+    let mut sim = Simulator::new(
+        sys,
+        SimConfig::new(rounds)
+            .continue_on_failure()
+            .without_obstructions(),
+    );
+    if let Some(window) = dynamic {
+        sim.enable_dynamic_reservations(window);
+    }
+    let mut gen = MultiSwarmChurn::new(sys.m(), 4, 6, 1.2, 5).with_rotation(6);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        sim.step(&mut gen);
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / rounds.max(1) as f64;
+    let reserved: u32 = sim
+        .relay_broker()
+        .expect("heterogeneous system")
+        .reserved_slots()
+        .iter()
+        .sum();
+    (sim.into_report(), reserved, ms)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "E16 exp_churn — live population: churn, budgeted repair, dynamic reservations",
+        "with budgeted repair the Theorem 1 service level survives sustained churn; without it replica erosion degrades service",
+        scale,
+    );
+    let mut sink = BenchSink::from_env(scale);
+    let mut failed = false;
+
+    // ---- Part 1: resilience — static vs churn+repair vs churn alone ----
+    let sys = resilience_system(scale);
+    let rounds = scale.pick(80u64, 200);
+    let budget = 8u32;
+    let statik = run(&sys, rounds, false, None);
+    let repaired = run(&sys, rounds, true, Some(budget));
+    let unrepaired = run(&sys, rounds, true, None);
+
+    let mut table = Table::new(
+        "Churn resilience (identical demand and churn seeds)",
+        &[
+            "scenario",
+            "served",
+            "vs static",
+            "service ratio",
+            "repaired",
+            "lost stripes",
+            "ms/round",
+        ],
+    );
+    let served_static = statik.report.total_served() as f64;
+    let mut push = |label: &str, run: &ChurnRun| {
+        table.push_row(vec![
+            label.to_string(),
+            run.report.total_served().to_string(),
+            format!(
+                "{:.1}%",
+                run.report.total_served() as f64 / served_static * 100.0
+            ),
+            format!("{:.4}", run.report.service_ratio()),
+            run.repaired_total.to_string(),
+            run.lost.to_string(),
+            format!("{:.3}", run.ms_per_round),
+        ]);
+    };
+    push("static population", &statik);
+    push("churn + repair", &repaired);
+    push("churn, no repair", &unrepaired);
+    println!("{}", table.to_markdown());
+    println!(
+        "(n = {}, catalog {} of ⌊d·n/k⌋ = {}, repair budget {budget}/round, {rounds} rounds)",
+        sys.n(),
+        sys.m(),
+        4 * sys.n() / 3
+    );
+
+    let repair_frac = repaired.report.total_served() as f64 / served_static;
+    let norepair_frac = unrepaired.report.total_served() as f64 / served_static;
+    if repair_frac < 0.95 {
+        eprintln!(
+            "FAIL: churn + repair served only {:.1}% of the static baseline (need ≥ 95%)",
+            repair_frac * 100.0
+        );
+        failed = true;
+    }
+    if norepair_frac >= repair_frac {
+        eprintln!(
+            "FAIL: disabling repair did not degrade service ({:.1}% vs {:.1}%)",
+            norepair_frac * 100.0,
+            repair_frac * 100.0
+        );
+        failed = true;
+    }
+    sink.record(
+        "churn",
+        "resilience/static",
+        &format!("n{}r{rounds}", sys.n()),
+        statik.ms_per_round,
+        statik.report.total_served(),
+    );
+    sink.record(
+        "churn",
+        "resilience/repair",
+        &format!("n{}r{rounds}b{budget}", sys.n()),
+        repaired.ms_per_round,
+        repaired.report.total_served(),
+    );
+    sink.record(
+        "churn",
+        "resilience/no-repair",
+        &format!("n{}r{rounds}", sys.n()),
+        unrepaired.ms_per_round,
+        unrepaired.report.total_served(),
+    );
+
+    // ---- Part 2: pipeline equivalence under churn (the CI gate) ----
+    let gate_rounds = scale.pick(40u64, 80);
+    let reference = pipeline_trace(&sys, gate_rounds, budget, |config| {
+        Simulator::new(&sys, config)
+    });
+    let variants: Vec<(&str, RoundTrace)> = vec![
+        (
+            "rescan",
+            pipeline_trace(&sys, gate_rounds, budget, |config| {
+                Simulator::new(&sys, config.with_rescan_candidates())
+            }),
+        ),
+        (
+            "sharded-1",
+            pipeline_trace(&sys, gate_rounds, budget, |config| {
+                Simulator::with_sharded_scheduler(&sys, config, 1)
+            }),
+        ),
+        (
+            "sharded-2",
+            pipeline_trace(&sys, gate_rounds, budget, |config| {
+                Simulator::with_sharded_scheduler(&sys, config, 2)
+            }),
+        ),
+        (
+            "sharded-4",
+            pipeline_trace(&sys, gate_rounds, budget, |config| {
+                Simulator::with_sharded_scheduler(&sys, config, 4)
+            }),
+        ),
+    ];
+    for (label, trace) in &variants {
+        if trace != &reference {
+            let round = reference
+                .iter()
+                .zip(trace)
+                .position(|(a, b)| a != b)
+                .unwrap_or(reference.len().min(trace.len()));
+            eprintln!(
+                "DIVERGENCE [{label}] under churn at round {round}: {:?} vs reference {:?}",
+                trace.get(round),
+                reference.get(round)
+            );
+            std::process::exit(1);
+        }
+    }
+    let gate_repaired: u64 = reference.iter().map(|(_, _, r)| r.repaired as u64).sum();
+    println!(
+        "equivalence: incremental, rescan, and sharded (1/2/4) pipelines agree on served, unserved, and repair stats across {gate_rounds} churned rounds ({gate_repaired} repairs) ✓\n"
+    );
+
+    // ---- Part 3: dynamic relay reservations vs worst-case ----
+    let fleet = relay_fleet(scale);
+    let relay_rounds = scale.pick(60u64, 120);
+    let (static_report, static_reserved, static_ms) = run_relayed(&fleet, relay_rounds, None);
+    let window = 8u64;
+    let (dyn_report, dyn_reserved, dyn_ms) = run_relayed(&fleet, relay_rounds, Some(window));
+
+    let mut relay_table = Table::new(
+        "Dynamic reservation sizing (same fleet, same workload seed)",
+        &[
+            "reservations",
+            "served",
+            "reserved slots (end)",
+            "relay saturated rounds",
+            "ms/round",
+        ],
+    );
+    let saturated = |report: &SimulationReport| -> u64 {
+        report.relays.iter().map(|r| r.saturated_rounds).sum()
+    };
+    relay_table.push_row(vec![
+        "worst-case (static)".to_string(),
+        static_report.total_served().to_string(),
+        static_reserved.to_string(),
+        saturated(&static_report).to_string(),
+        format!("{static_ms:.3}"),
+    ]);
+    relay_table.push_row(vec![
+        format!("dynamic (window {window})"),
+        dyn_report.total_served().to_string(),
+        dyn_reserved.to_string(),
+        saturated(&dyn_report).to_string(),
+        format!("{dyn_ms:.3}"),
+    ]);
+    println!("{}", relay_table.to_markdown());
+    println!(
+        "(poor boxes keep their relays; calm relays release reserved slots to ordinary serving, growing back on saturation)"
+    );
+
+    if dyn_reserved > static_reserved {
+        eprintln!(
+            "FAIL: dynamic sizing reserved {dyn_reserved} slots, above the worst-case plan's {static_reserved}"
+        );
+        failed = true;
+    }
+    if dyn_report.total_served() < static_report.total_served() {
+        eprintln!(
+            "FAIL: dynamic sizing lost service ({} vs {} with worst-case reservations)",
+            dyn_report.total_served(),
+            static_report.total_served()
+        );
+        failed = true;
+    }
+    sink.record(
+        "churn",
+        "reservations/static",
+        &format!("n{}r{relay_rounds}", fleet.n()),
+        static_ms,
+        static_report.total_served(),
+    );
+    sink.record(
+        "churn",
+        "reservations/dynamic",
+        &format!("n{}r{relay_rounds}w{window}", fleet.n()),
+        dyn_ms,
+        dyn_report.total_served(),
+    );
+
+    if let Err(e) = sink.flush() {
+        eprintln!("bench sink flush failed: {e}");
+        failed = true;
+    }
+    if failed {
+        eprintln!("\nexp_churn: FAILED");
+        std::process::exit(1);
+    }
+    println!("\nexp_churn: resilience, equivalence, and reservation checks passed");
+}

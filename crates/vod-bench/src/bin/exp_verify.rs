@@ -169,11 +169,9 @@ fn main() {
     // ---- below-threshold: a minimal counterexample must exist ----
     let (seed, horizon) = below_threshold();
     let spec = ExploreSpec {
-        seed: seed.clone(),
-        horizon,
         differential: false,
         stop_on_failure: true,
-        max_states: None,
+        ..ExploreSpec::new(seed.clone(), horizon)
     };
     let run = run_explore("below-threshold", &spec);
     let mut ok = run.outcome.failures > 0;
@@ -217,6 +215,29 @@ fn main() {
     if !ok {
         eprintln!(
             "FAIL: heterogeneous — verified={} (failures={}, divergences={})",
+            run.outcome.verified(),
+            run.outcome.failures,
+            run.outcome.divergences.len()
+        );
+        failed = true;
+    }
+    runs.push((run, ok));
+
+    // ---- at-threshold + churn: membership changes join the fuzz gate ----
+    // Every path may lose (and regain) one of the first two boxes; repair
+    // re-replicates the departed holders' stripes within a 2-slot budget.
+    // k = 3 of 4 tolerates one departure, so the Theorem 1 guarantee must
+    // survive every interleaving of churn and admissible demands — and all
+    // five pipelines must still agree bit-for-bit on the churned branches.
+    let (seed, _) = at_threshold(Scale::Quick);
+    let spec = ExploreSpec::new(seed, scale.pick(4, 5))
+        .with_churn(scale.pick(1, 2), 2)
+        .with_repair(2);
+    let run = run_explore("at-threshold-churn", &spec);
+    let ok = run.outcome.verified();
+    if !ok {
+        eprintln!(
+            "FAIL: at-threshold-churn — verified={} (failures={}, divergences={})",
             run.outcome.verified(),
             run.outcome.failures,
             run.outcome.divergences.len()

@@ -101,6 +101,48 @@ impl Placement {
         true
     }
 
+    /// Removes the replica of `stripe` stored by `box_id`, preserving the
+    /// insertion order of the remaining holders (positional removal, so that
+    /// holder lists — and everything scheduled from them — stay deterministic
+    /// across the same mutation sequence).
+    ///
+    /// Returns `true` if the box actually stored the stripe.
+    pub fn remove(&mut self, box_id: BoxId, stripe: StripeId) -> bool {
+        let list = &mut self.per_box[box_id.index()];
+        let Some(pos) = list.iter().position(|&s| s == stripe) else {
+            return false;
+        };
+        list.remove(pos);
+        if let Some(holders) = self.holders.get_mut(&stripe) {
+            if let Some(pos) = holders.iter().position(|&b| b == box_id) {
+                holders.remove(pos);
+            }
+            if holders.is_empty() {
+                self.holders.remove(&stripe);
+            }
+        }
+        true
+    }
+
+    /// Removes every replica stored by `box_id` (the box departed), returning
+    /// the stripes it held in storage order. Holder lists keep their relative
+    /// order; stripes whose last replica vanishes become unheld (and, with a
+    /// repair planner running, under-replicated work items).
+    pub fn remove_box(&mut self, box_id: BoxId) -> Vec<StripeId> {
+        let stripes = std::mem::take(&mut self.per_box[box_id.index()]);
+        for &stripe in &stripes {
+            if let Some(holders) = self.holders.get_mut(&stripe) {
+                if let Some(pos) = holders.iter().position(|&b| b == box_id) {
+                    holders.remove(pos);
+                }
+                if holders.is_empty() {
+                    self.holders.remove(&stripe);
+                }
+            }
+        }
+        stripes
+    }
+
     /// The boxes storing a replica of `stripe` (possibly empty).
     pub fn holders_of(&self, stripe: StripeId) -> &[BoxId] {
         self.holders.get(&stripe).map(Vec::as_slice).unwrap_or(&[])
@@ -251,6 +293,43 @@ mod tests {
         assert_eq!(p.wasted_slots(), 1);
         assert_eq!(p.box_load(BoxId(0)), 1);
         assert_eq!(p.replica_count(s), 1);
+    }
+
+    #[test]
+    fn remove_preserves_holder_order() {
+        let mut p = Placement::empty(4);
+        let s = StripeId::new(VideoId(0), 0);
+        for b in 0..4u32 {
+            p.add(BoxId(b), s);
+        }
+        assert!(p.remove(BoxId(1), s));
+        assert_eq!(p.holders_of(s), &[BoxId(0), BoxId(2), BoxId(3)]);
+        assert!(!p.stores(BoxId(1), s));
+        assert_eq!(p.box_load(BoxId(1)), 0);
+        // Removing a replica the box never held is a no-op.
+        assert!(!p.remove(BoxId(1), s));
+        assert_eq!(p.replica_count(s), 3);
+    }
+
+    #[test]
+    fn remove_box_strips_every_replica() {
+        let mut p = Placement::empty(3);
+        let a = StripeId::new(VideoId(0), 0);
+        let b = StripeId::new(VideoId(0), 1);
+        p.add(BoxId(0), a);
+        p.add(BoxId(1), a);
+        p.add(BoxId(1), b);
+        let lost = p.remove_box(BoxId(1));
+        assert_eq!(lost, vec![a, b]);
+        assert_eq!(p.holders_of(a), &[BoxId(0)]);
+        // The last replica of `b` vanished with the box: the stripe is gone
+        // from the holder index entirely.
+        assert_eq!(p.holders_of(b), &[] as &[BoxId]);
+        assert_eq!(p.replica_count(b), 0);
+        assert_eq!(p.box_load(BoxId(1)), 0);
+        // Re-adding after departure works (rejoin path).
+        assert!(p.add(BoxId(1), b));
+        assert_eq!(p.holders_of(b), &[BoxId(1)]);
     }
 
     #[test]

@@ -310,6 +310,44 @@ impl CandidateIndex {
         }
     }
 
+    /// Evicts every live entry of `box_id` immediately (the box departed):
+    /// ordered removals from the per-stripe lists, stamp bumps on every
+    /// touched stripe, and entry-map removal. Stale wheel records need no
+    /// cleanup — with the entry gone from the map, the current-start check
+    /// skips them when their bucket drains. Returns the number of entries
+    /// purged; they count toward this round's expiry stats.
+    pub fn purge_box(&mut self, box_id: BoxId, now: u64) -> usize {
+        let mut purged = 0;
+        for slot in 0..self.lists.len() {
+            let list = &mut self.lists[slot];
+            let Some(pos) = list.iter().position(|&(b, _)| b == box_id) else {
+                continue;
+            };
+            list.remove(pos);
+            let c = self.stripes_per_video as usize;
+            let stripe = StripeId::new(
+                vod_core::VideoId((slot / c) as u32),
+                (slot % c) as vod_core::StripeIndex,
+            );
+            self.entries.remove(&pack(stripe, box_id));
+            self.touched[slot] = now + 1;
+            self.live -= 1;
+            purged += 1;
+        }
+        self.expired_this_round += purged;
+        purged
+    }
+
+    /// Bumps `stripe`'s change stamp without touching its cache entries.
+    /// Used when the stripe's *static-holder* half changed (a repaired
+    /// replica landed, a departed box was stripped from the live
+    /// placement), so memoized candidate rows and incremental schedulers
+    /// rebuild the row instead of replaying a stale one.
+    pub fn touch(&mut self, stripe: StripeId, now: u64) {
+        let slot = self.slot(stripe);
+        self.touched[slot] = now + 1;
+    }
+
     /// Boxes currently holding `stripe` in their playback cache, with their
     /// download start rounds, in insertion order. Every listed entry is
     /// live: `start + window ≥` the round last passed to
@@ -452,6 +490,35 @@ mod tests {
         // Jump to the far entry's expiry.
         index.begin_round(105);
         assert!(index.candidates(s(0, 0)).is_empty());
+        assert_eq!(index.live_entries(), 0);
+    }
+
+    #[test]
+    fn purge_box_evicts_everything_immediately() {
+        let mut index = CandidateIndex::new(6, 2);
+        index.begin_round(0);
+        index.insert(s(0, 0), b(1), 0, 0);
+        index.insert(s(0, 0), b(2), 0, 0);
+        index.insert(s(0, 1), b(1), 0, 0);
+        index.insert(s(1, 0), b(3), 0, 0);
+        index.begin_round(1);
+        let stamp_untouched = index.stripe_stamp(s(1, 0));
+        assert_eq!(index.purge_box(b(1), 1), 2);
+        assert_eq!(index.candidates(s(0, 0)), &[(b(2), 0)]);
+        assert!(index.candidates(s(0, 1)).is_empty());
+        assert_eq!(index.live_entries(), 2);
+        assert_eq!(index.expired_this_round(), 2);
+        // Touched stripes are stamped; unrelated stripes are not.
+        assert_eq!(index.stripe_stamp(s(0, 0)), 2);
+        assert_eq!(index.stripe_stamp(s(0, 1)), 2);
+        assert_eq!(index.stripe_stamp(s(1, 0)), stamp_untouched);
+        // The purged box's stale wheel records are skipped when their
+        // buckets drain (no panic, no double eviction) — and the box can
+        // re-insert after rejoining.
+        index.insert(s(0, 0), b(1), 2, 1);
+        for now in 2..=10 {
+            index.begin_round(now);
+        }
         assert_eq!(index.live_entries(), 0);
     }
 

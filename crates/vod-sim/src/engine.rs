@@ -29,6 +29,7 @@
 
 use crate::candidates::{CandidateIndex, CandidateStats};
 use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
+use crate::repair::{RepairPlanner, RepairRoundStats};
 use crate::request::{
     direct_stripe_budget, homogeneous_plan, poor_plan, rich_plan, PlaybackState, StripeRequest,
 };
@@ -38,11 +39,11 @@ use crate::scheduler::{
 use crate::swarm::SwarmTracker;
 use std::collections::HashMap;
 use std::time::Instant;
-use vod_core::{BoxId, PlaybackCache, SortedSignature, StripeId, VideoId, VideoSystem};
+use vod_core::{BoxId, Placement, PlaybackCache, SortedSignature, StripeId, VideoId, VideoSystem};
 use vod_flow::{
     find_obstruction_in, CandidateBuf, ConnectionProblem, Dinic, FlowArena, RelayView, NO_STAMP,
 };
-use vod_workloads::{DemandGenerator, OccupancyView, VideoDemand};
+use vod_workloads::{ChurnEvent, ChurnModel, DemandGenerator, OccupancyView, VideoDemand};
 
 /// What to do when a round cannot serve every active request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -118,9 +119,11 @@ impl SimConfig {
     }
 }
 
-/// Occupancy view over the simulator's playback table.
+/// Occupancy view over the simulator's playback table. Departed boxes are
+/// never free: a generator cannot hand a demand to a box that is down.
 struct Occupancy<'a> {
     playing: &'a [Option<PlaybackState>],
+    alive: &'a [bool],
 }
 
 impl OccupancyView for Occupancy<'_> {
@@ -129,6 +132,7 @@ impl OccupancyView for Occupancy<'_> {
             .get(box_id.index())
             .map(|p| p.is_none())
             .unwrap_or(false)
+            && self.alive.get(box_id.index()).copied().unwrap_or(false)
     }
     fn box_count(&self) -> usize {
         self.playing.len()
@@ -225,6 +229,45 @@ impl CandidatePipeline {
         }
     }
 
+    /// Evicts every cache entry of `box_id` immediately (the box departed),
+    /// under both pipelines: the incremental index does ordered removals
+    /// with stamp bumps ([`CandidateIndex::purge_box`]); the legacy
+    /// structures clear the box's cache and strip it from the per-stripe
+    /// index. Purged entries count toward this round's expiry stats.
+    fn purge_box(&mut self, box_id: BoxId, now: u64) {
+        match self {
+            CandidatePipeline::Incremental(index) => {
+                index.purge_box(box_id, now);
+            }
+            CandidatePipeline::Rescan {
+                caches,
+                index,
+                live,
+                expired,
+                ..
+            } => {
+                let removed = caches[box_id.index()].len();
+                caches[box_id.index()] = PlaybackCache::new();
+                index.retain(|_, boxes| {
+                    boxes.retain(|b| *b != box_id);
+                    !boxes.is_empty()
+                });
+                *live -= removed;
+                *expired += removed;
+            }
+        }
+    }
+
+    /// Bumps `stripe`'s change stamp after a static-holder change (repair
+    /// landed a replica, a departure stripped one): memoized rows and
+    /// incremental schedulers rebuild instead of replaying. The rescan
+    /// pipeline carries no stamps (every row rebuilds every round anyway).
+    fn touch(&mut self, stripe: StripeId, now: u64) {
+        if let CandidatePipeline::Incremental(index) = self {
+            index.touch(stripe, now);
+        }
+    }
+
     /// (live entries, expired this round, inserted this round).
     fn stats(&self) -> (usize, usize, usize) {
         match self {
@@ -257,6 +300,26 @@ pub struct Simulator<'a> {
     swarms: SwarmTracker,
     /// Stall-round counters for in-flight playbacks.
     stalls: Vec<u64>,
+    /// The *live* allocation table: starts as a clone of the system's
+    /// static placement and tracks the population — departures strip a
+    /// box's replicas the round it leaves, repair adds them back. Every
+    /// candidate row, self-serve check, and sourcing/swarming attribution
+    /// reads this table, never the static one.
+    placement: Placement,
+    /// Liveness per box: `false` after a leave/crash until rejoin.
+    alive: Vec<bool>,
+    /// Engine-driven churn process, when attached: drained every round
+    /// inside [`Simulator::step`] so membership changes interleave with
+    /// admissions.
+    churn: Option<ChurnModel>,
+    /// Pooled buffer for the round's churn events.
+    churn_buf: Vec<ChurnEvent>,
+    /// Stripe repair planner, when attached: plans budgeted re-replication
+    /// before each round is scheduled and commits after.
+    repair: Option<RepairPlanner>,
+    /// The repair stats of the round being scheduled (threaded into its
+    /// `RoundMetrics::repair`).
+    round_repair: Option<RepairRoundStats>,
     report: SimulationReport,
     /// Per-box upload capacities: derived from the system at construction,
     /// refreshed from the relay broker on churn events
@@ -357,6 +420,12 @@ impl<'a> Simulator<'a> {
             candidates,
             swarms: SwarmTracker::new(system.c()),
             stalls: vec![0; n],
+            placement: system.placement().clone(),
+            alive: vec![true; n],
+            churn: None,
+            churn_buf: Vec::new(),
+            repair: None,
+            round_repair: None,
             report,
             capacities,
             relay_broker,
@@ -441,6 +510,69 @@ impl<'a> Simulator<'a> {
         self.capacities.get(b.index()).copied().unwrap_or(0)
     }
 
+    /// The live allocation table (static placement ⊖ departures ⊕ repairs).
+    pub fn live_placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Whether box `b` is currently part of the population.
+    pub fn is_alive(&self, b: BoxId) -> bool {
+        self.alive.get(b.index()).copied().unwrap_or(false)
+    }
+
+    /// Boxes currently part of the population.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The attached repair planner, when repair is enabled.
+    pub fn repair_planner(&self) -> Option<&RepairPlanner> {
+        self.repair.as_ref()
+    }
+
+    /// Attaches an engine-driven churn process: from the next round on,
+    /// its events are drained at the top of every [`Simulator::step`] —
+    /// after finished playbacks end, before new demands are admitted — so
+    /// membership changes interleave with admissions instead of being
+    /// replayed between rounds. Heterogeneous systems route the events
+    /// through [`Simulator::apply_relay_event`] (re-planning reservations);
+    /// homogeneous systems mutate the capacity table directly.
+    pub fn attach_churn(&mut self, model: ChurnModel) {
+        assert!(
+            model.box_count() <= self.playing.len(),
+            "churn model spans {} boxes but the engine universe has {}",
+            model.box_count(),
+            self.playing.len()
+        );
+        self.churn = Some(model);
+    }
+
+    /// Attaches a stripe repair planner: each round it plans a budgeted
+    /// batch of replica transfers from the live placement, the transfer
+    /// slots are deducted from the source boxes' `⌊u_b·c⌋` budgets *before*
+    /// the scheduler runs (repair competes with serving through the same
+    /// Lemma-1 budgets), and the new replicas are committed after the round
+    /// so they serve from the next round on.
+    pub fn attach_repair(&mut self, planner: RepairPlanner) {
+        self.repair = Some(planner);
+    }
+
+    /// Enables dynamic relay-reservation sizing (heterogeneous systems
+    /// only): instead of holding every relay at the worst-case
+    /// `u* + 1 − 2u_b` reservation forever, the broker shrinks a relay's
+    /// reserved slots after `window` consecutive calm rounds and grows them
+    /// back on saturation, never past the plan's worst case. The engine
+    /// resyncs its capacity table from the broker after every round, so
+    /// freed slots serve ordinary traffic the next round. The sizing
+    /// feedback reads observed relay loads, which are scheduler-dependent —
+    /// enable it only when comparing runs within one scheduler family.
+    pub fn enable_dynamic_reservations(&mut self, window: u64) {
+        self.relay_broker
+            .as_mut()
+            .expect("dynamic reservation sizing needs a heterogeneous (relayed) system")
+            .enable_dynamic_reservations(window);
+    }
+
     /// Canonical signature of the behavioural state: everything the future
     /// of the simulation depends on — playback states (with their request
     /// plans), live candidate-cache entries, swarm preload counters, the
@@ -485,6 +617,30 @@ impl<'a> Simulator<'a> {
                 sig.push(&(6u8, poor, relay));
             }
         }
+        // Live-population state: holder lists are order-sensitive (candidate
+        // rows list holders in placement order), so each holder is tagged
+        // with its position.
+        for (stripe, holders) in self.placement.stripes() {
+            for (pos, b) in holders.iter().enumerate() {
+                sig.push(&(7u8, stripe, pos as u32, *b));
+            }
+        }
+        for (idx, up) in self.alive.iter().enumerate() {
+            if !up {
+                sig.push(&(8u8, idx as u32));
+            }
+        }
+        // The repair queue drives future placement mutations. (An attached
+        // churn model is external stochastic input, like the demand
+        // generator — not part of the engine's behavioural state.)
+        if let Some(planner) = &self.repair {
+            for &s in planner.pending() {
+                sig.push(&(9u8, s));
+            }
+            for &s in planner.lost() {
+                sig.push(&(10u8, s));
+            }
+        }
         sig.finish()
     }
 
@@ -508,12 +664,25 @@ impl<'a> Simulator<'a> {
         fork.report = self.report.clone();
         fork.capacities = self.capacities.clone();
         fork.relay_broker = self.relay_broker.as_ref().map(RelayBroker::fork);
+        fork.placement = self.placement.clone();
+        fork.alive = self.alive.clone();
+        fork.churn = self.churn.clone();
+        fork.repair = self.repair.clone();
         fork
     }
 
     /// Applies one churn event to the relay subsystem mid-run and re-syncs
     /// the scheduler's capacity table from the live plan (departed boxes
     /// drop to zero upload; freed or grown reservations open slots).
+    ///
+    /// A [`RelayEvent::BoxLeft`] also detaches the box from the engine's
+    /// live structures *the round it leaves*: its in-flight playback ends
+    /// (recorded with its stalls so far), its playback-cache entries are
+    /// purged from the candidate pipeline, and its replicas are stripped
+    /// from the live allocation table (notifying the repair planner when
+    /// one is attached). Without the purge, a departed box lingers as a
+    /// stripe holder in candidate rows until cache expiry — and worse, a
+    /// later rejoin would claim replicas the box no longer stores.
     ///
     /// Returns the compensation deltas performed, or the broker's named
     /// error when the population is no longer `u*`-compensable (the event's
@@ -529,23 +698,102 @@ impl<'a> Simulator<'a> {
         &mut self,
         event: RelayEvent,
     ) -> Result<Vec<vod_core::CompensationDelta>, vod_core::CoreError> {
-        if let RelayEvent::BoxJoined(node) = &event {
-            assert!(
-                node.id.index() < self.playing.len(),
-                "box {} joined outside the original universe of {} boxes",
-                node.id,
-                self.playing.len()
-            );
+        assert!(
+            self.relay_broker.is_some(),
+            "relay events require a heterogeneous system with a compensation plan"
+        );
+        match &event {
+            RelayEvent::BoxJoined(node) => {
+                assert!(
+                    node.id.index() < self.playing.len(),
+                    "box {} joined outside the original universe of {} boxes",
+                    node.id,
+                    self.playing.len()
+                );
+                self.alive[node.id.index()] = true;
+            }
+            RelayEvent::BoxLeft(id) => self.detach_box(*id),
+            RelayEvent::UploadChanged(..) => {}
         }
-        let broker = self
-            .relay_broker
-            .as_mut()
-            .expect("relay events require a heterogeneous system with a compensation plan");
+        let broker = self.relay_broker.as_mut().expect("checked above");
         let result = broker.apply(event);
         for (idx, cap) in self.capacities.iter_mut().enumerate() {
             *cap = broker.open_upload_slots(BoxId(idx as u32));
         }
         result
+    }
+
+    /// Applies one [`ChurnEvent`] to the engine, on homogeneous and
+    /// heterogeneous systems alike. Heterogeneous systems route through
+    /// [`Simulator::apply_relay_event`] (reservation re-planning; a failed
+    /// re-plan leaves poor boxes uncovered and the simulation continues —
+    /// the resulting stalls are the modelled behaviour). Homogeneous
+    /// systems mutate the liveness and capacity tables directly. This is
+    /// both the step-loop's internal path for an attached [`ChurnModel`]
+    /// and the public entry point for scripted churn (the explorer's
+    /// churn-event branches).
+    pub fn apply_churn(&mut self, event: ChurnEvent) {
+        match event {
+            ChurnEvent::Joined(node) => {
+                assert!(
+                    node.id.index() < self.playing.len(),
+                    "box {} joined outside the original universe of {} boxes",
+                    node.id,
+                    self.playing.len()
+                );
+                if self.relay_broker.is_some() {
+                    let _ = self.apply_relay_event(RelayEvent::BoxJoined(node));
+                } else {
+                    self.alive[node.id.index()] = true;
+                    self.capacities[node.id.index()] = node.upload.stripe_slots(self.system.c());
+                }
+            }
+            ChurnEvent::Left(id) | ChurnEvent::Crashed(id) => {
+                if self.relay_broker.is_some() {
+                    let _ = self.apply_relay_event(RelayEvent::BoxLeft(id));
+                } else {
+                    self.detach_box(id);
+                    self.capacities[id.index()] = 0;
+                }
+            }
+            ChurnEvent::UploadChanged(id, upload) => {
+                if self.relay_broker.is_some() {
+                    let _ = self.apply_relay_event(RelayEvent::UploadChanged(id, upload));
+                } else {
+                    self.capacities[id.index()] = upload.stripe_slots(self.system.c());
+                }
+            }
+        }
+    }
+
+    /// Detaches a departed box from every live structure, effective this
+    /// round: terminates its in-flight playback (recording it), purges its
+    /// cache entries from the candidate pipeline (stamp bumps invalidate
+    /// memoized rows), and strips its replicas from the live allocation
+    /// table, queueing them with the repair planner.
+    fn detach_box(&mut self, id: BoxId) {
+        let idx = id.index();
+        let now = self.round;
+        self.alive[idx] = false;
+        if let Some(st) = self.playing[idx].take() {
+            self.swarms.leave(st.video, id);
+            self.report.playbacks.push(PlaybackRecord {
+                box_id: id,
+                video: st.video,
+                entered_at: st.entered_at,
+                startup_delay: st.startup_delay(),
+                stalled_rounds: self.stalls[idx],
+            });
+            self.stalls[idx] = 0;
+        }
+        self.candidates.purge_box(id, now);
+        let lost = self.placement.remove_box(id);
+        for &stripe in &lost {
+            self.candidates.touch(stripe, now);
+        }
+        if let Some(planner) = &mut self.repair {
+            planner.note_lost(&lost);
+        }
     }
 
     /// Runs the configured number of rounds against a demand generator and
@@ -558,6 +806,14 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
+        self.finish()
+    }
+
+    /// Consumes a manually-stepped simulator and finalizes its report
+    /// (flushing in-flight playbacks and the relay utilization profile),
+    /// exactly as [`Simulator::run`] does at the end of a run. For drivers
+    /// that interleave [`Simulator::step`] with scripted churn.
+    pub fn into_report(self) -> SimulationReport {
         self.finish()
     }
 
@@ -597,6 +853,12 @@ impl<'a> Simulator<'a> {
             build_ns: maintenance.elapsed().as_nanos() as u64,
             ..CandidateStats::default()
         };
+        // Engine-driven churn: membership changes land before admissions,
+        // interleaved with the round rather than replayed between rounds.
+        self.drain_churn(now);
+        // Repair planning deducts the transfer slots from the source boxes'
+        // budgets before the scheduler sees them.
+        self.round_repair = self.plan_repairs();
         let new_demands = self.accept_demands(generator, now);
         // Detach the pooled request buffer so collection can borrow `self`.
         let mut requests = std::mem::take(&mut self.request_buf);
@@ -605,8 +867,73 @@ impl<'a> Simulator<'a> {
         let (metrics, feasible) = self.schedule_round(now, &requests, self_served, new_demands);
         self.request_buf = requests;
         self.report.rounds.push(metrics);
+        // Commit the planned repairs: capacities are restored and the new
+        // replicas enter the live placement, serving from the next round on
+        // (a transfer takes the round it was planned in).
+        self.commit_repairs(now);
+        // Dynamic reservation sizing re-tunes inside `note_round`; pick the
+        // shifted capacities up for the next round.
+        if self
+            .relay_broker
+            .as_ref()
+            .is_some_and(RelayBroker::dynamic_reservations_enabled)
+        {
+            let broker = self.relay_broker.as_ref().expect("checked above");
+            for (idx, cap) in self.capacities.iter_mut().enumerate() {
+                *cap = broker.open_upload_slots(BoxId(idx as u32));
+            }
+        }
         self.round += 1;
         feasible
+    }
+
+    /// Drains the attached churn model's events for `now` and applies them.
+    fn drain_churn(&mut self, now: u64) {
+        if self.churn.is_none() {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.churn_buf);
+        self.churn
+            .as_mut()
+            .expect("checked above")
+            .events_into(now, &mut events);
+        for event in events.drain(..) {
+            self.apply_churn(event);
+        }
+        self.churn_buf = events;
+    }
+
+    /// Plans this round's repair transfers and charges their upload slots
+    /// against the live capacity table, so serving and repair compete for
+    /// the same `⌊u_b·c⌋` budgets. The plan reads only scheduler-invariant
+    /// state (live placement, liveness, capacities) — never the assignment
+    /// — keeping placement evolution bit-identical across the global,
+    /// sharded, and rescan pipelines.
+    fn plan_repairs(&mut self) -> Option<RepairRoundStats> {
+        let planner = self.repair.as_mut()?;
+        let stats = planner.plan_round(&self.placement, &self.alive, &self.capacities);
+        for (idx, &egress) in planner.egress().iter().enumerate() {
+            debug_assert!(egress <= self.capacities[idx], "repair oversubscribed box");
+            self.capacities[idx] -= egress;
+        }
+        Some(stats)
+    }
+
+    /// Commits the round's planned repairs: restores the deducted source
+    /// capacities and lands the new replicas in the live placement, bumping
+    /// the repaired stripes' candidate stamps so next round's rows rebuild.
+    fn commit_repairs(&mut self, now: u64) {
+        let Some(planner) = &mut self.repair else {
+            return;
+        };
+        for t in planner.transfers() {
+            self.capacities[t.source.index()] += 1;
+            // The scheduler already synced this round's stamps (`now + 1`),
+            // so a post-schedule holder change must stamp one further ahead
+            // or memoized rows would replay the pre-repair holder list.
+            self.candidates.touch(t.stripe, now + 1);
+        }
+        planner.commit(&mut self.placement);
     }
 
     fn end_finished_playbacks(&mut self, now: u64) {
@@ -634,6 +961,7 @@ impl<'a> Simulator<'a> {
         {
             let occupancy = Occupancy {
                 playing: &self.playing,
+                alive: &self.alive,
             };
             generator.demands_into(now, &occupancy, &mut demands);
         }
@@ -642,6 +970,7 @@ impl<'a> Simulator<'a> {
             let idx = demand.box_id.index();
             if idx >= self.playing.len()
                 || self.playing[idx].is_some()
+                || !self.alive[idx]
                 || self.system.catalog().video(demand.video).is_none()
             {
                 self.report.rejected_demands += 1;
@@ -714,7 +1043,7 @@ impl<'a> Simulator<'a> {
             let viewer = BoxId(idx as u32);
             if let Some(st) = slot {
                 st.for_each_active(viewer, now, |req| {
-                    if self.system.placement().stores(req.requester, req.stripe) {
+                    if self.placement.stores(req.requester, req.stripe) {
                         self_served += 1;
                     } else {
                         out.push(req);
@@ -743,12 +1072,13 @@ impl<'a> Simulator<'a> {
         }
         for req in requests {
             // Replay a cached row when its inputs are unchanged: same index
-            // stamp (the index stamps every per-stripe content change), same
+            // stamp (the index stamps every per-stripe content change — the
+            // engine also bumps it when the stripe's *live-placement* holder
+            // list changes, on departures and committed repairs), same
             // requester (excluded from the row), same issue round (the
-            // ahead-of-requester filter reads it). Static holders never
-            // change. The legacy rescan pipeline is excluded — its
-            // ahead-filter depends on the current round, not on the issue
-            // round alone.
+            // ahead-of-requester filter reads it). The legacy rescan
+            // pipeline is excluded — its ahead-filter depends on the
+            // current round, not on the issue round alone.
             if let CandidatePipeline::Incremental(index) = &self.candidates {
                 if let Some(row) = self.row_cache.get(&(req.viewer, req.stripe)) {
                     if row.stamp == index.stripe_stamp(req.stripe)
@@ -770,7 +1100,7 @@ impl<'a> Simulator<'a> {
             self.seen_epoch += 1;
             let epoch = self.seen_epoch;
             self.row_scratch.clear();
-            for &b in self.system.holders_of(req.stripe) {
+            for &b in self.placement.holders_of(req.stripe) {
                 if b != req.requester {
                     self.box_seen[b.index()] = epoch;
                     self.row_scratch.push(b);
@@ -932,7 +1262,7 @@ impl<'a> Simulator<'a> {
             match assigned {
                 Some(supplier) => {
                     served += 1;
-                    if self.system.placement().stores(*supplier, req.stripe) {
+                    if self.placement.stores(*supplier, req.stripe) {
                         served_from_allocation += 1;
                     } else {
                         served_from_cache += 1;
@@ -1039,6 +1369,7 @@ impl<'a> Simulator<'a> {
             shard: self.scheduler.shard_stats(),
             relay: relay_metrics,
             candidates: Some(self.round_cand_stats),
+            repair: self.round_repair.take(),
         };
         // Return the reused buffers for the next round.
         self.assignment = assignment;
@@ -1367,5 +1698,169 @@ mod tests {
             sim.step(&mut gen);
         }
         assert_eq!(sim.round(), 8);
+    }
+
+    /// Staleness regression: the round a box leaves, it is gone from every
+    /// live structure — liveness, capacities, the live allocation table,
+    /// and the candidate pipeline. Its playback-cache entries must not
+    /// linger as candidate rows until cache expiry, and a later rejoin
+    /// must not claim replicas the box no longer stores. Both candidate
+    /// pipelines walk through identical states under the same scripted
+    /// departure, so a one-sided purge would break the equality below.
+    #[test]
+    fn departed_box_is_purged_the_round_it_leaves() {
+        use vod_workloads::ChurnEvent;
+        let sys = small_system(16, 2.0, 4, 4, 20);
+        let make_gen = || SequentialViewing::new(16, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 11);
+        let config = SimConfig::new(40).continue_on_failure();
+        let mut inc = Simulator::new(&sys, config);
+        let mut rescan = Simulator::new(&sys, config.with_rescan_candidates());
+        let (mut g1, mut g2) = (make_gen(), make_gen());
+        for _ in 0..6 {
+            inc.step(&mut g1);
+            rescan.step(&mut g2);
+        }
+        let gone = BoxId(3);
+        let held_before: Vec<StripeId> = inc
+            .live_placement()
+            .stripes()
+            .filter(|(_, holders)| holders.contains(&gone))
+            .map(|(stripe, _)| stripe)
+            .collect();
+        assert!(!held_before.is_empty(), "box 3 held no replicas");
+
+        inc.apply_churn(ChurnEvent::Left(gone));
+        rescan.apply_churn(ChurnEvent::Left(gone));
+        // Purged immediately — not at cache expiry, not at the next round.
+        assert!(!inc.is_alive(gone));
+        assert_eq!(inc.alive_count(), 15);
+        assert_eq!(inc.upload_slots(gone), 0);
+        for (stripe, holders) in inc.live_placement().stripes() {
+            assert!(!holders.contains(&gone), "{stripe} still lists box 3");
+        }
+        assert_eq!(inc.state_signature(), rescan.state_signature());
+
+        // The box rejoins with fresh capacity but WITHOUT its old replicas
+        // (nothing re-replicated them): candidate rows must not offer it as
+        // a supplier of stripes it no longer stores.
+        let node = *sys.boxes().iter().nth(gone.index()).unwrap();
+        inc.apply_churn(ChurnEvent::Joined(node));
+        rescan.apply_churn(ChurnEvent::Joined(node));
+        assert!(inc.is_alive(gone));
+        assert!(inc.upload_slots(gone) > 0);
+        for &stripe in &held_before {
+            assert!(!inc.live_placement().stores(gone, stripe));
+        }
+        // Both pipelines continue bit-identically through the churned state.
+        for round in 0..10 {
+            inc.step(&mut g1);
+            rescan.step(&mut g2);
+            assert_eq!(
+                inc.state_signature(),
+                rescan.state_signature(),
+                "round {round}"
+            );
+            assert_eq!(
+                inc.report_so_far().rounds.last(),
+                rescan.report_so_far().rounds.last(),
+                "round {round}"
+            );
+        }
+    }
+
+    /// Engine-driven churn with repair: membership changes interleave with
+    /// admissions, the repair planner re-replicates under its budget, and
+    /// the whole process is deterministic — two runs from the same seeds
+    /// produce bit-identical reports, and every surviving replica is held
+    /// by a live box.
+    #[test]
+    fn engine_churn_with_repair_recovers_replication() {
+        use vod_workloads::{ChurnModel, SessionLength};
+        let sys = small_system(24, 2.0, 4, 3, 12);
+        let run = || {
+            let mut sim = Simulator::new(&sys, SimConfig::new(50).continue_on_failure());
+            sim.attach_churn(
+                ChurnModel::new(sys.boxes(), 77)
+                    .with_session(SessionLength::Geometric { leave_rate: 0.03 })
+                    .with_rejoin_delay(3, 6)
+                    .with_min_up(16),
+            );
+            sim.attach_repair(RepairPlanner::for_system(&sys, 6));
+            let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+            for _ in 0..50 {
+                sim.step(&mut gen);
+            }
+            sim
+        };
+        let sim = run();
+        let planner = sim.repair_planner().unwrap();
+        assert!(planner.repaired_total() > 0, "churn never exercised repair");
+        let report = sim.report_so_far();
+        let repaired: u64 = report
+            .rounds
+            .iter()
+            .filter_map(|r| r.repair)
+            .map(|r| r.repaired as u64)
+            .sum();
+        assert_eq!(repaired, planner.repaired_total());
+        // Departed boxes hold nothing; every holder is live.
+        for (stripe, holders) in sim.live_placement().stripes() {
+            for &b in holders {
+                assert!(sim.is_alive(b), "dead box {b} still holds {stripe}");
+            }
+        }
+        // Bit-identical replay from the same seeds.
+        let twin = run();
+        assert_eq!(sim.state_signature(), twin.state_signature());
+        assert_eq!(report, twin.report_so_far());
+    }
+
+    /// The live-population loop keeps every pipeline equivalence intact:
+    /// with the same seeded churn process and repair planner attached, the
+    /// incremental, rescan, and sharded engines walk through identical
+    /// state signatures, and the sharded engine serves exactly as many
+    /// requests per round as the global one.
+    #[test]
+    fn pipelines_agree_under_engine_driven_churn() {
+        use vod_workloads::{ChurnModel, SessionLength};
+        let sys = small_system(16, 2.0, 4, 3, 10);
+        let config = SimConfig::new(30).continue_on_failure();
+        let churn = || {
+            ChurnModel::new(sys.boxes(), 19)
+                .with_session(SessionLength::Geometric { leave_rate: 0.04 })
+                .with_crash_rate(0.01)
+                .with_rejoin_delay(2, 4)
+                .with_min_up(10)
+        };
+        let make_gen = || SequentialViewing::new(16, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+        let mut inc = Simulator::new(&sys, config);
+        let mut rescan = Simulator::new(&sys, config.with_rescan_candidates());
+        let mut sharded = Simulator::with_sharded_scheduler(&sys, config, 2);
+        for sim in [&mut inc, &mut rescan, &mut sharded] {
+            sim.attach_churn(churn());
+            sim.attach_repair(RepairPlanner::for_system(&sys, 4));
+        }
+        let (mut g1, mut g2, mut g3) = (make_gen(), make_gen(), make_gen());
+        for round in 0..30 {
+            inc.step(&mut g1);
+            rescan.step(&mut g2);
+            sharded.step(&mut g3);
+            let sig = inc.state_signature();
+            assert_eq!(sig, rescan.state_signature(), "round {round}");
+            assert_eq!(sig, sharded.state_signature(), "round {round}");
+        }
+        let (global, shard) = (inc.report_so_far(), sharded.report_so_far());
+        for (a, b) in global.rounds.iter().zip(&shard.rounds) {
+            assert_eq!(a.served, b.served, "round {}", a.round);
+            assert_eq!(a.unserved, b.unserved, "round {}", a.round);
+            assert_eq!(a.repair, b.repair, "round {}", a.round);
+        }
+        assert!(
+            global
+                .rounds
+                .iter()
+                .any(|r| r.repair.is_some_and(|s| s.repaired > 0)),
+            "churn never exercised repair"
+        );
     }
 }

@@ -19,25 +19,28 @@
 //!   relay subsystem's [`RelayBroker`] (live `u*`-compensation:
 //!   reservation re-planning under churn, per-relay utilization, starved
 //!   reservation witnesses);
-//! * [`engine`] — the simulator itself;
+//! * [`engine`] — the simulator itself, including the live-population loop
+//!   (engine-driven churn, liveness-aware occupancy, live allocation table);
 //! * [`metrics`] — per-round and aggregate measurements;
-//! * [`churn`] — failure injection (box departures) and allocation repair.
+//! * [`repair`] — budgeted, deterministic re-replication of stripes that
+//!   lost replicas to departures, competing with serving traffic through
+//!   the same Lemma-1 box budgets.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod candidates;
-pub mod churn;
 pub mod engine;
 pub mod metrics;
+pub mod repair;
 pub mod request;
 pub mod scheduler;
 pub mod swarm;
 
 pub use candidates::{CandidateIndex, CandidateStats};
-pub use churn::{ChurnEvent, ChurnModel, RepairReport};
 pub use engine::{CandidateMode, FailurePolicy, SimConfig, Simulator};
 pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
+pub use repair::{RepairPlanner, RepairRoundStats, RepairTransfer};
 pub use request::{PlaybackState, RequestKind, StripePlan, StripeRequest};
 pub use scheduler::{
     GreedyScheduler, IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy,

@@ -6,6 +6,7 @@
 //! obstructions witnessing infeasible rounds.
 
 use crate::candidates::CandidateStats;
+use crate::repair::RepairRoundStats;
 use crate::scheduler::{RelayRoundStats, RelayUtilization, ShardRoundStats};
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
@@ -50,6 +51,11 @@ pub struct RoundMetrics {
     /// build wall-clock; equality ignores the timing). `None` only in
     /// reports serialized before the pipeline existed.
     pub candidates: Option<CandidateStats>,
+    /// Stripe-repair observability (queue depth, transfers, budget slots
+    /// spent), when a repair planner is attached; `None` otherwise. Repair
+    /// plans are scheduler-invariant, so equality compares this field
+    /// across engine variants un-normalized.
+    pub repair: Option<RepairRoundStats>,
 }
 
 impl JsonCodec for RoundMetrics {
@@ -75,6 +81,7 @@ impl JsonCodec for RoundMetrics {
             ("shard", self.shard.to_json()),
             ("relay", self.relay.to_json()),
             ("candidates", self.candidates.to_json()),
+            ("repair", self.repair.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -102,6 +109,11 @@ impl JsonCodec for RoundMetrics {
             },
             // Absent in reports serialized before the candidate pipeline.
             candidates: match json.field("candidates") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before the repair planner.
+            repair: match json.field("repair") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },

@@ -1,0 +1,509 @@
+//! Stripe repair planning: re-replicating under-replicated stripes under a
+//! per-round upload budget.
+//!
+//! The paper assumes a static box population, so the balanced allocation of
+//! Theorem 1 never degrades. Under live churn it does: a departing box takes
+//! its `k`-replica shares with it, and every stripe it held drops one
+//! replication level. The [`RepairPlanner`] restores the invariant: it keeps
+//! a queue of under-replicated stripes and, each round, plans replica
+//! transfers from surviving holders onto alive boxes with spare storage.
+//!
+//! Repair traffic competes with serving traffic through the same Lemma-1
+//! box budgets: every planned transfer consumes one upload slot of its
+//! source *before* the round is scheduled, so the scheduler sees the reduced
+//! `⌊u_b·c⌋` capacities and a repair slot can never be double-spent on a
+//! viewer. Planning deliberately reads only scheduler-invariant state
+//! (placement, liveness, capacities) — never the round's assignment. The
+//! global max-flow and sharded schedulers agree on served *counts* but not
+//! on supplier identity, so any plan derived from per-box assignment loads
+//! would make the placement evolve differently per scheduler and break the
+//! bit-identical equivalence gates.
+//!
+//! Determinism: pending stripes are repaired most-degraded first (ascending
+//! replica count, ascending stripe id on ties), sources are the first alive
+//! holder with budget left (holder order is insertion order, itself
+//! deterministic), and destinations maximise spare storage with lowest box
+//! id on ties. The plan is a pure function of (placement, alive, capacities,
+//! config), identical across schedulers and thread counts.
+
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
+use vod_core::{BoxId, Catalog, Placement, StripeId, VideoSystem};
+
+/// One planned replica transfer: `dest` fetches `stripe` from `source`,
+/// spending one of `source`'s upload slots this round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairTransfer {
+    /// The stripe being re-replicated.
+    pub stripe: StripeId,
+    /// The surviving holder uploading the replica.
+    pub source: BoxId,
+    /// The box receiving the new replica.
+    pub dest: BoxId,
+}
+
+/// Per-round repair observability, threaded into `RoundMetrics::repair`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairRoundStats {
+    /// Under-replicated stripes known when the round was planned (after
+    /// dropping healed and lost stripes).
+    pub pending: usize,
+    /// Replica transfers planned this round.
+    pub repaired: usize,
+    /// Pending stripes still below target after this round's transfers.
+    pub deferred: usize,
+    /// Stripes with no surviving replica so far (data lost; cumulative).
+    pub lost: usize,
+    /// Upload slots consumed by repair this round (one per transfer),
+    /// deducted from the same `⌊u_b·c⌋` budgets serving traffic uses.
+    pub budget_slots: u32,
+}
+
+impl JsonCodec for RepairRoundStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("pending", self.pending.to_json()),
+            ("repaired", self.repaired.to_json()),
+            ("deferred", self.deferred.to_json()),
+            ("lost", self.lost.to_json()),
+            ("budget_slots", self.budget_slots.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(RepairRoundStats {
+            pending: usize::from_json(json.field("pending")?)?,
+            repaired: usize::from_json(json.field("repaired")?)?,
+            deferred: usize::from_json(json.field("deferred")?)?,
+            lost: usize::from_json(json.field("lost")?)?,
+            budget_slots: u32::from_json(json.field("budget_slots")?)?,
+        })
+    }
+}
+
+/// Budgeted, deterministic re-replication of under-replicated stripes.
+///
+/// The planner is notified of replica losses ([`RepairPlanner::note_lost`]),
+/// plans a bounded batch of transfers each round
+/// ([`RepairPlanner::plan_round`]), and commits them to the live placement
+/// after the round is scheduled ([`RepairPlanner::commit`]) so a repaired
+/// replica starts serving the *next* round — a transfer takes the round it
+/// was planned in.
+#[derive(Clone, Debug)]
+pub struct RepairPlanner {
+    /// Target replicas per stripe (`k`).
+    target: usize,
+    /// Maximum transfers per round across all stripes.
+    round_budget: u32,
+    /// Maximum transfers drawn from a single source box per round.
+    per_box_egress: u32,
+    /// Storage capacity (stripe slots) per box.
+    storage: Vec<u32>,
+    /// Under-replicated stripes awaiting repair (sorted, deduped).
+    pending: Vec<StripeId>,
+    /// Stripes with no surviving replica (sorted, deduped; cumulative).
+    lost: Vec<StripeId>,
+    /// Transfers planned by the most recent [`RepairPlanner::plan_round`].
+    transfers: Vec<RepairTransfer>,
+    /// Upload slots drawn per source box by the most recent plan.
+    egress: Vec<u32>,
+    /// Scratch: replicas planned onto each destination this round.
+    dest_load: Vec<u32>,
+    /// Replicas committed over the planner's lifetime.
+    repaired_total: u64,
+}
+
+impl RepairPlanner {
+    /// A planner over explicit per-box storage capacities (stripe slots).
+    pub fn new(storage: Vec<u32>, target_replication: usize, round_budget: u32) -> Self {
+        let n = storage.len();
+        RepairPlanner {
+            target: target_replication,
+            round_budget,
+            per_box_egress: round_budget,
+            storage,
+            pending: Vec::new(),
+            lost: Vec::new(),
+            transfers: Vec::new(),
+            egress: vec![0; n],
+            dest_load: vec![0; n],
+            repaired_total: 0,
+        }
+    }
+
+    /// A planner for `system`: target `k` from the parameters, storage from
+    /// the box set, and the initial queue primed with any stripe the seed
+    /// allocation already left under-replicated (duplicate draws of a
+    /// random allocator waste slots).
+    pub fn for_system(system: &VideoSystem, round_budget: u32) -> Self {
+        let storage = system.boxes().iter().map(|b| b.storage.slots()).collect();
+        let mut planner =
+            RepairPlanner::new(storage, system.params().replication as usize, round_budget);
+        planner.prime(system.placement(), system.catalog());
+        planner
+    }
+
+    /// Caps the upload slots repair may draw from one source per round.
+    pub fn with_per_box_egress(mut self, cap: u32) -> Self {
+        self.per_box_egress = cap;
+        self
+    }
+
+    /// Enqueues every stripe of `catalog` currently below the target level.
+    pub fn prime(&mut self, placement: &Placement, catalog: &Catalog) {
+        for stripe in catalog.stripes() {
+            if placement.replica_count(stripe) < self.target {
+                self.pending.push(stripe);
+            }
+        }
+        self.pending.sort();
+        self.pending.dedup();
+    }
+
+    /// Records replica losses (e.g. the stripes a departed box held).
+    pub fn note_lost(&mut self, stripes: &[StripeId]) {
+        self.pending.extend_from_slice(stripes);
+        self.pending.sort();
+        self.pending.dedup();
+    }
+
+    /// Plans this round's transfers from the live placement. `alive[b]`
+    /// gates both sources and destinations; `capacities[b]` are the open
+    /// upload slots repair competes for (the caller deducts
+    /// [`RepairPlanner::egress`] from its slot table before scheduling).
+    /// Nothing is applied to `placement` until [`RepairPlanner::commit`].
+    pub fn plan_round(
+        &mut self,
+        placement: &Placement,
+        alive: &[bool],
+        capacities: &[u32],
+    ) -> RepairRoundStats {
+        self.transfers.clear();
+        let n = self.storage.len();
+        self.egress.clear();
+        self.egress.resize(n, 0);
+        self.dest_load.clear();
+        self.dest_load.resize(n, 0);
+
+        // Compact the queue: drop healed stripes, move data-loss stripes to
+        // the `lost` ledger (no replica left to copy from).
+        let target = self.target;
+        let lost = &mut self.lost;
+        self.pending.retain(|&s| match placement.replica_count(s) {
+            0 => {
+                lost.push(s);
+                false
+            }
+            have => have < target,
+        });
+        lost.sort();
+        lost.dedup();
+
+        // Most-degraded first, stripe id on ties.
+        self.pending
+            .sort_by_key(|&s| (placement.replica_count(s), s));
+
+        let mut budget = self.round_budget;
+        let mut deferred = 0usize;
+        for &stripe in &self.pending {
+            let have = placement.replica_count(stripe);
+            let missing = target - have;
+            let mut planned = 0usize;
+            for _ in 0..missing {
+                if budget == 0 {
+                    break;
+                }
+                let Some((source, dest)) = self.pick_transfer(placement, alive, capacities, stripe)
+                else {
+                    break;
+                };
+                self.transfers.push(RepairTransfer {
+                    stripe,
+                    source,
+                    dest,
+                });
+                self.egress[source.index()] += 1;
+                self.dest_load[dest.index()] += 1;
+                budget -= 1;
+                planned += 1;
+            }
+            if have + planned < target {
+                deferred += 1;
+            }
+        }
+
+        RepairRoundStats {
+            pending: self.pending.len(),
+            repaired: self.transfers.len(),
+            deferred,
+            lost: self.lost.len(),
+            budget_slots: self.transfers.len() as u32,
+        }
+    }
+
+    /// Deterministic (source, dest) choice for one missing replica of
+    /// `stripe`, or `None` when no holder has upload budget or no alive box
+    /// has a free storage slot.
+    fn pick_transfer(
+        &self,
+        placement: &Placement,
+        alive: &[bool],
+        capacities: &[u32],
+        stripe: StripeId,
+    ) -> Option<(BoxId, BoxId)> {
+        let source = placement.holders_of(stripe).iter().copied().find(|b| {
+            let i = b.index();
+            alive.get(i).copied().unwrap_or(false)
+                && self.egress[i] < self.per_box_egress
+                && self.egress[i] < capacities.get(i).copied().unwrap_or(0)
+        })?;
+        let mut best: Option<(u32, BoxId)> = None;
+        for i in 0..self.storage.len() {
+            let b = BoxId(i as u32);
+            if !alive.get(i).copied().unwrap_or(false) || placement.stores(b, stripe) {
+                continue;
+            }
+            // A destination already picked for this stripe this round holds
+            // a planned (uncommitted) replica — skip it.
+            if self
+                .transfers
+                .iter()
+                .any(|t| t.stripe == stripe && t.dest == b)
+            {
+                continue;
+            }
+            let used = placement.box_load(b) as u32 + self.dest_load[i];
+            if used >= self.storage[i] {
+                continue;
+            }
+            let spare = self.storage[i] - used;
+            if best.is_none_or(|(top, _)| spare > top) {
+                best = Some((spare, b));
+            }
+        }
+        best.map(|(_, dest)| (source, dest))
+    }
+
+    /// Applies the planned transfers to the live placement (new replicas
+    /// serve from the next round on) and clears the plan.
+    pub fn commit(&mut self, placement: &mut Placement) {
+        for t in self.transfers.drain(..) {
+            placement.add(t.dest, t.stripe);
+            self.repaired_total += 1;
+        }
+    }
+
+    /// The transfers planned by the most recent plan (empty after commit).
+    pub fn transfers(&self) -> &[RepairTransfer] {
+        &self.transfers
+    }
+
+    /// Upload slots the most recent plan draws per source box.
+    pub fn egress(&self) -> &[u32] {
+        &self.egress
+    }
+
+    /// Under-replicated stripes currently queued (sorted ascending).
+    pub fn pending(&self) -> &[StripeId] {
+        &self.pending
+    }
+
+    /// Stripes that lost every replica so far (sorted ascending).
+    pub fn lost(&self) -> &[StripeId] {
+        &self.lost
+    }
+
+    /// Target replicas per stripe (`k`).
+    pub fn target_replication(&self) -> usize {
+        self.target
+    }
+
+    /// Maximum transfers per round.
+    pub fn round_budget(&self) -> u32 {
+        self.round_budget
+    }
+
+    /// Replicas committed over the planner's lifetime.
+    pub fn repaired_total(&self) -> u64 {
+        self.repaired_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vod_core::{
+        Allocator, Bandwidth, BoxSet, RandomPermutationAllocator, RoundRobinAllocator, StorageSlots,
+    };
+
+    fn setup(n: usize, slots: u32, m: usize, c: u16, k: u32) -> (BoxSet, Catalog, Placement) {
+        let boxes = BoxSet::homogeneous(
+            n,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(slots),
+        );
+        let catalog = Catalog::uniform(m, 60, c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RoundRobinAllocator::new(k)
+            .allocate(&boxes, &catalog, &mut rng)
+            .unwrap();
+        (boxes, catalog, p)
+    }
+
+    fn depart(planner: &mut RepairPlanner, placement: &mut Placement, alive: &mut [bool], b: u32) {
+        alive[b as usize] = false;
+        let stripes = placement.remove_box(BoxId(b));
+        planner.note_lost(&stripes);
+    }
+
+    /// Repairs everything the budget allows, returns rounds taken.
+    fn drain(
+        planner: &mut RepairPlanner,
+        placement: &mut Placement,
+        alive: &[bool],
+        capacities: &[u32],
+    ) -> usize {
+        let mut rounds = 0;
+        loop {
+            let stats = planner.plan_round(placement, alive, capacities);
+            if stats.repaired == 0 {
+                return rounds;
+            }
+            planner.commit(placement);
+            rounds += 1;
+        }
+    }
+
+    #[test]
+    fn departures_enqueue_and_budgeted_rounds_restore_replication() {
+        let (boxes, catalog, mut placement) = setup(20, 24, 20, 4, 3);
+        let storage: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut planner = RepairPlanner::new(storage, 3, 4);
+        let mut alive = vec![true; 20];
+        let caps = vec![6u32; 20];
+        for b in [2, 7, 11, 16] {
+            depart(&mut planner, &mut placement, &mut alive, b);
+        }
+        assert!(!planner.pending().is_empty());
+        let rounds = drain(&mut planner, &mut placement, &alive, &caps);
+        assert!(rounds > 1, "budget 4 must need several rounds");
+        for s in catalog.stripes() {
+            assert!(placement.replica_count(s) >= 3, "stripe {s}");
+        }
+        assert!(
+            planner.pending().is_empty() || {
+                // Stripes left pending can only lack storage or sources.
+                false
+            }
+        );
+        // Departed boxes received nothing.
+        for b in [2u32, 7, 11, 16] {
+            assert_eq!(placement.box_load(BoxId(b)), 0);
+        }
+    }
+
+    #[test]
+    fn round_budget_caps_transfers_and_egress_respects_capacities() {
+        let (boxes, _catalog, mut placement) = setup(12, 24, 12, 4, 3);
+        let storage: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut planner = RepairPlanner::new(storage, 3, 3).with_per_box_egress(1);
+        let mut alive = vec![true; 12];
+        let caps = vec![2u32; 12];
+        depart(&mut planner, &mut placement, &mut alive, 0);
+        depart(&mut planner, &mut placement, &mut alive, 1);
+        let stats = planner.plan_round(&placement, &alive, &caps);
+        assert!(stats.repaired <= 3, "round budget");
+        assert_eq!(stats.budget_slots as usize, stats.repaired);
+        for (b, &e) in planner.egress().iter().enumerate() {
+            assert!(e <= 1, "per-box egress cap violated on {b}");
+            assert!(e <= caps[b], "egress exceeds open capacity on {b}");
+        }
+        // Transfers only name alive sources that hold the stripe and alive
+        // destinations that do not.
+        for t in planner.transfers() {
+            assert!(alive[t.source.index()] && alive[t.dest.index()]);
+            assert!(placement.stores(t.source, t.stripe));
+            assert!(!placement.stores(t.dest, t.stripe));
+        }
+    }
+
+    #[test]
+    fn stripes_with_no_surviving_replica_are_lost() {
+        let boxes = BoxSet::homogeneous(
+            4,
+            Bandwidth::from_streams(1.5),
+            StorageSlots::from_slots(24),
+        );
+        let catalog = Catalog::uniform(6, 60, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut placement = RandomPermutationAllocator::new(1)
+            .allocate(&boxes, &catalog, &mut rng)
+            .unwrap();
+        let storage: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut planner = RepairPlanner::new(storage, 1, 8);
+        let mut alive = vec![true; 4];
+        for b in [0, 1, 2] {
+            depart(&mut planner, &mut placement, &mut alive, b);
+        }
+        let caps = vec![6u32; 4];
+        let stats = planner.plan_round(&placement, &alive, &caps);
+        assert!(stats.lost > 0, "k = 1 and 3 of 4 boxes gone loses data");
+        for &s in planner.lost() {
+            assert_eq!(placement.replica_count(s), 0);
+        }
+        drain(&mut planner, &mut placement, &alive, &caps);
+        // Lost stripes stay lost; everything else is back at target.
+        for s in catalog.stripes() {
+            if planner.lost().contains(&s) {
+                assert_eq!(placement.replica_count(s), 0);
+            } else {
+                assert!(placement.replica_count(s) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let (boxes, _catalog, mut placement) = setup(16, 24, 16, 4, 3);
+        let storage: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut alive = vec![true; 16];
+        let caps = vec![4u32; 16];
+        let mut a = RepairPlanner::new(storage.clone(), 3, 5);
+        depart(&mut a, &mut placement, &mut alive, 3);
+        depart(&mut a, &mut placement, &mut alive, 9);
+        let mut b = a.clone();
+        let sa = a.plan_round(&placement, &alive, &caps);
+        let sb = b.plan_round(&placement, &alive, &caps);
+        assert_eq!(sa, sb);
+        assert_eq!(a.transfers(), b.transfers());
+    }
+
+    #[test]
+    fn healthy_allocation_plans_nothing() {
+        let (boxes, catalog, mut placement) = setup(10, 16, 10, 4, 2);
+        let storage: Vec<u32> = boxes.iter().map(|b| b.storage.slots()).collect();
+        let mut planner = RepairPlanner::new(storage, 2, 8);
+        planner.prime(&placement, &catalog);
+        let alive = vec![true; 10];
+        let stats = planner.plan_round(&placement, &alive, &[6u32; 10]);
+        assert_eq!(stats.repaired, 0);
+        assert_eq!(stats.pending, 0);
+        planner.commit(&mut placement);
+        assert_eq!(planner.repaired_total(), 0);
+    }
+
+    #[test]
+    fn stats_roundtrip_json() {
+        let stats = RepairRoundStats {
+            pending: 5,
+            repaired: 3,
+            deferred: 2,
+            lost: 1,
+            budget_slots: 3,
+        };
+        assert_eq!(
+            RepairRoundStats::from_json(&stats.to_json()).unwrap(),
+            stats
+        );
+    }
+}

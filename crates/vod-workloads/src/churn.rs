@@ -1,0 +1,500 @@
+//! Seeded box-churn processes: joins, leaves, crashes, and upload changes.
+//!
+//! The paper's Theorem 1 is proved against a *fixed* population; production
+//! systems are not. This module models a live population over a fixed
+//! universe of `n` box identities: every box starts up, sessions end
+//! (graceful [`ChurnEvent::Left`]) according to a configurable
+//! [`SessionLength`] distribution, boxes crash ([`ChurnEvent::Crashed`])
+//! with a per-box per-round hazard, departed boxes come back
+//! ([`ChurnEvent::Joined`]) after a uniform down-time, and up boxes rescale
+//! their upload ([`ChurnEvent::UploadChanged`]) with a per-round hazard.
+//!
+//! The model is a pure function of `(config, seed)`: it tracks its own
+//! up/down state, consumes randomness in ascending box-id order each round,
+//! and therefore emits the exact same event sequence for the same seed —
+//! the property the engine's bit-equality gates (and
+//! `workload_determinism.rs`) rely on. The simulator applies the events
+//! through its relay-event path so membership changes interleave with
+//! admissions inside the round loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vod_core::{Bandwidth, BoxId, BoxSet, NodeBox};
+
+/// Distribution of a box's session length (rounds from join to graceful
+/// leave).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionLength {
+    /// Sessions never end on their own (only crashes remove boxes).
+    Unbounded,
+    /// Memoryless sessions: each round an up box leaves with probability
+    /// `leave_rate` (geometric session length with mean `1/leave_rate`).
+    Geometric {
+        /// Per-box per-round leave hazard in `[0, 1]`.
+        leave_rate: f64,
+    },
+    /// Session length drawn uniformly from `[min, max]` rounds at join.
+    Uniform {
+        /// Shortest session, in rounds (clamped to ≥ 1).
+        min: u64,
+        /// Longest session, in rounds.
+        max: u64,
+    },
+}
+
+/// One membership or capacity event emitted by the [`ChurnModel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A departed box came back online with the given description (its
+    /// storage is intact in hardware but its catalog replicas are stale —
+    /// the engine decides what survives).
+    Joined(NodeBox),
+    /// A box left gracefully at the end of its session.
+    Left(BoxId),
+    /// A box failed abruptly mid-session. The engine treats crashes like
+    /// leaves (the round granularity hides the difference); the distinction
+    /// is kept for rate accounting and reports.
+    Crashed(BoxId),
+    /// An up box's upload capacity changed to the given value.
+    UploadChanged(BoxId, Bandwidth),
+}
+
+impl ChurnEvent {
+    /// The box the event concerns.
+    pub fn box_id(&self) -> BoxId {
+        match *self {
+            ChurnEvent::Joined(node) => node.id,
+            ChurnEvent::Left(b) | ChurnEvent::Crashed(b) => b,
+            ChurnEvent::UploadChanged(b, _) => b,
+        }
+    }
+
+    /// True for [`ChurnEvent::Left`] and [`ChurnEvent::Crashed`].
+    pub fn is_departure(&self) -> bool {
+        matches!(self, ChurnEvent::Left(_) | ChurnEvent::Crashed(_))
+    }
+}
+
+/// Cumulative event counts and exposure, for observed-rate checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnCounts {
+    /// Rejoins emitted.
+    pub joins: u64,
+    /// Graceful leaves emitted.
+    pub leaves: u64,
+    /// Crashes emitted.
+    pub crashes: u64,
+    /// Upload changes emitted.
+    pub upload_changes: u64,
+    /// Sum over rounds of boxes that were up at the start of the round
+    /// (the exposure denominator for per-box per-round rates).
+    pub up_box_rounds: u64,
+}
+
+impl ChurnCounts {
+    /// Observed per-box per-round crash rate.
+    pub fn crash_rate(&self) -> f64 {
+        self.crashes as f64 / (self.up_box_rounds.max(1)) as f64
+    }
+
+    /// Observed per-box per-round graceful-leave rate.
+    pub fn leave_rate(&self) -> f64 {
+        self.leaves as f64 / (self.up_box_rounds.max(1)) as f64
+    }
+
+    /// Observed per-box per-round upload-change rate.
+    pub fn upload_change_rate(&self) -> f64 {
+        self.upload_changes as f64 / (self.up_box_rounds.max(1)) as f64
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BoxState {
+    /// Up since `joined_at`; `leave_at` is the scheduled graceful-leave
+    /// round for draw-at-join session distributions (`None` = hazard-based
+    /// or unbounded).
+    Up { leave_at: Option<u64> },
+    /// Down until `rejoin_at`.
+    Down { rejoin_at: u64 },
+}
+
+/// Seeded churn process over a fixed universe of box identities.
+///
+/// ```
+/// use vod_core::{Bandwidth, BoxSet, StorageSlots};
+/// use vod_workloads::{ChurnModel, SessionLength};
+///
+/// let boxes = BoxSet::homogeneous(8, Bandwidth::from_streams(1.5), StorageSlots::from_slots(16));
+/// let mut churn = ChurnModel::new(&boxes, 42)
+///     .with_session(SessionLength::Geometric { leave_rate: 0.1 })
+///     .with_crash_rate(0.02)
+///     .with_rejoin_delay(2, 5);
+/// let mut events = Vec::new();
+/// for round in 0..20 {
+///     churn.events_into(round, &mut events);
+///     // feed `events` to the simulator …
+/// }
+/// assert!(churn.counts().leaves + churn.counts().crashes > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChurnModel {
+    session: SessionLength,
+    crash_rate: f64,
+    rejoin_min: u64,
+    rejoin_max: u64,
+    upload_change_rate: f64,
+    /// Multipliers applied to a box's *base* upload when its capacity
+    /// changes (so a heterogeneous fleet keeps its shape).
+    upload_scales: Vec<f64>,
+    /// Departures are suppressed while the up population is at this floor.
+    min_up: usize,
+    rng: StdRng,
+    /// Base (construction-time) description per box; upload changes rescale
+    /// from these, never compound.
+    base: Vec<NodeBox>,
+    /// Current description per box (tracks upload changes across rejoins).
+    current: Vec<NodeBox>,
+    state: Vec<BoxState>,
+    up: usize,
+    next_round: u64,
+    counts: ChurnCounts,
+}
+
+impl ChurnModel {
+    /// Creates a quiescent model (no churn until rates are configured) over
+    /// the given population, all boxes up.
+    pub fn new(boxes: &BoxSet, seed: u64) -> Self {
+        let base: Vec<NodeBox> = boxes.iter().copied().collect();
+        ChurnModel {
+            session: SessionLength::Unbounded,
+            crash_rate: 0.0,
+            rejoin_min: 1,
+            rejoin_max: 1,
+            upload_change_rate: 0.0,
+            upload_scales: vec![1.0],
+            min_up: 1,
+            rng: StdRng::seed_from_u64(seed),
+            current: base.clone(),
+            state: vec![BoxState::Up { leave_at: None }; base.len()],
+            up: base.len(),
+            base,
+            next_round: 0,
+            counts: ChurnCounts::default(),
+        }
+    }
+
+    /// Sets the session-length distribution governing graceful leaves.
+    pub fn with_session(mut self, session: SessionLength) -> Self {
+        if let SessionLength::Geometric { leave_rate } = session {
+            assert!((0.0..=1.0).contains(&leave_rate), "leave rate in [0,1]");
+        }
+        if let SessionLength::Uniform { min, max } = session {
+            assert!(min <= max, "session range must be non-empty");
+        }
+        self.session = session;
+        self
+    }
+
+    /// Sets the per-box per-round crash hazard.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "crash rate in [0,1]");
+        self.crash_rate = rate;
+        self
+    }
+
+    /// Down boxes rejoin after a uniform `[min, max]` rounds (min ≥ 1).
+    pub fn with_rejoin_delay(mut self, min: u64, max: u64) -> Self {
+        assert!(min <= max, "rejoin range must be non-empty");
+        self.rejoin_min = min.max(1);
+        self.rejoin_max = max.max(1);
+        self
+    }
+
+    /// Up boxes rescale their upload with the given per-round hazard; the
+    /// new upload is `base · scale` for a uniformly drawn scale.
+    pub fn with_upload_churn(mut self, rate: f64, scales: Vec<f64>) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "upload-change rate in [0,1]");
+        assert!(!scales.is_empty(), "at least one upload scale");
+        self.upload_change_rate = rate;
+        self.upload_scales = scales;
+        self
+    }
+
+    /// Departures (leaves and crashes) are suppressed while at most `min`
+    /// boxes are up, so the system never empties. Defaults to 1.
+    pub fn with_min_up(mut self, min: usize) -> Self {
+        self.min_up = min;
+        self
+    }
+
+    /// Number of box identities in the universe.
+    pub fn box_count(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when `box_id` is currently up.
+    pub fn is_up(&self, box_id: BoxId) -> bool {
+        matches!(self.state[box_id.index()], BoxState::Up { .. })
+    }
+
+    /// Number of boxes currently up.
+    pub fn up_count(&self) -> usize {
+        self.up
+    }
+
+    /// The current description of a box (upload changes included).
+    pub fn node(&self, box_id: BoxId) -> NodeBox {
+        self.current[box_id.index()]
+    }
+
+    /// Cumulative event counts and exposure.
+    pub fn counts(&self) -> &ChurnCounts {
+        &self.counts
+    }
+
+    fn draw_session_end(&mut self, round: u64) -> Option<u64> {
+        match self.session {
+            SessionLength::Unbounded | SessionLength::Geometric { .. } => None,
+            SessionLength::Uniform { min, max } => {
+                Some(round + self.rng.gen_range(min.max(1)..=max.max(1)))
+            }
+        }
+    }
+
+    /// The events of round `round`, in ascending box-id order (one pass:
+    /// rejoins first per box, then crash, then leave, then upload change).
+    /// Rounds must be visited in strictly increasing order.
+    pub fn events_at(&mut self, round: u64) -> Vec<ChurnEvent> {
+        let mut out = Vec::new();
+        self.events_into(round, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`ChurnModel::events_at`] (`out` is
+    /// cleared first).
+    pub fn events_into(&mut self, round: u64, out: &mut Vec<ChurnEvent>) {
+        out.clear();
+        assert!(
+            round >= self.next_round,
+            "churn rounds must be non-decreasing"
+        );
+        // Skipped rounds still elapse for scheduled rejoins/leaves but draw
+        // no hazards (the engine drives every round, so this only matters
+        // for tests that sample sparsely).
+        self.next_round = round + 1;
+        // Draw-at-join session ends for the initial population are drawn on
+        // the first round the model runs, in id order.
+        if round == 0 {
+            if let SessionLength::Uniform { .. } = self.session {
+                for i in 0..self.state.len() {
+                    if let BoxState::Up { leave_at: None } = self.state[i] {
+                        let end = self.draw_session_end(0);
+                        self.state[i] = BoxState::Up { leave_at: end };
+                    }
+                }
+            }
+        }
+        self.counts.up_box_rounds += self.up as u64;
+        for i in 0..self.state.len() {
+            let id = BoxId(i as u32);
+            match self.state[i] {
+                BoxState::Down { rejoin_at } => {
+                    if rejoin_at <= round {
+                        let end = self.draw_session_end(round);
+                        self.state[i] = BoxState::Up { leave_at: end };
+                        self.up += 1;
+                        self.counts.joins += 1;
+                        out.push(ChurnEvent::Joined(self.current[i]));
+                    }
+                }
+                BoxState::Up { leave_at } => {
+                    let may_depart = self.up > self.min_up;
+                    if may_depart && self.crash_rate > 0.0 && self.rng.gen_bool(self.crash_rate) {
+                        self.depart(i, round);
+                        self.counts.crashes += 1;
+                        out.push(ChurnEvent::Crashed(id));
+                        continue;
+                    }
+                    let leaves = match self.session {
+                        SessionLength::Unbounded => false,
+                        SessionLength::Geometric { leave_rate } => {
+                            may_depart && leave_rate > 0.0 && self.rng.gen_bool(leave_rate)
+                        }
+                        SessionLength::Uniform { .. } => {
+                            may_depart && leave_at.is_some_and(|end| end <= round)
+                        }
+                    };
+                    if leaves {
+                        self.depart(i, round);
+                        self.counts.leaves += 1;
+                        out.push(ChurnEvent::Left(id));
+                        continue;
+                    }
+                    if self.upload_change_rate > 0.0 && self.rng.gen_bool(self.upload_change_rate) {
+                        let scale =
+                            self.upload_scales[self.rng.gen_range(0..self.upload_scales.len())];
+                        let upload =
+                            Bandwidth::from_streams(self.base[i].upload.as_streams() * scale);
+                        if upload != self.current[i].upload {
+                            self.current[i].upload = upload;
+                            self.counts.upload_changes += 1;
+                            out.push(ChurnEvent::UploadChanged(id, upload));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn depart(&mut self, i: usize, round: u64) {
+        let delay = self.rng.gen_range(self.rejoin_min..=self.rejoin_max);
+        self.state[i] = BoxState::Down {
+            rejoin_at: round + delay,
+        };
+        self.up -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_core::StorageSlots;
+
+    fn fleet(n: usize) -> BoxSet {
+        BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8))
+    }
+
+    fn run(model: &mut ChurnModel, rounds: u64) -> Vec<(u64, Vec<ChurnEvent>)> {
+        (0..rounds).map(|r| (r, model.events_at(r))).collect()
+    }
+
+    #[test]
+    fn quiescent_model_emits_nothing() {
+        let mut model = ChurnModel::new(&fleet(6), 1);
+        for (_, events) in run(&mut model, 30) {
+            assert!(events.is_empty());
+        }
+        assert_eq!(model.up_count(), 6);
+        assert_eq!(model.counts().up_box_rounds, 180);
+    }
+
+    #[test]
+    fn same_seed_same_event_sequence() {
+        let make = |seed| {
+            let mut m = ChurnModel::new(&fleet(12), seed)
+                .with_session(SessionLength::Geometric { leave_rate: 0.15 })
+                .with_crash_rate(0.05)
+                .with_rejoin_delay(1, 4)
+                .with_upload_churn(0.1, vec![0.5, 1.0, 2.0]);
+            run(&mut m, 60)
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+    }
+
+    #[test]
+    fn departed_boxes_rejoin_within_the_configured_delay() {
+        let mut model = ChurnModel::new(&fleet(4), 3)
+            .with_session(SessionLength::Uniform { min: 2, max: 3 })
+            .with_rejoin_delay(2, 2);
+        let mut down_since: Vec<Option<u64>> = vec![None; 4];
+        for round in 0..40 {
+            for event in model.events_at(round) {
+                match event {
+                    ChurnEvent::Left(b) | ChurnEvent::Crashed(b) => {
+                        down_since[b.index()] = Some(round);
+                    }
+                    ChurnEvent::Joined(node) => {
+                        let since = down_since[node.id.index()].expect("was down");
+                        assert_eq!(round - since, 2, "rejoin after exactly 2 rounds");
+                        down_since[node.id.index()] = None;
+                    }
+                    ChurnEvent::UploadChanged(..) => {}
+                }
+            }
+        }
+        assert!(model.counts().leaves > 0);
+        assert!(model.counts().joins > 0);
+    }
+
+    #[test]
+    fn min_up_floor_suppresses_departures() {
+        let mut model = ChurnModel::new(&fleet(5), 9)
+            .with_session(SessionLength::Geometric { leave_rate: 0.9 })
+            .with_rejoin_delay(10, 10)
+            .with_min_up(3);
+        for round in 0..50 {
+            model.events_at(round);
+            assert!(model.up_count() >= 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn upload_changes_rescale_from_base_and_report_current_node() {
+        let mut model = ChurnModel::new(&fleet(3), 5).with_upload_churn(1.0, vec![2.0]);
+        let events = model.events_at(0);
+        // Every box doubles exactly once; the second round changes nothing
+        // (2.0 × base is already current).
+        assert_eq!(events.len(), 3);
+        for event in &events {
+            match *event {
+                ChurnEvent::UploadChanged(b, upload) => {
+                    assert_eq!(upload, Bandwidth::from_streams(3.0));
+                    assert_eq!(model.node(b).upload, upload);
+                }
+                _ => panic!("unexpected event {event:?}"),
+            }
+        }
+        assert!(model.events_at(1).is_empty());
+        assert_eq!(model.counts().upload_changes, 3);
+    }
+
+    #[test]
+    fn observed_rates_track_configured_hazards() {
+        let mut model = ChurnModel::new(&fleet(200), 17)
+            .with_session(SessionLength::Geometric { leave_rate: 0.05 })
+            .with_crash_rate(0.02)
+            .with_rejoin_delay(1, 2)
+            .with_upload_churn(0.04, vec![0.5, 1.0, 1.5]);
+        for round in 0..400 {
+            model.events_at(round);
+        }
+        let counts = model.counts();
+        assert!(
+            (counts.crash_rate() - 0.02).abs() < 0.005,
+            "crash rate {}",
+            counts.crash_rate()
+        );
+        assert!(
+            (counts.leave_rate() - 0.05).abs() < 0.01,
+            "leave rate {}",
+            counts.leave_rate()
+        );
+        // An upload-change draw that lands on the current scale emits no
+        // event, so the observed rate is below the hazard but not by much
+        // with three distinct scales.
+        assert!(
+            counts.upload_change_rate() > 0.02 && counts.upload_change_rate() <= 0.04,
+            "upload-change rate {}",
+            counts.upload_change_rate()
+        );
+    }
+
+    #[test]
+    fn joined_event_carries_intact_storage() {
+        let mut model = ChurnModel::new(&fleet(3), 21)
+            .with_session(SessionLength::Uniform { min: 1, max: 1 })
+            .with_rejoin_delay(1, 1)
+            .with_min_up(0);
+        let mut saw_join = false;
+        for round in 0..10 {
+            for event in model.events_at(round) {
+                if let ChurnEvent::Joined(node) = event {
+                    assert_eq!(node.storage, StorageSlots::from_slots(8));
+                    saw_join = true;
+                }
+            }
+        }
+        assert!(saw_join);
+    }
+}

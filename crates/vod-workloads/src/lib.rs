@@ -9,6 +9,8 @@
 //!   enforcing `f(t+1) ≤ ⌈max{f(t),1}·µ⌉`;
 //! * [`adversarial`] — the never-owned-video attack (Section 1.3 lower bound)
 //!   and the poor-boxes-pile-on attack (Section 4 necessary condition);
+//! * [`churn`] — seeded box-churn processes (joins, leaves, crashes, upload
+//!   changes) the engine drives through its relay-event path;
 //! * [`flashcrowd`] — maximal-growth flash crowds (Theorem 1's stress case);
 //! * [`multiswarm`] — many concurrently hot swarms with a sliding window
 //!   (the sharded scheduler's stress shape);
@@ -20,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversarial;
+pub mod churn;
 pub mod demand;
 pub mod flashcrowd;
 pub mod multiswarm;
@@ -29,6 +32,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use adversarial::{NeverOwnedAttack, PoorBoxesSameVideo};
+pub use churn::{ChurnCounts, ChurnEvent, ChurnModel, SessionLength};
 pub use demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
 pub use flashcrowd::{CrowdSpec, FlashCrowd};
 pub use multiswarm::MultiSwarmChurn;

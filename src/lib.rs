@@ -71,12 +71,14 @@ pub mod prelude {
     pub use vod_sim::{
         CandidateIndex, CandidateMode, CandidateStats, FailurePolicy, GreedyScheduler,
         IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy, RelayBroker,
-        RelayEvent, RelayRoundStats, RelayUtilization, RequestKey, Scheduler, ShardRoundStats,
-        ShardedMatcher, SimConfig, SimulationReport, Simulator, SplitPolicy,
+        RelayEvent, RelayRoundStats, RelayUtilization, RepairPlanner, RepairRoundStats,
+        RepairTransfer, RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig,
+        SimulationReport, Simulator, SplitPolicy,
     };
     pub use vod_workloads::{
-        DemandGenerator, DemandTrace, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack,
-        NextVideoPolicy, PoissonDemand, PoorBoxesSameVideo, Popularity, SequentialViewing,
-        SwarmGrowthLimiter, VideoDemand, ZipfDemand, ZipfSampler,
+        ChurnCounts, ChurnEvent, ChurnModel, DemandGenerator, DemandTrace, FlashCrowd,
+        MultiSwarmChurn, NeverOwnedAttack, NextVideoPolicy, PoissonDemand, PoorBoxesSameVideo,
+        Popularity, SequentialViewing, SessionLength, SwarmGrowthLimiter, VideoDemand, ZipfDemand,
+        ZipfSampler,
     };
 }

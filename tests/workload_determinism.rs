@@ -163,6 +163,117 @@ fn adversarial_generators_are_deterministic_and_admissible() {
     });
 }
 
+fn churn_universe() -> BoxSet {
+    BoxSet::homogeneous(
+        BOXES,
+        Bandwidth::from_streams(1.5),
+        StorageSlots::from_slots(16),
+    )
+}
+
+/// The churn model is a pure function of (universe, seed, config): two
+/// models built alike emit identical event sequences, and a different seed
+/// changes the sequence.
+#[test]
+fn churn_model_is_seed_deterministic() {
+    let boxes = churn_universe();
+    let make = |seed: u64| {
+        ChurnModel::new(&boxes, seed)
+            .with_session(SessionLength::Geometric { leave_rate: 0.06 })
+            .with_crash_rate(0.02)
+            .with_rejoin_delay(2, 5)
+            .with_upload_churn(0.03, vec![0.5, 1.0, 2.0])
+            .with_min_up(8)
+    };
+    let replay = |mut model: ChurnModel| -> Vec<Vec<ChurnEvent>> {
+        (0..60).map(|r| model.events_at(r)).collect()
+    };
+    let first = replay(make(42));
+    let second = replay(make(42));
+    assert_eq!(first, second, "same seed, different churn sequence");
+    assert!(
+        first.iter().any(|batch| !batch.is_empty()),
+        "churn model emitted nothing"
+    );
+    let other = replay(make(43));
+    assert_ne!(first, other, "churn model ignores its seed");
+}
+
+/// Observed per-box per-round event rates converge on the configured
+/// hazards over a long exposure (within a generous stochastic tolerance).
+#[test]
+fn churn_model_rates_match_configuration() {
+    let boxes = churn_universe();
+    let leave_rate = 0.05;
+    let crash_rate = 0.02;
+    let upload_rate = 0.04;
+    let mut model = ChurnModel::new(&boxes, 7)
+        .with_session(SessionLength::Geometric { leave_rate })
+        .with_crash_rate(crash_rate)
+        .with_rejoin_delay(1, 3)
+        .with_upload_churn(upload_rate, vec![0.5, 2.0]);
+    let mut events = Vec::new();
+    for round in 0..4000 {
+        model.events_into(round, &mut events);
+        events.clear();
+    }
+    let counts = model.counts();
+    assert!(counts.up_box_rounds > 10_000, "exposure too small to judge");
+    let within = |observed: f64, target: f64| (observed - target).abs() <= target * 0.25;
+    assert!(
+        within(counts.leave_rate(), leave_rate),
+        "leave rate {} vs configured {leave_rate}",
+        counts.leave_rate()
+    );
+    assert!(
+        within(counts.crash_rate(), crash_rate),
+        "crash rate {} vs configured {crash_rate}",
+        counts.crash_rate()
+    );
+    // A draw landing on the box's current scale emits nothing, so with two
+    // scales the steady-state emission rate is half the configured hazard.
+    let effective_upload = upload_rate * 0.5;
+    assert!(
+        within(counts.upload_change_rate(), effective_upload),
+        "upload-change rate {} vs effective {effective_upload}",
+        counts.upload_change_rate()
+    );
+    // Every departure eventually rejoins within the configured delay, so
+    // joins track departures up to the boxes still down at the horizon.
+    let departures = counts.leaves + counts.crashes;
+    assert!(departures > 0 && counts.joins > 0);
+    assert!(departures - counts.joins <= BOXES as u64);
+}
+
+/// Uniform draw-at-join sessions end within their bounds: a box that
+/// joined at round `j` leaves gracefully no earlier than `j + min` and no
+/// later than `j + max` (unless a crash pre-empts the schedule).
+#[test]
+fn churn_session_bounds_are_respected() {
+    let boxes = churn_universe();
+    let mut model = ChurnModel::new(&boxes, 11)
+        .with_session(SessionLength::Uniform { min: 4, max: 9 })
+        .with_rejoin_delay(1, 2);
+    let mut joined_at = [0u64; BOXES];
+    for round in 0..200 {
+        for event in model.events_at(round) {
+            let b = event.box_id().index();
+            match event {
+                ChurnEvent::Joined(_) => joined_at[b] = round,
+                ChurnEvent::Left(_) => {
+                    let session = round - joined_at[b];
+                    assert!(
+                        (4..=9).contains(&session),
+                        "box {b} session {session} outside [4, 9]"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(model.counts().leaves > 0, "uniform sessions must end");
+}
+
 /// Occupancy is honoured: a generator never demands on a busy box, even
 /// when the free set changes between rounds.
 #[test]
