@@ -647,8 +647,11 @@ fn admissible_batches(reference: &Simulator, system: &VideoSystem, mu: f64) -> V
 /// global and sharded max-flows may pick different suppliers for the same
 /// served set, so only the sum — `served`, which stays compared — is
 /// schedule-invariant; the sharded-vs-sharded gates still pin the split
-/// across thread counts). [`vod_sim::CandidateStats`] equality already
-/// ignores build time. Everything else must match bit for bit.
+/// across thread counts). Wall-clock timing is scrubbed through the
+/// [`vod_sim::TimingNeutral`] rule ([`vod_sim::CandidateStats`] equality
+/// already ignores build time, and [`RoundMetrics`] equality ignores
+/// `timing` — scrubbing here keeps normalized records canonical for
+/// hashing and serialization too). Everything else must match bit for bit.
 pub fn normalize_round(metrics: &RoundMetrics) -> RoundMetrics {
     let mut m = metrics.clone();
     m.shard = None;
@@ -658,6 +661,10 @@ pub fn normalize_round(metrics: &RoundMetrics) -> RoundMetrics {
         relay.contested_relays = 0;
         relay.lent = 0;
     }
+    if let Some(cand) = &mut m.candidates {
+        vod_sim::TimingNeutral::scrub(cand);
+    }
+    m.timing = None;
     m
 }
 

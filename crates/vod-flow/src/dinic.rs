@@ -26,6 +26,7 @@ use crate::bitset::{BipartiteShape, BitSet, NONE};
 use crate::graph::{FlowNetwork, NodeId};
 use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
+use vod_obs::{Stage, TraceHandle};
 
 /// Maximum-flow solver state (level graph + adjacency cursors), reusable
 /// across solves.
@@ -51,6 +52,8 @@ pub struct Dinic {
     frontier_mask: BitSet,
     /// Box columns labelled this phase.
     visited_boxes: BitSet,
+    /// Span sink for shape analyses (off by default).
+    tracer: TraceHandle,
 }
 
 impl Dinic {
@@ -228,7 +231,13 @@ impl MaxFlowSolve for Dinic {
                 || self.shape.source != source
                 || self.shape.sink != sink
             {
+                let clock = self.tracer.begin();
                 self.shape.analyze(arena, source, sink);
+                self.tracer.end(
+                    clock,
+                    Stage::SolverAnalyze,
+                    self.shape.requests.len() as u64,
+                );
             }
             self.shape.valid
         };
@@ -259,6 +268,10 @@ impl MaxFlowSolve for Dinic {
 
     fn name(&self) -> &'static str {
         "dinic"
+    }
+
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        self.tracer = tracer.clone();
     }
 }
 

@@ -22,6 +22,7 @@ use crate::bitset::{BipartiteShape, BitAdjacency, BitSet, NONE};
 use crate::graph::NodeId;
 use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
+use vod_obs::{Stage, TraceHandle};
 
 const NIL: usize = usize::MAX;
 const INF: u32 = u32::MAX;
@@ -193,6 +194,20 @@ impl BitHopcroftKarp {
     /// return the slice holds the maximum matching. Returns the matching
     /// size.
     pub fn solve(&mut self, adj: &BitAdjacency, caps: &[u32], match_of: &mut [u32]) -> usize {
+        self.solve_traced(adj, caps, match_of, &TraceHandle::off())
+    }
+
+    /// [`BitHopcroftKarp::solve`] with per-phase tracing: each BFS+DFS
+    /// phase emits one [`Stage::HkPhase`] span whose payload is the number
+    /// of augmenting paths the phase harvested (0 for the final BFS that
+    /// proves maximality). An off handle makes this identical to `solve`.
+    pub fn solve_traced(
+        &mut self,
+        adj: &BitAdjacency,
+        caps: &[u32],
+        match_of: &mut [u32],
+        tracer: &TraceHandle,
+    ) -> usize {
         let rows = adj.rows();
         let cols = adj.cols();
         assert_eq!(caps.len(), cols, "one budget per box");
@@ -231,16 +246,22 @@ impl BitHopcroftKarp {
             }
         }
 
-        while self.bfs(adj, caps, match_of) {
-            let mut progressed = false;
+        loop {
+            let clock = tracer.begin();
+            if !self.bfs(adj, caps, match_of) {
+                tracer.end(clock, Stage::HkPhase, 0);
+                break;
+            }
+            let mut augmented = 0u64;
             for x in 0..rows {
                 if match_of[x] == NONE && self.try_augment(adj, caps, match_of, x) {
                     size += 1;
-                    progressed = true;
+                    augmented += 1;
                 }
             }
-            debug_assert!(progressed, "BFS found a layer but DFS augmented nothing");
-            if !progressed {
+            tracer.end(clock, Stage::HkPhase, augmented);
+            debug_assert!(augmented > 0, "BFS found a layer but DFS augmented nothing");
+            if augmented == 0 {
                 break;
             }
         }
@@ -434,6 +455,8 @@ pub struct HopcroftKarpSolve {
     /// Matching seeded from the arena's flow, kept to write back only the
     /// per-row deltas the solve produced.
     seed: Vec<u32>,
+    /// Span sink for shape analyses and matching phases (off by default).
+    tracer: TraceHandle,
 }
 
 impl HopcroftKarpSolve {
@@ -460,6 +483,7 @@ impl HopcroftKarpSolve {
             || self.shape.source != source
             || self.shape.sink != sink
         {
+            let clock = self.tracer.begin();
             let ok = self.shape.analyze(arena, source, sink);
             assert!(ok, "arena is not Lemma-1 shaped");
             // A request whose sink edge is de-capacitated (logically removed)
@@ -472,6 +496,11 @@ impl HopcroftKarpSolve {
                     self.shape.adj.clear_row(row);
                 }
             }
+            self.tracer.end(
+                clock,
+                Stage::SolverAnalyze,
+                self.shape.requests.len() as u64,
+            );
         }
         assert!(self.shape.valid, "arena is not Lemma-1 shaped");
 
@@ -502,9 +531,12 @@ impl HopcroftKarpSolve {
         self.seed.clear();
         self.seed.extend_from_slice(&self.match_of);
 
-        let size = self
-            .core
-            .solve(&self.shape.adj, &self.caps, &mut self.match_of);
+        let size = self.core.solve_traced(
+            &self.shape.adj,
+            &self.caps,
+            &mut self.match_of,
+            &self.tracer,
+        );
 
         // Write back only the rows the solve changed. The arena's flow is a
         // conserved unit flow, so before the solve it encodes exactly the
@@ -676,6 +708,10 @@ impl MaxFlowSolve for HopcroftKarpSolve {
         } else {
             "hopcroft-karp"
         }
+    }
+
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        self.tracer = tracer.clone();
     }
 }
 

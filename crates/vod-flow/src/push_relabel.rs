@@ -22,6 +22,7 @@ use crate::bitset::BitSet;
 use crate::graph::{FlowNetwork, NodeId};
 use crate::solver::MaxFlowSolve;
 use std::collections::VecDeque;
+use vod_obs::{Stage, TraceHandle};
 
 /// Distance sentinel for the global-relabel BFS passes.
 const UNREACHED: u32 = u32::MAX;
@@ -49,6 +50,8 @@ pub struct PushRelabel {
     visited: BitSet,
     /// BFS queue scratch.
     bfs_queue: Vec<NodeId>,
+    /// Span sink for global-relabel passes (off by default).
+    tracer: TraceHandle,
 }
 
 impl Default for PushRelabel {
@@ -73,6 +76,7 @@ impl PushRelabel {
             dist_src: Vec::new(),
             visited: BitSet::new(),
             bfs_queue: Vec::new(),
+            tracer: TraceHandle::off(),
         }
     }
 
@@ -140,6 +144,7 @@ impl PushRelabel {
     /// height: labels are lower bounds on residual distances throughout the
     /// algorithm, so the label-validity invariant is preserved.
     fn do_global_relabel(&mut self, arena: &FlowArena, source: NodeId, sink: NodeId) {
+        let clock = self.tracer.begin();
         let n = arena.node_count();
         self.dist_sink.clear();
         self.dist_sink.resize(n, UNREACHED);
@@ -178,6 +183,8 @@ impl PushRelabel {
         }
         self.relabels_since = 0;
         self.global_relabels += 1;
+        self.tracer
+            .end(clock, Stage::GlobalRelabel, self.global_relabels);
     }
 }
 
@@ -305,6 +312,10 @@ impl MaxFlowSolve for PushRelabel {
         } else {
             "push-relabel-basic"
         }
+    }
+
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        self.tracer = tracer.clone();
     }
 }
 

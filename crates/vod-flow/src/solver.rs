@@ -17,6 +17,7 @@
 
 use crate::arena::FlowArena;
 use crate::graph::NodeId;
+use vod_obs::TraceHandle;
 
 /// A maximum-flow algorithm over a reusable [`FlowArena`].
 ///
@@ -47,6 +48,14 @@ pub trait MaxFlowSolve: Send {
 
     /// Short solver name for reports and benchmark labels.
     fn name(&self) -> &'static str;
+
+    /// Installs a trace handle for solver-phase spans (shape analysis,
+    /// matching phases, global relabels). The default keeps the solver
+    /// untraced — solvers without internal phases need not override this,
+    /// and an [`TraceHandle::off`] handle costs nothing on the hot path.
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        let _ = tracer;
+    }
 }
 
 impl MaxFlowSolve for Box<dyn MaxFlowSolve> {
@@ -56,5 +65,9 @@ impl MaxFlowSolve for Box<dyn MaxFlowSolve> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        (**self).attach_tracer(tracer);
     }
 }

@@ -1,0 +1,233 @@
+//! Fixed-size log2-bucketed latency histograms.
+
+use vod_core::json::{obj, Json, JsonCodec, JsonError};
+
+/// Number of buckets: one per power of two, covering the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// An HDR-style log2 histogram over nanosecond durations.
+///
+/// Bucket `0` holds the value `0`; bucket `b > 0` holds values in
+/// `[2^(b-1), 2^b)` (the last bucket absorbs everything above). Recording
+/// is a shift, an increment, and three adds — no allocation, ever — so the
+/// histogram is safe inside the zero-alloc steady-state envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`, clamped.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive, approximate for the last bucket) of a bucket —
+/// the value quantile readouts report.
+#[inline]
+fn bucket_ceiling(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        (1u64 << bucket).saturating_sub(1)
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one duration. Zero-alloc.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, reported as the ceiling of the bucket
+    /// the quantile falls in (0 when empty). The exact max is reported for
+    /// `q = 1` tails that land in the last occupied bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Don't report a ceiling above anything actually recorded.
+                return bucket_ceiling(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn occupied(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (b, n))
+    }
+}
+
+impl JsonCodec for LogHistogram {
+    fn to_json(&self) -> Json {
+        // Sparse encoding: only occupied buckets, as [index, count] pairs.
+        let buckets = self
+            .occupied()
+            .map(|(b, n)| Json::Arr(vec![Json::Num(b as f64), Json::Num(n as f64)]))
+            .collect();
+        obj(vec![
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("max", self.max.to_json()),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mut hist = LogHistogram::new();
+        hist.count = u64::from_json(json.field("count")?)?;
+        hist.sum = u64::from_json(json.field("sum")?)?;
+        hist.max = u64::from_json(json.field("max")?)?;
+        for pair in json.field("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::new("histogram bucket must be [index, count]"));
+            }
+            let b = pair[0].as_usize()?;
+            if b >= BUCKETS {
+                return Err(JsonError::new(format!("bucket index {b} out of range")));
+            }
+            hist.buckets[b] = u64::from_json(&pair[1])?;
+        }
+        Ok(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_ceilings() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, ceiling 127
+        }
+        h.record(10_000); // bucket 14, ceiling 16383
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 1010);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 5, 100, 100, 7777] {
+            h.record(v);
+        }
+        let back = LogHistogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+}

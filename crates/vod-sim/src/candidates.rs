@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, StripeId};
+use vod_obs::{eq_ignoring_timing, TimingNeutral};
 
 type EntryMap = HashMap<u128, u64, BuildHasherDefault<vod_core::FxHasher64>>;
 
@@ -74,11 +75,21 @@ pub struct CandidateStats {
     pub build_ns: u64,
 }
 
+impl TimingNeutral for CandidateStats {
+    type Structural = (usize, usize, usize);
+
+    fn structural(&self) -> Self::Structural {
+        (self.index_entries, self.expired, self.inserted)
+    }
+
+    fn scrub(&mut self) {
+        self.build_ns = 0;
+    }
+}
+
 impl PartialEq for CandidateStats {
     fn eq(&self, other: &Self) -> bool {
-        self.index_entries == other.index_entries
-            && self.expired == other.expired
-            && self.inserted == other.inserted
+        eq_ignoring_timing(self, other)
     }
 }
 

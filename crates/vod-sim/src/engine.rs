@@ -43,6 +43,7 @@ use vod_core::{BoxId, Placement, PlaybackCache, SortedSignature, StripeId, Video
 use vod_flow::{
     find_obstruction_in, CandidateBuf, ConnectionProblem, Dinic, FlowArena, RelayView, NO_STAMP,
 };
+use vod_obs::{Stage, TraceHandle};
 use vod_workloads::{ChurnEvent, ChurnModel, DemandGenerator, OccupancyView, VideoDemand};
 
 /// What to do when a round cannot serve every active request.
@@ -368,6 +369,10 @@ pub struct Simulator<'a> {
     /// Scratch for obstruction extraction on failing rounds.
     obstruction_arena: FlowArena,
     obstruction_solver: Dinic,
+    /// Round-pipeline span sink. Off by default: every span site goes
+    /// through a `TraceHandle` whose disabled path is a single `Option`
+    /// check (no clock read, no lock), so untraced runs pay nothing.
+    tracer: TraceHandle,
 }
 
 impl<'a> Simulator<'a> {
@@ -451,7 +456,22 @@ impl<'a> Simulator<'a> {
             dbg_loads: Vec::new(),
             obstruction_arena: FlowArena::new(),
             obstruction_solver: Dinic::new(),
+            tracer: TraceHandle::off(),
         }
+    }
+
+    /// Attaches a recording trace handle: from the next [`Simulator::step`]
+    /// on, every pipeline stage (and the scheduler's internal stages —
+    /// shard partition/solve/reconcile, solver phases) emits timing spans
+    /// into it. Per-round aggregates land in
+    /// [`RoundMetrics::timing`](crate::metrics::RoundMetrics::timing) and
+    /// the whole-run profile in
+    /// [`SimulationReport::profile`](crate::metrics::SimulationReport::profile);
+    /// neither participates in report equality, so traced and untraced runs
+    /// of the same workload compare equal.
+    pub fn attach_tracer(&mut self, tracer: TraceHandle) {
+        self.scheduler.attach_tracer(&tracer);
+        self.tracer = tracer;
     }
 
     /// Creates a simulator scheduling each round with the per-swarm
@@ -716,7 +736,13 @@ impl<'a> Simulator<'a> {
             RelayEvent::UploadChanged(..) => {}
         }
         let broker = self.relay_broker.as_mut().expect("checked above");
+        let clock = self.tracer.begin();
         let result = broker.apply(event);
+        self.tracer.end(
+            clock,
+            Stage::RelayReplan,
+            result.as_ref().map_or(0, |deltas| deltas.len() as u64),
+        );
         for (idx, cap) in self.capacities.iter_mut().enumerate() {
             *cap = broker.open_upload_slots(BoxId(idx as u32));
         }
@@ -820,6 +846,7 @@ impl<'a> Simulator<'a> {
     /// Finalizes the report: flushes in-flight playbacks and the relay
     /// utilization profile.
     fn finish(mut self) -> SimulationReport {
+        self.report.profile = self.tracer.run_profile();
         if let Some(broker) = &self.relay_broker {
             self.report.relays = broker.utilization();
         }
@@ -842,35 +869,56 @@ impl<'a> Simulator<'a> {
     pub fn step(&mut self, generator: &mut dyn DemandGenerator) -> bool {
         let now = self.round;
         let window = self.system.duration() as u64;
+        self.tracer.set_round(now);
 
+        let clock = self.tracer.begin();
         self.end_finished_playbacks(now);
+        self.tracer.end(clock, Stage::PlaybackEnd, 0);
         // Candidate-pipeline maintenance is half of the round's candidate
         // cost; the other half (row construction) is timed in
         // `schedule_round` and summed into the same per-round profile.
         let maintenance = Instant::now();
         self.candidates.begin_round(now, window);
+        let maintenance_ns = maintenance.elapsed().as_nanos() as u64;
         self.round_cand_stats = CandidateStats {
-            build_ns: maintenance.elapsed().as_nanos() as u64,
+            build_ns: maintenance_ns,
             ..CandidateStats::default()
         };
+        // The maintenance half is already timed unconditionally (it feeds
+        // `CandidateStats::build_ns`), so the span reuses that measurement.
+        self.tracer
+            .emit_ns(Stage::CandidateMaintain, maintenance_ns, 0);
         // Engine-driven churn: membership changes land before admissions,
         // interleaved with the round rather than replayed between rounds.
+        let clock = self.tracer.begin();
         self.drain_churn(now);
+        self.tracer.end(clock, Stage::ChurnDrain, 0);
         // Repair planning deducts the transfer slots from the source boxes'
         // budgets before the scheduler sees them.
+        let clock = self.tracer.begin();
         self.round_repair = self.plan_repairs();
+        let planned = self.round_repair.as_ref().map_or(0, |s| s.repaired as u64);
+        self.tracer.end(clock, Stage::RepairPlan, planned);
+        let clock = self.tracer.begin();
         let new_demands = self.accept_demands(generator, now);
+        self.tracer
+            .end(clock, Stage::DemandIntake, new_demands as u64);
         // Detach the pooled request buffer so collection can borrow `self`.
         let mut requests = std::mem::take(&mut self.request_buf);
         requests.clear();
+        let clock = self.tracer.begin();
         let self_served = self.collect_active_requests_into(now, &mut requests);
+        self.tracer
+            .end(clock, Stage::RequestCollect, requests.len() as u64);
         let (metrics, feasible) = self.schedule_round(now, &requests, self_served, new_demands);
         self.request_buf = requests;
         self.report.rounds.push(metrics);
         // Commit the planned repairs: capacities are restored and the new
         // replicas enter the live placement, serving from the next round on
         // (a transfer takes the round it was planned in).
+        let clock = self.tracer.begin();
         self.commit_repairs(now);
+        self.tracer.end(clock, Stage::RepairCommit, 0);
         // Dynamic reservation sizing re-tunes inside `note_round`; pick the
         // shifted capacities up for the next round.
         if self
@@ -881,6 +929,13 @@ impl<'a> Simulator<'a> {
             let broker = self.relay_broker.as_ref().expect("checked above");
             for (idx, cap) in self.capacities.iter_mut().enumerate() {
                 *cap = broker.open_upload_slots(BoxId(idx as u32));
+            }
+        }
+        // The repair commit lands after the metrics push, so the round's
+        // timing aggregate is patched into the record it belongs to.
+        if let Some(timing) = self.tracer.take_round_timings() {
+            if let Some(last) = self.report.rounds.last_mut() {
+                last.timing = Some(timing);
             }
         }
         self.round += 1;
@@ -1175,13 +1230,18 @@ impl<'a> Simulator<'a> {
         // profile together with the maintenance half from `step`).
         let fill = Instant::now();
         self.fill_round_candidates(now, requests);
+        let fill_ns = fill.elapsed().as_nanos() as u64;
         let (live, expired, inserted) = self.candidates.stats();
         self.round_cand_stats = CandidateStats {
             index_entries: live,
             expired,
             inserted,
-            build_ns: self.round_cand_stats.build_ns + fill.elapsed().as_nanos() as u64,
+            build_ns: self.round_cand_stats.build_ns + fill_ns,
         };
+        // Like the maintenance half, the fill is already timed into the
+        // candidate profile — the span reuses the measurement.
+        self.tracer
+            .emit_ns(Stage::CandidateFill, fill_ns, requests.len() as u64);
         // Stable request identities let incremental schedulers patch the
         // previous round's flow network instead of rebuilding it.
         self.sched_keys.clear();
@@ -1203,6 +1263,7 @@ impl<'a> Simulator<'a> {
         }
 
         let mut assignment = std::mem::take(&mut self.assignment);
+        let clock = self.tracer.begin();
         match &self.relay_broker {
             Some(broker) => self.scheduler.schedule_relayed_view(
                 &self.capacities,
@@ -1221,6 +1282,8 @@ impl<'a> Simulator<'a> {
                 &mut assignment,
             ),
         }
+        self.tracer
+            .end(clock, Stage::Schedule, requests.len() as u64);
         debug_assert!(crate::scheduler::assignment_is_valid_view(
             &assignment,
             &self.capacities,
@@ -1233,6 +1296,7 @@ impl<'a> Simulator<'a> {
         // lending observability when it ran.
         let relay_metrics = match &mut self.relay_broker {
             Some(broker) => {
+                let clock = self.tracer.begin();
                 self.relay_loads.clear();
                 self.relay_loads.resize(self.capacities.len(), 0);
                 for relay in self.relay_of.iter().flatten() {
@@ -1243,6 +1307,8 @@ impl<'a> Simulator<'a> {
                     stats.contested_relays = lend.contested_relays;
                     stats.lent = lend.lent;
                 }
+                self.tracer
+                    .end(clock, Stage::RelayAccount, stats.forwarded as u64);
                 Some(stats)
             }
             None => None,
@@ -1299,6 +1365,7 @@ impl<'a> Simulator<'a> {
         // round is diagnosed below.
         let feasible = unserved == 0;
         if !feasible {
+            let clock = self.tracer.begin();
             let (obstruction_size, obstruction_capacity, starved_relays) = if self
                 .config
                 .collect_obstructions
@@ -1342,6 +1409,8 @@ impl<'a> Simulator<'a> {
             } else {
                 (None, None, Vec::new())
             };
+            self.tracer
+                .end(clock, Stage::FailureDiagnose, unserved as u64);
             self.report.failures.push(FailureRecord {
                 round: now,
                 unserved,
@@ -1370,6 +1439,9 @@ impl<'a> Simulator<'a> {
             relay: relay_metrics,
             candidates: Some(self.round_cand_stats),
             repair: self.round_repair.take(),
+            // Patched in by `step` once the round (including the repair
+            // commit, which lands after this record is pushed) has closed.
+            timing: None,
         };
         // Return the reused buffers for the next round.
         self.assignment = assignment;

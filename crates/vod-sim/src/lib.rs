@@ -48,3 +48,10 @@ pub use scheduler::{
     ShardRoundStats, ShardedMatcher, SplitPolicy,
 };
 pub use swarm::{Swarm, SwarmTracker};
+// Observability surface: the tracer types callers hand to
+// [`Simulator::attach_tracer`] and the timing aggregates they read back,
+// re-exported so downstream crates need no direct vod-obs dependency.
+pub use vod_obs::{
+    eq_ignoring_timing, RunProfile, Stage, StageProfile, StageTimings, TimingNeutral, TraceHandle,
+    TraceRecord,
+};

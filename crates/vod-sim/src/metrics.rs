@@ -10,9 +10,10 @@ use crate::repair::RepairRoundStats;
 use crate::scheduler::{RelayRoundStats, RelayUtilization, ShardRoundStats};
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
 use vod_core::{BoxId, VideoId};
+use vod_obs::{RunProfile, StageTimings};
 
 /// Per-round measurements.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct RoundMetrics {
     /// The round these metrics describe.
     pub round: u64,
@@ -56,6 +57,35 @@ pub struct RoundMetrics {
     /// plans are scheduler-invariant, so equality compares this field
     /// across engine variants un-normalized.
     pub repair: Option<RepairRoundStats>,
+    /// Per-stage wall-clock breakdown of the round, when a tracer was
+    /// attached; `None` otherwise (including every report serialized
+    /// before tracing existed). Pure timing: excluded from equality, so a
+    /// traced round compares equal to an untraced one.
+    pub timing: Option<StageTimings>,
+}
+
+impl PartialEq for RoundMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // `timing` is deliberately excluded: it is wall-clock only (see
+        // [`vod_obs::TimingNeutral`]), and a `Some`-vs-`None` mismatch
+        // between a traced and an untraced run must not fail the
+        // bit-equality gates.
+        self.round == other.round
+            && self.new_demands == other.new_demands
+            && self.active_requests == other.active_requests
+            && self.self_served == other.self_served
+            && self.served == other.served
+            && self.unserved == other.unserved
+            && self.served_from_allocation == other.served_from_allocation
+            && self.served_from_cache == other.served_from_cache
+            && self.upload_slots_available == other.upload_slots_available
+            && self.viewers == other.viewers
+            && self.max_swarm == other.max_swarm
+            && self.shard == other.shard
+            && self.relay == other.relay
+            && self.candidates == other.candidates
+            && self.repair == other.repair
+    }
 }
 
 impl JsonCodec for RoundMetrics {
@@ -82,6 +112,7 @@ impl JsonCodec for RoundMetrics {
             ("relay", self.relay.to_json()),
             ("candidates", self.candidates.to_json()),
             ("repair", self.repair.to_json()),
+            ("timing", self.timing.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -114,6 +145,11 @@ impl JsonCodec for RoundMetrics {
             },
             // Absent in reports serialized before the repair planner.
             repair: match json.field("repair") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before the tracer existed.
+            timing: match json.field("timing") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },
@@ -226,7 +262,7 @@ impl JsonCodec for PlaybackRecord {
 }
 
 /// Aggregated result of a simulation run.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct SimulationReport {
     /// Per-round metrics, in round order.
     pub rounds: Vec<RoundMetrics>,
@@ -243,6 +279,25 @@ pub struct SimulationReport {
     /// Cumulative per-relay utilization of the reserved forwarding
     /// capacity (heterogeneous systems only; empty otherwise).
     pub relays: Vec<RelayUtilization>,
+    /// Whole-run per-stage profile (span counts, totals, log-bucketed
+    /// latency histograms), when a tracer was attached; `None` otherwise.
+    /// Pure timing: excluded from equality like `RoundMetrics::timing`.
+    pub profile: Option<RunProfile>,
+}
+
+impl PartialEq for SimulationReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `profile` is wall-clock only and deliberately excluded (see
+        // [`RoundMetrics`]'s equality): traced and untraced runs of the
+        // same schedule must compare equal.
+        self.rounds == other.rounds
+            && self.failures == other.failures
+            && self.playbacks == other.playbacks
+            && self.total_demands == other.total_demands
+            && self.rejected_demands == other.rejected_demands
+            && self.aborted == other.aborted
+            && self.relays == other.relays
+    }
 }
 
 impl JsonCodec for SimulationReport {
@@ -255,6 +310,7 @@ impl JsonCodec for SimulationReport {
             ("rejected_demands", self.rejected_demands.to_json()),
             ("aborted", self.aborted.to_json()),
             ("relays", self.relays.to_json()),
+            ("profile", self.profile.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -269,6 +325,11 @@ impl JsonCodec for SimulationReport {
             relays: match json.field("relays") {
                 Ok(value) => Vec::from_json(value)?,
                 Err(_) => Vec::new(),
+            },
+            // Absent in reports serialized before the tracer existed.
+            profile: match json.field("profile") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
             },
         })
     }
@@ -456,6 +517,7 @@ mod tests {
             rejected_demands: 1,
             aborted: false,
             relays: Vec::new(),
+            profile: None,
         };
         assert_eq!(report.round_count(), 2);
         assert!(!report.all_rounds_feasible());

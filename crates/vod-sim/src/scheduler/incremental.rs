@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use vod_core::{BoxId, StripeId};
 use vod_flow::{CandidateBuf, CandidateView, Dinic, FlowArena, MaxFlowSolve, NodeId, NO_STAMP};
+use vod_obs::TraceHandle;
 
 /// Deterministic multiply-xor hasher for the request-key map: the default
 /// SipHash dominates the per-round diff cost at thousands of lookups per
@@ -185,6 +186,12 @@ impl IncrementalMatcher {
             dbg_stack: Vec::new(),
             csr_bridge: CandidateBuf::new(),
         }
+    }
+
+    /// Installs a trace handle on the underlying flow solver, so solver
+    /// phases (shape analyses, HK phases, global relabels) emit spans.
+    pub fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        self.solver.attach_tracer(tracer);
     }
 
     /// The number of full rebuilds performed so far (1 after the first
@@ -793,6 +800,10 @@ impl crate::scheduler::Scheduler for IncrementalMatcher {
         // native view path instead of the allocating default bridge.
         let _ = relays;
         IncrementalMatcher::schedule_keyed_view(self, capacities, keys, candidates, out);
+    }
+
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        IncrementalMatcher::attach_tracer(self, tracer);
     }
 
     fn name(&self) -> &'static str {

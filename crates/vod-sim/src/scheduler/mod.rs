@@ -23,6 +23,7 @@ pub use sharded::{ReconcilePolicy, ShardRoundStats, ShardedMatcher, SplitPolicy}
 
 use vod_core::BoxId;
 use vod_flow::{CandidateView, RelayLendStats, RelayView};
+use vod_obs::TraceHandle;
 
 /// A per-round connection scheduler.
 ///
@@ -143,6 +144,15 @@ pub trait Scheduler {
     /// return `None` (the default).
     fn relay_stats(&self) -> Option<RelayLendStats> {
         None
+    }
+
+    /// Installs a trace handle for scheduler-internal stage spans (shard
+    /// partition/solve/reconcile, solver phases). The engine calls this
+    /// when a tracer is attached to the simulator; schedulers without
+    /// internal stages keep the default no-op, and an off handle costs
+    /// nothing on the hot path.
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        let _ = tracer;
     }
 
     /// Short name for reports and benchmark labels.

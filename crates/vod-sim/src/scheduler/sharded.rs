@@ -50,6 +50,7 @@ use vod_flow::{
     CandidateBuf, CandidateView, ReconcileStats, RelayLendStats, RelayView, ShardedArena,
     SplitStats,
 };
+use vod_obs::{Stage, TraceHandle};
 
 /// How each box's upload budget is divided across the swarms demanding it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -273,6 +274,10 @@ pub struct ShardedMatcher {
     reconcile_rounds: u64,
     reconcile_nanos: u64,
     reconcile_full_rebuilds: u64,
+    /// Span sink for the partition/split/solve/reconcile stages (off by
+    /// default). Shard-local matchers stay untraced: the per-shard solve is
+    /// spanned as a whole, from the worker that runs it.
+    tracer: TraceHandle,
 }
 
 impl Default for ShardedMatcher {
@@ -314,6 +319,7 @@ impl ShardedMatcher {
             reconcile_rounds: 0,
             reconcile_nanos: 0,
             reconcile_full_rebuilds: 0,
+            tracer: TraceHandle::off(),
         }
     }
 
@@ -407,7 +413,9 @@ impl ShardedMatcher {
         keys: &[RequestKey],
         candidates: CandidateView<'_>,
         round: u64,
+        tracer: &TraceHandle,
     ) {
+        let clock = tracer.begin();
         let view = arena.shard(work.shard_idx);
         let state = &mut work.state;
         state.last_used = round;
@@ -467,6 +475,7 @@ impl ShardedMatcher {
             csr.finish_row();
         }
         matcher.schedule_keyed_view(caps, shard_keys, csr.view_with_stamps(stamps), out);
+        tracer.end(clock, Stage::ShardSolve, shard_keys.len() as u64);
     }
 
     /// Evicts shard states idle for more than 256 rounds (checked every 64
@@ -566,6 +575,10 @@ impl Scheduler for ShardedMatcher {
         self.last_relay
     }
 
+    fn attach_tracer(&mut self, tracer: &TraceHandle) {
+        self.tracer = tracer.clone();
+    }
+
     fn name(&self) -> &'static str {
         "sharded"
     }
@@ -592,6 +605,7 @@ impl ShardedMatcher {
         // 1. Partition by swarm (video id), then split each relay's
         // reserved forwarding capacity across the shards drawing on it
         // (relay edges cross swarms; see `ShardedArena::split_relay_reserved`).
+        let clock = self.tracer.begin();
         self.shard_keys.clear();
         self.shard_keys
             .extend(keys.iter().map(|k| k.stripe.video.0 as u64));
@@ -602,6 +616,8 @@ impl ShardedMatcher {
             self.arena
                 .split_relay_reserved(view.reserved, view.relay_of)
         });
+        self.tracer
+            .end(clock, Stage::ShardPartition, shard_count as u64);
 
         // 2. Snapshot each shard's decayed deficits (ordinal order) and
         // split the upload budgets. WaterFill feeds the direct per-(shard,
@@ -609,6 +625,7 @@ impl ShardedMatcher {
         // scalar stays as an observability aggregate; DemandProportional
         // is the targeted split with an empty history, bit-identical to
         // the PR 2 split.
+        let clock = self.tracer.begin();
         self.deficits.clear();
         self.slot_targets.clear();
         let mut deficit_total = 0u64;
@@ -639,6 +656,8 @@ impl ShardedMatcher {
                 .split_budgets_targeted(capacities, &self.slot_targets),
             SplitPolicy::DemandProportional => self.arena.split_budgets_targeted(capacities, &[]),
         };
+        self.tracer
+            .end(clock, Stage::ShardSplit, split_stats.iterations as u64);
 
         // 3. Check out each active shard's persistent state.
         self.work.clear();
@@ -658,10 +677,13 @@ impl ShardedMatcher {
         // worker runs it — the schedule is identical for any thread count.
         let arena = &self.arena;
         let round = self.round;
+        let tracer = &self.tracer;
         let workers = self.threads.min(self.work.len()).max(1);
         if workers == 1 {
             for work in &mut self.work {
-                ShardedMatcher::solve_shard(work, arena, capacities, keys, candidates, round);
+                ShardedMatcher::solve_shard(
+                    work, arena, capacities, keys, candidates, round, tracer,
+                );
             }
         } else {
             let queue = Mutex::new(self.work.iter_mut());
@@ -671,7 +693,7 @@ impl ShardedMatcher {
                         let item = queue.lock().expect("shard queue poisoned").next();
                         match item {
                             Some(work) => ShardedMatcher::solve_shard(
-                                work, arena, capacities, keys, candidates, round,
+                                work, arena, capacities, keys, candidates, round, tracer,
                             ),
                             None => break,
                         }
@@ -751,9 +773,12 @@ impl ShardedMatcher {
                 }
                 _ => self.arena.reconcile_view(capacities, candidates, out),
             };
+            let ns = start.elapsed().as_nanos() as u64;
             self.reconcile_rounds += 1;
-            self.reconcile_nanos += start.elapsed().as_nanos() as u64;
+            self.reconcile_nanos += ns;
             self.reconcile_full_rebuilds += stats.rebuilt as u64;
+            self.tracer
+                .emit_ns(Stage::ShardReconcile, ns, stats.repaired as u64);
             stats
         };
         self.last_stats = ShardRoundStats {
