@@ -39,11 +39,11 @@ use vod_core::{
     VideoSystem,
 };
 use vod_sim::{
-    FailurePolicy, MaxFlowScheduler, RepairPlanner, RoundMetrics, SimConfig, SimulationReport,
-    Simulator,
+    DegradationConfig, FailurePolicy, MaxFlowScheduler, RepairPlanner, RoundMetrics, SimConfig,
+    SimulationReport, Simulator,
 };
 use vod_workloads::{
-    ChurnEvent, DemandGenerator, DemandTrace, OccupancyView, TraceReplay, VideoDemand,
+    ChurnEvent, DemandGenerator, DemandTrace, FaultEvent, OccupancyView, TraceReplay, VideoDemand,
 };
 
 /// Heterogeneous population recipe: per-box uploads with proportional
@@ -249,6 +249,64 @@ impl JsonCodec for ScriptedChurn {
     }
 }
 
+/// One scripted fault window of an explored path: before round `round` is
+/// stepped, box `box_id` degrades to `pct`% of its upload slots (`pct = 0`
+/// is a full stall) for `duration` rounds, expiring on its own. The script
+/// stays a quadruple of integers — fault windows are applied through the
+/// engine's scheduler-invariant capacity overlay, so replays are
+/// bit-identical on every pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// The engine round the window opens before (fault drains land ahead
+    /// of admissions, exactly like the engine's fault drain).
+    pub round: u64,
+    /// The affected box.
+    pub box_id: u32,
+    /// Remaining upload percentage while the window is open (0 = stalled).
+    pub pct: u8,
+    /// Window length in rounds.
+    pub duration: u64,
+}
+
+impl ScriptedFault {
+    /// Materializes the engine event (`pct = 0` stalls, otherwise
+    /// degrades), closing at `round + duration`.
+    pub fn event(&self) -> FaultEvent {
+        let box_id = BoxId(self.box_id);
+        let until = self.round + self.duration;
+        if self.pct == 0 {
+            FaultEvent::Stalled { box_id, until }
+        } else {
+            FaultEvent::Degraded {
+                box_id,
+                pct: self.pct,
+                until,
+            }
+        }
+    }
+}
+
+impl JsonCodec for ScriptedFault {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("round", self.round.to_json()),
+            ("box", self.box_id.to_json()),
+            ("pct", (self.pct as u32).to_json()),
+            ("duration", self.duration.to_json()),
+        ])
+    }
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ScriptedFault {
+            round: u64::from_json(json.field("round")?)?,
+            box_id: u32::from_json(json.field("box")?)?,
+            pct: u32::from_json(json.field("pct")?)?
+                .try_into()
+                .map_err(|_| JsonError::new("fault pct must fit in a byte"))?,
+            duration: u64::from_json(json.field("duration")?)?,
+        })
+    }
+}
+
 /// A replayable seed file: the fuzz-gate dump format and the regression
 /// corpus format under `tests/corpus/`. Rebuild the system with
 /// [`SeedSystem::build`], replay `demands` (interleaved with the `churn`
@@ -265,8 +323,14 @@ pub struct SeedFile {
     /// Scripted churn events, applied before their round is stepped
     /// (empty for static-population seeds; absent in older files).
     pub churn: Vec<ScriptedChurn>,
+    /// Scripted fault windows, applied before their round is stepped
+    /// (empty for fault-free seeds; absent in older files).
+    pub faults: Vec<ScriptedFault>,
     /// Per-round repair budget to attach (absent in older files).
     pub repair_budget: Option<u32>,
+    /// Graceful-degradation controller to attach to every variant
+    /// (absent in older files; `None` = no controller).
+    pub degradation: Option<DegradationConfig>,
     /// Human-readable provenance (what this seed reproduces).
     pub note: String,
 }
@@ -278,7 +342,9 @@ impl JsonCodec for SeedFile {
             ("horizon", self.horizon.to_json()),
             ("demands", self.demands.to_json()),
             ("churn", self.churn.to_json()),
+            ("faults", self.faults.to_json()),
             ("repair_budget", self.repair_budget.to_json()),
+            ("degradation", self.degradation.to_json()),
             ("note", self.note.to_json()),
         ])
     }
@@ -292,7 +358,16 @@ impl JsonCodec for SeedFile {
                 Ok(value) => Vec::from_json(value)?,
                 Err(_) => Vec::new(),
             },
+            // Absent in seeds dumped before the fault-injection loop.
+            faults: match json.field("faults") {
+                Ok(value) => Vec::from_json(value)?,
+                Err(_) => Vec::new(),
+            },
             repair_budget: match json.field("repair_budget") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            degradation: match json.field("degradation") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },
@@ -403,6 +478,14 @@ pub struct ExploreSpec {
     /// Boxes eligible to churn: the ascending prefix `0..churn_boxes` of
     /// the universe, keeping the branching factor bounded.
     pub churn_boxes: usize,
+    /// Maximum fault windows (stalls / upload degradations) along any
+    /// explored path (0 = fault-free). Like churn, each fault transition
+    /// is a standalone edge: the window opens, then the engine steps one
+    /// round with no new demands — interleaving capacity faults with
+    /// admissible demand batches exactly like the engine's fault drain.
+    pub fault_budget: u32,
+    /// Boxes eligible to fault: the ascending prefix `0..fault_boxes`.
+    pub fault_boxes: usize,
     /// Per-round repair budget to attach to every variant (`None` = no
     /// repair; lost replicas stay lost).
     pub repair_budget: Option<u32>,
@@ -420,6 +503,8 @@ impl ExploreSpec {
             max_states: None,
             churn_budget: 0,
             churn_boxes: 0,
+            fault_budget: 0,
+            fault_boxes: 0,
             repair_budget: None,
         }
     }
@@ -429,6 +514,14 @@ impl ExploreSpec {
     pub fn with_churn(mut self, budget: u32, boxes: usize) -> Self {
         self.churn_budget = budget;
         self.churn_boxes = boxes;
+        self
+    }
+
+    /// Enables bounded fault-window branching: up to `budget` stall /
+    /// degradation windows per path over the first `boxes` boxes.
+    pub fn with_faults(mut self, budget: u32, boxes: usize) -> Self {
+        self.fault_budget = budget;
+        self.fault_boxes = boxes;
         self
     }
 
@@ -460,6 +553,9 @@ pub struct ExploreOutcome {
     /// branching is off or the failure needed no churn) — replay the
     /// counterexample with [`replay_fails_scripted`] under this script.
     pub counterexample_churn: Vec<ScriptedChurn>,
+    /// The fault script of the first failing path (empty when fault
+    /// branching is off or the failure needed no faults).
+    pub counterexample_faults: Vec<ScriptedFault>,
     /// Replayable dumps of any differential divergence (empty = gate green).
     pub divergences: Vec<SeedFile>,
 }
@@ -562,12 +658,14 @@ pub fn is_admissible(trace: &DemandTrace, n: usize, duration: u64, mu: f64) -> b
 /// Exploration context threaded through the recursion.
 struct Ctx<'s> {
     spec: &'s ExploreSpec,
-    visited: HashSet<(u64, u32), BuildHasherDefault<FxHasher64>>,
+    visited: HashSet<(u64, u32, u32), BuildHasherDefault<FxHasher64>>,
     out: ExploreOutcome,
     /// Demand batches of the current DFS path, indexed by round.
     path: Vec<Batch>,
     /// Churn events of the current DFS path (each lands before its round).
     churn_path: Vec<ScriptedChurn>,
+    /// Fault windows of the current DFS path (each opens before its round).
+    fault_path: Vec<ScriptedFault>,
 }
 
 impl Ctx<'_> {
@@ -705,8 +803,9 @@ pub fn explore(spec: &ExploreSpec) -> ExploreOutcome {
         out: ExploreOutcome::default(),
         path: Vec::new(),
         churn_path: Vec::new(),
+        fault_path: Vec::new(),
     };
-    ctx.visited.insert((bundle[0].state_signature(), 0));
+    ctx.visited.insert((bundle[0].state_signature(), 0, 0));
     ctx.out.canonical_states = 1;
     expand(&mut ctx, &system, &variants, &bundle, 0);
     ctx.out
@@ -728,7 +827,7 @@ fn expand(
         if ctx.done() {
             return;
         }
-        step_edge(ctx, system, variants, bundle, depth, batch, None);
+        step_edge(ctx, system, variants, bundle, depth, batch, None, None);
     }
     // Churn-event branches: standalone transitions — the membership change
     // lands (before admissions, like the engine's churn drain), then the
@@ -760,14 +859,47 @@ fn expand(
                 depth,
                 Vec::new(),
                 Some(event),
+                None,
             );
+        }
+    }
+    // Fault-window branches: like churn, each is a standalone transition —
+    // the window opens (before admissions, like the engine's fault drain),
+    // then the engine steps one round with no new demands. One stall and
+    // one half-upload window per eligible box keeps branching bounded.
+    if (ctx.fault_path.len() as u32) < ctx.spec.fault_budget {
+        let now = bundle[0].round();
+        for idx in 0..ctx.spec.fault_boxes.min(system.n()) {
+            for pct in [0u8, 50] {
+                if ctx.done() {
+                    return;
+                }
+                let fault = ScriptedFault {
+                    round: now,
+                    box_id: idx as u32,
+                    pct,
+                    duration: 2,
+                };
+                step_edge(
+                    ctx,
+                    system,
+                    variants,
+                    bundle,
+                    depth,
+                    Vec::new(),
+                    None,
+                    Some(fault),
+                );
+            }
         }
     }
 }
 
 /// Steps one edge — an admissible demand batch, optionally preceded by a
-/// scripted churn event — through every variant, runs the differential
-/// gate on the landed round, and recurses into unvisited states.
+/// scripted churn event or fault window — through every variant, runs the
+/// differential gate on the landed round, and recurses into unvisited
+/// states.
+#[allow(clippy::too_many_arguments)]
 fn step_edge(
     ctx: &mut Ctx,
     system: &VideoSystem,
@@ -776,6 +908,7 @@ fn step_edge(
     depth: u64,
     batch: Batch,
     churn: Option<ScriptedChurn>,
+    fault: Option<ScriptedFault>,
 ) {
     ctx.out.edges += 1;
     let mut children: Vec<Simulator> = variants
@@ -786,6 +919,11 @@ fn step_edge(
     if let Some(event) = churn {
         for child in children.iter_mut() {
             child.apply_churn(event.event(system));
+        }
+    }
+    if let Some(window) = fault {
+        for child in children.iter_mut() {
+            child.apply_fault(window.event());
         }
     }
     let feasible: Vec<bool> = children
@@ -802,10 +940,16 @@ fn step_edge(
     if let Some(event) = churn {
         ctx.churn_path.push(event);
     }
+    if let Some(window) = fault {
+        ctx.fault_path.push(window);
+    }
     let pop = |ctx: &mut Ctx| {
         ctx.path.pop();
         if churn.is_some() {
             ctx.churn_path.pop();
+        }
+        if fault.is_some() {
+            ctx.fault_path.pop();
         }
     };
 
@@ -825,7 +969,9 @@ fn step_edge(
                     horizon: ctx.spec.horizon,
                     demands: ctx.path_trace(),
                     churn: ctx.churn_path.clone(),
+                    faults: ctx.fault_path.clone(),
                     repair_budget: ctx.spec.repair_budget,
+                    degradation: None,
                     note: format!(
                         "differential divergence at round {} between {} and {}",
                         children[0].round() - 1,
@@ -844,13 +990,18 @@ fn step_edge(
         if ctx.out.counterexample.is_none() {
             ctx.out.counterexample = Some(ctx.path_trace());
             ctx.out.counterexample_churn = ctx.churn_path.clone();
+            ctx.out.counterexample_faults = ctx.fault_path.clone();
         }
     } else {
-        // Transposition keys pair the state signature with the churn spent
-        // reaching it: two paths landing on the same state with different
-        // budgets left must both be expanded, or the one with budget to
-        // spare would be pruned out of its churn subtree.
-        let key = (children[0].state_signature(), ctx.churn_path.len() as u32);
+        // Transposition keys pair the state signature with the churn and
+        // fault budget spent reaching it: two paths landing on the same
+        // state with different budgets left must both be expanded, or the
+        // one with budget to spare would be pruned out of its subtree.
+        let key = (
+            children[0].state_signature(),
+            ctx.churn_path.len() as u32,
+            ctx.fault_path.len() as u32,
+        );
         if ctx.visited.insert(key) {
             ctx.out.canonical_states += 1;
             if ctx
@@ -872,16 +1023,17 @@ fn step_edge(
 /// Replays `trace` on a fresh reference simulator and reports whether some
 /// round goes infeasible within `horizon` rounds.
 pub fn replay_fails(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> bool {
-    replay_fails_scripted(seed, trace, &[], None, horizon)
+    replay_fails_scripted(seed, trace, &[], &[], None, horizon)
 }
 
-/// [`replay_fails`] with a scripted churn interleaving (and an optional
-/// repair budget): each event lands before its round is stepped, exactly
-/// as the explorer's churn edges applied it.
+/// [`replay_fails`] with scripted churn and fault interleavings (and an
+/// optional repair budget): each event lands before its round is stepped,
+/// exactly as the explorer's churn and fault edges applied it.
 pub fn replay_fails_scripted(
     seed: &SeedSystem,
     trace: &DemandTrace,
     churn: &[ScriptedChurn],
+    faults: &[ScriptedFault],
     repair_budget: Option<u32>,
     horizon: u64,
 ) -> bool {
@@ -899,6 +1051,9 @@ pub fn replay_fails_scripted(
         for event in churn.iter().filter(|e| e.round == now) {
             sim.apply_churn(event.event(&system));
         }
+        for window in faults.iter().filter(|f| f.round == now) {
+            sim.apply_fault(window.event());
+        }
         sim.step(&mut generator);
     }
     !sim.report_so_far().failures.is_empty()
@@ -909,31 +1064,81 @@ pub fn replay_fails_scripted(
 /// greedily deleted while the sequence stays µ-admissible *and* still
 /// fails on replay, to a fixpoint (no single deletion preserves failure).
 pub fn shrink_counterexample(seed: &SeedSystem, trace: &DemandTrace, horizon: u64) -> DemandTrace {
-    shrink_scripted(seed, trace, &[], None, horizon)
+    shrink_scripted(seed, trace, &[], &[], None, horizon).0
 }
 
-/// [`shrink_counterexample`] under a fixed churn script (and optional
-/// repair budget): only demands are deleted — the membership changes that
-/// provoked the failure are part of the scenario and stay put.
+/// A churn script is replayable only while its events stay consistent with
+/// the membership they produce: a box leaves only while alive and rejoins
+/// only while departed. Deleting one event can strand a later one, so
+/// shrink candidates are vetted here before replay.
+fn churn_script_valid(churn: &[ScriptedChurn], n: usize) -> bool {
+    let mut alive = vec![true; n];
+    for event in churn {
+        let idx = event.box_id as usize;
+        if idx >= n || alive[idx] == event.rejoin {
+            return false;
+        }
+        alive[idx] = event.rejoin;
+    }
+    true
+}
+
+/// [`shrink_counterexample`] under churn and fault scripts (and an
+/// optional repair budget): greedily deletes demands, churn events, and
+/// fault windows — any deletion that keeps the replay failing (and the
+/// demands µ-admissible, and the churn script consistent) survives, to a
+/// fixpoint. Returns the minimized `(demands, churn, faults)` scenario.
 pub fn shrink_scripted(
     seed: &SeedSystem,
     trace: &DemandTrace,
     churn: &[ScriptedChurn],
+    faults: &[ScriptedFault],
     repair_budget: Option<u32>,
     horizon: u64,
-) -> DemandTrace {
+) -> (DemandTrace, Vec<ScriptedChurn>, Vec<ScriptedFault>) {
     let n = seed.n;
     let duration = seed.duration as u64;
     let mu = seed.mu;
-    let still_failing = |candidate: &DemandTrace| {
-        !(candidate.is_empty() && churn.is_empty())
-            && is_admissible(candidate, n, duration, mu)
-            && replay_fails_scripted(seed, candidate, churn, repair_budget, horizon)
-    };
+    let still_failing =
+        |demands: &DemandTrace, churn: &[ScriptedChurn], faults: &[ScriptedFault]| {
+            !(demands.is_empty() && churn.is_empty() && faults.is_empty())
+                && is_admissible(demands, n, duration, mu)
+                && churn_script_valid(churn, n)
+                && replay_fails_scripted(seed, demands, churn, faults, repair_budget, horizon)
+        };
 
     let mut best = trace.clone();
+    let mut best_churn = churn.to_vec();
+    let mut best_faults = faults.to_vec();
     loop {
         let mut improved = false;
+        // Script deletions first: they are few and cheap to try, and
+        // removing a redundant event before demands shrink keeps the
+        // demand minimization from growing a dependency on it.
+        for skip in 0..best_faults.len() {
+            let mut candidate = best_faults.clone();
+            candidate.remove(skip);
+            if still_failing(&best, &best_churn, &candidate) {
+                best_faults = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            // Churn deletions next, keeping the script consistent.
+            for skip in 0..best_churn.len() {
+                let mut candidate = best_churn.clone();
+                candidate.remove(skip);
+                if still_failing(&best, &candidate, &best_faults) {
+                    best_churn = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
         let demands: Vec<VideoDemand> = best.iter().copied().collect();
         let rounds: Vec<u64> = {
             let mut r: Vec<u64> = demands.iter().map(|d| d.round).collect();
@@ -959,23 +1164,25 @@ pub fn shrink_scripted(
             ));
         }
         for candidate in candidates {
-            if candidate.len() < best.len() && still_failing(&candidate) {
+            if candidate.len() < best.len() && still_failing(&candidate, &best_churn, &best_faults)
+            {
                 best = candidate;
                 improved = true;
                 break;
             }
         }
         if !improved {
-            return best;
+            return (best, best_churn, best_faults);
         }
     }
 }
 
 /// Replays a seed file through every [`EngineVariant::GATE`] pipeline and
 /// checks the normalized reports are bit-identical. Returns the reference
-/// report, or a description of the first divergence. Seeds carrying a
-/// churn script (or a repair budget) replay it identically on every
-/// variant, each event landing before its round is stepped.
+/// report, or a description of the first divergence. Seeds carrying churn
+/// or fault scripts (or a repair budget, or a degradation controller)
+/// replay them identically on every variant, each event landing before
+/// its round is stepped.
 pub fn replay_seed(seed: &SeedFile) -> Result<SimulationReport, String> {
     let system = seed.system.build();
     let config = SimConfig::new(seed.horizon)
@@ -987,10 +1194,16 @@ pub fn replay_seed(seed: &SeedFile) -> Result<SimulationReport, String> {
         if let Some(budget) = seed.repair_budget {
             sim.attach_repair(RepairPlanner::for_system(&system, budget));
         }
+        if let Some(cfg) = seed.degradation {
+            sim.attach_degradation(cfg);
+        }
         while sim.round() < seed.horizon {
             let now = sim.round();
             for event in seed.churn.iter().filter(|e| e.round == now) {
                 sim.apply_churn(event.event(&system));
+            }
+            for window in seed.faults.iter().filter(|f| f.round == now) {
+                sim.apply_fault(window.event());
             }
             sim.step(&mut generator);
         }
@@ -1117,23 +1330,35 @@ mod tests {
                     rejoin: true,
                 },
             ],
+            faults: vec![ScriptedFault {
+                round: 2,
+                box_id: 0,
+                pct: 50,
+                duration: 2,
+            }],
             repair_budget: Some(2),
+            degradation: Some(DegradationConfig::default()),
             note: "unit".to_string(),
         };
         let back = SeedFile::from_json_str(&file.to_json_string()).unwrap();
         assert_eq!(file, back);
 
-        // Seeds serialized before the live-population loop lack the churn
-        // fields and must load with a static population.
+        // Seeds serialized before the live-population and fault-injection
+        // loops lack those fields and must load as static, fault-free runs.
         let legacy = SeedFile {
             churn: Vec::new(),
+            faults: Vec::new(),
             repair_budget: None,
+            degradation: None,
             ..file.clone()
         };
         let mut json = legacy.to_json_string();
         json = json
             .replace("\"churn\":[],", "")
-            .replace("\"repair_budget\":null,", "");
+            .replace("\"faults\":[],", "")
+            .replace("\"repair_budget\":null,", "")
+            .replace("\"degradation\":null,", "");
+        assert!(!json.contains("churn"), "strip failed: {json}");
         let loaded = SeedFile::from_json_str(&json).unwrap();
         assert_eq!(loaded, legacy);
     }
@@ -1234,6 +1459,35 @@ mod tests {
             seed.mu
         ));
         assert!(replay_fails(&seed, &minimal, 6));
+
+        // Irrelevant scripted events shrink away too: pad the scenario
+        // with a fault window and a leave/rejoin pair the failure never
+        // needed, and the greedy deletion pass removes every one of them.
+        let padding_faults = [ScriptedFault {
+            round: 0,
+            box_id: 0,
+            pct: 50,
+            duration: 1,
+        }];
+        let padding_churn = [
+            ScriptedChurn {
+                round: 0,
+                box_id: 3,
+                rejoin: false,
+            },
+            ScriptedChurn {
+                round: 1,
+                box_id: 3,
+                rejoin: true,
+            },
+        ];
+        if replay_fails_scripted(&seed, &raw, &padding_churn, &padding_faults, None, 6) {
+            let (demands, churn, faults) =
+                shrink_scripted(&seed, &raw, &padding_churn, &padding_faults, None, 6);
+            assert!(faults.is_empty(), "redundant fault window kept: {faults:?}");
+            assert!(churn.is_empty(), "redundant churn events kept: {churn:?}");
+            assert!(replay_fails(&seed, &demands, 6));
+        }
     }
 
     #[test]
@@ -1319,7 +1573,9 @@ mod tests {
                     rejoin: true,
                 },
             ],
+            faults: Vec::new(),
             repair_budget: Some(2),
+            degradation: None,
             note: "unit scripted churn".to_string(),
         };
         let report = replay_seed(&seed).expect("pipelines agree under scripted churn");
@@ -1348,11 +1604,76 @@ mod tests {
                 VideoDemand::new(BoxId(2), VideoId(0), 2),
             ]),
             churn: Vec::new(),
+            faults: Vec::new(),
             repair_budget: None,
+            degradation: None,
             note: "unit replay".to_string(),
         };
         let report = replay_seed(&seed).expect("pipelines agree");
         assert_eq!(report.round_count(), 6);
+    }
+
+    #[test]
+    fn fault_branching_widens_the_state_space_and_stays_verified() {
+        // k = 3 of 4 boxes per stripe tolerates one stalled holder, so the
+        // at-threshold guarantee must survive every interleaving of one
+        // fault window (stall or half-upload, over the first two boxes)
+        // with admissible demands — with all five pipelines bit-identical
+        // on faulted branches too.
+        let static_out = explore(&ExploreSpec {
+            differential: false,
+            ..ExploreSpec::new(tiny_seed(), 4)
+        });
+        let fault_spec = ExploreSpec::new(tiny_seed(), 4).with_faults(1, 2);
+        let out = explore(&fault_spec);
+        assert!(
+            out.verified(),
+            "failures {} divergences {}",
+            out.failures,
+            out.divergences.len()
+        );
+        assert!(
+            out.canonical_states > static_out.canonical_states,
+            "fault edges must add states: {} vs {}",
+            out.canonical_states,
+            static_out.canonical_states
+        );
+        assert!(out.counterexample_faults.is_empty());
+    }
+
+    #[test]
+    fn scripted_faults_replay_through_every_pipeline() {
+        let seed = SeedFile {
+            system: tiny_seed(),
+            horizon: 6,
+            demands: DemandTrace::from_demands([
+                VideoDemand::new(BoxId(0), VideoId(0), 0),
+                VideoDemand::new(BoxId(1), VideoId(1), 2),
+            ]),
+            churn: Vec::new(),
+            faults: vec![
+                ScriptedFault {
+                    round: 1,
+                    box_id: 2,
+                    pct: 0,
+                    duration: 2,
+                },
+                ScriptedFault {
+                    round: 3,
+                    box_id: 3,
+                    pct: 50,
+                    duration: 1,
+                },
+            ],
+            repair_budget: None,
+            degradation: Some(DegradationConfig::default()),
+            note: "unit scripted faults".to_string(),
+        };
+        let report = replay_seed(&seed).expect("pipelines agree under scripted faults");
+        assert_eq!(report.round_count(), 6);
+        // The degradation controller was attached, so every round reports
+        // its windowed stats — and the stall window must cost slots.
+        assert!(report.rounds.iter().all(|r| r.degradation.is_some()));
     }
 
     #[test]

@@ -97,12 +97,22 @@ fn main() {
 
     let mut regressions = Vec::new();
     let mut compared = 0usize;
-    let mut only_new = 0usize;
+    let mut additions = Vec::new();
     for entry in &candidate.entries {
         let Some(old) =
             baseline.lookup(&entry.series, &entry.workload, &entry.config, &entry.scale)
         else {
-            only_new += 1;
+            // A key with no baseline starts a new trajectory: name it, so a
+            // fresh series reads as an addition rather than a silent pass.
+            additions.push(format!(
+                "{}/{}/{}/{}: {:.4} ms/round, served {}",
+                entry.series,
+                entry.workload,
+                entry.config,
+                entry.scale,
+                entry.ms_per_round,
+                entry.served
+            ));
             continue;
         };
         compared += 1;
@@ -137,8 +147,12 @@ fn main() {
         .count();
 
     println!(
-        "bench gate: compared {compared} keys ({only_new} new, {only_old} dropped from baseline)"
+        "bench gate: compared {compared} keys ({} new, {only_old} dropped from baseline)",
+        additions.len()
     );
+    for line in &additions {
+        println!("ADDITION: {line}");
+    }
     if regressions.is_empty() {
         println!(
             "bench gate: no regressions beyond {:.0}%",

@@ -55,11 +55,19 @@ pub enum Stage {
     HkPhase,
     /// One push–relabel global-relabel BFS pass (payload = pass ordinal).
     GlobalRelabel,
+    /// Draining the round's fault events and overlaying the capacity
+    /// deductions of the active fault windows (payload = slots lost).
+    FaultDrain,
+    /// Delivery resolution: scheduled connections resolving into
+    /// delivered / dropped / timed-out outcomes and retry bookkeeping.
+    Deliver,
+    /// The graceful-degradation controller's windowed feasibility update.
+    Degrade,
 }
 
 impl Stage {
     /// Number of stages (the length of the per-stage arrays).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// Every stage, in discriminant order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -82,6 +90,9 @@ impl Stage {
         Stage::SolverAnalyze,
         Stage::HkPhase,
         Stage::GlobalRelabel,
+        Stage::FaultDrain,
+        Stage::Deliver,
+        Stage::Degrade,
     ];
 
     /// The stage's stable array index (its discriminant).
@@ -112,6 +123,9 @@ impl Stage {
             Stage::SolverAnalyze => "solver-analyze",
             Stage::HkPhase => "hk-phase",
             Stage::GlobalRelabel => "global-relabel",
+            Stage::FaultDrain => "fault-drain",
+            Stage::Deliver => "deliver",
+            Stage::Degrade => "degrade",
         }
     }
 

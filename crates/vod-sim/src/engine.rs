@@ -28,6 +28,10 @@
 //!    counting stalls, per the failure policy.
 
 use crate::candidates::{CandidateIndex, CandidateStats};
+use crate::delivery::{
+    Admission, DegradationConfig, DegradationController, DeliveryOutcome, DeliveryPolicy,
+    DeliverySummary, DeliveryTracker,
+};
 use crate::metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 use crate::repair::{RepairPlanner, RepairRoundStats};
 use crate::request::{
@@ -44,7 +48,9 @@ use vod_flow::{
     find_obstruction_in, CandidateBuf, ConnectionProblem, Dinic, FlowArena, RelayView, NO_STAMP,
 };
 use vod_obs::{Stage, TraceHandle};
-use vod_workloads::{ChurnEvent, ChurnModel, DemandGenerator, OccupancyView, VideoDemand};
+use vod_workloads::{
+    ChurnEvent, ChurnModel, DemandGenerator, FaultEvent, FaultModel, OccupancyView, VideoDemand,
+};
 
 /// What to do when a round cannot serve every active request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -315,6 +321,36 @@ pub struct Simulator<'a> {
     churn: Option<ChurnModel>,
     /// Pooled buffer for the round's churn events.
     churn_buf: Vec<ChurnEvent>,
+    /// Engine-driven fault process, when attached: drained every round
+    /// right after churn, so transient capacity loss overlays the same
+    /// table the repair planner and the scheduler read.
+    faults: Option<FaultModel>,
+    /// Pooled buffer for the round's fault events.
+    fault_buf: Vec<FaultEvent>,
+    /// True once any fault has been attached or scripted: gates the whole
+    /// fault overlay so the faults-off path stays zero-cost.
+    faults_active: bool,
+    /// Per-box remaining-capacity percentage of the open fault window
+    /// (100 = healthy, 0 = fully stalled).
+    fault_pct: Vec<u8>,
+    /// Per-box fault-window expiry round (0 = no open window).
+    fault_until: Vec<u64>,
+    /// Upload slots deducted from each box *this round* by the fault
+    /// overlay; restored after the repair commit so the capacity table
+    /// never drifts.
+    fault_deducted: Vec<u32>,
+    /// Total slots the fault overlay removed this round (failure
+    /// attribution: see [`FailureRecord::fault_slots_lost`]).
+    fault_slots_lost: u64,
+    /// Delivery-reliability state machine, when attached: resolves every
+    /// scheduled connection into an outcome and runs the retry queue.
+    delivery: Option<DeliveryTracker>,
+    /// Graceful-degradation controller, when attached: sheds load under
+    /// sustained infeasibility, with hysteresis.
+    degrade: Option<DegradationController>,
+    /// Per-round viewer dedup marks for rebuffer accounting (viewers with
+    /// at least one failed delivery this round).
+    rebuffer_mark: Vec<u64>,
     /// Stripe repair planner, when attached: plans budgeted re-replication
     /// before each round is scheduled and commits after.
     repair: Option<RepairPlanner>,
@@ -429,6 +465,16 @@ impl<'a> Simulator<'a> {
             alive: vec![true; n],
             churn: None,
             churn_buf: Vec::new(),
+            faults: None,
+            fault_buf: Vec::new(),
+            faults_active: false,
+            fault_pct: vec![100; n],
+            fault_until: vec![0; n],
+            fault_deducted: vec![0; n],
+            fault_slots_lost: 0,
+            delivery: None,
+            degrade: None,
+            rebuffer_mark: vec![0; n],
             repair: None,
             round_repair: None,
             report,
@@ -577,6 +623,104 @@ impl<'a> Simulator<'a> {
         self.repair = Some(planner);
     }
 
+    /// Attaches an engine-driven fault process: from the next round on its
+    /// events are drained right after churn — a faulted box stays in the
+    /// population (replicas, playback, swarm membership intact) but its
+    /// effective upload budget is overlaid on the live capacity table for
+    /// the window, restored when the window closes. Attaching faults also
+    /// attaches a default-policy [`DeliveryTracker`] (unless one is
+    /// already attached) carrying the model's per-connection drop/timeout
+    /// hazards and outcome salt.
+    pub fn attach_faults(&mut self, model: FaultModel) {
+        assert!(
+            model.box_count() <= self.playing.len(),
+            "fault model spans {} boxes but the engine universe has {}",
+            model.box_count(),
+            self.playing.len()
+        );
+        if self.delivery.is_none() {
+            self.delivery = Some(DeliveryTracker::new(DeliveryPolicy::default()));
+        }
+        self.delivery.as_mut().expect("attached above").set_hazards(
+            model.salt(),
+            model.drop_ppm(),
+            model.timeout_ppm(),
+        );
+        self.faults_active = true;
+        self.faults = Some(model);
+    }
+
+    /// Attaches (or replaces) the delivery-reliability state machine with
+    /// an explicit retry policy. When a fault model is already attached,
+    /// its per-connection hazards and outcome salt carry over; call this
+    /// *before* exercising faults to pin a non-default policy (e.g.
+    /// [`DeliveryPolicy::no_retry`] for the no-retry baseline).
+    pub fn attach_delivery(&mut self, policy: DeliveryPolicy) {
+        let mut tracker = DeliveryTracker::new(policy);
+        if let Some(model) = &self.faults {
+            tracker.set_hazards(model.salt(), model.drop_ppm(), model.timeout_ppm());
+        }
+        self.delivery = Some(tracker);
+    }
+
+    /// Attaches the graceful-degradation controller: from the next round
+    /// on it folds every round's (attempted, unserved) into its window and
+    /// sheds load — new admissions, and optionally tail stripes — while
+    /// the windowed unserved ratio stays above the configured thresholds.
+    pub fn attach_degradation(&mut self, config: DegradationConfig) {
+        self.degrade = Some(DegradationController::new(config));
+    }
+
+    /// The delivery-reliability state machine, when attached.
+    pub fn delivery_tracker(&self) -> Option<&DeliveryTracker> {
+        self.delivery.as_ref()
+    }
+
+    /// The graceful-degradation controller, when attached.
+    pub fn degradation(&self) -> Option<&DegradationController> {
+        self.degrade.as_ref()
+    }
+
+    /// Applies one fault event to the engine, scripted or model-driven: a
+    /// degradation or stall opens a per-box capacity window (a restore
+    /// closes it early) that the next round's fault overlay deducts from
+    /// the live capacity table; a drop surge raises the delivery tracker's
+    /// per-connection hazards. This is both the step-loop's internal path
+    /// for an attached [`FaultModel`] and the public entry point for
+    /// scripted faults (the explorer's fault-event branches). A
+    /// [`FaultEvent::DropSurge`] is a no-op unless a delivery tracker is
+    /// attached.
+    pub fn apply_fault(&mut self, event: FaultEvent) {
+        self.faults_active = true;
+        if let Some(box_id) = event.box_id() {
+            assert!(
+                box_id.index() < self.playing.len(),
+                "fault event targets box {} outside the universe of {} boxes",
+                box_id,
+                self.playing.len()
+            );
+        }
+        match event {
+            FaultEvent::Degraded { box_id, pct, until } => {
+                self.fault_pct[box_id.index()] = pct;
+                self.fault_until[box_id.index()] = until;
+            }
+            FaultEvent::Stalled { box_id, until } => {
+                self.fault_pct[box_id.index()] = 0;
+                self.fault_until[box_id.index()] = until;
+            }
+            FaultEvent::Restored { box_id } => {
+                self.fault_pct[box_id.index()] = 100;
+                self.fault_until[box_id.index()] = 0;
+            }
+            FaultEvent::DropSurge { add_ppm, until } => {
+                if let Some(tracker) = &mut self.delivery {
+                    tracker.apply_surge(add_ppm, until);
+                }
+            }
+        }
+    }
+
     /// Enables dynamic relay-reservation sizing (heterogeneous systems
     /// only): instead of holding every relay at the worst-case
     /// `u* + 1 − 2u_b` reservation forever, the broker shrinks a relay's
@@ -661,6 +805,22 @@ impl<'a> Simulator<'a> {
                 sig.push(&(10u8, s));
             }
         }
+        // Fault-injection state: open fault windows, the delivery
+        // tracker's retry/backoff queue and surge window, and the
+        // degradation controller's window/mode all steer future rounds.
+        // (An attached fault model is external stochastic input, like the
+        // churn model.)
+        for idx in 0..self.fault_pct.len() {
+            if self.fault_pct[idx] != 100 || self.fault_until[idx] != 0 {
+                sig.push(&(11u8, idx as u32, self.fault_pct[idx], self.fault_until[idx]));
+            }
+        }
+        if let Some(tracker) = &self.delivery {
+            tracker.push_signature(&mut sig);
+        }
+        if let Some(ctrl) = &self.degrade {
+            ctrl.push_signature(&mut sig);
+        }
         sig.finish()
     }
 
@@ -688,6 +848,12 @@ impl<'a> Simulator<'a> {
         fork.alive = self.alive.clone();
         fork.churn = self.churn.clone();
         fork.repair = self.repair.clone();
+        fork.faults = self.faults.clone();
+        fork.faults_active = self.faults_active;
+        fork.fault_pct = self.fault_pct.clone();
+        fork.fault_until = self.fault_until.clone();
+        fork.delivery = self.delivery.clone();
+        fork.degrade = self.degrade.clone();
         fork
     }
 
@@ -812,6 +978,9 @@ impl<'a> Simulator<'a> {
             });
             self.stalls[idx] = 0;
         }
+        if let Some(tracker) = &mut self.delivery {
+            tracker.forget_viewer(id);
+        }
         self.candidates.purge_box(id, now);
         let lost = self.placement.remove_box(id);
         for &stripe in &lost {
@@ -847,6 +1016,9 @@ impl<'a> Simulator<'a> {
     /// utilization profile.
     fn finish(mut self) -> SimulationReport {
         self.report.profile = self.tracer.run_profile();
+        if self.delivery.is_some() {
+            self.report.delivery = Some(DeliverySummary::from_rounds(&self.report.rounds));
+        }
         if let Some(broker) = &self.relay_broker {
             self.report.relays = broker.utilization();
         }
@@ -893,6 +1065,20 @@ impl<'a> Simulator<'a> {
         let clock = self.tracer.begin();
         self.drain_churn(now);
         self.tracer.end(clock, Stage::ChurnDrain, 0);
+        // Fault overlay: open this round's fault windows (model events +
+        // scripted ones still pending), expire finished windows, and
+        // deduct the transient capacity loss before the repair planner and
+        // the scheduler read the table. Restored after the repair commit.
+        let clock = self.tracer.begin();
+        if let Some(tracker) = &mut self.delivery {
+            tracker.begin_round(now);
+        }
+        if let Some(ctrl) = &mut self.degrade {
+            ctrl.begin_round(now);
+        }
+        self.fault_slots_lost = self.drain_faults(now);
+        self.tracer
+            .end(clock, Stage::FaultDrain, self.fault_slots_lost);
         // Repair planning deducts the transfer slots from the source boxes'
         // budgets before the scheduler sees them.
         let clock = self.tracer.begin();
@@ -919,6 +1105,17 @@ impl<'a> Simulator<'a> {
         let clock = self.tracer.begin();
         self.commit_repairs(now);
         self.tracer.end(clock, Stage::RepairCommit, 0);
+        // Restore the fault overlay's deductions: the capacity table
+        // carries only the round's transient loss, recomputed from the
+        // open windows each round (so churned capacities never drift).
+        if self.faults_active {
+            for idx in 0..self.fault_deducted.len() {
+                if self.fault_deducted[idx] != 0 {
+                    self.capacities[idx] += self.fault_deducted[idx];
+                    self.fault_deducted[idx] = 0;
+                }
+            }
+        }
         // Dynamic reservation sizing re-tunes inside `note_round`; pick the
         // shifted capacities up for the next round.
         if self
@@ -956,6 +1153,44 @@ impl<'a> Simulator<'a> {
             self.apply_churn(event);
         }
         self.churn_buf = events;
+    }
+
+    /// Drains the attached fault model's events for `now`, expires the
+    /// fault windows whose round has come, and overlays the open windows
+    /// on the live capacity table (`keep = ⌊cap·pct/100⌋`, recomputed
+    /// fresh each round). Returns the upload slots removed.
+    fn drain_faults(&mut self, now: u64) -> u64 {
+        if !self.faults_active {
+            return 0;
+        }
+        if self.faults.is_some() {
+            let mut events = std::mem::take(&mut self.fault_buf);
+            self.faults
+                .as_mut()
+                .expect("checked above")
+                .events_into(now, &mut events);
+            for event in events.drain(..) {
+                self.apply_fault(event);
+            }
+            self.fault_buf = events;
+        }
+        let mut lost = 0u64;
+        for idx in 0..self.fault_pct.len() {
+            if self.fault_until[idx] != 0 && self.fault_until[idx] <= now {
+                self.fault_until[idx] = 0;
+                self.fault_pct[idx] = 100;
+            }
+            let pct = self.fault_pct[idx];
+            if pct < 100 {
+                let cap = self.capacities[idx];
+                let keep = (cap as u64 * pct as u64 / 100) as u32;
+                let loss = cap - keep;
+                self.fault_deducted[idx] = loss;
+                self.capacities[idx] = keep;
+                lost += loss as u64;
+            }
+        }
+        lost
     }
 
     /// Plans this round's repair transfers and charges their upload slots
@@ -1005,6 +1240,9 @@ impl<'a> Simulator<'a> {
                     stalled_rounds: self.stalls[idx],
                 });
                 self.stalls[idx] = 0;
+                if let Some(tracker) = &mut self.delivery {
+                    tracker.forget_viewer(BoxId(idx as u32));
+                }
             }
         }
     }
@@ -1029,6 +1267,13 @@ impl<'a> Simulator<'a> {
                 || self.system.catalog().video(demand.video).is_none()
             {
                 self.report.rejected_demands += 1;
+                continue;
+            }
+            // Degraded mode sheds new admissions deterministically:
+            // existing playbacks' continuity outranks new entrants.
+            if self.degrade.as_ref().is_some_and(|c| c.shedding()) {
+                self.report.rejected_demands += 1;
+                self.degrade.as_mut().expect("checked above").note_shed();
                 continue;
             }
             self.start_playback(demand.box_id, demand.video, now);
@@ -1091,8 +1336,21 @@ impl<'a> Simulator<'a> {
 
     /// Collects the round's active stripe requests into the pooled buffer,
     /// returning the number of requests served from the requester's own
-    /// static storage (no connection needed).
-    fn collect_active_requests_into(&self, now: u64, out: &mut Vec<StripeRequest>) -> usize {
+    /// static storage (no connection needed). With a delivery tracker
+    /// attached, each request first consults the retry queue: a stream in
+    /// backoff (or abandoned) is suppressed this round, an expired backoff
+    /// re-enters as a first-class request. With partial service active,
+    /// tail stripes (`index ≥ c'`) are suppressed without counting as
+    /// stalls.
+    fn collect_active_requests_into(&mut self, now: u64, out: &mut Vec<StripeRequest>) -> usize {
+        // Detach the tracker so the closure can consult the retry queue
+        // mutably while `self` is borrowed for the playback iteration.
+        let mut delivery = self.delivery.take();
+        let stripe_limit = self
+            .degrade
+            .as_ref()
+            .and_then(DegradationController::active_stripe_limit);
+        let mut suppressed = 0usize;
         let mut self_served = 0usize;
         for (idx, slot) in self.playing.iter().enumerate() {
             let viewer = BoxId(idx as u32);
@@ -1100,11 +1358,26 @@ impl<'a> Simulator<'a> {
                 st.for_each_active(viewer, now, |req| {
                     if self.placement.stores(req.requester, req.stripe) {
                         self_served += 1;
+                    } else if stripe_limit.is_some_and(|limit| req.stripe.index >= limit) {
+                        suppressed += 1;
                     } else {
-                        out.push(req);
+                        match delivery
+                            .as_mut()
+                            .map_or(Admission::Emit, |t| t.admit(req.viewer, req.stripe, now))
+                        {
+                            Admission::Emit | Admission::Retry => out.push(req),
+                            Admission::Suppress => {}
+                        }
                     }
                 });
             }
+        }
+        self.delivery = delivery;
+        if suppressed > 0 {
+            self.degrade
+                .as_mut()
+                .expect("stripe_limit came from the controller")
+                .note_suppressed(suppressed);
         }
         self_served
     }
@@ -1324,18 +1597,53 @@ impl<'a> Simulator<'a> {
         self.failed_videos.clear();
         let mark = now + 1;
 
+        // Delivery resolution rides the served loop: the outcome hash
+        // depends only on (salt, round, viewer, stripe) — never on the
+        // assigned supplier — so every scheduler pipeline resolves every
+        // connection identically.
+        let mut delivery = self.delivery.take();
+        let deliver_clock = delivery.is_some().then(|| self.tracer.begin());
         for (req, assigned) in requests.iter().zip(&assignment) {
             match assigned {
                 Some(supplier) => {
-                    served += 1;
-                    if self.placement.stores(*supplier, req.stripe) {
-                        served_from_allocation += 1;
-                    } else {
-                        served_from_cache += 1;
+                    let outcome = delivery.as_mut().map_or(DeliveryOutcome::Delivered, |t| {
+                        t.resolve(req.viewer, req.stripe, now)
+                    });
+                    match outcome {
+                        DeliveryOutcome::Delivered => {
+                            served += 1;
+                            if self.placement.stores(*supplier, req.stripe) {
+                                served_from_allocation += 1;
+                            } else {
+                                served_from_cache += 1;
+                            }
+                        }
+                        DeliveryOutcome::Dropped | DeliveryOutcome::Timeout => {
+                            // A failed delivery is a rebuffer round for its
+                            // viewer, not a Lemma-1 failure: the matching
+                            // existed, the data path lost it. It counts
+                            // neither `served` nor `unserved`.
+                            if self.rebuffer_mark[req.viewer.index()] != mark {
+                                self.rebuffer_mark[req.viewer.index()] = mark;
+                                delivery
+                                    .as_mut()
+                                    .expect("outcome came from the tracker")
+                                    .note_rebuffer();
+                            }
+                            if self.viewer_mark[req.viewer.index()] != mark {
+                                self.viewer_mark[req.viewer.index()] = mark;
+                                self.stalled_viewers.push(req.viewer);
+                            }
+                        }
                     }
                 }
                 None => {
                     unserved += 1;
+                    // Scheduler-unserved requests take the legacy stall
+                    // path untouched — they do not enter the retry queue
+                    // (Lemma-1 shortfall is the round's failure, not a
+                    // data-path fault), keeping the fault-free run
+                    // bit-identical to the pre-delivery engine.
                     if self.viewer_mark[req.viewer.index()] != mark {
                         self.viewer_mark[req.viewer.index()] = mark;
                         self.stalled_viewers.push(req.viewer);
@@ -1348,10 +1656,31 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        let delivery_stats = delivery.as_ref().map(DeliveryTracker::round_stats);
+        self.delivery = delivery;
+        if let Some(clock) = deliver_clock {
+            let failed = delivery_stats
+                .map(|d| (d.dropped + d.timed_out) as u64)
+                .unwrap_or(0);
+            self.tracer.end(clock, Stage::Deliver, failed);
+        }
 
         for viewer in &self.stalled_viewers {
             self.stalls[viewer.index()] += 1;
         }
+
+        // The degradation controller observes the round's scheduling
+        // outcome last (its mode switch, if any, takes effect next round).
+        let degradation_stats = match &mut self.degrade {
+            Some(ctrl) => {
+                let clock = self.tracer.begin();
+                let stats = ctrl.note_round(now, requests.len() as u64, unserved as u64);
+                self.tracer
+                    .end(clock, Stage::Degrade, stats.window_unserved_ppm as u64);
+                Some(stats)
+            }
+            None => None,
+        };
 
         // A round fails iff a *download* leg goes unserved — the quantity
         // the paper's Lemma-1 feasibility (and every scheduler, sharded or
@@ -1418,6 +1747,7 @@ impl<'a> Simulator<'a> {
                 obstruction_capacity,
                 starved_relays,
                 videos: self.failed_videos.clone(),
+                fault_slots_lost: self.fault_slots_lost,
             });
         }
 
@@ -1439,6 +1769,8 @@ impl<'a> Simulator<'a> {
             relay: relay_metrics,
             candidates: Some(self.round_cand_stats),
             repair: self.round_repair.take(),
+            delivery: delivery_stats,
+            degradation: degradation_stats,
             // Patched in by `step` once the round (including the repair
             // commit, which lands after this record is pushed) has closed.
             timing: None,
@@ -1722,6 +2054,199 @@ mod tests {
             let sig = incremental.state_signature();
             assert_eq!(sig, rescan.state_signature(), "round {round}");
             assert_eq!(sig, sharded.state_signature(), "round {round}");
+        }
+    }
+
+    /// The faults-off identity gate at unit scale: attaching a zero-rate
+    /// fault model (which also attaches a delivery tracker) must leave
+    /// every state signature and every scheduling outcome bit-identical
+    /// to the plain engine — the tracker only *observes* until a hazard
+    /// is configured.
+    #[test]
+    fn zero_rate_fault_model_keeps_the_schedule_bit_identical() {
+        let sys = small_system(24, 2.0, 4, 4, 30);
+        let make_gen = || SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+        let mut plain = Simulator::new(&sys, SimConfig::new(40).continue_on_failure());
+        let mut faulty = Simulator::new(&sys, SimConfig::new(40).continue_on_failure());
+        faulty.attach_faults(FaultModel::new(sys.boxes(), 0x1DEA));
+        let (mut g1, mut g2) = (make_gen(), make_gen());
+        for round in 0..40 {
+            plain.step(&mut g1);
+            faulty.step(&mut g2);
+            assert_eq!(
+                plain.state_signature(),
+                faulty.state_signature(),
+                "round {round}"
+            );
+        }
+        let plain = plain.into_report();
+        let faulty = faulty.into_report();
+        for (a, b) in plain.rounds.iter().zip(&faulty.rounds) {
+            assert_eq!(
+                (a.served, a.unserved),
+                (b.served, b.unserved),
+                "round {}",
+                a.round
+            );
+        }
+        let summary = faulty.delivery.expect("tracker was attached");
+        assert_eq!(summary.dropped + summary.timed_out, 0);
+        assert_eq!(summary.delivered, faulty.total_served());
+        assert!(plain.delivery.is_none());
+    }
+
+    /// Fault trajectories are scheduler-invariant: the same seeded fault
+    /// model (capacity windows, drops, surges) plus retry and degradation
+    /// drives the incremental, rescan, and sharded pipelines through
+    /// identical states and scheduling outcomes.
+    #[test]
+    fn pipelines_agree_under_injected_faults() {
+        let sys = small_system(16, 2.0, 4, 4, 10);
+        let config = SimConfig::new(30)
+            .continue_on_failure()
+            .without_obstructions();
+        let make_gen = || SequentialViewing::new(16, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 5);
+        let make_faults = || {
+            FaultModel::new(sys.boxes(), 0xFA17)
+                .with_degradation(0.05, vec![25, 50], 1, 3)
+                .with_flapping(0.03, 1, 2)
+                .with_drop_rate(60_000, 20_000)
+                .with_drop_surges(0.05, 200_000, 1, 3)
+        };
+        let mut sims = vec![
+            Simulator::with_scheduler(&sys, config, Box::new(MaxFlowScheduler::new())),
+            Simulator::with_scheduler(
+                &sys,
+                config.with_rescan_candidates(),
+                Box::new(MaxFlowScheduler::new()),
+            ),
+            Simulator::with_sharded_scheduler(&sys, config, 2),
+        ];
+        for sim in &mut sims {
+            sim.attach_faults(make_faults());
+            sim.attach_degradation(DegradationConfig::default());
+        }
+        let mut gens: Vec<_> = (0..sims.len()).map(|_| make_gen()).collect();
+        for round in 0..30 {
+            for (sim, gen) in sims.iter_mut().zip(&mut gens) {
+                sim.step(gen);
+            }
+            let sig = sims[0].state_signature();
+            for sim in &sims[1..] {
+                assert_eq!(sig, sim.state_signature(), "round {round}");
+            }
+            let last = sims[0].report_so_far().rounds.last().cloned();
+            for sim in &sims[1..] {
+                let other = sim.report_so_far().rounds.last().cloned();
+                assert_eq!(
+                    last.as_ref()
+                        .map(|r| (r.served, r.unserved, r.delivery, r.degradation)),
+                    other
+                        .as_ref()
+                        .map(|r| (r.served, r.unserved, r.delivery, r.degradation)),
+                    "round {round}"
+                );
+            }
+        }
+        let report = sims.remove(0).into_report();
+        let summary = report.delivery.expect("tracker attached");
+        assert!(
+            summary.dropped + summary.timed_out > 0,
+            "hazards never fired"
+        );
+    }
+
+    /// Dropped deliveries re-enter the schedule as retries and the
+    /// affected playbacks still finish: with a generous retry policy no
+    /// stream is abandoned, while the no-retry baseline abandons every
+    /// stream its first drop touches.
+    #[test]
+    fn retries_recover_dropped_deliveries() {
+        let sys = small_system(24, 2.0, 4, 4, 30);
+        let run = |policy: DeliveryPolicy| {
+            let mut sim = Simulator::new(&sys, SimConfig::new(60).continue_on_failure());
+            sim.attach_faults(FaultModel::new(sys.boxes(), 0xD0_5E).with_drop_rate(120_000, 0));
+            sim.attach_delivery(policy);
+            let mut gen = SequentialViewing::new(24, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 7);
+            while sim.round() < 60 {
+                sim.step(&mut gen);
+            }
+            sim.into_report()
+        };
+        let retrying = run(DeliveryPolicy::default());
+        let summary = retrying.delivery.expect("tracker attached");
+        assert!(summary.dropped > 0, "the drop hazard never fired");
+        assert!(summary.retries > 0, "drops must come back as retries");
+        assert_eq!(summary.abandoned, 0, "generous policy never abandons");
+
+        let no_retry = run(DeliveryPolicy::no_retry());
+        let summary = no_retry.delivery.expect("tracker attached");
+        assert!(summary.abandoned > 0, "no-retry abandons on first drop");
+        assert_eq!(summary.retries, 0, "no-retry never re-enters");
+        // Abandoned streams stop requesting, so the no-retry run delivers
+        // measurably less than the retrying run.
+        assert!(
+            no_retry.total_served() < retrying.total_served(),
+            "no-retry {} vs retrying {}",
+            no_retry.total_served(),
+            retrying.total_served()
+        );
+    }
+
+    /// The degradation controller sheds new admissions under sustained
+    /// infeasibility and re-admits when headroom returns, without ever
+    /// flapping round-to-round.
+    #[test]
+    fn degradation_sheds_and_readmits_with_hysteresis() {
+        // u = 0.4 < 1: chronically infeasible under sustained demand.
+        let sys = small_system(16, 0.4, 4, 1, 30);
+        let mut sim = Simulator::new(
+            &sys,
+            SimConfig::new(60)
+                .continue_on_failure()
+                .without_obstructions(),
+        );
+        sim.attach_degradation(DegradationConfig {
+            enter_ppm: 100_000,
+            exit_ppm: 20_000,
+            window: 4,
+            cooldown: 3,
+            min_stripes: 2,
+        });
+        let mut gen = SequentialViewing::new(16, sys.m(), NextVideoPolicy::RoundRobin, 1.5, 1);
+        while sim.round() < 60 {
+            sim.step(&mut gen);
+        }
+        let report = sim.into_report();
+        let degraded: Vec<bool> = report
+            .rounds
+            .iter()
+            .map(|r| r.degradation.expect("controller attached").degraded)
+            .collect();
+        assert!(degraded.iter().any(|&d| d), "never entered degraded mode");
+        let shed: u64 = report
+            .rounds
+            .iter()
+            .map(|r| r.degradation.unwrap().shed_demands as u64)
+            .sum();
+        let suppressed: u64 = report
+            .rounds
+            .iter()
+            .map(|r| r.degradation.unwrap().suppressed_stripes as u64)
+            .sum();
+        assert!(shed > 0, "degraded mode must shed admissions");
+        assert!(suppressed > 0, "partial service must suppress tail stripes");
+        // No round-to-round flap: every switch persists for at least the
+        // cooldown's worth of rounds.
+        let mut last_switch = 0usize;
+        for i in 1..degraded.len() {
+            if degraded[i] != degraded[i - 1] {
+                assert!(
+                    i - last_switch >= 3 || last_switch == 0,
+                    "mode flapped at round {i}"
+                );
+                last_switch = i;
+            }
         }
     }
 

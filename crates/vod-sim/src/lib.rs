@@ -24,12 +24,19 @@
 //! * [`metrics`] — per-round and aggregate measurements;
 //! * [`repair`] — budgeted, deterministic re-replication of stripes that
 //!   lost replicas to departures, competing with serving traffic through
-//!   the same Lemma-1 box budgets.
+//!   the same Lemma-1 box budgets;
+//! * [`delivery`] — the delivery-reliability state machine: scheduled
+//!   connections resolve into delivered/dropped/timed-out outcomes, failed
+//!   streams retry with deadline + capped exponential backoff through the
+//!   same Lemma-1 budgets, and a graceful-degradation controller sheds
+//!   load (admission shedding, partial service) under sustained
+//!   infeasibility with hysteresis.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod candidates;
+pub mod delivery;
 pub mod engine;
 pub mod metrics;
 pub mod repair;
@@ -38,6 +45,10 @@ pub mod scheduler;
 pub mod swarm;
 
 pub use candidates::{CandidateIndex, CandidateStats};
+pub use delivery::{
+    Admission, DegradationConfig, DegradationController, DegradationRoundStats, DeliveryOutcome,
+    DeliveryPolicy, DeliveryRoundStats, DeliverySummary, DeliveryTracker,
+};
 pub use engine::{CandidateMode, FailurePolicy, SimConfig, Simulator};
 pub use metrics::{FailureRecord, PlaybackRecord, RoundMetrics, SimulationReport};
 pub use repair::{RepairPlanner, RepairRoundStats, RepairTransfer};

@@ -6,6 +6,7 @@
 //! obstructions witnessing infeasible rounds.
 
 use crate::candidates::CandidateStats;
+use crate::delivery::{DegradationRoundStats, DeliveryRoundStats, DeliverySummary};
 use crate::repair::RepairRoundStats;
 use crate::scheduler::{RelayRoundStats, RelayUtilization, ShardRoundStats};
 use vod_core::json::{obj, Json, JsonCodec, JsonError};
@@ -57,6 +58,15 @@ pub struct RoundMetrics {
     /// plans are scheduler-invariant, so equality compares this field
     /// across engine variants un-normalized.
     pub repair: Option<RepairRoundStats>,
+    /// Delivery-reliability observability (outcome split, retries,
+    /// backoff/abandonment, rebuffering viewers), when a delivery tracker
+    /// is attached; `None` otherwise. Delivery outcomes are
+    /// scheduler-invariant, so equality compares this un-normalized.
+    pub delivery: Option<DeliveryRoundStats>,
+    /// Graceful-degradation observability (mode, shed admissions,
+    /// partial-service suppressions, windowed unserved ratio), when a
+    /// degradation controller is attached; `None` otherwise.
+    pub degradation: Option<DegradationRoundStats>,
     /// Per-stage wall-clock breakdown of the round, when a tracer was
     /// attached; `None` otherwise (including every report serialized
     /// before tracing existed). Pure timing: excluded from equality, so a
@@ -85,6 +95,8 @@ impl PartialEq for RoundMetrics {
             && self.relay == other.relay
             && self.candidates == other.candidates
             && self.repair == other.repair
+            && self.delivery == other.delivery
+            && self.degradation == other.degradation
     }
 }
 
@@ -112,6 +124,8 @@ impl JsonCodec for RoundMetrics {
             ("relay", self.relay.to_json()),
             ("candidates", self.candidates.to_json()),
             ("repair", self.repair.to_json()),
+            ("delivery", self.delivery.to_json()),
+            ("degradation", self.degradation.to_json()),
             ("timing", self.timing.to_json()),
         ])
     }
@@ -145,6 +159,17 @@ impl JsonCodec for RoundMetrics {
             },
             // Absent in reports serialized before the repair planner.
             repair: match json.field("repair") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before delivery tracking.
+            delivery: match json.field("delivery") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
+            },
+            // Absent in reports serialized before the degradation
+            // controller existed.
+            degradation: match json.field("degradation") {
                 Ok(value) => Option::from_json(value)?,
                 Err(_) => None,
             },
@@ -196,6 +221,23 @@ pub struct FailureRecord {
     pub starved_relays: Vec<BoxId>,
     /// Videos implicated in the unserved requests.
     pub videos: Vec<VideoId>,
+    /// Upload slots removed from the round's capacity table by injected
+    /// fault windows (0 when no faults were active — the round was
+    /// infeasible on the allocation's own merits).
+    pub fault_slots_lost: u64,
+}
+
+impl FailureRecord {
+    /// Names the failure's cause: `"allocation"` when the round was
+    /// infeasible at full capacity, `"fault-degraded"` when injected
+    /// faults had removed upload slots the matching could have used.
+    pub fn cause(&self) -> &'static str {
+        if self.fault_slots_lost > 0 {
+            "fault-degraded"
+        } else {
+            "allocation"
+        }
+    }
 }
 
 impl JsonCodec for FailureRecord {
@@ -207,6 +249,7 @@ impl JsonCodec for FailureRecord {
             ("obstruction_capacity", self.obstruction_capacity.to_json()),
             ("starved_relays", self.starved_relays.to_json()),
             ("videos", self.videos.to_json()),
+            ("fault_slots_lost", self.fault_slots_lost.to_json()),
         ])
     }
     fn from_json(json: &Json) -> Result<Self, JsonError> {
@@ -221,6 +264,11 @@ impl JsonCodec for FailureRecord {
                 Err(_) => Vec::new(),
             },
             videos: Vec::from_json(json.field("videos")?)?,
+            // Absent in reports serialized before fault injection.
+            fault_slots_lost: match json.field("fault_slots_lost") {
+                Ok(value) => u64::from_json(value)?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -279,6 +327,10 @@ pub struct SimulationReport {
     /// Cumulative per-relay utilization of the reserved forwarding
     /// capacity (heterogeneous systems only; empty otherwise).
     pub relays: Vec<RelayUtilization>,
+    /// Whole-run delivery/degradation summary, when a delivery tracker
+    /// was attached; `None` otherwise (including every report serialized
+    /// before delivery tracking existed).
+    pub delivery: Option<DeliverySummary>,
     /// Whole-run per-stage profile (span counts, totals, log-bucketed
     /// latency histograms), when a tracer was attached; `None` otherwise.
     /// Pure timing: excluded from equality like `RoundMetrics::timing`.
@@ -297,6 +349,7 @@ impl PartialEq for SimulationReport {
             && self.rejected_demands == other.rejected_demands
             && self.aborted == other.aborted
             && self.relays == other.relays
+            && self.delivery == other.delivery
     }
 }
 
@@ -310,6 +363,7 @@ impl JsonCodec for SimulationReport {
             ("rejected_demands", self.rejected_demands.to_json()),
             ("aborted", self.aborted.to_json()),
             ("relays", self.relays.to_json()),
+            ("delivery", self.delivery.to_json()),
             ("profile", self.profile.to_json()),
         ])
     }
@@ -325,6 +379,11 @@ impl JsonCodec for SimulationReport {
             relays: match json.field("relays") {
                 Ok(value) => Vec::from_json(value)?,
                 Err(_) => Vec::new(),
+            },
+            // Absent in reports serialized before delivery tracking.
+            delivery: match json.field("delivery") {
+                Ok(value) => Option::from_json(value)?,
+                Err(_) => None,
             },
             // Absent in reports serialized before the tracer existed.
             profile: match json.field("profile") {
@@ -448,6 +507,27 @@ impl SimulationReport {
             .sum()
     }
 
+    /// Total connections lost to delivery faults (drops + timeouts) over
+    /// the run (0 when no delivery tracker was attached).
+    pub fn total_delivery_failures(&self) -> u64 {
+        self.delivery.map(|d| d.dropped + d.timed_out).unwrap_or(0)
+    }
+
+    /// Rounds spent in degraded mode over the run (0 when no degradation
+    /// controller was attached).
+    pub fn degraded_rounds(&self) -> u64 {
+        self.delivery.map(|d| d.degraded_rounds).unwrap_or(0)
+    }
+
+    /// Failing rounds attributable to injected faults (capacity removed
+    /// by active fault windows when the matching came up short).
+    pub fn fault_attributed_failures(&self) -> usize {
+        self.failures
+            .iter()
+            .filter(|f| f.cause() == "fault-degraded")
+            .count()
+    }
+
     /// Fraction of playbacks that never stalled.
     pub fn smooth_playback_ratio(&self) -> f64 {
         if self.playbacks.is_empty() {
@@ -496,6 +576,7 @@ mod tests {
                 obstruction_capacity: Some(1),
                 starved_relays: Vec::new(),
                 videos: vec![VideoId(0)],
+                fault_slots_lost: 0,
             }],
             playbacks: vec![
                 PlaybackRecord {
@@ -517,6 +598,7 @@ mod tests {
             rejected_demands: 1,
             aborted: false,
             relays: Vec::new(),
+            delivery: None,
             profile: None,
         };
         assert_eq!(report.round_count(), 2);

@@ -1,0 +1,489 @@
+//! Seeded fault-injection processes: flaky uploads, flapping boxes,
+//! correlated regional outages, and delivery-drop surges.
+//!
+//! The paper's matching argument assumes every scheduled connection
+//! delivers perfectly; production upload paths do not. This module models
+//! the data-path hazards *orthogonally to churn*: a faulted box stays in
+//! the population (its replicas, playback, and swarm membership are
+//! intact) but its effective upload budget `⌊u_b·c⌋` drops for a window —
+//! partially ([`FaultEvent::Degraded`]) or completely
+//! ([`FaultEvent::Stalled`], the flapping-box case). Outages can be
+//! correlated: a regional outage stalls every box of one group
+//! (`box_id mod regions`) at once. On top of the box-level hazards the
+//! model carries per-connection delivery hazards — a base drop/timeout
+//! rate plus transient [`FaultEvent::DropSurge`] windows — which the
+//! engine samples per scheduled connection with a deterministic hash
+//! keyed by [`FaultModel::salt`], so outcomes are identical for every
+//! scheduler pipeline.
+//!
+//! Like [`ChurnModel`](crate::ChurnModel), the model is a pure function
+//! of `(universe, seed, config)`: it consumes randomness in ascending
+//! box-id order each round and emits the exact same event sequence for
+//! the same seed — the property the engine's bit-equality gates (and
+//! `workload_determinism.rs`) rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vod_core::{BoxId, BoxSet};
+
+/// One fault event emitted by the [`FaultModel`] (or scripted by the
+/// explorer). Windows carry an absolute expiry round `until`; the engine
+/// restores the box when the window closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A box's effective upload budget drops to `pct`% of its live
+    /// capacity until round `until` (exclusive).
+    Degraded {
+        /// The degraded box.
+        box_id: BoxId,
+        /// Remaining capacity in percent (0 = fully stalled).
+        pct: u8,
+        /// First round the box is back at full capacity.
+        until: u64,
+    },
+    /// A flapping box: it stays in the population (unlike churn) but its
+    /// uploads stall completely until round `until`.
+    Stalled {
+        /// The stalled box.
+        box_id: BoxId,
+        /// First round the box uploads again.
+        until: u64,
+    },
+    /// A box's fault window is cancelled early (back to full capacity).
+    Restored {
+        /// The restored box.
+        box_id: BoxId,
+    },
+    /// A transient surge of the per-connection delivery hazards: `add`
+    /// parts-per-million are added to both the drop and timeout rates
+    /// until round `until`.
+    DropSurge {
+        /// Additional drop/timeout probability in parts per million.
+        add_ppm: u32,
+        /// First round the surge is over.
+        until: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The box the event concerns, when it is box-level.
+    pub fn box_id(&self) -> Option<BoxId> {
+        match *self {
+            FaultEvent::Degraded { box_id, .. }
+            | FaultEvent::Stalled { box_id, .. }
+            | FaultEvent::Restored { box_id } => Some(box_id),
+            FaultEvent::DropSurge { .. } => None,
+        }
+    }
+}
+
+/// Cumulative event counts and exposure, for observed-rate checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Independent (non-regional) degradation windows opened.
+    pub degradations: u64,
+    /// Independent (non-regional) stall windows opened.
+    pub stalls: u64,
+    /// Regional outages triggered (each stalls a whole box group).
+    pub region_outages: u64,
+    /// Boxes stalled by regional outages (≥ `region_outages`).
+    pub region_stalled_boxes: u64,
+    /// Delivery-drop surge windows opened.
+    pub drop_surges: u64,
+    /// Sum over rounds of boxes that were healthy at the start of the
+    /// round (the exposure denominator for per-box per-round rates).
+    pub healthy_box_rounds: u64,
+    /// Rounds the model has been asked for events.
+    pub rounds: u64,
+}
+
+impl FaultCounts {
+    /// Observed per-box per-round degradation rate.
+    pub fn degradation_rate(&self) -> f64 {
+        self.degradations as f64 / self.healthy_box_rounds.max(1) as f64
+    }
+
+    /// Observed per-box per-round flapping (stall) rate.
+    pub fn stall_rate(&self) -> f64 {
+        self.stalls as f64 / self.healthy_box_rounds.max(1) as f64
+    }
+
+    /// Observed per-round regional-outage rate.
+    pub fn region_outage_rate(&self) -> f64 {
+        self.region_outages as f64 / self.rounds.max(1) as f64
+    }
+}
+
+/// Seeded fault process over a fixed universe of box identities.
+///
+/// ```
+/// use vod_core::{Bandwidth, BoxSet, StorageSlots};
+/// use vod_workloads::FaultModel;
+///
+/// let boxes = BoxSet::homogeneous(8, Bandwidth::from_streams(1.5), StorageSlots::from_slots(16));
+/// let mut faults = FaultModel::new(&boxes, 42)
+///     .with_degradation(0.05, vec![25, 50], 2, 4)
+///     .with_flapping(0.02, 1, 3)
+///     .with_drop_rate(20_000, 5_000);
+/// let mut events = Vec::new();
+/// for round in 0..50 {
+///     faults.events_into(round, &mut events);
+///     // feed `events` to the simulator …
+/// }
+/// assert!(faults.counts().degradations + faults.counts().stalls > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    degradation_rate: f64,
+    degradation_pcts: Vec<u8>,
+    degradation_min: u64,
+    degradation_max: u64,
+    flap_rate: f64,
+    flap_min: u64,
+    flap_max: u64,
+    region_rate: f64,
+    regions: u32,
+    region_min: u64,
+    region_max: u64,
+    drop_ppm: u32,
+    timeout_ppm: u32,
+    surge_rate: f64,
+    surge_ppm: u32,
+    surge_min: u64,
+    surge_max: u64,
+    seed: u64,
+    rng: StdRng,
+    /// Per-box fault-window expiry (`0` = healthy). Mirrors the engine's
+    /// view so hazards only fire on healthy boxes.
+    until: Vec<u64>,
+    surge_until: u64,
+    next_round: u64,
+    counts: FaultCounts,
+}
+
+impl FaultModel {
+    /// Creates a quiescent model (no faults until rates are configured)
+    /// over the given population, all boxes healthy.
+    pub fn new(boxes: &BoxSet, seed: u64) -> Self {
+        FaultModel {
+            degradation_rate: 0.0,
+            degradation_pcts: vec![50],
+            degradation_min: 1,
+            degradation_max: 1,
+            flap_rate: 0.0,
+            flap_min: 1,
+            flap_max: 1,
+            region_rate: 0.0,
+            regions: 1,
+            region_min: 1,
+            region_max: 1,
+            drop_ppm: 0,
+            timeout_ppm: 0,
+            surge_rate: 0.0,
+            surge_ppm: 0,
+            surge_min: 1,
+            surge_max: 1,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            until: vec![0; boxes.len()],
+            surge_until: 0,
+            next_round: 0,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// Healthy boxes degrade with the given per-round hazard: the
+    /// remaining capacity percentage is drawn uniformly from `pcts` and
+    /// the window length uniformly from `[min, max]` rounds.
+    pub fn with_degradation(mut self, rate: f64, pcts: Vec<u8>, min: u64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "degradation rate in [0,1]");
+        assert!(!pcts.is_empty(), "at least one degradation level");
+        assert!(pcts.iter().all(|&p| p < 100), "degraded pct below 100");
+        assert!(min <= max && min >= 1, "window range must be ≥ 1");
+        self.degradation_rate = rate;
+        self.degradation_pcts = pcts;
+        self.degradation_min = min;
+        self.degradation_max = max;
+        self
+    }
+
+    /// Healthy boxes flap (stall completely while staying in the
+    /// population) with the given per-round hazard, for a uniform
+    /// `[min, max]`-round window.
+    pub fn with_flapping(mut self, rate: f64, min: u64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "flap rate in [0,1]");
+        assert!(min <= max && min >= 1, "window range must be ≥ 1");
+        self.flap_rate = rate;
+        self.flap_min = min;
+        self.flap_max = max;
+        self
+    }
+
+    /// Correlated regional outages: each round, with probability `rate`,
+    /// one of `regions` box groups (`box_id mod regions`) stalls entirely
+    /// for a uniform `[min, max]`-round window.
+    pub fn with_region_outages(mut self, rate: f64, regions: u32, min: u64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "outage rate in [0,1]");
+        assert!(regions >= 1, "at least one region");
+        assert!(min <= max && min >= 1, "window range must be ≥ 1");
+        self.region_rate = rate;
+        self.regions = regions;
+        self.region_min = min;
+        self.region_max = max;
+        self
+    }
+
+    /// Base per-connection delivery hazards in parts per million: a
+    /// scheduled connection is dropped with `drop_ppm` and times out with
+    /// `timeout_ppm` probability (sampled by the engine with a
+    /// deterministic hash keyed by [`FaultModel::salt`]).
+    pub fn with_drop_rate(mut self, drop_ppm: u32, timeout_ppm: u32) -> Self {
+        assert!(drop_ppm <= 1_000_000, "drop rate in ppm");
+        assert!(timeout_ppm <= 1_000_000, "timeout rate in ppm");
+        self.drop_ppm = drop_ppm;
+        self.timeout_ppm = timeout_ppm;
+        self
+    }
+
+    /// Transient delivery-hazard surges: each round, with probability
+    /// `rate`, both connection hazards gain `add_ppm` for a uniform
+    /// `[min, max]`-round window (surges do not stack; a new draw extends
+    /// the window).
+    pub fn with_drop_surges(mut self, rate: f64, add_ppm: u32, min: u64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "surge rate in [0,1]");
+        assert!(add_ppm <= 1_000_000, "surge rate in ppm");
+        assert!(min <= max && min >= 1, "window range must be ≥ 1");
+        self.surge_rate = rate;
+        self.surge_ppm = add_ppm;
+        self.surge_min = min;
+        self.surge_max = max;
+        self
+    }
+
+    /// Number of box identities in the universe.
+    pub fn box_count(&self) -> usize {
+        self.until.len()
+    }
+
+    /// Base per-connection drop hazard in parts per million.
+    pub fn drop_ppm(&self) -> u32 {
+        self.drop_ppm
+    }
+
+    /// Base per-connection timeout hazard in parts per million.
+    pub fn timeout_ppm(&self) -> u32 {
+        self.timeout_ppm
+    }
+
+    /// Deterministic salt for the engine's per-connection outcome hash:
+    /// derived from the seed alone (splitmix64 finalizer), so the same
+    /// seed gives the same delivery outcomes under every scheduler.
+    pub fn salt(&self) -> u64 {
+        let mut z = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Cumulative event counts and exposure.
+    pub fn counts(&self) -> &FaultCounts {
+        &self.counts
+    }
+
+    /// The events of round `round`, in a fixed draw order (regional
+    /// outage first, then per-box hazards in ascending box-id order, then
+    /// the surge hazard). Rounds must be visited in non-decreasing order.
+    pub fn events_at(&mut self, round: u64) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        self.events_into(round, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`FaultModel::events_at`] (`out` is
+    /// cleared first).
+    pub fn events_into(&mut self, round: u64, out: &mut Vec<FaultEvent>) {
+        out.clear();
+        assert!(
+            round >= self.next_round,
+            "fault rounds must be non-decreasing"
+        );
+        self.next_round = round + 1;
+        self.counts.rounds += 1;
+        // Expire windows before drawing, so a box whose window just
+        // closed is exposed to this round's hazards again.
+        for u in &mut self.until {
+            if *u != 0 && *u <= round {
+                *u = 0;
+            }
+        }
+        if self.surge_until != 0 && self.surge_until <= round {
+            self.surge_until = 0;
+        }
+        self.counts.healthy_box_rounds += self.until.iter().filter(|&&u| u == 0).count() as u64;
+        // Correlated outage first: it claims whole groups, and the per-box
+        // hazards below skip boxes it just stalled.
+        if self.region_rate > 0.0 && self.rng.gen_bool(self.region_rate) {
+            let region = self.rng.gen_range(0..self.regions);
+            let window = self.rng.gen_range(self.region_min..=self.region_max);
+            self.counts.region_outages += 1;
+            for i in 0..self.until.len() {
+                if i as u32 % self.regions == region && self.until[i] == 0 {
+                    self.until[i] = round + window;
+                    self.counts.region_stalled_boxes += 1;
+                    out.push(FaultEvent::Stalled {
+                        box_id: BoxId(i as u32),
+                        until: round + window,
+                    });
+                }
+            }
+        }
+        for i in 0..self.until.len() {
+            if self.until[i] != 0 {
+                continue;
+            }
+            let id = BoxId(i as u32);
+            if self.flap_rate > 0.0 && self.rng.gen_bool(self.flap_rate) {
+                let window = self.rng.gen_range(self.flap_min..=self.flap_max);
+                self.until[i] = round + window;
+                self.counts.stalls += 1;
+                out.push(FaultEvent::Stalled {
+                    box_id: id,
+                    until: round + window,
+                });
+                continue;
+            }
+            if self.degradation_rate > 0.0 && self.rng.gen_bool(self.degradation_rate) {
+                let pct = self.degradation_pcts[self.rng.gen_range(0..self.degradation_pcts.len())];
+                let window = self
+                    .rng
+                    .gen_range(self.degradation_min..=self.degradation_max);
+                self.until[i] = round + window;
+                self.counts.degradations += 1;
+                out.push(FaultEvent::Degraded {
+                    box_id: id,
+                    pct,
+                    until: round + window,
+                });
+            }
+        }
+        if self.surge_rate > 0.0 && self.rng.gen_bool(self.surge_rate) {
+            let window = self.rng.gen_range(self.surge_min..=self.surge_max);
+            self.surge_until = round + window;
+            self.counts.drop_surges += 1;
+            out.push(FaultEvent::DropSurge {
+                add_ppm: self.surge_ppm,
+                until: round + window,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_core::{Bandwidth, StorageSlots};
+
+    fn fleet(n: usize) -> BoxSet {
+        BoxSet::homogeneous(n, Bandwidth::from_streams(1.5), StorageSlots::from_slots(8))
+    }
+
+    fn run(model: &mut FaultModel, rounds: u64) -> Vec<(u64, Vec<FaultEvent>)> {
+        (0..rounds).map(|r| (r, model.events_at(r))).collect()
+    }
+
+    #[test]
+    fn quiescent_model_emits_nothing() {
+        let mut model = FaultModel::new(&fleet(6), 1);
+        for (_, events) in run(&mut model, 30) {
+            assert!(events.is_empty());
+        }
+        assert_eq!(model.counts().healthy_box_rounds, 180);
+        assert_eq!(model.drop_ppm(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_event_sequence() {
+        let make = |seed| {
+            let mut m = FaultModel::new(&fleet(12), seed)
+                .with_degradation(0.08, vec![25, 50, 75], 1, 4)
+                .with_flapping(0.04, 1, 3)
+                .with_region_outages(0.02, 3, 2, 4)
+                .with_drop_surges(0.05, 100_000, 1, 3);
+            run(&mut m, 60)
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+    }
+
+    #[test]
+    fn windows_do_not_overlap_per_box() {
+        let mut model = FaultModel::new(&fleet(8), 5)
+            .with_degradation(0.5, vec![50], 2, 5)
+            .with_flapping(0.3, 2, 5);
+        let mut busy_until = [0u64; 8];
+        for round in 0..80 {
+            for event in model.events_at(round) {
+                let (id, until) = match event {
+                    FaultEvent::Degraded { box_id, until, .. }
+                    | FaultEvent::Stalled { box_id, until } => (box_id, until),
+                    _ => continue,
+                };
+                assert!(
+                    busy_until[id.index()] <= round,
+                    "box {id} got a new window at {round} while faulted until {}",
+                    busy_until[id.index()]
+                );
+                assert!(until > round, "window must extend past its open round");
+                busy_until[id.index()] = until;
+            }
+        }
+    }
+
+    #[test]
+    fn region_outage_stalls_exactly_one_group() {
+        let mut model = FaultModel::new(&fleet(12), 11).with_region_outages(1.0, 4, 3, 3);
+        let events = model.events_at(0);
+        assert_eq!(model.counts().region_outages, 1);
+        assert_eq!(events.len(), 3, "12 boxes / 4 regions = 3 stalled");
+        let region = events[0].box_id().unwrap().0 % 4;
+        for event in &events {
+            match *event {
+                FaultEvent::Stalled { box_id, until } => {
+                    assert_eq!(box_id.0 % 4, region);
+                    assert_eq!(until, 3);
+                }
+                _ => panic!("unexpected event {event:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn observed_rates_track_configured_hazards() {
+        let mut model = FaultModel::new(&fleet(200), 17)
+            .with_degradation(0.03, vec![50], 1, 2)
+            .with_flapping(0.015, 1, 2);
+        for round in 0..400 {
+            model.events_at(round);
+        }
+        let counts = model.counts();
+        assert!(
+            (counts.degradation_rate() - 0.03).abs() < 0.008,
+            "degradation rate {}",
+            counts.degradation_rate()
+        );
+        assert!(
+            (counts.stall_rate() - 0.015).abs() < 0.005,
+            "stall rate {}",
+            counts.stall_rate()
+        );
+    }
+
+    #[test]
+    fn salt_is_a_pure_function_of_the_seed() {
+        let a = FaultModel::new(&fleet(4), 9);
+        let mut b = FaultModel::new(&fleet(32), 9).with_flapping(0.5, 1, 2);
+        b.events_at(0);
+        assert_eq!(a.salt(), b.salt());
+        assert_ne!(a.salt(), FaultModel::new(&fleet(4), 10).salt());
+    }
+}

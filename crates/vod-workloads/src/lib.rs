@@ -11,6 +11,9 @@
 //!   and the poor-boxes-pile-on attack (Section 4 necessary condition);
 //! * [`churn`] — seeded box-churn processes (joins, leaves, crashes, upload
 //!   changes) the engine drives through its relay-event path;
+//! * [`faults`] — seeded fault injection (flaky uploads, flapping boxes,
+//!   regional outages, delivery-drop surges) the engine overlays on its
+//!   live capacity table each round;
 //! * [`flashcrowd`] — maximal-growth flash crowds (Theorem 1's stress case);
 //! * [`multiswarm`] — many concurrently hot swarms with a sliding window
 //!   (the sharded scheduler's stress shape);
@@ -24,6 +27,7 @@
 pub mod adversarial;
 pub mod churn;
 pub mod demand;
+pub mod faults;
 pub mod flashcrowd;
 pub mod multiswarm;
 pub mod poisson;
@@ -34,6 +38,7 @@ pub mod zipf;
 pub use adversarial::{NeverOwnedAttack, PoorBoxesSameVideo};
 pub use churn::{ChurnCounts, ChurnEvent, ChurnModel, SessionLength};
 pub use demand::{DemandGenerator, OccupancyView, SwarmGrowthLimiter, VideoDemand};
+pub use faults::{FaultCounts, FaultEvent, FaultModel};
 pub use flashcrowd::{CrowdSpec, FlashCrowd};
 pub use multiswarm::MultiSwarmChurn;
 pub use poisson::{PoissonDemand, Popularity};

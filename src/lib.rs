@@ -12,7 +12,8 @@
 //! * [`workloads`] — adversarial and stochastic demand generators
 //!   (never-owned attack, flash crowds, Zipf, Poisson…);
 //! * [`sim`] — the discrete round-based protocol simulator (preloading
-//!   strategy, relaying, schedulers, metrics, churn);
+//!   strategy, relaying, schedulers, metrics, churn, fault injection and
+//!   delivery reliability);
 //! * [`analysis`] — Theorems 1 & 2, the first-moment obstruction bound,
 //!   Monte-Carlo estimation and threshold searches.
 //!
@@ -69,16 +70,18 @@ pub mod prelude {
         RelayObstruction, RelayView, ShardedArena, SplitStats, StarvedReservation, NO_STAMP,
     };
     pub use vod_sim::{
-        CandidateIndex, CandidateMode, CandidateStats, FailurePolicy, GreedyScheduler,
+        Admission, CandidateIndex, CandidateMode, CandidateStats, DegradationConfig,
+        DegradationController, DegradationRoundStats, DeliveryOutcome, DeliveryPolicy,
+        DeliveryRoundStats, DeliverySummary, DeliveryTracker, FailurePolicy, GreedyScheduler,
         IncrementalMatcher, MaxFlowScheduler, RandomScheduler, ReconcilePolicy, RelayBroker,
         RelayEvent, RelayRoundStats, RelayUtilization, RepairPlanner, RepairRoundStats,
         RepairTransfer, RequestKey, Scheduler, ShardRoundStats, ShardedMatcher, SimConfig,
         SimulationReport, Simulator, SplitPolicy,
     };
     pub use vod_workloads::{
-        ChurnCounts, ChurnEvent, ChurnModel, DemandGenerator, DemandTrace, FlashCrowd,
-        MultiSwarmChurn, NeverOwnedAttack, NextVideoPolicy, PoissonDemand, PoorBoxesSameVideo,
-        Popularity, SequentialViewing, SessionLength, SwarmGrowthLimiter, VideoDemand, ZipfDemand,
-        ZipfSampler,
+        ChurnCounts, ChurnEvent, ChurnModel, DemandGenerator, DemandTrace, FaultCounts, FaultEvent,
+        FaultModel, FlashCrowd, MultiSwarmChurn, NeverOwnedAttack, NextVideoPolicy, PoissonDemand,
+        PoorBoxesSameVideo, Popularity, SequentialViewing, SessionLength, SwarmGrowthLimiter,
+        VideoDemand, ZipfDemand, ZipfSampler,
     };
 }

@@ -245,6 +245,78 @@ fn churn_model_rates_match_configuration() {
     assert!(departures - counts.joins <= BOXES as u64);
 }
 
+/// The fault model is a pure function of (universe, seed, config): two
+/// models built alike emit identical event sequences, and a different
+/// seed changes the sequence.
+#[test]
+fn fault_model_is_seed_deterministic() {
+    let boxes = churn_universe();
+    let make = |seed: u64| {
+        FaultModel::new(&boxes, seed)
+            .with_degradation(0.05, vec![25, 50, 75], 1, 4)
+            .with_flapping(0.02, 1, 3)
+            .with_region_outages(0.01, 4, 2, 4)
+            .with_drop_rate(50_000, 20_000)
+            .with_drop_surges(0.02, 200_000, 1, 3)
+    };
+    let replay = |mut model: FaultModel| -> Vec<Vec<FaultEvent>> {
+        (0..60).map(|r| model.events_at(r)).collect()
+    };
+    let first = replay(make(42));
+    let second = replay(make(42));
+    assert_eq!(first, second, "same seed, different fault sequence");
+    assert!(
+        first.iter().any(|batch| !batch.is_empty()),
+        "fault model emitted nothing"
+    );
+    let other = replay(make(43));
+    assert_ne!(first, other, "fault model ignores its seed");
+    // The outcome-hash salt is derived from the seed, so it differs too.
+    assert_ne!(make(42).salt(), make(43).salt());
+}
+
+/// Observed per-box per-round fault rates converge on the configured
+/// hazards over a long exposure (within a generous stochastic tolerance).
+#[test]
+fn fault_model_rates_match_configuration() {
+    let boxes = churn_universe();
+    let degradation_rate = 0.04;
+    let flap_rate = 0.02;
+    let outage_rate = 0.01;
+    let mut model = FaultModel::new(&boxes, 7)
+        .with_degradation(degradation_rate, vec![25, 50], 1, 3)
+        .with_flapping(flap_rate, 1, 2)
+        .with_region_outages(outage_rate, 4, 1, 2);
+    let mut events = Vec::new();
+    for round in 0..4000 {
+        model.events_into(round, &mut events);
+        events.clear();
+    }
+    let counts = model.counts();
+    assert!(
+        counts.healthy_box_rounds > 10_000,
+        "exposure too small to judge"
+    );
+    let within = |observed: f64, target: f64| (observed - target).abs() <= target * 0.25;
+    assert!(
+        within(counts.degradation_rate(), degradation_rate),
+        "degradation rate {} vs configured {degradation_rate}",
+        counts.degradation_rate()
+    );
+    assert!(
+        within(counts.stall_rate(), flap_rate),
+        "stall rate {} vs configured {flap_rate}",
+        counts.stall_rate()
+    );
+    assert!(
+        within(counts.region_outage_rate(), outage_rate),
+        "region-outage rate {} vs configured {outage_rate}",
+        counts.region_outage_rate()
+    );
+    // Regional outages stall whole box groups on top of the point events.
+    assert!(counts.region_stalled_boxes >= counts.region_outages);
+}
+
 /// Uniform draw-at-join sessions end within their bounds: a box that
 /// joined at round `j` leaves gracefully no earlier than `j + min` and no
 /// later than `j + max` (unless a crash pre-empts the schedule).
